@@ -1,0 +1,48 @@
+// E1a — Theorem 3.4 (upper bound), n-sweep.
+//
+// Regenerates the paper's headline size bound as a measured series: the
+// maximum pi_mst label size over random connected graphs, as n doubles at
+// fixed W.  The theorem predicts growth proportional to log n (W fixed),
+// so the "bits / (log2 n * log2 W)" column should stay flat-to-falling.
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+
+using namespace mstv;
+using namespace mstv::bench;
+
+int main() {
+  banner("E1a", "Theorem 3.4: pi_mst size O(log n log W) — n sweep",
+         "max/avg label bits of pi_mst on random connected graphs, "
+         "avg degree ~4, W = 2^16");
+
+  const Weight W = 1u << 16;
+  const MstScheme scheme;
+  Table t({"n", "m", "max bits", "avg bits", "log2n*log2W",
+           "max/(log2n*log2W)"});
+  for (std::size_t n = 64; n <= 65536; n *= 4) {
+    Rng rng(n);
+    WeightOptions wo;
+    wo.max_weight = W;
+    const Graph g = random_connected_graph(n, n, wo, rng);
+    const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+    const auto r = mark_and_verify(scheme, cfg);
+    if (!r.accepted) {
+      std::printf("VERIFICATION FAILED at n=%zu\n", n);
+      return 1;
+    }
+    const double denom = std::log2(static_cast<double>(n)) *
+                         std::log2(static_cast<double>(W));
+    t.add_row({fmt(n), fmt(g.num_edges()), fmt(r.max_label_bits),
+               fmt(r.avg_label_bits(), 1), fmt(denom, 1),
+               fmt(static_cast<double>(r.max_label_bits) / denom, 3)});
+  }
+  t.print();
+  std::printf("Expected shape: the last column stays bounded (no growth)\n"
+              "as n rises 1024x — the O(log n log W) claim.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// E3 — Lemma 3.2: gamma_small implicit MAX labels.
+//
+// (a) label size sweep (bits per vertex) over tree shapes and sizes;
+// (b) decode latency: the two-label MAX decoder against the centralized
+//     O(log n) binary-lifting oracle and the O(n) brute walk — the
+//     "constant time computation" claim of the lemma at bench scale.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "graph/generators.hpp"
+#include "labeling/extrema_labeling.hpp"
+#include "tree/path_queries.hpp"
+
+using namespace mstv;
+
+namespace {
+
+struct Setup {
+  Graph g;
+  std::vector<ExtremaLabel> labels;
+  std::vector<VertexId> qu, qv;
+};
+
+Setup make_setup(std::size_t n) {
+  Rng rng(n);
+  WeightOptions wo;
+  wo.max_weight = 1u << 24;
+  Setup s;
+  s.g = random_tree(n, wo, rng);
+  const RootedTree t(s.g, 0);
+  const ExtremaLabelingScheme scheme(ExtremaKind::Max,
+                                     SepCoding::Telescoping);
+  s.labels = scheme.encode(t);
+  for (int i = 0; i < 1024; ++i) {
+    s.qu.push_back(static_cast<VertexId>(rng.index(n)));
+    s.qv.push_back(static_cast<VertexId>(rng.index(n)));
+  }
+  return s;
+}
+
+void BM_DecodeMaxFromLabels(benchmark::State& state) {
+  const auto s = make_setup(static_cast<std::size_t>(state.range(0)));
+  const ExtremaLabelingScheme scheme(ExtremaKind::Max,
+                                     SepCoding::Telescoping);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheme.decode(s.labels[s.qu[i & 1023]], s.labels[s.qv[i & 1023]]));
+    ++i;
+  }
+}
+BENCHMARK(BM_DecodeMaxFromLabels)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_PathMaxBinaryLifting(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  WeightOptions wo;
+  wo.max_weight = 1u << 24;
+  const Graph g = random_tree(n, wo, rng);
+  const RootedTree t(g, 0);
+  const TreePathQueries q(t);
+  std::vector<VertexId> qu, qv;
+  for (int i = 0; i < 1024; ++i) {
+    qu.push_back(static_cast<VertexId>(rng.index(n)));
+    qv.push_back(static_cast<VertexId>(rng.index(n)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.path_max(qu[i & 1023], qv[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PathMaxBinaryLifting)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_PathMaxBruteWalk(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  WeightOptions wo;
+  wo.max_weight = 1u << 24;
+  const Graph g = random_tree(n, wo, rng);
+  const RootedTree t(g, 0);
+  std::vector<VertexId> qu, qv;
+  for (int i = 0; i < 1024; ++i) {
+    qu.push_back(static_cast<VertexId>(rng.index(n)));
+    qv.push_back(static_cast<VertexId>(rng.index(n)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brute_path_max(t, qu[i & 1023], qv[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PathMaxBruteWalk)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void print_size_table() {
+  mstv::bench::banner(
+      "E3", "Lemma 3.2: gamma_small MAX labels, size + decode speed",
+      "bits per label over tree shapes (telescoping coding), then decode "
+      "latency vs centralized oracles (google-benchmark below)");
+  const ExtremaLabelingScheme scheme(ExtremaKind::Max,
+                                     SepCoding::Telescoping);
+  mstv::bench::Table t({"shape", "n", "max bits", "avg bits"});
+  struct Shape {
+    const char* name;
+    Graph (*make)(std::size_t, const WeightOptions&, Rng&);
+  };
+  for (const Shape& shape :
+       {Shape{"random", random_tree}, Shape{"path", path_graph},
+        Shape{"star", star_graph}, Shape{"caterpillar", caterpillar},
+        Shape{"binary", balanced_binary_tree}}) {
+    for (const std::size_t n : {1024u, 16384u}) {
+      Rng rng(n);
+      WeightOptions wo;
+      wo.max_weight = 1u << 24;
+      const Graph g = shape.make(n, wo, rng);
+      const RootedTree tr(g, 0);
+      std::size_t mx = 0, total = 0;
+      for (const auto& l : scheme.encode(tr)) {
+        const std::size_t b = scheme.label_bits(l);
+        mx = std::max(mx, b);
+        total += b;
+      }
+      t.add_row({shape.name, mstv::bench::fmt(n), mstv::bench::fmt(mx),
+                 mstv::bench::fmt(static_cast<double>(total) /
+                                      static_cast<double>(n),
+                                  1)});
+    }
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_size_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E7 — relaxed sensitivity testing (Section 1.1 "Our results").
+//
+// Build cost of the auxiliary labels, per-query latency of the O(1)
+// labeled oracle and of the distributed variant, against full brute-force
+// recomputation per edge; plus the auxiliary-storage-vs-explicit-output
+// accounting that motivates the relaxation.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "sensitivity/sensitivity.hpp"
+#include "util/bitstream.hpp"
+
+using namespace mstv;
+
+namespace {
+
+Graph bench_graph(std::size_t n) {
+  Rng rng(n);
+  WeightOptions wo;
+  wo.max_weight = 1u << 24;
+  wo.distinct = true;
+  return random_connected_graph(n, 2 * n, wo, rng);
+}
+
+void BM_OracleQuery(benchmark::State& state) {
+  const Graph g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  const SensitivityOracle oracle(g, kruskal_mst(g));
+  EdgeId e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.query(e));
+    e = (e + 1) % static_cast<EdgeId>(g.num_edges());
+  }
+}
+BENCHMARK(BM_OracleQuery)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_DistributedQuery(benchmark::State& state) {
+  const Graph g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  const DistributedSensitivity dist(g, kruskal_mst(g));
+  EdgeId e = 0;
+  for (auto _ : state) {
+    const Edge& ed = g.edge(e);
+    const auto port = g.find_port(ed.u, ed.v);
+    benchmark::DoNotOptimize(dist.query(ed.u, *port));
+    e = (e + 1) % static_cast<EdgeId>(g.num_edges());
+  }
+}
+BENCHMARK(BM_DistributedQuery)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_BruteForcePerEdge(benchmark::State& state) {
+  const Graph g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  const auto mst = kruskal_mst(g);
+  EdgeId e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brute_force_sensitivity(g, mst, e));
+    e = (e + 1) % static_cast<EdgeId>(g.num_edges());
+  }
+}
+BENCHMARK(BM_BruteForcePerEdge)->Arg(1 << 10);
+
+void print_storage_table() {
+  mstv::bench::banner(
+      "E7", "relaxed sensitivity testing",
+      "auxiliary label storage vs the Omega(|E| log W) explicit output; "
+      "build time; query latencies below (google-benchmark)");
+  mstv::bench::Table t({"n", "m", "aux bits", "explicit-output bits",
+                        "aux/explicit", "build ms"});
+  for (const std::size_t n : {1024u, 4096u, 16384u}) {
+    const Graph g = bench_graph(n);
+    const auto mst = kruskal_mst(g);
+    double build_ms = 0;
+    std::size_t aux = 0;
+    {
+      const double ms = mstv::bench::time_ms([&] {
+        const SensitivityOracle oracle(g, mst);
+        aux = oracle.auxiliary_bits();
+      });
+      build_ms = ms;
+    }
+    // Explicit output: one log W-sized tolerance per edge.
+    std::size_t explicit_bits = 0;
+    {
+      const SensitivityOracle oracle(g, mst);
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        const auto s = oracle.query(e);
+        explicit_bits += 1 + (s.tolerance ? gamma0_cost_bits(*s.tolerance) : 0);
+      }
+    }
+    t.add_row({mstv::bench::fmt(n), mstv::bench::fmt(g.num_edges()),
+               mstv::bench::fmt(aux), mstv::bench::fmt(explicit_bits),
+               mstv::bench::fmt(static_cast<double>(aux) /
+                                    static_cast<double>(explicit_bits),
+                                2),
+               mstv::bench::fmt(build_ms, 1)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_storage_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

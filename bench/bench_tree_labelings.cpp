@@ -1,0 +1,149 @@
+// E11 — the closing remark of Section 3: compact implicit + proof
+// labeling schemes for distance and routing from the same machinery.
+//
+// Reports label sizes of the implicit distance/routing schemes and of
+// their pi_Gamma-style verified versions (pi-distance / pi-routing), plus
+// decode latencies — the cost of making tree routing tables
+// self-stabilizing.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "graph/generators.hpp"
+#include "labeling/tree_labelings.hpp"
+#include "plscheme/runner.hpp"
+#include "plscheme/tree_proof_schemes.hpp"
+
+using namespace mstv;
+
+namespace {
+
+ConfigGraph labeled_config(const Graph& g, const DistanceLabelingScheme& imp,
+                           std::vector<State>& out_states) {
+  const RootedTree tree(g, 0);
+  const auto imps = imp.encode(tree);
+  out_states.assign(g.num_vertices(), State{});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out_states[v].id = v;
+    if (!tree.is_root(v)) out_states[v].parent_port = tree.parent_port(v);
+    out_states[v].payload = imp.to_bits(imps[v]);
+  }
+  return ConfigGraph(g, out_states);
+}
+
+ConfigGraph labeled_config(const Graph& g, const RoutingLabelingScheme& imp,
+                           std::vector<State>& out_states) {
+  const RootedTree tree(g, 0);
+  const auto imps = imp.encode(tree);
+  out_states.assign(g.num_vertices(), State{});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out_states[v].id = v;
+    if (!tree.is_root(v)) out_states[v].parent_port = tree.parent_port(v);
+    out_states[v].payload = imp.to_bits(imps[v]);
+  }
+  return ConfigGraph(g, out_states);
+}
+
+void print_tables() {
+  mstv::bench::banner(
+      "E11", "distance & routing labelings (Section 3 closing remark)",
+      "implicit label bits and verified-scheme proof bits per node on "
+      "random trees, W = 2^16");
+
+  mstv::bench::Table t({"n", "dist label (max bits)", "pi-distance proof",
+                        "route label (max bits)", "pi-routing proof"});
+  const DistanceLabelingScheme dist;
+  const RoutingLabelingScheme route;
+  const DistanceProofScheme pdist;
+  const RoutingProofScheme proute;
+  for (const std::size_t n : {256u, 4096u, 65536u}) {
+    Rng rng(n);
+    WeightOptions wo;
+    wo.max_weight = 1u << 16;
+    const Graph g = random_tree(n, wo, rng);
+    const RootedTree tree(g, 0);
+
+    std::size_t dbits = 0, rbits = 0;
+    for (const auto& l : dist.encode(tree)) {
+      dbits = std::max(dbits, dist.label_bits(l));
+    }
+    for (const auto& l : route.encode(tree)) {
+      rbits = std::max(rbits, route.label_bits(l));
+    }
+
+    std::vector<State> sd, sr;
+    const ConfigGraph dc = labeled_config(g, dist, sd);
+    const ConfigGraph rc = labeled_config(g, route, sr);
+    const auto rd = mark_and_verify(pdist, dc);
+    const auto rr = mark_and_verify(proute, rc);
+    if (!rd.accepted || !rr.accepted) {
+      std::printf("VERIFICATION FAILED at n=%zu\n", n);
+      std::exit(1);
+    }
+    t.add_row({mstv::bench::fmt(n), mstv::bench::fmt(dbits),
+               mstv::bench::fmt(rd.max_label_bits), mstv::bench::fmt(rbits),
+               mstv::bench::fmt(rr.max_label_bits)});
+  }
+  t.print();
+  std::printf("Expected shape: proofs cost ~2-3x the implicit labels (the\n"
+              "orientation flags + spanning-tree sublabel + state copy) and\n"
+              "scale O(log n log(nW)) / O(log n log n) respectively.\n\n");
+}
+
+void BM_DecodeDistance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  WeightOptions wo;
+  wo.max_weight = 1u << 16;
+  const Graph g = random_tree(n, wo, rng);
+  const RootedTree tree(g, 0);
+  const DistanceLabelingScheme dist;
+  const auto labels = dist.encode(tree);
+  std::size_t i = 0;
+  std::vector<VertexId> qu, qv;
+  for (int k = 0; k < 1024; ++k) {
+    qu.push_back(static_cast<VertexId>(rng.index(n)));
+    qv.push_back(static_cast<VertexId>(rng.index(n)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist.decode(labels[qu[i & 1023]], labels[qv[i & 1023]]));
+    ++i;
+  }
+}
+BENCHMARK(BM_DecodeDistance)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_DecodeRoute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  WeightOptions wo;
+  const Graph g = random_tree(n, wo, rng);
+  const RootedTree tree(g, 0);
+  const RoutingLabelingScheme route;
+  const auto labels = route.encode(tree);
+  std::size_t i = 0;
+  std::vector<VertexId> qu, qv;
+  for (int k = 0; k < 1024; ++k) {
+    const auto u = static_cast<VertexId>(rng.index(n));
+    auto v = static_cast<VertexId>(rng.index(n));
+    if (v == u) v = (v + 1) % static_cast<VertexId>(n);
+    qu.push_back(u);
+    qv.push_back(v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        route.decode_route(labels[qu[i & 1023]], labels[qv[i & 1023]]));
+    ++i;
+  }
+}
+BENCHMARK(BM_DecodeRoute)->Arg(1 << 10)->Arg(1 << 16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// E2 — improvement over the prior bound ([KKP05]'s
+// O(log^2 n + log n log W) vs. this paper's O(log n log W)).
+//
+// pi-mst (telescoping E_sep) against pi-mst-naive (fixed-width E_sep, the
+// prior schemes' numbering style).  The separation shows up at large n and
+// small W — exactly where log^2 n dominates log n log W — and narrows as
+// W grows, matching the bounds' shapes.
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "plscheme/fragment_scheme.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+
+using namespace mstv;
+using namespace mstv::bench;
+
+int main() {
+  banner("E2", "pi_mst vs the prior-art size shape",
+         "max label bits: telescoping (this paper) vs fixed-width "
+         "(KKP05-style) separator coding");
+
+  const MstScheme ours(SepCoding::Telescoping);
+  const MstScheme naive(SepCoding::FixedWidth);
+  const FragmentScheme frag;  // the genuine Borůvka-history construction
+
+  Table t({"n", "W", "ours (bits)", "naive (bits)", "pi-frag (bits)",
+           "frag/ours"});
+  for (const std::size_t n : {256u, 4096u, 65536u}) {
+    for (const int wexp : {2, 16, 40}) {
+      const Weight W = Weight{1} << wexp;
+      Rng rng(n + static_cast<std::uint64_t>(wexp));
+      WeightOptions wo;
+      wo.max_weight = W;
+      const Graph g = random_connected_graph(n, n, wo, rng);
+      const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+      const auto r_ours = mark_and_verify(ours, cfg);
+      const auto r_naive = mark_and_verify(naive, cfg);
+      const auto r_frag = mark_and_verify(frag, cfg);
+      if (!r_ours.accepted || !r_naive.accepted || !r_frag.accepted) {
+        std::printf("VERIFICATION FAILED at n=%zu W=2^%d\n", n, wexp);
+        return 1;
+      }
+      t.add_row({fmt(n), "2^" + std::to_string(wexp),
+                 fmt(r_ours.max_label_bits), fmt(r_naive.max_label_bits),
+                 fmt(r_frag.max_label_bits),
+                 fmt(static_cast<double>(r_frag.max_label_bits) /
+                         static_cast<double>(r_ours.max_label_bits),
+                     2)});
+    }
+  }
+  t.print();
+  std::printf(
+      "Expected shape: ours <= naive <= pi-frag everywhere; the gap is\n"
+      "widest at large n / small W (the log^2 n regime of the prior\n"
+      "bound) and narrows as log W dominates — the crossover pattern of\n"
+      "the two bounds.  pi-frag is the full Borůvka-history construction\n"
+      "of the prior scheme; 'naive' isolates just its E_sep coding.\n");
+  return 0;
+}

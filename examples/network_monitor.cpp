@@ -1,0 +1,81 @@
+// network_monitor: self-stabilizing MST maintenance for a WAN.
+//
+// An operator keeps a minimum-cost spanning tree over a 200-router
+// network.  Transient faults (misconfigured next hops, corrupted label
+// memory) hit at random; every monitoring tick runs one local
+// verification round — if any router complains, the tree is recomputed
+// distributively and relabeled.  The run prints a per-tick event log and
+// a final cost accounting showing why cheap verification matters: the
+// steady-state cost is a label exchange, not a recomputation.
+//
+// Usage: network_monitor [ticks] [fault_probability_percent]
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/generators.hpp"
+#include "runtime/self_stabilization.hpp"
+
+using namespace mstv;
+
+int main(int argc, char** argv) {
+  const int ticks = argc > 1 ? std::atoi(argv[1]) : 40;
+  const int fault_pct = argc > 2 ? std::atoi(argv[2]) : 20;
+
+  Rng rng(2026);
+  WeightOptions wo;
+  wo.max_weight = 1u << 16;
+  wo.distinct = true;  // unique MST: every structural fault is detectable
+  const Graph g = random_connected_graph(200, 300, wo, rng);
+
+  const MstScheme scheme;
+  SelfStabilizingMst sys(g, scheme);
+  Rng frng(77);
+  FaultInjector injector(frng);
+
+  std::printf("monitoring %zu routers / %zu links; fault chance %d%%/tick\n\n",
+              g.num_vertices(), g.num_edges(), fault_pct);
+
+  std::size_t quiet_ticks = 0, faults = 0, detections = 0;
+  std::size_t verify_bits_total = 0, repair_bits_total = 0;
+  for (int tick = 0; tick < ticks; ++tick) {
+    // The adversary occasionally corrupts a router.
+    bool injected = false;
+    if (frng.chance(fault_pct / 100.0)) {
+      for (int tries = 0; tries < 20 && !injected; ++tries) {
+        injected = injector.inject(sys.network()).has_value();
+      }
+      if (injected) ++faults;
+    }
+
+    const StabilizationStats s = sys.stabilize();
+    verify_bits_total += s.verify_bits;
+    if (s.fault_detected) {
+      ++detections;
+      repair_bits_total += s.recompute.message_bits + s.remark_bits;
+      std::printf("tick %3d: FAULT detected by %zu router(s); "
+                  "repair: %zu Borůvka phases, %zu msgs, silent=%s\n",
+                  tick, s.detecting_nodes, s.recompute.phases,
+                  s.recompute.messages, s.silent_after ? "yes" : "NO");
+    } else {
+      ++quiet_ticks;
+      if (injected) {
+        std::printf("tick %3d: fault injected but configuration still "
+                    "verifies (label-only corruption can be benign)\n",
+                    tick);
+      }
+    }
+  }
+
+  std::printf("\nsummary over %d ticks\n", ticks);
+  std::printf("  quiet ticks          : %zu\n", quiet_ticks);
+  std::printf("  faults injected      : %zu\n", faults);
+  std::printf("  faults detected      : %zu\n", detections);
+  std::printf("  verification traffic : %.2f Mbit total (%.3f Mbit/tick)\n",
+              static_cast<double>(verify_bits_total) / 1e6,
+              static_cast<double>(verify_bits_total) / 1e6 / ticks);
+  std::printf("  repair traffic       : %.2f Mbit total\n",
+              static_cast<double>(repair_bits_total) / 1e6);
+  std::printf("steady state costs one label exchange per tick; the "
+              "expensive global recomputation runs only on detection.\n");
+  return 0;
+}

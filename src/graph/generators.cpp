@@ -1,0 +1,176 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace mstv {
+namespace {
+
+/// Draws `count` weights per the options.  When `distinct` is requested we
+/// sample without replacement from [1, max_weight].
+std::vector<Weight> draw_weights(std::size_t count, const WeightOptions& wo,
+                                 Rng& rng) {
+  MSTV_EXPECTS(wo.max_weight >= 1);
+  std::vector<Weight> ws(count);
+  if (!wo.distinct) {
+    for (auto& w : ws) w = rng.uniform(1, wo.max_weight);
+    return ws;
+  }
+  MSTV_EXPECTS_MSG(wo.max_weight >= count,
+                   "distinct weights need max_weight >= edge count");
+  std::set<Weight> used;
+  for (auto& w : ws) {
+    Weight cand;
+    do {
+      cand = rng.uniform(1, wo.max_weight);
+    } while (!used.insert(cand).second);
+    w = cand;
+  }
+  return ws;
+}
+
+Graph finish(Graph::Builder& b, Rng& rng) { return b.build(&rng); }
+
+}  // namespace
+
+Graph random_tree(std::size_t n, const WeightOptions& wo, Rng& rng) {
+  MSTV_EXPECTS(n >= 1);
+  Graph::Builder b(n);
+  const auto ws = draw_weights(n > 0 ? n - 1 : 0, wo, rng);
+  // Random attachment: vertex i attaches to a uniform earlier vertex after
+  // a random relabeling, which yields a rich variety of tree shapes.
+  std::vector<VertexId> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<VertexId>(i);
+  rng.shuffle(perm);
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = rng.index(i);
+    b.add_edge(perm[i], perm[j], ws[i - 1]);
+  }
+  return finish(b, rng);
+}
+
+Graph random_connected_graph(std::size_t n, std::size_t extra_edges,
+                             const WeightOptions& wo, Rng& rng) {
+  MSTV_EXPECTS(n >= 1);
+  const std::size_t max_extra =
+      n * (n - 1) / 2 - (n - 1);  // non-tree slots available
+  extra_edges = std::min(extra_edges, max_extra);
+
+  Graph::Builder b(n);
+  std::set<std::pair<VertexId, VertexId>> present;
+
+  // Tree backbone.
+  std::vector<VertexId> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<VertexId>(i);
+  rng.shuffle(perm);
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = rng.index(i);
+    const VertexId u = perm[i], v = perm[j];
+    present.emplace(std::min(u, v), std::max(u, v));
+  }
+  // Extra edges.
+  while (present.size() < (n - 1) + extra_edges) {
+    const auto u = static_cast<VertexId>(rng.index(n));
+    const auto v = static_cast<VertexId>(rng.index(n));
+    if (u == v) continue;
+    present.emplace(std::min(u, v), std::max(u, v));
+  }
+
+  const auto ws = draw_weights(present.size(), wo, rng);
+  std::size_t k = 0;
+  for (const auto& [u, v] : present) b.add_edge(u, v, ws[k++]);
+  return finish(b, rng);
+}
+
+Graph path_graph(std::size_t n, const WeightOptions& wo, Rng& rng) {
+  MSTV_EXPECTS(n >= 1);
+  Graph::Builder b(n);
+  const auto ws = draw_weights(n - 1, wo, rng);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1), ws[i]);
+  }
+  return finish(b, rng);
+}
+
+Graph star_graph(std::size_t n, const WeightOptions& wo, Rng& rng) {
+  MSTV_EXPECTS(n >= 1);
+  Graph::Builder b(n);
+  const auto ws = draw_weights(n - 1, wo, rng);
+  for (std::size_t i = 1; i < n; ++i) {
+    b.add_edge(0, static_cast<VertexId>(i), ws[i - 1]);
+  }
+  return finish(b, rng);
+}
+
+Graph caterpillar(std::size_t n, const WeightOptions& wo, Rng& rng) {
+  MSTV_EXPECTS(n >= 1);
+  Graph::Builder b(n);
+  const std::size_t spine = std::max<std::size_t>(1, n / 2);
+  const auto ws = draw_weights(n - 1, wo, rng);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i + 1 < spine; ++i) {
+    b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1), ws[k++]);
+  }
+  for (std::size_t i = spine; i < n; ++i) {
+    b.add_edge(static_cast<VertexId>(rng.index(spine)),
+               static_cast<VertexId>(i), ws[k++]);
+  }
+  return finish(b, rng);
+}
+
+Graph balanced_binary_tree(std::size_t n, const WeightOptions& wo, Rng& rng) {
+  MSTV_EXPECTS(n >= 1);
+  Graph::Builder b(n);
+  const auto ws = draw_weights(n - 1, wo, rng);
+  for (std::size_t i = 1; i < n; ++i) {
+    b.add_edge(static_cast<VertexId>((i - 1) / 2), static_cast<VertexId>(i),
+               ws[i - 1]);
+  }
+  return finish(b, rng);
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols, const WeightOptions& wo,
+                 Rng& rng) {
+  MSTV_EXPECTS(rows >= 1 && cols >= 1);
+  Graph::Builder b(rows * cols);
+  const std::size_t nedges = rows * (cols - 1) + cols * (rows - 1);
+  const auto ws = draw_weights(nedges, wo, rng);
+  std::size_t k = 0;
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1), ws[k++]);
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c), ws[k++]);
+    }
+  }
+  return finish(b, rng);
+}
+
+Graph ring_graph(std::size_t n, const WeightOptions& wo, Rng& rng) {
+  MSTV_EXPECTS(n >= 3);
+  Graph::Builder b(n);
+  const auto ws = draw_weights(n, wo, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>((i + 1) % n),
+               ws[i]);
+  }
+  return finish(b, rng);
+}
+
+Graph complete_graph(std::size_t n, const WeightOptions& wo, Rng& rng) {
+  MSTV_EXPECTS(n >= 1);
+  Graph::Builder b(n);
+  const auto ws = draw_weights(n * (n - 1) / 2, wo, rng);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j), ws[k++]);
+    }
+  }
+  return finish(b, rng);
+}
+
+}  // namespace mstv

@@ -1,0 +1,56 @@
+// Workload generators for tests, examples and the benchmark harness.
+//
+// The paper's families are F(n, W) — connected graphs with at most n
+// vertices and weights bounded by W — and T(n, W), the corresponding trees.
+// Generators here produce members of those families with controllable
+// shape (density, tree topology) and weight regime (uniform in [1, W],
+// optionally all-distinct so the MST is unique).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace mstv {
+
+struct WeightOptions {
+  Weight max_weight = 1u << 16;  // the paper's W
+  /// With distinct weights the MST is unique, which makes soundness tests
+  /// deterministic.  Requires max_weight >= number of edges.
+  bool distinct = false;
+};
+
+/// Random spanning-tree-plus-extra-edges connected graph from F(n, W):
+/// a uniform random labelled tree backbone, then `extra_edges` additional
+/// distinct non-tree edges (clamped to the number available).
+Graph random_connected_graph(std::size_t n, std::size_t extra_edges,
+                             const WeightOptions& wo, Rng& rng);
+
+/// Uniform random labelled tree on n vertices (Prüfer-style attachment).
+Graph random_tree(std::size_t n, const WeightOptions& wo, Rng& rng);
+
+/// Path graph 0-1-...-(n-1).
+Graph path_graph(std::size_t n, const WeightOptions& wo, Rng& rng);
+
+/// Star with center 0.
+Graph star_graph(std::size_t n, const WeightOptions& wo, Rng& rng);
+
+/// Caterpillar: a spine of length ~n/2 with random legs; a classic
+/// worst-ish case for separator decompositions.
+Graph caterpillar(std::size_t n, const WeightOptions& wo, Rng& rng);
+
+/// Balanced binary tree on n vertices.
+Graph balanced_binary_tree(std::size_t n, const WeightOptions& wo, Rng& rng);
+
+/// rows x cols grid graph.
+Graph grid_graph(std::size_t rows, std::size_t cols, const WeightOptions& wo,
+                 Rng& rng);
+
+/// Cycle on n >= 3 vertices.
+Graph ring_graph(std::size_t n, const WeightOptions& wo, Rng& rng);
+
+/// Complete graph K_n.
+Graph complete_graph(std::size_t n, const WeightOptions& wo, Rng& rng);
+
+}  // namespace mstv

@@ -1,0 +1,123 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mstv {
+
+EdgeId Graph::Builder::add_edge(VertexId u, VertexId v, Weight w) {
+  MSTV_EXPECTS(u < n_ && v < n_);
+  MSTV_EXPECTS_MSG(u != v, "self-loops are not allowed");
+  edges_.push_back(Edge{u, v, w});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+Graph Graph::Builder::build(Rng* port_shuffle_rng) const {
+  // Detect parallel edges: sort normalised endpoint pairs.
+  {
+    std::vector<std::pair<VertexId, VertexId>> pairs;
+    pairs.reserve(edges_.size());
+    for (const Edge& e : edges_) {
+      pairs.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+    }
+    std::sort(pairs.begin(), pairs.end());
+    MSTV_EXPECTS_MSG(
+        std::adjacent_find(pairs.begin(), pairs.end()) == pairs.end(),
+        "parallel edges are not allowed");
+  }
+
+  Graph g;
+  g.edges_ = edges_;
+  for (const Edge& e : edges_) g.max_weight_ = std::max(g.max_weight_, e.w);
+
+  // Build CSR adjacency.
+  std::vector<std::size_t> deg(n_, 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  g.offsets_.assign(n_ + 1, 0);
+  for (std::size_t v = 0; v < n_; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  g.ports_.resize(g.offsets_.back());
+
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId eid = 0; eid < edges_.size(); ++eid) {
+    const Edge& e = edges_[eid];
+    g.ports_[cursor[e.u]++] = PortInfo{e.v, e.w, eid, 0};
+    g.ports_[cursor[e.v]++] = PortInfo{e.u, e.w, eid, 0};
+  }
+
+  // Optionally permute each node's port order.
+  if (port_shuffle_rng != nullptr) {
+    for (std::size_t v = 0; v < n_; ++v) {
+      auto begin = g.ports_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+      auto end = g.ports_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+      if (end - begin < 2) continue;
+      for (auto it = end; it != begin + 1; --it) {
+        const auto k = port_shuffle_rng->index(
+            static_cast<std::size_t>(it - begin));
+        std::iter_swap(it - 1, begin + static_cast<std::ptrdiff_t>(k));
+      }
+    }
+  }
+
+  // Fill reverse-port numbers: for each directed half-edge, find the port
+  // of the same edge on the other side.
+  std::vector<PortNumber> port_of_edge_at(2 * edges_.size(), 0);
+  auto slot = [&](EdgeId eid, VertexId endpoint) -> PortNumber& {
+    const Edge& e = edges_[eid];
+    MSTV_ASSERT(endpoint == e.u || endpoint == e.v);
+    return port_of_edge_at[2 * static_cast<std::size_t>(eid) +
+                           (endpoint == e.u ? 0 : 1)];
+  };
+  for (VertexId v = 0; v < n_; ++v) {
+    for (std::size_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
+      slot(g.ports_[i].edge, v) =
+          static_cast<PortNumber>(i - g.offsets_[v] + 1);
+    }
+  }
+  for (VertexId v = 0; v < n_; ++v) {
+    for (std::size_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
+      g.ports_[i].reverse_port = slot(g.ports_[i].edge, g.ports_[i].neighbor);
+    }
+  }
+  return g;
+}
+
+std::optional<PortNumber> Graph::find_port(VertexId v, VertexId u) const {
+  MSTV_EXPECTS(v < num_vertices() && u < num_vertices());
+  const auto ps = ports(v);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (ps[i].neighbor == u) return static_cast<PortNumber>(i + 1);
+  }
+  return std::nullopt;
+}
+
+std::optional<EdgeId> Graph::find_edge(VertexId v, VertexId u) const {
+  const auto p = find_port(v, u);
+  if (!p) return std::nullopt;
+  return port(v, *p).edge;
+}
+
+bool Graph::is_connected() const {
+  const std::size_t n = num_vertices();
+  if (n == 0) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> stack{0};
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const PortInfo& p : ports(v)) {
+      if (!seen[p.neighbor]) {
+        seen[p.neighbor] = true;
+        ++count;
+        stack.push_back(p.neighbor);
+      }
+    }
+  }
+  return count == n;
+}
+
+}  // namespace mstv

@@ -1,0 +1,133 @@
+// Weighted undirected graphs with per-node port numbering.
+//
+// This mirrors the model of Section 2 of the paper: "Every node v has
+// internal ports, each corresponding to one of the edges attached to v.
+// The ports are numbered from 1 to deg(v) by an internal numbering known
+// only to node v."  All distributed-side code (states, verifiers, the
+// simulated network) addresses edges through ports, never through global
+// edge ids, so nothing a node does can depend on information it would not
+// have in the real model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mstv {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using Weight = std::uint64_t;
+/// Ports are 1-based as in the paper; 0 is never a valid port.
+using PortNumber = std::uint32_t;
+
+constexpr VertexId kInvalidVertex = ~VertexId{0};
+constexpr EdgeId kInvalidEdge = ~EdgeId{0};
+
+/// An undirected edge with an integral weight.
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  Weight w = 0;
+
+  /// The endpoint that is not `x`.
+  [[nodiscard]] VertexId other(VertexId x) const {
+    MSTV_EXPECTS(x == u || x == v);
+    return x == u ? v : u;
+  }
+};
+
+/// What a node sees through one of its ports.
+struct PortInfo {
+  VertexId neighbor = kInvalidVertex;
+  Weight weight = 0;
+  EdgeId edge = kInvalidEdge;
+  /// Our port number as seen from `neighbor` (i.e. the reverse direction).
+  PortNumber reverse_port = 0;
+};
+
+/// Immutable weighted undirected graph.  Construct through Graph::Builder.
+class Graph {
+ public:
+  class Builder;
+
+  /// An empty graph (0 vertices); assign a Builder-built graph over it.
+  Graph() = default;
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return offsets_.size() - 1; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] std::uint32_t degree(VertexId v) const {
+    MSTV_EXPECTS(v < num_vertices());
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Port lookup; `p` must be in 1..degree(v).
+  [[nodiscard]] const PortInfo& port(VertexId v, PortNumber p) const {
+    MSTV_EXPECTS(v < num_vertices());
+    MSTV_EXPECTS_MSG(p >= 1 && p <= degree(v), "port number out of range");
+    return ports_[offsets_[v] + (p - 1)];
+  }
+
+  /// All ports of `v`, indexed 0..deg-1 (port number = index + 1).
+  [[nodiscard]] std::span<const PortInfo> ports(VertexId v) const {
+    MSTV_EXPECTS(v < num_vertices());
+    return {ports_.data() + offsets_[v], ports_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    MSTV_EXPECTS(e < num_edges());
+    return edges_[e];
+  }
+
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// The port of `v` that leads to `u`, if the edge (v,u) exists.
+  [[nodiscard]] std::optional<PortNumber> find_port(VertexId v, VertexId u) const;
+
+  /// The id of edge (v,u), if present.
+  [[nodiscard]] std::optional<EdgeId> find_edge(VertexId v, VertexId u) const;
+
+  [[nodiscard]] bool is_connected() const;
+
+  /// Largest edge weight (the paper's W); 0 for edgeless graphs.
+  [[nodiscard]] Weight max_weight() const noexcept { return max_weight_; }
+
+ private:
+  friend class Builder;
+
+  std::vector<std::size_t> offsets_{0};  // CSR offsets into ports_, size n+1
+  std::vector<PortInfo> ports_;
+  std::vector<Edge> edges_;
+  Weight max_weight_ = 0;
+};
+
+/// Incremental construction; rejects self-loops and parallel edges.
+class Graph::Builder {
+ public:
+  explicit Builder(std::size_t num_vertices) : n_(num_vertices) {
+    MSTV_EXPECTS(num_vertices >= 1);
+  }
+
+  /// Adds an undirected edge; returns its id.
+  EdgeId add_edge(VertexId u, VertexId v, Weight w);
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// Finalises the graph.  If `port_shuffle_rng` is supplied, each node's
+  /// port numbering is permuted randomly — matching the paper's "internal
+  /// numbering known only to node v" — so correct schemes cannot rely on
+  /// insertion order.
+  [[nodiscard]] Graph build(Rng* port_shuffle_rng = nullptr) const;
+
+ private:
+  std::size_t n_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace mstv

@@ -1,0 +1,51 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+
+namespace mstv {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) {
+    os << e.u << ' ' << e.v << ' ' << e.w << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::size_t n = 0, m = 0;
+  is >> n >> m;
+  MSTV_EXPECTS_MSG(static_cast<bool>(is), "malformed edge list header");
+  Graph::Builder b(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    VertexId u, v;
+    Weight w;
+    is >> u >> v >> w;
+    MSTV_EXPECTS_MSG(static_cast<bool>(is), "malformed edge list line");
+    b.add_edge(u, v, w);
+  }
+  return b.build();
+}
+
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& opts) {
+  os << "graph " << opts.graph_name << " {\n";
+  os << "  node [shape=circle fontsize=10];\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    os << "  " << v;
+    if (v < opts.vertex_note.size() && !opts.vertex_note[v].empty()) {
+      os << " [label=\"" << v << "\\n" << opts.vertex_note[v] << "\"]";
+    }
+    os << ";\n";
+  }
+  for (EdgeId eid = 0; eid < g.num_edges(); ++eid) {
+    const Edge& e = g.edge(eid);
+    const bool in_tree =
+        eid < opts.tree_edge.size() && opts.tree_edge[eid];
+    os << "  " << e.u << " -- " << e.v << " [label=\"" << e.w << '"';
+    if (in_tree) os << " style=bold color=blue penwidth=2";
+    os << "];\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace mstv

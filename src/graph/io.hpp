@@ -1,0 +1,32 @@
+// Graph serialization: a simple whitespace edge-list format (round-trips
+// through Graph) and Graphviz DOT output for visual inspection — used by
+// the hypertree explorer example to regenerate the paper's Figure 1.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mstv {
+
+/// Writes "n m" followed by one "u v w" line per edge.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses the format produced by write_edge_list.
+Graph read_edge_list(std::istream& is);
+
+struct DotOptions {
+  /// Edges in this set are rendered bold/directed child->parent (the
+  /// spanning tree induced by the states).
+  std::vector<bool> tree_edge;  // indexed by EdgeId; may be empty
+  /// Optional per-vertex extra text (e.g. preorder identities).
+  std::vector<std::string> vertex_note;  // indexed by VertexId; may be empty
+  std::string graph_name = "G";
+};
+
+/// Graphviz output with edge weights as labels.
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& opts = {});
+
+}  // namespace mstv

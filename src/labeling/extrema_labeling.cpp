@@ -1,0 +1,114 @@
+#include "labeling/extrema_labeling.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mstv {
+
+Weight extrema_identity(ExtremaKind kind) {
+  return kind == ExtremaKind::Max ? Weight{0}
+                                  : std::numeric_limits<Weight>::max();
+}
+
+std::vector<ExtremaLabel> ExtremaLabelingScheme::encode(
+    const RootedTree& tree, const SeparatorDecomposition& sd) const {
+  const std::size_t n = tree.size();
+  std::vector<ExtremaLabel> labels(n);
+  for (VertexId v = 0; v < n; ++v) {
+    ExtremaLabel& l = labels[v];
+    // The telescoping coding needs the size-ranked numbers; the naive
+    // baseline uses the raw vertex-id-based numbers of earlier schemes.
+    l.rho = (coding_ == SepCoding::Telescoping) ? sd.rho[v] : sd.rho_raw[v];
+    const auto& src =
+        (kind_ == ExtremaKind::Max) ? sd.maxw[v] : sd.minw[v];
+    MSTV_ASSERT(src.size() == sd.level[v]);
+    // Drop the trivial last field (the extremum of the empty path v..v).
+    l.extrema.assign(src.begin(), src.end() - 1);
+    MSTV_ASSERT(l.extrema.size() == l.rho.size());
+  }
+  return labels;
+}
+
+std::vector<ExtremaLabel> ExtremaLabelingScheme::encode(
+    const RootedTree& tree) const {
+  return encode(tree, perfect_separator_decomposition(tree));
+}
+
+Weight ExtremaLabelingScheme::decode(const ExtremaLabel& lu,
+                                     const ExtremaLabel& lv) const {
+  // Sep_level(u, v): field 1 (the constant) always matches; then the
+  // longest common prefix of the rho sequences.
+  const std::size_t cap = std::min(lu.rho.size(), lv.rho.size());
+  std::size_t lcp = 0;
+  while (lcp < cap && lu.rho[lcp] == lv.rho[lcp]) ++lcp;
+  const std::size_t i = lcp + 1;  // 1-based Sep_level
+
+  // E_omega_i: stored fields cover 1..l-1; field l (own level) is the
+  // identity element by construction.
+  auto field = [&](const ExtremaLabel& l) {
+    return (i <= l.extrema.size()) ? l.extrema[i - 1]
+                                   : extrema_identity(kind_);
+  };
+  const Weight a = field(lu), b = field(lv);
+  return kind_ == ExtremaKind::Max ? std::max(a, b) : std::min(a, b);
+}
+
+Label ExtremaLabelingScheme::to_bits(const ExtremaLabel& l) const {
+  BitWriter w;
+  write_to(w, l);
+  return Label(w);
+}
+
+ExtremaLabel ExtremaLabelingScheme::from_bits(const Label& bits) const {
+  BitReader r = bits.reader();
+  ExtremaLabel l = read_from(r);
+  MSTV_EXPECTS_MSG(r.exhausted(), "corrupt label: trailing bits");
+  return l;
+}
+
+void ExtremaLabelingScheme::write_to(BitWriter& w,
+                                     const ExtremaLabel& l) const {
+  const auto nfields = static_cast<std::uint64_t>(l.rho.size());
+  w.write_gamma0(nfields);
+
+  // E_sep: either self-delimiting gamma codes (telescoping sizes) or a
+  // declared fixed width (the naive Theta(log n)-per-field coding).
+  if (coding_ == SepCoding::Telescoping) {
+    for (const auto r : l.rho) w.write_gamma(r);
+  } else {
+    std::uint64_t mx = 1;
+    for (const auto r : l.rho) mx = std::max(mx, r);
+    const int rbits = bit_width_u64(mx);
+    w.write_gamma0(static_cast<std::uint64_t>(rbits));
+    for (const auto r : l.rho) w.write_uint(r, rbits);
+  }
+
+  // E_omega: one declared width, then fixed-width fields.
+  std::uint64_t wmax = 0;
+  for (const auto x : l.extrema) wmax = std::max(wmax, x);
+  const int wbits = bit_width_u64(wmax);
+  w.write_gamma0(static_cast<std::uint64_t>(wbits));
+  for (const auto x : l.extrema) w.write_uint(x, wbits);
+}
+
+ExtremaLabel ExtremaLabelingScheme::read_from(BitReader& r) const {
+  ExtremaLabel l;
+  const std::uint64_t nfields = r.read_gamma0();
+  MSTV_EXPECTS_MSG(nfields <= r.remaining() + 64,
+                   "corrupt label: absurd field count");
+  l.rho.resize(nfields);
+  if (coding_ == SepCoding::Telescoping) {
+    for (auto& x : l.rho) x = r.read_gamma();
+  } else {
+    const auto rbits = static_cast<int>(r.read_gamma0());
+    MSTV_EXPECTS_MSG(rbits <= 64, "corrupt label: rho width");
+    for (auto& x : l.rho) x = r.read_uint(rbits);
+  }
+  const auto wbits = static_cast<int>(r.read_gamma0());
+  MSTV_EXPECTS_MSG(wbits <= 64, "corrupt label: weight width");
+  l.extrema.resize(nfields);
+  for (auto& x : l.extrema) x = r.read_uint(wbits);
+  return l;
+}
+
+}  // namespace mstv

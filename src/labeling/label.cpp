@@ -1,0 +1,53 @@
+#include "labeling/label.hpp"
+
+namespace mstv {
+
+void Label::normalize() {
+  const std::size_t need = (nbits_ + 63) / 64;
+  words_.resize(need);
+  if (nbits_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << (nbits_ % 64)) - 1;
+  }
+}
+
+Label Label::with_bit_flipped(std::size_t i) const {
+  MSTV_EXPECTS(i < nbits_);
+  Label out = *this;
+  out.words_[i >> 6] ^= (std::uint64_t{1} << (i & 63));
+  return out;
+}
+
+Label Label::truncated(std::size_t nbits) const {
+  if (nbits >= nbits_) return *this;
+  Label out = *this;
+  out.nbits_ = nbits;
+  out.normalize();
+  return out;
+}
+
+Label Label::operator+(const Label& rhs) const {
+  BitWriter w;
+  auto copy = [&w](const Label& l) {
+    BitReader r = l.reader();
+    // Copy in 64-bit chunks for speed; remainder bit by bit.
+    std::size_t left = l.size_bits();
+    while (left >= 64) {
+      w.write_uint(r.read_uint(64), 64);
+      left -= 64;
+    }
+    while (left-- > 0) w.write_bit(r.read_bit());
+  };
+  copy(*this);
+  copy(rhs);
+  return Label(w);
+}
+
+std::string Label::to_string() const {
+  std::string s;
+  s.reserve(nbits_);
+  BitReader r = reader();
+  for (std::size_t i = 0; i < nbits_; ++i) s.push_back(r.read_bit() ? '1' : '0');
+  return s;
+}
+
+}  // namespace mstv

@@ -1,0 +1,85 @@
+// Label: an immutable bit string.
+//
+// Labels are the currency of both kinds of schemes in the paper — the
+// implicit labeling schemes (encoder/decoder) and the proof labeling
+// schemes (marker/verifier).  All size results are in bits, so Label is
+// backed by an exact bit buffer and reports size_bits().  Verifiers and
+// decoders parse labels through BitReader, never through struct aliasing,
+// which is what lets the adversarial tests hand them arbitrary forged
+// bit strings.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitstream.hpp"
+
+namespace mstv {
+
+class Label {
+ public:
+  Label() = default;
+
+  /// Takes the bits accumulated in a writer.
+  explicit Label(const BitWriter& w) : words_(w.words()), nbits_(w.size_bits()) {
+    normalize();
+  }
+
+  Label(std::vector<std::uint64_t> words, std::size_t nbits)
+      : words_(std::move(words)), nbits_(nbits) {
+    MSTV_EXPECTS(words_.size() * 64 >= nbits_);
+    normalize();
+  }
+
+  [[nodiscard]] std::size_t size_bits() const noexcept { return nbits_; }
+  [[nodiscard]] bool empty() const noexcept { return nbits_ == 0; }
+
+  [[nodiscard]] BitReader reader() const { return BitReader(words_, nbits_); }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+  /// Value of bit i (0-based).
+  [[nodiscard]] bool bit(std::size_t i) const {
+    MSTV_EXPECTS(i < nbits_);
+    return ((words_[i >> 6] >> (i & 63)) & 1) != 0;
+  }
+
+  /// Returns a copy with bit i flipped — fault injection / adversaries.
+  [[nodiscard]] Label with_bit_flipped(std::size_t i) const;
+
+  /// Returns a copy truncated to the first `nbits` bits — used by the
+  /// lower-bound attack to model markers with a too-small budget.
+  [[nodiscard]] Label truncated(std::size_t nbits) const;
+
+  /// Concatenation (sublabel composition).
+  [[nodiscard]] Label operator+(const Label& rhs) const;
+
+  friend bool operator==(const Label& a, const Label& b) {
+    return a.nbits_ == b.nbits_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const Label& a, const Label& b) { return !(a == b); }
+
+  /// Lexicographic order so labels can key ordered containers (the
+  /// lower-bound counting experiment builds sets of labels).
+  friend std::strong_ordering operator<=>(const Label& a, const Label& b) {
+    if (auto c = a.words_ <=> b.words_; c != 0) return c;
+    return a.nbits_ <=> b.nbits_;
+  }
+
+  /// "0"/"1" string, MSB... in write order; for debugging.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  /// Zeroes bits beyond nbits_ and trims excess words so equality is
+  /// well defined.
+  void normalize();
+
+  std::vector<std::uint64_t> words_;
+  std::size_t nbits_ = 0;
+};
+
+}  // namespace mstv

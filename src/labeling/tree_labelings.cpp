@@ -1,0 +1,129 @@
+#include "labeling/tree_labelings.hpp"
+
+#include <algorithm>
+
+namespace mstv {
+namespace {
+
+/// Longest common prefix of the rho sequences + 1 = Sep_level.
+std::size_t sep_level(const std::vector<std::uint64_t>& a,
+                      const std::vector<std::uint64_t>& b) {
+  const std::size_t cap = std::min(a.size(), b.size());
+  std::size_t lcp = 0;
+  while (lcp < cap && a[lcp] == b[lcp]) ++lcp;
+  return lcp + 1;
+}
+
+}  // namespace
+
+std::vector<DistanceLabel> DistanceLabelingScheme::encode(
+    const RootedTree& tree, const SeparatorDecomposition& sd) const {
+  std::vector<DistanceLabel> out(tree.size());
+  for (VertexId v = 0; v < tree.size(); ++v) {
+    out[v].rho = sd.rho[v];
+    out[v].dist.assign(sd.sumw[v].begin(), sd.sumw[v].end() - 1);
+  }
+  return out;
+}
+
+std::vector<DistanceLabel> DistanceLabelingScheme::encode(
+    const RootedTree& tree) const {
+  return encode(tree, perfect_separator_decomposition(tree));
+}
+
+Weight DistanceLabelingScheme::decode(const DistanceLabel& lu,
+                                      const DistanceLabel& lv) const {
+  const std::size_t i = sep_level(lu.rho, lv.rho);
+  auto field = [&](const DistanceLabel& l) {
+    return i <= l.dist.size() ? l.dist[i - 1] : Weight{0};  // own level: 0
+  };
+  // The level-i separator lies on the u..v path, so distances add.
+  return field(lu) + field(lv);
+}
+
+Label DistanceLabelingScheme::to_bits(const DistanceLabel& l) const {
+  BitWriter w;
+  w.write_gamma0(l.rho.size());
+  for (const auto r : l.rho) w.write_gamma(r);
+  std::uint64_t mx = 0;
+  for (const auto d : l.dist) mx = std::max(mx, d);
+  const int dbits = bit_width_u64(mx);
+  w.write_gamma0(static_cast<std::uint64_t>(dbits));
+  for (const auto d : l.dist) w.write_uint(d, dbits);
+  return Label(w);
+}
+
+DistanceLabel DistanceLabelingScheme::from_bits(const Label& bits) const {
+  BitReader r = bits.reader();
+  DistanceLabel l;
+  const std::uint64_t nfields = r.read_gamma0();
+  MSTV_EXPECTS_MSG(nfields <= r.remaining() + 64,
+                   "corrupt label: absurd field count");
+  l.rho.resize(nfields);
+  for (auto& x : l.rho) x = r.read_gamma();
+  const auto dbits = static_cast<int>(r.read_gamma0());
+  MSTV_EXPECTS_MSG(dbits <= 64, "corrupt label: distance width");
+  l.dist.resize(nfields);
+  for (auto& x : l.dist) x = r.read_uint(dbits);
+  MSTV_EXPECTS_MSG(r.exhausted(), "corrupt label: trailing bits");
+  return l;
+}
+
+std::vector<RoutingLabel> RoutingLabelingScheme::encode(
+    const RootedTree& tree, const SeparatorDecomposition& sd) const {
+  std::vector<RoutingLabel> out(tree.size());
+  for (VertexId v = 0; v < tree.size(); ++v) {
+    out[v].rho = sd.rho[v];
+    out[v].toward.assign(sd.toward[v].begin(), sd.toward[v].end() - 1);
+    out[v].branch_port.assign(sd.branch_port[v].begin(),
+                              sd.branch_port[v].end() - 1);
+  }
+  return out;
+}
+
+std::vector<RoutingLabel> RoutingLabelingScheme::encode(
+    const RootedTree& tree) const {
+  return encode(tree, perfect_separator_decomposition(tree));
+}
+
+PortNumber RoutingLabelingScheme::decode_route(const RoutingLabel& lu,
+                                               const RoutingLabel& lv) const {
+  MSTV_EXPECTS_MSG(!(lu == lv), "routing to self is undefined");
+  const std::size_t i = sep_level(lu.rho, lv.rho);
+  if (i <= lu.toward.size()) {
+    // The common separator is a different vertex: head toward it — it is
+    // on the path to v.
+    return lu.toward[i - 1];
+  }
+  // u IS the common separator; v lies in one of u's subtrees, and v's
+  // label carries u's port into that subtree.
+  MSTV_ASSERT(i <= lv.branch_port.size());
+  return lv.branch_port[i - 1];
+}
+
+Label RoutingLabelingScheme::to_bits(const RoutingLabel& l) const {
+  BitWriter w;
+  w.write_gamma0(l.rho.size());
+  for (const auto r : l.rho) w.write_gamma(r);
+  for (const auto p : l.toward) w.write_gamma(p);
+  for (const auto p : l.branch_port) w.write_gamma(p);
+  return Label(w);
+}
+
+RoutingLabel RoutingLabelingScheme::from_bits(const Label& bits) const {
+  BitReader r = bits.reader();
+  RoutingLabel l;
+  const std::uint64_t nfields = r.read_gamma0();
+  MSTV_EXPECTS_MSG(nfields <= r.remaining() + 64,
+                   "corrupt label: absurd field count");
+  l.rho.resize(nfields);
+  for (auto& x : l.rho) x = r.read_gamma();
+  l.toward.resize(nfields);
+  for (auto& x : l.toward) x = static_cast<PortNumber>(r.read_gamma());
+  l.branch_port.resize(nfields);
+  for (auto& x : l.branch_port) x = static_cast<PortNumber>(r.read_gamma());
+  MSTV_EXPECTS_MSG(r.exhausted(), "corrupt label: trailing bits");
+  return l;
+}
+
+}  // namespace mstv

@@ -1,0 +1,80 @@
+// Further implicit labeling schemes from the same separator machinery.
+//
+// The paper remarks (end of Section 3) that "similar techniques can be
+// used to provide compact proof labeling schemes for various implicit
+// labeling schemes on trees, such as routing, distance etc."  These are
+// the implicit halves of that remark, built on the identical
+// perfect-separator skeleton as gamma_small:
+//
+//   * DistanceLabelingScheme — exact weighted tree distances.  The common
+//     level-i separator x lies ON the tree path between u and v, so
+//     dist(u, v) = dist(u, x) + dist(x, v): store one distance per level,
+//     O(log n log(nW)) bits, O(1)-field decode.
+//
+//   * RoutingLabelingScheme — next-hop routing.  Each vertex stores, per
+//     level, its first-hop port toward that separator, plus the
+//     separator's own port into the vertex's subtree (the classic
+//     "subtree number = port" trick).  Given two labels, the decoder
+//     emits the first port on the path — O(log n log deg) bits.
+#pragma once
+
+#include <vector>
+
+#include "labeling/label.hpp"
+#include "tree/centroid.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+
+struct DistanceLabel {
+  std::vector<std::uint64_t> rho;  // E_sep fields 2..l (telescoping)
+  std::vector<Weight> dist;        // dist(v, v_i), i = 1..l-1 (last is 0)
+
+  friend bool operator==(const DistanceLabel&, const DistanceLabel&) =
+      default;
+};
+
+class DistanceLabelingScheme {
+ public:
+  [[nodiscard]] std::vector<DistanceLabel> encode(
+      const RootedTree& tree, const SeparatorDecomposition& sd) const;
+  [[nodiscard]] std::vector<DistanceLabel> encode(const RootedTree& tree) const;
+
+  /// Exact weighted distance between the two labelled vertices.
+  [[nodiscard]] Weight decode(const DistanceLabel& lu,
+                              const DistanceLabel& lv) const;
+
+  [[nodiscard]] Label to_bits(const DistanceLabel& l) const;
+  [[nodiscard]] DistanceLabel from_bits(const Label& bits) const;
+  [[nodiscard]] std::size_t label_bits(const DistanceLabel& l) const {
+    return to_bits(l).size_bits();
+  }
+};
+
+struct RoutingLabel {
+  std::vector<std::uint64_t> rho;        // E_sep fields 2..l
+  std::vector<PortNumber> toward;        // first hop toward v_i, i=1..l-1
+  std::vector<PortNumber> branch_port;   // v_i's port into v's subtree
+
+  friend bool operator==(const RoutingLabel&, const RoutingLabel&) = default;
+};
+
+class RoutingLabelingScheme {
+ public:
+  [[nodiscard]] std::vector<RoutingLabel> encode(
+      const RootedTree& tree, const SeparatorDecomposition& sd) const;
+  [[nodiscard]] std::vector<RoutingLabel> encode(const RootedTree& tree) const;
+
+  /// The port of u's first hop on the tree path toward v.
+  /// Requires u != v (identical labels are rejected).
+  [[nodiscard]] PortNumber decode_route(const RoutingLabel& lu,
+                                        const RoutingLabel& lv) const;
+
+  [[nodiscard]] Label to_bits(const RoutingLabel& l) const;
+  [[nodiscard]] RoutingLabel from_bits(const Label& bits) const;
+  [[nodiscard]] std::size_t label_bits(const RoutingLabel& l) const {
+    return to_bits(l).size_bits();
+  }
+};
+
+}  // namespace mstv

@@ -1,0 +1,66 @@
+#include "labeling/wire.hpp"
+
+#include <array>
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace mstv {
+namespace {
+
+constexpr std::array<char, 4> kMagic{'M', 'S', 'T', 'V'};
+constexpr std::uint64_t kMaxLabels = 1u << 28;
+constexpr std::uint64_t kMaxLabelBits = 1u << 30;
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  std::array<char, 8> buf;
+  for (int i = 0; i < 8; ++i) buf[static_cast<std::size_t>(i)] =
+      static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(buf.data(), 8);
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  std::array<char, 8> buf;
+  is.read(buf.data(), 8);
+  MSTV_EXPECTS_MSG(static_cast<bool>(is), "truncated label file");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<std::uint8_t>(buf[static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_labels(std::ostream& os, const std::vector<Label>& labels) {
+  os.write(kMagic.data(), kMagic.size());
+  put_u64(os, labels.size());
+  for (const Label& l : labels) {
+    put_u64(os, l.size_bits());
+    for (const std::uint64_t w : l.words()) put_u64(os, w);
+  }
+}
+
+std::vector<Label> read_labels(std::istream& is) {
+  std::array<char, 4> magic;
+  is.read(magic.data(), magic.size());
+  MSTV_EXPECTS_MSG(static_cast<bool>(is) && magic == kMagic,
+                   "not a label file (bad magic)");
+  const std::uint64_t count = get_u64(is);
+  MSTV_EXPECTS_MSG(count <= kMaxLabels, "absurd label count");
+  std::vector<Label> labels;
+  labels.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t nbits = get_u64(is);
+    MSTV_EXPECTS_MSG(nbits <= kMaxLabelBits, "absurd label size");
+    const std::size_t nwords = (nbits + 63) / 64;
+    std::vector<std::uint64_t> words(nwords);
+    for (auto& w : words) w = get_u64(is);
+    labels.emplace_back(std::move(words), nbits);
+  }
+  return labels;
+}
+
+}  // namespace mstv

@@ -1,0 +1,26 @@
+// Wire/disk format for label sets.
+//
+// The model's lifecycle is "mark once (centralized), verify forever
+// (local)": an operator computes labels after (re)building the MST and
+// ships one label to each node.  This module fixes a portable format so
+// labels can be stored and shipped:
+//
+//   magic "MSTV"  u64 count  { u64 nbits  nbits bits (LSB-first words) }*
+//
+// Sizes remain bit-exact; the loader validates framing and rejects
+// truncated or oversized input.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "labeling/label.hpp"
+
+namespace mstv {
+
+void write_labels(std::ostream& os, const std::vector<Label>& labels);
+
+/// Throws PreconditionError on malformed input.
+std::vector<Label> read_labels(std::istream& is);
+
+}  // namespace mstv

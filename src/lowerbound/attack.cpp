@@ -1,0 +1,177 @@
+#include "lowerbound/attack.hpp"
+
+#include <map>
+
+#include "mst/predicates.hpp"
+#include "plscheme/runner.hpp"
+#include "plscheme/spanning_tree_scheme.hpp"
+#include "tree/centroid.hpp"
+#include "tree/path_queries.hpp"
+
+namespace mstv {
+namespace {
+
+/// Quantized weight code: bit_width(w), so 0 -> 0 and w -> floor(log2 w)+1.
+/// The decoded approximation 2^(code-1) never exceeds w.
+std::uint64_t quantize(Weight w) {
+  return static_cast<std::uint64_t>(bit_width_u64(w));
+}
+
+Weight dequantize(std::uint64_t code) {
+  return code == 0 ? 0 : (Weight{1} << (code - 1));
+}
+
+const ExtremaLabelingScheme& quantized_codec() {
+  static const ExtremaLabelingScheme codec(ExtremaKind::Max,
+                                           SepCoding::Telescoping);
+  return codec;
+}
+
+}  // namespace
+
+std::vector<Label> QuantizedMstScheme::mark(const ConfigGraph& cfg) const {
+  const Graph& g = cfg.graph();
+  const auto tree_edges = cfg.induced_subgraph();
+  MSTV_EXPECTS_MSG(is_spanning_tree(g, tree_edges) && is_mst(g, tree_edges),
+                   "marker precondition: states must induce an MST");
+  const auto st = make_spanning_tree_sublabels(cfg);
+
+  VertexId root = kInvalidVertex;
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    if (!cfg.state(v).parent_port) root = v;
+  }
+  const RootedTree tree(g, tree_edges, root);
+  auto imps = quantized_codec().encode(tree);
+  for (auto& l : imps) {
+    for (auto& x : l.extrema) x = quantize(x);  // the lossy "compression"
+  }
+
+  std::vector<Label> labels;
+  labels.reserve(cfg.size());
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    BitWriter w;
+    write_spanning_tree_sublabel(w, st[v]);
+    quantized_codec().write_to(w, imps[v]);
+    labels.emplace_back(w);
+  }
+  return labels;
+}
+
+bool QuantizedMstScheme::verify(const LocalView& view) const {
+  BitReader own_r = view.label->reader();
+  const SpanningTreeSublabel own_st = read_spanning_tree_sublabel(own_r);
+  const ExtremaLabel own_imp = quantized_codec().read_from(own_r);
+  if (!own_r.exhausted()) return false;
+
+  std::vector<SpanningTreeSublabel> st_nbs;
+  std::vector<ExtremaLabel> imp_nbs;
+  for (const NeighborView& nb : view.neighbors) {
+    BitReader r = nb.label->reader();
+    st_nbs.push_back(read_spanning_tree_sublabel(r));
+    imp_nbs.push_back(quantized_codec().read_from(r));
+    if (!r.exhausted()) return false;
+  }
+  if (!check_spanning_tree_sublabel(*view.state, own_st, st_nbs)) {
+    return false;
+  }
+  // Approximate cycle rule only: the decoded code is the max exponent, so
+  // the reconstructed bound under-estimates the true MAX — completeness
+  // survives, soundness does not (that is the point of this scheme).
+  for (std::size_t i = 0; i < imp_nbs.size(); ++i) {
+    const Weight approx =
+        dequantize(quantized_codec().decode(own_imp, imp_nbs[i]));
+    if (view.neighbors[i].weight < approx) return false;
+  }
+  return true;
+}
+
+AttackReport cut_and_paste_attack(const ProofLabelingScheme& scheme,
+                                  std::uint32_t h, std::uint64_t mu) {
+  AttackReport report;
+
+  // Label every weight class C(h, mu, x); identical unweighted structure
+  // means identical state vectors, so a collision of the *label* vectors
+  // is exactly the hypothesis of the splice.
+  std::map<std::vector<Label>, Weight> seen;
+  std::map<Weight, std::vector<Label>> labels_of;
+  for (Weight x = q_range_lo(h - 1, mu); x <= q_range_hi(h - 1, mu); ++x) {
+    std::vector<Weight> level_x(h + 1, 0);
+    for (std::uint32_t k = 2; k < h; ++k) level_x[k] = q_range_lo(k - 1, mu);
+    level_x[h] = x;
+    const Hypertree ht = build_hypertree(h, mu, level_x);
+    std::vector<Label> labels = scheme.mark(ht.config());
+    for (const Label& l : labels) {
+      report.label_bits = std::max(report.label_bits, l.size_bits());
+    }
+    const auto [it, fresh] = seen.emplace(labels, x);
+    if (!fresh) {
+      report.collision_found = true;
+      report.x_light = std::min(it->second, x);
+      report.x_heavy = std::max(it->second, x);
+      labels_of.emplace(report.x_heavy, std::move(labels));
+      break;
+    }
+    labels_of.emplace(x, std::move(labels));
+  }
+  if (!report.collision_found) return report;
+
+  // The splice: take the heavy hypertree, lighten one top-level path to
+  // x_light.  Claim 4.1 says the induced tree is no longer an MST.
+  std::vector<Weight> level_x(h + 1, 0);
+  for (std::uint32_t k = 2; k < h; ++k) level_x[k] = q_range_lo(k - 1, mu);
+  level_x[h] = report.x_heavy;
+  const Hypertree heavy = build_hypertree(h, mu, level_x);
+  std::size_t path_idx = heavy.paths.size();
+  for (std::size_t i = 0; i < heavy.paths.size(); ++i) {
+    if (heavy.paths[i].level == h) {
+      path_idx = i;
+      break;
+    }
+  }
+  MSTV_ASSERT(path_idx < heavy.paths.size());
+  const Hypertree forged =
+      with_path_weight(heavy, path_idx, report.x_light);
+  MSTV_ASSERT_MSG(
+      !is_mst(forged.graph, forged.spanning_tree_edges()),
+      "the lightened hypertree should no longer be an MST (Claim 4.1)");
+
+  const auto result = run_verifier(scheme, forged.config(),
+                                   labels_of.at(report.x_heavy));
+  report.forgery_accepted = result.accepted;
+  return report;
+}
+
+QuantizationAttackReport quantization_attack() {
+  // Path 0-1-2 with weights 5 and 9; chord (0,2) of weight 9.
+  // True MAX(0,2) = 9; quantized bound 2^3 = 8.  Lower the chord to 8:
+  // the path tree is no longer minimum (Kruskal would take the chord),
+  // but 8 >= 8 passes the approximate cycle rule at both endpoints.
+  QuantizationAttackReport rep;
+  rep.original_weight = 9;
+  rep.true_max = 9;
+  rep.lowered_weight = 8;
+
+  Graph::Builder b(3);
+  const EdgeId e01 = b.add_edge(0, 1, 5);
+  const EdgeId e12 = b.add_edge(1, 2, 9);
+  b.add_edge(0, 2, rep.original_weight);
+  const Graph g = b.build();
+
+  const QuantizedMstScheme scheme;
+  ConfigGraph cfg = make_tree_config(g, {e01, e12}, 0);
+  const auto labels = scheme.mark(cfg);
+
+  // Lower the chord.
+  Graph::Builder b2(3);
+  b2.add_edge(0, 1, 5);
+  b2.add_edge(1, 2, 9);
+  b2.add_edge(0, 2, rep.lowered_weight);
+  const Graph g2 = b2.build();
+  ConfigGraph cfg2(g2, {cfg.state(0), cfg.state(1), cfg.state(2)});
+  MSTV_ASSERT(!is_mst(g2, cfg2.induced_subgraph()));
+
+  rep.forgery_accepted = run_verifier(scheme, cfg2, labels).accepted;
+  return rep;
+}
+
+}  // namespace mstv

@@ -1,0 +1,68 @@
+// Executable form of the lower-bound adversary (Lemma 4.3's splice).
+//
+// The proof works by cut-and-paste: if two legal hypertrees
+// H = (H0, H1, x) and H' = (H0', H1', x'), x' < x, ever receive colliding
+// labels, the adversary rebuilds H with one path lightened to x' — which
+// destroys minimality (Claim 4.1) — and presents the colliding labels.
+// Every node's local view is indistinguishable from a view it accepted in
+// H or H', so the forged non-MST is accepted: contradiction.  Hence the
+// label sets X(x) must be pairwise disjoint, which is where the mu factor
+// of the counting bound comes from.
+//
+// cut_and_paste_attack() runs that script against any scheme: it labels
+// the legal hypertrees of every weight class C(h, mu, x), searches for a
+// collision of the full label vector between two classes, and on success
+// forges the lightened hypertree and runs the real verifier on it.
+//
+//   * Against pi_mst the search must come up empty (the disjointness of
+//     Lemma 4.3, verified empirically by tests).
+//   * Against QuantizedMstScheme — a tempting "compression" that stores
+//     each E_omega field as its floor-power-of-two exponent (O(log log W)
+//     bits instead of O(log W)) — classes collide and the splice is
+//     accepted: a concrete demonstration that the log W factor in the
+//     label size cannot be rounded away, the executable content of the
+//     W > (log n)^{1+eps} lower bound.
+#pragma once
+
+#include <cstdint>
+
+#include "lowerbound/hypertree.hpp"
+#include "plscheme/mst_scheme.hpp"
+
+namespace mstv {
+
+struct AttackReport {
+  bool collision_found = false;   // two weight classes got identical labels
+  bool forgery_accepted = false;  // the verifier accepted a non-MST
+  Weight x_heavy = 0;             // colliding top weights (if found)
+  Weight x_light = 0;
+  std::size_t label_bits = 0;     // max label bits the scheme used
+};
+
+AttackReport cut_and_paste_attack(const ProofLabelingScheme& scheme,
+                                  std::uint32_t h, std::uint64_t mu);
+
+/// pi_mst with E_omega fields quantized down to powers of two: labels
+/// shrink to O(log n log log W) bits, completeness survives (the decoded
+/// MAX only ever under-estimates), but soundness is forfeited — the
+/// adversaries above break it.  Exists purely as the attack target and
+/// ablation baseline; never use for real verification.
+class QuantizedMstScheme final : public ProofLabelingScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "pi-mst-quantized"; }
+  [[nodiscard]] std::vector<Label> mark(const ConfigGraph& cfg) const override;
+  [[nodiscard]] bool verify(const LocalView& view) const override;
+};
+
+struct QuantizationAttackReport {
+  bool forgery_accepted = false;
+  Weight original_weight = 0;  // non-tree edge weight before lowering
+  Weight lowered_weight = 0;   // accepted although below the true MAX
+  Weight true_max = 0;
+};
+
+/// Direct soundness break on a small fixed graph: lowers a non-tree edge
+/// into the quantization gap and shows every node still accepts.
+QuantizationAttackReport quantization_attack();
+
+}  // namespace mstv

@@ -1,0 +1,35 @@
+#include "lowerbound/counting.hpp"
+
+#include <cmath>
+
+#include "lowerbound/hypertree.hpp"
+
+namespace mstv {
+
+LowerBoundRow lower_bound_row(std::uint32_t h, std::uint64_t mu) {
+  LowerBoundRow row;
+  row.h = h;
+  row.mu = mu;
+  row.n = hypertree_num_vertices(h);
+  row.log2_w = std::log2(static_cast<double>(h) * static_cast<double>(mu));
+
+  // log2 g(h, mu) >= 1/2 * (log2 mu + log2 g(h-1, mu^2))
+  //               = sum_{i=1}^{h-1} (1/2)^i * log2(mu^(2^{i-1}))
+  //               = (h-1)/2 * log2 mu.
+  // Evaluate by the recurrence rather than the closed form so the code
+  // matches the derivation step by step.
+  double log2_g = 0.0;          // g(1, .) = 1
+  double log2_mu_level = std::log2(static_cast<double>(mu));
+  // Unroll top-down: accumulate contributions with halving weights.
+  double weight = 0.5;
+  for (std::uint32_t level = h; level >= 2; --level) {
+    log2_g += weight * log2_mu_level;
+    weight *= 0.5;
+    log2_mu_level *= 2.0;  // mu squares at each descent
+  }
+  row.log2_g = log2_g;
+  row.min_label_bits = log2_g;  // a set of size g needs log2 g bits per label
+  return row;
+}
+
+}  // namespace mstv

@@ -1,0 +1,45 @@
+// The counting side of the Section-4 lower bound, evaluated numerically.
+//
+// Definitions from the paper: for a proof labeling scheme pi (with the
+// identity property) over the family C(h, mu) of (h, mu)-hypertrees,
+// X(pi, h, mu) is the set of labels it ever assigns and g(h, mu) the
+// minimum |X| over all correct schemes.  X(x) collects the pairs of labels
+// assigned to vertices on opposite sides of legal hypertrees whose top
+// weight is x.  The paper shows:
+//
+//   * X(x) and X(x') are disjoint for x != x'  (Lemma 4.3 — a collision
+//     would let the lighter weight be spliced into the heavier hypertree,
+//     producing an accepted non-MST, contradiction),
+//   * |X(x)| is at least the label count needed one level down with a
+//     squared weight range, yielding the recurrence
+//         g(h, mu)^2  >=  sum_x |X(x)|  >=  mu * g(h-1, mu^2)
+//     (the published text of the recursion step is truncated in our
+//     source; the recurrence restated here follows the [KKKP04]-style
+//     argument the paper says it modifies and reproduces the stated
+//     Omega(log n log W) bound — see EXPERIMENTS.md for the caveat).
+//
+// Unrolling in log-space: log2 g(h, mu) >= (h-1)/2 * log2(mu), and with
+// n = (4^h - 1)/3 vertices and W ~ h*mu this is Omega(log n log W) bits
+// per label as long as W > (log n)^{1+eps}.  lower_bound_bits() evaluates
+// the recurrence exactly so benches can print "information-theoretic
+// floor" rows next to measured pi_mst label sizes.
+#pragma once
+
+#include <cstdint>
+
+namespace mstv {
+
+struct LowerBoundRow {
+  std::uint32_t h = 0;
+  std::uint64_t mu = 0;
+  std::uint64_t n = 0;          // vertices of the (h, mu)-hypertree
+  double log2_w = 0.0;          // log2 of the max weight h*mu - 1
+  double log2_g = 0.0;          // implied log2 of the label-set size
+  double min_label_bits = 0.0;  // a label must carry >= log2_g bits
+};
+
+/// Evaluates the recurrence log2 g(h, mu) = sum over the unrolling of
+/// (1/2) log2(mu^(2^i)) truncated at the base case g(1, .) = 1.
+LowerBoundRow lower_bound_row(std::uint32_t h, std::uint64_t mu);
+
+}  // namespace mstv

@@ -1,0 +1,195 @@
+#include "lowerbound/hypertree.hpp"
+
+#include "mst/predicates.hpp"
+#include "tree/path_queries.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+namespace {
+
+/// Mutable build state: vertices are indices into parent/weight arrays;
+/// the Graph is assembled at the end.
+struct BuildState {
+  std::uint64_t mu;
+  std::vector<Weight> level_x;  // indexed by level, [2..h]
+  std::vector<VertexId> parent;       // kInvalidVertex at the top root
+  std::vector<Weight> parent_weight;  // tree edge weights
+  struct MidEdge {
+    VertexId hat0, hat1;
+    Weight w;
+  };
+  std::vector<MidEdge> mid_edges;  // non-tree edges (hat0, hat1)
+  std::vector<HypertreePath> paths;
+
+  VertexId new_vertex() {
+    parent.push_back(kInvalidVertex);
+    parent_weight.push_back(0);
+    return static_cast<VertexId>(parent.size() - 1);
+  }
+
+  struct Sub {
+    VertexId root;
+    std::vector<VertexId> verts;  // homologous creation order
+  };
+
+  Sub rec(std::uint32_t h) {
+    if (h == 1) {
+      const VertexId v = new_vertex();
+      return Sub{v, {v}};
+    }
+    // Two recursively built copies; their `verts` lists are homologous
+    // because the recursion is deterministic in structure.
+    Sub a = rec(h - 1);
+    Sub b = rec(h - 1);
+    const VertexId r = new_vertex();
+    const Weight x = level_x[h];
+
+    parent[a.root] = r;
+    parent_weight[a.root] = x;
+    parent[b.root] = r;
+    parent_weight[b.root] = x;
+
+    Sub out;
+    out.root = r;
+    out.verts.reserve(4 * a.verts.size() + 1);
+    out.verts.push_back(r);
+    out.verts.insert(out.verts.end(), a.verts.begin(), a.verts.end());
+    out.verts.insert(out.verts.end(), b.verts.begin(), b.verts.end());
+
+    // Step 2: Path(a0, a1) for every homologous pair, including vertices
+    // created for earlier paths.
+    for (std::size_t i = 0; i < a.verts.size(); ++i) {
+      const VertexId a0 = a.verts[i];
+      const VertexId a1 = b.verts[i];
+      const VertexId h0 = new_vertex();
+      const VertexId h1 = new_vertex();
+      parent[h0] = a0;
+      parent_weight[h0] = 1;
+      parent[h1] = a1;
+      parent_weight[h1] = 1;
+      mid_edges.push_back({h0, h1, x});  // legal: weight == x
+      paths.push_back(HypertreePath{a0, h0, h1, a1, kInvalidEdge, h});
+      out.verts.push_back(h0);
+      out.verts.push_back(h1);
+    }
+    return out;
+  }
+};
+
+Hypertree assemble(std::uint32_t h, std::uint64_t mu, BuildState&& bs,
+                   VertexId root) {
+  const std::size_t n = bs.parent.size();
+  Graph::Builder builder(n);
+  std::vector<EdgeId> tree_edge_of(n, kInvalidEdge);  // by child vertex
+  for (VertexId v = 0; v < n; ++v) {
+    if (bs.parent[v] != kInvalidVertex) {
+      tree_edge_of[v] = builder.add_edge(v, bs.parent[v], bs.parent_weight[v]);
+    }
+  }
+  for (std::size_t i = 0; i < bs.mid_edges.size(); ++i) {
+    const auto& m = bs.mid_edges[i];
+    bs.paths[i].mid_edge = builder.add_edge(m.hat0, m.hat1, m.w);
+  }
+
+  Hypertree ht;
+  ht.graph = builder.build();
+  ht.root = root;
+  ht.h = h;
+  ht.mu = mu;
+  ht.level_x = std::move(bs.level_x);
+  ht.paths = std::move(bs.paths);
+
+  // States: parent ports, plus preorder identities over the induced tree
+  // (step 4 of the construction; id(root) = 1).
+  std::vector<EdgeId> tree_edges;
+  tree_edges.reserve(n - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    if (tree_edge_of[v] != kInvalidEdge) tree_edges.push_back(tree_edge_of[v]);
+  }
+  const RootedTree tree(ht.graph, tree_edges, root);
+  ht.states.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    ht.states[v].id = tree.preorder_rank(v) + 1;
+    if (!tree.is_root(v)) ht.states[v].parent_port = tree.parent_port(v);
+  }
+  return ht;
+}
+
+}  // namespace
+
+std::uint64_t hypertree_num_vertices(std::uint32_t h) {
+  // (4^h - 1) / 3
+  return ((std::uint64_t{1} << (2 * h)) - 1) / 3;
+}
+
+Hypertree build_hypertree(std::uint32_t h, std::uint64_t mu,
+                          std::vector<Weight> level_x, Rng* rng) {
+  MSTV_EXPECTS(h >= 1 && h <= 15);
+  MSTV_EXPECTS(mu >= 1);
+  if (level_x.empty()) {
+    level_x.assign(h + 1, 0);
+    for (std::uint32_t k = 2; k <= h; ++k) {
+      level_x[k] = rng ? rng->uniform(q_range_lo(k - 1, mu),
+                                      q_range_hi(k - 1, mu))
+                       : q_range_lo(k - 1, mu);
+    }
+  }
+  MSTV_EXPECTS_MSG(level_x.size() == static_cast<std::size_t>(h) + 1,
+                   "level_x must have h+1 entries (index = level)");
+  for (std::uint32_t k = 2; k <= h; ++k) {
+    MSTV_EXPECTS_MSG(level_x[k] >= q_range_lo(k - 1, mu) &&
+                         level_x[k] <= q_range_hi(k - 1, mu),
+                     "level weight outside Q_{k-1}(mu)");
+  }
+
+  BuildState bs;
+  bs.mu = mu;
+  bs.level_x = std::move(level_x);
+  const auto sub = bs.rec(h);
+  MSTV_ASSERT(bs.parent.size() == hypertree_num_vertices(h));
+  return assemble(h, mu, std::move(bs), sub.root);
+}
+
+Hypertree with_path_weight(const Hypertree& ht, std::size_t path_idx,
+                           Weight w) {
+  MSTV_EXPECTS(path_idx < ht.paths.size());
+  const EdgeId target = ht.paths[path_idx].mid_edge;
+  Graph::Builder b(ht.graph.num_vertices());
+  for (EdgeId e = 0; e < ht.graph.num_edges(); ++e) {
+    const Edge& ed = ht.graph.edge(e);
+    b.add_edge(ed.u, ed.v, e == target ? w : ed.w);
+  }
+  Hypertree out = ht;
+  out.graph = b.build();
+  // Ports were created in identical order, so the states still apply.
+  return out;
+}
+
+std::vector<EdgeId> Hypertree::spanning_tree_edges() const {
+  return config().induced_subgraph();
+}
+
+bool check_claim_4_1(const Hypertree& ht) {
+  const auto tree_edges = ht.spanning_tree_edges();
+  if (!is_spanning_tree(ht.graph, tree_edges)) return false;
+  const RootedTree tree(ht.graph, tree_edges, ht.root);
+  const TreePathQueries paths(tree);
+
+  // Part 1: the weight of every *legal* path equals MAX of its endpoints
+  // on the induced spanning tree.
+  bool all_legal = true;
+  for (const auto& p : ht.paths) {
+    const Weight w = ht.graph.edge(p.mid_edge).w;
+    if (w == ht.level_x[p.level]) {
+      if (w != paths.path_max(p.a0, p.a1)) return false;
+    } else {
+      all_legal = false;
+    }
+  }
+
+  // Part 2: a fully legal hypertree's induced tree is an MST.
+  if (all_legal && !is_mst(ht.graph, tree_edges)) return false;
+  return true;
+}
+
+}  // namespace mstv

@@ -1,0 +1,90 @@
+// (h, mu)-hypertrees — the combinatorial structure behind the paper's
+// Omega(log n log W) lower bound (Section 4, Figure 1).
+//
+// Construction (inductive on h):
+//   * a (1, mu)-hypertree is a single vertex with an empty state;
+//   * an (h, mu)-hypertree H is built from two (h-1, mu)-hypertrees H0, H1:
+//       1. a new root r, edges (root(H0), r) and (root(H1), r) of weight
+//          x in Q_{h-1}(mu) = { mu(h-1)+j : 0 <= j <= mu-1 }; both child
+//          roots' states point at r;
+//       2. for every vertex a0 of H0 with homologue a1 of H1, a path
+//          Path(a0, a1) = (a0, hat0, hat1, a1) with omega(a0,hat0) =
+//          omega(hat1,a1) = 1, the hats' states pointing outward at
+//          a0 / a1, and omega(hat0,hat1) drawn from Q_{h-1}(mu);
+//       3. Path(a0,a1) is *legal* iff omega(hat0,hat1) = x;
+//       4. identities are assigned by preorder of the induced spanning
+//          tree, id(root) = 1.
+//
+// Claim 4.1: in a legal hypertree the weight of every legal path equals
+// MAX(endpoints) on the induced spanning tree, and that tree is an MST.
+// Making any path *lighter* than its construction level's x therefore
+// destroys minimality — every correct scheme must reject — while making
+// it heavier preserves it.  |V(h)| = (4^h - 1)/3; weights <= h*mu - 1.
+#pragma once
+
+#include <vector>
+
+#include "plscheme/config_graph.hpp"
+#include "util/rng.hpp"
+
+namespace mstv {
+
+/// One Path(a0, a1) record.
+struct HypertreePath {
+  VertexId a0 = kInvalidVertex;
+  VertexId hat0 = kInvalidVertex;
+  VertexId hat1 = kInvalidVertex;
+  VertexId a1 = kInvalidVertex;
+  EdgeId mid_edge = kInvalidEdge;   // (hat0, hat1)
+  std::uint32_t level = 0;          // the h of the construction step
+};
+
+struct Hypertree {
+  Graph graph;
+  std::vector<State> states;  // parent ports + preorder identities
+  VertexId root = kInvalidVertex;
+  std::uint32_t h = 0;
+  std::uint64_t mu = 0;
+  /// x chosen at each construction level; level_x[k] is defined for
+  /// 2 <= k <= h (level 1 has no edges).
+  std::vector<Weight> level_x;
+  std::vector<HypertreePath> paths;
+
+  [[nodiscard]] ConfigGraph config() const {
+    return ConfigGraph(graph, states);
+  }
+
+  /// The induced spanning tree's edges (all parent-port edges).
+  [[nodiscard]] std::vector<EdgeId> spanning_tree_edges() const;
+};
+
+/// Number of vertices of an (h, mu)-hypertree: (4^h - 1) / 3.
+std::uint64_t hypertree_num_vertices(std::uint32_t h);
+
+/// Q_i(mu) bounds.
+inline Weight q_range_lo(std::uint32_t i, std::uint64_t mu) {
+  return static_cast<Weight>(mu) * i;
+}
+inline Weight q_range_hi(std::uint32_t i, std::uint64_t mu) {
+  return static_cast<Weight>(mu) * i + mu - 1;
+}
+
+/// Builds a *legal* (h, mu)-hypertree.  `level_x[k]` (for k in [2, h])
+/// picks x at each level; entries outside Q_{k-1}(mu) are rejected.  If
+/// `level_x` is empty, each level's x is mu(k-1) (the minimum of its
+/// range) unless `rng` is given, in which case it is drawn uniformly.
+Hypertree build_hypertree(std::uint32_t h, std::uint64_t mu,
+                          std::vector<Weight> level_x = {},
+                          Rng* rng = nullptr);
+
+/// Rebuilds `ht` with the middle edge of paths[path_idx] reweighted to
+/// `w` — the mutation at the heart of the lower bound: w < x makes the
+/// induced tree non-minimum (must be rejected); w > x (within Q) keeps it
+/// an MST but the hypertree is no longer "legal".
+Hypertree with_path_weight(const Hypertree& ht, std::size_t path_idx,
+                           Weight w);
+
+/// Checks both parts of Claim 4.1 by direct computation.
+bool check_claim_4_1(const Hypertree& ht);
+
+}  // namespace mstv

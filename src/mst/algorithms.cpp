@@ -1,0 +1,106 @@
+#include "mst/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "mst/union_find.hpp"
+
+namespace mstv {
+
+std::vector<EdgeId> kruskal_mst(const Graph& g) {
+  MSTV_EXPECTS_MSG(g.is_connected(), "MST requires a connected graph");
+  std::vector<EdgeId> order(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    const Weight wa = g.edge(a).w, wb = g.edge(b).w;
+    return wa != wb ? wa < wb : a < b;
+  });
+  UnionFind uf(g.num_vertices());
+  std::vector<EdgeId> tree;
+  tree.reserve(g.num_vertices() - 1);
+  for (const EdgeId e : order) {
+    if (uf.unite(g.edge(e).u, g.edge(e).v)) tree.push_back(e);
+    if (tree.size() + 1 == g.num_vertices()) break;
+  }
+  MSTV_ASSERT(tree.size() + 1 == g.num_vertices());
+  return tree;
+}
+
+std::vector<EdgeId> prim_mst(const Graph& g) {
+  MSTV_EXPECTS_MSG(g.is_connected(), "MST requires a connected graph");
+  const std::size_t n = g.num_vertices();
+  std::vector<bool> in_tree(n, false);
+  std::vector<EdgeId> tree;
+  tree.reserve(n - 1);
+
+  // (weight, edge id, vertex reached) min-heap; edge id as tie-breaker.
+  using Item = std::tuple<Weight, EdgeId, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+
+  auto relax = [&](VertexId v) {
+    in_tree[v] = true;
+    for (const PortInfo& p : g.ports(v)) {
+      if (!in_tree[p.neighbor]) heap.emplace(p.weight, p.edge, p.neighbor);
+    }
+  };
+  relax(0);
+  while (tree.size() + 1 < n) {
+    MSTV_ASSERT(!heap.empty());
+    const auto [w, e, v] = heap.top();
+    heap.pop();
+    (void)w;
+    if (in_tree[v]) continue;
+    tree.push_back(e);
+    relax(v);
+  }
+  return tree;
+}
+
+std::vector<EdgeId> boruvka_mst(const Graph& g) {
+  MSTV_EXPECTS_MSG(g.is_connected(), "MST requires a connected graph");
+  const std::size_t n = g.num_vertices();
+  UnionFind uf(n);
+  std::vector<EdgeId> tree;
+  tree.reserve(n - 1);
+
+  while (uf.num_sets() > 1) {
+    // Minimum outgoing edge per fragment; ties broken by edge id, which
+    // makes the chosen set consistent even with equal weights (the same
+    // rule a distributed GHS run would use on (weight, id) pairs).
+    std::vector<EdgeId> best(n, kInvalidEdge);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& ed = g.edge(e);
+      const std::size_t fu = uf.find(ed.u), fv = uf.find(ed.v);
+      if (fu == fv) continue;
+      for (const std::size_t f : {fu, fv}) {
+        if (best[f] == kInvalidEdge) {
+          best[f] = e;
+        } else {
+          const Edge& be = g.edge(best[f]);
+          if (ed.w < be.w || (ed.w == be.w && e < best[f])) best[f] = e;
+        }
+      }
+    }
+    bool progressed = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      const EdgeId e = best[f];
+      if (e == kInvalidEdge || uf.find(f) != f) continue;
+      if (uf.unite(g.edge(e).u, g.edge(e).v)) {
+        tree.push_back(e);
+        progressed = true;
+      }
+    }
+    MSTV_ASSERT_MSG(progressed, "Borůvka phase made no progress");
+  }
+  MSTV_ASSERT(tree.size() + 1 == n);
+  return tree;
+}
+
+Weight total_weight(const Graph& g, const std::vector<EdgeId>& edges) {
+  Weight sum = 0;
+  for (const EdgeId e : edges) sum += g.edge(e).w;
+  return sum;
+}
+
+}  // namespace mstv

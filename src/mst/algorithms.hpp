@@ -1,0 +1,32 @@
+// Sequential MST computation.
+//
+// These are both substrates (the marker of pi_mst needs an MST to label,
+// the self-stabilizing runtime recomputes one after detecting a fault) and
+// the baselines for experiment E6: the paper's motivation is that local
+// verification is far cheaper than (re)computation, and the bench compares
+// the two directly.
+//
+// All three classics are provided so tests can cross-check them against
+// each other on graphs with non-unique MSTs (equal total weight).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mstv {
+
+/// Kruskal: sort edges, union-find.  O(m log m).
+std::vector<EdgeId> kruskal_mst(const Graph& g);
+
+/// Prim with a binary heap from vertex 0.  O(m log n).
+std::vector<EdgeId> prim_mst(const Graph& g);
+
+/// Borůvka phases; ties between equal-weight edges broken by edge id so the
+/// result is well defined on non-distinct weights.  O(m log n).
+std::vector<EdgeId> boruvka_mst(const Graph& g);
+
+/// Sum of weights over a set of edges.
+Weight total_weight(const Graph& g, const std::vector<EdgeId>& edges);
+
+}  // namespace mstv

@@ -1,0 +1,69 @@
+#include "mst/offline_verify.hpp"
+
+#include <algorithm>
+
+#include "mst/predicates.hpp"
+#include "tree/path_queries.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+
+OfflineVerifyResult verify_mst_offline(const Graph& g,
+                                       const std::vector<EdgeId>& tree_edges) {
+  MSTV_EXPECTS_MSG(is_spanning_tree(g, tree_edges),
+                   "offline verification needs a spanning tree");
+  const std::size_t n = g.num_vertices();
+  const RootedTree tree(g, tree_edges, 0);
+  // LCA via binary lifting; a Gabow-Tarjan offline LCA would shave the
+  // log factor, but the climb itself is the alpha(m, n) part that
+  // matters and is implemented exactly.
+  const TreePathQueries paths(tree);
+
+  std::vector<EdgeId> chords;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!tree.contains_edge(e)) chords.push_back(e);
+  }
+  std::sort(chords.begin(), chords.end(), [&](EdgeId a, EdgeId b) {
+    return g.edge(a).w != g.edge(b).w ? g.edge(a).w < g.edge(b).w : a < b;
+  });
+
+  // jump[v]: deepest vertex at-or-above v whose parent edge has not yet
+  // been covered by any (lighter) chord.
+  std::vector<VertexId> jump(n);
+  for (VertexId v = 0; v < n; ++v) jump[v] = v;
+  auto find = [&](VertexId v) {
+    VertexId root = v;
+    while (jump[root] != root) root = jump[root];
+    while (jump[v] != root) {
+      const VertexId next = jump[v];
+      jump[v] = root;
+      v = next;
+    }
+    return root;
+  };
+
+  OfflineVerifyResult res;
+  for (const EdgeId f : chords) {
+    const Edge& fe = g.edge(f);
+    const VertexId a = paths.lca(fe.u, fe.v);
+    for (const VertexId side : {fe.u, fe.v}) {
+      VertexId v = find(side);
+      while (tree.depth(v) > tree.depth(a)) {
+        // First (lightest) chord to cover the tree edge (v, parent(v)):
+        // the cycle rule demands w(chord) >= w(tree edge).
+        if (fe.w < tree.parent_weight(v)) {
+          res.is_mst = false;
+          res.violating_chord = f;
+          res.heavier_tree_edge = tree.parent_edge(v);
+          return res;
+        }
+        jump[v] = tree.parent(v);
+        v = find(v);
+      }
+    }
+  }
+  res.is_mst = true;
+  return res;
+}
+
+}  // namespace mstv

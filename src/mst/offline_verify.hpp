@@ -1,0 +1,35 @@
+// Sequential MST verification — the lineage the paper starts from
+// (Tarjan [34, 29]; Komlós; Dixon–Rauch–Tarjan; King).
+//
+// verify_mst_offline answers "is T an MST of G?" in O(m alpha(m, n))
+// after sorting: process non-tree edges by increasing weight and cover
+// the tree paths they close with a path-compressed jump structure.  A
+// tree edge covered for the first time by a *lighter* non-tree edge
+// witnesses a cycle-rule violation.
+//
+// This is the sequential-world counterpart of pi_mst: same cycle rule,
+// evaluated centrally in near-linear time instead of locally from labels.
+// Bench E6 reports it next to the distributed numbers; tests cross-check
+// it against the LCA-based is_mst.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mstv {
+
+struct OfflineVerifyResult {
+  bool is_mst = false;
+  /// A witness when not minimum: a non-tree edge lighter than some tree
+  /// edge on its cycle, and that heavier tree edge.
+  std::optional<EdgeId> violating_chord;
+  std::optional<EdgeId> heavier_tree_edge;
+};
+
+/// Requires: `tree_edges` is a spanning tree of g (throws otherwise).
+OfflineVerifyResult verify_mst_offline(const Graph& g,
+                                       const std::vector<EdgeId>& tree_edges);
+
+}  // namespace mstv

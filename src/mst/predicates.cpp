@@ -1,0 +1,43 @@
+#include "mst/predicates.hpp"
+
+#include "mst/union_find.hpp"
+#include "tree/path_queries.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+
+bool is_spanning_tree(const Graph& g, const std::vector<EdgeId>& edges) {
+  if (edges.size() + 1 != g.num_vertices()) return false;
+  UnionFind uf(g.num_vertices());
+  for (const EdgeId e : edges) {
+    if (e >= g.num_edges()) return false;
+    if (!uf.unite(g.edge(e).u, g.edge(e).v)) return false;  // cycle or dup
+  }
+  return uf.num_sets() == 1;
+}
+
+bool is_mst(const Graph& g, const std::vector<EdgeId>& edges) {
+  MSTV_EXPECTS_MSG(is_spanning_tree(g, edges), "input is not a spanning tree");
+  const RootedTree tree(g, edges, 0);
+  const TreePathQueries paths(tree);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (tree.contains_edge(e)) continue;
+    const Edge& ed = g.edge(e);
+    if (ed.w < paths.path_max(ed.u, ed.v)) return false;
+  }
+  return true;
+}
+
+std::vector<EdgeId> non_tree_edges(const Graph& g,
+                                   const std::vector<EdgeId>& tree) {
+  std::vector<bool> in_tree(g.num_edges(), false);
+  for (const EdgeId e : tree) in_tree.at(e) = true;
+  std::vector<EdgeId> rest;
+  rest.reserve(g.num_edges() - tree.size());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!in_tree[e]) rest.push_back(e);
+  }
+  return rest;
+}
+
+}  // namespace mstv

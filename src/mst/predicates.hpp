@@ -1,0 +1,27 @@
+// Centralized ground-truth predicates.
+//
+// These define what the distributed verifiers are supposed to decide:
+// is_mst implements the cycle rule the paper builds pi_mst on —
+// "a spanning tree T of G is an MST iff for every edge e = (u,v) of G,
+//  omega(e) >= MAX(u,v) calculated on T" [30].
+// Tests compare every scheme's global accept/reject against these.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mstv {
+
+/// True iff `edges` (n-1 distinct edge ids) form a spanning tree of g.
+bool is_spanning_tree(const Graph& g, const std::vector<EdgeId>& edges);
+
+/// True iff `edges` form a minimum spanning tree of g (cycle rule; handles
+/// non-unique MSTs).  Requires is_spanning_tree(g, edges).
+bool is_mst(const Graph& g, const std::vector<EdgeId>& edges);
+
+/// All edges of g that are *not* in the given tree.
+std::vector<EdgeId> non_tree_edges(const Graph& g,
+                                   const std::vector<EdgeId>& tree);
+
+}  // namespace mstv

@@ -1,0 +1,3 @@
+#include "mst/union_find.hpp"
+
+// Header-only; this TU anchors the module in the library.

@@ -1,0 +1,61 @@
+// Disjoint-set union with union by rank and path compression.
+// Substrate for Kruskal/Borůvka and for the Tarjan-style sensitivity
+// algorithm (which additionally needs the "jump to next unmarked ancestor"
+// pattern implemented in sensitivity/).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mstv {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), rank_(n, 0), count_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  /// Representative of x's set (with path compression).
+  std::size_t find(std::size_t x) {
+    MSTV_EXPECTS(x < parent_.size());
+    std::size_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      const std::size_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Merges the sets of a and b; returns false if already joined.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    --count_;
+    return true;
+  }
+
+  [[nodiscard]] bool same(std::size_t a, std::size_t b) {
+    return find(a) == find(b);
+  }
+
+  /// Number of disjoint sets remaining.
+  [[nodiscard]] std::size_t num_sets() const noexcept { return count_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::size_t count_;
+};
+
+}  // namespace mstv

@@ -1,0 +1,29 @@
+#include "plscheme/agreement_scheme.hpp"
+
+namespace mstv {
+
+std::vector<Label> AgreementScheme::mark(const ConfigGraph& cfg) const {
+  std::vector<Label> labels;
+  labels.reserve(cfg.size());
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    labels.push_back(cfg.state(v).payload);  // M(v) = s_v
+  }
+  return labels;
+}
+
+bool AgreementScheme::verify(const LocalView& view) const {
+  if (*view.label != view.state->payload) return false;  // L(v) = s_v
+  for (const NeighborView& nb : view.neighbors) {
+    if (*nb.label != *view.label) return false;  // L(v) = L(u)
+  }
+  return true;
+}
+
+bool agreement_predicate(const ConfigGraph& cfg) {
+  for (VertexId v = 1; v < cfg.size(); ++v) {
+    if (cfg.state(v).payload != cfg.state(0).payload) return false;
+  }
+  return true;
+}
+
+}  // namespace mstv

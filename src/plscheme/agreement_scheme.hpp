@@ -1,0 +1,27 @@
+// The Agreement scheme of Lemma 2.2 — the paper's worked example.
+//
+// Problem: all nodes must hold identical states (payloads from
+// S = {1..2^m}).  The scheme copies the state into the label; each node
+// verifies its label equals its own payload and every neighbor's label.
+// Proof size Theta(m): the label is exactly the m-bit payload, and the
+// lemma's counting argument shows m/2 bits are necessary — bench E9
+// measures the former, tests exercise both directions.
+#pragma once
+
+#include "plscheme/scheme.hpp"
+
+namespace mstv {
+
+class AgreementScheme final : public ProofLabelingScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "agreement"; }
+
+  [[nodiscard]] std::vector<Label> mark(const ConfigGraph& cfg) const override;
+
+  [[nodiscard]] bool verify(const LocalView& view) const override;
+};
+
+/// f_Agreement: all payloads equal.
+bool agreement_predicate(const ConfigGraph& cfg);
+
+}  // namespace mstv

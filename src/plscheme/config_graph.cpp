@@ -1,0 +1,48 @@
+#include "plscheme/config_graph.hpp"
+
+#include <algorithm>
+
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+
+std::vector<EdgeId> ConfigGraph::induced_subgraph() const {
+  std::vector<bool> present(g_->num_edges(), false);
+  for (VertexId v = 0; v < size(); ++v) {
+    const auto& pp = states_[v].parent_port;
+    if (!pp) continue;
+    if (*pp < 1 || *pp > g_->degree(v)) continue;  // dangling pointer
+    present[g_->port(v, *pp).edge] = true;
+  }
+  std::vector<EdgeId> edges;
+  for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+    if (present[e]) edges.push_back(e);
+  }
+  return edges;
+}
+
+bool ConfigGraph::ids_unique() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(size());
+  for (const State& s : states_) {
+    if (s.id) ids.push_back(*s.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return std::adjacent_find(ids.begin(), ids.end()) == ids.end();
+}
+
+ConfigGraph make_tree_config(const Graph& g,
+                             const std::vector<EdgeId>& tree_edges,
+                             VertexId root,
+                             const std::vector<std::uint64_t>* custom_ids) {
+  const RootedTree tree(g, tree_edges, root);
+  std::vector<State> states(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    states[v].id = custom_ids ? custom_ids->at(v)
+                              : static_cast<std::uint64_t>(v);
+    if (!tree.is_root(v)) states[v].parent_port = tree.parent_port(v);
+  }
+  return ConfigGraph(g, std::move(states));
+}
+
+}  // namespace mstv

@@ -1,0 +1,67 @@
+// Configuration graphs (Section 2 of the paper).
+//
+// A configuration graph G_s pairs a graph with a *state* per node.  States
+// are the problem's distributed output: for the MST problem a state holds
+// the node's unique identity and the port pointing at its parent in the
+// claimed tree (Definition 2.1 — an edge belongs to the induced subgraph
+// iff one endpoint's state names the port that points at the other).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "labeling/label.hpp"
+
+namespace mstv {
+
+struct State {
+  /// Unique identity in id-based families (O(log n) bits by assumption).
+  std::optional<std::uint64_t> id;
+
+  /// The Definition-2.1 pointer field: the port leading to this node's
+  /// parent in the induced subgraph.  Empty at the root.
+  std::optional<PortNumber> parent_port;
+
+  /// Arbitrary additional state content, e.g. the implicit labels whose
+  /// authenticity pi_Gamma proves (problem Prob(Gamma), Section 3.2).
+  Label payload;
+
+  friend bool operator==(const State&, const State&) = default;
+};
+
+class ConfigGraph {
+ public:
+  ConfigGraph(const Graph& g, std::vector<State> states)
+      : g_(&g), states_(std::move(states)) {
+    MSTV_EXPECTS(states_.size() == g.num_vertices());
+  }
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+
+  [[nodiscard]] const State& state(VertexId v) const { return states_.at(v); }
+  [[nodiscard]] State& state(VertexId v) { return states_.at(v); }
+
+  /// Edges of the subgraph induced by the states (Definition 2.1).
+  [[nodiscard]] std::vector<EdgeId> induced_subgraph() const;
+
+  /// True if all present ids are pairwise distinct (the id-based promise).
+  [[nodiscard]] bool ids_unique() const;
+
+ private:
+  const Graph* g_;
+  std::vector<State> states_;
+};
+
+/// The canonical MST-problem configuration: states encode `tree_edges`
+/// rooted at `root` via parent ports, with id(v) = v unless custom ids are
+/// given.  This is what a correct distributed MST computation would leave
+/// behind, and what the marker of pi_mst labels.
+ConfigGraph make_tree_config(const Graph& g,
+                             const std::vector<EdgeId>& tree_edges,
+                             VertexId root,
+                             const std::vector<std::uint64_t>* custom_ids
+                             = nullptr);
+
+}  // namespace mstv

@@ -1,0 +1,364 @@
+#include "plscheme/fragment_scheme.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+
+#include "mst/predicates.hpp"
+#include "mst/union_find.hpp"
+#include "plscheme/spanning_tree_scheme.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+namespace {
+
+constexpr std::uint64_t kMaxPhases = 64;
+
+/// The strict total order on edges: weight, then claimed-tree edges
+/// first, then the endpoint-id pair.  Preferring tree edges makes the
+/// claimed tree the unique minimum under this order whenever it is an
+/// MST under the raw weights — which is what lets the scheme accept any
+/// MST of a non-unique instance.
+struct Cand {
+  Weight w = 0;
+  std::uint64_t nontree = 0;  // 0 for tree edges
+  std::uint64_t min_id = 0;
+  std::uint64_t max_id = 0;
+
+  friend auto operator<=>(const Cand&, const Cand&) = default;
+};
+
+struct PhaseEntry {
+  std::uint64_t fid = 0;        // fragment identity (min member id)
+  std::uint64_t fdist = 0;      // hops to the fragment leader
+  PortNumber fparent_port = 0;  // port toward the leader; 0 at the leader
+  Cand moe;                     // the fragment's minimum outgoing edge
+  PortNumber moe_port = 0;      // next hop toward the MOE endpoint
+  std::uint64_t moe_dist = 0;   // hops to the MOE endpoint
+};
+
+struct FragLabel {
+  SpanningTreeSublabel st;
+  /// Borůvka phase at which the node's own tree-parent edge was added;
+  /// absent at the root.
+  std::optional<std::uint64_t> phase_parent;
+  std::vector<PhaseEntry> phases;
+};
+
+void write_frag_label(BitWriter& w, const FragLabel& l) {
+  write_spanning_tree_sublabel(w, l.st);
+  w.write_bit(l.phase_parent.has_value());
+  if (l.phase_parent) w.write_gamma0(*l.phase_parent);
+  w.write_gamma0(l.phases.size());
+  for (const PhaseEntry& p : l.phases) {
+    w.write_gamma0(p.fid);
+    w.write_gamma0(p.fdist);
+    w.write_gamma0(p.fparent_port);
+    w.write_gamma0(p.moe.w);
+    w.write_gamma0(p.moe.min_id);
+    w.write_gamma0(p.moe.max_id);
+    w.write_gamma0(p.moe_port);
+    w.write_gamma0(p.moe_dist);
+  }
+}
+
+FragLabel read_frag_label(BitReader& r) {
+  FragLabel l;
+  l.st = read_spanning_tree_sublabel(r);
+  if (r.read_bit()) l.phase_parent = r.read_gamma0();
+  const std::uint64_t count = r.read_gamma0();
+  MSTV_EXPECTS_MSG(count <= kMaxPhases, "corrupt label: phase count");
+  l.phases.resize(count);
+  for (PhaseEntry& p : l.phases) {
+    p.fid = r.read_gamma0();
+    p.fdist = r.read_gamma0();
+    p.fparent_port = static_cast<PortNumber>(r.read_gamma0());
+    p.moe.w = r.read_gamma0();
+    p.moe.nontree = 0;  // a fragment's MOE is by construction a tree edge
+    p.moe.min_id = r.read_gamma0();
+    p.moe.max_id = r.read_gamma0();
+    p.moe_port = static_cast<PortNumber>(r.read_gamma0());
+    p.moe_dist = r.read_gamma0();
+  }
+  return l;
+}
+
+}  // namespace
+
+std::vector<Label> FragmentScheme::mark(const ConfigGraph& cfg) const {
+  const Graph& g = cfg.graph();
+  const std::size_t n = g.num_vertices();
+  const auto tree_edges = cfg.induced_subgraph();
+  MSTV_EXPECTS_MSG(is_spanning_tree(g, tree_edges) && is_mst(g, tree_edges),
+                   "marker precondition: states must induce an MST");
+  const auto st = make_spanning_tree_sublabels(cfg);
+
+  std::vector<bool> in_tree(g.num_edges(), false);
+  for (const EdgeId e : tree_edges) in_tree[e] = true;
+  auto id_of = [&](VertexId v) { return *cfg.state(v).id; };
+  auto cand_of = [&](EdgeId e) {
+    const Edge& ed = g.edge(e);
+    return Cand{ed.w, in_tree[e] ? 0u : 1u,
+                std::min(id_of(ed.u), id_of(ed.v)),
+                std::max(id_of(ed.u), id_of(ed.v))};
+  };
+
+  // Replay Borůvka under the tie-broken order, recording the history.
+  UnionFind uf(n);
+  std::vector<std::uint64_t> phase_added(g.num_edges(), ~std::uint64_t{0});
+  std::vector<FragLabel> labels(n);
+  for (VertexId v = 0; v < n; ++v) labels[v].st = st[v];
+
+  std::uint64_t phase = 0;
+  while (uf.num_sets() > 1) {
+    MSTV_ASSERT(phase < kMaxPhases);
+    // Fragment roots and min-id leaders.
+    std::vector<std::size_t> root(n);
+    std::vector<VertexId> leader(n, kInvalidVertex);
+    for (VertexId v = 0; v < n; ++v) {
+      root[v] = uf.find(v);
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      VertexId& l = leader[root[v]];
+      if (l == kInvalidVertex || id_of(v) < id_of(l)) l = v;
+    }
+
+    // BFS from each leader along already-added tree edges: fragment tree
+    // position (fid, fdist, fparent_port).
+    {
+      std::vector<VertexId> queue;
+      std::vector<bool> seen(n, false);
+      for (VertexId v = 0; v < n; ++v) {
+        if (leader[root[v]] == v) {
+          seen[v] = true;
+          queue.push_back(v);
+          labels[v].phases.push_back(PhaseEntry{});
+          labels[v].phases.back().fid = id_of(v);
+        }
+      }
+      for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        const VertexId x = queue[qi];
+        for (const PortInfo& p : g.ports(x)) {
+          if (!in_tree[p.edge] || phase_added[p.edge] >= phase) continue;
+          if (seen[p.neighbor]) continue;
+          seen[p.neighbor] = true;
+          labels[p.neighbor].phases.push_back(PhaseEntry{});
+          PhaseEntry& e = labels[p.neighbor].phases.back();
+          e.fid = labels[x].phases.back().fid;
+          e.fdist = labels[x].phases.back().fdist + 1;
+          e.fparent_port = p.reverse_port;
+          queue.push_back(p.neighbor);
+        }
+      }
+      for (VertexId v = 0; v < n; ++v) {
+        MSTV_ASSERT_MSG(seen[v], "fragment tree does not span the fragment");
+      }
+    }
+
+    // Minimum outgoing edge per fragment under the tie-broken order.
+    constexpr Cand kCandMax{std::numeric_limits<Weight>::max(), 1,
+                            ~std::uint64_t{0}, ~std::uint64_t{0}};
+    std::vector<EdgeId> best(n, kInvalidEdge);
+    std::vector<Cand> best_cand(n, kCandMax);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& ed = g.edge(e);
+      if (root[ed.u] == root[ed.v]) continue;
+      const Cand c = cand_of(e);
+      for (const std::size_t f : {root[ed.u], root[ed.v]}) {
+        if (c < best_cand[f]) {
+          best_cand[f] = c;
+          best[f] = e;
+        }
+      }
+    }
+
+    // Record the MOE and its witness (BFS from the fragment-side MOE
+    // endpoint along already-added tree edges).
+    {
+      std::vector<VertexId> queue;
+      std::vector<bool> seen(n, false);
+      for (VertexId v = 0; v < n; ++v) {
+        if (root[v] != v) continue;
+        const EdgeId e = best[v];
+        MSTV_ASSERT_MSG(e != kInvalidEdge, "fragment without outgoing edge");
+        const Edge& ed = g.edge(e);
+        const VertexId a = (root[ed.u] == v) ? ed.u : ed.v;
+        const VertexId b = g.edge(e).other(a);
+        PhaseEntry& pa = labels[a].phases.back();
+        pa.moe = best_cand[v];
+        pa.moe_dist = 0;
+        pa.moe_port = *g.find_port(a, b);
+        seen[a] = true;
+        queue.push_back(a);
+      }
+      for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        const VertexId x = queue[qi];
+        for (const PortInfo& p : g.ports(x)) {
+          if (!in_tree[p.edge] || phase_added[p.edge] >= phase) continue;
+          if (seen[p.neighbor]) continue;
+          seen[p.neighbor] = true;
+          PhaseEntry& e = labels[p.neighbor].phases.back();
+          e.moe = labels[x].phases.back().moe;
+          e.moe_dist = labels[x].phases.back().moe_dist + 1;
+          e.moe_port = p.reverse_port;
+          queue.push_back(p.neighbor);
+        }
+      }
+    }
+
+    // Merge.
+    for (VertexId v = 0; v < n; ++v) {
+      if (root[v] != v || best[v] == kInvalidEdge) continue;
+      const Edge& ed = g.edge(best[v]);
+      if (uf.unite(ed.u, ed.v)) {
+        MSTV_ASSERT_MSG(in_tree[best[v]],
+                        "a fragment MOE must be a tree edge when the "
+                        "configuration is an MST");
+        phase_added[best[v]] = phase;
+      }
+    }
+    ++phase;
+  }
+
+  // Tree-parent edge phases.
+  for (VertexId v = 0; v < n; ++v) {
+    const auto& pp = cfg.state(v).parent_port;
+    if (!pp) continue;
+    const EdgeId pe = g.port(v, *pp).edge;
+    MSTV_ASSERT(phase_added[pe] < phase);
+    labels[v].phase_parent = phase_added[pe];
+  }
+
+  std::vector<Label> out;
+  out.reserve(n);
+  for (const FragLabel& l : labels) {
+    BitWriter w;
+    write_frag_label(w, l);
+    out.emplace_back(w);
+  }
+  return out;
+}
+
+bool FragmentScheme::verify(const LocalView& view) const {
+  BitReader own_r = view.label->reader();
+  const FragLabel own = read_frag_label(own_r);
+  if (!own_r.exhausted()) return false;
+
+  std::vector<FragLabel> nbs;
+  nbs.reserve(view.neighbors.size());
+  for (const NeighborView& nb : view.neighbors) {
+    BitReader r = nb.label->reader();
+    nbs.push_back(read_frag_label(r));
+    if (!r.exhausted()) return false;
+  }
+
+  // Spanning-tree layer.
+  {
+    std::vector<SpanningTreeSublabel> st_nbs;
+    st_nbs.reserve(nbs.size());
+    for (const auto& p : nbs) st_nbs.push_back(p.st);
+    if (!check_spanning_tree_sublabel(*view.state, own.st, st_nbs)) {
+      return false;
+    }
+  }
+
+  const std::uint64_t P = own.phases.size();
+  for (const auto& nb : nbs) {
+    if (nb.phases.size() != P) return false;  // history length is global
+  }
+  const bool is_root = !view.state->parent_port;
+  if (!is_root && (!own.phase_parent || *own.phase_parent >= P)) {
+    return false;
+  }
+  if (is_root && own.phase_parent) return false;
+
+  // Classify neighbors; determine each tree edge's claimed phase (owned
+  // by the child endpoint of the edge).
+  const std::size_t deg = view.neighbors.size();
+  std::vector<bool> is_tree(deg, false);
+  std::vector<std::uint64_t> edge_phase(deg, ~std::uint64_t{0});
+  for (std::size_t i = 0; i < deg; ++i) {
+    const bool to_parent = view.state->parent_port &&
+                           *view.state->parent_port ==
+                               view.neighbors[i].port;
+    const bool to_child =
+        nbs[i].st.parent_id && *nbs[i].st.parent_id == own.st.id_copy;
+    if (to_parent) {
+      is_tree[i] = true;
+      edge_phase[i] = *own.phase_parent;
+    } else if (to_child) {
+      if (!nbs[i].phase_parent || *nbs[i].phase_parent >= P) return false;
+      is_tree[i] = true;
+      edge_phase[i] = *nbs[i].phase_parent;
+    }
+  }
+
+  auto cand_of = [&](std::size_t i) {
+    return Cand{view.neighbors[i].weight, is_tree[i] ? 0u : 1u,
+                std::min(own.st.id_copy, nbs[i].st.id_copy),
+                std::max(own.st.id_copy, nbs[i].st.id_copy)};
+  };
+
+  for (std::uint64_t k = 0; k < P; ++k) {
+    const PhaseEntry& me = own.phases[k];
+
+    // Phase 0 starts from singletons.
+    if (k == 0 && (me.fid != own.st.id_copy || me.fdist != 0 ||
+                   me.fparent_port != 0)) {
+      return false;
+    }
+
+    // Fragment-tree position: either the leader itself, or a parent hop
+    // along an earlier-phase tree edge with the same fid and distance one
+    // less (unsigned arithmetic kills cycles).
+    if (me.fid == own.st.id_copy) {
+      if (me.fdist != 0 || me.fparent_port != 0) return false;
+    } else {
+      if (me.fparent_port < 1 || me.fparent_port > deg) return false;
+      const std::size_t i = me.fparent_port - 1;
+      if (!is_tree[i] || edge_phase[i] >= k) return false;
+      const PhaseEntry& pe = nbs[i].phases[k];
+      if (pe.fid != me.fid || pe.fdist + 1 != me.fdist) return false;
+    }
+
+    for (std::size_t i = 0; i < deg; ++i) {
+      const PhaseEntry& ne = nbs[i].phases[k];
+      if (is_tree[i]) {
+        if (edge_phase[i] < k) {
+          // Merged earlier: same fragment, same MOE claim.
+          if (ne.fid != me.fid || ne.moe != me.moe) return false;
+        } else if (edge_phase[i] == k) {
+          // This very edge merged two distinct fragments, and it must be
+          // the MOE of one of them.
+          if (ne.fid == me.fid) return false;
+          const Cand c = cand_of(i);
+          if (c != me.moe && c != ne.moe) return false;
+        } else {
+          // Merges later: still distinct fragments.
+          if (ne.fid == me.fid) return false;
+        }
+      }
+      // Cut minimality: anything leaving the fragment is no better than
+      // the claimed MOE.
+      if (ne.fid != me.fid && cand_of(i) < me.moe) return false;
+    }
+
+    // MOE witness.
+    if (me.moe_dist == 0) {
+      if (me.moe_port < 1 || me.moe_port > deg) return false;
+      const std::size_t i = me.moe_port - 1;
+      if (!is_tree[i] || edge_phase[i] != k) return false;
+      if (nbs[i].phases[k].fid == me.fid) return false;
+      if (cand_of(i) != me.moe) return false;
+    } else {
+      if (me.moe_port < 1 || me.moe_port > deg) return false;
+      const std::size_t i = me.moe_port - 1;
+      if (!is_tree[i] || edge_phase[i] >= k) return false;
+      const PhaseEntry& ne = nbs[i].phases[k];
+      if (ne.fid != me.fid || ne.moe_dist + 1 != me.moe_dist) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mstv

@@ -1,0 +1,48 @@
+// pi_frag — the prior-art MST proof labeling scheme in the style of
+// [KKP05] (the O(log^2 n + log n log W) construction the paper improves).
+//
+// Instead of certifying the cycle rule with implicit MAX labels, the
+// label stores a *Borůvka execution history*: for each of the at most
+// ceil(log2 n) phases, the node's fragment identity, its position in the
+// fragment's spanning tree, and the fragment's chosen minimum outgoing
+// edge (MOE) together with a hop-by-hop witness pointer to it.  A node
+// verifies, phase by phase, that
+//
+//   * its fragment id chains to a real leader through already-added tree
+//     edges (fragment trees are genuine, connected, and — because node
+//     ids are unique — two distinct fragments can never share an id),
+//   * every incident edge leaving the fragment is no better than the
+//     fragment's claimed MOE under the tie-broken total order
+//     (weight, tree-edge-first, endpoint ids),
+//   * the MOE exists: witness pointers walk down the fragment tree with
+//     strictly decreasing distance to a node that actually borders it,
+//   * every tree edge was, at the phase it claims to have been added, the
+//     MOE of one of the two fragments it merged.
+//
+// Soundness rests on the (blue-rule) cut argument: a tree edge that is
+// minimal-outgoing for the set S = { nodes sharing its fragment id } under
+// a strict total order belongs to the unique tie-broken MST; n-1 such
+// edges force the claimed tree to *be* that MST, hence an MST of the real
+// weights.  The tie-break prefers claimed-tree edges, which is what lets
+// the scheme accept any MST even when MSTs are not unique.
+//
+// Label size: O(log n) phases x O(log n + log W) bits — the prior bound.
+// Bench E2b compares it against pi_mst head-on.
+#pragma once
+
+#include "plscheme/scheme.hpp"
+
+namespace mstv {
+
+class FragmentScheme final : public ProofLabelingScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "pi-frag"; }
+
+  /// Marker: replays a deterministic Borůvka run under the tie-broken
+  /// order and records the history.  Precondition: states induce an MST.
+  [[nodiscard]] std::vector<Label> mark(const ConfigGraph& cfg) const override;
+
+  [[nodiscard]] bool verify(const LocalView& view) const override;
+};
+
+}  // namespace mstv

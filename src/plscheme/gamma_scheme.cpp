@@ -1,0 +1,339 @@
+#include "plscheme/gamma_scheme.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+
+void write_orient_fields(BitWriter& w, const std::vector<Orient>& orient) {
+  w.write_gamma0(orient.size());
+  for (const Orient o : orient) {
+    w.write_uint(static_cast<std::uint64_t>(o), 2);
+  }
+}
+
+std::vector<Orient> read_orient_fields(BitReader& r) {
+  const std::uint64_t count = r.read_gamma0();
+  MSTV_EXPECTS_MSG(count <= r.remaining() / 2 + 1,
+                   "corrupt label: absurd orient count");
+  std::vector<Orient> orient(count);
+  for (auto& o : orient) {
+    const auto raw = r.read_uint(2);
+    MSTV_EXPECTS_MSG(raw <= 2, "corrupt label: bad orient value");
+    o = static_cast<Orient>(raw);
+  }
+  return orient;
+}
+
+std::vector<std::vector<Orient>> compute_orient_fields(
+    const RootedTree& tree, const SeparatorDecomposition& sd) {
+  const std::size_t n = tree.size();
+  std::vector<std::vector<Orient>> out(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto& anc = sd.ancestors[v];
+    out[v].resize(anc.size());
+    for (std::size_t k = 0; k < anc.size(); ++k) {
+      const VertexId s = anc[k];
+      if (s == v) {
+        out[v][k] = Orient::Self;
+      } else if (tree.is_ancestor(v, s)) {
+        out[v][k] = Orient::Down;  // separator below v in the rooted tree
+      } else {
+        out[v][k] = Orient::Up;
+      }
+    }
+    MSTV_ASSERT(out[v].back() == Orient::Self);
+  }
+  return out;
+}
+
+bool verify_gamma_conditions(const GammaNode& self,
+                             const GammaNeighborRef* parent,
+                             const std::vector<GammaNeighborRef>& children) {
+  const std::uint32_t l = self.level();
+
+  // Field-count discipline (condition 4 adapted to the trimmed
+  // representation): orient has l fields, rho/extrema have l-1 each, and
+  // '*' appears exactly once, at position l.  The same shape is required
+  // of every neighbor's label before any of its fields are indexed — a
+  // malformed neighbor label is a local, visible reason to reject.
+  const auto well_shaped = [](const GammaNode& node) {
+    const std::uint32_t lv = node.level();
+    if (lv == 0) return false;
+    if (node.imp.rho.size() + 1 != lv) return false;
+    if (node.imp.extrema.size() + 1 != lv) return false;
+    if (node.orient[lv - 1] != Orient::Self) return false;
+    for (std::uint32_t k = 0; k + 1 < lv; ++k) {
+      if (node.orient[k] == Orient::Self) return false;
+    }
+    return true;
+  };
+  if (!well_shaped(self)) return false;
+  if (parent != nullptr && !well_shaped(*parent->node)) return false;
+  for (const auto& c : children) {
+    if (!well_shaped(*c.node)) return false;
+  }
+
+  // Condition 5: E_sep prefixes agree with every tree neighbor up to the
+  // smaller level (field 1 is the shared constant; field j+1 <-> rho[j-1]).
+  auto check_prefix = [&](const GammaNode& w) {
+    const std::uint32_t m = std::min(l, w.level());
+    for (std::uint32_t j = 0; j + 1 < m; ++j) {
+      if (self.imp.rho[j] != w.imp.rho[j]) return false;
+    }
+    return true;
+  };
+  if (parent != nullptr && !check_prefix(*parent->node)) return false;
+  for (const auto& c : children) {
+    if (!check_prefix(*c.node)) return false;
+  }
+
+  // The E_omega field of a neighbor w at level k, treating the separator
+  // itself (orient '*') as contributing the identity (its trivial last
+  // field, which is not transmitted).
+  auto omega_field = [](const GammaNode& w, std::uint32_t k) -> Weight {
+    MSTV_ASSERT(w.level() >= k);
+    if (w.orient[k - 1] == Orient::Self) return 0;  // trivial field
+    MSTV_ASSERT(w.imp.extrema.size() >= k);
+    return w.imp.extrema[k - 1];
+  };
+
+  for (std::uint32_t k = 1; k <= l; ++k) {
+    const Orient o = self.orient[k - 1];
+
+    if (o == Orient::Up) {
+      // Condition 2: not the root, the parent carries a field k, and every
+      // child that carries a field k agrees the separator is above.
+      if (parent == nullptr) return false;
+      const GammaNode& p = *parent->node;
+      if (p.level() < k) return false;
+      for (const auto& c : children) {
+        if (c.node->level() >= k && c.node->orient[k - 1] != Orient::Up) {
+          return false;
+        }
+      }
+      // Condition 7: E_omega_k folds the parent edge into the parent's
+      // field ("if L_orient_k(p(v)) = * then omega, else max(..., omega)").
+      const Weight expected =
+          std::max(omega_field(p, k), parent->weight);
+      if (self.imp.extrema[k - 1] != expected) return false;
+
+    } else if (o == Orient::Down) {
+      // Condition 3: exactly one child continues toward the separator, and
+      // the parent (if it carries field k) also sees it below.
+      const GammaNeighborRef* next = nullptr;
+      for (const auto& c : children) {
+        if (c.node->level() >= k && c.node->orient[k - 1] != Orient::Up) {
+          if (next != nullptr) return false;
+          next = &c;
+        }
+      }
+      if (next == nullptr) return false;
+      if (parent != nullptr && parent->node->level() >= k &&
+          parent->node->orient[k - 1] != Orient::Down) {
+        return false;
+      }
+      // Condition 8: fold the edge toward that child.
+      const Weight expected =
+          std::max(omega_field(*next->node, k), next->weight);
+      if (self.imp.extrema[k - 1] != expected) return false;
+
+    } else {  // Orient::Self, k == l: v is its own level-l separator.
+      // Condition 6: neighbors at level >= l must be strictly deeper (6a),
+      // oriented consistently (6b: parent sees the separator below it,
+      // children see it above), and lie in pairwise-distinct subtrees of v
+      // (6c: their E_sep field l+1, i.e. rho[l-1], are all different).
+      std::vector<std::uint64_t> subtree_numbers;
+      auto check_deep_neighbor = [&](const GammaNode& w, bool w_is_parent) {
+        if (w.level() < l) return true;  // no field to check
+        if (w.level() == l) return false;                       // 6a
+        if (w_is_parent && w.orient[l - 1] != Orient::Down) return false;
+        if (!w_is_parent && w.orient[l - 1] != Orient::Up) return false;
+        MSTV_ASSERT(w.imp.rho.size() >= l);
+        subtree_numbers.push_back(w.imp.rho[l - 1]);             // 6c
+        return true;
+      };
+      if (parent != nullptr && !check_deep_neighbor(*parent->node, true)) {
+        return false;
+      }
+      for (const auto& c : children) {
+        if (!check_deep_neighbor(*c.node, false)) return false;
+      }
+      std::sort(subtree_numbers.begin(), subtree_numbers.end());
+      if (std::adjacent_find(subtree_numbers.begin(), subtree_numbers.end())
+          != subtree_numbers.end()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<VertexId>> recover_separator_ancestors_from_rho(
+    const std::vector<std::vector<std::uint64_t>>& rho) {
+  const std::size_t n = rho.size();
+  // Map each rho prefix to the unique vertex whose full rho equals it.
+  std::map<std::vector<std::uint64_t>, VertexId> by_prefix;
+  for (VertexId v = 0; v < n; ++v) {
+    const bool fresh = by_prefix.emplace(rho[v], v).second;
+    MSTV_EXPECTS_MSG(fresh, "two vertices share a full E_sep sequence");
+  }
+  std::vector<std::vector<VertexId>> anc(n);
+  for (VertexId v = 0; v < n; ++v) {
+    anc[v].reserve(rho[v].size() + 1);
+    for (std::size_t k = 0; k <= rho[v].size(); ++k) {
+      const std::vector<std::uint64_t> prefix(
+          rho[v].begin(), rho[v].begin() + static_cast<std::ptrdiff_t>(k));
+      const auto it = by_prefix.find(prefix);
+      MSTV_EXPECTS_MSG(it != by_prefix.end(),
+                       "no separator for an E_sep prefix");
+      anc[v].push_back(it->second);
+    }
+  }
+  return anc;
+}
+
+std::vector<std::vector<VertexId>> recover_separator_ancestors(
+    const std::vector<ExtremaLabel>& imps) {
+  std::vector<std::vector<std::uint64_t>> rho;
+  rho.reserve(imps.size());
+  for (const auto& l : imps) rho.push_back(l.rho);
+  return recover_separator_ancestors_from_rho(rho);
+}
+
+std::vector<Orient> orient_from_ancestors(const RootedTree& tree, VertexId v,
+                                          const std::vector<VertexId>& anc) {
+  std::vector<Orient> orient(anc.size());
+  for (std::size_t k = 0; k < anc.size(); ++k) {
+    const VertexId s = anc[k];
+    orient[k] = (s == v)                  ? Orient::Self
+                : tree.is_ancestor(v, s) ? Orient::Down
+                                          : Orient::Up;
+  }
+  return orient;
+}
+
+std::vector<Label> GammaScheme::mark(const ConfigGraph& cfg) const {
+  const Graph& g = cfg.graph();
+  MSTV_EXPECTS_MSG(g.num_edges() + 1 == g.num_vertices(),
+                   "pi_Gamma is defined over tree families");
+
+  // Spanning-tree sublabels (also identifies the root and the orientation).
+  const auto st = make_spanning_tree_sublabels(cfg);
+  VertexId root = kInvalidVertex;
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    if (!cfg.state(v).parent_port) root = v;
+  }
+  const RootedTree tree(g, root);
+
+  // Decode the claimed implicit labels from the states and recover the
+  // separator structure the (unknown) member of Gamma used.
+  std::vector<ExtremaLabel> imps;
+  imps.reserve(cfg.size());
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    imps.push_back(imp_.from_bits(cfg.state(v).payload));
+  }
+  const auto ancestors = recover_separator_ancestors(imps);
+
+  std::vector<Label> labels;
+  labels.reserve(cfg.size());
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    // Orientation flags from the recovered ancestors.
+    std::vector<Orient> orient(ancestors[v].size());
+    for (std::size_t k = 0; k < ancestors[v].size(); ++k) {
+      const VertexId s = ancestors[v][k];
+      orient[k] = (s == v) ? Orient::Self
+                  : tree.is_ancestor(v, s) ? Orient::Down
+                                           : Orient::Up;
+    }
+    BitWriter w;
+    write_spanning_tree_sublabel(w, st[v]);
+    write_orient_fields(w, orient);
+    // M_state: the copy of the state (the claimed implicit label).
+    w.write_gamma0(cfg.state(v).payload.size_bits());
+    {
+      BitReader r = cfg.state(v).payload.reader();
+      while (!r.exhausted()) w.write_bit(r.read_bit());
+    }
+    labels.emplace_back(w);
+  }
+  return labels;
+}
+
+namespace {
+
+/// Everything parsed out of one pi_Gamma label.
+struct ParsedGamma {
+  SpanningTreeSublabel st;
+  GammaNode node;
+  Label state_copy;
+};
+
+ParsedGamma parse_gamma_label(const Label& label,
+                              const ExtremaLabelingScheme& imp) {
+  BitReader r = label.reader();
+  ParsedGamma p;
+  p.st = read_spanning_tree_sublabel(r);
+  p.node.orient = read_orient_fields(r);
+  const std::uint64_t copy_bits = r.read_gamma0();
+  MSTV_EXPECTS_MSG(copy_bits <= r.remaining(), "corrupt label: copy length");
+  BitWriter w;
+  for (std::uint64_t i = 0; i < copy_bits; ++i) w.write_bit(r.read_bit());
+  p.state_copy = Label(w);
+  MSTV_EXPECTS_MSG(r.exhausted(), "corrupt label: trailing bits");
+  p.node.imp = imp.from_bits(p.state_copy);
+  return p;
+}
+
+}  // namespace
+
+bool GammaScheme::verify(const LocalView& view) const {
+  const ParsedGamma own = parse_gamma_label(*view.label, imp_);
+
+  // Condition 1: the label's state copy equals the actual state.
+  if (own.state_copy != view.state->payload) return false;
+
+  std::vector<ParsedGamma> nbs;
+  nbs.reserve(view.neighbors.size());
+  for (const NeighborView& nb : view.neighbors) {
+    nbs.push_back(parse_gamma_label(*nb.label, imp_));
+  }
+
+  // Spanning tree / orientation checks.
+  {
+    std::vector<SpanningTreeSublabel> st_nbs;
+    st_nbs.reserve(nbs.size());
+    for (const auto& p : nbs) st_nbs.push_back(p.st);
+    if (!check_spanning_tree_sublabel(*view.state, own.st, st_nbs)) {
+      return false;
+    }
+  }
+
+  // Classify tree neighbors.  Over a tree family every edge must be a tree
+  // edge; a neighbor that is neither our parent nor names us as its parent
+  // witnesses a non-tree state and is rejected outright.
+  const GammaNeighborRef* parent_ref = nullptr;
+  GammaNeighborRef parent_store;
+  std::vector<GammaNeighborRef> children;
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    const bool is_parent =
+        view.state->parent_port &&
+        *view.state->parent_port == view.neighbors[i].port;
+    if (is_parent) {
+      parent_store = GammaNeighborRef{&nbs[i].node, view.neighbors[i].weight};
+      parent_ref = &parent_store;
+    } else if (nbs[i].st.parent_id &&
+               *nbs[i].st.parent_id == own.st.id_copy) {
+      children.push_back(
+          GammaNeighborRef{&nbs[i].node, view.neighbors[i].weight});
+    } else {
+      return false;  // edge not accounted for by the spanning tree
+    }
+  }
+
+  return verify_gamma_conditions(own.node, parent_ref, children);
+}
+
+}  // namespace mstv

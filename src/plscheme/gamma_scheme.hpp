@@ -1,0 +1,118 @@
+// pi_Gamma — the proof labeling scheme of Lemma 3.3.
+//
+// Problem Prob(Gamma): the states of a tree's vertices must equal the
+// labels assigned by *some* implicit labeling scheme gamma in the family
+// Gamma (Section 3.1).  The marker adds, per vertex:
+//
+//   * the spanning-tree/orientation sublabel (root id, distance, parent id),
+//   * the orientation flags M_orient: for each level k <= l(v), whether the
+//     level-k separator of v is a descendant of v in the rooted tree (0),
+//     v itself (*, only at k = l(v)), or neither (1),
+//   * a copy of the state M_state (the claimed implicit label).
+//
+// The verifier implements conditions 1-8 of the lemma: field-count
+// discipline (4), orientation consistency with the parent and children
+// (2, 3, 6a/6b), agreement of E_sep prefixes between neighbors (5),
+// disjointness of sibling subtree numbers at each separator (6c), and the
+// inductive propagation of the E_omega fields — each field must equal the
+// running maximum of edge weights along the path toward the corresponding
+// separator (7, 8).  If every node accepts, the states are the labels of
+// some member of Gamma — even though nobody ever proves *which* member —
+// which is all pi_mst needs, because the decoder is the same for the whole
+// family (Claim 3.1).
+//
+// Representation note: we never store the constant first field of E_sep
+// nor the trivial last field of E_omega (MAX(v,v) = 0), so our rho/extrema
+// arrays have l-1 entries where the paper's E_sep/E_omega have l; the
+// conditions are index-shifted accordingly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "labeling/extrema_labeling.hpp"
+#include "plscheme/scheme.hpp"
+#include "plscheme/spanning_tree_scheme.hpp"
+#include "tree/centroid.hpp"
+
+namespace mstv {
+
+/// Orientation flag values (the paper's 0 / 1 / *).
+enum class Orient : std::uint8_t {
+  Down = 0,  // the level-k separator is a descendant of v
+  Up = 1,    // the level-k separator is v's ancestor or in another branch
+  Self = 2,  // v itself is the level-k separator (k = l(v))
+};
+
+/// Parsed per-vertex gamma data: orientation flags + claimed implicit label.
+struct GammaNode {
+  std::vector<Orient> orient;  // fields 1..l
+  ExtremaLabel imp;            // rho (l-1 entries) + extrema (l-1 entries)
+
+  [[nodiscard]] std::uint32_t level() const {
+    return static_cast<std::uint32_t>(orient.size());
+  }
+};
+
+void write_orient_fields(BitWriter& w, const std::vector<Orient>& orient);
+std::vector<Orient> read_orient_fields(BitReader& r);
+
+/// Genuine orientation flags for every vertex, from the rooted tree and the
+/// separator decomposition the marker used.
+std::vector<std::vector<Orient>> compute_orient_fields(
+    const RootedTree& tree, const SeparatorDecomposition& sd);
+
+/// A tree neighbor as seen through labels: its parsed gamma data and the
+/// connecting edge's weight.
+struct GammaNeighborRef {
+  const GammaNode* node = nullptr;
+  Weight weight = 0;
+};
+
+/// Conditions 2-8 of Lemma 3.3 at one vertex (condition 1, the state copy,
+/// is checked by the caller).  `parent` is null iff the vertex is the tree
+/// root.  Children are the tree neighbors that name this vertex as parent.
+bool verify_gamma_conditions(const GammaNode& self,
+                             const GammaNeighborRef* parent,
+                             const std::vector<GammaNeighborRef>& children);
+
+/// Standalone scheme over tree configurations whose state payloads hold
+/// claimed implicit labels (serialized with `coding`).  Recovers the
+/// separator structure from the states alone when marking.
+class GammaScheme final : public ProofLabelingScheme {
+ public:
+  explicit GammaScheme(ExtremaKind kind = ExtremaKind::Max,
+                       SepCoding coding = SepCoding::Telescoping)
+      : imp_(kind, coding) {}
+
+  [[nodiscard]] std::string name() const override { return "pi-gamma"; }
+  [[nodiscard]] std::vector<Label> mark(const ConfigGraph& cfg) const override;
+  [[nodiscard]] bool verify(const LocalView& view) const override;
+
+  [[nodiscard]] const ExtremaLabelingScheme& implicit_scheme() const {
+    return imp_;
+  }
+
+ private:
+  ExtremaLabelingScheme imp_;
+};
+
+/// Recovers each vertex's separator ancestors from decoded implicit labels
+/// (level-k separator of v = the unique level-k vertex whose rho sequence
+/// is a prefix of v's).  Throws PreconditionError if the labels are not
+/// consistent with any separator decomposition.  Used by markers, which
+/// must label whatever member of Gamma produced the states.
+std::vector<std::vector<VertexId>> recover_separator_ancestors(
+    const std::vector<ExtremaLabel>& imps);
+
+/// Same, from bare E_sep (rho) sequences — shared with the verified
+/// distance/routing schemes whose payloads are not ExtremaLabels.
+std::vector<std::vector<VertexId>> recover_separator_ancestors_from_rho(
+    const std::vector<std::vector<std::uint64_t>>& rho);
+
+/// Orientation flags from a rooted tree and recovered ancestor lists (the
+/// marker-side computation shared by all pi_Gamma-style schemes).
+std::vector<Orient> orient_from_ancestors(const RootedTree& tree, VertexId v,
+                                          const std::vector<VertexId>& anc);
+
+}  // namespace mstv

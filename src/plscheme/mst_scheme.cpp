@@ -1,0 +1,134 @@
+#include "plscheme/mst_scheme.hpp"
+
+#include "mst/predicates.hpp"
+#include "plscheme/spanning_tree_scheme.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+
+bool mst_predicate(const ConfigGraph& cfg) {
+  // Canonical rooted representation — the paper's own example under
+  // Definition 2.1: every vertex's state names the port to its parent,
+  // "this field at the root is empty".  Exactly one root and valid ports;
+  // together with the induced subgraph being a spanning tree this forces
+  // the pointers to be the tree oriented toward the root (n-1 distinct
+  // edges on a tree cannot contain a pointer cycle).
+  std::size_t roots = 0;
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    const auto& pp = cfg.state(v).parent_port;
+    if (!pp) {
+      ++roots;
+    } else if (*pp < 1 || *pp > cfg.graph().degree(v)) {
+      return false;  // dangling pointer
+    }
+  }
+  if (roots != 1) return false;
+  const auto edges = cfg.induced_subgraph();
+  return is_spanning_tree(cfg.graph(), edges) && is_mst(cfg.graph(), edges);
+}
+
+std::vector<Label> MstScheme::mark(const ConfigGraph& cfg) const {
+  const Graph& g = cfg.graph();
+  const auto tree_edges = cfg.induced_subgraph();
+  MSTV_EXPECTS_MSG(is_spanning_tree(g, tree_edges),
+                   "marker precondition: states must induce a spanning tree");
+  MSTV_EXPECTS_MSG(is_mst(g, tree_edges),
+                   "marker precondition: the spanning tree must be minimum");
+
+  // Sublabel 1: spanning tree + orientation.
+  const auto st = make_spanning_tree_sublabels(cfg);
+
+  VertexId root = kInvalidVertex;
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    if (!cfg.state(v).parent_port) root = v;
+  }
+  const RootedTree tree(g, tree_edges, root);
+
+  // Sublabel 2: gamma_small labels over the perfect separator
+  // decomposition; sublabel 3: the matching orientation flags.
+  const SeparatorDecomposition sd = perfect_separator_decomposition(tree);
+  const auto imps = imp_.encode(tree, sd);
+  const auto orients = compute_orient_fields(tree, sd);
+
+  std::vector<Label> labels;
+  labels.reserve(cfg.size());
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    BitWriter w;
+    write_spanning_tree_sublabel(w, st[v]);
+    write_orient_fields(w, orients[v]);
+    imp_.write_to(w, imps[v]);
+    labels.emplace_back(w);
+  }
+  return labels;
+}
+
+namespace {
+
+struct ParsedMst {
+  SpanningTreeSublabel st;
+  GammaNode node;
+};
+
+ParsedMst parse_mst_label(const Label& label,
+                          const ExtremaLabelingScheme& imp) {
+  BitReader r = label.reader();
+  ParsedMst p;
+  p.st = read_spanning_tree_sublabel(r);
+  p.node.orient = read_orient_fields(r);
+  p.node.imp = imp.read_from(r);
+  MSTV_EXPECTS_MSG(r.exhausted(), "corrupt label: trailing bits");
+  return p;
+}
+
+}  // namespace
+
+bool MstScheme::verify(const LocalView& view) const {
+  const ParsedMst own = parse_mst_label(*view.label, imp_);
+
+  std::vector<ParsedMst> nbs;
+  nbs.reserve(view.neighbors.size());
+  for (const NeighborView& nb : view.neighbors) {
+    nbs.push_back(parse_mst_label(*nb.label, imp_));
+  }
+
+  // (a) spanning tree / orientation.
+  {
+    std::vector<SpanningTreeSublabel> st_nbs;
+    st_nbs.reserve(nbs.size());
+    for (const auto& p : nbs) st_nbs.push_back(p.st);
+    if (!check_spanning_tree_sublabel(*view.state, own.st, st_nbs)) {
+      return false;
+    }
+  }
+
+  // Classify neighbors: parent (our state's port), children (they name us
+  // as parent), or non-tree neighbors (cycle-rule check only).
+  const GammaNeighborRef* parent_ref = nullptr;
+  GammaNeighborRef parent_store;
+  std::vector<GammaNeighborRef> children;
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    const bool is_parent =
+        view.state->parent_port &&
+        *view.state->parent_port == view.neighbors[i].port;
+    if (is_parent) {
+      parent_store = GammaNeighborRef{&nbs[i].node, view.neighbors[i].weight};
+      parent_ref = &parent_store;
+    } else if (nbs[i].st.parent_id &&
+               *nbs[i].st.parent_id == own.st.id_copy) {
+      children.push_back(
+          GammaNeighborRef{&nbs[i].node, view.neighbors[i].weight});
+    }
+  }
+
+  // (b) the sublabels 2 were produced by some member of Gamma.
+  if (!verify_gamma_conditions(own.node, parent_ref, children)) return false;
+
+  // (c) cycle rule on every incident edge: omega(v,u) >= MAX(v,u).
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    const Weight mx = imp_.decode(own.node.imp, nbs[i].node.imp);
+    if (view.neighbors[i].weight < mx) return false;
+  }
+  return true;
+}
+
+}  // namespace mstv

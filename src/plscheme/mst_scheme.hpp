@@ -1,0 +1,63 @@
+// pi_mst — the paper's headline scheme (Theorem 3.4): a proof labeling
+// scheme for f_MST over F(n, W) of size O(log n log W).
+//
+// Label layout per node (three sublabels, as in the proof):
+//   1. spanning-tree/orientation sublabel       — O(log n) bits
+//   2. gamma_small implicit MAX label E(v)      — O(log n log W) bits
+//   3. pi_Gamma orientation flags M_orient      — O(log n) bits
+//
+// (The paper's pi_Gamma also carries M_state, a copy of the vertex state;
+// in the composition the "state" being certified *is* sublabel 2, so one
+// copy suffices — the paper keeps both only for modular exposition.)
+//
+// Verifier at v:
+//   a. spanning-tree checks on sublabel 1 (step (1) of the split),
+//   b. conditions 2-8 of Lemma 3.3 over the tree neighbors, proving the
+//      sublabels 2 were produced by *some* member of the family Gamma,
+//   c. the cycle rule [30] on every incident graph edge: omega(v,u) must be
+//      at least MAX(v,u) as computed by the family-wide decoder from the
+//      two sublabels 2.  (">=" — the scheme accepts any MST even when the
+//      MST is not unique.)
+//
+// The SepCoding parameter selects gamma_small (Telescoping — the paper's
+// O(log n log W) construction) or the naive fixed-width coding whose size
+// reproduces the Theta(log^2 n + log n log W) bound of the prior scheme
+// [KKP05]; benches E1/E2 sweep both.
+#pragma once
+
+#include "labeling/extrema_labeling.hpp"
+#include "plscheme/gamma_scheme.hpp"
+#include "plscheme/scheme.hpp"
+
+namespace mstv {
+
+class MstScheme final : public ProofLabelingScheme {
+ public:
+  explicit MstScheme(SepCoding coding = SepCoding::Telescoping)
+      : imp_(ExtremaKind::Max, coding) {}
+
+  [[nodiscard]] std::string name() const override {
+    return imp_.coding() == SepCoding::Telescoping ? "pi-mst"
+                                                   : "pi-mst-naive";
+  }
+
+  /// Marker (Theorem 3.4).  Precondition: the states induce an MST of the
+  /// configuration's graph.
+  [[nodiscard]] std::vector<Label> mark(const ConfigGraph& cfg) const override;
+
+  [[nodiscard]] bool verify(const LocalView& view) const override;
+
+  [[nodiscard]] const ExtremaLabelingScheme& implicit_scheme() const {
+    return imp_;
+  }
+
+ private:
+  ExtremaLabelingScheme imp_;
+};
+
+/// f_MST: the states of cfg are a canonical rooted-parent representation
+/// (exactly one empty parent field — the paper's example representation
+/// under Definition 2.1) inducing a minimum spanning tree.
+bool mst_predicate(const ConfigGraph& cfg);
+
+}  // namespace mstv

@@ -1,0 +1,52 @@
+#include "plscheme/runner.hpp"
+
+#include <algorithm>
+
+namespace mstv {
+
+LocalView make_local_view(const ConfigGraph& cfg, VertexId v,
+                          const std::vector<Label>& labels) {
+  MSTV_EXPECTS(labels.size() == cfg.size());
+  LocalView view;
+  view.v = v;
+  view.state = &cfg.state(v);
+  view.label = &labels[v];
+  const auto ports = cfg.graph().ports(v);
+  view.neighbors.reserve(ports.size());
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    view.neighbors.push_back(NeighborView{
+        static_cast<PortNumber>(i + 1), ports[i].weight,
+        &labels[ports[i].neighbor]});
+  }
+  return view;
+}
+
+VerificationResult run_verifier(const ProofLabelingScheme& scheme,
+                                const ConfigGraph& cfg,
+                                const std::vector<Label>& labels) {
+  VerificationResult r;
+  r.num_vertices = cfg.size();
+  for (const Label& l : labels) {
+    r.max_label_bits = std::max(r.max_label_bits, l.size_bits());
+    r.total_label_bits += l.size_bits();
+  }
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    const LocalView view = make_local_view(cfg, v, labels);
+    bool ok;
+    try {
+      ok = scheme.verify(view);
+    } catch (const PreconditionError&) {
+      ok = false;  // malformed/forged label: reject locally
+    }
+    if (!ok) r.rejecting.push_back(v);
+  }
+  r.accepted = r.rejecting.empty();
+  return r;
+}
+
+VerificationResult mark_and_verify(const ProofLabelingScheme& scheme,
+                                   const ConfigGraph& cfg) {
+  return run_verifier(scheme, cfg, scheme.mark(cfg));
+}
+
+}  // namespace mstv

@@ -1,0 +1,42 @@
+// Drives a proof labeling scheme over a configuration graph: builds each
+// node's LocalView from exactly the information the model grants it and
+// collects the per-node verdicts plus label-size statistics (the paper's
+// "size of a proof labeling scheme" is the max label size over all nodes).
+#pragma once
+
+#include <vector>
+
+#include "plscheme/scheme.hpp"
+
+namespace mstv {
+
+struct VerificationResult {
+  bool accepted = false;                 // all nodes accepted
+  std::vector<VertexId> rejecting;       // nodes that output 0
+  std::size_t max_label_bits = 0;        // the scheme's size on this input
+  std::size_t total_label_bits = 0;
+  std::size_t num_vertices = 0;
+
+  [[nodiscard]] double avg_label_bits() const {
+    return num_vertices == 0
+               ? 0.0
+               : static_cast<double>(total_label_bits) /
+                     static_cast<double>(num_vertices);
+  }
+};
+
+/// Runs the verifier at every node against the given labels.
+VerificationResult run_verifier(const ProofLabelingScheme& scheme,
+                                const ConfigGraph& cfg,
+                                const std::vector<Label>& labels);
+
+/// Convenience: mark, then verify the marker's own labels (completeness
+/// direction of the definition).
+VerificationResult mark_and_verify(const ProofLabelingScheme& scheme,
+                                   const ConfigGraph& cfg);
+
+/// Builds the LocalView of one vertex (exposed for the simulated network).
+LocalView make_local_view(const ConfigGraph& cfg, VertexId v,
+                          const std::vector<Label>& labels);
+
+}  // namespace mstv

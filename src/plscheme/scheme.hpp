@@ -1,0 +1,56 @@
+// The proof labeling scheme interface pi = <M, V> (Section 2).
+//
+// The marker M is centralized ("it is not required that the marker be
+// distributed") and may inspect the whole configuration graph.  The
+// verifier V is local: it runs independently at each node and sees only
+// N_L(v) — the node's own state and label plus, per incident edge, the
+// port number, the edge weight and the *label* (never the state) of the
+// neighbor.  LocalView is the faithful encoding of N_L(v); the runner and
+// the simulated network construct it strictly from that information, so a
+// verifier cannot cheat even accidentally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "plscheme/config_graph.hpp"
+
+namespace mstv {
+
+/// One field of N'_L(v): what v knows about the neighbor across one port.
+struct NeighborView {
+  PortNumber port = 0;          // v's own port number for this edge
+  Weight weight = 0;            // omega(e)
+  const Label* label = nullptr; // L(u)
+};
+
+/// N_L(v): own state + own label + the neighbor fields.
+struct LocalView {
+  /// The global vertex index.  Provided for diagnostics/error messages
+  /// only; verifiers must not branch on it (they would not have it in a
+  /// real network).
+  VertexId v = kInvalidVertex;
+
+  const State* state = nullptr;
+  const Label* label = nullptr;
+  std::vector<NeighborView> neighbors;  // index i <-> port i+1
+};
+
+class ProofLabelingScheme {
+ public:
+  virtual ~ProofLabelingScheme() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Marker M: a label per vertex.  Preconditions: the configuration
+  /// satisfies the scheme's predicate f (markers are only ever run on
+  /// yes-instances; on no-instances *every* labeling must be rejected).
+  [[nodiscard]] virtual std::vector<Label> mark(const ConfigGraph& cfg) const = 0;
+
+  /// Verifier V at one node.  Must treat malformed labels as rejection by
+  /// throwing PreconditionError (the runner converts that to "reject");
+  /// returning false is equivalent.
+  [[nodiscard]] virtual bool verify(const LocalView& view) const = 0;
+};
+
+}  // namespace mstv

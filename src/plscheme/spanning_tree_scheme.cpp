@@ -1,0 +1,108 @@
+#include "plscheme/spanning_tree_scheme.hpp"
+
+#include "mst/predicates.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+
+void write_spanning_tree_sublabel(BitWriter& w,
+                                  const SpanningTreeSublabel& s) {
+  w.write_gamma0(s.id_copy);
+  w.write_bit(s.parent_id.has_value());
+  if (s.parent_id) w.write_gamma0(*s.parent_id);
+  w.write_gamma0(s.root_id);
+  w.write_gamma0(s.dist);
+}
+
+SpanningTreeSublabel read_spanning_tree_sublabel(BitReader& r) {
+  SpanningTreeSublabel s;
+  s.id_copy = r.read_gamma0();
+  if (r.read_bit()) s.parent_id = r.read_gamma0();
+  s.root_id = r.read_gamma0();
+  s.dist = r.read_gamma0();
+  return s;
+}
+
+std::vector<SpanningTreeSublabel> make_spanning_tree_sublabels(
+    const ConfigGraph& cfg) {
+  const Graph& g = cfg.graph();
+  const std::vector<EdgeId> tree_edges = cfg.induced_subgraph();
+  MSTV_EXPECTS_MSG(is_spanning_tree(g, tree_edges),
+                   "states do not induce a spanning tree");
+  MSTV_EXPECTS_MSG(cfg.ids_unique(), "id-based family requires unique ids");
+
+  // Find the root: the unique vertex without a parent port.
+  VertexId root = kInvalidVertex;
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    if (!cfg.state(v).parent_port) {
+      MSTV_EXPECTS_MSG(root == kInvalidVertex,
+                       "multiple roots in the configuration");
+      root = v;
+    }
+    MSTV_EXPECTS_MSG(cfg.state(v).id.has_value(), "missing node identity");
+  }
+  MSTV_EXPECTS_MSG(root != kInvalidVertex, "no root in the configuration");
+
+  const RootedTree tree(g, tree_edges, root);
+  std::vector<SpanningTreeSublabel> subs(cfg.size());
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    subs[v].id_copy = *cfg.state(v).id;
+    subs[v].root_id = *cfg.state(root).id;
+    subs[v].dist = tree.depth(v);
+    if (!tree.is_root(v)) subs[v].parent_id = *cfg.state(tree.parent(v)).id;
+  }
+  return subs;
+}
+
+bool check_spanning_tree_sublabel(
+    const State& state, const SpanningTreeSublabel& own,
+    const std::vector<SpanningTreeSublabel>& neighbor_sub) {
+  if (!state.id || own.id_copy != *state.id) return false;
+
+  if (!state.parent_port) {
+    // Root: distance 0, no parent, and the advertised root is itself.
+    if (own.parent_id || own.dist != 0 || own.root_id != own.id_copy) {
+      return false;
+    }
+  } else {
+    const auto p = *state.parent_port;
+    if (p < 1 || p > neighbor_sub.size()) return false;  // dangling port
+    const SpanningTreeSublabel& par = neighbor_sub[p - 1];
+    if (!own.parent_id || *own.parent_id != par.id_copy) return false;
+    if (own.dist == 0 || par.dist != own.dist - 1) return false;
+  }
+
+  for (const SpanningTreeSublabel& nb : neighbor_sub) {
+    if (nb.root_id != own.root_id) return false;
+  }
+  return true;
+}
+
+std::vector<Label> SpanningTreeScheme::mark(const ConfigGraph& cfg) const {
+  const auto subs = make_spanning_tree_sublabels(cfg);
+  std::vector<Label> labels;
+  labels.reserve(subs.size());
+  for (const auto& s : subs) {
+    BitWriter w;
+    write_spanning_tree_sublabel(w, s);
+    labels.emplace_back(w);
+  }
+  return labels;
+}
+
+bool SpanningTreeScheme::verify(const LocalView& view) const {
+  BitReader own_r = view.label->reader();
+  const SpanningTreeSublabel own = read_spanning_tree_sublabel(own_r);
+  if (!own_r.exhausted()) return false;
+
+  std::vector<SpanningTreeSublabel> nbs;
+  nbs.reserve(view.neighbors.size());
+  for (const NeighborView& nb : view.neighbors) {
+    BitReader r = nb.label->reader();
+    nbs.push_back(read_spanning_tree_sublabel(r));
+    if (!r.exhausted()) return false;
+  }
+  return check_spanning_tree_sublabel(*view.state, own, nbs);
+}
+
+}  // namespace mstv

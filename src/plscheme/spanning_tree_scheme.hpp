@@ -1,0 +1,65 @@
+// Spanning-tree + orientation proof labeling sub-scheme (O(log n) bits).
+//
+// This is step (1) of the paper's split ("verifying an MST can be split
+// into two: (1) verify the subgraph induced by the states is a spanning
+// tree, (2) verify it is minimal" — Lemma 4.3 of [KKP05]), a direct
+// translation of self-stabilizing rooted-tree protocols [AKY90, AfekDolev].
+//
+// Sublabel per node: (id copy, parent id or none, root id, distance).
+// Local checks at v:
+//   * the id copy equals the id in v's state (ids are trusted unique in
+//     id-based families — the model's promise),
+//   * root: no parent pointer, distance 0, own id equals the root id;
+//   * non-root: the neighbor across the state's parent port carries
+//     distance dist-1 and the id named as v's parent;
+//   * every neighbor (over ALL graph edges) advertises the same root id.
+// Strictly decreasing distances kill cycles; unique ids kill second roots;
+// a shared root id over a connected graph kills forests.  Together the
+// parent pointers must induce a spanning tree.
+//
+// The sublabel doubles as the orientation service for pi_Gamma / pi_mst:
+// from labels alone, a node can classify a tree neighbor as its parent
+// (own state's port) or child (the neighbor's parent id equals own id).
+#pragma once
+
+#include <optional>
+
+#include "plscheme/scheme.hpp"
+
+namespace mstv {
+
+/// Decoded form of the sublabel.
+struct SpanningTreeSublabel {
+  std::uint64_t id_copy = 0;
+  std::optional<std::uint64_t> parent_id;
+  std::uint64_t root_id = 0;
+  std::uint64_t dist = 0;
+};
+
+/// Serialization shared with the composed schemes: the sublabel is written
+/// into / parsed out of a larger label's bit stream.
+void write_spanning_tree_sublabel(BitWriter& w, const SpanningTreeSublabel& s);
+SpanningTreeSublabel read_spanning_tree_sublabel(BitReader& r);
+
+/// Computes the genuine sublabels for a configuration whose states encode
+/// a spanning tree (throws if they do not).
+std::vector<SpanningTreeSublabel> make_spanning_tree_sublabels(
+    const ConfigGraph& cfg);
+
+/// The local checks, exposed for composition.  `neighbor_sub[i]` is the
+/// parsed sublabel of the neighbor behind port i+1.  Returns false iff any
+/// check fails.
+bool check_spanning_tree_sublabel(const State& state,
+                                  const SpanningTreeSublabel& own,
+                                  const std::vector<SpanningTreeSublabel>&
+                                      neighbor_sub);
+
+/// Standalone scheme wrapping the sublabel (for direct tests/benches).
+class SpanningTreeScheme final : public ProofLabelingScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "spanning-tree"; }
+  [[nodiscard]] std::vector<Label> mark(const ConfigGraph& cfg) const override;
+  [[nodiscard]] bool verify(const LocalView& view) const override;
+};
+
+}  // namespace mstv

@@ -1,0 +1,330 @@
+#include "plscheme/tree_proof_schemes.hpp"
+
+#include <algorithm>
+
+#include "plscheme/gamma_scheme.hpp"
+#include "plscheme/spanning_tree_scheme.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+namespace {
+
+// ---------------------------------------------------------------------
+// Payload policies: what the per-level fields are and how they fold.
+// ---------------------------------------------------------------------
+
+struct DistancePolicy {
+  using ImplicitScheme = DistanceLabelingScheme;
+  using ImplicitLabel = DistanceLabel;
+
+  static const std::vector<std::uint64_t>& rho(const ImplicitLabel& l) {
+    return l.rho;
+  }
+  static bool well_shaped(const ImplicitLabel& l, std::uint32_t level) {
+    return l.dist.size() + 1 == level;
+  }
+  /// Distance contribution of a neighbor at level k ('*' contributes 0).
+  static Weight field(const ImplicitLabel& l,
+                      const std::vector<Orient>& orient, std::uint32_t k) {
+    return orient[k - 1] == Orient::Self ? Weight{0} : l.dist[k - 1];
+  }
+  /// Condition 7/8 with + in place of max.
+  static bool check_fold(const ImplicitLabel& self, std::uint32_t k,
+                         const ImplicitLabel& via,
+                         const std::vector<Orient>& via_orient, Weight w,
+                         PortNumber /*port_to_via*/) {
+    return self.dist[k - 1] == field(via, via_orient, k) + w;
+  }
+  /// No extra per-branch data.
+  static bool check_branch_prefix(const ImplicitLabel&, const ImplicitLabel&,
+                                  std::uint32_t) {
+    return true;
+  }
+  static bool check_at_separator(const ImplicitLabel&, std::uint32_t,
+                                 PortNumber) {
+    return true;
+  }
+};
+
+struct RoutingPolicy {
+  using ImplicitScheme = RoutingLabelingScheme;
+  using ImplicitLabel = RoutingLabel;
+
+  static const std::vector<std::uint64_t>& rho(const ImplicitLabel& l) {
+    return l.rho;
+  }
+  static bool well_shaped(const ImplicitLabel& l, std::uint32_t level) {
+    return l.toward.size() + 1 == level &&
+           l.branch_port.size() + 1 == level;
+  }
+  /// The `toward` entry must name the port by which the fold arrived.
+  static bool check_fold(const ImplicitLabel& self, std::uint32_t k,
+                         const ImplicitLabel& /*via*/,
+                         const std::vector<Orient>& /*via_orient*/,
+                         Weight /*w*/, PortNumber port_to_via) {
+    return self.toward[k - 1] == port_to_via;
+  }
+  /// Vertices of the same subtree of the level-(j+1) separator share its
+  /// entry port; adjacency propagates the equality down the branch.
+  static bool check_branch_prefix(const ImplicitLabel& a,
+                                  const ImplicitLabel& b,
+                                  std::uint32_t upto) {
+    for (std::uint32_t j = 0; j < upto; ++j) {
+      if (a.branch_port[j] != b.branch_port[j]) return false;
+    }
+    return true;
+  }
+  /// The separator itself anchors the induction: a neighbor that is in
+  /// one of its subtrees must carry exactly the separator's port to it.
+  static bool check_at_separator(const ImplicitLabel& deep_neighbor,
+                                 std::uint32_t k, PortNumber my_port) {
+    return deep_neighbor.branch_port[k - 1] == my_port;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Shared skeleton.
+// ---------------------------------------------------------------------
+
+template <typename Policy>
+struct Node {
+  std::vector<Orient> orient;
+  typename Policy::ImplicitLabel imp;
+
+  [[nodiscard]] std::uint32_t level() const {
+    return static_cast<std::uint32_t>(orient.size());
+  }
+};
+
+template <typename Policy>
+struct Parsed {
+  SpanningTreeSublabel st;
+  Node<Policy> node;
+  Label state_copy;
+};
+
+template <typename Policy>
+Parsed<Policy> parse_label(const Label& label,
+                           const typename Policy::ImplicitScheme& imp) {
+  BitReader r = label.reader();
+  Parsed<Policy> p;
+  p.st = read_spanning_tree_sublabel(r);
+  p.node.orient = read_orient_fields(r);
+  const std::uint64_t copy_bits = r.read_gamma0();
+  MSTV_EXPECTS_MSG(copy_bits <= r.remaining(), "corrupt label: copy length");
+  BitWriter w;
+  for (std::uint64_t i = 0; i < copy_bits; ++i) w.write_bit(r.read_bit());
+  p.state_copy = Label(w);
+  MSTV_EXPECTS_MSG(r.exhausted(), "corrupt label: trailing bits");
+  p.node.imp = imp.from_bits(p.state_copy);
+  return p;
+}
+
+template <typename Policy>
+std::vector<Label> mark_impl(const ConfigGraph& cfg,
+                             const typename Policy::ImplicitScheme& imp) {
+  const Graph& g = cfg.graph();
+  MSTV_EXPECTS_MSG(g.num_edges() + 1 == g.num_vertices(),
+                   "tree-labeling proof schemes are defined over trees");
+  const auto st = make_spanning_tree_sublabels(cfg);
+  VertexId root = kInvalidVertex;
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    if (!cfg.state(v).parent_port) root = v;
+  }
+  const RootedTree tree(g, root);
+
+  std::vector<std::vector<std::uint64_t>> rho;
+  rho.reserve(cfg.size());
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    rho.push_back(Policy::rho(imp.from_bits(cfg.state(v).payload)));
+  }
+  const auto ancestors = recover_separator_ancestors_from_rho(rho);
+
+  std::vector<Label> labels;
+  labels.reserve(cfg.size());
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    BitWriter w;
+    write_spanning_tree_sublabel(w, st[v]);
+    write_orient_fields(w, orient_from_ancestors(tree, v, ancestors[v]));
+    w.write_gamma0(cfg.state(v).payload.size_bits());
+    BitReader r = cfg.state(v).payload.reader();
+    while (!r.exhausted()) w.write_bit(r.read_bit());
+    labels.emplace_back(w);
+  }
+  return labels;
+}
+
+template <typename Policy>
+struct NeighborRef {
+  const Node<Policy>* node;
+  Weight weight;
+  PortNumber port;  // our port to this neighbor
+};
+
+template <typename Policy>
+bool verify_conditions(const Node<Policy>& self,
+                       const NeighborRef<Policy>* parent,
+                       const std::vector<NeighborRef<Policy>>& children) {
+  const std::uint32_t l = self.level();
+
+  const auto well_shaped = [](const Node<Policy>& node) {
+    const std::uint32_t lv = node.level();
+    if (lv == 0) return false;
+    if (Policy::rho(node.imp).size() + 1 != lv) return false;
+    if (!Policy::well_shaped(node.imp, lv)) return false;
+    if (node.orient[lv - 1] != Orient::Self) return false;
+    for (std::uint32_t k = 0; k + 1 < lv; ++k) {
+      if (node.orient[k] == Orient::Self) return false;
+    }
+    return true;
+  };
+  if (!well_shaped(self)) return false;
+  if (parent != nullptr && !well_shaped(*parent->node)) return false;
+  for (const auto& c : children) {
+    if (!well_shaped(*c.node)) return false;
+  }
+
+  // Condition 5 analog: E_sep prefixes (and per-branch data) agree with
+  // every tree neighbor up to the smaller level.
+  const auto check_prefix = [&](const Node<Policy>& w) {
+    const std::uint32_t m = std::min(l, w.level());
+    for (std::uint32_t j = 0; j + 1 < m; ++j) {
+      if (Policy::rho(self.imp)[j] != Policy::rho(w.imp)[j]) return false;
+    }
+    return m < 2 || Policy::check_branch_prefix(self.imp, w.imp, m - 1);
+  };
+  if (parent != nullptr && !check_prefix(*parent->node)) return false;
+  for (const auto& c : children) {
+    if (!check_prefix(*c.node)) return false;
+  }
+
+  for (std::uint32_t k = 1; k <= l; ++k) {
+    const Orient o = self.orient[k - 1];
+
+    if (o == Orient::Up) {
+      if (parent == nullptr) return false;
+      const Node<Policy>& p = *parent->node;
+      if (p.level() < k) return false;
+      for (const auto& c : children) {
+        if (c.node->level() >= k && c.node->orient[k - 1] != Orient::Up) {
+          return false;
+        }
+      }
+      if (!Policy::check_fold(self.imp, k, p.imp, p.orient, parent->weight,
+                              parent->port)) {
+        return false;
+      }
+
+    } else if (o == Orient::Down) {
+      const NeighborRef<Policy>* next = nullptr;
+      for (const auto& c : children) {
+        if (c.node->level() >= k && c.node->orient[k - 1] != Orient::Up) {
+          if (next != nullptr) return false;
+          next = &c;
+        }
+      }
+      if (next == nullptr) return false;
+      if (parent != nullptr && parent->node->level() >= k &&
+          parent->node->orient[k - 1] != Orient::Down) {
+        return false;
+      }
+      if (!Policy::check_fold(self.imp, k, next->node->imp,
+                              next->node->orient, next->weight,
+                              next->port)) {
+        return false;
+      }
+
+    } else {  // Self: k == l.
+      std::vector<std::uint64_t> subtree_numbers;
+      const auto check_deep = [&](const NeighborRef<Policy>& w,
+                                  bool w_is_parent) {
+        if (w.node->level() < l) return true;
+        if (w.node->level() == l) return false;
+        if (w_is_parent && w.node->orient[l - 1] != Orient::Down) {
+          return false;
+        }
+        if (!w_is_parent && w.node->orient[l - 1] != Orient::Up) {
+          return false;
+        }
+        subtree_numbers.push_back(Policy::rho(w.node->imp)[l - 1]);
+        // The separator anchors the per-branch data of its neighbors.
+        return Policy::check_at_separator(w.node->imp, l, w.port);
+      };
+      if (parent != nullptr && !check_deep(*parent, true)) return false;
+      for (const auto& c : children) {
+        if (!check_deep(c, false)) return false;
+      }
+      std::sort(subtree_numbers.begin(), subtree_numbers.end());
+      if (std::adjacent_find(subtree_numbers.begin(),
+                             subtree_numbers.end()) !=
+          subtree_numbers.end()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+template <typename Policy>
+bool verify_impl(const LocalView& view,
+                 const typename Policy::ImplicitScheme& imp) {
+  const Parsed<Policy> own = parse_label<Policy>(*view.label, imp);
+  if (own.state_copy != view.state->payload) return false;  // condition 1
+
+  std::vector<Parsed<Policy>> nbs;
+  nbs.reserve(view.neighbors.size());
+  for (const NeighborView& nb : view.neighbors) {
+    nbs.push_back(parse_label<Policy>(*nb.label, imp));
+  }
+
+  {
+    std::vector<SpanningTreeSublabel> st_nbs;
+    st_nbs.reserve(nbs.size());
+    for (const auto& p : nbs) st_nbs.push_back(p.st);
+    if (!check_spanning_tree_sublabel(*view.state, own.st, st_nbs)) {
+      return false;
+    }
+  }
+
+  const NeighborRef<Policy>* parent_ref = nullptr;
+  NeighborRef<Policy> parent_store{};
+  std::vector<NeighborRef<Policy>> children;
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    const bool is_parent =
+        view.state->parent_port &&
+        *view.state->parent_port == view.neighbors[i].port;
+    if (is_parent) {
+      parent_store = NeighborRef<Policy>{&nbs[i].node,
+                                         view.neighbors[i].weight,
+                                         view.neighbors[i].port};
+      parent_ref = &parent_store;
+    } else if (nbs[i].st.parent_id &&
+               *nbs[i].st.parent_id == own.st.id_copy) {
+      children.push_back(NeighborRef<Policy>{
+          &nbs[i].node, view.neighbors[i].weight, view.neighbors[i].port});
+    } else {
+      return false;  // tree family: every edge must be accounted for
+    }
+  }
+  return verify_conditions<Policy>(own.node, parent_ref, children);
+}
+
+}  // namespace
+
+std::vector<Label> DistanceProofScheme::mark(const ConfigGraph& cfg) const {
+  return mark_impl<DistancePolicy>(cfg, imp_);
+}
+
+bool DistanceProofScheme::verify(const LocalView& view) const {
+  return verify_impl<DistancePolicy>(view, imp_);
+}
+
+std::vector<Label> RoutingProofScheme::mark(const ConfigGraph& cfg) const {
+  return mark_impl<RoutingPolicy>(cfg, imp_);
+}
+
+bool RoutingProofScheme::verify(const LocalView& view) const {
+  return verify_impl<RoutingPolicy>(view, imp_);
+}
+
+}  // namespace mstv

@@ -1,0 +1,62 @@
+// Proof labeling schemes for the distance and routing implicit labelings —
+// the other half of the paper's closing remark ("similar techniques can be
+// used to provide compact proof labeling schemes for various implicit
+// labeling schemes on trees, such as routing, distance etc.").
+//
+// Both schemes follow the pi_Gamma template (Lemma 3.3): the label adds
+// the spanning-tree/orientation sublabel, the per-level orientation flags
+// and a copy of the state, and the verifier checks the same structural
+// conditions (field counts, '*' discipline, E_sep prefix agreement,
+// sibling-subtree disjointness) — only the inductive per-level fold
+// changes:
+//
+//   * DistanceProofScheme — the level-k field must equal the *sum* of edge
+//     weights folded toward the level-k separator
+//     (conditions 7/8 with + in place of max);
+//   * RoutingProofScheme — the level-k `toward` port must be the parent
+//     port when the separator is above, or the port to the unique
+//     continuing child when it is below, and each vertex's `branch_port`
+//     entry must equal the separator's actual port into its subtree —
+//     which the separator itself checks against its own port numbers, and
+//     prefix agreement propagates down the branch.
+//
+// If every node accepts, the state payloads are distance / routing labels
+// of *some* member of the family Gamma, and the family-wide decoders of
+// labeling/tree_labelings.hpp answer dist(u, v) / next-hop(u, v) correctly
+// — i.e. self-stabilizing compact distance/routing tables on trees.
+#pragma once
+
+#include "labeling/tree_labelings.hpp"
+#include "plscheme/scheme.hpp"
+
+namespace mstv {
+
+class DistanceProofScheme final : public ProofLabelingScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "pi-distance"; }
+  [[nodiscard]] std::vector<Label> mark(const ConfigGraph& cfg) const override;
+  [[nodiscard]] bool verify(const LocalView& view) const override;
+
+  [[nodiscard]] const DistanceLabelingScheme& implicit_scheme() const {
+    return imp_;
+  }
+
+ private:
+  DistanceLabelingScheme imp_;
+};
+
+class RoutingProofScheme final : public ProofLabelingScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "pi-routing"; }
+  [[nodiscard]] std::vector<Label> mark(const ConfigGraph& cfg) const override;
+  [[nodiscard]] bool verify(const LocalView& view) const override;
+
+  [[nodiscard]] const RoutingLabelingScheme& implicit_scheme() const {
+    return imp_;
+  }
+
+ private:
+  RoutingLabelingScheme imp_;
+};
+
+}  // namespace mstv

@@ -1,0 +1,45 @@
+#include "runtime/async_network.hpp"
+
+#include <algorithm>
+
+namespace mstv {
+
+AsyncRoundResult async_verification_round(const ConfigGraph& cfg,
+                                          const ProofLabelingScheme& scheme,
+                                          const std::vector<Label>& labels,
+                                          Rng& rng,
+                                          const AsyncOptions& opts) {
+  MSTV_EXPECTS(labels.size() == cfg.size());
+  MSTV_EXPECTS(opts.min_delay >= 0 && opts.min_delay <= opts.max_delay);
+  const Graph& g = cfg.graph();
+
+  AsyncRoundResult res;
+  // Decide-time per node = max delay over its incoming label messages.
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    double last_input = 0.0;
+    for (std::uint32_t i = 0; i < g.degree(v); ++i) {
+      const double delay =
+          opts.min_delay + (opts.max_delay - opts.min_delay) * rng.real();
+      last_input = std::max(last_input, delay);
+      ++res.messages;
+    }
+    res.completion_time = std::max(res.completion_time, last_input);
+
+    const LocalView view = make_local_view(cfg, v, labels);
+    bool ok;
+    try {
+      ok = scheme.verify(view);
+    } catch (const PreconditionError&) {
+      ok = false;
+    }
+    if (!ok) {
+      res.rejecting.push_back(v);
+      res.first_detection_time =
+          std::min(res.first_detection_time, last_input);
+    }
+  }
+  res.accepted = res.rejecting.empty();
+  return res;
+}
+
+}  // namespace mstv

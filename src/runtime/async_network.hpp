@@ -1,0 +1,46 @@
+// Asynchronous execution of a verification round.
+//
+// The paper's model is round-free: a verifier fires once it has its
+// neighbors' labels, whenever they arrive.  This module runs one
+// verification exchange under per-message delivery delays (the standard
+// asynchronous abstraction of the self-stabilization literature): every
+// directed label transmission gets an independent delay in
+// [min_delay, max_delay]; a node decides at the instant its last input
+// arrives.
+//
+// Verdicts are exactly those of the synchronous round (the verifier is a
+// deterministic function of N_L(v)); what asynchrony adds is *timing* —
+// when the first alarm fires and when the whole network has decided.
+// Detection latency is therefore bounded by one maximal message delay,
+// not by a global round: the "local" in local verification.
+#pragma once
+
+#include <limits>
+
+#include "plscheme/runner.hpp"
+#include "util/rng.hpp"
+
+namespace mstv {
+
+struct AsyncOptions {
+  double min_delay = 1.0;  // per-message delivery delay bounds
+  double max_delay = 5.0;
+};
+
+struct AsyncRoundResult {
+  bool accepted = false;
+  std::vector<VertexId> rejecting;
+  /// Instant the last node decided (= max over nodes of its last input).
+  double completion_time = 0.0;
+  /// Instant the first rejecting node decided; +inf when all accept.
+  double first_detection_time = std::numeric_limits<double>::infinity();
+  std::size_t messages = 0;
+};
+
+AsyncRoundResult async_verification_round(const ConfigGraph& cfg,
+                                          const ProofLabelingScheme& scheme,
+                                          const std::vector<Label>& labels,
+                                          Rng& rng,
+                                          const AsyncOptions& opts = {});
+
+}  // namespace mstv

@@ -1,0 +1,126 @@
+#include "runtime/boruvka_sim.hpp"
+
+#include <algorithm>
+
+#include "mst/union_find.hpp"
+#include "util/bitstream.hpp"
+#include "util/check.hpp"
+
+namespace mstv {
+namespace {
+
+/// Maximum BFS depth from each fragment's root over the accepted tree
+/// edges; also counts tree edges per fragment.
+struct FragmentShape {
+  std::size_t max_depth = 0;
+  std::size_t tree_edges = 0;
+};
+
+FragmentShape fragment_shape(const Graph& g, const std::vector<bool>& in_tree,
+                             const std::vector<VertexId>& roots,
+                             const std::vector<VertexId>& frag_of) {
+  FragmentShape shape;
+  std::vector<std::uint32_t> depth(g.num_vertices(), ~0u);
+  std::vector<VertexId> queue;
+  for (const VertexId r : roots) {
+    depth[r] = 0;
+    queue.push_back(r);
+  }
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const VertexId v = queue[qi];
+    shape.max_depth = std::max<std::size_t>(shape.max_depth, depth[v]);
+    for (const PortInfo& p : g.ports(v)) {
+      if (!in_tree[p.edge] || depth[p.neighbor] != ~0u) continue;
+      MSTV_ASSERT(frag_of[p.neighbor] == frag_of[v]);
+      depth[p.neighbor] = depth[v] + 1;
+      ++shape.tree_edges;
+      queue.push_back(p.neighbor);
+    }
+  }
+  return shape;
+}
+
+}  // namespace
+
+DistributedMstStats distributed_boruvka(const Graph& g) {
+  MSTV_EXPECTS_MSG(g.is_connected(), "MST requires a connected graph");
+  const std::size_t n = g.num_vertices();
+  const std::size_t id_bits = static_cast<std::size_t>(bit_width_u64(n)) + 1;
+  const std::size_t weight_bits =
+      static_cast<std::size_t>(bit_width_u64(g.max_weight())) + 1;
+
+  DistributedMstStats stats;
+  UnionFind uf(n);
+  std::vector<bool> in_tree(g.num_edges(), false);
+
+  while (uf.num_sets() > 1) {
+    ++stats.phases;
+
+    // Fragment ids and roots (representatives).
+    std::vector<VertexId> frag_of(n);
+    std::vector<VertexId> roots;
+    for (VertexId v = 0; v < n; ++v) {
+      frag_of[v] = static_cast<VertexId>(uf.find(v));
+      if (frag_of[v] == v) roots.push_back(v);
+    }
+    const FragmentShape before = fragment_shape(g, in_tree, roots, frag_of);
+
+    // Probe: exchange fragment ids over every edge.
+    stats.messages += 2 * g.num_edges();
+    stats.message_bits += 2 * g.num_edges() * id_bits;
+    stats.rounds += 1;
+
+    // Minimum outgoing edge per fragment ((weight, id) order).
+    std::vector<EdgeId> best(n, kInvalidEdge);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& ed = g.edge(e);
+      const VertexId fu = frag_of[ed.u], fv = frag_of[ed.v];
+      if (fu == fv) continue;
+      for (const VertexId f : {fu, fv}) {
+        if (best[f] == kInvalidEdge) {
+          best[f] = e;
+        } else {
+          const Edge& be = g.edge(best[f]);
+          if (ed.w < be.w || (ed.w == be.w && e < best[f])) best[f] = e;
+        }
+      }
+    }
+
+    // Convergecast the candidates to the roots, broadcast the decision:
+    // one message per fragment tree edge each way, taking depth rounds.
+    stats.messages += 2 * before.tree_edges;
+    stats.message_bits +=
+        2 * before.tree_edges * (id_bits + weight_bits);
+    stats.rounds += 2 * std::max<std::size_t>(before.max_depth, 1);
+
+    // Merge.
+    std::size_t merged_edges = 0;
+    for (const VertexId f : roots) {
+      const EdgeId e = best[f];
+      if (e == kInvalidEdge) continue;
+      if (uf.unite(g.edge(e).u, g.edge(e).v)) {
+        in_tree[e] = true;
+        stats.tree.push_back(e);
+        ++merged_edges;
+      }
+    }
+    MSTV_ASSERT_MSG(merged_edges > 0, "Borůvka phase made no progress");
+
+    // Re-broadcast the merged fragment ids over the grown trees.
+    std::vector<VertexId> new_frag(n);
+    std::vector<VertexId> new_roots;
+    for (VertexId v = 0; v < n; ++v) {
+      new_frag[v] = static_cast<VertexId>(uf.find(v));
+      if (new_frag[v] == v) new_roots.push_back(v);
+    }
+    const FragmentShape after = fragment_shape(g, in_tree, new_roots, new_frag);
+    stats.messages += after.tree_edges;
+    stats.message_bits += after.tree_edges * id_bits;
+    stats.rounds += std::max<std::size_t>(after.max_depth, 1);
+  }
+
+  MSTV_ASSERT(stats.tree.size() + 1 == n);
+  return stats;
+}
+
+}  // namespace mstv

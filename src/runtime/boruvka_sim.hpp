@@ -1,0 +1,37 @@
+// Synchronous distributed Borůvka/GHS-style MST computation, simulated
+// with message and round accounting.
+//
+// This is the "computation" side of the paper's motivating comparison:
+// computing an MST distributively "requires a computation that involves
+// all the network nodes, and involves messages sent to remote nodes and
+// waiting for replies", whereas verification is one local exchange.
+// Bench E6 puts the two side by side.
+//
+// Accounting model per phase (standard GHS-style costs):
+//   * probe:      every edge exchanges fragment ids (2 messages/edge,
+//                 O(log n) bits each),
+//   * convergecast/broadcast: the minimum outgoing edge is aggregated to
+//                 the fragment root and the merge decision broadcast back
+//                 (2 messages per fragment tree edge, O(log n + log W)
+//                 bits), taking 2 * fragment-tree-depth rounds,
+//   * merge:      fragment ids are re-broadcast over the merged trees.
+// Phases repeat until one fragment remains (at most ceil(log2 n) phases).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mstv {
+
+struct DistributedMstStats {
+  std::size_t phases = 0;
+  std::size_t rounds = 0;        // synchronous time steps
+  std::size_t messages = 0;
+  std::size_t message_bits = 0;
+  std::vector<EdgeId> tree;      // the MST found
+};
+
+DistributedMstStats distributed_boruvka(const Graph& g);
+
+}  // namespace mstv

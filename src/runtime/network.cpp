@@ -1,0 +1,103 @@
+#include "runtime/network.hpp"
+
+namespace mstv {
+
+void SimNetwork::install_marker_labels() {
+  labels_ = scheme_->mark(cfg_);
+}
+
+RoundStats SimNetwork::verification_round() const {
+  RoundStats stats;
+  // Every node sends its label through every port.
+  for (VertexId v = 0; v < cfg_.size(); ++v) {
+    stats.messages += cfg_.graph().degree(v);
+    stats.bits += cfg_.graph().degree(v) * labels_[v].size_bits();
+  }
+  const VerificationResult r = run_verifier(*scheme_, cfg_, labels_);
+  stats.rejecting = r.rejecting.size();
+  stats.accepted = r.accepted;
+  return stats;
+}
+
+RoundStats SimNetwork::verification_round_with_channel_faults(
+    Rng& rng, double flip_prob) const {
+  RoundStats stats;
+  for (VertexId v = 0; v < cfg_.size(); ++v) {
+    // Received copies, independently corrupted per channel.
+    std::vector<Label> received;
+    const auto ports = cfg_.graph().ports(v);
+    received.reserve(ports.size());
+    for (const PortInfo& p : ports) {
+      Label copy = labels_[p.neighbor];
+      if (copy.size_bits() > 0 && rng.chance(flip_prob)) {
+        copy = copy.with_bit_flipped(rng.index(copy.size_bits()));
+      }
+      stats.messages += 1;
+      stats.bits += copy.size_bits();
+      received.push_back(std::move(copy));
+    }
+
+    LocalView view;
+    view.v = v;
+    view.state = &cfg_.state(v);
+    view.label = &labels_[v];
+    view.neighbors.reserve(ports.size());
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      view.neighbors.push_back(NeighborView{
+          static_cast<PortNumber>(i + 1), ports[i].weight, &received[i]});
+    }
+    bool ok;
+    try {
+      ok = scheme_->verify(view);
+    } catch (const PreconditionError&) {
+      ok = false;
+    }
+    if (!ok) ++stats.rejecting;
+  }
+  stats.accepted = stats.rejecting == 0;
+  return stats;
+}
+
+std::optional<FaultRecord> FaultInjector::inject(SimNetwork& net) {
+  const auto kind = static_cast<FaultKind>(rng_->uniform(0, 3));
+  const auto victim = static_cast<VertexId>(rng_->index(net.config().size()));
+  return inject(net, kind, victim);
+}
+
+std::optional<FaultRecord> FaultInjector::inject(SimNetwork& net,
+                                                 FaultKind kind,
+                                                 VertexId victim) {
+  ConfigGraph& cfg = net.config();
+  State& s = cfg.state(victim);
+  const auto deg = cfg.graph().degree(victim);
+  switch (kind) {
+    case FaultKind::RedirectParent: {
+      if (!s.parent_port || deg < 2) return std::nullopt;
+      PortNumber p;
+      do {
+        p = static_cast<PortNumber>(rng_->uniform(1, deg));
+      } while (p == *s.parent_port);
+      s.parent_port = p;
+      break;
+    }
+    case FaultKind::DropParent: {
+      if (!s.parent_port) return std::nullopt;
+      s.parent_port.reset();
+      break;
+    }
+    case FaultKind::MakeParent: {
+      if (s.parent_port || deg == 0) return std::nullopt;
+      s.parent_port = static_cast<PortNumber>(rng_->uniform(1, deg));
+      break;
+    }
+    case FaultKind::FlipLabelBit: {
+      Label& l = net.labels()[victim];
+      if (l.size_bits() == 0) return std::nullopt;
+      l = l.with_bit_flipped(rng_->index(l.size_bits()));
+      break;
+    }
+  }
+  return FaultRecord{kind, victim};
+}
+
+}  // namespace mstv

@@ -1,0 +1,97 @@
+// Simulated synchronous network executing a proof labeling scheme.
+//
+// Each verification round, every node sends its label across every
+// incident edge and runs the verifier on what it received — exactly the
+// model's "compare this information between neighboring nodes" cost.  The
+// simulator accounts messages and bits so bench E6 can compare one round
+// of verification against a full distributed MST computation, and the
+// self-stabilization driver (R9) can charge repeated verification
+// honestly.
+//
+// FaultInjector produces the adversarial transient faults that motivate
+// the paper's self-stabilization application: it rewires parent pointers,
+// deletes roots / creates second roots, and flips label bits.  Node
+// identities are left alone — id-based families promise unique ids, and
+// the schemes' guarantees are stated under that promise.
+#pragma once
+
+#include <cstdint>
+
+#include "plscheme/runner.hpp"
+#include "util/rng.hpp"
+
+namespace mstv {
+
+struct RoundStats {
+  std::size_t messages = 0;      // one per (edge, direction)
+  std::size_t bits = 0;          // sum of transmitted label bits
+  std::size_t rejecting = 0;     // nodes that output 0 this round
+  bool accepted = false;
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(ConfigGraph cfg, const ProofLabelingScheme& scheme)
+      : cfg_(std::move(cfg)),
+        scheme_(&scheme),
+        labels_(cfg_.size()) {}
+
+  /// Runs the marker and installs its labels.
+  void install_marker_labels();
+
+  /// One synchronous verification round.
+  [[nodiscard]] RoundStats verification_round() const;
+
+  /// One verification round over faulty channels: each transmitted label
+  /// copy is independently corrupted (one random bit flip) with
+  /// probability `flip_prob`.  Models transient link faults as opposed to
+  /// the memory faults of FaultInjector; receivers must reject garbage
+  /// rather than crash or accept.
+  [[nodiscard]] RoundStats verification_round_with_channel_faults(
+      Rng& rng, double flip_prob) const;
+
+  [[nodiscard]] ConfigGraph& config() noexcept { return cfg_; }
+  [[nodiscard]] const ConfigGraph& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::vector<Label>& labels() noexcept { return labels_; }
+  [[nodiscard]] const std::vector<Label>& labels() const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] const ProofLabelingScheme& scheme() const noexcept {
+    return *scheme_;
+  }
+
+ private:
+  ConfigGraph cfg_;
+  const ProofLabelingScheme* scheme_;
+  std::vector<Label> labels_;
+};
+
+enum class FaultKind : std::uint8_t {
+  RedirectParent,  // point the parent port at a random other port
+  DropParent,      // clear the parent pointer (spurious second root)
+  MakeParent,      // give the root a parent pointer (cycle risk)
+  FlipLabelBit,    // corrupt one bit of the stored proof label
+};
+
+struct FaultRecord {
+  FaultKind kind{};
+  VertexId victim = kInvalidVertex;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Rng& rng) : rng_(&rng) {}
+
+  /// Applies one random fault; returns what was done (or nullopt if the
+  /// drawn fault is inapplicable, e.g. RedirectParent at the root).
+  std::optional<FaultRecord> inject(SimNetwork& net);
+
+  /// Applies a specific fault at a specific vertex if applicable.
+  std::optional<FaultRecord> inject(SimNetwork& net, FaultKind kind,
+                                    VertexId victim);
+
+ private:
+  Rng* rng_;
+};
+
+}  // namespace mstv

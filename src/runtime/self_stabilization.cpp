@@ -1,0 +1,38 @@
+#include "runtime/self_stabilization.hpp"
+
+#include "mst/algorithms.hpp"
+
+namespace mstv {
+
+SelfStabilizingMst::SelfStabilizingMst(const Graph& g, const MstScheme& scheme)
+    : g_(&g),
+      scheme_(&scheme),
+      net_(make_tree_config(g, kruskal_mst(g), 0), scheme) {
+  net_.install_marker_labels();
+}
+
+StabilizationStats SelfStabilizingMst::stabilize() {
+  StabilizationStats stats;
+
+  const RoundStats round = net_.verification_round();
+  stats.verify_messages = round.messages;
+  stats.verify_bits = round.bits;
+  stats.fault_detected = !round.accepted;
+  stats.detecting_nodes = round.rejecting;
+  if (!stats.fault_detected) return stats;
+
+  // Repair: distributed recomputation, then reinstall states and labels.
+  stats.recompute = distributed_boruvka(*g_);
+  ConfigGraph fresh = make_tree_config(*g_, stats.recompute.tree, 0);
+  for (VertexId v = 0; v < fresh.size(); ++v) {
+    net_.config().state(v) = fresh.state(v);
+  }
+  net_.install_marker_labels();
+  stats.repaired = true;
+  for (const Label& l : net_.labels()) stats.remark_bits += l.size_bits();
+
+  stats.silent_after = net_.verification_round().accepted;
+  return stats;
+}
+
+}  // namespace mstv

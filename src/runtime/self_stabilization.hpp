@@ -1,0 +1,63 @@
+// The self-stabilization application (Section 1.1): "self stabilizing
+// algorithms often use distributed verification repeatedly.  If the
+// verification fails, then the output (e.g. the MST) is recomputed.  An
+// efficient verification algorithm thus saves repeatedly in
+// communication."
+//
+// SelfStabilizingMst runs that loop on the simulated network:
+//   1. steady state: one verification round per time step (cheap, local);
+//   2. an adversary corrupts states and/or labels;
+//   3. the next verification round detects the fault at some node
+//      (detection is one round by construction — the verifier is local);
+//   4. repair: recompute the MST with the distributed Borůvka simulation,
+//      reinstall states, re-run the marker;
+//   5. silence: verification passes again and stays label-stable.
+// The stats separate the per-round verification cost from the repair
+// cost, which is the quantitative content of the motivation.
+#pragma once
+
+#include "plscheme/mst_scheme.hpp"
+#include "runtime/boruvka_sim.hpp"
+#include "runtime/network.hpp"
+
+namespace mstv {
+
+struct StabilizationStats {
+  // Detection (the verification round after the fault).
+  bool fault_detected = false;
+  std::size_t detecting_nodes = 0;
+  std::size_t verify_messages = 0;
+  std::size_t verify_bits = 0;
+
+  // Repair (recompute + re-mark); zero if nothing was detected.
+  bool repaired = false;
+  DistributedMstStats recompute;
+  std::size_t remark_bits = 0;  // total bits of the freshly installed labels
+
+  // Post-repair check.
+  bool silent_after = false;
+};
+
+class SelfStabilizingMst {
+ public:
+  /// Computes an MST of g, installs the canonical configuration rooted at
+  /// vertex 0 and runs the marker.
+  SelfStabilizingMst(const Graph& g, const MstScheme& scheme);
+
+  [[nodiscard]] SimNetwork& network() noexcept { return net_; }
+
+  /// One steady-state verification round.
+  [[nodiscard]] RoundStats tick() const { return net_.verification_round(); }
+
+  /// Detect-and-repair step: runs a verification round; if any node
+  /// rejects, recomputes the MST distributively, reinstalls states and
+  /// labels, and verifies silence.
+  StabilizationStats stabilize();
+
+ private:
+  const Graph* g_;
+  const MstScheme* scheme_;
+  SimNetwork net_;
+};
+
+}  // namespace mstv

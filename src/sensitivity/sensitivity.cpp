@@ -1,0 +1,224 @@
+#include "sensitivity/sensitivity.hpp"
+
+#include <algorithm>
+
+#include "mst/algorithms.hpp"
+#include "mst/predicates.hpp"
+#include "tree/centroid.hpp"
+#include "tree/path_queries.hpp"
+
+namespace mstv {
+
+std::vector<std::optional<Weight>> compute_cover_min(const RootedTree& tree) {
+  const Graph& g = tree.graph();
+  const std::size_t n = tree.size();
+  std::vector<std::optional<Weight>> cover(n);
+
+  // Non-tree edges sorted by increasing weight: the first edge to cover a
+  // tree edge determines its cover_min.  The climb skips already-covered
+  // tree edges with a path-compressed jump pointer, giving O(m alpha)
+  // after the sort (the classic Tarjan interval-union sweep).
+  std::vector<EdgeId> nte;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!tree.contains_edge(e)) nte.push_back(e);
+  }
+  std::sort(nte.begin(), nte.end(), [&](EdgeId a, EdgeId b) {
+    return g.edge(a).w != g.edge(b).w ? g.edge(a).w < g.edge(b).w : a < b;
+  });
+
+  const TreePathQueries paths(tree);
+
+  // jump[v]: deepest vertex at-or-above v whose parent edge is uncovered.
+  std::vector<VertexId> jump(n);
+  for (VertexId v = 0; v < n; ++v) jump[v] = v;
+  auto find = [&](VertexId v) {
+    VertexId root = v;
+    while (jump[root] != root) root = jump[root];
+    while (jump[v] != root) {
+      const VertexId next = jump[v];
+      jump[v] = root;
+      v = next;
+    }
+    return root;
+  };
+
+  for (const EdgeId e : nte) {
+    const Edge& ed = g.edge(e);
+    const VertexId a = paths.lca(ed.u, ed.v);
+    for (VertexId side : {ed.u, ed.v}) {
+      VertexId v = find(side);
+      while (tree.depth(v) > tree.depth(a)) {
+        cover[v] = ed.w;            // first (lightest) edge covering (v,p(v))
+        jump[v] = tree.parent(v);   // skip it from now on
+        v = find(v);
+      }
+    }
+  }
+  return cover;
+}
+
+SensitivityOracle::SensitivityOracle(const Graph& g,
+                                     const std::vector<EdgeId>& tree_edges)
+    : g_(&g),
+      tree_(g, tree_edges, 0),
+      max_scheme_(ExtremaKind::Max, SepCoding::Telescoping) {
+  MSTV_EXPECTS_MSG(is_mst(g, tree_edges),
+                   "sensitivity is defined relative to a minimum tree");
+  labels_ = max_scheme_.encode(tree_);
+  cover_min_ = compute_cover_min(tree_);
+
+  child_of_edge_.assign(g.num_edges(), kInvalidVertex);
+  for (VertexId v = 0; v < tree_.size(); ++v) {
+    if (!tree_.is_root(v)) child_of_edge_[tree_.parent_edge(v)] = v;
+  }
+
+  for (const ExtremaLabel& l : labels_) {
+    aux_bits_ += max_scheme_.label_bits(l);
+  }
+  for (const auto& c : cover_min_) {
+    aux_bits_ += 1 + (c ? gamma0_cost_bits(*c) : 0);
+  }
+}
+
+EdgeSensitivity SensitivityOracle::query(EdgeId e) const {
+  MSTV_EXPECTS(e < g_->num_edges());
+  const Edge& ed = g_->edge(e);
+  EdgeSensitivity out;
+  if (tree_.contains_edge(e)) {
+    out.is_tree_edge = true;
+    const VertexId child = child_of_edge_[e];
+    const auto& c = cover_min_[child];
+    if (c) out.tolerance = *c - ed.w + 1;
+  } else {
+    out.is_tree_edge = false;
+    const Weight mx = max_scheme_.decode(labels_[ed.u], labels_[ed.v]);
+    out.tolerance = ed.w - mx + 1;
+  }
+  return out;
+}
+
+EdgeSensitivity brute_force_sensitivity(const Graph& g,
+                                        const std::vector<EdgeId>& tree_edges,
+                                        EdgeId e) {
+  MSTV_EXPECTS(e < g.num_edges());
+  std::vector<bool> in_tree(g.num_edges(), false);
+  for (const EdgeId t : tree_edges) in_tree[t] = true;
+
+  // Rebuilds the graph with omega(e) changed by +/- c and asks whether the
+  // (unchanged) tree is still a minimum spanning tree.
+  auto still_minimum = [&](Weight new_w) {
+    Graph::Builder b(g.num_vertices());
+    for (EdgeId i = 0; i < g.num_edges(); ++i) {
+      const Edge& ed = g.edge(i);
+      b.add_edge(ed.u, ed.v, i == e ? new_w : ed.w);
+    }
+    const Graph mod = b.build();
+    Weight tree_w = 0;
+    for (const EdgeId t : tree_edges) tree_w += mod.edge(t).w;
+    return tree_w == total_weight(mod, kruskal_mst(mod));
+  };
+
+  EdgeSensitivity out;
+  out.is_tree_edge = in_tree[e];
+  const Weight w = g.edge(e).w;
+  if (out.is_tree_edge) {
+    // Increase until no longer minimum; monotone, so binary search.  The
+    // largest meaningful increase makes e heavier than everything else.
+    Weight lo = 1, hi = g.max_weight() + 2;
+    if (still_minimum(w + hi)) return out;  // bridge: never replaceable
+    while (lo < hi) {
+      const Weight mid = lo + (hi - lo) / 2;
+      if (still_minimum(w + mid)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    out.tolerance = lo;
+  } else {
+    // Decrease; c <= w keeps weights non-negative, and c = w - MAX + 1 <= w
+    // always suffices because MAX >= 1 on weighted families.
+    Weight lo = 1, hi = w;
+    MSTV_EXPECTS_MSG(!still_minimum(0),
+                     "non-tree edge at weight 0 must beat some tree edge");
+    while (lo < hi) {
+      const Weight mid = lo + (hi - lo) / 2;
+      if (still_minimum(w - mid)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    out.tolerance = lo;
+  }
+  return out;
+}
+
+DistributedSensitivity::DistributedSensitivity(
+    const Graph& g, const std::vector<EdgeId>& tree_edges)
+    : g_(&g), max_scheme_(ExtremaKind::Max, SepCoding::Telescoping) {
+  MSTV_EXPECTS_MSG(is_mst(g, tree_edges),
+                   "sensitivity is defined relative to a minimum tree");
+  const RootedTree tree(g, tree_edges, 0);
+  const auto labels = max_scheme_.encode(tree);
+  const auto cover = compute_cover_min(tree);
+
+  node_states_.reserve(g.num_vertices());
+  parent_port_.assign(g.num_vertices(), std::nullopt);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!tree.is_root(v)) parent_port_[v] = tree.parent_port(v);
+    BitWriter w;
+    max_scheme_.write_to(w, labels[v]);
+    const bool has_parent = !tree.is_root(v);
+    w.write_bit(has_parent);
+    if (has_parent) {
+      w.write_bit(cover[v].has_value());
+      if (cover[v]) w.write_gamma0(*cover[v]);
+    }
+    node_states_.emplace_back(w);
+  }
+}
+
+std::size_t DistributedSensitivity::max_state_bits() const {
+  std::size_t mx = 0;
+  for (const Label& l : node_states_) mx = std::max(mx, l.size_bits());
+  return mx;
+}
+
+EdgeSensitivity DistributedSensitivity::query(VertexId v,
+                                              PortNumber port) const {
+  const PortInfo& p = g_->port(v, port);
+  const VertexId u = p.neighbor;
+
+  // Decode both endpoint states.
+  struct Decoded {
+    ExtremaLabel imp;
+    bool has_parent = false;
+    std::optional<Weight> cover;
+  };
+  auto decode = [&](VertexId x) {
+    BitReader r = node_states_[x].reader();
+    Decoded d;
+    d.imp = max_scheme_.read_from(r);
+    d.has_parent = r.read_bit();
+    if (d.has_parent && r.read_bit()) d.cover = r.read_gamma0();
+    return d;
+  };
+  const Decoded dv = decode(v);
+  const Decoded du = decode(u);
+
+  EdgeSensitivity out;
+  const bool v_child = parent_port_[v] && *parent_port_[v] == port;
+  const bool u_child = parent_port_[u] && *parent_port_[u] == p.reverse_port;
+  if (v_child || u_child) {
+    out.is_tree_edge = true;
+    const Decoded& child = v_child ? dv : du;
+    if (child.cover) out.tolerance = *child.cover - p.weight + 1;
+  } else {
+    out.is_tree_edge = false;
+    out.tolerance = p.weight - max_scheme_.decode(dv.imp, du.imp) + 1;
+  }
+  return out;
+}
+
+}  // namespace mstv

@@ -1,0 +1,108 @@
+// Sensitivity testing (Tarjan; Section 1.1 "Our results").
+//
+// Given a graph G and an MST T of G, the sensitivity of an edge e is the
+// minimum (positive, integral) change c to omega(e) — an increase for tree
+// edges, a decrease for non-tree edges — after which T is no longer *a*
+// minimum spanning tree of the modified graph:
+//
+//   non-tree f=(x,y):  c = omega(f) - MAX_T(x,y) + 1
+//   tree     e:        c = cover_min(e) - omega(e) + 1, where cover_min(e)
+//                      is the lightest non-tree edge whose tree path uses e
+//                      (no such edge => e is never replaceable => infinite).
+//
+// The paper relaxes Tarjan's problem: instead of writing each sensitivity
+// explicitly (Omega(|E| log W) bits), precompute *auxiliary labels* and
+// answer each edge query in constant time.  SensitivityOracle implements
+// that relaxation:
+//   * per-vertex gamma_small MAX labels (O(log n log W) bits each) answer
+//     non-tree queries via the family decoder,
+//   * per-tree-edge cover_min values (computed once with the classic
+//     sorted-non-tree-edges + interval-union sweep, O(m alpha) after the
+//     sort) answer tree queries.
+// DistributedSensitivity stores the same information *at the nodes* (each
+// node holds its label plus the cover_min of its parent edge), so an edge's
+// sensitivity is computable from the two endpoint states alone — the
+// distributed version of the problem.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "labeling/extrema_labeling.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+
+struct EdgeSensitivity {
+  bool is_tree_edge = false;
+  /// Minimal change that invalidates T; nullopt = no finite change works.
+  std::optional<Weight> tolerance;
+};
+
+/// cover_min per tree edge: cover_min[v] corresponds to the edge
+/// (v, parent(v)); the root's slot is unused.  nullopt = uncovered bridge.
+std::vector<std::optional<Weight>> compute_cover_min(const RootedTree& tree);
+
+class SensitivityOracle {
+ public:
+  /// Preprocesses G and its MST `tree_edges`.  Throws if the tree is not
+  /// an MST (sensitivities are defined relative to a *minimum* tree).
+  SensitivityOracle(const Graph& g, const std::vector<EdgeId>& tree_edges);
+
+  /// O(1)-ish query (the label decode compares O(log n)-field prefixes; the
+  /// unit-cost RAM of the paper's model does that in O(1) word operations).
+  [[nodiscard]] EdgeSensitivity query(EdgeId e) const;
+
+  [[nodiscard]] const RootedTree& tree() const noexcept { return tree_; }
+
+  /// Total auxiliary storage in bits (labels + cover values) — the measure
+  /// the relaxation trades against the Omega(|E| log W) explicit output.
+  [[nodiscard]] std::size_t auxiliary_bits() const noexcept {
+    return aux_bits_;
+  }
+
+ private:
+  const Graph* g_;
+  RootedTree tree_;
+  ExtremaLabelingScheme max_scheme_;
+  std::vector<ExtremaLabel> labels_;
+  std::vector<std::optional<Weight>> cover_min_;  // by child vertex
+  std::vector<VertexId> child_of_edge_;           // tree EdgeId -> child
+  std::size_t aux_bits_ = 0;
+};
+
+/// Reference answer by recomputation: modifies omega(e) by c and checks
+/// whether the tree is still minimum; binary-searches the threshold.
+/// O(m log m log W) per edge — tests only.
+EdgeSensitivity brute_force_sensitivity(const Graph& g,
+                                        const std::vector<EdgeId>& tree_edges,
+                                        EdgeId e);
+
+/// The distributed variant: every node stores a bit-string state from
+/// which any incident edge's sensitivity is computable given the neighbor's
+/// state (one label exchange).
+class DistributedSensitivity {
+ public:
+  DistributedSensitivity(const Graph& g,
+                         const std::vector<EdgeId>& tree_edges);
+
+  /// The bit-string stored at node v.
+  [[nodiscard]] const Label& node_state(VertexId v) const {
+    return node_states_.at(v);
+  }
+
+  [[nodiscard]] std::size_t max_state_bits() const;
+
+  /// Computes the sensitivity of the edge behind `port` of v using only
+  /// the two endpoint bit-strings (decoded on the fly).
+  [[nodiscard]] EdgeSensitivity query(VertexId v, PortNumber port) const;
+
+ private:
+  const Graph* g_;
+  ExtremaLabelingScheme max_scheme_;
+  std::vector<Label> node_states_;
+  std::vector<std::optional<PortNumber>> parent_port_;  // tree structure
+};
+
+}  // namespace mstv

@@ -1,0 +1,259 @@
+#include "tree/centroid.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mstv {
+namespace {
+
+constexpr Weight kWeightMax = std::numeric_limits<Weight>::max();
+
+/// Working state shared across the recursion.  All per-vertex scratch
+/// arrays are allocated once and reset entry-by-entry, keeping the whole
+/// decomposition at O(n log n).
+struct Decomposer {
+  const RootedTree& tree;
+  Rng* random_choice = nullptr;  // if set, pick random separators & numbers
+  SeparatorDecomposition out;
+  std::vector<bool> removed;             // separators already cut out
+  std::vector<std::uint32_t> size;       // subtree sizes within a component
+  std::vector<std::uint32_t> heaviest;   // heaviest child subtree
+  std::vector<std::uint32_t> branch_size;  // per branch root of current sep
+  std::vector<std::uint64_t> rho_of;       // per branch root of current sep
+
+  explicit Decomposer(const RootedTree& t)
+      : tree(t),
+        removed(t.size(), false),
+        size(t.size(), 0),
+        heaviest(t.size(), 0),
+        branch_size(t.size(), 0),
+        rho_of(t.size(), 0) {
+    const std::size_t n = t.size();
+    out.level.assign(n, 0);
+    out.sep_parent.assign(n, kInvalidVertex);
+    out.ancestors.assign(n, {});
+    out.rho.assign(n, {});
+    out.rho_raw.assign(n, {});
+    out.maxw.assign(n, {});
+    out.minw.assign(n, {});
+    out.sumw.assign(n, {});
+    out.toward.assign(n, {});
+    out.branch_port.assign(n, {});
+  }
+
+  /// DFS order of the component containing `start` with dfs-parents;
+  /// stays within tree edges and avoids removed vertices.
+  std::vector<std::pair<VertexId, VertexId>> component_order(VertexId start) {
+    std::vector<std::pair<VertexId, VertexId>> order;
+    std::vector<std::pair<VertexId, VertexId>> stack{{start, kInvalidVertex}};
+    while (!stack.empty()) {
+      const auto [v, par] = stack.back();
+      stack.pop_back();
+      order.emplace_back(v, par);
+      for (const PortInfo& p : tree.graph().ports(v)) {
+        if (!tree.contains_edge(p.edge) || removed[p.neighbor]) continue;
+        if (p.neighbor == par) continue;
+        stack.emplace_back(p.neighbor, v);
+      }
+    }
+    return order;
+  }
+
+  /// Centroid of the component given its DFS order.
+  VertexId find_centroid(const std::vector<std::pair<VertexId, VertexId>>& order) {
+    const auto total = static_cast<std::uint32_t>(order.size());
+    for (const auto& [v, par] : order) {
+      size[v] = 1;
+      heaviest[v] = 0;
+      (void)par;
+    }
+    for (std::size_t i = order.size(); i-- > 0;) {
+      const auto [v, par] = order[i];
+      if (par != kInvalidVertex) {
+        size[par] += size[v];
+        heaviest[par] = std::max(heaviest[par], size[v]);
+      }
+    }
+    VertexId best = order[0].first;
+    std::uint32_t best_load = total;
+    for (const auto& [v, par] : order) {
+      (void)par;
+      const std::uint32_t load = std::max(heaviest[v], total - size[v]);
+      if (load < best_load) {
+        best_load = load;
+        best = v;
+      }
+    }
+    for (const auto& [v, par] : order) {
+      size[v] = 0;
+      (void)par;
+    }
+    MSTV_ASSERT_MSG(best_load <= total / 2 || total == 1,
+                    "centroid property violated");
+    return best;
+  }
+
+  void decompose(VertexId start, std::uint32_t level, VertexId sep_parent) {
+    const auto order = component_order(start);
+    const VertexId c = (random_choice != nullptr)
+                           ? order[random_choice->index(order.size())].first
+                           : find_centroid(order);
+
+    out.level[c] = level;
+    out.sep_parent[c] = sep_parent;
+
+    // Walk outward from c, folding MAX/MIN/SUM along the path and
+    // remembering which branch (neighbor of c) each vertex hangs off,
+    // which port of c enters that branch, and each vertex's first-hop
+    // port back toward c (its walk predecessor, which lies on the path).
+    struct Item {
+      VertexId v;
+      VertexId from;
+      Weight mx;
+      Weight mn;
+      Weight sum;
+      VertexId branch;        // neighbor of c this path started with
+      PortNumber bport;       // c's port into this branch
+      PortNumber back_port;   // v's port toward `from` (first hop to c)
+    };
+    std::vector<Item> st{
+        {c, kInvalidVertex, 0, kWeightMax, 0, kInvalidVertex, 0, 0}};
+    std::vector<std::pair<VertexId, VertexId>> vertex_branch;  // (v, branch)
+    std::vector<VertexId> branch_roots;
+    while (!st.empty()) {
+      const Item it = st.back();
+      st.pop_back();
+      out.ancestors[it.v].push_back(c);
+      out.maxw[it.v].push_back(it.mx);
+      out.minw[it.v].push_back(it.mn);
+      out.sumw[it.v].push_back(it.sum);
+      out.toward[it.v].push_back(it.back_port);
+      out.branch_port[it.v].push_back(it.bport);
+      if (it.v != c) vertex_branch.emplace_back(it.v, it.branch);
+      const auto ports = tree.graph().ports(it.v);
+      for (std::size_t pi = 0; pi < ports.size(); ++pi) {
+        const PortInfo& p = ports[pi];
+        if (!tree.contains_edge(p.edge) || removed[p.neighbor]) continue;
+        if (p.neighbor == it.from) continue;
+        const bool at_c = (it.v == c);
+        const VertexId branch = at_c ? p.neighbor : it.branch;
+        const auto bport =
+            at_c ? static_cast<PortNumber>(pi + 1) : it.bport;
+        st.push_back({p.neighbor, it.v, std::max(it.mx, p.weight),
+                      std::min(it.mn, p.weight), it.sum + p.weight, branch,
+                      bport, p.reverse_port});
+      }
+    }
+
+    // Rank branches by size (descending) and assign rho = rank, 1-based.
+    // rho = rank is what lets E_sep telescope: the rank-r branch has at
+    // most |comp|/r vertices, so writing gamma(r) costs O(1 + log r) =
+    // O(1 + log(|comp|/|branch|)) bits, and the per-level costs sum to
+    // O(log n) along any root-to-vertex path of T_sep.
+    for (const auto& [v, br] : vertex_branch) {
+      if (branch_size[br] == 0) branch_roots.push_back(br);
+      ++branch_size[br];
+    }
+    std::sort(branch_roots.begin(), branch_roots.end(),
+              [&](VertexId a, VertexId b) {
+                return branch_size[a] != branch_size[b]
+                           ? branch_size[a] > branch_size[b]
+                           : a < b;
+              });
+    if (random_choice == nullptr) {
+      for (std::size_t i = 0; i < branch_roots.size(); ++i) {
+        rho_of[branch_roots[i]] = i + 1;
+      }
+    } else {
+      // Arbitrary-but-unique numbers, as the general family allows.
+      std::vector<std::uint64_t> nums(branch_roots.size());
+      for (std::size_t i = 0; i < nums.size(); ++i) {
+        nums[i] = 1 + 3 * i + random_choice->uniform(0, 2);
+      }
+      random_choice->shuffle(nums);
+      for (std::size_t i = 0; i < branch_roots.size(); ++i) {
+        rho_of[branch_roots[i]] = nums[i];
+      }
+    }
+    for (const auto& [v, br] : vertex_branch) {
+      out.rho[v].push_back(rho_of[br]);
+      out.rho_raw[v].push_back(static_cast<std::uint64_t>(br) + 1);
+    }
+    for (const VertexId br : branch_roots) {
+      branch_size[br] = 0;
+      rho_of[br] = 0;
+    }
+
+    // Recurse into each branch.
+    removed[c] = true;
+    for (const VertexId br : branch_roots) {
+      decompose(br, level + 1, c);
+    }
+  }
+};
+
+}  // namespace
+
+std::uint32_t SeparatorDecomposition::max_level() const {
+  std::uint32_t m = 0;
+  for (const auto l : level) m = std::max(m, l);
+  return m;
+}
+
+namespace {
+
+SeparatorDecomposition finish_decomposition(Decomposer& d) {
+  d.decompose(d.tree.root(), 1, kInvalidVertex);
+  // Post-conditions the rest of the system relies on.
+  for (VertexId v = 0; v < d.tree.size(); ++v) {
+    MSTV_ASSERT(d.out.level[v] >= 1);
+    MSTV_ASSERT(d.out.ancestors[v].size() == d.out.level[v]);
+    MSTV_ASSERT(d.out.ancestors[v].back() == v);
+    MSTV_ASSERT(d.out.rho[v].size() + 1 == d.out.level[v]);
+    MSTV_ASSERT(d.out.rho_raw[v].size() + 1 == d.out.level[v]);
+  }
+  return std::move(d.out);
+}
+
+}  // namespace
+
+SeparatorDecomposition perfect_separator_decomposition(const RootedTree& tree) {
+  Decomposer d(tree);
+  return finish_decomposition(d);
+}
+
+SeparatorDecomposition random_separator_decomposition(const RootedTree& tree,
+                                                      Rng& rng) {
+  Decomposer d(tree);
+  d.random_choice = &rng;
+  return finish_decomposition(d);
+}
+
+bool is_perfect_decomposition(const RootedTree& tree,
+                              const SeparatorDecomposition& sd) {
+  // The component of a separator c is exactly { u : c in ancestors[u] };
+  // its subtrees are the groups of proper members sharing a rho value.
+  const std::size_t n = tree.size();
+  std::vector<std::uint32_t> comp_size(n, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId a : sd.ancestors[u]) ++comp_size[a];
+  }
+  std::vector<std::vector<std::uint32_t>> sub(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::size_t k = 0; k + 1 < sd.ancestors[u].size(); ++k) {
+      const VertexId a = sd.ancestors[u][k];
+      const auto r = static_cast<std::size_t>(sd.rho[u][k]);
+      if (r == 0) return false;
+      if (sub[a].size() < r) sub[a].resize(r, 0);
+      ++sub[a][r - 1];
+    }
+  }
+  for (VertexId a = 0; a < n; ++a) {
+    for (const auto s : sub[a]) {
+      if (s > comp_size[a] / 2) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mstv

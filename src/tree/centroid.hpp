@@ -1,0 +1,88 @@
+// Perfect separator decomposition (Section 3 of the paper).
+//
+// "A separator decomposition is termed perfect if every separator v is
+//  chosen in such a way that |T_j(v)| <= |T|/2 for every j."
+//
+// A centroid of a tree satisfies exactly that, so choosing centroids
+// recursively yields a perfect decomposition with at most
+// floor(log2 n) + 1 levels.  For every vertex we record:
+//
+//   * its level l(v) in the separator tree T_sep (root separator = level 1),
+//   * its separator ancestors v_1 .. v_l (v_l = v itself),
+//   * the subtree numbers rho appended by each ancestor separator — ranked
+//     by decreasing subtree size, which is what makes the Elias-gamma
+//     encoded E_sep labels telescope to O(log n) bits (the [GPPR] trick
+//     cited via [14] in the paper),
+//   * MAX(v, v_i) and MIN(v, v_i) *within the component decomposed by
+//     v_i* — these are exactly the E_omega fields of the implicit schemes
+//     (paths from v to v_i stay inside v_i's component, so restricting to
+//     the component is equivalent to measuring on the whole tree).
+#pragma once
+
+#include <vector>
+
+#include "tree/rooted_tree.hpp"
+#include "util/rng.hpp"
+
+namespace mstv {
+
+struct SeparatorDecomposition {
+  /// l(v): depth of v in T_sep, 1-based.
+  std::vector<std::uint32_t> level;
+
+  /// Parent of v in T_sep; kInvalidVertex for the level-1 separator.
+  std::vector<VertexId> sep_parent;
+
+  /// ancestors[v][i] = the level-(i+1) separator of v; last entry is v.
+  std::vector<std::vector<VertexId>> ancestors;
+
+  /// rho[v][k] = subtree number assigned to v's branch by its level-(k+1)
+  /// separator, for k in [0, l(v)-2].  Size-ranked: 1 = largest subtree.
+  std::vector<std::vector<std::uint64_t>> rho;
+
+  /// rho_raw[v][k] = an alternative subtree numbering: the branch root's
+  /// vertex id + 1.  Unique per sibling subtree but Theta(log n) bits to
+  /// write — the numbering style of the pre-paper schemes, used by the
+  /// FixedWidth baseline coding.
+  std::vector<std::vector<std::uint64_t>> rho_raw;
+
+  /// maxw[v][i] = MAX(v, ancestors[v][i]); the last entry (i = l-1) is 0.
+  std::vector<std::vector<Weight>> maxw;
+
+  /// minw[v][i] = FLOW(v, ancestors[v][i]); last entry is Weight max.
+  std::vector<std::vector<Weight>> minw;
+
+  /// sumw[v][i] = weighted distance from v to ancestors[v][i] along the
+  /// tree; last entry is 0.  Fuels the implicit distance labeling scheme.
+  std::vector<std::vector<Weight>> sumw;
+
+  /// toward[v][i] = v's first-hop port toward ancestors[v][i]; 0 in the
+  /// last entry (v itself).  Fuels the implicit routing scheme.
+  std::vector<std::vector<PortNumber>> toward;
+
+  /// branch_port[v][i] = the port of the level-(i+1) separator that leads
+  /// into the subtree containing v; 0 in the last entry.  Lets the
+  /// separator itself route toward any member of one of its subtrees.
+  std::vector<std::vector<PortNumber>> branch_port;
+
+  [[nodiscard]] std::uint32_t max_level() const;
+};
+
+/// Decomposes the tree underlying `tree`.  O(n log n).
+SeparatorDecomposition perfect_separator_decomposition(const RootedTree& tree);
+
+/// A member of the *general* family of separator decompositions: separators
+/// are chosen uniformly at random (and subtree numbers are random but
+/// unique), so the decomposition is usually far from perfect.  Used to
+/// exercise the full family Gamma of Section 3.1 — Claim 3.1 (decoder
+/// correctness) and the soundness of pi_Gamma must hold for *any* member,
+/// not just gamma_small.  Depth can be Theta(n), so keep n small in tests.
+SeparatorDecomposition random_separator_decomposition(const RootedTree& tree,
+                                                      Rng& rng);
+
+/// Checks the defining property: every separator's subtrees have at most
+/// half the component size.  Used by tests.
+bool is_perfect_decomposition(const RootedTree& tree,
+                              const SeparatorDecomposition& sd);
+
+}  // namespace mstv

@@ -1,0 +1,117 @@
+#include "tree/path_queries.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mstv {
+
+namespace {
+constexpr Weight kWeightMax = std::numeric_limits<Weight>::max();
+}
+
+TreePathQueries::TreePathQueries(const RootedTree& tree) : tree_(&tree) {
+  const std::size_t n = tree.size();
+  levels_ = 1;
+  while ((std::size_t{1} << levels_) < n) ++levels_;
+
+  up_.assign(static_cast<std::size_t>(levels_), std::vector<VertexId>(n));
+  max_.assign(static_cast<std::size_t>(levels_), std::vector<Weight>(n, 0));
+  min_.assign(static_cast<std::size_t>(levels_),
+              std::vector<Weight>(n, kWeightMax));
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (tree.is_root(v)) {
+      up_[0][v] = v;  // self-loop at the root keeps jumps total
+      max_[0][v] = 0;
+      min_[0][v] = kWeightMax;
+    } else {
+      up_[0][v] = tree.parent(v);
+      max_[0][v] = tree.parent_weight(v);
+      min_[0][v] = tree.parent_weight(v);
+    }
+  }
+  for (std::size_t k = 1; k < static_cast<std::size_t>(levels_); ++k) {
+    for (VertexId v = 0; v < n; ++v) {
+      const VertexId mid = up_[k - 1][v];
+      up_[k][v] = up_[k - 1][mid];
+      max_[k][v] = std::max(max_[k - 1][v], max_[k - 1][mid]);
+      min_[k][v] = std::min(min_[k - 1][v], min_[k - 1][mid]);
+    }
+  }
+}
+
+VertexId TreePathQueries::lca(VertexId u, VertexId v) const {
+  const RootedTree& t = *tree_;
+  MSTV_EXPECTS(u < t.size() && v < t.size());
+  if (t.depth(u) < t.depth(v)) std::swap(u, v);
+  std::uint32_t diff = t.depth(u) - t.depth(v);
+  for (int k = 0; k < levels_; ++k) {
+    if ((diff >> k) & 1u) u = up_[static_cast<std::size_t>(k)][u];
+  }
+  if (u == v) return u;
+  for (int k = levels_ - 1; k >= 0; --k) {
+    const auto ku = static_cast<std::size_t>(k);
+    if (up_[ku][u] != up_[ku][v]) {
+      u = up_[ku][u];
+      v = up_[ku][v];
+    }
+  }
+  return tree_->parent(u);
+}
+
+void TreePathQueries::fold_up(VertexId u, VertexId anc, Weight& mx,
+                              Weight& mn) const {
+  std::uint32_t diff = tree_->depth(u) - tree_->depth(anc);
+  for (int k = 0; k < levels_; ++k) {
+    if ((diff >> k) & 1u) {
+      const auto ku = static_cast<std::size_t>(k);
+      mx = std::max(mx, max_[ku][u]);
+      mn = std::min(mn, min_[ku][u]);
+      u = up_[ku][u];
+    }
+  }
+  MSTV_ASSERT(u == anc);
+}
+
+Weight TreePathQueries::path_max(VertexId u, VertexId v) const {
+  const VertexId a = lca(u, v);
+  Weight mx = 0, mn = kWeightMax;
+  fold_up(u, a, mx, mn);
+  fold_up(v, a, mx, mn);
+  return mx;
+}
+
+Weight TreePathQueries::path_min(VertexId u, VertexId v) const {
+  const VertexId a = lca(u, v);
+  Weight mx = 0, mn = kWeightMax;
+  fold_up(u, a, mx, mn);
+  fold_up(v, a, mx, mn);
+  return mn;
+}
+
+std::uint32_t TreePathQueries::path_length(VertexId u, VertexId v) const {
+  const VertexId a = lca(u, v);
+  return tree_->depth(u) + tree_->depth(v) - 2 * tree_->depth(a);
+}
+
+Weight brute_path_max(const RootedTree& tree, VertexId u, VertexId v) {
+  Weight mx = 0;
+  while (u != v) {
+    if (tree.depth(u) < tree.depth(v)) std::swap(u, v);
+    mx = std::max(mx, tree.parent_weight(u));
+    u = tree.parent(u);
+  }
+  return mx;
+}
+
+Weight brute_path_min(const RootedTree& tree, VertexId u, VertexId v) {
+  Weight mn = kWeightMax;
+  while (u != v) {
+    if (tree.depth(u) < tree.depth(v)) std::swap(u, v);
+    mn = std::min(mn, tree.parent_weight(u));
+    u = tree.parent(u);
+  }
+  return mn;
+}
+
+}  // namespace mstv

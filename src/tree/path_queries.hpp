@@ -1,0 +1,51 @@
+// Tree-path queries: LCA, MAX(u,v) and FLOW(u,v) of Section 2.
+//
+//   MAX(u,v)  = maximum weight of an edge on the tree path u..v
+//   FLOW(u,v) = minimum weight of an edge on the tree path u..v
+//
+// Implemented with binary lifting (O(n log n) preprocessing, O(log n) per
+// query).  These are the *centralized* reference oracles: the implicit
+// labeling schemes of labeling/ answer the same queries from two labels
+// alone, and tests cross-check them against this structure; is_mst uses
+// MAX to apply the cycle rule.
+#pragma once
+
+#include <vector>
+
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+
+class TreePathQueries {
+ public:
+  explicit TreePathQueries(const RootedTree& tree);
+
+  [[nodiscard]] VertexId lca(VertexId u, VertexId v) const;
+
+  /// Maximum edge weight on the tree path u..v; 0 when u == v.
+  [[nodiscard]] Weight path_max(VertexId u, VertexId v) const;
+
+  /// Minimum edge weight on the tree path u..v (the paper's FLOW);
+  /// returns the max Weight value when u == v (empty path).
+  [[nodiscard]] Weight path_min(VertexId u, VertexId v) const;
+
+  /// Number of edges on the tree path u..v.
+  [[nodiscard]] std::uint32_t path_length(VertexId u, VertexId v) const;
+
+ private:
+  /// Folds (max, min) over the edges from u up to its ancestor `anc`.
+  void fold_up(VertexId u, VertexId anc, Weight& mx, Weight& mn) const;
+
+  const RootedTree* tree_;
+  int levels_;
+  // up_[k][v]: 2^k-th ancestor; max_/min_ fold edge weights along the jump.
+  std::vector<std::vector<VertexId>> up_;
+  std::vector<std::vector<Weight>> max_;
+  std::vector<std::vector<Weight>> min_;
+};
+
+/// Reference implementations that walk the path; O(n) per query.
+Weight brute_path_max(const RootedTree& tree, VertexId u, VertexId v);
+Weight brute_path_min(const RootedTree& tree, VertexId u, VertexId v);
+
+}  // namespace mstv

@@ -1,0 +1,83 @@
+#include "tree/rooted_tree.hpp"
+
+#include <algorithm>
+
+namespace mstv {
+
+RootedTree::RootedTree(const Graph& g, const std::vector<EdgeId>& tree_edges,
+                       VertexId root)
+    : g_(&g), root_(root) {
+  MSTV_EXPECTS(root < g.num_vertices());
+  MSTV_EXPECTS_MSG(tree_edges.size() + 1 == g.num_vertices(),
+                   "a spanning tree has exactly n-1 edges");
+  build(tree_edges);
+}
+
+RootedTree::RootedTree(const Graph& g, VertexId root) : g_(&g), root_(root) {
+  MSTV_EXPECTS(root < g.num_vertices());
+  MSTV_EXPECTS_MSG(g.num_edges() + 1 == g.num_vertices(),
+                   "graph is not a tree");
+  std::vector<EdgeId> all(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) all[e] = e;
+  build(all);
+}
+
+void RootedTree::build(const std::vector<EdgeId>& tree_edges) {
+  const Graph& g = *g_;
+  const std::size_t n = g.num_vertices();
+  tree_edges_ = tree_edges;
+  in_tree_.assign(g.num_edges(), false);
+  for (const EdgeId e : tree_edges) {
+    MSTV_EXPECTS(e < g.num_edges());
+    MSTV_EXPECTS_MSG(!in_tree_[e], "duplicate tree edge");
+    in_tree_[e] = true;
+  }
+
+  parent_.assign(n, kInvalidVertex);
+  parent_port_.assign(n, 0);
+  parent_weight_.assign(n, 0);
+  parent_edge_.assign(n, kInvalidEdge);
+  depth_.assign(n, 0);
+  children_.assign(n, {});
+  preorder_.clear();
+  preorder_.reserve(n);
+  pre_rank_.assign(n, 0);
+  subtree_size_.assign(n, 1);
+
+  // Iterative DFS over tree edges only.
+  std::vector<bool> visited(n, false);
+  std::vector<VertexId> stack{root_};
+  visited[root_] = true;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    pre_rank_[v] = static_cast<std::uint32_t>(preorder_.size());
+    preorder_.push_back(v);
+    // Push children in reverse port order so preorder follows port order.
+    const auto ps = g.ports(v);
+    for (std::size_t i = ps.size(); i-- > 0;) {
+      const PortInfo& p = ps[i];
+      if (!in_tree_[p.edge] || visited[p.neighbor]) continue;
+      visited[p.neighbor] = true;
+      parent_[p.neighbor] = v;
+      parent_port_[p.neighbor] = p.reverse_port;
+      parent_weight_[p.neighbor] = p.weight;
+      parent_edge_[p.neighbor] = p.edge;
+      depth_[p.neighbor] = depth_[v] + 1;
+      stack.push_back(p.neighbor);
+    }
+  }
+  MSTV_EXPECTS_MSG(preorder_.size() == n,
+                   "tree edges do not span the graph");
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (v != root_) children_[parent_[v]].push_back(v);
+  }
+  // Subtree sizes bottom-up over reverse preorder.
+  for (std::size_t i = n; i-- > 0;) {
+    const VertexId v = preorder_[i];
+    if (v != root_) subtree_size_[parent_[v]] += subtree_size_[v];
+  }
+}
+
+}  // namespace mstv

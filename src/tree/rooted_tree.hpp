@@ -1,0 +1,102 @@
+// Rooted-tree view over a spanning tree of a Graph.
+//
+// Centralises everything downstream modules need about the tree: parents
+// (with the port leading to them — the paper's state field of Definition
+// 2.1), depths, children, DFS orders and subtree sizes.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mstv {
+
+class RootedTree {
+ public:
+  /// Roots the subgraph formed by `tree_edges` of `g` at `root`.
+  /// Requires: `tree_edges` has exactly n-1 edges and spans `g`.
+  RootedTree(const Graph& g, const std::vector<EdgeId>& tree_edges,
+             VertexId root);
+
+  /// Convenience: `g` itself is a tree (m == n-1, connected).
+  RootedTree(const Graph& g, VertexId root);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+  [[nodiscard]] VertexId root() const noexcept { return root_; }
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+
+  [[nodiscard]] bool is_root(VertexId v) const { return v == root_; }
+
+  /// Parent of v; kInvalidVertex at the root.
+  [[nodiscard]] VertexId parent(VertexId v) const { return parent_.at(v); }
+
+  /// Port of v leading to its parent; 0 at the root.
+  [[nodiscard]] PortNumber parent_port(VertexId v) const {
+    return parent_port_.at(v);
+  }
+
+  /// Weight of the edge (v, parent(v)); undefined at the root.
+  [[nodiscard]] Weight parent_weight(VertexId v) const {
+    MSTV_EXPECTS(!is_root(v));
+    return parent_weight_[v];
+  }
+
+  /// Id of the edge (v, parent(v)); kInvalidEdge at the root.
+  [[nodiscard]] EdgeId parent_edge(VertexId v) const {
+    return parent_edge_.at(v);
+  }
+
+  [[nodiscard]] std::uint32_t depth(VertexId v) const { return depth_.at(v); }
+
+  [[nodiscard]] const std::vector<VertexId>& children(VertexId v) const {
+    return children_.at(v);
+  }
+
+  /// Vertices in DFS preorder from the root.
+  [[nodiscard]] const std::vector<VertexId>& preorder() const noexcept {
+    return preorder_;
+  }
+
+  /// Position of v in preorder (0-based).  The paper's step 4 of the
+  /// hypertree construction assigns identities by preorder; id = rank + 1.
+  [[nodiscard]] std::uint32_t preorder_rank(VertexId v) const {
+    return pre_rank_.at(v);
+  }
+
+  [[nodiscard]] std::uint32_t subtree_size(VertexId v) const {
+    return subtree_size_.at(v);
+  }
+
+  /// True if `anc` is an ancestor of v (inclusive).
+  [[nodiscard]] bool is_ancestor(VertexId anc, VertexId v) const {
+    return pre_rank_[anc] <= pre_rank_[v] &&
+           pre_rank_[v] < pre_rank_[anc] + subtree_size_[anc];
+  }
+
+  /// True if edge `e` of the underlying graph belongs to the tree.
+  [[nodiscard]] bool contains_edge(EdgeId e) const { return in_tree_.at(e); }
+
+  /// The tree-edge ids (n-1 of them).
+  [[nodiscard]] const std::vector<EdgeId>& tree_edges() const noexcept {
+    return tree_edges_;
+  }
+
+ private:
+  void build(const std::vector<EdgeId>& tree_edges);
+
+  const Graph* g_;
+  VertexId root_;
+  std::vector<EdgeId> tree_edges_;
+  std::vector<bool> in_tree_;  // by EdgeId
+  std::vector<VertexId> parent_;
+  std::vector<PortNumber> parent_port_;
+  std::vector<Weight> parent_weight_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::vector<VertexId>> children_;
+  std::vector<VertexId> preorder_;
+  std::vector<std::uint32_t> pre_rank_;
+  std::vector<std::uint32_t> subtree_size_;
+};
+
+}  // namespace mstv

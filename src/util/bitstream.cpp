@@ -1,0 +1,90 @@
+#include "util/bitstream.hpp"
+
+namespace mstv {
+
+void BitWriter::write_bit(bool b) {
+  const std::size_t word = nbits_ >> 6;
+  const std::size_t off = nbits_ & 63;
+  if (word == words_.size()) words_.push_back(0);
+  if (b) words_[word] |= (std::uint64_t{1} << off);
+  ++nbits_;
+}
+
+void BitWriter::write_uint(std::uint64_t value, int width) {
+  MSTV_EXPECTS(width >= 0 && width <= 64);
+  MSTV_EXPECTS_MSG(width == 64 || (value >> width) == 0,
+                   "value does not fit in the requested width");
+  for (int i = width - 1; i >= 0; --i) {
+    write_bit(((value >> i) & 1) != 0);
+  }
+}
+
+void BitWriter::write_unary(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) write_bit(false);
+  write_bit(true);
+}
+
+void BitWriter::write_gamma(std::uint64_t v) {
+  MSTV_EXPECTS(v >= 1);
+  const int w = bit_width_u64(v);  // w >= 1
+  write_unary(static_cast<std::uint64_t>(w - 1));
+  // Emit the w-1 bits below the leading one.
+  write_uint(v & ((w == 64) ? ~std::uint64_t{0} >> 1
+                            : ((std::uint64_t{1} << (w - 1)) - 1)),
+             w - 1);
+}
+
+void BitWriter::write_gamma0(std::uint64_t v) {
+  MSTV_EXPECTS(v != ~std::uint64_t{0});
+  write_gamma(v + 1);
+}
+
+void BitWriter::write_delta(std::uint64_t v) {
+  MSTV_EXPECTS(v >= 1);
+  const int w = bit_width_u64(v);
+  write_gamma(static_cast<std::uint64_t>(w));
+  write_uint(v & ((w == 64) ? ~std::uint64_t{0} >> 1
+                            : ((std::uint64_t{1} << (w - 1)) - 1)),
+             w - 1);
+}
+
+bool BitReader::read_bit() {
+  MSTV_EXPECTS_MSG(pos_ < nbits_, "bitstream exhausted");
+  const std::size_t word = pos_ >> 6;
+  const std::size_t off = pos_ & 63;
+  ++pos_;
+  return (((*words_)[word] >> off) & 1) != 0;
+}
+
+std::uint64_t BitReader::read_uint(int width) {
+  MSTV_EXPECTS(width >= 0 && width <= 64);
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    v = (v << 1) | (read_bit() ? 1u : 0u);
+  }
+  return v;
+}
+
+std::uint64_t BitReader::read_unary() {
+  std::uint64_t n = 0;
+  while (!read_bit()) ++n;
+  return n;
+}
+
+std::uint64_t BitReader::read_gamma() {
+  const auto w = read_unary() + 1;  // total bit width of the value
+  MSTV_EXPECTS_MSG(w <= 64, "corrupt gamma code");
+  std::uint64_t low = read_uint(static_cast<int>(w - 1));
+  return (std::uint64_t{1} << (w - 1)) | low;
+}
+
+std::uint64_t BitReader::read_gamma0() { return read_gamma() - 1; }
+
+std::uint64_t BitReader::read_delta() {
+  const auto w = read_gamma();
+  MSTV_EXPECTS_MSG(w >= 1 && w <= 64, "corrupt delta code");
+  std::uint64_t low = read_uint(static_cast<int>(w - 1));
+  return (std::uint64_t{1} << (w - 1)) | low;
+}
+
+}  // namespace mstv

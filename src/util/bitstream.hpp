@@ -1,0 +1,107 @@
+// Bit-exact serialization used for all labels in the repository.
+//
+// The paper's results are about *label sizes in bits*, so every label a
+// marker produces is materialised through a BitWriter and every verifier /
+// decoder reads it back through a BitReader.  This keeps the reported sizes
+// honest: a label's size is the number of bits actually written, not a
+// struct's sizeof.
+//
+// Supported primitives:
+//   * fixed-width unsigned integers (0..64 bits),
+//   * unary codes,
+//   * Elias gamma codes (self-delimiting; value v >= 1 costs
+//     2*floor(log2 v) + 1 bits) and the shifted variant for values >= 0,
+//   * delta codes (gamma of the length, then the value) for large weights.
+//
+// The Elias gamma code is what makes the telescoping separator labels of
+// gamma_small come out at O(log n) bits total (see labeling/extrema_labeling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mstv {
+
+/// Number of bits needed to represent `v` in binary (0 needs 0 bits by
+/// convention here; callers that need at least one bit must clamp).
+constexpr int bit_width_u64(std::uint64_t v) noexcept {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+/// Append-only bit buffer.  Bits are stored LSB-first inside 64-bit words.
+class BitWriter {
+ public:
+  /// Appends the `width` low bits of `value`, most significant bit first.
+  void write_uint(std::uint64_t value, int width);
+
+  /// Appends `n` in unary: n zero bits followed by a one bit.
+  void write_unary(std::uint64_t n);
+
+  /// Elias gamma code for v >= 1.
+  void write_gamma(std::uint64_t v);
+
+  /// Elias gamma code shifted so that v >= 0 is representable (encodes v+1).
+  void write_gamma0(std::uint64_t v);
+
+  /// Elias delta code for v >= 1: gamma(len) then len-1 payload bits.
+  void write_delta(std::uint64_t v);
+
+  /// Appends a single bit.
+  void write_bit(bool b);
+
+  /// Total number of bits written so far.
+  [[nodiscard]] std::size_t size_bits() const noexcept { return nbits_; }
+
+  /// Backing words; the final word may be partially filled.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t nbits_ = 0;
+};
+
+/// Sequential reader over the bits produced by a BitWriter.
+class BitReader {
+ public:
+  BitReader(const std::vector<std::uint64_t>& words, std::size_t nbits)
+      : words_(&words), nbits_(nbits) {}
+
+  [[nodiscard]] std::uint64_t read_uint(int width);
+  [[nodiscard]] std::uint64_t read_unary();
+  [[nodiscard]] std::uint64_t read_gamma();
+  [[nodiscard]] std::uint64_t read_gamma0();
+  [[nodiscard]] std::uint64_t read_delta();
+  [[nodiscard]] bool read_bit();
+
+  /// Bits not yet consumed.
+  [[nodiscard]] std::size_t remaining() const noexcept { return nbits_ - pos_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == nbits_; }
+
+ private:
+  const std::vector<std::uint64_t>* words_;
+  std::size_t nbits_;
+  std::size_t pos_ = 0;
+};
+
+/// Size in bits of the Elias gamma code of v (v >= 1).
+constexpr std::size_t gamma_cost_bits(std::uint64_t v) {
+  const int w = bit_width_u64(v);
+  return static_cast<std::size_t>(2 * w - 1);
+}
+
+/// Size in bits of the shifted gamma code of v (v >= 0).
+constexpr std::size_t gamma0_cost_bits(std::uint64_t v) {
+  return gamma_cost_bits(v + 1);
+}
+
+}  // namespace mstv

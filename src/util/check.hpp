@@ -1,0 +1,69 @@
+// Lightweight contract-checking macros (C++ Core Guidelines I.6/I.8 style
+// Expects/Ensures).  Violations throw, so tests can assert on them and the
+// simulated network never silently continues with corrupted invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mstv {
+
+/// Thrown when a precondition (caller bug / malformed input) is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant (library bug) is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_precondition(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void fail_invariant(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace mstv
+
+/// Precondition on public API arguments.
+#define MSTV_EXPECTS(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::mstv::detail::fail_precondition(#cond, __FILE__, __LINE__, "");     \
+  } while (false)
+
+#define MSTV_EXPECTS_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::mstv::detail::fail_precondition(#cond, __FILE__, __LINE__, (msg));  \
+  } while (false)
+
+/// Internal invariant; should be unreachable if the library is correct.
+#define MSTV_ASSERT(cond)                                                   \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::mstv::detail::fail_invariant(#cond, __FILE__, __LINE__, "");        \
+  } while (false)
+
+#define MSTV_ASSERT_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::mstv::detail::fail_invariant(#cond, __FILE__, __LINE__, (msg));     \
+  } while (false)

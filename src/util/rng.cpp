@@ -1,0 +1,4 @@
+#include "util/rng.hpp"
+
+// Header-only for now; this TU pins the module into the library and keeps a
+// place for future non-inline helpers (e.g. seeded sequence generators).

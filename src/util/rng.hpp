@@ -1,0 +1,57 @@
+// Deterministic pseudo-random source for generators, property tests and
+// fault injection.  A thin wrapper over std::mt19937_64 so every experiment
+// in EXPERIMENTS.md is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mstv {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    MSTV_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n) {
+    MSTV_EXPECTS(n > 0);
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double real() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// A fresh independent stream (for splitting work deterministically).
+  Rng split() { return Rng(uniform(0, ~std::uint64_t{0} - 1)); }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mstv

@@ -1,0 +1,98 @@
+#include "plscheme/agreement_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "plscheme/runner.hpp"
+
+namespace mstv {
+namespace {
+
+Label payload_of(std::uint64_t value, int bits) {
+  BitWriter w;
+  w.write_uint(value, bits);
+  return Label(w);
+}
+
+ConfigGraph agreement_config(const Graph& g, std::uint64_t value, int bits) {
+  std::vector<State> states(g.num_vertices());
+  for (auto& s : states) s.payload = payload_of(value, bits);
+  return ConfigGraph(g, std::move(states));
+}
+
+TEST(AgreementScheme, CompletenessOnAgreeingStates) {
+  Rng rng(71);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(30, 40, wo, rng);
+  const ConfigGraph cfg = agreement_config(g, 0xDEAD, 16);
+  EXPECT_TRUE(agreement_predicate(cfg));
+  const AgreementScheme scheme;
+  const auto result = mark_and_verify(scheme, cfg);
+  EXPECT_TRUE(result.accepted);
+  // Lemma 2.2: proof size is exactly m (the payload is copied verbatim).
+  EXPECT_EQ(result.max_label_bits, 16u);
+}
+
+TEST(AgreementScheme, SoundnessOneDeviantState) {
+  Rng rng(72);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(30, 10, wo, rng);
+  ConfigGraph cfg = agreement_config(g, 5, 8);
+  cfg.state(17).payload = payload_of(6, 8);
+  EXPECT_FALSE(agreement_predicate(cfg));
+
+  const AgreementScheme scheme;
+  // Any labels: try the honest copy labels and several adversarial mixes.
+  std::vector<Label> labels(cfg.size());
+  for (VertexId v = 0; v < cfg.size(); ++v) labels[v] = cfg.state(v).payload;
+  EXPECT_FALSE(run_verifier(scheme, cfg, labels).accepted);
+
+  // Adversary lies uniformly: claims 5 everywhere -> node 17 must catch
+  // the mismatch with its own state.
+  for (auto& l : labels) l = payload_of(5, 8);
+  const auto r = run_verifier(scheme, cfg, labels);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.rejecting, std::vector<VertexId>{17});
+
+  // Adversary lies the other way: everyone claims 6.
+  for (auto& l : labels) l = payload_of(6, 8);
+  EXPECT_FALSE(run_verifier(scheme, cfg, labels).accepted);
+}
+
+TEST(AgreementScheme, SoundnessRandomAdversaries) {
+  Rng rng(73);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(12, 8, wo, rng);
+  ConfigGraph cfg = agreement_config(g, 1, 4);
+  cfg.state(3).payload = payload_of(2, 4);
+  const AgreementScheme scheme;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Label> labels;
+    for (VertexId v = 0; v < cfg.size(); ++v) {
+      labels.push_back(payload_of(rng.uniform(0, 15), 4));
+    }
+    EXPECT_FALSE(run_verifier(scheme, cfg, labels).accepted);
+  }
+}
+
+TEST(AgreementScheme, TwoVertexLowerBoundScenario) {
+  // The lemma's lower-bound gadget: two nodes, disagreeing states; no
+  // label pair of any size may be accepted by both.
+  Graph::Builder b(2);
+  b.add_edge(0, 1, 1);
+  const Graph g = b.build();
+  std::vector<State> states(2);
+  states[0].payload = payload_of(3, 4);
+  states[1].payload = payload_of(9, 4);
+  const ConfigGraph cfg(g, std::move(states));
+  const AgreementScheme scheme;
+  for (std::uint64_t l0 = 0; l0 < 16; ++l0) {
+    for (std::uint64_t l1 = 0; l1 < 16; ++l1) {
+      const std::vector<Label> labels{payload_of(l0, 4), payload_of(l1, 4)};
+      EXPECT_FALSE(run_verifier(scheme, cfg, labels).accepted);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mstv

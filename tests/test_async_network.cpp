@@ -1,0 +1,97 @@
+#include "runtime/async_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+
+namespace mstv {
+namespace {
+
+struct Harness {
+  std::unique_ptr<Graph> g;
+  std::optional<ConfigGraph> cfg;
+  std::vector<Label> labels;
+};
+
+Harness make_setup(std::uint64_t seed) {
+  Rng rng(seed);
+  WeightOptions wo;
+  wo.max_weight = 1u << 12;
+  wo.distinct = true;
+  Harness s;
+  s.g = std::make_unique<Graph>(random_connected_graph(40, 60, wo, rng));
+  s.cfg.emplace(make_tree_config(*s.g, kruskal_mst(*s.g), 0));
+  static const MstScheme scheme;
+  s.labels = scheme.mark(*s.cfg);
+  return s;
+}
+
+TEST(AsyncNetwork, VerdictMatchesSynchronousRound) {
+  const MstScheme scheme;
+  Harness s = make_setup(1);
+  Rng rng(2);
+  const auto async = async_verification_round(*s.cfg, scheme, s.labels, rng);
+  const auto sync = run_verifier(scheme, *s.cfg, s.labels);
+  EXPECT_EQ(async.accepted, sync.accepted);
+  EXPECT_EQ(async.rejecting, sync.rejecting);
+  EXPECT_TRUE(async.accepted);
+  EXPECT_TRUE(std::isinf(async.first_detection_time));
+}
+
+TEST(AsyncNetwork, TimingWithinDelayBounds) {
+  const MstScheme scheme;
+  Harness s = make_setup(3);
+  Rng rng(4);
+  AsyncOptions opts;
+  opts.min_delay = 2.0;
+  opts.max_delay = 7.0;
+  const auto r = async_verification_round(*s.cfg, scheme, s.labels, rng, opts);
+  EXPECT_GE(r.completion_time, opts.min_delay);
+  EXPECT_LE(r.completion_time, opts.max_delay);
+  EXPECT_EQ(r.messages, 2 * s.g->num_edges());
+}
+
+TEST(AsyncNetwork, FaultDetectedWithinOneMessageDelay) {
+  const MstScheme scheme;
+  Harness s = make_setup(5);
+  // Break the configuration: drop a parent pointer.
+  for (VertexId v = 0; v < s.cfg->size(); ++v) {
+    if (s.cfg->state(v).parent_port) {
+      s.cfg->state(v).parent_port.reset();
+      break;
+    }
+  }
+  Rng rng(6);
+  AsyncOptions opts;
+  opts.min_delay = 1.0;
+  opts.max_delay = 10.0;
+  const auto r = async_verification_round(*s.cfg, scheme, s.labels, rng, opts);
+  EXPECT_FALSE(r.accepted);
+  // The first alarm fires no later than one maximal message delay — no
+  // global synchronization needed — and never after completion.
+  EXPECT_LE(r.first_detection_time, opts.max_delay);
+  EXPECT_LE(r.first_detection_time, r.completion_time);
+  EXPECT_GE(r.first_detection_time, opts.min_delay);
+}
+
+TEST(AsyncNetwork, RejectsMismatchedDelays) {
+  const MstScheme scheme;
+  Harness s = make_setup(7);
+  Rng rng(8);
+  AsyncOptions opts;
+  opts.min_delay = 5.0;
+  opts.max_delay = 1.0;  // inverted
+  EXPECT_THROW((void)async_verification_round(*s.cfg, scheme, s.labels, rng,
+                                              opts),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace mstv

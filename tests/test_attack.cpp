@@ -1,0 +1,78 @@
+#include "lowerbound/attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mst/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "plscheme/runner.hpp"
+
+namespace mstv {
+namespace {
+
+TEST(QuantizedScheme, CompletenessSurvivesQuantization) {
+  // The lossy scheme still accepts genuine MSTs (it only under-estimates).
+  const QuantizedMstScheme scheme;
+  Rng rng(61);
+  WeightOptions wo;
+  wo.max_weight = 1u << 20;
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = random_connected_graph(40, 60, wo, rng);
+    const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+    EXPECT_TRUE(mark_and_verify(scheme, cfg).accepted);
+  }
+}
+
+TEST(QuantizedScheme, LabelsAreMuchSmallerThanExact) {
+  Rng rng(62);
+  WeightOptions wo;
+  wo.max_weight = Weight{1} << 40;
+  const Graph g = random_connected_graph(300, 500, wo, rng);
+  const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+  const auto exact = mark_and_verify(MstScheme(), cfg);
+  const auto lossy = mark_and_verify(QuantizedMstScheme(), cfg);
+  ASSERT_TRUE(exact.accepted);
+  ASSERT_TRUE(lossy.accepted);
+  EXPECT_LT(lossy.max_label_bits, exact.max_label_bits);
+}
+
+TEST(QuantizationAttack, BreaksSoundnessOnTheGadget) {
+  const auto rep = quantization_attack();
+  EXPECT_TRUE(rep.forgery_accepted);
+  EXPECT_LT(rep.lowered_weight, rep.true_max);
+}
+
+TEST(CutAndPaste, RealSchemeHasNoCollisions) {
+  // Lemma 4.3 in executable form: pi_mst's weight classes are disjoint,
+  // so the splice never even starts.
+  const MstScheme scheme;
+  const auto rep = cut_and_paste_attack(scheme, 3, 6);
+  EXPECT_FALSE(rep.collision_found);
+  EXPECT_FALSE(rep.forgery_accepted);
+}
+
+TEST(CutAndPaste, NaiveCodingIsStillSound) {
+  const MstScheme naive(SepCoding::FixedWidth);
+  const auto rep = cut_and_paste_attack(naive, 3, 5);
+  EXPECT_FALSE(rep.collision_found);
+}
+
+TEST(CutAndPaste, QuantizedSchemeCollidesAndIsFooled) {
+  // The compressed scheme cannot keep mu weight classes apart: the splice
+  // finds a collision and the forged non-MST is accepted everywhere.
+  const QuantizedMstScheme scheme;
+  const auto rep = cut_and_paste_attack(scheme, 3, 8);
+  EXPECT_TRUE(rep.collision_found);
+  EXPECT_TRUE(rep.forgery_accepted);
+  EXPECT_LT(rep.x_light, rep.x_heavy);
+  // The colliding weights share a power-of-two bucket by construction.
+  EXPECT_EQ(bit_width_u64(rep.x_light), bit_width_u64(rep.x_heavy));
+}
+
+TEST(CutAndPaste, ReportsLabelBits) {
+  const QuantizedMstScheme scheme;
+  const auto rep = cut_and_paste_attack(scheme, 2, 4);
+  EXPECT_GT(rep.label_bits, 0u);
+}
+
+}  // namespace
+}  // namespace mstv

@@ -1,0 +1,167 @@
+#include "util/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mstv {
+namespace {
+
+TEST(BitWidth, SmallValues) {
+  EXPECT_EQ(bit_width_u64(0), 0);
+  EXPECT_EQ(bit_width_u64(1), 1);
+  EXPECT_EQ(bit_width_u64(2), 2);
+  EXPECT_EQ(bit_width_u64(3), 2);
+  EXPECT_EQ(bit_width_u64(4), 3);
+  EXPECT_EQ(bit_width_u64(255), 8);
+  EXPECT_EQ(bit_width_u64(256), 9);
+}
+
+TEST(BitWidth, ExtremeValues) {
+  EXPECT_EQ(bit_width_u64(~std::uint64_t{0}), 64);
+  EXPECT_EQ(bit_width_u64(std::uint64_t{1} << 63), 64);
+  EXPECT_EQ(bit_width_u64((std::uint64_t{1} << 63) - 1), 63);
+}
+
+TEST(BitWriter, SingleBits) {
+  BitWriter w;
+  w.write_bit(true);
+  w.write_bit(false);
+  w.write_bit(true);
+  EXPECT_EQ(w.size_bits(), 3u);
+  BitReader r(w.words(), w.size_bits());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_FALSE(r.read_bit());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitWriter, FixedWidthRoundTrip) {
+  BitWriter w;
+  w.write_uint(0b1011, 4);
+  w.write_uint(0, 0);  // zero-width is legal and writes nothing
+  w.write_uint(12345, 17);
+  w.write_uint(~std::uint64_t{0}, 64);
+  BitReader r(w.words(), w.size_bits());
+  EXPECT_EQ(r.read_uint(4), 0b1011u);
+  EXPECT_EQ(r.read_uint(0), 0u);
+  EXPECT_EQ(r.read_uint(17), 12345u);
+  EXPECT_EQ(r.read_uint(64), ~std::uint64_t{0});
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitWriter, RejectsOverflowingValue) {
+  BitWriter w;
+  EXPECT_THROW(w.write_uint(16, 4), PreconditionError);
+  EXPECT_THROW(w.write_uint(2, 1), PreconditionError);
+}
+
+TEST(BitWriter, UnaryRoundTrip) {
+  BitWriter w;
+  for (std::uint64_t n : {0u, 1u, 2u, 17u}) w.write_unary(n);
+  BitReader r(w.words(), w.size_bits());
+  EXPECT_EQ(r.read_unary(), 0u);
+  EXPECT_EQ(r.read_unary(), 1u);
+  EXPECT_EQ(r.read_unary(), 2u);
+  EXPECT_EQ(r.read_unary(), 17u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(EliasGamma, KnownSizes) {
+  // gamma(v) costs 2*floor(log2 v) + 1 bits.
+  auto size_of = [](std::uint64_t v) {
+    BitWriter w;
+    w.write_gamma(v);
+    return w.size_bits();
+  };
+  EXPECT_EQ(size_of(1), 1u);
+  EXPECT_EQ(size_of(2), 3u);
+  EXPECT_EQ(size_of(3), 3u);
+  EXPECT_EQ(size_of(4), 5u);
+  EXPECT_EQ(size_of(7), 5u);
+  EXPECT_EQ(size_of(8), 7u);
+  EXPECT_EQ(gamma_cost_bits(1), 1u);
+  EXPECT_EQ(gamma_cost_bits(8), 7u);
+}
+
+TEST(EliasGamma, RejectsZero) {
+  BitWriter w;
+  EXPECT_THROW(w.write_gamma(0), PreconditionError);
+}
+
+TEST(EliasGamma, RoundTripSweep) {
+  Rng rng(42);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    const int width = static_cast<int>(rng.uniform(1, 63));
+    values.push_back(rng.uniform(1, (std::uint64_t{1} << width)));
+  }
+  values.push_back(1);
+  values.push_back(~std::uint64_t{0} >> 1);
+
+  BitWriter w;
+  for (const auto v : values) w.write_gamma(v);
+  BitReader r(w.words(), w.size_bits());
+  for (const auto v : values) EXPECT_EQ(r.read_gamma(), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(EliasGamma0, CoversZero) {
+  BitWriter w;
+  w.write_gamma0(0);
+  w.write_gamma0(5);
+  BitReader r(w.words(), w.size_bits());
+  EXPECT_EQ(r.read_gamma0(), 0u);
+  EXPECT_EQ(r.read_gamma0(), 5u);
+}
+
+TEST(EliasDelta, RoundTripSweep) {
+  Rng rng(7);
+  BitWriter w;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 500; ++i) {
+    const int width = static_cast<int>(rng.uniform(1, 63));
+    values.push_back(rng.uniform(1, std::uint64_t{1} << width));
+  }
+  for (const auto v : values) w.write_delta(v);
+  BitReader r(w.words(), w.size_bits());
+  for (const auto v : values) EXPECT_EQ(r.read_delta(), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitReader, OverrunThrows) {
+  BitWriter w;
+  w.write_uint(3, 2);
+  BitReader r(w.words(), w.size_bits());
+  (void)r.read_uint(2);
+  EXPECT_THROW((void)r.read_bit(), PreconditionError);
+}
+
+TEST(BitReader, MixedInterleavedCodes) {
+  BitWriter w;
+  w.write_gamma(9);
+  w.write_uint(0xABCD, 16);
+  w.write_unary(3);
+  w.write_gamma0(0);
+  w.write_delta(1000);
+  BitReader r(w.words(), w.size_bits());
+  EXPECT_EQ(r.read_gamma(), 9u);
+  EXPECT_EQ(r.read_uint(16), 0xABCDu);
+  EXPECT_EQ(r.read_unary(), 3u);
+  EXPECT_EQ(r.read_gamma0(), 0u);
+  EXPECT_EQ(r.read_delta(), 1000u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStream, WordBoundaryCrossing) {
+  // Write values straddling the 64-bit word boundary.
+  BitWriter w;
+  w.write_uint(0x7FFFFFFFFFFFFFFF, 63);
+  w.write_uint(0b101, 3);  // crosses into the second word
+  BitReader r(w.words(), w.size_bits());
+  EXPECT_EQ(r.read_uint(63), 0x7FFFFFFFFFFFFFFFu);
+  EXPECT_EQ(r.read_uint(3), 0b101u);
+}
+
+}  // namespace
+}  // namespace mstv

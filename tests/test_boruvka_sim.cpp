@@ -1,0 +1,97 @@
+#include "runtime/boruvka_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "mst/predicates.hpp"
+#include "plscheme/mst_scheme.hpp"
+
+namespace mstv {
+namespace {
+
+TEST(DistributedBoruvka, ComputesAnMst) {
+  Rng rng(81);
+  WeightOptions wo;
+  wo.max_weight = 1u << 16;
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = random_connected_graph(60, 120, wo, rng);
+    const auto stats = distributed_boruvka(g);
+    EXPECT_TRUE(is_spanning_tree(g, stats.tree));
+    EXPECT_TRUE(is_mst(g, stats.tree));
+    EXPECT_EQ(total_weight(g, stats.tree),
+              total_weight(g, kruskal_mst(g)));
+  }
+}
+
+TEST(DistributedBoruvka, PhaseCountIsLogarithmic) {
+  Rng rng(82);
+  WeightOptions wo;
+  wo.max_weight = 1u << 20;
+  wo.distinct = true;
+  for (const std::size_t n : {2u, 16u, 100u, 500u}) {
+    const Graph g = random_connected_graph(n, 2 * n, wo, rng);
+    const auto stats = distributed_boruvka(g);
+    EXPECT_LE(stats.phases,
+              static_cast<std::size_t>(std::ceil(std::log2(n))) + 1)
+        << "n=" << n;
+    EXPECT_GE(stats.phases, 1u);
+  }
+}
+
+TEST(DistributedBoruvka, AccountsTraffic) {
+  Rng rng(83);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(40, 80, wo, rng);
+  const auto stats = distributed_boruvka(g);
+  // At least the probe traffic of the first phase.
+  EXPECT_GE(stats.messages, 2 * g.num_edges());
+  EXPECT_GT(stats.message_bits, stats.messages);  // multi-bit messages
+  EXPECT_GE(stats.rounds, stats.phases);
+}
+
+TEST(DistributedBoruvka, HandlesTiesViaEdgeIdOrder) {
+  Rng rng(84);
+  WeightOptions wo;
+  wo.max_weight = 1;  // all ties
+  const Graph g = random_connected_graph(50, 100, wo, rng);
+  const auto stats = distributed_boruvka(g);
+  EXPECT_TRUE(is_mst(g, stats.tree));
+}
+
+TEST(DistributedBoruvka, SingleVertex) {
+  Graph::Builder b(1);
+  const Graph g = b.build();
+  const auto stats = distributed_boruvka(g);
+  EXPECT_TRUE(stats.tree.empty());
+  EXPECT_EQ(stats.phases, 0u);
+  EXPECT_EQ(stats.messages, 0u);
+}
+
+TEST(DistributedBoruvka, VerificationIsCheaperThanComputation) {
+  // The paper's headline motivation, at test scale: one verification round
+  // moves fewer bits than the distributed computation.
+  Rng rng(85);
+  WeightOptions wo;
+  wo.max_weight = 1u << 16;
+  const Graph g = random_connected_graph(200, 400, wo, rng);
+  const auto compute = distributed_boruvka(g);
+
+  // One verification round: every node sends its O(log n log W) label
+  // across every edge.
+  std::size_t verify_bits = 0;
+  {
+    const MstScheme scheme;
+    const ConfigGraph cfg = make_tree_config(g, compute.tree, 0);
+    const auto labels = scheme.mark(cfg);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      verify_bits += g.degree(v) * labels[v].size_bits();
+    }
+  }
+  EXPECT_LT(verify_bits, compute.message_bits * 4);  // same order at worst
+}
+
+}  // namespace
+}  // namespace mstv

@@ -1,0 +1,181 @@
+#include "tree/centroid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "tree/path_queries.hpp"
+
+namespace mstv {
+namespace {
+
+RootedTree make_tree(Graph& storage, std::size_t n, std::uint64_t seed,
+                     Graph (*gen)(std::size_t, const WeightOptions&, Rng&)) {
+  Rng rng(seed);
+  WeightOptions wo;
+  wo.max_weight = 1u << 16;
+  storage = gen(n, wo, rng);
+  return RootedTree(storage, 0);
+}
+
+TEST(Centroid, SingleVertex) {
+  Graph g;
+  const RootedTree t = make_tree(g, 1, 1, random_tree);
+  const auto sd = perfect_separator_decomposition(t);
+  EXPECT_EQ(sd.level[0], 1u);
+  EXPECT_EQ(sd.max_level(), 1u);
+  EXPECT_TRUE(sd.rho[0].empty());
+  EXPECT_EQ(sd.maxw[0], (std::vector<Weight>{0}));
+}
+
+TEST(Centroid, PathCentroidIsMiddle) {
+  Graph g;
+  const RootedTree t = make_tree(g, 7, 2, path_graph);
+  const auto sd = perfect_separator_decomposition(t);
+  // The level-1 separator of a 7-path is its middle vertex, 3.
+  EXPECT_EQ(sd.level[3], 1u);
+  EXPECT_TRUE(is_perfect_decomposition(t, sd));
+}
+
+TEST(Centroid, DepthIsLogarithmic) {
+  for (const std::size_t n : {2u, 15u, 100u, 1000u, 4096u}) {
+    Graph g;
+    const RootedTree t = make_tree(g, n, n, random_tree);
+    const auto sd = perfect_separator_decomposition(t);
+    const auto bound =
+        static_cast<std::uint32_t>(std::floor(std::log2(n))) + 1;
+    EXPECT_LE(sd.max_level(), bound) << "n=" << n;
+  }
+}
+
+struct ShapeCase {
+  const char* name;
+  Graph (*make)(std::size_t, const WeightOptions&, Rng&);
+  std::size_t n;
+};
+
+class CentroidPropertyTest : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(CentroidPropertyTest, DecompositionInvariants) {
+  Graph g;
+  const auto& c = GetParam();
+  const RootedTree t = make_tree(g, c.n, 77, c.make);
+  const auto sd = perfect_separator_decomposition(t);
+  const TreePathQueries q(t);
+
+  EXPECT_TRUE(is_perfect_decomposition(t, sd));
+
+  // Exactly one level-1 separator.
+  std::size_t level1 = 0;
+  for (VertexId v = 0; v < t.size(); ++v) {
+    if (sd.level[v] == 1) ++level1;
+  }
+  EXPECT_EQ(level1, 1u);
+
+  for (VertexId v = 0; v < t.size(); ++v) {
+    // Ancestor chain is consistent: ancestors[v][k] has level k+1, and the
+    // recorded extrema match real tree-path queries (the E_omega fields).
+    for (std::size_t k = 0; k < sd.ancestors[v].size(); ++k) {
+      const VertexId s = sd.ancestors[v][k];
+      EXPECT_EQ(sd.level[s], k + 1);
+      EXPECT_EQ(sd.maxw[v][k], q.path_max(v, s));
+      EXPECT_EQ(sd.minw[v][k], q.path_min(v, s));
+    }
+    // sep_parent chains the ancestors.
+    if (sd.level[v] > 1) {
+      EXPECT_EQ(sd.sep_parent[v], sd.ancestors[v][sd.level[v] - 2]);
+    } else {
+      EXPECT_EQ(sd.sep_parent[v], kInvalidVertex);
+    }
+  }
+
+  // The Sep_level property: two vertices share the same level-i separator
+  // iff their rho prefixes of length i-1 agree (checked on random pairs).
+  Rng rng(123);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto u = static_cast<VertexId>(rng.index(t.size()));
+    const auto v = static_cast<VertexId>(rng.index(t.size()));
+    const std::size_t cap =
+        std::min(sd.ancestors[u].size(), sd.ancestors[v].size());
+    for (std::size_t i = 1; i <= cap; ++i) {
+      bool prefix_equal = true;
+      for (std::size_t j = 0; j + 1 < i; ++j) {
+        if (sd.rho[u][j] != sd.rho[v][j]) prefix_equal = false;
+      }
+      EXPECT_EQ(sd.ancestors[u][i - 1] == sd.ancestors[v][i - 1],
+                prefix_equal)
+          << "u=" << u << " v=" << v << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CentroidPropertyTest,
+    ::testing::Values(ShapeCase{"random", random_tree, 300},
+                      ShapeCase{"path", path_graph, 256},
+                      ShapeCase{"star", star_graph, 120},
+                      ShapeCase{"caterpillar", caterpillar, 200},
+                      ShapeCase{"binary", balanced_binary_tree, 127}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+TEST(Centroid, RhoRanksAreSizeOrderedAndContiguous) {
+  Graph g;
+  const RootedTree t = make_tree(g, 500, 3, random_tree);
+  const auto sd = perfect_separator_decomposition(t);
+  // For each separator, collect proper-member counts by rho rank: the
+  // ranks must be 1..p and sizes non-increasing in rank.
+  std::vector<std::vector<std::uint32_t>> by_rank(t.size());
+  for (VertexId u = 0; u < t.size(); ++u) {
+    for (std::size_t k = 0; k + 1 < sd.ancestors[u].size(); ++k) {
+      const VertexId a = sd.ancestors[u][k];
+      const auto r = static_cast<std::size_t>(sd.rho[u][k]);
+      ASSERT_GE(r, 1u);
+      if (by_rank[a].size() < r) by_rank[a].resize(r, 0);
+      ++by_rank[a][r - 1];
+    }
+  }
+  for (VertexId a = 0; a < t.size(); ++a) {
+    for (std::size_t i = 0; i < by_rank[a].size(); ++i) {
+      EXPECT_GT(by_rank[a][i], 0u) << "gap in rho ranks";
+      if (i > 0) {
+        EXPECT_LE(by_rank[a][i], by_rank[a][i - 1]);
+      }
+    }
+  }
+}
+
+TEST(RandomDecomposition, IsValidMemberOfGamma) {
+  Graph g;
+  const RootedTree t = make_tree(g, 60, 4, random_tree);
+  Rng rng(9);
+  const auto sd = random_separator_decomposition(t, rng);
+  const TreePathQueries q(t);
+  // Same structural invariants as the perfect one, except perfection.
+  for (VertexId v = 0; v < t.size(); ++v) {
+    EXPECT_EQ(sd.ancestors[v].size(), sd.level[v]);
+    EXPECT_EQ(sd.ancestors[v].back(), v);
+    for (std::size_t k = 0; k < sd.ancestors[v].size(); ++k) {
+      EXPECT_EQ(sd.maxw[v][k], q.path_max(v, sd.ancestors[v][k]));
+    }
+  }
+  // Sibling rho values at each separator are unique.
+  std::vector<std::vector<std::uint64_t>> nums(t.size());
+  for (VertexId u = 0; u < t.size(); ++u) {
+    for (std::size_t k = 0; k + 1 < sd.ancestors[u].size(); ++k) {
+      // Only direct members record this separator; uniqueness is per
+      // (separator, subtree), so collect one value per subtree root.
+      if (sd.level[u] == k + 2) {
+        nums[sd.ancestors[u][k]].push_back(sd.rho[u][k]);
+      }
+    }
+  }
+  for (auto& v : nums) {
+    std::sort(v.begin(), v.end());
+    EXPECT_TRUE(std::adjacent_find(v.begin(), v.end()) == v.end());
+  }
+}
+
+}  // namespace
+}  // namespace mstv

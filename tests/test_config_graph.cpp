@@ -1,0 +1,101 @@
+#include "plscheme/config_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "mst/predicates.hpp"
+
+namespace mstv {
+namespace {
+
+TEST(ConfigGraph, TreeConfigInducesTheTree) {
+  Rng rng(61);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(40, 60, wo, rng);
+  const auto tree = kruskal_mst(g);
+  const ConfigGraph cfg = make_tree_config(g, tree, 5);
+
+  auto induced = cfg.induced_subgraph();
+  auto expected = tree;
+  std::sort(induced.begin(), induced.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(induced, expected);
+
+  // Root 5 has no parent; everyone else points somewhere.
+  EXPECT_FALSE(cfg.state(5).parent_port.has_value());
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    if (v != 5) {
+      EXPECT_TRUE(cfg.state(v).parent_port.has_value());
+    }
+    EXPECT_EQ(cfg.state(v).id, v);
+  }
+  EXPECT_TRUE(cfg.ids_unique());
+}
+
+TEST(ConfigGraph, CustomIds) {
+  Graph::Builder b(3);
+  const EdgeId e01 = b.add_edge(0, 1, 1);
+  const EdgeId e12 = b.add_edge(1, 2, 1);
+  const Graph g = b.build();
+  const std::vector<std::uint64_t> ids{10, 20, 30};
+  const ConfigGraph cfg = make_tree_config(g, {e01, e12}, 0, &ids);
+  EXPECT_EQ(cfg.state(2).id, 30u);
+}
+
+TEST(ConfigGraph, DefinitionTwoOneEitherEndpointSuffices) {
+  // An edge belongs to the induced subgraph iff *one* endpoint points at
+  // it; craft states manually to check the disjunction.
+  Graph::Builder b(3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  const Graph g = b.build();
+  std::vector<State> states(3);
+  states[0].parent_port = g.find_port(0, 1);  // edge (0,1) from side 0
+  states[2].parent_port = g.find_port(2, 1);  // edge (1,2) from side 2
+  const ConfigGraph cfg(g, std::move(states));
+  EXPECT_EQ(cfg.induced_subgraph().size(), 2u);
+}
+
+TEST(ConfigGraph, DanglingParentPortIsIgnored) {
+  Graph::Builder b(2);
+  b.add_edge(0, 1, 1);
+  const Graph g = b.build();
+  std::vector<State> states(2);
+  states[0].parent_port = 7;  // no such port
+  const ConfigGraph cfg(g, std::move(states));
+  EXPECT_TRUE(cfg.induced_subgraph().empty());
+}
+
+TEST(ConfigGraph, DuplicateIdsDetected) {
+  Graph::Builder b(2);
+  b.add_edge(0, 1, 1);
+  const Graph g = b.build();
+  std::vector<State> states(2);
+  states[0].id = 4;
+  states[1].id = 4;
+  const ConfigGraph cfg(g, std::move(states));
+  EXPECT_FALSE(cfg.ids_unique());
+}
+
+TEST(ConfigGraph, StateEqualityIncludesPayload) {
+  State a, b;
+  EXPECT_EQ(a, b);
+  BitWriter w;
+  w.write_uint(3, 2);
+  a.payload = Label(w);
+  EXPECT_NE(a, b);
+}
+
+TEST(ConfigGraph, SizeMismatchRejected) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1, 1);
+  const Graph g = b.build();
+  std::vector<State> states(2);
+  EXPECT_THROW(ConfigGraph(g, std::move(states)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mstv

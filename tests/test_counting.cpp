@@ -1,0 +1,83 @@
+#include "lowerbound/counting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lowerbound/hypertree.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+
+namespace mstv {
+namespace {
+
+TEST(LowerBound, ClosedFormMatchesRecurrence) {
+  for (std::uint32_t h = 1; h <= 12; ++h) {
+    for (const std::uint64_t mu : {2u, 16u, 1024u}) {
+      const auto row = lower_bound_row(h, mu);
+      const double closed =
+          (static_cast<double>(h) - 1.0) / 2.0 *
+          std::log2(static_cast<double>(mu));
+      EXPECT_NEAR(row.log2_g, closed, 1e-9);
+      EXPECT_EQ(row.n, hypertree_num_vertices(h));
+    }
+  }
+}
+
+TEST(LowerBound, GrowsWithBothParameters) {
+  EXPECT_LT(lower_bound_row(3, 16).min_label_bits,
+            lower_bound_row(6, 16).min_label_bits);
+  EXPECT_LT(lower_bound_row(4, 4).min_label_bits,
+            lower_bound_row(4, 4096).min_label_bits);
+  EXPECT_EQ(lower_bound_row(1, 999).min_label_bits, 0.0);
+}
+
+TEST(LowerBound, IsOmegaLogNLogW) {
+  // min_label_bits / (log n * log W) is bounded below by a constant once
+  // W is polynomially larger than log n (the paper's proviso).
+  for (std::uint32_t h = 4; h <= 10; ++h) {
+    const std::uint64_t mu = 1u << 10;
+    const auto row = lower_bound_row(h, mu);
+    const double logn = std::log2(static_cast<double>(row.n));
+    const double ratio = row.min_label_bits / (logn * row.log2_w);
+    EXPECT_GT(ratio, 0.15) << "h=" << h;
+    EXPECT_LT(ratio, 1.0) << "h=" << h;
+  }
+}
+
+TEST(LowerBound, MeasuredSchemeSitsAboveTheFloor) {
+  // The measured pi_mst label size on legal hypertrees must exceed the
+  // counting floor (it had better — the scheme is correct).
+  const MstScheme scheme;
+  for (std::uint32_t h = 2; h <= 5; ++h) {
+    const std::uint64_t mu = 8;
+    const Hypertree ht = build_hypertree(h, mu);
+    const auto result = mark_and_verify(scheme, ht.config());
+    ASSERT_TRUE(result.accepted);
+    const auto row = lower_bound_row(h, mu);
+    EXPECT_GE(static_cast<double>(result.max_label_bits),
+              row.min_label_bits)
+        << "h=" << h;
+  }
+}
+
+TEST(LowerBound, DisjointnessOfWeightClassesEmpirically) {
+  // Lemma 4.3: labels across C(h, mu, x) classes never fully collide for
+  // a correct scheme.  (The attack module relies on this signal.)
+  const MstScheme scheme;
+  const std::uint32_t h = 3;
+  const std::uint64_t mu = 6;
+  std::set<std::vector<std::string>> seen;
+  for (Weight x = q_range_lo(h - 1, mu); x <= q_range_hi(h - 1, mu); ++x) {
+    std::vector<Weight> level_x{0, 0, q_range_lo(1, mu), x};
+    const Hypertree ht = build_hypertree(h, mu, level_x);
+    std::vector<std::string> key;
+    for (const Label& l : scheme.mark(ht.config())) {
+      key.push_back(l.to_string());
+    }
+    EXPECT_TRUE(seen.insert(key).second) << "collision at x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace mstv

@@ -1,0 +1,172 @@
+// Bounded-exhaustive check of both MST schemes on small graphs:
+// enumerate EVERY possible state assignment (each vertex points at any of
+// its ports or at nothing) and check the definition's two directions —
+// completeness with the honest marker on every yes-instance, and for
+// every no-instance rejection of every honest label vector taken from any
+// yes-instance plus systematic cross-wirings.  This approximates "for
+// every marker L there exists a rejecting vertex" far more tightly than
+// random mutation alone.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "mst/predicates.hpp"
+#include "plscheme/fragment_scheme.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+
+namespace mstv {
+namespace {
+
+/// All state assignments: vertex v gets parent_port in {none, 1..deg(v)}.
+std::vector<ConfigGraph> all_configs(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<ConfigGraph> out;
+  std::vector<PortNumber> choice(n, 0);  // 0 = no parent
+  while (true) {
+    std::vector<State> states(n);
+    for (VertexId v = 0; v < n; ++v) {
+      states[v].id = v;
+      if (choice[v] > 0) states[v].parent_port = choice[v];
+    }
+    out.emplace_back(g, std::move(states));
+    // Odometer increment.
+    std::size_t i = 0;
+    while (i < n) {
+      if (choice[i] < g.degree(static_cast<VertexId>(i))) {
+        ++choice[i];
+        break;
+      }
+      choice[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  return out;
+}
+
+struct TinyCase {
+  const char* name;
+  std::uint64_t seed;
+  std::size_t n;
+  std::size_t extra;
+  Weight max_w;
+};
+
+class ExhaustiveTinyGraphs : public ::testing::TestWithParam<TinyCase> {};
+
+TEST_P(ExhaustiveTinyGraphs, DefinitionHoldsOnEveryConfiguration) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  WeightOptions wo;
+  wo.max_weight = c.max_w;
+  const Graph g = random_connected_graph(c.n, c.extra, wo, rng);
+
+  const MstScheme pi_mst;
+  const FragmentScheme pi_frag;
+  const std::vector<const ProofLabelingScheme*> schemes{&pi_mst, &pi_frag};
+
+  const auto configs = all_configs(g);
+
+  // Partition into yes/no instances; collect honest labels per scheme.
+  std::vector<std::size_t> yes, no;
+  std::vector<std::vector<std::vector<Label>>> honest(schemes.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (mst_predicate(configs[i])) {
+      yes.push_back(i);
+      for (std::size_t s = 0; s < schemes.size(); ++s) {
+        honest[s].push_back(schemes[s]->mark(configs[i]));
+      }
+    } else {
+      no.push_back(i);
+    }
+  }
+  ASSERT_GT(yes.size(), 0u);
+  ASSERT_GT(no.size(), 0u);
+
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    // Completeness on every yes-instance.
+    for (std::size_t yi = 0; yi < yes.size(); ++yi) {
+      EXPECT_TRUE(
+          run_verifier(*schemes[s], configs[yes[yi]], honest[s][yi]).accepted)
+          << schemes[s]->name() << " rejected yes-instance " << yes[yi];
+    }
+    // Soundness: every no-instance against every honest label vector.
+    for (const std::size_t ni : no) {
+      for (const auto& labels : honest[s]) {
+        EXPECT_FALSE(run_verifier(*schemes[s], configs[ni], labels).accepted)
+            << schemes[s]->name() << " accepted no-instance " << ni;
+      }
+    }
+    // Soundness against cross-wired labels: rotate honest label vectors by
+    // one vertex so every node holds a plausible-but-misplaced label.
+    for (const std::size_t ni : no) {
+      for (const auto& labels : honest[s]) {
+        std::vector<Label> rotated(labels.size());
+        for (std::size_t v = 0; v < labels.size(); ++v) {
+          rotated[v] = labels[(v + 1) % labels.size()];
+        }
+        EXPECT_FALSE(
+            run_verifier(*schemes[s], configs[ni], rotated).accepted);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExhaustiveTinyGraphs,
+    ::testing::Values(TinyCase{"triangle_plus", 1, 4, 2, 8},
+                      TinyCase{"k4", 2, 4, 6, 5},
+                      TinyCase{"ties", 3, 4, 3, 2},
+                      TinyCase{"five", 4, 5, 2, 16}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+TEST(ExhaustiveTinyGraphs, YesInstancesAlsoAcceptOtherYesLabelsOnlyIfValid) {
+  // Cross-labeling between two different yes-instances: the verifier may
+  // accept only if the labels happen to prove *this* configuration; it
+  // must never accept labels whose embedded structure contradicts the
+  // states (the spanning-tree layer pins parent ids, so cross-acceptance
+  // between different trees is impossible).
+  Rng rng(9);
+  WeightOptions wo;
+  wo.max_weight = 4;  // ties => several MSTs
+  const Graph g = random_connected_graph(5, 4, wo, rng);
+  const MstScheme scheme;
+  const auto configs = all_configs(g);
+  std::vector<std::size_t> yes;
+  std::vector<std::vector<Label>> honest;
+  std::vector<std::vector<EdgeId>> trees;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (mst_predicate(configs[i])) {
+      yes.push_back(i);
+      honest.push_back(scheme.mark(configs[i]));
+      trees.push_back(configs[i].induced_subgraph());
+    }
+  }
+  for (std::size_t a = 0; a < yes.size(); ++a) {
+    for (std::size_t b = 0; b < yes.size(); ++b) {
+      const bool accepted =
+          run_verifier(scheme, configs[yes[a]], honest[b]).accepted;
+      // Same induced tree AND same roots => the labels are honest for a
+      // config with identical states; otherwise they must be rejected.
+      const bool same_states = [&] {
+        for (VertexId v = 0; v < configs[yes[a]].size(); ++v) {
+          if (!(configs[yes[a]].state(v) == configs[yes[b]].state(v))) {
+            return false;
+          }
+        }
+        return true;
+      }();
+      if (same_states) {
+        EXPECT_TRUE(accepted);
+      } else {
+        EXPECT_FALSE(accepted) << "labels of tree " << b
+                               << " accepted on tree " << a;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mstv

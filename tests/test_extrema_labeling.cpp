@@ -1,0 +1,178 @@
+#include "labeling/extrema_labeling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/generators.hpp"
+#include "tree/path_queries.hpp"
+
+namespace mstv {
+namespace {
+
+struct SchemeCase {
+  const char* name;
+  ExtremaKind kind;
+  SepCoding coding;
+};
+
+class ExtremaSchemeTest : public ::testing::TestWithParam<SchemeCase> {};
+
+TEST_P(ExtremaSchemeTest, DecodeMatchesPathQueriesOnRandomTrees) {
+  const auto& c = GetParam();
+  const ExtremaLabelingScheme scheme(c.kind, c.coding);
+  Rng rng(101);
+  WeightOptions wo;
+  wo.max_weight = 1u << 20;
+  for (const std::size_t n : {1u, 2u, 5u, 64u, 300u}) {
+    const Graph g = random_tree(n, wo, rng);
+    const RootedTree t(g, 0);
+    const TreePathQueries q(t);
+    const auto labels = scheme.encode(t);
+    ASSERT_EQ(labels.size(), n);
+    for (int iter = 0; iter < 300; ++iter) {
+      const auto u = static_cast<VertexId>(rng.index(n));
+      const auto v = static_cast<VertexId>(rng.index(n));
+      const Weight expect = (c.kind == ExtremaKind::Max)
+                                ? q.path_max(u, v)
+                                : q.path_min(u, v);
+      EXPECT_EQ(scheme.decode(labels[u], labels[v]), expect)
+          << "n=" << n << " u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST_P(ExtremaSchemeTest, BitsRoundTripExactly) {
+  const auto& c = GetParam();
+  const ExtremaLabelingScheme scheme(c.kind, c.coding);
+  Rng rng(102);
+  WeightOptions wo;
+  wo.max_weight = 1u << 30;
+  const Graph g = random_tree(200, wo, rng);
+  const RootedTree t(g, 0);
+  for (const ExtremaLabel& l : scheme.encode(t)) {
+    const Label bits = scheme.to_bits(l);
+    EXPECT_EQ(scheme.from_bits(bits), l);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, ExtremaSchemeTest,
+    ::testing::Values(
+        SchemeCase{"max_small", ExtremaKind::Max, SepCoding::Telescoping},
+        SchemeCase{"max_naive", ExtremaKind::Max, SepCoding::FixedWidth},
+        SchemeCase{"flow_small", ExtremaKind::Min, SepCoding::Telescoping},
+        SchemeCase{"flow_naive", ExtremaKind::Min, SepCoding::FixedWidth}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+TEST(ExtremaLabeling, Claim31AnyFamilyMemberDecodesCorrectly) {
+  // Claim 3.1: the decoder is correct for EVERY member of Gamma, not just
+  // gamma_small.  Exercise random (bad) separator decompositions.
+  const ExtremaLabelingScheme scheme(ExtremaKind::Max, SepCoding::Telescoping);
+  WeightOptions wo;
+  wo.max_weight = 1000;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(900 + seed);
+    const Graph g = random_tree(40, wo, rng);
+    const RootedTree t(g, 0);
+    const TreePathQueries q(t);
+    const auto sd = random_separator_decomposition(t, rng);
+    const auto labels = scheme.encode(t, sd);
+    for (VertexId u = 0; u < t.size(); ++u) {
+      for (VertexId v = 0; v < t.size(); ++v) {
+        ASSERT_EQ(scheme.decode(labels[u], labels[v]), q.path_max(u, v));
+      }
+    }
+  }
+}
+
+TEST(ExtremaLabeling, GammaSmallSizeIsOLogNLogW) {
+  // Lemma 3.2: measure max label bits over random trees and check the
+  // c * (log n * log W + log n + log W + 1) envelope with a fixed modest c.
+  const ExtremaLabelingScheme scheme(ExtremaKind::Max, SepCoding::Telescoping);
+  WeightOptions wo;
+  for (const std::size_t n : {16u, 256u, 2048u}) {
+    for (const Weight w : {Weight{2}, Weight{1} << 16, Weight{1} << 40}) {
+      Rng rng(n + static_cast<std::uint64_t>(w));
+      wo.max_weight = w;
+      const Graph g = random_tree(n, wo, rng);
+      const RootedTree t(g, 0);
+      std::size_t max_bits = 0;
+      for (const auto& l : scheme.encode(t)) {
+        max_bits = std::max(max_bits, scheme.label_bits(l));
+      }
+      const double logn = std::log2(static_cast<double>(n));
+      const double logw = std::log2(static_cast<double>(w) + 1);
+      const double envelope = 3.0 * (logn * logw + logn + logw + 8);
+      EXPECT_LE(static_cast<double>(max_bits), envelope)
+          << "n=" << n << " W=" << w;
+    }
+  }
+}
+
+TEST(ExtremaLabeling, TelescopingBeatsNaiveOnLargeTrees) {
+  // E2's core claim at unit scale: for big n and small W the telescoping
+  // E_sep coding is strictly smaller than the fixed-width one.
+  const ExtremaLabelingScheme small(ExtremaKind::Max, SepCoding::Telescoping);
+  const ExtremaLabelingScheme naive(ExtremaKind::Max, SepCoding::FixedWidth);
+  Rng rng(103);
+  WeightOptions wo;
+  wo.max_weight = 4;
+  const Graph g = random_tree(4096, wo, rng);
+  const RootedTree t(g, 0);
+  const auto sd = perfect_separator_decomposition(t);
+  std::size_t small_total = 0, naive_total = 0;
+  const auto ls = small.encode(t, sd);
+  const auto ln = naive.encode(t, sd);
+  for (VertexId v = 0; v < t.size(); ++v) {
+    small_total += small.label_bits(ls[v]);
+    naive_total += naive.label_bits(ln[v]);
+  }
+  EXPECT_LT(small_total, naive_total);
+}
+
+TEST(ExtremaLabeling, CorruptBitsAreRejectedNotMisread) {
+  const ExtremaLabelingScheme scheme(ExtremaKind::Max, SepCoding::Telescoping);
+  Rng rng(104);
+  WeightOptions wo;
+  const Graph g = random_tree(64, wo, rng);
+  const RootedTree t(g, 0);
+  const auto labels = scheme.encode(t);
+  int parse_failures = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto& l = labels[rng.index(labels.size())];
+    Label bits = scheme.to_bits(l);
+    bits = bits.truncated(rng.uniform(0, bits.size_bits() - 1));
+    try {
+      (void)scheme.from_bits(bits);
+    } catch (const PreconditionError&) {
+      ++parse_failures;
+    }
+  }
+  // Truncation must usually be caught (either mid-field or by the
+  // trailing-bits check); it must never crash or hang.
+  EXPECT_GT(parse_failures, 150);
+}
+
+TEST(ExtremaLabeling, IdentityElements) {
+  EXPECT_EQ(extrema_identity(ExtremaKind::Max), 0u);
+  EXPECT_EQ(extrema_identity(ExtremaKind::Min),
+            std::numeric_limits<Weight>::max());
+}
+
+TEST(ExtremaLabeling, DecodeSameVertexLabel) {
+  const ExtremaLabelingScheme scheme(ExtremaKind::Max, SepCoding::Telescoping);
+  Rng rng(105);
+  WeightOptions wo;
+  const Graph g = random_tree(20, wo, rng);
+  const RootedTree t(g, 0);
+  const auto labels = scheme.encode(t);
+  for (VertexId v = 0; v < t.size(); ++v) {
+    EXPECT_EQ(scheme.decode(labels[v], labels[v]), 0u);  // empty path
+  }
+}
+
+}  // namespace
+}  // namespace mstv

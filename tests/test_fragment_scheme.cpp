@@ -1,0 +1,254 @@
+#include "plscheme/fragment_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "mst/predicates.hpp"
+#include "mst/union_find.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+#include "tree/path_queries.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+namespace {
+
+struct FragCase {
+  const char* name;
+  std::uint64_t seed;
+  std::size_t n;
+  std::size_t extra;
+  Weight max_w;
+  bool distinct;
+};
+
+class FragmentCompleteness : public ::testing::TestWithParam<FragCase> {};
+
+TEST_P(FragmentCompleteness, MarkerLabelsAccepted) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  WeightOptions wo;
+  wo.max_weight = c.max_w;
+  wo.distinct = c.distinct;
+  const Graph g = random_connected_graph(c.n, c.extra, wo, rng);
+  const FragmentScheme scheme;
+  for (const VertexId root : {VertexId{0}, static_cast<VertexId>(c.n - 1)}) {
+    const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), root);
+    const auto result = mark_and_verify(scheme, cfg);
+    EXPECT_TRUE(result.accepted)
+        << "root=" << root << " rejecting=" << result.rejecting.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FragmentCompleteness,
+    ::testing::Values(
+        FragCase{"tiny", 1, 2, 0, 8, false},
+        FragCase{"small", 2, 20, 25, 100, false},
+        FragCase{"ties", 3, 40, 80, 3, false},
+        FragCase{"medium", 4, 150, 300, 1u << 20, true},
+        FragCase{"tree_only", 5, 80, 0, 50, false},
+        FragCase{"dense", 6, 24, 200, 1u << 12, true},
+        FragCase{"unit", 7, 60, 120, 1, false}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+TEST(FragmentScheme, AcceptsAnyMstOfNonUniqueInstance) {
+  Graph::Builder b(4);
+  const EdgeId e01 = b.add_edge(0, 1, 1);
+  const EdgeId e12 = b.add_edge(1, 2, 5);
+  const EdgeId e23 = b.add_edge(2, 3, 1);
+  const EdgeId e30 = b.add_edge(3, 0, 5);
+  const Graph g = b.build();
+  const FragmentScheme scheme;
+  for (const auto& tree : {std::vector<EdgeId>{e01, e12, e23},
+                           std::vector<EdgeId>{e01, e23, e30}}) {
+    const ConfigGraph cfg = make_tree_config(g, tree, 0);
+    EXPECT_TRUE(mark_and_verify(scheme, cfg).accepted);
+  }
+}
+
+TEST(FragmentScheme, MarkerRejectsNonMst) {
+  Graph::Builder b(3);
+  const EdgeId e01 = b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  const EdgeId e02 = b.add_edge(0, 2, 9);
+  const Graph g = b.build();
+  const FragmentScheme scheme;
+  EXPECT_THROW((void)scheme.mark(make_tree_config(g, {e01, e02}, 0)),
+               PreconditionError);
+}
+
+TEST(FragmentScheme, SizeShapeIsLog2NPlusLogNLogW) {
+  // At large n / small W pi_frag must be visibly larger than pi_mst (its
+  // log^2 n term), converging toward parity as W grows.
+  WeightOptions wo;
+  auto sizes = [&](std::size_t n, Weight w, std::uint64_t seed) {
+    Rng rng(seed);
+    wo.max_weight = w;
+    const Graph g = random_connected_graph(n, 2 * n, wo, rng);
+    const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+    const auto frag = mark_and_verify(FragmentScheme(), cfg);
+    const auto mst = mark_and_verify(MstScheme(), cfg);
+    EXPECT_TRUE(frag.accepted);
+    EXPECT_TRUE(mst.accepted);
+    return std::pair{frag.max_label_bits, mst.max_label_bits};
+  };
+  const auto [frag_small_w, mst_small_w] = sizes(4096, 4, 1);
+  EXPECT_GT(frag_small_w, 2 * mst_small_w);  // log^2 n dominates
+}
+
+TEST(FragmentScheme, SoundnessSwappedTreeEdge) {
+  // Same mutation battery as pi_mst: heavier-chord swaps with stale and
+  // re-marked labels must be rejected.
+  Rng rng(900);
+  WeightOptions wo;
+  wo.max_weight = 1u << 10;
+  wo.distinct = true;
+  const auto g = std::make_unique<Graph>(
+      random_connected_graph(30, 60, wo, rng));
+  const auto mst = kruskal_mst(*g);
+  const FragmentScheme scheme;
+  const ConfigGraph cfg = make_tree_config(*g, mst, 0);
+  const auto labels = scheme.mark(cfg);
+  const RootedTree tree(*g, mst, 0);
+  const TreePathQueries q(tree);
+
+  int tested = 0;
+  for (const EdgeId chord : non_tree_edges(*g, mst)) {
+    const Edge& ce = g->edge(chord);
+    if (ce.w <= q.path_max(ce.u, ce.v)) continue;
+    // Drop the path-max edge, add the chord.
+    VertexId x = ce.u, y = ce.v;
+    EdgeId drop = kInvalidEdge;
+    Weight best = 0;
+    while (x != y) {
+      if (tree.depth(x) < tree.depth(y)) std::swap(x, y);
+      if (tree.parent_weight(x) >= best) {
+        best = tree.parent_weight(x);
+        drop = tree.parent_edge(x);
+      }
+      x = tree.parent(x);
+    }
+    std::vector<EdgeId> swapped;
+    for (const EdgeId e : mst) {
+      if (e != drop) swapped.push_back(e);
+    }
+    swapped.push_back(chord);
+    ASSERT_FALSE(is_mst(*g, swapped));
+    const ConfigGraph broken = make_tree_config(*g, swapped, 0);
+    EXPECT_FALSE(run_verifier(scheme, broken, labels).accepted);
+    if (++tested >= 5) break;
+  }
+  EXPECT_GT(tested, 0);
+}
+
+TEST(FragmentScheme, SoundnessLoweredChord) {
+  Rng rng(901);
+  WeightOptions wo;
+  wo.max_weight = 1u << 10;
+  wo.distinct = true;
+  const auto g = std::make_unique<Graph>(
+      random_connected_graph(25, 40, wo, rng));
+  const auto mst = kruskal_mst(*g);
+  const FragmentScheme scheme;
+  const ConfigGraph cfg = make_tree_config(*g, mst, 0);
+  const auto labels = scheme.mark(cfg);
+  const RootedTree tree(*g, mst, 0);
+  const TreePathQueries q(tree);
+
+  int tested = 0;
+  for (const EdgeId chord : non_tree_edges(*g, mst)) {
+    const Edge& ce = g->edge(chord);
+    const Weight mx = q.path_max(ce.u, ce.v);
+    Graph::Builder b(g->num_vertices());
+    for (EdgeId e = 0; e < g->num_edges(); ++e) {
+      const Edge& ed = g->edge(e);
+      b.add_edge(ed.u, ed.v, e == chord ? mx - 1 : ed.w);
+    }
+    const Graph lowered = b.build();
+    ASSERT_FALSE(is_mst(lowered, mst));
+    std::vector<State> st;
+    for (VertexId v = 0; v < cfg.size(); ++v) st.push_back(cfg.state(v));
+    const ConfigGraph broken(lowered, std::move(st));
+    EXPECT_FALSE(run_verifier(scheme, broken, labels).accepted);
+    if (++tested >= 5) break;
+  }
+  EXPECT_GT(tested, 0);
+}
+
+TEST(FragmentScheme, SoundnessRandomBitFlipsOnBrokenConfig) {
+  Rng rng(902);
+  WeightOptions wo;
+  wo.max_weight = 1u << 8;
+  wo.distinct = true;
+  const auto g = std::make_unique<Graph>(
+      random_connected_graph(20, 30, wo, rng));
+  const auto mst = kruskal_mst(*g);
+  const FragmentScheme scheme;
+  const ConfigGraph cfg = make_tree_config(*g, mst, 0);
+  const auto labels = scheme.mark(cfg);
+
+  // Break the config: redirect one parent pointer off the MST.
+  ConfigGraph broken = cfg;
+  bool broke = false;
+  for (VertexId v = 0; v < broken.size() && !broke; ++v) {
+    if (!broken.state(v).parent_port || g->degree(v) < 2) continue;
+    for (PortNumber p = 1; p <= g->degree(v); ++p) {
+      if (p == *broken.state(v).parent_port) continue;
+      State saved = broken.state(v);
+      broken.state(v).parent_port = p;
+      const auto induced = broken.induced_subgraph();
+      if (is_spanning_tree(*g, induced) && !is_mst(*g, induced)) {
+        broke = true;
+        break;
+      }
+      broken.state(v) = saved;
+    }
+  }
+  ASSERT_TRUE(broke);
+
+  EXPECT_FALSE(run_verifier(scheme, broken, labels).accepted);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto tampered = labels;
+    const auto victim = static_cast<VertexId>(rng.index(tampered.size()));
+    tampered[victim] = tampered[victim].with_bit_flipped(
+        rng.index(tampered[victim].size_bits()));
+    EXPECT_FALSE(run_verifier(scheme, broken, tampered).accepted);
+  }
+}
+
+TEST(FragmentScheme, SingleVertexAndEdge) {
+  const FragmentScheme scheme;
+  {
+    Graph::Builder b(1);
+    const Graph g = b.build();
+    EXPECT_TRUE(mark_and_verify(scheme, make_tree_config(g, {}, 0)).accepted);
+  }
+  {
+    Graph::Builder b(2);
+    const EdgeId e = b.add_edge(0, 1, 9);
+    const Graph g = b.build();
+    EXPECT_TRUE(
+        mark_and_verify(scheme, make_tree_config(g, {e}, 1)).accepted);
+  }
+}
+
+TEST(FragmentScheme, CrossSchemeLabelsRejected) {
+  // Labels of pi_mst presented to pi_frag's verifier (and vice versa)
+  // must be rejected as unparseable or inconsistent, not accepted.
+  Rng rng(903);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(15, 20, wo, rng);
+  const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+  const FragmentScheme frag;
+  const MstScheme mst;
+  EXPECT_FALSE(run_verifier(frag, cfg, mst.mark(cfg)).accepted);
+  EXPECT_FALSE(run_verifier(mst, cfg, frag.mark(cfg)).accepted);
+}
+
+}  // namespace
+}  // namespace mstv

@@ -1,0 +1,126 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mstv {
+namespace {
+
+struct GenCase {
+  const char* name;
+  Graph (*make)(std::size_t, const WeightOptions&, Rng&);
+};
+
+class TreeGeneratorTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(TreeGeneratorTest, ProducesConnectedTreesOfRequestedSize) {
+  Rng rng(123);
+  WeightOptions wo;
+  wo.max_weight = 100;
+  for (const std::size_t n : {1u, 2u, 3u, 7u, 64u, 257u}) {
+    const Graph g = GetParam().make(n, wo, rng);
+    EXPECT_EQ(g.num_vertices(), n);
+    EXPECT_EQ(g.num_edges(), n - 1);
+    EXPECT_TRUE(g.is_connected());
+    for (const Edge& e : g.edges()) {
+      EXPECT_GE(e.w, 1u);
+      EXPECT_LE(e.w, wo.max_weight);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTreeShapes, TreeGeneratorTest,
+    ::testing::Values(GenCase{"random_tree", random_tree},
+                      GenCase{"path", path_graph},
+                      GenCase{"star", star_graph},
+                      GenCase{"caterpillar", caterpillar},
+                      GenCase{"balanced_binary", balanced_binary_tree}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+TEST(RandomConnectedGraph, HasRequestedExtraEdges) {
+  Rng rng(5);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(50, 30, wo, rng);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  EXPECT_EQ(g.num_edges(), 49u + 30u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(RandomConnectedGraph, ClampsExtraEdgesToComplete) {
+  Rng rng(5);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(5, 1000, wo, rng);
+  EXPECT_EQ(g.num_edges(), 10u);  // K5
+}
+
+TEST(RandomConnectedGraph, DistinctWeightsAreDistinct) {
+  Rng rng(5);
+  WeightOptions wo;
+  wo.max_weight = 1u << 20;
+  wo.distinct = true;
+  const Graph g = random_connected_graph(64, 100, wo, rng);
+  std::set<Weight> seen;
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(seen.insert(e.w).second) << "duplicate weight " << e.w;
+  }
+}
+
+TEST(RandomConnectedGraph, DistinctWeightsRequireRoom) {
+  Rng rng(5);
+  WeightOptions wo;
+  wo.max_weight = 3;
+  wo.distinct = true;
+  EXPECT_THROW((void)random_connected_graph(10, 5, wo, rng),
+               PreconditionError);
+}
+
+TEST(GridGraph, ShapeAndConnectivity) {
+  Rng rng(6);
+  WeightOptions wo;
+  const Graph g = grid_graph(4, 7, wo, rng);
+  EXPECT_EQ(g.num_vertices(), 28u);
+  EXPECT_EQ(g.num_edges(), 4u * 6u + 7u * 3u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(RingGraph, ShapeAndMinimumSize) {
+  Rng rng(6);
+  WeightOptions wo;
+  const Graph g = ring_graph(9, wo, rng);
+  EXPECT_EQ(g.num_edges(), 9u);
+  for (VertexId v = 0; v < 9; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW((void)ring_graph(2, wo, rng), PreconditionError);
+}
+
+TEST(CompleteGraph, AllPairs) {
+  Rng rng(6);
+  WeightOptions wo;
+  const Graph g = complete_graph(6, wo, rng);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Generators, DeterministicForFixedSeed) {
+  WeightOptions wo;
+  Rng r1(777), r2(777);
+  const Graph a = random_connected_graph(40, 20, wo, r1);
+  const Graph b = random_connected_graph(40, 20, wo, r2);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+    EXPECT_EQ(a.edge(e).w, b.edge(e).w);
+  }
+}
+
+TEST(Generators, StarHasHighDegreeCenter) {
+  Rng rng(8);
+  WeightOptions wo;
+  const Graph g = star_graph(10, wo, rng);
+  EXPECT_EQ(g.degree(0), 9u);
+}
+
+}  // namespace
+}  // namespace mstv

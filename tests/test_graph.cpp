@@ -1,0 +1,149 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/io.hpp"
+
+namespace mstv {
+namespace {
+
+Graph triangle() {
+  Graph::Builder b(3);
+  b.add_edge(0, 1, 10);
+  b.add_edge(1, 2, 20);
+  b.add_edge(2, 0, 30);
+  return b.build();
+}
+
+TEST(Graph, BasicCounts) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.max_weight(), 30u);
+}
+
+TEST(Graph, PortsAreOneBased) {
+  const Graph g = triangle();
+  EXPECT_THROW((void)g.port(0, 0), PreconditionError);
+  EXPECT_THROW((void)g.port(0, 3), PreconditionError);
+  (void)g.port(0, 1);
+  (void)g.port(0, 2);
+}
+
+TEST(Graph, ReversePortsMatch) {
+  const Graph g = triangle();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (PortNumber p = 1; p <= g.degree(v); ++p) {
+      const PortInfo& info = g.port(v, p);
+      const PortInfo& back = g.port(info.neighbor, info.reverse_port);
+      EXPECT_EQ(back.neighbor, v);
+      EXPECT_EQ(back.edge, info.edge);
+      EXPECT_EQ(back.weight, info.weight);
+    }
+  }
+}
+
+TEST(Graph, ReversePortsSurviveShuffle) {
+  Rng rng(99);
+  Graph::Builder b(6);
+  b.add_edge(0, 1, 1);
+  b.add_edge(0, 2, 2);
+  b.add_edge(0, 3, 3);
+  b.add_edge(0, 4, 4);
+  b.add_edge(0, 5, 5);
+  b.add_edge(1, 2, 6);
+  const Graph g = b.build(&rng);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (PortNumber p = 1; p <= g.degree(v); ++p) {
+      const PortInfo& info = g.port(v, p);
+      EXPECT_EQ(g.port(info.neighbor, info.reverse_port).neighbor, v);
+    }
+  }
+}
+
+TEST(Graph, FindPortAndEdge) {
+  const Graph g = triangle();
+  ASSERT_TRUE(g.find_port(0, 1).has_value());
+  EXPECT_EQ(g.port(0, *g.find_port(0, 1)).neighbor, 1u);
+  EXPECT_FALSE(g.find_port(0, 0).has_value());  // no self edge
+  ASSERT_TRUE(g.find_edge(1, 2).has_value());
+  EXPECT_EQ(g.edge(*g.find_edge(1, 2)).w, 20u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph::Builder b(2);
+  EXPECT_THROW(b.add_edge(1, 1, 5), PreconditionError);
+}
+
+TEST(Graph, RejectsParallelEdges) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 0, 2);  // same pair, other direction
+  EXPECT_THROW((void)b.build(), PreconditionError);
+}
+
+TEST(Graph, RejectsOutOfRangeVertex) {
+  Graph::Builder b(2);
+  EXPECT_THROW(b.add_edge(0, 2, 1), PreconditionError);
+}
+
+TEST(Graph, Connectivity) {
+  EXPECT_TRUE(triangle().is_connected());
+  Graph::Builder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(2, 3, 1);
+  EXPECT_FALSE(b.build().is_connected());
+  Graph::Builder single(1);
+  EXPECT_TRUE(single.build().is_connected());
+}
+
+TEST(Graph, EdgeOtherEndpoint) {
+  const Edge e{3, 7, 1};
+  EXPECT_EQ(e.other(3), 7u);
+  EXPECT_EQ(e.other(7), 3u);
+  EXPECT_THROW((void)e.other(5), PreconditionError);
+}
+
+TEST(Graph, DefaultConstructedIsEmpty) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  const Graph g = triangle();
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.edge(e).u, g.edge(e).u);
+    EXPECT_EQ(h.edge(e).v, g.edge(e).v);
+    EXPECT_EQ(h.edge(e).w, g.edge(e).w);
+  }
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  std::stringstream ss("3");
+  EXPECT_THROW((void)read_edge_list(ss), PreconditionError);
+}
+
+TEST(GraphIo, DotOutputMentionsEveryEdge) {
+  const Graph g = triangle();
+  std::stringstream ss;
+  DotOptions opts;
+  opts.tree_edge.assign(3, false);
+  opts.tree_edge[0] = true;
+  write_dot(ss, g, opts);
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mstv

@@ -1,0 +1,141 @@
+#include "lowerbound/hypertree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mst/predicates.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+#include "tree/path_queries.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+namespace {
+
+TEST(Hypertree, VertexCountsMatchClosedForm) {
+  EXPECT_EQ(hypertree_num_vertices(1), 1u);
+  EXPECT_EQ(hypertree_num_vertices(2), 5u);
+  EXPECT_EQ(hypertree_num_vertices(3), 21u);
+  EXPECT_EQ(hypertree_num_vertices(4), 85u);
+  for (std::uint32_t h = 2; h <= 6; ++h) {
+    const Hypertree ht = build_hypertree(h, 3);
+    EXPECT_EQ(ht.graph.num_vertices(), hypertree_num_vertices(h));
+  }
+}
+
+TEST(Hypertree, QRanges) {
+  EXPECT_EQ(q_range_lo(1, 4), 4u);
+  EXPECT_EQ(q_range_hi(1, 4), 7u);
+  EXPECT_EQ(q_range_lo(3, 5), 15u);
+  EXPECT_EQ(q_range_hi(3, 5), 19u);
+}
+
+TEST(Hypertree, StatesInduceASpanningTreeWithPreorderIds) {
+  const Hypertree ht = build_hypertree(4, 2);
+  const auto tree = ht.spanning_tree_edges();
+  EXPECT_TRUE(is_spanning_tree(ht.graph, tree));
+
+  // Preorder identities: root gets 1, all distinct, max = n.
+  EXPECT_EQ(ht.states[ht.root].id, 1u);
+  EXPECT_TRUE(ht.config().ids_unique());
+  std::uint64_t mx = 0;
+  for (const auto& s : ht.states) mx = std::max(mx, *s.id);
+  EXPECT_EQ(mx, ht.graph.num_vertices());
+}
+
+TEST(Hypertree, PathStructureMatchesFigure1) {
+  const Hypertree ht = build_hypertree(3, 4);
+  // V(3) = 21 = 2*V(2) + 1 + 2*V(2): 10 path-vertices => 5 paths at level
+  // 3 plus the two level-2 paths of the sub-hypertrees: 7 total.
+  EXPECT_EQ(ht.paths.size(), 7u);
+  std::size_t level3 = 0;
+  for (const auto& p : ht.paths) {
+    // Path(a0, a1) = (a0, hat0, hat1, a1) with unit outer edges.
+    const auto pe0 = ht.graph.find_edge(p.a0, p.hat0);
+    const auto pe1 = ht.graph.find_edge(p.hat1, p.a1);
+    ASSERT_TRUE(pe0 && pe1);
+    EXPECT_EQ(ht.graph.edge(*pe0).w, 1u);
+    EXPECT_EQ(ht.graph.edge(*pe1).w, 1u);
+    // Middle edge carries the level weight (legal construction).
+    EXPECT_EQ(ht.graph.edge(p.mid_edge).w, ht.level_x[p.level]);
+    if (p.level == 3) ++level3;
+    // hats point outward at a0 / a1 (their parent ports).
+    const RootedTree t(ht.graph, ht.spanning_tree_edges(), ht.root);
+    EXPECT_EQ(t.parent(p.hat0), p.a0);
+    EXPECT_EQ(t.parent(p.hat1), p.a1);
+  }
+  EXPECT_EQ(level3, 5u);
+}
+
+TEST(Hypertree, Claim41OnLegalHypertrees) {
+  for (std::uint32_t h = 1; h <= 5; ++h) {
+    for (const std::uint64_t mu : {1u, 2u, 7u}) {
+      Rng rng(h * 100 + mu);
+      const Hypertree ht = build_hypertree(h, mu, {}, &rng);
+      EXPECT_TRUE(check_claim_4_1(ht)) << "h=" << h << " mu=" << mu;
+      EXPECT_TRUE(is_mst(ht.graph, ht.spanning_tree_edges()));
+    }
+  }
+}
+
+TEST(Hypertree, LegalPathWeightEqualsMaxOfEndpoints) {
+  const Hypertree ht = build_hypertree(4, 5);
+  const RootedTree t(ht.graph, ht.spanning_tree_edges(), ht.root);
+  const TreePathQueries q(t);
+  for (const auto& p : ht.paths) {
+    EXPECT_EQ(q.path_max(p.a0, p.a1), ht.level_x[p.level]);
+  }
+}
+
+TEST(Hypertree, LighterPathBreaksMinimality) {
+  const Hypertree ht = build_hypertree(3, 4, {0, 0, 5, 9});
+  for (std::size_t i = 0; i < ht.paths.size(); ++i) {
+    const Weight x = ht.level_x[ht.paths[i].level];
+    ASSERT_GE(x, 1u);
+    const Hypertree lighter = with_path_weight(ht, i, x - 1);
+    EXPECT_FALSE(is_mst(lighter.graph, lighter.spanning_tree_edges()))
+        << "path " << i;
+    EXPECT_TRUE(check_claim_4_1(lighter));  // claim still holds vacuously
+  }
+}
+
+TEST(Hypertree, HeavierPathKeepsMinimality) {
+  const Hypertree ht = build_hypertree(3, 4, {0, 0, 4, 8});
+  for (std::size_t i = 0; i < ht.paths.size(); ++i) {
+    const Weight x = ht.level_x[ht.paths[i].level];
+    const Hypertree heavier = with_path_weight(ht, i, x + 1);
+    EXPECT_TRUE(is_mst(heavier.graph, heavier.spanning_tree_edges()));
+  }
+}
+
+TEST(Hypertree, PiMstAcceptsLegalRejectsLightened) {
+  const MstScheme scheme;
+  const Hypertree ht = build_hypertree(3, 8);
+  const ConfigGraph cfg = ht.config();
+  const auto labels = scheme.mark(cfg);
+  EXPECT_TRUE(run_verifier(scheme, cfg, labels).accepted);
+
+  // Lightening any path must be caught even with the stale legal labels.
+  for (std::size_t i = 0; i < ht.paths.size(); ++i) {
+    const Weight x = ht.level_x[ht.paths[i].level];
+    const Hypertree lighter = with_path_weight(ht, i, x - 1);
+    EXPECT_FALSE(run_verifier(scheme, lighter.config(), labels).accepted)
+        << "path " << i;
+  }
+}
+
+TEST(Hypertree, CustomLevelWeightsValidated) {
+  EXPECT_THROW((void)build_hypertree(3, 4, {0, 0, 99, 8}),
+               PreconditionError);  // level-2 weight outside Q_1(4)=[4,7]
+  EXPECT_THROW((void)build_hypertree(3, 4, {0, 0, 5}), PreconditionError);
+  (void)build_hypertree(3, 4, {0, 0, 7, 11});  // boundary values fine
+}
+
+TEST(Hypertree, MaxWeightBound) {
+  const Hypertree ht = build_hypertree(5, 6);
+  // All weights sit in [1, h*mu - 1].
+  EXPECT_LE(ht.graph.max_weight(),
+            static_cast<Weight>(ht.h) * ht.mu - 1);
+}
+
+}  // namespace
+}  // namespace mstv

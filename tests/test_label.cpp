@@ -1,0 +1,125 @@
+#include "labeling/label.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace mstv {
+namespace {
+
+Label make_label(std::initializer_list<bool> bits) {
+  BitWriter w;
+  for (const bool b : bits) w.write_bit(b);
+  return Label(w);
+}
+
+TEST(Label, EmptyLabel) {
+  Label l;
+  EXPECT_TRUE(l.empty());
+  EXPECT_EQ(l.size_bits(), 0u);
+  EXPECT_EQ(l, Label());
+}
+
+TEST(Label, EqualityIsBitExact) {
+  const Label a = make_label({1, 0, 1});
+  const Label b = make_label({1, 0, 1});
+  const Label c = make_label({1, 0, 1, 0});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // same prefix, different length
+}
+
+TEST(Label, NormalizationIgnoresStaleHighBits) {
+  // Two labels with identical logical bits must compare equal even if the
+  // writers' backing words would have differed.
+  BitWriter w1;
+  w1.write_uint(0xFF, 8);
+  Label a(w1);
+  Label b({0xFFull}, 8);
+  Label c({0x1FFull}, 8);  // bit 8 set beyond the logical size
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(Label, BitAccess) {
+  const Label l = make_label({1, 0, 0, 1});
+  EXPECT_TRUE(l.bit(0));
+  EXPECT_FALSE(l.bit(1));
+  EXPECT_TRUE(l.bit(3));
+  EXPECT_THROW((void)l.bit(4), PreconditionError);
+}
+
+TEST(Label, FlipBit) {
+  const Label l = make_label({1, 0, 1});
+  const Label f = l.with_bit_flipped(1);
+  EXPECT_NE(l, f);
+  EXPECT_TRUE(f.bit(1));
+  EXPECT_EQ(f.with_bit_flipped(1), l);  // involution
+}
+
+TEST(Label, Truncate) {
+  const Label l = make_label({1, 1, 0, 1, 0});
+  const Label t = l.truncated(3);
+  EXPECT_EQ(t.size_bits(), 3u);
+  EXPECT_EQ(t, make_label({1, 1, 0}));
+  EXPECT_EQ(l.truncated(99), l);
+}
+
+TEST(Label, Concatenation) {
+  const Label a = make_label({1, 0});
+  const Label b = make_label({0, 1, 1});
+  const Label ab = a + b;
+  EXPECT_EQ(ab, make_label({1, 0, 0, 1, 1}));
+  EXPECT_EQ((Label() + a), a);
+  EXPECT_EQ((a + Label()), a);
+}
+
+TEST(Label, ConcatenationAcrossWordBoundary) {
+  Rng rng(3);
+  BitWriter w1, w2;
+  std::vector<bool> bits;
+  for (int i = 0; i < 100; ++i) {
+    const bool b = rng.chance(0.5);
+    bits.push_back(b);
+    w1.write_bit(b);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const bool b = rng.chance(0.5);
+    bits.push_back(b);
+    w2.write_bit(b);
+  }
+  const Label joined = Label(w1) + Label(w2);
+  ASSERT_EQ(joined.size_bits(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(joined.bit(i), bits[i]) << "bit " << i;
+  }
+}
+
+TEST(Label, OrderingIsConsistent) {
+  std::set<Label> s;
+  s.insert(make_label({1}));
+  s.insert(make_label({0}));
+  s.insert(make_label({1, 0}));
+  s.insert(make_label({1}));  // duplicate
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(Label, ToString) {
+  EXPECT_EQ(make_label({1, 0, 1, 1}).to_string(), "1011");
+  EXPECT_EQ(Label().to_string(), "");
+}
+
+TEST(Label, ReaderSeesWrittenData) {
+  BitWriter w;
+  w.write_gamma(17);
+  w.write_uint(5, 3);
+  const Label l(w);
+  BitReader r = l.reader();
+  EXPECT_EQ(r.read_gamma(), 17u);
+  EXPECT_EQ(r.read_uint(3), 5u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+}  // namespace
+}  // namespace mstv

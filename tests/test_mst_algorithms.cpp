@@ -1,0 +1,116 @@
+#include "mst/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "mst/predicates.hpp"
+
+namespace mstv {
+namespace {
+
+TEST(MstAlgorithms, HandPickedExample) {
+  // Classic 4-cycle with a chord; unique MST = {0-1:1, 1-2:2, 2-3:3}.
+  Graph::Builder b(4);
+  const EdgeId e01 = b.add_edge(0, 1, 1);
+  const EdgeId e12 = b.add_edge(1, 2, 2);
+  const EdgeId e23 = b.add_edge(2, 3, 3);
+  b.add_edge(3, 0, 10);
+  b.add_edge(0, 2, 9);
+  const Graph g = b.build();
+
+  for (auto* algo : {kruskal_mst, prim_mst, boruvka_mst}) {
+    auto tree = algo(g);
+    std::sort(tree.begin(), tree.end());
+    EXPECT_EQ(tree, (std::vector<EdgeId>{e01, e12, e23}));
+  }
+}
+
+TEST(MstAlgorithms, SingleVertex) {
+  Graph::Builder b(1);
+  const Graph g = b.build();
+  EXPECT_TRUE(kruskal_mst(g).empty());
+  EXPECT_TRUE(prim_mst(g).empty());
+  EXPECT_TRUE(boruvka_mst(g).empty());
+}
+
+TEST(MstAlgorithms, DisconnectedRejected) {
+  Graph::Builder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(2, 3, 1);
+  const Graph g = b.build();
+  EXPECT_THROW((void)kruskal_mst(g), PreconditionError);
+  EXPECT_THROW((void)prim_mst(g), PreconditionError);
+  EXPECT_THROW((void)boruvka_mst(g), PreconditionError);
+}
+
+struct RandomCase {
+  std::uint64_t seed;
+  std::size_t n;
+  std::size_t extra;
+  Weight max_w;
+  bool distinct;
+};
+
+class MstRandomTest : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(MstRandomTest, AllThreeAlgorithmsAgreeOnWeightAndValidity) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  WeightOptions wo;
+  wo.max_weight = c.max_w;
+  wo.distinct = c.distinct;
+  const Graph g = random_connected_graph(c.n, c.extra, wo, rng);
+
+  const auto k = kruskal_mst(g);
+  const auto p = prim_mst(g);
+  const auto bo = boruvka_mst(g);
+
+  EXPECT_TRUE(is_spanning_tree(g, k));
+  EXPECT_TRUE(is_spanning_tree(g, p));
+  EXPECT_TRUE(is_spanning_tree(g, bo));
+
+  const Weight wk = total_weight(g, k);
+  EXPECT_EQ(wk, total_weight(g, p));
+  EXPECT_EQ(wk, total_weight(g, bo));
+
+  EXPECT_TRUE(is_mst(g, k));
+  EXPECT_TRUE(is_mst(g, p));
+  EXPECT_TRUE(is_mst(g, bo));
+
+  if (c.distinct) {
+    // Unique MST: the edge sets must be identical.
+    auto ks = k, ps = p, bs = bo;
+    std::sort(ks.begin(), ks.end());
+    std::sort(ps.begin(), ps.end());
+    std::sort(bs.begin(), bs.end());
+    EXPECT_EQ(ks, ps);
+    EXPECT_EQ(ks, bs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MstRandomTest,
+    ::testing::Values(RandomCase{1, 2, 0, 10, false},
+                      RandomCase{2, 10, 15, 5, false},   // many weight ties
+                      RandomCase{3, 50, 100, 1u << 20, true},
+                      RandomCase{4, 100, 50, 3, false},  // extreme ties
+                      RandomCase{5, 200, 400, 1u << 30, true},
+                      RandomCase{6, 333, 0, 100, false},  // tree input
+                      RandomCase{7, 64, 1950, 1u << 16, true}));  // ~complete
+
+TEST(MstAlgorithms, AllWeightsEqual) {
+  Rng rng(9);
+  WeightOptions wo;
+  wo.max_weight = 1;  // every edge weight 1
+  const Graph g = random_connected_graph(60, 120, wo, rng);
+  const auto k = kruskal_mst(g);
+  EXPECT_EQ(total_weight(g, k), 59u);
+  EXPECT_TRUE(is_mst(g, k));
+  EXPECT_TRUE(is_mst(g, prim_mst(g)));
+  EXPECT_TRUE(is_mst(g, boruvka_mst(g)));
+}
+
+}  // namespace
+}  // namespace mstv

@@ -1,0 +1,183 @@
+#include "plscheme/mst_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "plscheme/runner.hpp"
+
+namespace mstv {
+namespace {
+
+struct CompletenessCase {
+  const char* name;
+  std::uint64_t seed;
+  std::size_t n;
+  std::size_t extra;
+  Weight max_w;
+  bool distinct;
+};
+
+class MstSchemeCompleteness
+    : public ::testing::TestWithParam<CompletenessCase> {};
+
+TEST_P(MstSchemeCompleteness, MarkerLabelsAreAcceptedEverywhere) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  WeightOptions wo;
+  wo.max_weight = c.max_w;
+  wo.distinct = c.distinct;
+  const Graph g = random_connected_graph(c.n, c.extra, wo, rng);
+  const auto mst = kruskal_mst(g);
+
+  for (const SepCoding coding :
+       {SepCoding::Telescoping, SepCoding::FixedWidth}) {
+    const MstScheme scheme(coding);
+    for (const VertexId root :
+         {VertexId{0}, static_cast<VertexId>(c.n / 2)}) {
+      const ConfigGraph cfg = make_tree_config(g, mst, root);
+      ASSERT_TRUE(mst_predicate(cfg));
+      const auto result = mark_and_verify(scheme, cfg);
+      EXPECT_TRUE(result.accepted)
+          << scheme.name() << " root=" << root
+          << " rejecting=" << result.rejecting.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MstSchemeCompleteness,
+    ::testing::Values(
+        CompletenessCase{"tiny", 1, 2, 0, 8, false},
+        CompletenessCase{"small_sparse", 2, 20, 10, 100, false},
+        CompletenessCase{"small_dense", 3, 16, 100, 1u << 16, true},
+        CompletenessCase{"ties_everywhere", 4, 40, 80, 3, false},
+        CompletenessCase{"medium", 5, 150, 300, 1u << 20, true},
+        CompletenessCase{"large_sparse", 6, 400, 100, 1u << 30, false},
+        CompletenessCase{"tree_only", 7, 100, 0, 50, false},
+        CompletenessCase{"unit_weights", 8, 50, 120, 1, false}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+TEST(MstScheme, AcceptsEveryMstOfANonUniqueInstance) {
+  // A 4-cycle with two equal heavy edges has two MSTs; both must verify.
+  Graph::Builder b(4);
+  const EdgeId e01 = b.add_edge(0, 1, 1);
+  const EdgeId e12 = b.add_edge(1, 2, 5);
+  const EdgeId e23 = b.add_edge(2, 3, 1);
+  const EdgeId e30 = b.add_edge(3, 0, 5);
+  const Graph g = b.build();
+  const MstScheme scheme;
+  for (const auto& tree :
+       {std::vector<EdgeId>{e01, e12, e23}, std::vector<EdgeId>{e01, e23, e30}}) {
+    const ConfigGraph cfg = make_tree_config(g, tree, 0);
+    EXPECT_TRUE(mark_and_verify(scheme, cfg).accepted);
+  }
+}
+
+TEST(MstScheme, MarkerRejectsNonMstInput) {
+  Graph::Builder b(3);
+  const EdgeId e01 = b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  const EdgeId e02 = b.add_edge(0, 2, 9);
+  const Graph g = b.build();
+  const MstScheme scheme;
+  const ConfigGraph cfg = make_tree_config(g, {e01, e02}, 0);
+  EXPECT_THROW((void)scheme.mark(cfg), PreconditionError);
+}
+
+TEST(MstScheme, GrowsLikeLogNLogW) {
+  // Theorem 3.4 envelope check, one scale step in each dimension.
+  const MstScheme scheme;
+  WeightOptions wo;
+  auto max_bits = [&](std::size_t n, Weight w, std::uint64_t seed) {
+    Rng rng(seed);
+    wo.max_weight = w;
+    const Graph g = random_connected_graph(n, 2 * n, wo, rng);
+    const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+    return mark_and_verify(scheme, cfg).max_label_bits;
+  };
+  for (const std::size_t n : {64u, 512u}) {
+    for (const Weight w : {Weight{16}, Weight{1} << 24}) {
+      const double logn = std::log2(static_cast<double>(n));
+      const double logw = std::log2(static_cast<double>(w) + 1);
+      const double envelope = 4.0 * (logn * logw + logn + logw) + 120.0;
+      EXPECT_LE(static_cast<double>(max_bits(n, w, n + w)), envelope)
+          << "n=" << n << " W=" << w;
+    }
+  }
+}
+
+TEST(MstScheme, TelescopingNoLargerThanNaive) {
+  Rng rng(31);
+  WeightOptions wo;
+  wo.max_weight = 8;
+  const Graph g = random_connected_graph(1024, 1024, wo, rng);
+  const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+  const auto small = mark_and_verify(MstScheme(SepCoding::Telescoping), cfg);
+  const auto naive = mark_and_verify(MstScheme(SepCoding::FixedWidth), cfg);
+  ASSERT_TRUE(small.accepted);
+  ASSERT_TRUE(naive.accepted);
+  EXPECT_LT(small.total_label_bits, naive.total_label_bits);
+}
+
+TEST(MstScheme, SingleVertexAndSingleEdge) {
+  const MstScheme scheme;
+  {
+    Graph::Builder b(1);
+    const Graph g = b.build();
+    const ConfigGraph cfg = make_tree_config(g, {}, 0);
+    EXPECT_TRUE(mark_and_verify(scheme, cfg).accepted);
+  }
+  {
+    Graph::Builder b(2);
+    const EdgeId e = b.add_edge(0, 1, 42);
+    const Graph g = b.build();
+    const ConfigGraph cfg = make_tree_config(g, {e}, 1);
+    EXPECT_TRUE(mark_and_verify(scheme, cfg).accepted);
+  }
+}
+
+TEST(MstScheme, WorksOnGridsAndRings) {
+  Rng rng(32);
+  WeightOptions wo;
+  wo.max_weight = 1000;
+  const MstScheme scheme;
+  {
+    const Graph g = grid_graph(8, 9, wo, rng);
+    const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 3);
+    EXPECT_TRUE(mark_and_verify(scheme, cfg).accepted);
+  }
+  {
+    const Graph g = ring_graph(31, wo, rng);
+    const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 30);
+    EXPECT_TRUE(mark_and_verify(scheme, cfg).accepted);
+  }
+  {
+    const Graph g = complete_graph(12, wo, rng);
+    const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+    EXPECT_TRUE(mark_and_verify(scheme, cfg).accepted);
+  }
+}
+
+TEST(MstScheme, PortShuffleInvariance) {
+  // The scheme must not depend on port numbering conventions: rebuild the
+  // same weighted graph with shuffled ports and verify again.
+  WeightOptions wo;
+  wo.max_weight = 1u << 10;
+  wo.distinct = true;
+  Rng rng(33);
+  const Graph base = random_connected_graph(50, 80, wo, rng);
+  Graph::Builder b(base.num_vertices());
+  for (const Edge& e : base.edges()) b.add_edge(e.u, e.v, e.w);
+  Rng shuffle_rng(99);
+  const Graph shuffled = b.build(&shuffle_rng);
+
+  const MstScheme scheme;
+  const ConfigGraph cfg = make_tree_config(shuffled, kruskal_mst(shuffled), 0);
+  EXPECT_TRUE(mark_and_verify(scheme, cfg).accepted);
+}
+
+}  // namespace
+}  // namespace mstv

@@ -1,0 +1,281 @@
+// Soundness property tests for pi_mst: whenever the configuration does
+// NOT induce an MST, some node must reject — for honest-but-stale labels,
+// for tampered labels, and (on small instances) for exhaustive families
+// of adversarial label choices.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "mst/predicates.hpp"
+#include "mst/union_find.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+#include "tree/path_queries.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+namespace {
+
+/// Marks an MST config, then hands back graph + labels for mutation.
+/// The Graph lives on the heap because ConfigGraph holds a pointer to it;
+/// moving the fixture must not relocate the graph.
+struct Fixture {
+  std::unique_ptr<Graph> g_owner;
+  std::vector<EdgeId> mst;
+  std::optional<ConfigGraph> cfg_store;
+  std::vector<Label> labels;
+
+  const Graph& g() const { return *g_owner; }
+  const ConfigGraph& cfg() const { return *cfg_store; }
+};
+
+Fixture make_fixture(std::uint64_t seed, std::size_t n, std::size_t extra,
+                     Weight max_w, const MstScheme& scheme) {
+  Rng rng(seed);
+  WeightOptions wo;
+  wo.max_weight = max_w;
+  Fixture f;
+  f.g_owner = std::make_unique<Graph>(
+      random_connected_graph(n, extra, wo, rng));
+  f.mst = kruskal_mst(*f.g_owner);
+  f.cfg_store.emplace(make_tree_config(*f.g_owner, f.mst, 0));
+  f.labels = scheme.mark(*f.cfg_store);
+  return f;
+}
+
+struct SoundnessCase {
+  const char* name;
+  std::uint64_t seed;
+  std::size_t n;
+  std::size_t extra;
+  Weight max_w;
+};
+
+class MstSchemeSoundness : public ::testing::TestWithParam<SoundnessCase> {};
+
+TEST_P(MstSchemeSoundness, SwappingTreeEdgeForHeavierChordIsRejected) {
+  // Replace a tree edge by a strictly heavier non-tree edge across the
+  // same cut: still a spanning tree, no longer minimum.  Keep the stale
+  // labels (the adversary's best consistent story).
+  const auto& c = GetParam();
+  const MstScheme scheme;
+  Fixture f = make_fixture(c.seed, c.n, c.extra, c.max_w, scheme);
+  const RootedTree tree(f.g(), f.mst, 0);
+  const TreePathQueries q(tree);
+
+  int tested = 0;
+  for (const EdgeId chord : non_tree_edges(f.g(), f.mst)) {
+    const Edge& ce = f.g().edge(chord);
+    if (ce.w <= q.path_max(ce.u, ce.v)) continue;  // swap would stay optimal
+    // Find a strictly lighter tree edge on the path u..v to drop: the max
+    // edge works.
+    VertexId x = ce.u, y = ce.v;
+    EdgeId drop = kInvalidEdge;
+    Weight best = 0;
+    while (x != y) {
+      if (tree.depth(x) < tree.depth(y)) std::swap(x, y);
+      if (tree.parent_weight(x) >= best) {
+        best = tree.parent_weight(x);
+        drop = tree.parent_edge(x);
+      }
+      x = tree.parent(x);
+    }
+    ASSERT_NE(drop, kInvalidEdge);
+
+    std::vector<EdgeId> swapped;
+    for (const EdgeId e : f.mst) {
+      if (e != drop) swapped.push_back(e);
+    }
+    swapped.push_back(chord);
+    ASSERT_TRUE(is_spanning_tree(f.g(), swapped));
+    ASSERT_FALSE(is_mst(f.g(), swapped));
+
+    const ConfigGraph broken = make_tree_config(f.g(), swapped, 0);
+    // (a) stale labels from the true MST:
+    EXPECT_FALSE(run_verifier(scheme, broken, f.labels).accepted);
+    // (b) labels an honest marker would produce for the swapped tree as
+    // if it were minimum — build them via a scheme on the modified graph
+    // where the swap *is* optimal, then replay on the real weights.
+    Graph::Builder b(f.g().num_vertices());
+    for (EdgeId e = 0; e < f.g().num_edges(); ++e) {
+      const Edge& ed = f.g().edge(e);
+      // In the forged story the chord pretends to weigh what the dropped
+      // tree edge did, making the swapped tree "minimum".
+      b.add_edge(ed.u, ed.v, e == chord ? best : ed.w);
+    }
+    const Graph forged_g = b.build();
+    if (is_mst(forged_g, swapped)) {
+      const ConfigGraph forged_cfg = make_tree_config(forged_g, swapped, 0);
+      const auto forged_labels = scheme.mark(forged_cfg);
+      EXPECT_FALSE(run_verifier(scheme, broken, forged_labels).accepted)
+          << "labels forged from a re-weighted graph were accepted";
+    }
+    if (++tested >= 5) break;  // a few chords per instance suffice
+  }
+  EXPECT_GT(tested, 0) << "instance had no strictly-improving swap";
+}
+
+TEST_P(MstSchemeSoundness, LoweredChordWeightIsRejected) {
+  // Keep the tree, lower a non-tree edge below the tree-path MAX: the
+  // (unchanged) tree stops being minimum; stale labels must be rejected.
+  const auto& c = GetParam();
+  const MstScheme scheme;
+  Fixture f = make_fixture(c.seed + 1000, c.n, c.extra, c.max_w, scheme);
+  const RootedTree tree(f.g(), f.mst, 0);
+  const TreePathQueries q(tree);
+
+  int tested = 0;
+  for (const EdgeId chord : non_tree_edges(f.g(), f.mst)) {
+    const Edge& ce = f.g().edge(chord);
+    const Weight mx = q.path_max(ce.u, ce.v);
+    if (mx == 0) continue;
+    Graph::Builder b(f.g().num_vertices());
+    for (EdgeId e = 0; e < f.g().num_edges(); ++e) {
+      const Edge& ed = f.g().edge(e);
+      b.add_edge(ed.u, ed.v, e == chord ? mx - 1 : ed.w);
+    }
+    const Graph lowered = b.build();
+    ASSERT_FALSE(is_mst(lowered, f.mst));
+    ConfigGraph broken(lowered, [&] {
+      std::vector<State> st;
+      for (VertexId v = 0; v < f.cfg().size(); ++v) st.push_back(f.cfg().state(v));
+      return st;
+    }());
+    EXPECT_FALSE(run_verifier(scheme, broken, f.labels).accepted);
+    if (++tested >= 5) break;
+  }
+  EXPECT_GT(tested, 0);
+}
+
+TEST_P(MstSchemeSoundness, RandomLabelBitFlipsNeverFoolTheVerifier) {
+  const auto& c = GetParam();
+  const MstScheme scheme;
+  Fixture f = make_fixture(c.seed + 2000, c.n, c.extra, c.max_w, scheme);
+
+  // First break the configuration (redirect one parent pointer so the
+  // induced subgraph is no longer the MST), then let the adversary flip
+  // random label bits trying to repair the story.
+  Rng rng(c.seed + 3000);
+  ConfigGraph broken = f.cfg();
+  for (int attempts = 0; attempts < 100; ++attempts) {
+    const auto v = static_cast<VertexId>(rng.index(broken.size()));
+    if (!broken.state(v).parent_port || f.g().degree(v) < 2) continue;
+    PortNumber p;
+    do {
+      p = static_cast<PortNumber>(rng.uniform(1, f.g().degree(v)));
+    } while (p == *broken.state(v).parent_port);
+    broken.state(v).parent_port = p;
+    const auto induced = broken.induced_subgraph();
+    if (is_spanning_tree(f.g(), induced) && is_mst(f.g(), induced)) {
+      broken.state(v) = f.cfg().state(v);  // accidentally still an MST; undo
+      continue;
+    }
+    break;
+  }
+  ASSERT_FALSE(mst_predicate(broken));
+
+  EXPECT_FALSE(run_verifier(scheme, broken, f.labels).accepted);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto tampered = f.labels;
+    const int flips = 1 + static_cast<int>(rng.uniform(0, 4));
+    for (int i = 0; i < flips; ++i) {
+      const auto victim = static_cast<VertexId>(rng.index(tampered.size()));
+      tampered[victim] = tampered[victim].with_bit_flipped(
+          rng.index(tampered[victim].size_bits()));
+    }
+    EXPECT_FALSE(run_verifier(scheme, broken, tampered).accepted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MstSchemeSoundness,
+    ::testing::Values(SoundnessCase{"small", 10, 12, 20, 64},
+                      SoundnessCase{"ties", 11, 20, 40, 6},
+                      SoundnessCase{"medium", 12, 60, 120, 1u << 12},
+                      SoundnessCase{"wide_weights", 13, 30, 60, 1u << 28},
+                      SoundnessCase{"dense", 14, 18, 120, 1u << 10}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+TEST(MstSchemeSoundnessExhaustive, TriangleAllTreesAllSmallLabelSets) {
+  // On a weighted triangle, enumerate every spanning tree; non-minimum
+  // ones must be rejected under the honest labels of every *other* tree
+  // (cross-labeling attack).
+  Graph::Builder b(3);
+  const EdgeId e01 = b.add_edge(0, 1, 1);
+  const EdgeId e12 = b.add_edge(1, 2, 2);
+  const EdgeId e02 = b.add_edge(0, 2, 4);
+  const Graph g = b.build();
+  const MstScheme scheme;
+
+  const std::vector<std::vector<EdgeId>> trees = {
+      {e01, e12}, {e01, e02}, {e12, e02}};
+  std::vector<std::vector<Label>> honest;
+  for (const auto& t : trees) {
+    if (is_mst(g, t)) {
+      honest.push_back(scheme.mark(make_tree_config(g, t, 0)));
+    } else {
+      honest.emplace_back();  // no honest labels exist
+    }
+  }
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    const ConfigGraph cfg = make_tree_config(g, trees[i], 0);
+    const bool should_accept = is_mst(g, trees[i]);
+    for (const auto& labels : honest) {
+      if (labels.empty()) continue;
+      const bool accepted = run_verifier(scheme, cfg, labels).accepted;
+      if (!should_accept) {
+        EXPECT_FALSE(accepted) << "tree " << i << " accepted wrongly";
+      }
+    }
+    if (should_accept) {
+      EXPECT_TRUE(run_verifier(scheme, cfg, honest[i]).accepted);
+    }
+  }
+}
+
+TEST(MstSchemeSoundnessExhaustive, NonMstNeverAcceptedUnderManyMarkers) {
+  // Randomized approximation of "for every marker L there exists a
+  // rejecting vertex": try many plausible forged label assignments built
+  // from honest labels of related instances.
+  Rng rng(500);
+  WeightOptions wo;
+  wo.max_weight = 16;
+  const MstScheme scheme;
+  for (int round = 0; round < 10; ++round) {
+    const Graph g = random_connected_graph(10, 12, wo, rng);
+    const auto mst = kruskal_mst(g);
+    // A non-MST spanning tree (if the instance has one).
+    std::vector<EdgeId> order(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+    std::vector<EdgeId> bad;
+    for (int t = 0; t < 50 && bad.empty(); ++t) {
+      rng.shuffle(order);
+      UnionFind uf(g.num_vertices());
+      std::vector<EdgeId> tree;
+      for (const EdgeId e : order) {
+        if (uf.unite(g.edge(e).u, g.edge(e).v)) tree.push_back(e);
+      }
+      if (!is_mst(g, tree)) bad = tree;
+    }
+    if (bad.empty()) continue;
+
+    const ConfigGraph broken = make_tree_config(g, bad, 0);
+    const auto honest = scheme.mark(make_tree_config(g, mst, 0));
+    // Forgery 1: honest MST labels on the bad tree.
+    EXPECT_FALSE(run_verifier(scheme, broken, honest).accepted);
+    // Forgery 2: mixtures of honest labels with random per-node swaps.
+    for (int t = 0; t < 20; ++t) {
+      auto forged = honest;
+      const auto a = static_cast<VertexId>(rng.index(forged.size()));
+      const auto b2 = static_cast<VertexId>(rng.index(forged.size()));
+      std::swap(forged[a], forged[b2]);
+      EXPECT_FALSE(run_verifier(scheme, broken, forged).accepted);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mstv

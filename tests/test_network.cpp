@@ -1,0 +1,154 @@
+#include "runtime/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "plscheme/mst_scheme.hpp"
+
+namespace mstv {
+namespace {
+
+SimNetwork make_net(const Graph& g, const MstScheme& scheme) {
+  SimNetwork net(make_tree_config(g, kruskal_mst(g), 0), scheme);
+  net.install_marker_labels();
+  return net;
+}
+
+TEST(SimNetwork, CleanRoundAcceptsAndAccountsTraffic) {
+  Rng rng(71);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(30, 45, wo, rng);
+  const MstScheme scheme;
+  SimNetwork net = make_net(g, scheme);
+  const RoundStats stats = net.verification_round();
+  EXPECT_TRUE(stats.accepted);
+  EXPECT_EQ(stats.rejecting, 0u);
+  EXPECT_EQ(stats.messages, 2 * g.num_edges());
+  EXPECT_GT(stats.bits, 0u);
+  // Total bits = sum over nodes of degree * label bits.
+  std::size_t expect_bits = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    expect_bits += g.degree(v) * net.labels()[v].size_bits();
+  }
+  EXPECT_EQ(stats.bits, expect_bits);
+}
+
+TEST(FaultInjector, EveryFaultKindIsDetected) {
+  Rng rng(72);
+  WeightOptions wo;
+  wo.max_weight = 1u << 10;
+  wo.distinct = true;  // unique MST: structural faults can't stay optimal
+  const Graph g = random_connected_graph(25, 40, wo, rng);
+  const MstScheme scheme;
+
+  for (const FaultKind kind :
+       {FaultKind::RedirectParent, FaultKind::DropParent,
+        FaultKind::FlipLabelBit}) {
+    Rng frng(100 + static_cast<std::uint64_t>(kind));
+    FaultInjector inj(frng);
+    int applied = 0, detected = 0;
+    for (VertexId victim = 0; victim < g.num_vertices(); ++victim) {
+      SimNetwork net = make_net(g, scheme);
+      const auto rec = inj.inject(net, kind, victim);
+      if (!rec) continue;
+      ++applied;
+      if (!net.verification_round().accepted) ++detected;
+    }
+    EXPECT_GT(applied, 0) << "kind " << static_cast<int>(kind);
+    if (kind == FaultKind::FlipLabelBit) {
+      // A label flip leaves the configuration a genuine MST, so the
+      // verifier is *allowed* to accept when the flipped label happens to
+      // be another valid proof (e.g. a different-but-unique subtree
+      // number, i.e. a different member of Gamma).  It must still catch
+      // the overwhelming majority.
+      EXPECT_GE(detected * 10, applied * 9)
+          << detected << "/" << applied;
+    } else {
+      // State faults change the induced subgraph away from the unique
+      // MST: soundness demands detection every single time.
+      EXPECT_EQ(detected, applied) << "kind " << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(FaultInjector, MakeParentAtRootDetected) {
+  Rng rng(73);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(15, 20, wo, rng);
+  const MstScheme scheme;
+  SimNetwork net = make_net(g, scheme);
+  Rng frng(1);
+  FaultInjector inj(frng);
+  const auto rec = inj.inject(net, FaultKind::MakeParent, 0);  // root is 0
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_FALSE(net.verification_round().accepted);
+}
+
+TEST(FaultInjector, InapplicableFaultsReturnNullopt) {
+  Rng rng(74);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(10, 5, wo, rng);
+  const MstScheme scheme;
+  SimNetwork net = make_net(g, scheme);
+  Rng frng(2);
+  FaultInjector inj(frng);
+  // Root has no parent: cannot redirect or drop.
+  EXPECT_FALSE(inj.inject(net, FaultKind::RedirectParent, 0).has_value());
+  EXPECT_FALSE(inj.inject(net, FaultKind::DropParent, 0).has_value());
+  // Non-root already has a parent: cannot make one.
+  EXPECT_FALSE(inj.inject(net, FaultKind::MakeParent, 1).has_value());
+}
+
+TEST(FaultInjector, RandomFaultBarrageAlwaysCaught) {
+  Rng rng(75);
+  WeightOptions wo;
+  wo.max_weight = 1u << 12;
+  wo.distinct = true;
+  const Graph g = random_connected_graph(20, 30, wo, rng);
+  const MstScheme scheme;
+  Rng frng(76);
+  FaultInjector inj(frng);
+  int applied = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    SimNetwork net = make_net(g, scheme);
+    if (!inj.inject(net).has_value()) continue;
+    ++applied;
+    EXPECT_FALSE(net.verification_round().accepted);
+  }
+  EXPECT_GT(applied, 30);
+}
+
+TEST(SimNetwork, ChannelFaultsNeverCrashAndCleanChannelsAccept) {
+  Rng rng(77);
+  WeightOptions wo;
+  wo.max_weight = 1u << 10;
+  const Graph g = random_connected_graph(40, 60, wo, rng);
+  const MstScheme scheme;
+  SimNetwork net = make_net(g, scheme);
+
+  Rng ch(78);
+  // Clean channels: accepted.
+  EXPECT_TRUE(net.verification_round_with_channel_faults(ch, 0.0).accepted);
+
+  // Fully faulty channels: every received copy corrupted; the round must
+  // complete (no crash on garbage) and essentially always reject — a
+  // single flipped bit in a received label breaks some local check with
+  // overwhelming probability.
+  std::size_t rejected_rounds = 0;
+  for (int round = 0; round < 20; ++round) {
+    const RoundStats stats =
+        net.verification_round_with_channel_faults(ch, 1.0);
+    if (!stats.accepted) ++rejected_rounds;
+  }
+  EXPECT_GE(rejected_rounds, 19u);
+
+  // Light noise: some rounds may slip through locally, but traffic
+  // accounting stays exact.
+  const RoundStats stats =
+      net.verification_round_with_channel_faults(ch, 0.05);
+  EXPECT_EQ(stats.messages, 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace mstv

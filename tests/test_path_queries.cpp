@@ -1,0 +1,108 @@
+#include "tree/path_queries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/generators.hpp"
+
+namespace mstv {
+namespace {
+
+TEST(PathQueries, HandPickedLcaAndExtrema) {
+  // 0 -5- 1 -3- 2
+  //       |
+  //       7
+  //       |
+  //       3 -2- 4
+  Graph::Builder b(5);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 2, 3);
+  b.add_edge(1, 3, 7);
+  b.add_edge(3, 4, 2);
+  const Graph g = b.build();
+  const RootedTree t(g, 0);
+  const TreePathQueries q(t);
+
+  EXPECT_EQ(q.lca(2, 4), 1u);
+  EXPECT_EQ(q.lca(0, 4), 0u);
+  EXPECT_EQ(q.lca(3, 3), 3u);
+  EXPECT_EQ(q.lca(4, 3), 3u);
+
+  EXPECT_EQ(q.path_max(2, 4), 7u);
+  EXPECT_EQ(q.path_min(2, 4), 2u);
+  EXPECT_EQ(q.path_max(0, 2), 5u);
+  EXPECT_EQ(q.path_min(0, 2), 3u);
+  EXPECT_EQ(q.path_length(2, 4), 3u);
+  EXPECT_EQ(q.path_length(0, 0), 0u);
+
+  // Empty path conventions.
+  EXPECT_EQ(q.path_max(3, 3), 0u);
+  EXPECT_EQ(q.path_min(3, 3), std::numeric_limits<Weight>::max());
+}
+
+struct TreeShapeCase {
+  const char* name;
+  Graph (*make)(std::size_t, const WeightOptions&, Rng&);
+  std::size_t n;
+};
+
+class PathQueryPropertyTest : public ::testing::TestWithParam<TreeShapeCase> {};
+
+TEST_P(PathQueryPropertyTest, MatchesBruteForceOnRandomPairs) {
+  Rng rng(51);
+  WeightOptions wo;
+  wo.max_weight = 1u << 24;
+  const auto& c = GetParam();
+  const Graph g = c.make(c.n, wo, rng);
+  const RootedTree t(g, static_cast<VertexId>(rng.index(c.n)));
+  const TreePathQueries q(t);
+  for (int iter = 0; iter < 400; ++iter) {
+    const auto u = static_cast<VertexId>(rng.index(c.n));
+    const auto v = static_cast<VertexId>(rng.index(c.n));
+    EXPECT_EQ(q.path_max(u, v), brute_path_max(t, u, v));
+    EXPECT_EQ(q.path_min(u, v), brute_path_min(t, u, v));
+    // LCA sanity: it is an ancestor of both and the deepest such.
+    const VertexId a = q.lca(u, v);
+    EXPECT_TRUE(t.is_ancestor(a, u));
+    EXPECT_TRUE(t.is_ancestor(a, v));
+    for (const VertexId child : t.children(a)) {
+      EXPECT_FALSE(t.is_ancestor(child, u) && t.is_ancestor(child, v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PathQueryPropertyTest,
+    ::testing::Values(TreeShapeCase{"random", random_tree, 300},
+                      TreeShapeCase{"path", path_graph, 257},
+                      TreeShapeCase{"star", star_graph, 100},
+                      TreeShapeCase{"caterpillar", caterpillar, 128},
+                      TreeShapeCase{"binary", balanced_binary_tree, 255},
+                      TreeShapeCase{"tiny", random_tree, 2}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+TEST(PathQueries, SingleVertexTree) {
+  Graph::Builder b(1);
+  const Graph g = b.build();
+  const RootedTree t(g, 0);
+  const TreePathQueries q(t);
+  EXPECT_EQ(q.lca(0, 0), 0u);
+  EXPECT_EQ(q.path_max(0, 0), 0u);
+}
+
+TEST(PathQueries, DeepPathNoStackIssuesAndCorrectEnds) {
+  Rng rng(52);
+  WeightOptions wo;
+  wo.max_weight = 1000;
+  const std::size_t n = 5000;
+  const Graph g = path_graph(n, wo, rng);
+  const RootedTree t(g, 0);
+  const TreePathQueries q(t);
+  EXPECT_EQ(q.path_length(0, static_cast<VertexId>(n - 1)), n - 1);
+  EXPECT_EQ(q.path_max(0, static_cast<VertexId>(n - 1)),
+            brute_path_max(t, 0, static_cast<VertexId>(n - 1)));
+}
+
+}  // namespace
+}  // namespace mstv

@@ -1,0 +1,101 @@
+#include "mst/predicates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "mst/union_find.hpp"
+
+namespace mstv {
+namespace {
+
+Graph square_with_diagonals() {
+  Graph::Builder b(4);
+  b.add_edge(0, 1, 1);  // e0
+  b.add_edge(1, 2, 2);  // e1
+  b.add_edge(2, 3, 3);  // e2
+  b.add_edge(3, 0, 4);  // e3
+  b.add_edge(0, 2, 5);  // e4
+  return b.build();
+}
+
+TEST(IsSpanningTree, AcceptsValidTrees) {
+  const Graph g = square_with_diagonals();
+  EXPECT_TRUE(is_spanning_tree(g, {0, 1, 2}));
+  EXPECT_TRUE(is_spanning_tree(g, {0, 1, 3}));
+  EXPECT_TRUE(is_spanning_tree(g, {3, 4, 1}));
+}
+
+TEST(IsSpanningTree, RejectsWrongEdgeCount) {
+  const Graph g = square_with_diagonals();
+  EXPECT_FALSE(is_spanning_tree(g, {0, 1}));
+  EXPECT_FALSE(is_spanning_tree(g, {0, 1, 2, 3}));
+  EXPECT_FALSE(is_spanning_tree(g, {}));
+}
+
+TEST(IsSpanningTree, RejectsCyclesAndDuplicates) {
+  const Graph g = square_with_diagonals();
+  EXPECT_FALSE(is_spanning_tree(g, {0, 1, 4}));  // 0-1-2-0 cycle
+  EXPECT_FALSE(is_spanning_tree(g, {0, 0, 1}));  // duplicate edge
+}
+
+TEST(IsSpanningTree, RejectsInvalidEdgeId) {
+  const Graph g = square_with_diagonals();
+  EXPECT_FALSE(is_spanning_tree(g, {0, 1, 99}));
+}
+
+TEST(IsMst, AcceptsTheMinimumAndRejectsOthers) {
+  const Graph g = square_with_diagonals();
+  EXPECT_TRUE(is_mst(g, {0, 1, 2}));    // weight 6, minimum
+  EXPECT_FALSE(is_mst(g, {0, 1, 3}));   // weight 7
+  EXPECT_FALSE(is_mst(g, {3, 4, 1}));   // weight 11
+}
+
+TEST(IsMst, RequiresSpanningTreeInput) {
+  const Graph g = square_with_diagonals();
+  EXPECT_THROW((void)is_mst(g, {0, 1}), PreconditionError);
+}
+
+TEST(IsMst, AcceptsEveryMstWhenNotUnique) {
+  // Two equal-weight spanning trees: 0-1:1,1-2:2 and 0-1:1,0-2:2.
+  Graph::Builder b(3);
+  b.add_edge(0, 1, 1);  // e0
+  b.add_edge(1, 2, 2);  // e1
+  b.add_edge(0, 2, 2);  // e2
+  const Graph g = b.build();
+  EXPECT_TRUE(is_mst(g, {0, 1}));
+  EXPECT_TRUE(is_mst(g, {0, 2}));
+  EXPECT_FALSE(is_mst(g, {1, 2}));  // weight 4 > 3
+}
+
+TEST(IsMst, AgreesWithTotalWeightComparisonOnRandomGraphs) {
+  Rng rng(21);
+  WeightOptions wo;
+  wo.max_weight = 30;  // small range forces many ties
+  for (int iter = 0; iter < 40; ++iter) {
+    const Graph g = random_connected_graph(30, 40, wo, rng);
+    const Weight opt = total_weight(g, kruskal_mst(g));
+
+    // Random spanning tree via randomized Kruskal order.
+    std::vector<EdgeId> order(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+    rng.shuffle(order);
+    UnionFind uf(g.num_vertices());
+    std::vector<EdgeId> tree;
+    for (const EdgeId e : order) {
+      if (uf.unite(g.edge(e).u, g.edge(e).v)) tree.push_back(e);
+    }
+    ASSERT_TRUE(is_spanning_tree(g, tree));
+    EXPECT_EQ(is_mst(g, tree), total_weight(g, tree) == opt);
+  }
+}
+
+TEST(NonTreeEdges, PartitionIsExact) {
+  const Graph g = square_with_diagonals();
+  const std::vector<EdgeId> tree{0, 1, 2};
+  const auto rest = non_tree_edges(g, tree);
+  EXPECT_EQ(rest, (std::vector<EdgeId>{3, 4}));
+}
+
+}  // namespace
+}  // namespace mstv

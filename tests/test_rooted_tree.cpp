@@ -1,0 +1,166 @@
+#include "tree/rooted_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+
+namespace mstv {
+namespace {
+
+/// 0-1, 1-2, 1-3, 0-4 rooted at 0.
+Graph small_tree() {
+  Graph::Builder b(5);
+  b.add_edge(0, 1, 10);
+  b.add_edge(1, 2, 20);
+  b.add_edge(1, 3, 30);
+  b.add_edge(0, 4, 40);
+  return b.build();
+}
+
+TEST(RootedTree, ParentsAndDepths) {
+  const Graph g = small_tree();
+  const RootedTree t(g, 0);
+  EXPECT_TRUE(t.is_root(0));
+  EXPECT_EQ(t.parent(1), 0u);
+  EXPECT_EQ(t.parent(2), 1u);
+  EXPECT_EQ(t.parent(3), 1u);
+  EXPECT_EQ(t.parent(4), 0u);
+  EXPECT_EQ(t.depth(0), 0u);
+  EXPECT_EQ(t.depth(2), 2u);
+  EXPECT_EQ(t.parent_weight(2), 20u);
+  EXPECT_EQ(t.parent_weight(4), 40u);
+}
+
+TEST(RootedTree, ParentPortsPointAtParents) {
+  const Graph g = small_tree();
+  for (VertexId root = 0; root < g.num_vertices(); ++root) {
+    const RootedTree t(g, root);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (t.is_root(v)) {
+        EXPECT_EQ(t.parent_port(v), 0u);
+      } else {
+        EXPECT_EQ(g.port(v, t.parent_port(v)).neighbor, t.parent(v));
+        EXPECT_EQ(g.port(v, t.parent_port(v)).edge, t.parent_edge(v));
+      }
+    }
+  }
+}
+
+TEST(RootedTree, ChildrenMatchParents) {
+  const Graph g = small_tree();
+  const RootedTree t(g, 0);
+  std::size_t total_children = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId c : t.children(v)) {
+      EXPECT_EQ(t.parent(c), v);
+      ++total_children;
+    }
+  }
+  EXPECT_EQ(total_children, g.num_vertices() - 1);
+}
+
+TEST(RootedTree, PreorderStartsAtRootAndCoversAll) {
+  const Graph g = small_tree();
+  const RootedTree t(g, 1);
+  ASSERT_EQ(t.preorder().size(), 5u);
+  EXPECT_EQ(t.preorder()[0], 1u);
+  EXPECT_EQ(t.preorder_rank(1), 0u);
+  std::vector<bool> seen(5, false);
+  for (const VertexId v : t.preorder()) seen[v] = true;
+  for (const bool s : seen) EXPECT_TRUE(s);
+  // Parents precede children in preorder.
+  for (VertexId v = 0; v < 5; ++v) {
+    if (!t.is_root(v)) {
+      EXPECT_LT(t.preorder_rank(t.parent(v)), t.preorder_rank(v));
+    }
+  }
+}
+
+TEST(RootedTree, SubtreeSizesAndAncestorQueries) {
+  const Graph g = small_tree();
+  const RootedTree t(g, 0);
+  EXPECT_EQ(t.subtree_size(0), 5u);
+  EXPECT_EQ(t.subtree_size(1), 3u);
+  EXPECT_EQ(t.subtree_size(2), 1u);
+  EXPECT_TRUE(t.is_ancestor(0, 3));
+  EXPECT_TRUE(t.is_ancestor(1, 2));
+  EXPECT_TRUE(t.is_ancestor(2, 2));  // inclusive
+  EXPECT_FALSE(t.is_ancestor(2, 1));
+  EXPECT_FALSE(t.is_ancestor(4, 3));
+}
+
+TEST(RootedTree, FromSpanningTreeOfGeneralGraph) {
+  Rng rng(31);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(80, 120, wo, rng);
+  const auto tree_edges = kruskal_mst(g);
+  const RootedTree t(g, tree_edges, 7);
+  EXPECT_EQ(t.root(), 7u);
+  std::size_t in_tree = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (t.contains_edge(e)) ++in_tree;
+  }
+  EXPECT_EQ(in_tree, g.num_vertices() - 1);
+  // Walking parents from any vertex reaches the root in depth steps.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    VertexId cur = v;
+    std::uint32_t steps = 0;
+    while (!t.is_root(cur)) {
+      cur = t.parent(cur);
+      ++steps;
+    }
+    EXPECT_EQ(steps, t.depth(v));
+  }
+}
+
+TEST(RootedTree, RejectsNonSpanningEdgeSets) {
+  const Graph g = small_tree();
+  EXPECT_THROW(RootedTree(g, {0, 1}, 0), PreconditionError);
+  EXPECT_THROW(RootedTree(g, {0, 1, 2, 2}, 0), PreconditionError);
+}
+
+TEST(RootedTree, RejectsNonTreeGraphConvenienceCtor) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 0, 1);
+  const Graph g = b.build();
+  EXPECT_THROW(RootedTree(g, 0), PreconditionError);
+}
+
+TEST(RootedTree, SingleVertex) {
+  Graph::Builder b(1);
+  const Graph g = b.build();
+  const RootedTree t(g, 0);
+  EXPECT_TRUE(t.is_root(0));
+  EXPECT_EQ(t.subtree_size(0), 1u);
+  EXPECT_TRUE(t.children(0).empty());
+}
+
+TEST(RootedTree, SubtreeContiguityInPreorder) {
+  Rng rng(32);
+  WeightOptions wo;
+  const Graph g = random_tree(200, wo, rng);
+  const RootedTree t(g, 0);
+  // Ground truth by explicit parent walking, independent of the
+  // rank/subtree-size representation that is_ancestor uses internally.
+  auto is_anc_walk = [&](VertexId anc, VertexId v) {
+    while (true) {
+      if (v == anc) return true;
+      if (t.is_root(v)) return false;
+      v = t.parent(v);
+    }
+  };
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      EXPECT_EQ(t.is_ancestor(v, u), is_anc_walk(v, u))
+          << "anc=" << v << " v=" << u;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mstv

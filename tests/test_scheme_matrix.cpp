@@ -1,0 +1,244 @@
+// Scheme x workload matrix: every correct MST proof labeling scheme in
+// the repository (pi_mst, its fixed-width twin, pi_frag) against every
+// workload family, for completeness (marker accepted) and a shared
+// soundness battery (the four canonical mutations).  This is the broad
+// regression net on top of the per-scheme deep tests.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "lowerbound/hypertree.hpp"
+#include "mst/algorithms.hpp"
+#include "mst/predicates.hpp"
+#include "plscheme/fragment_scheme.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+#include "tree/path_queries.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+namespace {
+
+std::unique_ptr<ProofLabelingScheme> make_scheme(int which) {
+  switch (which) {
+    case 0: return std::make_unique<MstScheme>(SepCoding::Telescoping);
+    case 1: return std::make_unique<MstScheme>(SepCoding::FixedWidth);
+    default: return std::make_unique<FragmentScheme>();
+  }
+}
+
+Graph make_workload(int which, Rng& rng) {
+  WeightOptions wo;
+  wo.max_weight = 1u << 14;
+  switch (which) {
+    case 0: return random_connected_graph(60, 90, wo, rng);
+    case 1: return random_connected_graph(25, 250, wo, rng);  // dense
+    case 2: return grid_graph(6, 8, wo, rng);
+    case 3: return ring_graph(40, wo, rng);
+    case 4: return complete_graph(14, wo, rng);
+    case 5: return random_tree(70, wo, rng);
+    case 6: {
+      wo.max_weight = 2;  // extreme ties
+      return random_connected_graph(40, 80, wo, rng);
+    }
+    case 7: {
+      wo.max_weight = Weight{1} << 52;  // very wide weights
+      wo.distinct = true;
+      return random_connected_graph(30, 60, wo, rng);
+    }
+    default: {
+      Rng hr(7);
+      return build_hypertree(4, 3, {}, &hr).graph;  // Figure-1 family
+    }
+  }
+}
+
+struct MatrixCase {
+  int scheme;
+  int workload;
+};
+
+class SchemeWorkloadMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(SchemeWorkloadMatrix, CompletenessAndMutationBattery) {
+  const auto& c = GetParam();
+  const auto scheme = make_scheme(c.scheme);
+  Rng rng(static_cast<std::uint64_t>(c.scheme * 100 + c.workload));
+  const auto g = std::make_unique<Graph>(make_workload(c.workload, rng));
+  const auto mst = kruskal_mst(*g);
+
+  // Completeness from two roots.
+  const ConfigGraph cfg = make_tree_config(*g, mst, 0);
+  const auto labels = scheme->mark(cfg);
+  ASSERT_TRUE(run_verifier(*scheme, cfg, labels).accepted)
+      << scheme->name() << " workload " << c.workload;
+  {
+    const auto root2 =
+        static_cast<VertexId>(g->num_vertices() / 2);
+    const ConfigGraph cfg2 = make_tree_config(*g, mst, root2);
+    ASSERT_TRUE(mark_and_verify(*scheme, cfg2).accepted);
+  }
+
+  const RootedTree tree(*g, mst, 0);
+  const TreePathQueries q(tree);
+
+  // Mutation 1: drop a parent pointer (second root) — stale labels.
+  {
+    ConfigGraph broken = cfg;
+    for (VertexId v = 0; v < broken.size(); ++v) {
+      if (broken.state(v).parent_port) {
+        broken.state(v).parent_port.reset();
+        break;
+      }
+    }
+    EXPECT_FALSE(run_verifier(*scheme, broken, labels).accepted)
+        << scheme->name() << ": dropped parent accepted";
+  }
+
+  // Mutation 2: redirect a parent pointer off the MST (when it breaks
+  // minimality or tree-ness).
+  {
+    ConfigGraph broken = cfg;
+    bool broke = false;
+    for (VertexId v = 0; v < broken.size() && !broke; ++v) {
+      if (!broken.state(v).parent_port || g->degree(v) < 2) continue;
+      for (PortNumber p = 1; p <= g->degree(v) && !broke; ++p) {
+        if (p == *broken.state(v).parent_port) continue;
+        const State saved = broken.state(v);
+        broken.state(v).parent_port = p;
+        if (!mst_predicate(broken)) {
+          broke = true;
+        } else {
+          broken.state(v) = saved;
+        }
+      }
+    }
+    if (broke) {
+      EXPECT_FALSE(run_verifier(*scheme, broken, labels).accepted)
+          << scheme->name() << ": redirected parent accepted";
+    }
+  }
+
+  // Mutation 3: lower a chord below the tree-path MAX (re-weighted graph,
+  // same states and stale labels).
+  {
+    const auto chords = non_tree_edges(*g, mst);
+    if (!chords.empty()) {
+      const EdgeId chord = chords[chords.size() / 2];
+      const Edge& ce = g->edge(chord);
+      const Weight mx = q.path_max(ce.u, ce.v);
+      if (mx >= 1) {
+        Graph::Builder b(g->num_vertices());
+        for (EdgeId e = 0; e < g->num_edges(); ++e) {
+          const Edge& ed = g->edge(e);
+          b.add_edge(ed.u, ed.v, e == chord ? mx - 1 : ed.w);
+        }
+        const Graph lowered = b.build();
+        ASSERT_FALSE(is_mst(lowered, mst));
+        std::vector<State> st;
+        for (VertexId v = 0; v < cfg.size(); ++v) st.push_back(cfg.state(v));
+        const ConfigGraph broken(lowered, std::move(st));
+        EXPECT_FALSE(run_verifier(*scheme, broken, labels).accepted)
+            << scheme->name() << ": lowered chord accepted";
+      }
+    }
+  }
+
+  // Mutation 4: raise a non-bridge tree edge above its cover (re-weighted
+  // graph, same tree).
+  {
+    const auto chords = non_tree_edges(*g, mst);
+    if (!chords.empty()) {
+      // Find a tree edge covered by some chord: the path-max edge of the
+      // first chord works.
+      const Edge& ce = g->edge(chords[0]);
+      VertexId x = ce.u, y = ce.v;
+      EdgeId victim = kInvalidEdge;
+      Weight wmax = 0;
+      while (x != y) {
+        if (tree.depth(x) < tree.depth(y)) std::swap(x, y);
+        if (tree.parent_weight(x) >= wmax) {
+          wmax = tree.parent_weight(x);
+          victim = tree.parent_edge(x);
+        }
+        x = tree.parent(x);
+      }
+      ASSERT_NE(victim, kInvalidEdge);
+      Graph::Builder b(g->num_vertices());
+      for (EdgeId e = 0; e < g->num_edges(); ++e) {
+        const Edge& ed = g->edge(e);
+        b.add_edge(ed.u, ed.v, e == victim ? ce.w + 1 : ed.w);
+      }
+      const Graph raised = b.build();
+      ASSERT_FALSE(is_mst(raised, mst));
+      std::vector<State> st;
+      for (VertexId v = 0; v < cfg.size(); ++v) st.push_back(cfg.state(v));
+      const ConfigGraph broken(raised, std::move(st));
+      EXPECT_FALSE(run_verifier(*scheme, broken, labels).accepted)
+          << scheme->name() << ": raised tree edge accepted";
+    }
+  }
+}
+
+std::vector<MatrixCase> all_cases() {
+  std::vector<MatrixCase> cases;
+  for (int s = 0; s < 3; ++s) {
+    for (int w = 0; w < 9; ++w) cases.push_back({s, w});
+  }
+  return cases;
+}
+
+std::string matrix_case_name(
+    const ::testing::TestParamInfo<MatrixCase>& param_info) {
+  static const char* schemes[] = {"pimst", "pimstnaive", "pifrag"};
+  static const char* loads[] = {"sparse",   "dense", "grid",
+                                "ring",     "complete", "tree",
+                                "ties",     "wide",  "hypertree"};
+  return std::string(schemes[param_info.param.scheme]) + "_" +
+         loads[param_info.param.workload];
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SchemeWorkloadMatrix,
+                         ::testing::ValuesIn(all_cases()),
+                         matrix_case_name);
+
+TEST(SchemeMatrix, PortShuffleInvarianceForAllSchemes) {
+  // Rebuild the same weighted graph with random port numbering: every
+  // scheme must still verify (nothing may depend on insertion order).
+  Rng rng(777);
+  WeightOptions wo;
+  wo.max_weight = 1u << 12;
+  wo.distinct = true;
+  const Graph base = random_connected_graph(40, 70, wo, rng);
+  Graph::Builder b(base.num_vertices());
+  for (const Edge& e : base.edges()) b.add_edge(e.u, e.v, e.w);
+  Rng shuffle_rng(778);
+  const Graph shuffled = b.build(&shuffle_rng);
+  const auto mst = kruskal_mst(shuffled);
+  const ConfigGraph cfg = make_tree_config(shuffled, mst, 0);
+  for (int s = 0; s < 3; ++s) {
+    const auto scheme = make_scheme(s);
+    EXPECT_TRUE(mark_and_verify(*scheme, cfg).accepted) << scheme->name();
+  }
+}
+
+TEST(SchemeMatrix, LabelsAreNotInterchangeableAcrossRoots) {
+  // The same MST rooted differently yields different states; labels for
+  // one rooting must be rejected under the other.
+  Rng rng(779);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(20, 30, wo, rng);
+  const auto mst = kruskal_mst(g);
+  const ConfigGraph a = make_tree_config(g, mst, 0);
+  const ConfigGraph b = make_tree_config(g, mst, 7);
+  for (int s = 0; s < 3; ++s) {
+    const auto scheme = make_scheme(s);
+    const auto la = scheme->mark(a);
+    EXPECT_FALSE(run_verifier(*scheme, b, la).accepted) << scheme->name();
+  }
+}
+
+}  // namespace
+}  // namespace mstv

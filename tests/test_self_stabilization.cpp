@@ -1,0 +1,95 @@
+#include "runtime/self_stabilization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mst/predicates.hpp"
+
+namespace mstv {
+namespace {
+
+Graph make_graph(std::uint64_t seed, std::size_t n, std::size_t extra) {
+  Rng rng(seed);
+  WeightOptions wo;
+  wo.max_weight = 1u << 12;
+  wo.distinct = true;
+  return random_connected_graph(n, extra, wo, rng);
+}
+
+TEST(SelfStabilization, SteadyStateIsSilent) {
+  const Graph g = make_graph(91, 40, 60);
+  const MstScheme scheme;
+  SelfStabilizingMst sys(g, scheme);
+  for (int round = 0; round < 5; ++round) {
+    const RoundStats stats = sys.tick();
+    EXPECT_TRUE(stats.accepted);
+    EXPECT_EQ(stats.rejecting, 0u);
+  }
+  // Nothing to repair.
+  const auto stab = sys.stabilize();
+  EXPECT_FALSE(stab.fault_detected);
+  EXPECT_FALSE(stab.repaired);
+}
+
+TEST(SelfStabilization, DetectsAndRepairsStateFault) {
+  const Graph g = make_graph(92, 35, 50);
+  const MstScheme scheme;
+  SelfStabilizingMst sys(g, scheme);
+
+  Rng frng(920);
+  FaultInjector inj(frng);
+  // Break something for sure: try until a fault applies.
+  std::optional<FaultRecord> rec;
+  while (!rec) rec = inj.inject(sys.network());
+
+  const auto stab = sys.stabilize();
+  EXPECT_TRUE(stab.fault_detected);
+  EXPECT_GE(stab.detecting_nodes, 1u);
+  EXPECT_TRUE(stab.repaired);
+  EXPECT_TRUE(stab.silent_after);
+  EXPECT_TRUE(mst_predicate(sys.network().config()));
+  EXPECT_GT(stab.recompute.messages, 0u);
+  EXPECT_GT(stab.remark_bits, 0u);
+
+  // Subsequent rounds are silent again.
+  EXPECT_TRUE(sys.tick().accepted);
+}
+
+TEST(SelfStabilization, RepeatedFaultCycles) {
+  const Graph g = make_graph(93, 25, 30);
+  const MstScheme scheme;
+  SelfStabilizingMst sys(g, scheme);
+  Rng frng(930);
+  FaultInjector inj(frng);
+
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    std::optional<FaultRecord> rec;
+    for (int tries = 0; tries < 50 && !rec; ++tries) {
+      rec = inj.inject(sys.network());
+    }
+    ASSERT_TRUE(rec.has_value());
+    const auto stab = sys.stabilize();
+    EXPECT_TRUE(stab.fault_detected) << "cycle " << cycle;
+    EXPECT_TRUE(stab.silent_after) << "cycle " << cycle;
+  }
+}
+
+TEST(SelfStabilization, VerificationCostTracksLabelTraffic) {
+  const Graph g = make_graph(94, 50, 100);
+  const MstScheme scheme;
+  SelfStabilizingMst sys(g, scheme);
+  const auto stats = sys.tick();
+  EXPECT_EQ(stats.messages, 2 * g.num_edges());
+  // Repair is strictly more expensive than one verification round here.
+  Rng frng(940);
+  FaultInjector inj(frng);
+  while (!inj.inject(sys.network())) {
+  }
+  const auto stab = sys.stabilize();
+  ASSERT_TRUE(stab.repaired);
+  EXPECT_GT(stab.recompute.messages + stab.recompute.message_bits,
+            stab.verify_messages);
+}
+
+}  // namespace
+}  // namespace mstv

@@ -1,0 +1,198 @@
+#include "sensitivity/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "mst/predicates.hpp"
+
+namespace mstv {
+namespace {
+
+TEST(CoverMin, HandPickedExample) {
+  // Tree edges: 0-1 (1), 1-2 (2), 2-3 (3); chords 0-2 (5), 1-3 (4).
+  Graph::Builder b(4);
+  const EdgeId e01 = b.add_edge(0, 1, 1);
+  const EdgeId e12 = b.add_edge(1, 2, 2);
+  const EdgeId e23 = b.add_edge(2, 3, 3);
+  b.add_edge(0, 2, 5);
+  b.add_edge(1, 3, 4);
+  const Graph g = b.build();
+  const RootedTree t(g, {e01, e12, e23}, 0);
+  const auto cover = compute_cover_min(t);
+  // Edge (0,1) covered by chord 0-2 only; (1,2) by both; (2,3) by 1-3.
+  EXPECT_EQ(cover[1], 5u);  // child vertex 1 <-> edge (0,1)
+  EXPECT_EQ(cover[2], 4u);  // edge (1,2): min(5, 4)
+  EXPECT_EQ(cover[3], 4u);  // edge (2,3)
+}
+
+TEST(CoverMin, BridgesStayUncovered) {
+  // A path with one chord leaves the pendant edge uncovered.
+  Graph::Builder b(4);
+  const EdgeId e01 = b.add_edge(0, 1, 1);
+  const EdgeId e12 = b.add_edge(1, 2, 2);
+  const EdgeId e23 = b.add_edge(2, 3, 3);
+  b.add_edge(0, 2, 9);
+  const Graph g = b.build();
+  const RootedTree t(g, {e01, e12, e23}, 0);
+  const auto cover = compute_cover_min(t);
+  EXPECT_TRUE(cover[1].has_value());
+  EXPECT_TRUE(cover[2].has_value());
+  EXPECT_FALSE(cover[3].has_value());  // edge (2,3) is a bridge
+}
+
+TEST(SensitivityOracle, HandPickedValues) {
+  Graph::Builder b(4);
+  const EdgeId e01 = b.add_edge(0, 1, 1);
+  const EdgeId e12 = b.add_edge(1, 2, 2);
+  const EdgeId e23 = b.add_edge(2, 3, 3);
+  const EdgeId c02 = b.add_edge(0, 2, 5);
+  const EdgeId c13 = b.add_edge(1, 3, 4);
+  const Graph g = b.build();
+  const std::vector<EdgeId> mst{e01, e12, e23};
+  ASSERT_TRUE(is_mst(g, mst));
+  const SensitivityOracle oracle(g, mst);
+
+  // Tree edge (0,1): cover 5 => grows stale at +5 (1+5=6 > 5).
+  EXPECT_EQ(oracle.query(e01).tolerance, 5u);
+  // Tree edge (1,2): cover 4 => +3.
+  EXPECT_EQ(oracle.query(e12).tolerance, 3u);
+  // Chord (0,2): MAX = 2 => -4 (5-4=1 < 2).
+  EXPECT_EQ(oracle.query(c02).tolerance, 4u);
+  // Chord (1,3): MAX = 3 => -2.
+  EXPECT_EQ(oracle.query(c13).tolerance, 2u);
+  EXPECT_TRUE(oracle.query(e01).is_tree_edge);
+  EXPECT_FALSE(oracle.query(c02).is_tree_edge);
+}
+
+TEST(SensitivityOracle, RejectsNonMinimumTree) {
+  Graph::Builder b(3);
+  const EdgeId e01 = b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  const EdgeId e02 = b.add_edge(0, 2, 9);
+  const Graph g = b.build();
+  EXPECT_THROW(SensitivityOracle(g, {e01, e02}), PreconditionError);
+}
+
+struct SensCase {
+  const char* name;
+  std::uint64_t seed;
+  std::size_t n;
+  std::size_t extra;
+  Weight max_w;
+};
+
+class SensitivityPropertyTest : public ::testing::TestWithParam<SensCase> {};
+
+TEST_P(SensitivityPropertyTest, OracleMatchesBruteForceOnEveryEdge) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  WeightOptions wo;
+  wo.max_weight = c.max_w;
+  wo.distinct = true;  // keeps the brute-force thresholds crisp
+  const Graph g = random_connected_graph(c.n, c.extra, wo, rng);
+  const auto mst = kruskal_mst(g);
+  const SensitivityOracle oracle(g, mst);
+  const DistributedSensitivity dist(g, mst);
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto expect = brute_force_sensitivity(g, mst, e);
+    const auto got = oracle.query(e);
+    EXPECT_EQ(got.is_tree_edge, expect.is_tree_edge) << "edge " << e;
+    EXPECT_EQ(got.tolerance, expect.tolerance) << "edge " << e;
+
+    // Distributed variant answers identically from endpoint states.
+    const Edge& ed = g.edge(e);
+    const auto port = g.find_port(ed.u, ed.v);
+    ASSERT_TRUE(port.has_value());
+    const auto dgot = dist.query(ed.u, *port);
+    EXPECT_EQ(dgot.is_tree_edge, expect.is_tree_edge);
+    EXPECT_EQ(dgot.tolerance, expect.tolerance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SensitivityPropertyTest,
+    ::testing::Values(SensCase{"small", 40, 10, 12, 1u << 12},
+                      SensCase{"medium", 41, 24, 40, 1u << 14},
+                      SensCase{"sparse", 42, 30, 6, 1u << 12},
+                      SensCase{"dense", 43, 12, 50, 1u << 12}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+TEST(SensitivityOracle, TreeOnlyGraphHasNoFiniteTreeTolerances) {
+  Rng rng(44);
+  WeightOptions wo;
+  const Graph g = random_tree(20, wo, rng);
+  std::vector<EdgeId> mst(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) mst[e] = e;
+  const SensitivityOracle oracle(g, mst);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto s = oracle.query(e);
+    EXPECT_TRUE(s.is_tree_edge);
+    EXPECT_FALSE(s.tolerance.has_value());  // all bridges
+  }
+}
+
+TEST(SensitivityOracle, SensitivityWitnessesActuallyBreakMinimality) {
+  // Applying the reported tolerance must break minimality; tolerance - 1
+  // must preserve it.  (Directly validates the definition.)
+  Rng rng(45);
+  WeightOptions wo;
+  wo.max_weight = 1u << 10;
+  wo.distinct = true;
+  const Graph g = random_connected_graph(16, 20, wo, rng);
+  const auto mst = kruskal_mst(g);
+  const SensitivityOracle oracle(g, mst);
+
+  auto tree_still_min_with = [&](EdgeId e, Weight new_w) {
+    Graph::Builder b(g.num_vertices());
+    for (EdgeId i = 0; i < g.num_edges(); ++i) {
+      const Edge& ed = g.edge(i);
+      b.add_edge(ed.u, ed.v, i == e ? new_w : ed.w);
+    }
+    const Graph mod = b.build();
+    return is_mst(mod, mst);
+  };
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto s = oracle.query(e);
+    if (!s.tolerance) continue;
+    const Weight w = g.edge(e).w;
+    const Weight c = *s.tolerance;
+    if (s.is_tree_edge) {
+      EXPECT_FALSE(tree_still_min_with(e, w + c));
+      if (c > 1) {
+        EXPECT_TRUE(tree_still_min_with(e, w + c - 1));
+      }
+    } else {
+      ASSERT_LE(c, w);
+      EXPECT_FALSE(tree_still_min_with(e, w - c));
+      if (c > 1) {
+        EXPECT_TRUE(tree_still_min_with(e, w - (c - 1)));
+      }
+    }
+  }
+}
+
+TEST(DistributedSensitivity, StateSizeIsCompact) {
+  Rng rng(46);
+  WeightOptions wo;
+  wo.max_weight = 1u << 16;
+  const Graph g = random_connected_graph(256, 512, wo, rng);
+  const DistributedSensitivity dist(g, kruskal_mst(g));
+  // Per-node storage stays near the label bound, far under the
+  // Omega(|E| log W / n) explicit-output average the relaxation avoids.
+  EXPECT_LE(dist.max_state_bits(), 2000u);
+  EXPECT_GE(dist.max_state_bits(), 16u);
+}
+
+TEST(SensitivityOracle, AuxiliaryBitsReported) {
+  Rng rng(47);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(50, 80, wo, rng);
+  const SensitivityOracle oracle(g, kruskal_mst(g));
+  EXPECT_GT(oracle.auxiliary_bits(), 0u);
+}
+
+}  // namespace
+}  // namespace mstv

@@ -1,0 +1,177 @@
+#include "plscheme/spanning_tree_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "plscheme/runner.hpp"
+
+namespace mstv {
+namespace {
+
+ConfigGraph random_tree_config(std::uint64_t seed, std::size_t n,
+                               std::size_t extra, Graph& storage,
+                               VertexId root = 0) {
+  Rng rng(seed);
+  WeightOptions wo;
+  storage = random_connected_graph(n, extra, wo, rng);
+  return make_tree_config(storage, kruskal_mst(storage), root);
+}
+
+TEST(SpanningTreeScheme, SublabelRoundTrip) {
+  for (const auto& s :
+       {SpanningTreeSublabel{7, std::nullopt, 7, 0},
+        SpanningTreeSublabel{12, 7, 7, 3},
+        SpanningTreeSublabel{0, 0, 0, 1000000}}) {
+    BitWriter w;
+    write_spanning_tree_sublabel(w, s);
+    BitReader r(w.words(), w.size_bits());
+    const auto back = read_spanning_tree_sublabel(r);
+    EXPECT_EQ(back.id_copy, s.id_copy);
+    EXPECT_EQ(back.parent_id, s.parent_id);
+    EXPECT_EQ(back.root_id, s.root_id);
+    EXPECT_EQ(back.dist, s.dist);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(SpanningTreeScheme, CompletenessAcrossRootsAndShapes) {
+  const SpanningTreeScheme scheme;
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    Graph g;
+    for (const VertexId root : {0u, 3u, 9u}) {
+      const ConfigGraph cfg = random_tree_config(seed, 25, 30, g, root);
+      EXPECT_TRUE(mark_and_verify(scheme, cfg).accepted);
+    }
+  }
+}
+
+TEST(SpanningTreeScheme, LabelSizeIsOLogN) {
+  const SpanningTreeScheme scheme;
+  Graph g;
+  const ConfigGraph cfg = random_tree_config(4, 1000, 500, g);
+  const auto r = mark_and_verify(scheme, cfg);
+  ASSERT_TRUE(r.accepted);
+  // ids and distances are < n; four gamma codes + flag < 10 log2(n) + c.
+  EXPECT_LE(r.max_label_bits, 10u * 10u + 16u);
+}
+
+TEST(SpanningTreeScheme, RejectsTwoRoots) {
+  const SpanningTreeScheme scheme;
+  Graph g;
+  ConfigGraph cfg = random_tree_config(5, 20, 10, g);
+  const auto labels = scheme.mark(cfg);
+  // Detach some non-root vertex: second root appears.
+  for (VertexId v = 0; v < cfg.size(); ++v) {
+    if (v != 0 && cfg.state(v).parent_port) {
+      ConfigGraph broken = cfg;
+      broken.state(v).parent_port.reset();
+      EXPECT_FALSE(run_verifier(scheme, broken, labels).accepted);
+      break;
+    }
+  }
+}
+
+TEST(SpanningTreeScheme, RejectsParentCycle) {
+  // 0-1-2 path; make 0 point at 1 and 1 point at 0 (cycle), 2 dangling up.
+  Graph::Builder b(3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  const Graph g = b.build();
+  std::vector<State> states(3);
+  states[0].id = 0;
+  states[1].id = 1;
+  states[2].id = 2;
+  states[0].parent_port = g.find_port(0, 1);
+  states[1].parent_port = g.find_port(1, 0);
+  states[2].parent_port = g.find_port(2, 1);
+  const ConfigGraph cfg(g, std::move(states));
+
+  const SpanningTreeScheme scheme;
+  // The marker cannot label this (it is a no-instance)...
+  EXPECT_THROW((void)scheme.mark(cfg), PreconditionError);
+  // ...and no adversarial distance assignment can satisfy everyone:
+  // exhaustively try all small dist/root assignments for 3 nodes.
+  for (std::uint64_t d0 = 0; d0 < 4; ++d0) {
+    for (std::uint64_t d1 = 0; d1 < 4; ++d1) {
+      for (std::uint64_t d2 = 0; d2 < 4; ++d2) {
+        for (std::uint64_t root_id = 0; root_id < 3; ++root_id) {
+          auto lbl = [&](std::uint64_t id, std::optional<std::uint64_t> pid,
+                         std::uint64_t dist) {
+            BitWriter w;
+            write_spanning_tree_sublabel(w, {id, pid, root_id, dist});
+            return Label(w);
+          };
+          const std::vector<Label> labels{lbl(0, 1, d0), lbl(1, 0, d1),
+                                          lbl(2, 1, d2)};
+          EXPECT_FALSE(run_verifier(scheme, cfg, labels).accepted);
+        }
+      }
+    }
+  }
+}
+
+TEST(SpanningTreeScheme, RejectsLyingAboutIdentity) {
+  const SpanningTreeScheme scheme;
+  Graph g;
+  ConfigGraph cfg = random_tree_config(6, 15, 5, g);
+  auto labels = scheme.mark(cfg);
+  // Rewrite node 3's label with a different id copy.
+  BitReader r = labels[3].reader();
+  auto sub = read_spanning_tree_sublabel(r);
+  sub.id_copy += 1;
+  BitWriter w;
+  write_spanning_tree_sublabel(w, sub);
+  labels[3] = Label(w);
+  const auto result = run_verifier(scheme, cfg, labels);
+  EXPECT_FALSE(result.accepted);
+}
+
+TEST(SpanningTreeScheme, RejectsWrongDistances) {
+  const SpanningTreeScheme scheme;
+  Graph g;
+  ConfigGraph cfg = random_tree_config(7, 15, 5, g);
+  auto labels = scheme.mark(cfg);
+  for (VertexId victim = 1; victim < 4; ++victim) {
+    auto tampered = labels;
+    BitReader r = tampered[victim].reader();
+    auto sub = read_spanning_tree_sublabel(r);
+    sub.dist += 1;
+    BitWriter w;
+    write_spanning_tree_sublabel(w, sub);
+    tampered[victim] = Label(w);
+    EXPECT_FALSE(run_verifier(scheme, cfg, tampered).accepted);
+  }
+}
+
+TEST(SpanningTreeScheme, RejectsRandomBitFlips) {
+  const SpanningTreeScheme scheme;
+  Graph g;
+  ConfigGraph cfg = random_tree_config(8, 30, 30, g);
+  const auto labels = scheme.mark(cfg);
+  Rng rng(88);
+  int rejected = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    auto tampered = labels;
+    const auto victim = static_cast<VertexId>(rng.index(cfg.size()));
+    tampered[victim] = tampered[victim].with_bit_flipped(
+        rng.index(tampered[victim].size_bits()));
+    if (!run_verifier(scheme, cfg, tampered).accepted) ++rejected;
+  }
+  // Every flip changes id/parent/root/dist or breaks parsing; all must be
+  // caught.  (If a flip produced an equivalent encoding it would not
+  // change the decoded sublabel, but gamma codes are canonical.)
+  EXPECT_EQ(rejected, trials);
+}
+
+TEST(SpanningTreeScheme, SingleVertexGraph) {
+  Graph::Builder b(1);
+  const Graph g = b.build();
+  const ConfigGraph cfg = make_tree_config(g, {}, 0);
+  const SpanningTreeScheme scheme;
+  EXPECT_TRUE(mark_and_verify(scheme, cfg).accepted);
+}
+
+}  // namespace
+}  // namespace mstv

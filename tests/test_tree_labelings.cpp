@@ -1,0 +1,197 @@
+#include "labeling/tree_labelings.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "tree/path_queries.hpp"
+
+namespace mstv {
+namespace {
+
+struct ShapeCase {
+  const char* name;
+  Graph (*make)(std::size_t, const WeightOptions&, Rng&);
+  std::size_t n;
+};
+
+/// Ground-truth weighted distance by parent walking.
+Weight walk_distance(const RootedTree& t, VertexId u, VertexId v) {
+  Weight d = 0;
+  while (u != v) {
+    if (t.depth(u) < t.depth(v)) std::swap(u, v);
+    d += t.parent_weight(u);
+    u = t.parent(u);
+  }
+  return d;
+}
+
+/// Ground-truth next hop: the first edge on the tree path u -> v.
+PortNumber walk_next_hop(const RootedTree& t, VertexId u, VertexId v) {
+  // Climb v-side until the path collapses onto u's side.
+  // Simpler: walk from u: the next hop is either u's parent (if v is not
+  // in u's subtree) or the child of u whose subtree contains v.
+  if (!t.is_ancestor(u, v)) return t.parent_port(u);
+  for (const VertexId c : t.children(u)) {
+    if (t.is_ancestor(c, v)) {
+      // Find u's port to c.
+      const auto port = t.graph().find_port(u, c);
+      return *port;
+    }
+  }
+  MSTV_ASSERT(false);
+  return 0;
+}
+
+class TreeLabelingShapeTest : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(TreeLabelingShapeTest, DistanceDecodeIsExact) {
+  const auto& c = GetParam();
+  Rng rng(301);
+  WeightOptions wo;
+  wo.max_weight = 1u << 16;
+  const Graph g = c.make(c.n, wo, rng);
+  const RootedTree t(g, 0);
+  const DistanceLabelingScheme scheme;
+  const auto labels = scheme.encode(t);
+  for (int iter = 0; iter < 500; ++iter) {
+    const auto u = static_cast<VertexId>(rng.index(c.n));
+    const auto v = static_cast<VertexId>(rng.index(c.n));
+    EXPECT_EQ(scheme.decode(labels[u], labels[v]), walk_distance(t, u, v))
+        << "u=" << u << " v=" << v;
+  }
+}
+
+TEST_P(TreeLabelingShapeTest, RoutingDecodeGivesTheFirstHop) {
+  const auto& c = GetParam();
+  Rng rng(302);
+  WeightOptions wo;
+  const Graph g = c.make(c.n, wo, rng);
+  const RootedTree t(g, 0);
+  const RoutingLabelingScheme scheme;
+  const auto labels = scheme.encode(t);
+  for (int iter = 0; iter < 500; ++iter) {
+    const auto u = static_cast<VertexId>(rng.index(c.n));
+    const auto v = static_cast<VertexId>(rng.index(c.n));
+    if (u == v) continue;
+    EXPECT_EQ(scheme.decode_route(labels[u], labels[v]),
+              walk_next_hop(t, u, v))
+        << "u=" << u << " v=" << v;
+  }
+}
+
+TEST_P(TreeLabelingShapeTest, RoutingHopByHopDelivers) {
+  // Follow decode_route hop by hop: must reach v in <= n-1 steps, and the
+  // traversed distance must equal the distance label's answer.
+  const auto& c = GetParam();
+  Rng rng(303);
+  WeightOptions wo;
+  wo.max_weight = 100;
+  const Graph g = c.make(c.n, wo, rng);
+  const RootedTree t(g, 0);
+  const RoutingLabelingScheme router;
+  const DistanceLabelingScheme dist;
+  const auto rl = router.encode(t);
+  const auto dl = dist.encode(t);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto src = static_cast<VertexId>(rng.index(c.n));
+    const auto dst = static_cast<VertexId>(rng.index(c.n));
+    VertexId cur = src;
+    Weight travelled = 0;
+    std::size_t hops = 0;
+    while (cur != dst) {
+      ASSERT_LE(++hops, c.n) << "routing loop";
+      const PortNumber p = router.decode_route(rl[cur], rl[dst]);
+      const PortInfo& info = g.port(cur, p);
+      travelled += info.weight;
+      cur = info.neighbor;
+    }
+    EXPECT_EQ(travelled, dist.decode(dl[src], dl[dst]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeLabelingShapeTest,
+    ::testing::Values(ShapeCase{"random", random_tree, 250},
+                      ShapeCase{"path", path_graph, 128},
+                      ShapeCase{"star", star_graph, 90},
+                      ShapeCase{"caterpillar", caterpillar, 140},
+                      ShapeCase{"binary", balanced_binary_tree, 127},
+                      ShapeCase{"pair", random_tree, 2}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+TEST(TreeLabelings, BitsRoundTrip) {
+  Rng rng(304);
+  WeightOptions wo;
+  wo.max_weight = 1u << 20;
+  const Graph g = random_tree(120, wo, rng);
+  const RootedTree t(g, 0);
+  const DistanceLabelingScheme dist;
+  const RoutingLabelingScheme router;
+  for (const auto& l : dist.encode(t)) {
+    EXPECT_EQ(dist.from_bits(dist.to_bits(l)), l);
+  }
+  for (const auto& l : router.encode(t)) {
+    EXPECT_EQ(router.from_bits(router.to_bits(l)), l);
+  }
+}
+
+TEST(TreeLabelings, SizesAreCompact) {
+  // Distance: O(log n log (nW)); routing: O(log n log n).  Check modest
+  // envelopes at one large size.
+  Rng rng(305);
+  WeightOptions wo;
+  wo.max_weight = 1u << 20;
+  const std::size_t n = 1 << 14;
+  const Graph g = random_tree(n, wo, rng);
+  const RootedTree t(g, 0);
+  const DistanceLabelingScheme dist;
+  const RoutingLabelingScheme router;
+  std::size_t dmax = 0, rmax = 0;
+  for (const auto& l : dist.encode(t)) dmax = std::max(dmax, dist.label_bits(l));
+  for (const auto& l : router.encode(t)) {
+    rmax = std::max(rmax, router.label_bits(l));
+  }
+  const double logn = std::log2(static_cast<double>(n));
+  EXPECT_LE(static_cast<double>(dmax), 4.0 * logn * (logn + 20.0) + 64.0);
+  EXPECT_LE(static_cast<double>(rmax), 8.0 * logn * logn + 64.0);
+}
+
+TEST(TreeLabelings, RoutingToSelfRejected) {
+  Rng rng(306);
+  WeightOptions wo;
+  const Graph g = random_tree(10, wo, rng);
+  const RootedTree t(g, 0);
+  const RoutingLabelingScheme router;
+  const auto labels = router.encode(t);
+  EXPECT_THROW((void)router.decode_route(labels[3], labels[3]),
+               PreconditionError);
+}
+
+TEST(TreeLabelings, SingleVertexAndEdge) {
+  {
+    Graph::Builder b(1);
+    const Graph g = b.build();
+    const RootedTree t(g, 0);
+    const DistanceLabelingScheme dist;
+    const auto l = dist.encode(t);
+    EXPECT_EQ(dist.decode(l[0], l[0]), 0u);
+  }
+  {
+    Graph::Builder b(2);
+    b.add_edge(0, 1, 7);
+    const Graph g = b.build();
+    const RootedTree t(g, 0);
+    const DistanceLabelingScheme dist;
+    const RoutingLabelingScheme router;
+    const auto dl = dist.encode(t);
+    const auto rl = router.encode(t);
+    EXPECT_EQ(dist.decode(dl[0], dl[1]), 7u);
+    EXPECT_EQ(g.port(0, router.decode_route(rl[0], rl[1])).neighbor, 1u);
+    EXPECT_EQ(g.port(1, router.decode_route(rl[1], rl[0])).neighbor, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mstv

@@ -1,0 +1,253 @@
+#include "plscheme/tree_proof_schemes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "plscheme/runner.hpp"
+#include "tree/path_queries.hpp"
+
+namespace mstv {
+namespace {
+
+/// Tree configuration whose payloads are implicit labels of a member of
+/// Gamma (perfect or random decomposition).
+template <typename Scheme>
+ConfigGraph labeled_config(const Graph& tree_graph, VertexId root,
+                           const Scheme& imp, bool perfect, Rng& rng) {
+  const RootedTree tree(tree_graph, root);
+  const SeparatorDecomposition sd =
+      perfect ? perfect_separator_decomposition(tree)
+              : random_separator_decomposition(tree, rng);
+  const auto imps = imp.encode(tree, sd);
+  std::vector<State> states(tree_graph.num_vertices());
+  for (VertexId v = 0; v < tree_graph.num_vertices(); ++v) {
+    states[v].id = v;
+    if (!tree.is_root(v)) states[v].parent_port = tree.parent_port(v);
+    states[v].payload = imp.to_bits(imps[v]);
+  }
+  return ConfigGraph(tree_graph, std::move(states));
+}
+
+struct SchemeCase {
+  const char* name;
+  bool perfect;
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class TreeProofSchemeTest : public ::testing::TestWithParam<SchemeCase> {};
+
+TEST_P(TreeProofSchemeTest, DistanceCompleteness) {
+  const auto& c = GetParam();
+  const DistanceProofScheme scheme;
+  Rng rng(c.seed);
+  WeightOptions wo;
+  wo.max_weight = 1u << 10;
+  const Graph g = random_tree(c.n, wo, rng);
+  const ConfigGraph cfg =
+      labeled_config(g, static_cast<VertexId>(rng.index(c.n)),
+                     scheme.implicit_scheme(), c.perfect, rng);
+  const auto r = mark_and_verify(scheme, cfg);
+  EXPECT_TRUE(r.accepted) << "rejecting: " << r.rejecting.size();
+}
+
+TEST_P(TreeProofSchemeTest, RoutingCompleteness) {
+  const auto& c = GetParam();
+  const RoutingProofScheme scheme;
+  Rng rng(c.seed + 50);
+  WeightOptions wo;
+  const Graph g = random_tree(c.n, wo, rng);
+  const ConfigGraph cfg =
+      labeled_config(g, static_cast<VertexId>(rng.index(c.n)),
+                     scheme.implicit_scheme(), c.perfect, rng);
+  const auto r = mark_and_verify(scheme, cfg);
+  EXPECT_TRUE(r.accepted) << "rejecting: " << r.rejecting.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeProofSchemeTest,
+    ::testing::Values(SchemeCase{"perfect_small", true, 14, 1},
+                      SchemeCase{"perfect_medium", true, 150, 2},
+                      SchemeCase{"perfect_large", true, 700, 3},
+                      SchemeCase{"random_small", false, 14, 4},
+                      SchemeCase{"random_medium", false, 70, 5},
+                      SchemeCase{"single", true, 1, 6},
+                      SchemeCase{"pair", true, 2, 7}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+TEST(TreeProofSchemes, SoundnessForgedDistanceField) {
+  // Bump one distance field; conditions 7/8-with-sum must catch it.
+  const DistanceProofScheme scheme;
+  const auto& imp = scheme.implicit_scheme();
+  Rng rng(11);
+  WeightOptions wo;
+  wo.max_weight = 50;
+  const Graph g = random_tree(40, wo, rng);
+  ConfigGraph cfg = labeled_config(g, 0, imp, true, rng);
+
+  int caught = 0, attempts = 0;
+  for (VertexId victim = 0; victim < cfg.size(); ++victim) {
+    DistanceLabel l = imp.from_bits(cfg.state(victim).payload);
+    if (l.dist.empty()) continue;
+    ++attempts;
+    ConfigGraph broken = cfg;
+    DistanceLabel forged = l;
+    forged.dist[0] += 1;
+    broken.state(victim).payload = imp.to_bits(forged);
+    bool rejected;
+    try {
+      rejected = !run_verifier(scheme, broken, scheme.mark(broken)).accepted;
+    } catch (const PreconditionError&) {
+      rejected = true;
+    }
+    if (rejected) ++caught;
+  }
+  EXPECT_EQ(caught, attempts);
+  EXPECT_GT(attempts, 20);
+}
+
+TEST(TreeProofSchemes, SoundnessForgedRoutingPort) {
+  // Point one `toward` entry at a wrong port; the fold check pins it.
+  const RoutingProofScheme scheme;
+  const auto& imp = scheme.implicit_scheme();
+  Rng rng(12);
+  WeightOptions wo;
+  const Graph g = random_tree(40, wo, rng);
+  ConfigGraph cfg = labeled_config(g, 0, imp, true, rng);
+
+  int caught = 0, attempts = 0;
+  for (VertexId victim = 0; victim < cfg.size(); ++victim) {
+    RoutingLabel l = imp.from_bits(cfg.state(victim).payload);
+    if (l.toward.empty()) continue;
+    ++attempts;
+    ConfigGraph broken = cfg;
+    RoutingLabel forged = l;
+    forged.toward[0] = forged.toward[0] % g.degree(victim) + 1;  // different
+    if (forged.toward[0] == l.toward[0]) {
+      --attempts;
+      continue;  // degree-1 node: no other port to lie with
+    }
+    broken.state(victim).payload = imp.to_bits(forged);
+    bool rejected;
+    try {
+      rejected = !run_verifier(scheme, broken, scheme.mark(broken)).accepted;
+    } catch (const PreconditionError&) {
+      rejected = true;
+    }
+    if (rejected) ++caught;
+  }
+  EXPECT_EQ(caught, attempts);
+  EXPECT_GT(attempts, 5);
+}
+
+TEST(TreeProofSchemes, SoundnessForgedBranchPort) {
+  // Corrupt a branch_port entry: either the separator catches its
+  // neighbor directly, or the branch-prefix agreement catches the chain.
+  const RoutingProofScheme scheme;
+  const auto& imp = scheme.implicit_scheme();
+  Rng rng(13);
+  WeightOptions wo;
+  const Graph g = random_tree(35, wo, rng);
+  ConfigGraph cfg = labeled_config(g, 0, imp, true, rng);
+
+  int caught = 0, attempts = 0;
+  for (VertexId victim = 0; victim < cfg.size(); ++victim) {
+    RoutingLabel l = imp.from_bits(cfg.state(victim).payload);
+    if (l.branch_port.empty()) continue;
+    ++attempts;
+    ConfigGraph broken = cfg;
+    RoutingLabel forged = l;
+    forged.branch_port[0] += 1;
+    broken.state(victim).payload = imp.to_bits(forged);
+    bool rejected;
+    try {
+      rejected = !run_verifier(scheme, broken, scheme.mark(broken)).accepted;
+    } catch (const PreconditionError&) {
+      rejected = true;
+    }
+    if (rejected) ++caught;
+  }
+  EXPECT_EQ(caught, attempts);
+  EXPECT_GT(attempts, 20);
+}
+
+TEST(TreeProofSchemes, SoundnessTamperedPayloadBits) {
+  const DistanceProofScheme dist;
+  const RoutingProofScheme route;
+  Rng rng(14);
+  WeightOptions wo;
+  wo.max_weight = 100;
+  const Graph g = random_tree(30, wo, rng);
+
+  {
+    ConfigGraph cfg = labeled_config(g, 0, dist.implicit_scheme(), true, rng);
+    const auto labels = dist.mark(cfg);
+    for (int t = 0; t < 40; ++t) {
+      ConfigGraph broken = cfg;
+      const auto v = static_cast<VertexId>(rng.index(cfg.size()));
+      Label p = broken.state(v).payload;
+      broken.state(v).payload = p.with_bit_flipped(rng.index(p.size_bits()));
+      EXPECT_FALSE(run_verifier(dist, broken, labels).accepted);
+    }
+  }
+  {
+    ConfigGraph cfg = labeled_config(g, 0, route.implicit_scheme(), true, rng);
+    const auto labels = route.mark(cfg);
+    for (int t = 0; t < 40; ++t) {
+      ConfigGraph broken = cfg;
+      const auto v = static_cast<VertexId>(rng.index(cfg.size()));
+      Label p = broken.state(v).payload;
+      broken.state(v).payload = p.with_bit_flipped(rng.index(p.size_bits()));
+      EXPECT_FALSE(run_verifier(route, broken, labels).accepted);
+    }
+  }
+}
+
+TEST(TreeProofSchemes, AcceptedLabelsActuallyRouteAndMeasure) {
+  // End-to-end: verify the configuration, then use the *state payloads*
+  // (now certified) with the implicit decoders and check against ground
+  // truth — the "self-stabilizing compact routing" composition.
+  const RoutingProofScheme route;
+  const DistanceProofScheme dist;
+  Rng rng(15);
+  WeightOptions wo;
+  wo.max_weight = 64;
+  const Graph g = random_tree(60, wo, rng);
+  const RootedTree t(g, 0);
+  const TreePathQueries q(t);
+
+  ConfigGraph rc = labeled_config(g, 0, route.implicit_scheme(), true, rng);
+  ConfigGraph dc = labeled_config(g, 0, dist.implicit_scheme(), true, rng);
+  ASSERT_TRUE(mark_and_verify(route, rc).accepted);
+  ASSERT_TRUE(mark_and_verify(dist, dc).accepted);
+
+  for (int i = 0; i < 100; ++i) {
+    const auto u = static_cast<VertexId>(rng.index(g.num_vertices()));
+    const auto v = static_cast<VertexId>(rng.index(g.num_vertices()));
+    const auto du = dist.implicit_scheme().from_bits(dc.state(u).payload);
+    const auto dv = dist.implicit_scheme().from_bits(dc.state(v).payload);
+    Weight expected = 0;
+    {
+      VertexId a = u, b = v;
+      while (a != b) {
+        if (t.depth(a) < t.depth(b)) std::swap(a, b);
+        expected += t.parent_weight(a);
+        a = t.parent(a);
+      }
+    }
+    EXPECT_EQ(dist.implicit_scheme().decode(du, dv), expected);
+    if (u != v) {
+      const auto ru = route.implicit_scheme().from_bits(rc.state(u).payload);
+      const auto rv = route.implicit_scheme().from_bits(rc.state(v).payload);
+      const PortNumber hop = route.implicit_scheme().decode_route(ru, rv);
+      // The hop must strictly reduce the distance to v.
+      const VertexId next = g.port(u, hop).neighbor;
+      const auto dn = dist.implicit_scheme().from_bits(dc.state(next).payload);
+      EXPECT_LT(q.path_length(next, v), q.path_length(u, v));
+      (void)dn;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mstv

@@ -1,0 +1,66 @@
+#include "mst/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mstv {
+namespace {
+
+TEST(UnionFind, StartsDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
+  EXPECT_FALSE(uf.same(0, 1));
+}
+
+TEST(UnionFind, UniteAndFind) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_FALSE(uf.unite(1, 0));  // already joined
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(1, 2));
+  EXPECT_TRUE(uf.unite(1, 3));
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_EQ(uf.num_sets(), 3u);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFind, TransitiveClosureMatchesBruteForce) {
+  Rng rng(11);
+  const std::size_t n = 200;
+  UnionFind uf(n);
+  // Brute-force component labels.
+  std::vector<std::size_t> comp(n);
+  for (std::size_t i = 0; i < n; ++i) comp[i] = i;
+
+  for (int ops = 0; ops < 500; ++ops) {
+    const std::size_t a = rng.index(n), b = rng.index(n);
+    uf.unite(a, b);
+    const std::size_t ca = comp[a], cb = comp[b];
+    if (ca != cb) {
+      for (auto& c : comp) {
+        if (c == cb) c = ca;
+      }
+    }
+    // Spot-check random pairs.
+    for (int q = 0; q < 5; ++q) {
+      const std::size_t x = rng.index(n), y = rng.index(n);
+      EXPECT_EQ(uf.same(x, y), comp[x] == comp[y]);
+    }
+  }
+}
+
+TEST(UnionFind, CountReachesOne) {
+  UnionFind uf(64);
+  for (std::size_t i = 1; i < 64; ++i) uf.unite(0, i);
+  EXPECT_EQ(uf.num_sets(), 1u);
+}
+
+TEST(UnionFind, OutOfRangeThrows) {
+  UnionFind uf(3);
+  EXPECT_THROW((void)uf.find(3), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mstv

@@ -1,0 +1,86 @@
+#include "labeling/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+
+namespace mstv {
+namespace {
+
+TEST(Wire, RoundTripPreservesEveryBit) {
+  Rng rng(501);
+  WeightOptions wo;
+  wo.max_weight = 1u << 20;
+  const Graph g = random_connected_graph(50, 80, wo, rng);
+  const MstScheme scheme;
+  const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+  const auto labels = scheme.mark(cfg);
+
+  std::stringstream ss;
+  write_labels(ss, labels);
+  const auto back = read_labels(ss);
+  ASSERT_EQ(back.size(), labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(back[i], labels[i]) << "label " << i;
+  }
+  // Restored labels still verify.
+  EXPECT_TRUE(run_verifier(scheme, cfg, back).accepted);
+}
+
+TEST(Wire, EmptyAndOddSizes) {
+  std::vector<Label> labels;
+  labels.emplace_back();  // 0 bits
+  BitWriter w1;
+  w1.write_bit(true);
+  labels.emplace_back(w1);  // 1 bit
+  BitWriter w2;
+  w2.write_uint(~std::uint64_t{0}, 64);
+  w2.write_bit(false);
+  labels.emplace_back(w2);  // 65 bits
+  std::stringstream ss;
+  write_labels(ss, labels);
+  const auto back = read_labels(ss);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0], labels[0]);
+  EXPECT_EQ(back[1], labels[1]);
+  EXPECT_EQ(back[2], labels[2]);
+}
+
+TEST(Wire, RejectsGarbage) {
+  {
+    std::stringstream ss("not a label file at all");
+    EXPECT_THROW((void)read_labels(ss), PreconditionError);
+  }
+  {
+    std::stringstream ss(std::string("MSTV"));  // truncated header
+    EXPECT_THROW((void)read_labels(ss), PreconditionError);
+  }
+  {
+    // Valid magic, absurd count.
+    std::stringstream ss;
+    ss.write("MSTV", 4);
+    for (int i = 0; i < 8; ++i) ss.put('\xFF');
+    EXPECT_THROW((void)read_labels(ss), PreconditionError);
+  }
+}
+
+TEST(Wire, TruncatedBodyDetected) {
+  std::vector<Label> labels;
+  BitWriter w;
+  w.write_uint(0xABCD, 16);
+  labels.emplace_back(w);
+  std::stringstream ss;
+  write_labels(ss, labels);
+  std::string data = ss.str();
+  data.resize(data.size() - 3);  // chop the tail
+  std::stringstream broken(data);
+  EXPECT_THROW((void)read_labels(broken), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mstv

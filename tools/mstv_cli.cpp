@@ -1,0 +1,261 @@
+// mstv — command-line front end for the library.
+//
+// Subcommands:
+//   gen <n> <extra> <maxw> [seed]        emit a random connected graph
+//                                        (edge-list on stdout)
+//   mst < graph                          compute an MST; print edges+weight
+//   verify [--scheme S] [--root R] < graph
+//                                        compute MST, mark with scheme S
+//                                        (mst | mst-naive | frag), verify,
+//                                        print label statistics
+//   sensitivity < graph                  per-edge sensitivities of the MST
+//   selfstab <ticks> <fault%> < graph    run the self-stabilizing monitor
+//   mark <labels.bin> [--scheme S] < graph
+//                                        compute MST, write labels to file
+//   check <labels.bin> [--scheme S] < graph
+//                                        verify graph against stored labels
+//   dot < graph                          Graphviz with the MST highlighted
+//   hypertree <h> <mu>                   emit an (h,mu)-hypertree edge list
+//
+// Graphs are read as "n m" followed by "u v w" lines (graph/io.hpp).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "labeling/wire.hpp"
+#include "graph/io.hpp"
+#include "lowerbound/hypertree.hpp"
+#include "mst/algorithms.hpp"
+#include "mst/predicates.hpp"
+#include "plscheme/fragment_scheme.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+#include "runtime/self_stabilization.hpp"
+#include "sensitivity/sensitivity.hpp"
+
+namespace {
+
+using namespace mstv;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mstv <command> [args]\n"
+      "  gen <n> <extra> <maxw> [seed]   random connected graph to stdout\n"
+      "  mst                             MST of stdin graph\n"
+      "  verify [--scheme mst|mst-naive|frag] [--root R]\n"
+      "  mark <file> [--scheme S]        compute MST, store labels\n"
+      "  check <file> [--scheme S]       verify against stored labels\n"
+      "  sensitivity                     per-edge tolerances of the MST\n"
+      "  selfstab <ticks> <fault%%>       self-stabilizing monitor\n"
+      "  dot                             Graphviz, MST bold\n"
+      "  hypertree <h> <mu>              (h,mu)-hypertree edge list\n");
+  return 2;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::size_t n = std::strtoul(argv[0], nullptr, 10);
+  const std::size_t extra = std::strtoul(argv[1], nullptr, 10);
+  WeightOptions wo;
+  wo.max_weight = std::strtoull(argv[2], nullptr, 10);
+  Rng rng(argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1);
+  const Graph g = random_connected_graph(n, extra, wo, rng);
+  write_edge_list(std::cout, g);
+  return 0;
+}
+
+int cmd_mst() {
+  const Graph g = read_edge_list(std::cin);
+  const auto mst = kruskal_mst(g);
+  std::printf("# MST: %zu edges, total weight %llu\n", mst.size(),
+              static_cast<unsigned long long>(total_weight(g, mst)));
+  for (const EdgeId e : mst) {
+    std::printf("%u %u %llu\n", g.edge(e).u, g.edge(e).v,
+                static_cast<unsigned long long>(g.edge(e).w));
+  }
+  return 0;
+}
+
+std::unique_ptr<ProofLabelingScheme> make_scheme(const std::string& name) {
+  if (name == "mst") return std::make_unique<MstScheme>();
+  if (name == "mst-naive") {
+    return std::make_unique<MstScheme>(SepCoding::FixedWidth);
+  }
+  if (name == "frag") return std::make_unique<FragmentScheme>();
+  return nullptr;
+}
+
+int cmd_verify(int argc, char** argv) {
+  std::string scheme_name = "mst";
+  VertexId root = 0;
+  for (int i = 0; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--scheme") == 0) {
+      scheme_name = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--root") == 0) {
+      root = static_cast<VertexId>(std::strtoul(argv[i + 1], nullptr, 10));
+    } else {
+      return usage();
+    }
+  }
+  const auto scheme = make_scheme(scheme_name);
+  if (!scheme) return usage();
+
+  const Graph g = read_edge_list(std::cin);
+  const auto mst = kruskal_mst(g);
+  const ConfigGraph cfg = make_tree_config(g, mst, root);
+  const auto result = mark_and_verify(*scheme, cfg);
+  std::printf("scheme        : %s\n", scheme->name().c_str());
+  std::printf("graph         : n=%zu m=%zu W=%llu\n", g.num_vertices(),
+              g.num_edges(),
+              static_cast<unsigned long long>(g.max_weight()));
+  std::printf("verdict       : %s\n",
+              result.accepted ? "ACCEPTED" : "REJECTED");
+  std::printf("max label bits: %zu\n", result.max_label_bits);
+  std::printf("avg label bits: %.1f\n", result.avg_label_bits());
+  return result.accepted ? 0 : 1;
+}
+
+int cmd_mark(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::string scheme_name = "mst";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--scheme") == 0) scheme_name = argv[i + 1];
+  }
+  const auto scheme = make_scheme(scheme_name);
+  if (!scheme) return usage();
+  const Graph g = read_edge_list(std::cin);
+  const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+  const auto labels = scheme->mark(cfg);
+  std::ofstream out(argv[0], std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", argv[0]);
+    return 1;
+  }
+  write_labels(out, labels);
+  std::size_t total = 0;
+  for (const Label& l : labels) total += l.size_bits();
+  std::printf("wrote %zu labels (%zu bits total) to %s\n", labels.size(),
+              total, argv[0]);
+  return 0;
+}
+
+int cmd_check(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::string scheme_name = "mst";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--scheme") == 0) scheme_name = argv[i + 1];
+  }
+  const auto scheme = make_scheme(scheme_name);
+  if (!scheme) return usage();
+  const Graph g = read_edge_list(std::cin);
+  std::ifstream in(argv[0], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[0]);
+    return 1;
+  }
+  const auto labels = read_labels(in);
+  if (labels.size() != g.num_vertices()) {
+    std::fprintf(stderr, "label count mismatch\n");
+    return 1;
+  }
+  const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+  const auto result = run_verifier(*scheme, cfg, labels);
+  std::printf("verdict: %s", result.accepted ? "ACCEPTED" : "REJECTED");
+  if (!result.accepted) {
+    std::printf(" (rejecting:");
+    for (const VertexId v : result.rejecting) std::printf(" %u", v);
+    std::printf(")");
+  }
+  std::printf("\n");
+  return result.accepted ? 0 : 1;
+}
+
+int cmd_sensitivity() {
+  const Graph g = read_edge_list(std::cin);
+  const auto mst = kruskal_mst(g);
+  const SensitivityOracle oracle(g, mst);
+  std::printf("# u v w kind tolerance (inf = bridge)\n");
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const auto s = oracle.query(e);
+    std::printf("%u %u %llu %s ", ed.u, ed.v,
+                static_cast<unsigned long long>(ed.w),
+                s.is_tree_edge ? "tree" : "chord");
+    if (s.tolerance) {
+      std::printf("%s%llu\n", s.is_tree_edge ? "+" : "-",
+                  static_cast<unsigned long long>(*s.tolerance));
+    } else {
+      std::printf("inf\n");
+    }
+  }
+  return 0;
+}
+
+int cmd_selfstab(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const int ticks = std::atoi(argv[0]);
+  const double fault_p = std::atof(argv[1]) / 100.0;
+  const Graph g = read_edge_list(std::cin);
+  const MstScheme scheme;
+  SelfStabilizingMst sys(g, scheme);
+  Rng frng(99);
+  FaultInjector inj(frng);
+  std::size_t detections = 0;
+  for (int t = 0; t < ticks; ++t) {
+    if (frng.chance(fault_p)) (void)inj.inject(sys.network());
+    const auto s = sys.stabilize();
+    if (s.fault_detected) {
+      ++detections;
+      std::printf("tick %d: fault detected, repaired (silent=%s)\n", t,
+                  s.silent_after ? "yes" : "NO");
+    }
+  }
+  std::printf("%zu detections over %d ticks\n", detections, ticks);
+  return 0;
+}
+
+int cmd_dot() {
+  const Graph g = read_edge_list(std::cin);
+  DotOptions opts;
+  opts.tree_edge.assign(g.num_edges(), false);
+  for (const EdgeId e : kruskal_mst(g)) opts.tree_edge[e] = true;
+  write_dot(std::cout, g, opts);
+  return 0;
+}
+
+int cmd_hypertree(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const auto h = static_cast<std::uint32_t>(std::strtoul(argv[0], nullptr, 10));
+  const std::uint64_t mu = std::strtoull(argv[1], nullptr, 10);
+  Rng rng(1);
+  const Hypertree ht = build_hypertree(h, mu, {}, &rng);
+  write_edge_list(std::cout, ht.graph);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
+    if (cmd == "mst") return cmd_mst();
+    if (cmd == "verify") return cmd_verify(argc - 2, argv + 2);
+    if (cmd == "mark") return cmd_mark(argc - 2, argv + 2);
+    if (cmd == "check") return cmd_check(argc - 2, argv + 2);
+    if (cmd == "sensitivity") return cmd_sensitivity();
+    if (cmd == "selfstab") return cmd_selfstab(argc - 2, argv + 2);
+    if (cmd == "dot") return cmd_dot();
+    if (cmd == "hypertree") return cmd_hypertree(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
