@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flow_labeling.dir/bench_flow_labeling.cpp.o"
+  "CMakeFiles/bench_flow_labeling.dir/bench_flow_labeling.cpp.o.d"
+  "bench_flow_labeling"
+  "bench_flow_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flow_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

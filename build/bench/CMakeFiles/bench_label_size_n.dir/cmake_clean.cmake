@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_label_size_n.dir/bench_label_size_n.cpp.o"
+  "CMakeFiles/bench_label_size_n.dir/bench_label_size_n.cpp.o.d"
+  "bench_label_size_n"
+  "bench_label_size_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_label_size_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

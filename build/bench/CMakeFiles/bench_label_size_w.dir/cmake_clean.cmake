@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_label_size_w.dir/bench_label_size_w.cpp.o"
+  "CMakeFiles/bench_label_size_w.dir/bench_label_size_w.cpp.o.d"
+  "bench_label_size_w"
+  "bench_label_size_w.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_label_size_w.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

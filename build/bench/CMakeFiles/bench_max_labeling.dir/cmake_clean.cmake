@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_max_labeling.dir/bench_max_labeling.cpp.o"
+  "CMakeFiles/bench_max_labeling.dir/bench_max_labeling.cpp.o.d"
+  "bench_max_labeling"
+  "bench_max_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_max_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

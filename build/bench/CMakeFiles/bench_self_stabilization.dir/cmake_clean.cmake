@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_self_stabilization.dir/bench_self_stabilization.cpp.o"
+  "CMakeFiles/bench_self_stabilization.dir/bench_self_stabilization.cpp.o.d"
+  "bench_self_stabilization"
+  "bench_self_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_self_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

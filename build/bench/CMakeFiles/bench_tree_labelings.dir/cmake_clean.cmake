@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_labelings.dir/bench_tree_labelings.cpp.o"
+  "CMakeFiles/bench_tree_labelings.dir/bench_tree_labelings.cpp.o.d"
+  "bench_tree_labelings"
+  "bench_tree_labelings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_labelings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verify_vs_compute.dir/bench_verify_vs_compute.cpp.o"
+  "CMakeFiles/bench_verify_vs_compute.dir/bench_verify_vs_compute.cpp.o.d"
+  "bench_verify_vs_compute"
+  "bench_verify_vs_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verify_vs_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_routing.dir/compact_routing.cpp.o"
+  "CMakeFiles/compact_routing.dir/compact_routing.cpp.o.d"
+  "compact_routing"
+  "compact_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertree_explorer.dir/hypertree_explorer.cpp.o"
+  "CMakeFiles/hypertree_explorer.dir/hypertree_explorer.cpp.o.d"
+  "hypertree_explorer"
+  "hypertree_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertree_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

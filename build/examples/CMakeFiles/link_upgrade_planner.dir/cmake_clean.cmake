@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_upgrade_planner.dir/link_upgrade_planner.cpp.o"
+  "CMakeFiles/link_upgrade_planner.dir/link_upgrade_planner.cpp.o.d"
+  "link_upgrade_planner"
+  "link_upgrade_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_upgrade_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

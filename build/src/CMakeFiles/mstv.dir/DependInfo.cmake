@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/mstv.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/mstv.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/mstv.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/graph/io.cpp.o.d"
+  "/root/repo/src/labeling/extrema_labeling.cpp" "src/CMakeFiles/mstv.dir/labeling/extrema_labeling.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/labeling/extrema_labeling.cpp.o.d"
+  "/root/repo/src/labeling/label.cpp" "src/CMakeFiles/mstv.dir/labeling/label.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/labeling/label.cpp.o.d"
+  "/root/repo/src/labeling/tree_labelings.cpp" "src/CMakeFiles/mstv.dir/labeling/tree_labelings.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/labeling/tree_labelings.cpp.o.d"
+  "/root/repo/src/labeling/wire.cpp" "src/CMakeFiles/mstv.dir/labeling/wire.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/labeling/wire.cpp.o.d"
+  "/root/repo/src/lowerbound/attack.cpp" "src/CMakeFiles/mstv.dir/lowerbound/attack.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/lowerbound/attack.cpp.o.d"
+  "/root/repo/src/lowerbound/counting.cpp" "src/CMakeFiles/mstv.dir/lowerbound/counting.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/lowerbound/counting.cpp.o.d"
+  "/root/repo/src/lowerbound/hypertree.cpp" "src/CMakeFiles/mstv.dir/lowerbound/hypertree.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/lowerbound/hypertree.cpp.o.d"
+  "/root/repo/src/mst/algorithms.cpp" "src/CMakeFiles/mstv.dir/mst/algorithms.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/mst/algorithms.cpp.o.d"
+  "/root/repo/src/mst/offline_verify.cpp" "src/CMakeFiles/mstv.dir/mst/offline_verify.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/mst/offline_verify.cpp.o.d"
+  "/root/repo/src/mst/predicates.cpp" "src/CMakeFiles/mstv.dir/mst/predicates.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/mst/predicates.cpp.o.d"
+  "/root/repo/src/mst/union_find.cpp" "src/CMakeFiles/mstv.dir/mst/union_find.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/mst/union_find.cpp.o.d"
+  "/root/repo/src/plscheme/agreement_scheme.cpp" "src/CMakeFiles/mstv.dir/plscheme/agreement_scheme.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/plscheme/agreement_scheme.cpp.o.d"
+  "/root/repo/src/plscheme/config_graph.cpp" "src/CMakeFiles/mstv.dir/plscheme/config_graph.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/plscheme/config_graph.cpp.o.d"
+  "/root/repo/src/plscheme/fragment_scheme.cpp" "src/CMakeFiles/mstv.dir/plscheme/fragment_scheme.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/plscheme/fragment_scheme.cpp.o.d"
+  "/root/repo/src/plscheme/gamma_scheme.cpp" "src/CMakeFiles/mstv.dir/plscheme/gamma_scheme.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/plscheme/gamma_scheme.cpp.o.d"
+  "/root/repo/src/plscheme/mst_scheme.cpp" "src/CMakeFiles/mstv.dir/plscheme/mst_scheme.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/plscheme/mst_scheme.cpp.o.d"
+  "/root/repo/src/plscheme/runner.cpp" "src/CMakeFiles/mstv.dir/plscheme/runner.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/plscheme/runner.cpp.o.d"
+  "/root/repo/src/plscheme/spanning_tree_scheme.cpp" "src/CMakeFiles/mstv.dir/plscheme/spanning_tree_scheme.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/plscheme/spanning_tree_scheme.cpp.o.d"
+  "/root/repo/src/plscheme/tree_proof_schemes.cpp" "src/CMakeFiles/mstv.dir/plscheme/tree_proof_schemes.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/plscheme/tree_proof_schemes.cpp.o.d"
+  "/root/repo/src/runtime/async_network.cpp" "src/CMakeFiles/mstv.dir/runtime/async_network.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/runtime/async_network.cpp.o.d"
+  "/root/repo/src/runtime/boruvka_sim.cpp" "src/CMakeFiles/mstv.dir/runtime/boruvka_sim.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/runtime/boruvka_sim.cpp.o.d"
+  "/root/repo/src/runtime/network.cpp" "src/CMakeFiles/mstv.dir/runtime/network.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/runtime/network.cpp.o.d"
+  "/root/repo/src/runtime/self_stabilization.cpp" "src/CMakeFiles/mstv.dir/runtime/self_stabilization.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/runtime/self_stabilization.cpp.o.d"
+  "/root/repo/src/sensitivity/sensitivity.cpp" "src/CMakeFiles/mstv.dir/sensitivity/sensitivity.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/sensitivity/sensitivity.cpp.o.d"
+  "/root/repo/src/tree/centroid.cpp" "src/CMakeFiles/mstv.dir/tree/centroid.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/tree/centroid.cpp.o.d"
+  "/root/repo/src/tree/path_queries.cpp" "src/CMakeFiles/mstv.dir/tree/path_queries.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/tree/path_queries.cpp.o.d"
+  "/root/repo/src/tree/rooted_tree.cpp" "src/CMakeFiles/mstv.dir/tree/rooted_tree.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/tree/rooted_tree.cpp.o.d"
+  "/root/repo/src/util/bitstream.cpp" "src/CMakeFiles/mstv.dir/util/bitstream.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/util/bitstream.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/mstv.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/mstv.dir/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

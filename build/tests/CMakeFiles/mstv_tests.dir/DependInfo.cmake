@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_agreement_scheme.cpp" "tests/CMakeFiles/mstv_tests.dir/test_agreement_scheme.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_agreement_scheme.cpp.o.d"
+  "/root/repo/tests/test_async_network.cpp" "tests/CMakeFiles/mstv_tests.dir/test_async_network.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_async_network.cpp.o.d"
+  "/root/repo/tests/test_attack.cpp" "tests/CMakeFiles/mstv_tests.dir/test_attack.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_attack.cpp.o.d"
+  "/root/repo/tests/test_bitstream.cpp" "tests/CMakeFiles/mstv_tests.dir/test_bitstream.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_bitstream.cpp.o.d"
+  "/root/repo/tests/test_boruvka_sim.cpp" "tests/CMakeFiles/mstv_tests.dir/test_boruvka_sim.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_boruvka_sim.cpp.o.d"
+  "/root/repo/tests/test_centroid.cpp" "tests/CMakeFiles/mstv_tests.dir/test_centroid.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_centroid.cpp.o.d"
+  "/root/repo/tests/test_config_graph.cpp" "tests/CMakeFiles/mstv_tests.dir/test_config_graph.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_config_graph.cpp.o.d"
+  "/root/repo/tests/test_counting.cpp" "tests/CMakeFiles/mstv_tests.dir/test_counting.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_counting.cpp.o.d"
+  "/root/repo/tests/test_exhaustive.cpp" "tests/CMakeFiles/mstv_tests.dir/test_exhaustive.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_exhaustive.cpp.o.d"
+  "/root/repo/tests/test_extrema_labeling.cpp" "tests/CMakeFiles/mstv_tests.dir/test_extrema_labeling.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_extrema_labeling.cpp.o.d"
+  "/root/repo/tests/test_fragment_scheme.cpp" "tests/CMakeFiles/mstv_tests.dir/test_fragment_scheme.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_fragment_scheme.cpp.o.d"
+  "/root/repo/tests/test_gamma_scheme.cpp" "tests/CMakeFiles/mstv_tests.dir/test_gamma_scheme.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_gamma_scheme.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/mstv_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/mstv_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hypertree.cpp" "tests/CMakeFiles/mstv_tests.dir/test_hypertree.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_hypertree.cpp.o.d"
+  "/root/repo/tests/test_label.cpp" "tests/CMakeFiles/mstv_tests.dir/test_label.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_label.cpp.o.d"
+  "/root/repo/tests/test_mst_algorithms.cpp" "tests/CMakeFiles/mstv_tests.dir/test_mst_algorithms.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_mst_algorithms.cpp.o.d"
+  "/root/repo/tests/test_mst_scheme.cpp" "tests/CMakeFiles/mstv_tests.dir/test_mst_scheme.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_mst_scheme.cpp.o.d"
+  "/root/repo/tests/test_mst_scheme_soundness.cpp" "tests/CMakeFiles/mstv_tests.dir/test_mst_scheme_soundness.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_mst_scheme_soundness.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/mstv_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_offline_verify.cpp" "tests/CMakeFiles/mstv_tests.dir/test_offline_verify.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_offline_verify.cpp.o.d"
+  "/root/repo/tests/test_path_queries.cpp" "tests/CMakeFiles/mstv_tests.dir/test_path_queries.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_path_queries.cpp.o.d"
+  "/root/repo/tests/test_predicates.cpp" "tests/CMakeFiles/mstv_tests.dir/test_predicates.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_predicates.cpp.o.d"
+  "/root/repo/tests/test_rooted_tree.cpp" "tests/CMakeFiles/mstv_tests.dir/test_rooted_tree.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_rooted_tree.cpp.o.d"
+  "/root/repo/tests/test_scheme_matrix.cpp" "tests/CMakeFiles/mstv_tests.dir/test_scheme_matrix.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_scheme_matrix.cpp.o.d"
+  "/root/repo/tests/test_self_stabilization.cpp" "tests/CMakeFiles/mstv_tests.dir/test_self_stabilization.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_self_stabilization.cpp.o.d"
+  "/root/repo/tests/test_sensitivity.cpp" "tests/CMakeFiles/mstv_tests.dir/test_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_sensitivity.cpp.o.d"
+  "/root/repo/tests/test_spanning_tree_scheme.cpp" "tests/CMakeFiles/mstv_tests.dir/test_spanning_tree_scheme.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_spanning_tree_scheme.cpp.o.d"
+  "/root/repo/tests/test_tree_labelings.cpp" "tests/CMakeFiles/mstv_tests.dir/test_tree_labelings.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_tree_labelings.cpp.o.d"
+  "/root/repo/tests/test_tree_proof_schemes.cpp" "tests/CMakeFiles/mstv_tests.dir/test_tree_proof_schemes.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_tree_proof_schemes.cpp.o.d"
+  "/root/repo/tests/test_union_find.cpp" "tests/CMakeFiles/mstv_tests.dir/test_union_find.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_union_find.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/mstv_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/mstv_tests.dir/test_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mstv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

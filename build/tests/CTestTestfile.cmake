@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mstv_tests[1]_include.cmake")
+add_test(cli_gen_verify "sh" "-c" "/root/repo/build/tools/mstv gen 30 40 1000 5 | /root/repo/build/tools/mstv verify --scheme mst")
+set_tests_properties(cli_gen_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_gen_verify_frag "sh" "-c" "/root/repo/build/tools/mstv gen 25 30 500 6 | /root/repo/build/tools/mstv verify --scheme frag --root 3")
+set_tests_properties(cli_gen_verify_frag PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;43;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_sensitivity "sh" "-c" "/root/repo/build/tools/mstv gen 20 25 300 7 | /root/repo/build/tools/mstv sensitivity > /dev/null")
+set_tests_properties(cli_sensitivity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;45;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_hypertree_dot "sh" "-c" "/root/repo/build/tools/mstv hypertree 3 4 | /root/repo/build/tools/mstv dot > /dev/null")
+set_tests_properties(cli_hypertree_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;47;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_selfstab "sh" "-c" "/root/repo/build/tools/mstv gen 40 60 1000 8 | /root/repo/build/tools/mstv selfstab 5 50")
+set_tests_properties(cli_selfstab PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;49;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/mstv")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;51;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_mark_check "sh" "-c" "/root/repo/build/tools/mstv gen 25 30 500 9 > /tmp/g.txt && /root/repo/build/tools/mstv mark /tmp/labels.bin --scheme mst < /tmp/g.txt && /root/repo/build/tools/mstv check /tmp/labels.bin --scheme mst < /tmp/g.txt")
+set_tests_properties(cli_mark_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;54;add_test;/root/repo/tests/CMakeLists.txt;0;")

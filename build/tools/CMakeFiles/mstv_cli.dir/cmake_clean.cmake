@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mstv_cli.dir/mstv_cli.cpp.o"
+  "CMakeFiles/mstv_cli.dir/mstv_cli.cpp.o.d"
+  "mstv"
+  "mstv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mstv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
