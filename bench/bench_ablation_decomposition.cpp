@@ -80,6 +80,9 @@ int main() {
                    1)});
   }
   t.print();
+  JsonReporter rep("ablation_decomposition");
+  rep.add_table("E5: decomposition/coding ablation", t);
+  rep.write();
   std::printf(
       "Expected shape: gamma_small (perfect+telescoping) is the smallest\n"
       "cell; random separators blow the level count up to Theta(sqrt n)-ish\n"

@@ -41,6 +41,9 @@ int main() {
                fmt(static_cast<double>(r.max_label_bits) / m, 3)});
   }
   t.print();
+  JsonReporter rep("agreement");
+  rep.add_table("E10: agreement scheme Theta(m)", t);
+  rep.write();
   std::printf("Expected shape: label size tracks m exactly (ratio 1.0) —\n"
               "the Theta(m) bound of the lemma.\n");
   return 0;

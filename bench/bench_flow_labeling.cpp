@@ -55,6 +55,9 @@ int main() {
     }
   }
   t.print();
+  JsonReporter rep("flow_labeling");
+  rep.add_table("E4: FLOW labeling vs naive", t);
+  rep.write();
   std::printf("Expected shape: same separation pattern as E2 — the log^2 n\n"
               "term of the prior FLOW schemes disappears.\n");
   return 0;

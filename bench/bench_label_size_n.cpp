@@ -42,6 +42,9 @@ int main() {
                fmt(static_cast<double>(r.max_label_bits) / denom, 3)});
   }
   t.print();
+  JsonReporter rep("label_size_n");
+  rep.add_table("E1a: pi_mst label bits, n sweep", t);
+  rep.write();
   std::printf("Expected shape: the last column stays bounded (no growth)\n"
               "as n rises 1024x — the O(log n log W) claim.\n");
   return 0;

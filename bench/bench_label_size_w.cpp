@@ -41,6 +41,9 @@ int main() {
                fmt(static_cast<double>(r.max_label_bits) / denom, 3)});
   }
   t.print();
+  JsonReporter rep("label_size_w");
+  rep.add_table("E1b: pi_mst label bits, W sweep", t);
+  rep.write();
   std::printf("Expected shape: max bits grows ~linearly with log2 W; the\n"
               "normalized column stays bounded.\n");
   return 0;

@@ -88,6 +88,11 @@ int main() {
                 rep.forgery_accepted ? "YES" : "no", fmt(rep.label_bits)});
   }
   t3.print();
+  JsonReporter jrep("lower_bound");
+  jrep.add_table("E8a: hypertree sanity + adversary floor", t);
+  jrep.add_table("E8b: counting floor sweep", t2);
+  jrep.add_table("E8c: cut-and-paste adversary", t3);
+  jrep.write();
   std::printf(
       "Expected shape: pi-mst has no collisions (disjoint weight classes);\n"
       "the quantized scheme collides and the spliced non-MST is accepted —\n"

@@ -129,6 +129,9 @@ void print_size_table() {
     }
   }
   t.print();
+  mstv::bench::JsonReporter rep("max_labeling");
+  rep.add_table("E3: gamma_small MAX label bits over tree shapes", t);
+  rep.write();
 }
 
 }  // namespace

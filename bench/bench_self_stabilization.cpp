@@ -82,6 +82,9 @@ int main() {
              3)});
   }
   t.print();
+  JsonReporter rep("self_stabilization");
+  rep.add_table("E9: fault detection and repair costs", t);
+  rep.write();
   std::printf(
       "Expected shape: state faults detected 100%% in ONE round; label\n"
       "flips detected except when the flip is another valid proof of the\n"

@@ -97,6 +97,9 @@ void print_storage_table() {
                mstv::bench::fmt(build_ms, 1)});
   }
   t.print();
+  mstv::bench::JsonReporter rep("sensitivity");
+  rep.add_table("E7: sensitivity aux storage vs explicit output", t);
+  rep.write();
 }
 
 }  // namespace

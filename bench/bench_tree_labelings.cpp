@@ -86,6 +86,9 @@ void print_tables() {
                mstv::bench::fmt(rr.max_label_bits)});
   }
   t.print();
+  mstv::bench::JsonReporter rep("tree_labelings");
+  rep.add_table("E11: distance/routing labels and proofs", t);
+  rep.write();
   std::printf("Expected shape: proofs cost ~2-3x the implicit labels (the\n"
               "orientation flags + spanning-tree sublabel + state copy) and\n"
               "scale O(log n log(nW)) / O(log n log n) respectively.\n\n");

@@ -67,6 +67,9 @@ int main() {
                fmt(kruskal_ms, 1), fmt(seq_ms, 1), fmt(mark_ms, 1)});
   }
   t.print();
+  JsonReporter rep("verify_vs_compute");
+  rep.add_table("E6: one verification round vs distributed recomputation", t);
+  rep.write();
   std::printf(
       "Expected shape: verification finishes in ONE round with O(m) short\n"
       "messages; Borůvka needs Theta(log n) phases, growing round counts\n"

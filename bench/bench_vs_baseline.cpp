@@ -52,6 +52,9 @@ int main() {
     }
   }
   t.print();
+  JsonReporter rep("vs_baseline");
+  rep.add_table("E2: pi_mst vs prior constructions", t);
+  rep.write();
   std::printf(
       "Expected shape: ours <= naive <= pi-frag everywhere; the gap is\n"
       "widest at large n / small W (the log^2 n regime of the prior\n"

@@ -1,12 +1,19 @@
 // Shared helpers for the benchmark harness: a small fixed-width table
 // printer (so every bench emits the same report style recorded in
-// EXPERIMENTS.md) and wall-clock timing.
+// EXPERIMENTS.md), wall-clock timing, and a JsonReporter that writes each
+// bench's tables plus the telemetry snapshot to BENCH_<name>.json — the
+// machine-readable trail that lets perf trajectories be diffed across
+// commits instead of eyeballed from text tables.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "obs/export.hpp"
 
 namespace mstv::bench {
 
@@ -17,6 +24,13 @@ class Table {
 
   void add_row(std::vector<std::string> cells) {
     rows_.push_back(std::move(cells));
+  }
+
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
   }
 
   void print() const {
@@ -75,5 +89,87 @@ inline void banner(const char* exp_id, const char* paper_artifact,
   std::printf("%s\n", description);
   std::printf("==================================================================\n\n");
 }
+
+/// Collects a bench's tables (by reference to their already-measured rows —
+/// no re-measuring) and writes BENCH_<name>.json:
+///
+///   { "bench": "<name>",
+///     "tables": [ { "title": ..., "headers": [...], "rows": [[...]] } ],
+///     "metrics": <obs snapshot JSON> }
+///
+/// Cells that parse as plain numbers are emitted as JSON numbers so the
+/// file is directly loadable into analysis tooling.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string name) : name_(std::move(name)) {}
+
+  void add_table(std::string title, const Table& t) {
+    tables_.push_back(Entry{std::move(title), t.headers(), t.rows()});
+  }
+
+  /// Writes BENCH_<name>.json in the working directory (or `path` if
+  /// given).  Returns false if the file cannot be opened.
+  bool write(const std::string& path = {}) const {
+    const std::string file = path.empty() ? "BENCH_" + name_ + ".json" : path;
+    std::ofstream out(file);
+    if (!out) {
+      std::fprintf(stderr, "JsonReporter: cannot open %s\n", file.c_str());
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << mstv::obs::json_escape(name_)
+        << "\",\n  \"tables\": [";
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      const Entry& e = tables_[i];
+      out << (i ? "," : "") << "\n    {\"title\": \""
+          << mstv::obs::json_escape(e.title) << "\", \"headers\": [";
+      for (std::size_t c = 0; c < e.headers.size(); ++c) {
+        out << (c ? ", " : "") << "\"" << mstv::obs::json_escape(e.headers[c])
+            << "\"";
+      }
+      out << "], \"rows\": [";
+      for (std::size_t r = 0; r < e.rows.size(); ++r) {
+        out << (r ? ", " : "") << "[";
+        for (std::size_t c = 0; c < e.rows[r].size(); ++c) {
+          out << (c ? ", " : "") << cell_json(e.rows[r][c]);
+        }
+        out << "]";
+      }
+      out << "]}";
+    }
+    out << (tables_.empty() ? "" : "\n  ") << "],\n  \"metrics\": ";
+    // Indent the snapshot so the composite document stays readable.
+    const std::string metrics = mstv::obs::to_json(mstv::obs::capture());
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      out << metrics[i];
+      if (metrics[i] == '\n' && i + 1 < metrics.size()) out << "  ";
+    }
+    out << "}\n";
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  static std::string cell_json(const std::string& cell) {
+    // Emit as a bare JSON number only for plain decimal literals (strtod
+    // alone would also accept hex, inf and nan — all invalid JSON).
+    const bool decimal_chars =
+        !cell.empty() &&
+        cell.find_first_not_of("0123456789+-.eE") == std::string::npos;
+    if (decimal_chars) {
+      char* end = nullptr;
+      (void)std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() + cell.size()) return cell;
+    }
+    return "\"" + mstv::obs::json_escape(cell) + "\"";
+  }
+
+  std::string name_;
+  std::vector<Entry> tables_;
+};
 
 }  // namespace mstv::bench

@@ -1,0 +1,138 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace mstv::obs {
+
+namespace {
+
+// Shortest round-trippable representation: integers print without a
+// fraction so counters stay integral in the JSON.
+std::string num(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Snapshot capture() {
+  return Snapshot{Registry::global().snapshot(), Tracer::global().snapshot()};
+}
+
+void reset_all() {
+  Registry::global().reset();
+  Tracer::global().reset();
+}
+
+std::string to_json(const Snapshot& s) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < s.metrics.counters.size(); ++i) {
+    const auto& c = s.metrics.counters[i];
+    os << (i ? "," : "") << "\n    \"" << json_escape(c.name)
+       << "\": " << num(c.value);
+  }
+  os << (s.metrics.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < s.metrics.gauges.size(); ++i) {
+    const auto& g = s.metrics.gauges[i];
+    os << (i ? "," : "") << "\n    \"" << json_escape(g.name)
+       << "\": " << num(g.value);
+  }
+  os << (s.metrics.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < s.metrics.histograms.size(); ++i) {
+    const auto& h = s.metrics.histograms[i];
+    os << (i ? "," : "") << "\n    \"" << json_escape(h.name) << "\": {"
+       << "\"count\": " << num(h.hist.count) << ", \"sum\": " << num(h.hist.sum)
+       << ", \"min\": " << num(h.hist.min) << ", \"max\": " << num(h.hist.max)
+       << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.hist.buckets.size(); ++b) {
+      os << (b ? ", " : "") << "{\"le\": ";
+      if (b < h.hist.bounds.size()) {
+        os << num(h.hist.bounds[b]);
+      } else {
+        os << "\"inf\"";
+      }
+      os << ", \"count\": " << num(h.hist.buckets[b]) << "}";
+    }
+    os << "]}";
+  }
+  os << (s.metrics.histograms.empty() ? "" : "\n  ") << "},\n  \"spans\": {";
+  for (std::size_t i = 0; i < s.trace.spans.size(); ++i) {
+    const auto& sp = s.trace.spans[i];
+    os << (i ? "," : "") << "\n    \"" << json_escape(sp.name) << "\": {"
+       << "\"count\": " << num(sp.count)
+       << ", \"total_us\": " << num(sp.total_us)
+       << ", \"max_us\": " << num(sp.max_us) << "}";
+  }
+  os << (s.trace.spans.empty() ? "" : "\n  ") << "},\n  \"events\": [";
+  for (std::size_t i = 0; i < s.trace.events.size(); ++i) {
+    const auto& ev = s.trace.events[i];
+    os << (i ? "," : "") << "\n    {\"name\": \"" << json_escape(ev.name)
+       << "\", \"phase\": \"" << (ev.enter ? "enter" : "exit")
+       << "\", \"t_us\": " << num(ev.t_us) << ", \"depth\": " << ev.depth
+       << ", \"seq\": " << num(ev.seq) << "}";
+  }
+  os << (s.trace.events.empty() ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+std::string to_text(const Snapshot& s) {
+  std::ostringstream os;
+  for (const auto& c : s.metrics.counters) {
+    os << c.name << ' ' << num(c.value) << '\n';
+  }
+  for (const auto& g : s.metrics.gauges) {
+    os << g.name << ' ' << num(g.value) << '\n';
+  }
+  for (const auto& h : s.metrics.histograms) {
+    os << "hist." << h.name << ".count " << num(h.hist.count) << '\n';
+    os << "hist." << h.name << ".sum " << num(h.hist.sum) << '\n';
+    os << "hist." << h.name << ".min " << num(h.hist.min) << '\n';
+    os << "hist." << h.name << ".max " << num(h.hist.max) << '\n';
+  }
+  for (const auto& sp : s.trace.spans) {
+    os << "span." << sp.name << ".count " << num(sp.count) << '\n';
+    os << "span." << sp.name << ".total_us " << num(sp.total_us) << '\n';
+    os << "span." << sp.name << ".max_us " << num(sp.max_us) << '\n';
+  }
+  return os.str();
+}
+
+void write_json(std::ostream& os, const Snapshot& s) { os << to_json(s); }
+void write_text(std::ostream& os, const Snapshot& s) { os << to_text(s); }
+
+}  // namespace mstv::obs

@@ -1,0 +1,56 @@
+// Snapshot serialization: one combined telemetry snapshot (metrics +
+// trace), exported as JSON (machine-readable, diffable across runs — what
+// `mstv --stats` and the bench JsonReporter emit) or as a flat
+// `key value` text format (greppable, one line per scalar).
+//
+// JSON layout:
+//   {
+//     "counters":   { "verify.messages": 123, ... },
+//     "gauges":     { "label.max_bits": 208, ... },
+//     "histograms": { "verify.node_time_us":
+//                       { "count": n, "sum": s, "min": a, "max": b,
+//                         "buckets": [ {"le": 1, "count": 0}, ...,
+//                                      {"le": "inf", "count": k} ] } },
+//     "spans":      { "marker.assign_labels":
+//                       { "count": 1, "total_us": t, "max_us": m } },
+//     "events":     [ {"name": ..., "phase": "enter"|"exit",
+//                      "t_us": ..., "depth": d, "seq": q}, ... ]
+//   }
+//
+// Text layout (`key value`, histogram/span scalars under derived keys):
+//   verify.messages 123
+//   hist.verify.node_time_us.count 10
+//   span.marker.assign_labels.total_us 42.5
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mstv::obs {
+
+struct Snapshot {
+  MetricsSnapshot metrics;
+  TraceSnapshot trace;
+};
+
+/// Snapshot of the global registry and tracer.
+[[nodiscard]] Snapshot capture();
+
+/// Zeroes the global registry and restarts the global tracer — scoping
+/// telemetry to one run (the CLI and benches call this at startup).
+void reset_all();
+
+[[nodiscard]] std::string to_json(const Snapshot& s);
+[[nodiscard]] std::string to_text(const Snapshot& s);
+
+void write_json(std::ostream& os, const Snapshot& s);
+void write_text(std::ostream& os, const Snapshot& s);
+
+/// Escapes a string for inclusion inside a JSON string literal (shared
+/// with the bench JsonReporter).
+[[nodiscard]] std::string json_escape(std::string_view raw);
+
+}  // namespace mstv::obs

@@ -1,0 +1,138 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mstv::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("histogram bounds must be ascending");
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[idx];
+  sum_ += v;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.bounds = bounds_;
+  s.buckets = buckets_;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+const std::vector<double>& Histogram::default_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double x = 1.0; x <= 1048576.0; x *= 2.0) b.push_back(x);
+    return b;
+  }();
+  return bounds;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    return it->second;
+  }
+  if (gauges_.count(name) || histograms_.count(name)) {
+    throw std::invalid_argument("metric name already bound to another kind: " +
+                                std::string(name));
+  }
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = gauges_.find(name); it != gauges_.end()) {
+    return it->second;
+  }
+  if (counters_.count(name) ||
+      histograms_.count(name)) {
+    throw std::invalid_argument("metric name already bound to another kind: " +
+                                std::string(name));
+  }
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = histograms_.find(name); it != histograms_.end()) {
+    return it->second;
+  }
+  if (counters_.count(name) || gauges_.count(name)) {
+    throw std::invalid_argument("metric name already bound to another kind: " +
+                                std::string(name));
+  }
+  return histograms_.try_emplace(std::string(name), bounds).first->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    s.counters.push_back(CounterSample{name, c.value()});
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.push_back(GaugeSample{name, g.value()});
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.push_back(HistogramSample{name, h.snapshot()});
+  }
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void counter_add(std::string_view name, std::uint64_t delta) {
+  Registry::global().counter(name).add(delta);
+}
+
+void gauge_set(std::string_view name, double v) {
+  Registry::global().gauge(name).set(v);
+}
+
+void hist_observe(std::string_view name, double v) {
+  Registry::global().histogram(name).observe(v);
+}
+
+}  // namespace mstv::obs

@@ -1,0 +1,185 @@
+// Telemetry metrics: named monotonic counters, gauges and fixed-bucket
+// histograms on a process-wide thread-safe registry.
+//
+// This is the quantitative substrate for the paper's headline claims —
+// label bits (O(log n log W), Thm 3.4), one-round detection, and the
+// verification-vs-recomputation message budget — so every runtime layer
+// reports through the same named instruments and a snapshot can be
+// serialized (obs/export.hpp) and diffed across runs.
+//
+// Naming convention (enforced by tools/check_metrics_names.sh):
+// `component.noun[_unit]` — lowercase snake_case segments joined by dots,
+// e.g. `verify.messages`, `label.max_bits`, `verify.node_time_us`.
+//
+// Concurrency: instruments are cheap atomics (Counter/Gauge) or
+// mutex-guarded (Histogram); the registry hands out references that stay
+// valid for the process lifetime (reset() zeroes values but never evicts).
+//
+// The MSTV_* macros at the bottom are the instrumentation entry points
+// used throughout the library.  Building with -DMSTV_OBS_DISABLED
+// compiles them to nothing (arguments are not even evaluated), so hot
+// paths pay zero cost when observability is off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mstv::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (e.g. the current run's max label bits).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: counts per upper bound plus an overflow bucket,
+/// with exact count/sum/min/max.  Bucket bounds are fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;         // upper bounds, ascending
+    std::vector<std::uint64_t> buckets; // bounds.size() + 1 (last = overflow)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // 0 when count == 0
+    double max = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+  /// Power-of-two bounds 1, 2, 4, ..., 2^20 — wide enough for microsecond
+  /// timings, message delays and bit counts alike.
+  static const std::vector<double>& default_bounds();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  Histogram::Snapshot hist;
+};
+
+/// Point-in-time copy of every registered instrument, names sorted.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Thread-safe instrument registry.  Looking up a name registers it on
+/// first use; returned references remain valid for the registry's
+/// lifetime.  A name may hold only one instrument kind (a counter named
+/// `x.y` and a gauge named `x.y` is a programming error and throws).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` applies only on first registration of `name`.
+  Histogram& histogram(std::string_view name,
+                       const std::vector<double>& bounds =
+                           Histogram::default_bounds());
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument; registrations (and references) survive.
+  void reset();
+
+  /// The process-wide registry the MSTV_* macros report into.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+// Free-function sinks on the global registry — usable with runtime-built
+// names (e.g. per-FaultKind counters); the macros below forward here.
+void counter_add(std::string_view name, std::uint64_t delta);
+void gauge_set(std::string_view name, double v);
+void hist_observe(std::string_view name, double v);
+
+}  // namespace mstv::obs
+
+#ifndef MSTV_OBS_DISABLED
+
+#define MSTV_COUNTER_ADD(name, delta) \
+  ::mstv::obs::counter_add((name), (delta))
+#define MSTV_COUNTER_INC(name) ::mstv::obs::counter_add((name), 1)
+#define MSTV_GAUGE_SET(name, value) \
+  ::mstv::obs::gauge_set((name), static_cast<double>(value))
+#define MSTV_HIST_OBSERVE(name, value) \
+  ::mstv::obs::hist_observe((name), static_cast<double>(value))
+
+#else  // MSTV_OBS_DISABLED: evaluate nothing, but keep arguments "used"
+       // so instrumentation sites compile warning-free either way.
+
+#define MSTV_OBS_NOOP_2(a, b) \
+  do {                        \
+    (void)sizeof(a);          \
+    (void)sizeof(b);          \
+  } while (false)
+
+#define MSTV_COUNTER_ADD(name, delta) MSTV_OBS_NOOP_2(name, delta)
+#define MSTV_COUNTER_INC(name) \
+  do {                         \
+    (void)sizeof(name);        \
+  } while (false)
+#define MSTV_GAUGE_SET(name, value) MSTV_OBS_NOOP_2(name, value)
+#define MSTV_HIST_OBSERVE(name, value) MSTV_OBS_NOOP_2(name, value)
+
+#endif  // MSTV_OBS_DISABLED

@@ -1,0 +1,92 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace mstv::obs {
+
+namespace {
+
+// Nesting depth of the *current thread*; events from different threads
+// carry their own depth counters.
+thread_local std::uint32_t t_depth = 0;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(kTraceRingCapacity);
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::push_event(std::string_view name, bool enter, double t,
+                        std::uint32_t depth) {
+  SpanEvent ev{std::string(name), enter, t, depth, 0};
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.seq = seq_++;
+  if (ring_.size() < kTraceRingCapacity) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[ring_next_] = std::move(ev);
+  }
+  ring_next_ = (ring_next_ + 1) % kTraceRingCapacity;
+}
+
+std::uint32_t Tracer::begin_span(std::string_view name) {
+  const std::uint32_t depth = t_depth++;
+  push_event(name, /*enter=*/true, now_us(), depth);
+  return depth;
+}
+
+void Tracer::end_span(std::string_view name, double start_us) {
+  const std::uint32_t depth = --t_depth;
+  const double end_us = now_us();
+  push_event(name, /*enter=*/false, end_us, depth);
+  const double dur = end_us - start_us;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::lower_bound(
+      stats_.begin(), stats_.end(), name,
+      [](const SpanStat& s, std::string_view n) { return s.name < n; });
+  if (it == stats_.end() || it->name != name) {
+    it = stats_.insert(it, SpanStat{std::string(name), 0, 0.0, 0.0});
+  }
+  ++it->count;
+  it->total_us += dur;
+  it->max_us = std::max(it->max_us, dur);
+}
+
+TraceSnapshot Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSnapshot s;
+  s.spans = stats_;
+  s.events.reserve(ring_.size());
+  if (ring_.size() < kTraceRingCapacity) {
+    s.events = ring_;
+  } else {
+    // Oldest retained event sits at the next write position.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      s.events.push_back(ring_[(ring_next_ + i) % kTraceRingCapacity]);
+    }
+  }
+  return s;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  ring_next_ = 0;
+  seq_ = 0;
+  stats_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace mstv::obs

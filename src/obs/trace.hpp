@@ -1,0 +1,147 @@
+// Span tracing: RAII wall-clock spans with nesting, an enter/exit event
+// ring buffer, and per-name aggregate statistics.
+//
+//   void MstScheme::mark(...) {
+//     MSTV_SPAN("marker.assign_labels");
+//     ...
+//   }
+//
+// records an enter event on entry and an exit event (plus duration) on
+// scope exit; spans opened inside the scope nest one depth level deeper.
+// The ring buffer keeps the most recent kTraceRingCapacity events so a
+// snapshot shows the tail of the execution timeline; aggregates
+// (count/total/max per span name) survive ring overwrite and feed the
+// exported `spans` section.
+//
+// Timestamps are microseconds on a steady clock, relative to the tracer's
+// creation (or last reset), so snapshots are diffable and stable.
+//
+// Like the metric macros, MSTV_SPAN compiles to nothing under
+// -DMSTV_OBS_DISABLED; the Span/Tracer classes themselves stay available
+// either way.  Span names follow the same `component.noun` convention as
+// metrics.  Depth tracking is thread-local; events from concurrent
+// threads interleave in the shared ring in arrival order.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mstv::obs {
+
+inline constexpr std::size_t kTraceRingCapacity = 1024;
+
+struct SpanEvent {
+  std::string name;
+  bool enter = false;    // false = exit
+  double t_us = 0.0;     // steady time since tracer epoch
+  std::uint32_t depth = 0;
+  std::uint64_t seq = 0; // global, monotone over the whole run (pre-overwrite)
+};
+
+struct SpanStat {
+  std::string name;
+  std::uint64_t count = 0;  // completed spans
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct TraceSnapshot {
+  std::vector<SpanStat> spans;     // sorted by name
+  std::vector<SpanEvent> events;   // oldest retained first
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Microseconds since the tracer epoch (construction or last reset).
+  [[nodiscard]] double now_us() const;
+
+  /// Records an enter event and returns the entered depth.
+  std::uint32_t begin_span(std::string_view name);
+  /// Records the exit event and folds the duration into the aggregates.
+  void end_span(std::string_view name, double start_us);
+
+  [[nodiscard]] TraceSnapshot snapshot() const;
+
+  /// Drops all events and aggregates and restarts the epoch.
+  void reset();
+
+  static Tracer& global();
+
+ private:
+  void push_event(std::string_view name, bool enter, double t,
+                  std::uint32_t depth);
+
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanEvent> ring_;   // capacity kTraceRingCapacity, circular
+  std::size_t ring_next_ = 0;     // next write position
+  std::uint64_t seq_ = 0;
+  std::vector<SpanStat> stats_;   // kept sorted by name; few distinct names
+};
+
+/// RAII span on the global tracer.
+class Span {
+ public:
+  explicit Span(std::string_view name)
+      : name_(name), start_us_(Tracer::global().now_us()) {
+    Tracer::global().begin_span(name_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { Tracer::global().end_span(name_, start_us_); }
+
+ private:
+  std::string name_;
+  double start_us_;
+};
+
+/// RAII timer feeding elapsed wall-clock microseconds into a histogram —
+/// the per-unit-of-work companion to Span (which feeds the trace).
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(std::string_view hist_name)
+      : name_(hist_name), t0_(std::chrono::steady_clock::now()) {}
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+  ~ScopedTimerUs() {
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0_)
+                          .count();
+    hist_observe(name_, us);
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace mstv::obs
+
+#define MSTV_OBS_CONCAT_INNER(a, b) a##b
+#define MSTV_OBS_CONCAT(a, b) MSTV_OBS_CONCAT_INNER(a, b)
+
+#ifndef MSTV_OBS_DISABLED
+#define MSTV_SPAN(name) \
+  ::mstv::obs::Span MSTV_OBS_CONCAT(mstv_obs_span_, __LINE__)(name)
+#define MSTV_SCOPED_TIMER_US(name) \
+  ::mstv::obs::ScopedTimerUs MSTV_OBS_CONCAT(mstv_obs_timer_, __LINE__)(name)
+#else
+#define MSTV_SPAN(name)  \
+  do {                   \
+    (void)sizeof(name);  \
+  } while (false)
+#define MSTV_SCOPED_TIMER_US(name) \
+  do {                             \
+    (void)sizeof(name);            \
+  } while (false)
+#endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "tree/rooted_tree.hpp"
 
 namespace mstv {
@@ -216,6 +217,7 @@ std::vector<Orient> orient_from_ancestors(const RootedTree& tree, VertexId v,
 }
 
 std::vector<Label> GammaScheme::mark(const ConfigGraph& cfg) const {
+  MSTV_SPAN("marker.assign_labels");
   const Graph& g = cfg.graph();
   MSTV_EXPECTS_MSG(g.num_edges() + 1 == g.num_vertices(),
                    "pi_Gamma is defined over tree families");
@@ -237,6 +239,7 @@ std::vector<Label> GammaScheme::mark(const ConfigGraph& cfg) const {
   }
   const auto ancestors = recover_separator_ancestors(imps);
 
+  std::size_t st_bits = 0, orient_bits = 0, state_copy_bits = 0;
   std::vector<Label> labels;
   labels.reserve(cfg.size());
   for (VertexId v = 0; v < cfg.size(); ++v) {
@@ -250,15 +253,24 @@ std::vector<Label> GammaScheme::mark(const ConfigGraph& cfg) const {
     }
     BitWriter w;
     write_spanning_tree_sublabel(w, st[v]);
+    const std::size_t after_st = w.size_bits();
     write_orient_fields(w, orient);
+    const std::size_t after_orient = w.size_bits();
     // M_state: the copy of the state (the claimed implicit label).
     w.write_gamma0(cfg.state(v).payload.size_bits());
     {
       BitReader r = cfg.state(v).payload.reader();
       while (!r.exhausted()) w.write_bit(r.read_bit());
     }
+    st_bits += after_st;
+    orient_bits += after_orient - after_st;
+    state_copy_bits += w.size_bits() - after_orient;
     labels.emplace_back(w);
   }
+  MSTV_COUNTER_ADD("marker.labels", labels.size());
+  MSTV_COUNTER_ADD("label.spanning_tree_bits", st_bits);
+  MSTV_COUNTER_ADD("label.orient_bits", orient_bits);
+  MSTV_COUNTER_ADD("label.state_copy_bits", state_copy_bits);
   return labels;
 }
 

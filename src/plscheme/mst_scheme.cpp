@@ -1,6 +1,7 @@
 #include "plscheme/mst_scheme.hpp"
 
 #include "mst/predicates.hpp"
+#include "obs/trace.hpp"
 #include "plscheme/spanning_tree_scheme.hpp"
 #include "tree/rooted_tree.hpp"
 
@@ -28,6 +29,7 @@ bool mst_predicate(const ConfigGraph& cfg) {
 }
 
 std::vector<Label> MstScheme::mark(const ConfigGraph& cfg) const {
+  MSTV_SPAN("marker.assign_labels");
   const Graph& g = cfg.graph();
   const auto tree_edges = cfg.induced_subgraph();
   MSTV_EXPECTS_MSG(is_spanning_tree(g, tree_edges),
@@ -50,15 +52,27 @@ std::vector<Label> MstScheme::mark(const ConfigGraph& cfg) const {
   const auto imps = imp_.encode(tree, sd);
   const auto orients = compute_orient_fields(tree, sd);
 
+  // Per-field bit budget, summed over the network: the O(log n) vs
+  // O(log n log W) split of Thm 3.4 read directly off the label layout.
+  std::size_t st_bits = 0, orient_bits = 0, extrema_bits = 0;
   std::vector<Label> labels;
   labels.reserve(cfg.size());
   for (VertexId v = 0; v < cfg.size(); ++v) {
     BitWriter w;
     write_spanning_tree_sublabel(w, st[v]);
+    const std::size_t after_st = w.size_bits();
     write_orient_fields(w, orients[v]);
+    const std::size_t after_orient = w.size_bits();
     imp_.write_to(w, imps[v]);
+    st_bits += after_st;
+    orient_bits += after_orient - after_st;
+    extrema_bits += w.size_bits() - after_orient;
     labels.emplace_back(w);
   }
+  MSTV_COUNTER_ADD("marker.labels", labels.size());
+  MSTV_COUNTER_ADD("label.spanning_tree_bits", st_bits);
+  MSTV_COUNTER_ADD("label.orient_bits", orient_bits);
+  MSTV_COUNTER_ADD("label.extrema_bits", extrema_bits);
   return labels;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace mstv {
 
 LocalView make_local_view(const ConfigGraph& cfg, VertexId v,
@@ -24,23 +26,44 @@ LocalView make_local_view(const ConfigGraph& cfg, VertexId v,
 VerificationResult run_verifier(const ProofLabelingScheme& scheme,
                                 const ConfigGraph& cfg,
                                 const std::vector<Label>& labels) {
+  MSTV_SPAN("verifier.run");
   VerificationResult r;
   r.num_vertices = cfg.size();
   for (const Label& l : labels) {
     r.max_label_bits = std::max(r.max_label_bits, l.size_bits());
     r.total_label_bits += l.size_bits();
   }
+  // Receiver-side message accounting: each node reads one label per
+  // incident edge, so the totals match the sender-side sums of
+  // SimNetwork::verification_round exactly.
+  std::size_t messages = 0;
+  std::size_t bits = 0;
   for (VertexId v = 0; v < cfg.size(); ++v) {
     const LocalView view = make_local_view(cfg, v, labels);
+    messages += view.neighbors.size();
+    for (const NeighborView& nb : view.neighbors) {
+      bits += nb.label->size_bits();
+    }
     bool ok;
-    try {
-      ok = scheme.verify(view);
-    } catch (const PreconditionError&) {
-      ok = false;  // malformed/forged label: reject locally
+    {
+      MSTV_SCOPED_TIMER_US("verify.node_time_us");
+      try {
+        ok = scheme.verify(view);
+      } catch (const PreconditionError&) {
+        ok = false;  // malformed/forged label: reject locally
+      }
     }
     if (!ok) r.rejecting.push_back(v);
   }
   r.accepted = r.rejecting.empty();
+  MSTV_COUNTER_ADD("verify.rounds", 1);
+  MSTV_COUNTER_ADD("verify.nodes", r.num_vertices);
+  MSTV_COUNTER_ADD("verify.messages", messages);
+  MSTV_COUNTER_ADD("verify.bits_total", bits);
+  MSTV_COUNTER_ADD("verify.rejections", r.rejecting.size());
+  MSTV_COUNTER_ADD("label.bits_total", r.total_label_bits);
+  MSTV_GAUGE_SET("label.max_bits", r.max_label_bits);
+  MSTV_GAUGE_SET("label.avg_bits", r.avg_label_bits());
   return r;
 }
 

@@ -1,6 +1,7 @@
 #include "plscheme/spanning_tree_scheme.hpp"
 
 #include "mst/predicates.hpp"
+#include "obs/trace.hpp"
 #include "tree/rooted_tree.hpp"
 
 namespace mstv {
@@ -79,14 +80,19 @@ bool check_spanning_tree_sublabel(
 }
 
 std::vector<Label> SpanningTreeScheme::mark(const ConfigGraph& cfg) const {
+  MSTV_SPAN("marker.assign_labels");
   const auto subs = make_spanning_tree_sublabels(cfg);
+  std::size_t st_bits = 0;
   std::vector<Label> labels;
   labels.reserve(subs.size());
   for (const auto& s : subs) {
     BitWriter w;
     write_spanning_tree_sublabel(w, s);
+    st_bits += w.size_bits();
     labels.emplace_back(w);
   }
+  MSTV_COUNTER_ADD("marker.labels", labels.size());
+  MSTV_COUNTER_ADD("label.spanning_tree_bits", st_bits);
   return labels;
 }
 

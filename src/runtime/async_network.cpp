@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace mstv {
 
 AsyncRoundResult async_verification_round(const ConfigGraph& cfg,
@@ -11,6 +13,7 @@ AsyncRoundResult async_verification_round(const ConfigGraph& cfg,
                                           const AsyncOptions& opts) {
   MSTV_EXPECTS(labels.size() == cfg.size());
   MSTV_EXPECTS(opts.min_delay >= 0 && opts.min_delay <= opts.max_delay);
+  MSTV_SPAN("async.round");
   const Graph& g = cfg.graph();
 
   AsyncRoundResult res;
@@ -20,6 +23,7 @@ AsyncRoundResult async_verification_round(const ConfigGraph& cfg,
     for (std::uint32_t i = 0; i < g.degree(v); ++i) {
       const double delay =
           opts.min_delay + (opts.max_delay - opts.min_delay) * rng.real();
+      MSTV_HIST_OBSERVE("async.delivery_delay", delay);
       last_input = std::max(last_input, delay);
       ++res.messages;
     }
@@ -34,11 +38,16 @@ AsyncRoundResult async_verification_round(const ConfigGraph& cfg,
     }
     if (!ok) {
       res.rejecting.push_back(v);
+      // Each alarm fires the instant the rejecting node's last input lands.
+      MSTV_HIST_OBSERVE("async.detection_latency", last_input);
       res.first_detection_time =
           std::min(res.first_detection_time, last_input);
     }
   }
   res.accepted = res.rejecting.empty();
+  MSTV_COUNTER_ADD("async.rounds", 1);
+  MSTV_COUNTER_ADD("async.messages", res.messages);
+  MSTV_COUNTER_ADD("async.rejections", res.rejecting.size());
   return res;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mst/union_find.hpp"
+#include "obs/trace.hpp"
 #include "util/bitstream.hpp"
 #include "util/check.hpp"
 
@@ -44,6 +45,7 @@ FragmentShape fragment_shape(const Graph& g, const std::vector<bool>& in_tree,
 
 DistributedMstStats distributed_boruvka(const Graph& g) {
   MSTV_EXPECTS_MSG(g.is_connected(), "MST requires a connected graph");
+  MSTV_SPAN("boruvka.run");
   const std::size_t n = g.num_vertices();
   const std::size_t id_bits = static_cast<std::size_t>(bit_width_u64(n)) + 1;
   const std::size_t weight_bits =
@@ -54,6 +56,7 @@ DistributedMstStats distributed_boruvka(const Graph& g) {
   std::vector<bool> in_tree(g.num_edges(), false);
 
   while (uf.num_sets() > 1) {
+    MSTV_SPAN("boruvka.phase");
     ++stats.phases;
 
     // Fragment ids and roots (representatives).
@@ -120,6 +123,11 @@ DistributedMstStats distributed_boruvka(const Graph& g) {
   }
 
   MSTV_ASSERT(stats.tree.size() + 1 == n);
+  MSTV_COUNTER_ADD("boruvka.runs", 1);
+  MSTV_COUNTER_ADD("boruvka.phases", stats.phases);
+  MSTV_COUNTER_ADD("boruvka.rounds", stats.rounds);
+  MSTV_COUNTER_ADD("boruvka.messages", stats.messages);
+  MSTV_COUNTER_ADD("boruvka.message_bits", stats.message_bits);
   return stats;
 }
 

@@ -1,6 +1,22 @@
 #include "runtime/network.hpp"
 
+#include "obs/trace.hpp"
+
 namespace mstv {
+
+namespace {
+
+[[maybe_unused]] const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::RedirectParent: return "faults.injected.redirect_parent";
+    case FaultKind::DropParent: return "faults.injected.drop_parent";
+    case FaultKind::MakeParent: return "faults.injected.make_parent";
+    case FaultKind::FlipLabelBit: return "faults.injected.flip_label_bit";
+  }
+  return "faults.injected.unknown";
+}
+
+}  // namespace
 
 void SimNetwork::install_marker_labels() {
   labels_ = scheme_->mark(cfg_);
@@ -21,6 +37,7 @@ RoundStats SimNetwork::verification_round() const {
 
 RoundStats SimNetwork::verification_round_with_channel_faults(
     Rng& rng, double flip_prob) const {
+  MSTV_SPAN("network.channel_fault_round");
   RoundStats stats;
   for (VertexId v = 0; v < cfg_.size(); ++v) {
     // Received copies, independently corrupted per channel.
@@ -31,6 +48,7 @@ RoundStats SimNetwork::verification_round_with_channel_faults(
       Label copy = labels_[p.neighbor];
       if (copy.size_bits() > 0 && rng.chance(flip_prob)) {
         copy = copy.with_bit_flipped(rng.index(copy.size_bits()));
+        MSTV_COUNTER_ADD("faults.channel_bitflips", 1);
       }
       stats.messages += 1;
       stats.bits += copy.size_bits();
@@ -55,6 +73,10 @@ RoundStats SimNetwork::verification_round_with_channel_faults(
     if (!ok) ++stats.rejecting;
   }
   stats.accepted = stats.rejecting == 0;
+  MSTV_COUNTER_ADD("verify.rounds", 1);
+  MSTV_COUNTER_ADD("verify.messages", stats.messages);
+  MSTV_COUNTER_ADD("verify.bits_total", stats.bits);
+  MSTV_COUNTER_ADD("verify.rejections", stats.rejecting);
   return stats;
 }
 
@@ -97,6 +119,8 @@ std::optional<FaultRecord> FaultInjector::inject(SimNetwork& net,
       break;
     }
   }
+  MSTV_COUNTER_ADD("faults.injected", 1);
+  MSTV_COUNTER_ADD(fault_kind_name(kind), 1);
   return FaultRecord{kind, victim};
 }
 

@@ -1,6 +1,7 @@
 #include "runtime/self_stabilization.hpp"
 
 #include "mst/algorithms.hpp"
+#include "obs/trace.hpp"
 
 namespace mstv {
 
@@ -12,24 +13,41 @@ SelfStabilizingMst::SelfStabilizingMst(const Graph& g, const MstScheme& scheme)
 }
 
 StabilizationStats SelfStabilizingMst::stabilize() {
+  MSTV_SPAN("selfstab.stabilize");
+  MSTV_COUNTER_ADD("selfstab.ticks", 1);
   StabilizationStats stats;
 
-  const RoundStats round = net_.verification_round();
-  stats.verify_messages = round.messages;
-  stats.verify_bits = round.bits;
-  stats.fault_detected = !round.accepted;
-  stats.detecting_nodes = round.rejecting;
+  {
+    MSTV_SPAN("selfstab.detect");
+    const RoundStats round = net_.verification_round();
+    stats.verify_messages = round.messages;
+    stats.verify_bits = round.bits;
+    stats.fault_detected = !round.accepted;
+    stats.detecting_nodes = round.rejecting;
+  }
   if (!stats.fault_detected) return stats;
+  MSTV_COUNTER_ADD("selfstab.faults_detected", 1);
+  MSTV_COUNTER_ADD("selfstab.detecting_nodes", stats.detecting_nodes);
 
   // Repair: distributed recomputation, then reinstall states and labels.
-  stats.recompute = distributed_boruvka(*g_);
-  ConfigGraph fresh = make_tree_config(*g_, stats.recompute.tree, 0);
-  for (VertexId v = 0; v < fresh.size(); ++v) {
-    net_.config().state(v) = fresh.state(v);
+  {
+    MSTV_SPAN("selfstab.repair");
+    stats.recompute = distributed_boruvka(*g_);
+    ConfigGraph fresh = make_tree_config(*g_, stats.recompute.tree, 0);
+    for (VertexId v = 0; v < fresh.size(); ++v) {
+      net_.config().state(v) = fresh.state(v);
+    }
   }
-  net_.install_marker_labels();
+  {
+    MSTV_SPAN("selfstab.remark");
+    net_.install_marker_labels();
+  }
   stats.repaired = true;
   for (const Label& l : net_.labels()) stats.remark_bits += l.size_bits();
+  MSTV_COUNTER_ADD("selfstab.repairs", 1);
+  MSTV_COUNTER_ADD("selfstab.repair_messages", stats.recompute.messages);
+  MSTV_COUNTER_ADD("selfstab.repair_bits", stats.recompute.message_bits);
+  MSTV_COUNTER_ADD("selfstab.remark_bits", stats.remark_bits);
 
   stats.silent_after = net_.verification_round().accepted;
   return stats;

@@ -1,0 +1,274 @@
+// The telemetry layer: counter/gauge/histogram semantics, span nesting
+// and timing monotonicity, export well-formedness and round-trip, and the
+// contract that the instrumented SimNetwork round reports exactly the
+// traffic its RoundStats returns.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "runtime/network.hpp"
+
+namespace mstv {
+namespace {
+
+TEST(Counter, MonotonicAddAndReset) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  obs::Gauge g;
+  g.set(3.5);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Histogram, BucketsSumMinMax) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);   // bucket le=1
+  h.observe(1.0);   // le=1 (bounds are inclusive upper limits)
+  h.observe(7.0);   // le=10
+  h.observe(1000);  // overflow
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), 4u);
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 0u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 1008.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(obs::Histogram({10.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Registry, NamesAreStableAndKindChecked) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("test.counter");
+  a.add(7);
+  // Same name, same instrument.
+  EXPECT_EQ(&reg.counter("test.counter"), &a);
+  EXPECT_EQ(reg.counter("test.counter").value(), 7u);
+  // One name, one kind.
+  EXPECT_THROW(reg.gauge("test.counter"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("test.counter"), std::invalid_argument);
+  // Reset zeroes but keeps the registration (and the reference) alive.
+  reg.reset();
+  EXPECT_EQ(a.value(), 0u);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "test.counter");
+}
+
+TEST(Registry, CountersAreThreadSafe) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("test.parallel_adds");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+TEST(Tracer, SpanNestingAndTimingMonotonicity) {
+  obs::reset_all();
+  {
+    obs::Span outer("test.outer");
+    obs::Span inner("test.inner");
+    // Scope exit closes inner before outer.
+  }
+  const obs::TraceSnapshot t = obs::Tracer::global().snapshot();
+
+  ASSERT_EQ(t.events.size(), 4u);
+  // enter(outer) -> enter(inner) -> exit(inner) -> exit(outer).
+  EXPECT_EQ(t.events[0].name, "test.outer");
+  EXPECT_TRUE(t.events[0].enter);
+  EXPECT_EQ(t.events[0].depth, 0u);
+  EXPECT_EQ(t.events[1].name, "test.inner");
+  EXPECT_TRUE(t.events[1].enter);
+  EXPECT_EQ(t.events[1].depth, 1u);
+  EXPECT_EQ(t.events[2].name, "test.inner");
+  EXPECT_FALSE(t.events[2].enter);
+  EXPECT_EQ(t.events[3].name, "test.outer");
+  EXPECT_FALSE(t.events[3].enter);
+
+  // Sequence numbers and timestamps never run backwards.
+  for (std::size_t i = 1; i < t.events.size(); ++i) {
+    EXPECT_EQ(t.events[i].seq, t.events[i - 1].seq + 1);
+    EXPECT_GE(t.events[i].t_us, t.events[i - 1].t_us);
+  }
+
+  // Aggregates: one completed span each; the outer span contains the
+  // inner one, so its duration is at least as large.
+  ASSERT_EQ(t.spans.size(), 2u);
+  std::map<std::string, obs::SpanStat> by_name;
+  for (const auto& s : t.spans) by_name[s.name] = s;
+  ASSERT_TRUE(by_name.count("test.outer"));
+  ASSERT_TRUE(by_name.count("test.inner"));
+  EXPECT_EQ(by_name["test.outer"].count, 1u);
+  EXPECT_EQ(by_name["test.inner"].count, 1u);
+  EXPECT_GE(by_name["test.outer"].total_us, by_name["test.inner"].total_us);
+  EXPECT_GE(by_name["test.outer"].max_us, 0.0);
+}
+
+TEST(Tracer, RingBufferKeepsMostRecentEvents) {
+  obs::reset_all();
+  for (std::size_t i = 0; i < obs::kTraceRingCapacity; ++i) {
+    obs::Span s("test.spin");
+  }
+  const obs::TraceSnapshot t = obs::Tracer::global().snapshot();
+  // 2 * capacity events were pushed into a capacity-sized ring.
+  EXPECT_EQ(t.events.size(), obs::kTraceRingCapacity);
+  EXPECT_EQ(t.events.back().seq, 2 * obs::kTraceRingCapacity - 1);
+  EXPECT_EQ(t.events.front().seq, obs::kTraceRingCapacity);
+  // Aggregates saw every span regardless of ring overwrite.
+  ASSERT_EQ(t.spans.size(), 1u);
+  EXPECT_EQ(t.spans[0].count, obs::kTraceRingCapacity);
+  obs::reset_all();
+}
+
+// Minimal structural JSON check: quotes/braces/brackets balance outside
+// strings.  Not a parser, but catches every malformed-emitter bug the
+// serializer could realistically produce (dangling commas aside).
+bool json_balanced(const std::string& s) {
+  int brace = 0, bracket = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : s) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') {
+      in_string = !in_string;
+      continue;
+    }
+    if (in_string) continue;
+    if (c == '{') ++brace;
+    if (c == '}') --brace;
+    if (c == '[') ++bracket;
+    if (c == ']') --bracket;
+    if (brace < 0 || bracket < 0) return false;
+  }
+  return brace == 0 && bracket == 0 && !in_string;
+}
+
+TEST(Export, JsonWellFormedAndTextRoundTrips) {
+  obs::reset_all();
+  obs::Registry::global().counter("test.export_counter").add(123);
+  obs::Registry::global().gauge("test.export_gauge").set(4.5);
+  obs::Registry::global().histogram("test.export_hist").observe(3.0);
+  { obs::Span s("test.export_span"); }
+
+  const obs::Snapshot snap = obs::capture();
+  const std::string json = obs::to_json(snap);
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"test.export_counter\": 123"), std::string::npos);
+  EXPECT_NE(json.find("\"test.export_gauge\": 4.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.export_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.export_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase\": \"enter\""), std::string::npos);
+
+  // Text format: parse every `key value` line back and compare the
+  // scalars against the snapshot they came from.
+  std::map<std::string, std::string> kv;
+  std::istringstream lines(obs::to_text(snap));
+  std::string key, value;
+  while (lines >> key >> value) kv[key] = value;
+  EXPECT_EQ(kv.at("test.export_counter"), "123");
+  EXPECT_EQ(kv.at("test.export_gauge"), "4.5");
+  EXPECT_EQ(kv.at("hist.test.export_hist.count"), "1");
+  EXPECT_EQ(kv.at("hist.test.export_hist.sum"), "3");
+  EXPECT_EQ(kv.at("span.test.export_span.count"), "1");
+  obs::reset_all();
+}
+
+#ifndef MSTV_OBS_DISABLED
+
+// The instrumented network round must report exactly the traffic its
+// RoundStats returns: SimNetwork counts sender-side (degree * own label),
+// run_verifier counts receiver-side (neighbors' labels) — identical sums.
+TEST(Instrumentation, SimNetworkRoundMatchesRoundStats) {
+  Rng rng(91);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(24, 36, wo, rng);
+  const MstScheme scheme;
+  SimNetwork net(make_tree_config(g, kruskal_mst(g), 0), scheme);
+  net.install_marker_labels();
+
+  obs::reset_all();
+  const RoundStats stats = net.verification_round();
+  EXPECT_TRUE(stats.accepted);
+
+  obs::Registry& reg = obs::Registry::global();
+  EXPECT_EQ(reg.counter("verify.messages").value(), stats.messages);
+  EXPECT_EQ(reg.counter("verify.bits_total").value(), stats.bits);
+  EXPECT_EQ(reg.counter("verify.rejections").value(), stats.rejecting);
+  EXPECT_EQ(reg.counter("verify.rounds").value(), 1u);
+  EXPECT_EQ(reg.counter("verify.nodes").value(), g.num_vertices());
+  EXPECT_EQ(static_cast<std::size_t>(reg.gauge("label.max_bits").value()),
+            [&] {
+              std::size_t mx = 0;
+              for (const Label& l : net.labels()) {
+                mx = std::max(mx, l.size_bits());
+              }
+              return mx;
+            }());
+  obs::reset_all();
+}
+
+// The marker span shows up in the trace, and the per-field label-bit
+// counters account for every bit of every label.
+TEST(Instrumentation, MarkerSpanAndLabelBitBreakdown) {
+  Rng rng(92);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(20, 28, wo, rng);
+  const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+  const MstScheme scheme;
+
+  obs::reset_all();
+  const auto labels = scheme.mark(cfg);
+
+  const obs::TraceSnapshot t = obs::Tracer::global().snapshot();
+  bool saw_marker = false;
+  for (const auto& s : t.spans) saw_marker |= s.name == "marker.assign_labels";
+  EXPECT_TRUE(saw_marker);
+
+  std::size_t total_bits = 0;
+  for (const Label& l : labels) total_bits += l.size_bits();
+  obs::Registry& reg = obs::Registry::global();
+  EXPECT_EQ(reg.counter("label.spanning_tree_bits").value() +
+                reg.counter("label.orient_bits").value() +
+                reg.counter("label.extrema_bits").value(),
+            total_bits);
+  EXPECT_EQ(reg.counter("marker.labels").value(), g.num_vertices());
+  obs::reset_all();
+}
+
+#endif  // MSTV_OBS_DISABLED
+
+}  // namespace
+}  // namespace mstv

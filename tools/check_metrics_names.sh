@@ -1,0 +1,42 @@
+#!/bin/sh
+# Lints telemetry instrument names against the naming convention of
+# docs/observability.md: `component.noun[_unit]` — two or more lowercase
+# snake_case segments joined by dots, e.g. `verify.messages`,
+# `verify.node_time_us`, `faults.injected.redirect_parent`.
+#
+# Scans every literal name passed to the MSTV_* instrumentation macros
+# (and the obs:: free-function sinks) under src/, tools/ and bench/.
+# Exits 1 listing each offending site.
+#
+# Usage: tools/check_metrics_names.sh [repo-root]
+set -u
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root" || exit 2
+
+pattern='MSTV_(COUNTER_ADD|COUNTER_INC|GAUGE_SET|HIST_OBSERVE|SPAN|SCOPED_TIMER_US)\(\s*"[^"]*"|obs::(counter_add|gauge_set|hist_observe)\(\s*"[^"]*"'
+name_re='^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$'
+
+status=0
+found=0
+
+# Each match arrives as file:call("name — validate the quoted name.
+for hit in $(grep -rhoE "$pattern" src tools bench --include='*.cpp' \
+                 --include='*.hpp' | tr -d ' ' | sort -u); do
+  found=1
+  name=$(printf '%s' "$hit" | sed 's/.*("//; s/"$//')
+  if ! printf '%s' "$name" | grep -qE "$name_re"; then
+    echo "bad metric/span name: \"$name\" (from $hit)" >&2
+    status=1
+  fi
+done
+
+if [ "$found" -eq 0 ]; then
+  echo "no instrumentation sites found — pattern out of date?" >&2
+  exit 2
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "metric names ok"
+fi
+exit "$status"

@@ -18,12 +18,18 @@
 //   hypertree <h> <mu>                   emit an (h,mu)-hypertree edge list
 //
 // Graphs are read as "n m" followed by "u v w" lines (graph/io.hpp).
+//
+// The global --stats[=FILE] flag (any position) dumps the telemetry
+// snapshot (src/obs) as JSON to stderr or FILE after the command runs —
+// see docs/observability.md for how to read it.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "labeling/wire.hpp"
@@ -31,6 +37,7 @@
 #include "lowerbound/hypertree.hpp"
 #include "mst/algorithms.hpp"
 #include "mst/predicates.hpp"
+#include "obs/export.hpp"
 #include "plscheme/fragment_scheme.hpp"
 #include "plscheme/mst_scheme.hpp"
 #include "plscheme/runner.hpp"
@@ -44,7 +51,7 @@ using namespace mstv;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: mstv <command> [args]\n"
+      "usage: mstv [--stats[=FILE]] <command> [args]\n"
       "  gen <n> <extra> <maxw> [seed]   random connected graph to stdout\n"
       "  mst                             MST of stdin graph\n"
       "  verify [--scheme mst|mst-naive|frag] [--root R]\n"
@@ -53,8 +60,16 @@ int usage() {
       "  sensitivity                     per-edge tolerances of the MST\n"
       "  selfstab <ticks> <fault%%>       self-stabilizing monitor\n"
       "  dot                             Graphviz, MST bold\n"
-      "  hypertree <h> <mu>              (h,mu)-hypertree edge list\n");
+      "  hypertree <h> <mu>              (h,mu)-hypertree edge list\n"
+      "global flags:\n"
+      "  --stats[=FILE]                  after the command, dump the telemetry\n"
+      "                                  snapshot as JSON to stderr (or FILE)\n");
   return 2;
+}
+
+/// Reads a counter off the global telemetry registry (0 if never touched).
+std::uint64_t counter_value(const char* name) {
+  return obs::Registry::global().counter(name).value();
 }
 
 int cmd_gen(int argc, char** argv) {
@@ -206,14 +221,32 @@ int cmd_selfstab(int argc, char** argv) {
   Rng frng(99);
   FaultInjector inj(frng);
   std::size_t detections = 0;
+  std::printf("# tick faults_injected detected detecting_nodes repair_msgs "
+              "repair_bits silent\n");
   for (int t = 0; t < ticks; ++t) {
+    // Per-tick deltas of the global telemetry counters.
+    const std::uint64_t inj0 = counter_value("faults.injected");
+    const std::uint64_t msgs0 = counter_value("selfstab.repair_messages");
+    const std::uint64_t bits0 = counter_value("selfstab.repair_bits");
     if (frng.chance(fault_p)) (void)inj.inject(sys.network());
     const auto s = sys.stabilize();
-    if (s.fault_detected) {
-      ++detections;
-      std::printf("tick %d: fault detected, repaired (silent=%s)\n", t,
-                  s.silent_after ? "yes" : "NO");
-    }
+    if (s.fault_detected) ++detections;
+    std::uint64_t injected = counter_value("faults.injected") - inj0;
+    std::uint64_t repair_msgs =
+        counter_value("selfstab.repair_messages") - msgs0;
+    std::uint64_t repair_bits = counter_value("selfstab.repair_bits") - bits0;
+#ifdef MSTV_OBS_DISABLED
+    // Telemetry compiled out: report from the returned stats instead.
+    injected = 0;
+    repair_msgs = s.recompute.messages;
+    repair_bits = s.recompute.message_bits;
+#endif
+    std::printf("%6d %15llu %8s %15zu %11llu %11llu %6s\n", t,
+                static_cast<unsigned long long>(injected),
+                s.fault_detected ? "yes" : "no", s.detecting_nodes,
+                static_cast<unsigned long long>(repair_msgs),
+                static_cast<unsigned long long>(repair_bits),
+                s.fault_detected ? (s.silent_after ? "yes" : "NO") : "-");
   }
   std::printf("%zu detections over %d ticks\n", detections, ticks);
   return 0;
@@ -238,9 +271,7 @@ int cmd_hypertree(int argc, char** argv) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -258,4 +289,44 @@ int main(int argc, char** argv) {
     return 1;
   }
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip the global --stats[=FILE] flag (valid in any position) before
+  // subcommand dispatch.
+  bool want_stats = false;
+  std::string stats_file;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (i > 0 && a == "--stats") {
+      want_stats = true;
+    } else if (i > 0 && a.rfind("--stats=", 0) == 0) {
+      want_stats = true;
+      stats_file = a.substr(std::string_view("--stats=").size());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  args.push_back(nullptr);
+
+  const int rc = dispatch(static_cast<int>(args.size()) - 1, args.data());
+
+  if (want_stats) {
+    const std::string json = obs::to_json(obs::capture());
+    if (stats_file.empty()) {
+      std::fputs(json.c_str(), stderr);
+    } else {
+      std::ofstream out(stats_file);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", stats_file.c_str());
+        return rc ? rc : 1;
+      }
+      out << json;
+    }
+  }
+  return rc;
 }
