@@ -98,7 +98,13 @@ inline void banner(const char* exp_id, const char* paper_artifact,
 ///     "metrics": <obs snapshot JSON> }
 ///
 /// Cells that parse as plain numbers are emitted as JSON numbers so the
-/// file is directly loadable into analysis tooling.
+/// file is directly loadable into analysis tooling.  Every string — the
+/// bench name, table titles, headers and non-numeric cells — goes through
+/// obs::json_escape (the one escaping helper shared with the telemetry
+/// exporter), so names containing quotes/backslashes/control characters
+/// still produce a valid document (tests/test_bench_json.cpp holds the
+/// regression net).  The name is also used verbatim in the output file
+/// name; keep it filesystem-friendly.
 class JsonReporter {
  public:
   explicit JsonReporter(std::string name) : name_(std::move(name)) {}
@@ -165,7 +171,13 @@ class JsonReporter {
       (void)std::strtod(cell.c_str(), &end);
       if (end == cell.c_str() + cell.size()) return cell;
     }
-    return "\"" + mstv::obs::json_escape(cell) + "\"";
+    // Built with += rather than `"\"" + escape(...) + "\""`: the
+    // operator+(const char*, string&&) form trips GCC 12's -Wrestrict
+    // false positive (PR105651) at -O3.
+    std::string quoted = "\"";
+    quoted += mstv::obs::json_escape(cell);
+    quoted += '"';
+    return quoted;
   }
 
   std::string name_;

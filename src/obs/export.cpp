@@ -10,9 +10,12 @@ namespace mstv::obs {
 namespace {
 
 // Shortest round-trippable representation: integers print without a
-// fraction so counters stay integral in the JSON.
+// fraction so counters stay integral in the JSON.  JSON has no literal
+// for non-finite values, so inf/nan become null rather than producing an
+// unparseable document.
 std::string num(double v) {
-  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+  if (!std::isfinite(v)) return "null";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.0f", v);
     return buf;

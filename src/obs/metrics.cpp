@@ -1,49 +1,69 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace mstv::obs {
 
-Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// CAS-accumulate: atomically `target = op(target, v)`, relaxed.  Used for
+// sum (add) and min/max (compare) on atomic<double>, where no native RMW
+// exists pre-C++20-on-all-toolchains.
+template <typename Op>
+void cas_update(std::atomic<double>& target, double v, Op op) {
+  double cur = target.load(kRelaxed);
+  double next = op(cur, v);
+  while (next != cur &&
+         !target.compare_exchange_weak(cur, next, kRelaxed, kRelaxed)) {
+    next = op(cur, v);
+  }
+}
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
   if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
     throw std::invalid_argument("histogram bounds must be ascending");
   }
-  buckets_.assign(bounds_.size() + 1, 0);
+  min_.store(std::numeric_limits<double>::infinity(), kRelaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), kRelaxed);
 }
 
-void Histogram::observe(double v) {
+void Histogram::observe(double v) noexcept {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const auto idx = static_cast<std::size_t>(it - bounds_.begin());
-  std::lock_guard<std::mutex> lock(mu_);
-  ++buckets_[idx];
-  sum_ += v;
-  if (count_ == 0) {
-    min_ = max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
-  }
-  ++count_;
+  buckets_[idx].fetch_add(1, kRelaxed);
+  count_.fetch_add(1, kRelaxed);
+  cas_update(sum_, v, [](double a, double b) { return a + b; });
+  cas_update(min_, v, [](double a, double b) { return std::min(a, b); });
+  cas_update(max_, v, [](double a, double b) { return std::max(a, b); });
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
   Snapshot s;
   s.bounds = bounds_;
-  s.buckets = buckets_;
-  s.count = count_;
-  s.sum = sum_;
-  s.min = min_;
-  s.max = max_;
+  s.buckets.reserve(buckets_.size());
+  for (const auto& b : buckets_) s.buckets.push_back(b.load(kRelaxed));
+  s.count = count_.load(kRelaxed);
+  if (s.count == 0) {
+    s.sum = s.min = s.max = 0.0;  // hide the infinity sentinels
+  } else {
+    s.sum = sum_.load(kRelaxed);
+    s.min = min_.load(kRelaxed);
+    s.max = max_.load(kRelaxed);
+  }
   return s;
 }
 
 void Histogram::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::fill(buckets_.begin(), buckets_.end(), 0);
-  count_ = 0;
-  sum_ = min_ = max_ = 0.0;
+  for (auto& b : buckets_) b.store(0, kRelaxed);
+  count_.store(0, kRelaxed);
+  sum_.store(0.0, kRelaxed);
+  min_.store(std::numeric_limits<double>::infinity(), kRelaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), kRelaxed);
 }
 
 const std::vector<double>& Histogram::default_bounds() {

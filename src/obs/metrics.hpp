@@ -11,9 +11,14 @@
 // `component.noun[_unit]` — lowercase snake_case segments joined by dots,
 // e.g. `verify.messages`, `label.max_bits`, `verify.node_time_us`.
 //
-// Concurrency: instruments are cheap atomics (Counter/Gauge) or
-// mutex-guarded (Histogram); the registry hands out references that stay
-// valid for the process lifetime (reset() zeroes values but never evicts).
+// Concurrency: every instrument is lock-free (atomics; Histogram uses
+// relaxed per-bucket atomics plus CAS loops for sum/min/max, so a
+// snapshot taken mid-traffic may tear between fields — fine for
+// telemetry).  The registry hands out references that stay valid for the
+// process lifetime (reset() zeroes values but never evicts).  Hot loops
+// should resolve their instrument once and hold the reference: the
+// name→instrument lookup takes the registry mutex, the instrument itself
+// never blocks.
 //
 // The MSTV_* macros at the bottom are the instrumentation entry points
 // used throughout the library.  Building with -DMSTV_OBS_DISABLED
@@ -62,11 +67,14 @@ class Gauge {
 
 /// Fixed-bucket histogram: counts per upper bound plus an overflow bucket,
 /// with exact count/sum/min/max.  Bucket bounds are fixed at registration.
+/// Lock-free: observe() is relaxed atomic adds plus CAS loops, so the
+/// sharded verifier can feed per-node timings from every worker without
+/// serializing on a mutex.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
-  void observe(double v);
+  void observe(double v) noexcept;
 
   struct Snapshot {
     std::vector<double> bounds;         // upper bounds, ascending
@@ -84,13 +92,12 @@ class Histogram {
   static const std::vector<double>& default_bounds();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> bounds_;
-  std::vector<std::uint64_t> buckets_;
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  std::vector<double> bounds_;                     // immutable after ctor
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // +inf sentinel while count_ == 0
+  std::atomic<double> max_{0.0};  // -inf sentinel while count_ == 0
 };
 
 struct CounterSample {

@@ -18,7 +18,8 @@ Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
 
 double Tracer::now_us() const {
   return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - epoch_)
+             std::chrono::steady_clock::now() -
+             epoch_.load(std::memory_order_relaxed))
       .count();
 }
 
@@ -81,7 +82,7 @@ void Tracer::reset() {
   ring_next_ = 0;
   seq_ = 0;
   stats_.clear();
-  epoch_ = std::chrono::steady_clock::now();
+  epoch_.store(std::chrono::steady_clock::now(), std::memory_order_relaxed);
 }
 
 Tracer& Tracer::global() {

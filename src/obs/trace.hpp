@@ -23,6 +23,7 @@
 // threads interleave in the shared ring in arrival order.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -82,7 +83,10 @@ class Tracer {
                   std::uint32_t depth);
 
   mutable std::mutex mu_;
-  std::chrono::steady_clock::time_point epoch_;
+  // Atomic (not mutex-guarded): now_us() runs on every span begin/end,
+  // including from pool workers, concurrently with reset() re-stamping
+  // the epoch.
+  std::atomic<std::chrono::steady_clock::time_point> epoch_;
   std::vector<SpanEvent> ring_;   // capacity kTraceRingCapacity, circular
   std::size_t ring_next_ = 0;     // next write position
   std::uint64_t seq_ = 0;
@@ -107,20 +111,33 @@ class Span {
 
 /// RAII timer feeding elapsed wall-clock microseconds into a histogram —
 /// the per-unit-of-work companion to Span (which feeds the trace).
+///
+/// The by-name constructor resolves the histogram through the registry on
+/// every destruction; loops timing each element (such as the sharded
+/// verifier's per-node timer) should resolve the Histogram once outside
+/// the loop and use the by-reference constructor, which is lock-free end
+/// to end.
 class ScopedTimerUs {
  public:
   explicit ScopedTimerUs(std::string_view hist_name)
       : name_(hist_name), t0_(std::chrono::steady_clock::now()) {}
+  explicit ScopedTimerUs(Histogram& hist)
+      : hist_(&hist), t0_(std::chrono::steady_clock::now()) {}
   ScopedTimerUs(const ScopedTimerUs&) = delete;
   ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
   ~ScopedTimerUs() {
     const double us = std::chrono::duration<double, std::micro>(
                           std::chrono::steady_clock::now() - t0_)
                           .count();
-    hist_observe(name_, us);
+    if (hist_ != nullptr) {
+      hist_->observe(us);
+    } else {
+      hist_observe(name_, us);
+    }
   }
 
  private:
+  Histogram* hist_ = nullptr;  // non-null: pre-resolved, skip the lookup
   std::string name_;
   std::chrono::steady_clock::time_point t0_;
 };

@@ -1,0 +1,147 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/check.hpp"
+
+namespace mstv::parallel {
+
+namespace {
+
+// Pool configuration.  `g_requested == 0` means "auto" (hardware
+// concurrency); the pool itself is created lazily so a process that never
+// goes parallel (or runs with --threads=1) never spawns a thread.
+std::mutex g_pool_mu;
+std::size_t g_requested = 0;
+std::unique_ptr<ThreadPool> g_pool;
+
+// Set while a worker executes a shard body: nested sharded calls run
+// inline instead of re-entering (and possibly deadlocking on) the pool.
+thread_local bool t_in_shard_body = false;
+
+std::size_t effective(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc != 0 ? hc : 1;
+}
+
+ThreadPool& pool_for(std::size_t want) {
+  // Caller holds g_pool_mu.
+  if (!g_pool || g_pool->size() != want) {
+    g_pool.reset();  // join the old workers before spawning the new set
+    g_pool = std::make_unique<ThreadPool>(want);
+    MSTV_GAUGE_SET("parallel.pool_threads", want);
+  }
+  return *g_pool;
+}
+
+double shard_ns(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void run_inline(const std::vector<ShardRange>& shards,
+                const std::function<void(const ShardRange&)>& body) {
+  for (const ShardRange& shard : shards) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body(shard);  // serial order: a throw here is the lowest-index one
+    MSTV_HIST_OBSERVE("parallel.shard_ns", shard_ns(t0));
+  }
+}
+
+}  // namespace
+
+void set_thread_count(std::size_t n) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_requested = n;
+  if (g_pool && g_pool->size() != effective(n)) g_pool.reset();
+}
+
+std::size_t thread_count() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return effective(g_requested);
+}
+
+std::size_t plan_shards(std::size_t n) { return std::min(thread_count(), n); }
+
+std::vector<ShardRange> shard_ranges(std::size_t n, std::size_t shards) {
+  std::vector<ShardRange> out;
+  if (n == 0 || shards == 0) return out;
+  shards = std::min(shards, n);
+  out.reserve(shards);
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;  // first `extra` shards get +1
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < shards; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    out.push_back(ShardRange{begin, begin + len, i, shards});
+    begin += len;
+  }
+  MSTV_ASSERT(begin == n);
+  return out;
+}
+
+void for_each_shard(std::size_t n,
+                    const std::function<void(const ShardRange&)>& body) {
+  const std::vector<ShardRange> shards = shard_ranges(n, plan_shards(n));
+  if (shards.empty()) return;
+  MSTV_COUNTER_ADD("parallel.tasks_total", shards.size());
+
+  if (shards.size() == 1 || t_in_shard_body) {
+    run_inline(shards, body);
+    return;
+  }
+
+  ThreadPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    pool = &pool_for(effective(g_requested));
+  }
+
+  MSTV_SPAN("parallel.for_each");
+  std::vector<std::exception_ptr> errors(shards.size());
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t done = 0;
+  for (const ShardRange& shard : shards) {
+    pool->submit([&, shard] {
+      const auto t0 = std::chrono::steady_clock::now();
+      t_in_shard_body = true;
+      try {
+        body(shard);
+      } catch (...) {
+        errors[shard.index] = std::current_exception();
+      }
+      t_in_shard_body = false;
+      MSTV_HIST_OBSERVE("parallel.shard_ns", shard_ns(t0));
+      {
+        // Notify while holding the lock: done_cv lives on the caller's
+        // stack, and the caller may return (destroying it) the moment the
+        // predicate holds.  Signaling under the mutex sequences this
+        // worker's last touch of the cv before the waiter can wake, check
+        // the predicate, and leave.
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (++done == shards.size()) done_cv.notify_one();
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return done == shards.size(); });
+  }
+  // Serial-equivalent error reporting: the lowest failing shard wins.
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace mstv::parallel

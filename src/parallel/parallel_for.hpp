@@ -1,0 +1,81 @@
+// Deterministic node-range sharding over the global thread pool.
+//
+// The verifier side of a proof labeling scheme is embarrassingly parallel
+// (every node runs the same local check), so the runtime's hot loops are
+// expressed as shards of the vertex range [0, n).  Determinism contract:
+//
+//  * Shard boundaries depend only on (n, shard count); the shard count
+//    depends only on the configured thread count.  Nothing about the OS
+//    schedule leaks into the split.
+//  * Results are merged strictly in shard-index order (shards cover
+//    ascending contiguous ranges, so per-node outputs concatenated in
+//    shard order equal the serial left-to-right order).
+//  * Exceptions are re-thrown in shard-index order: the caller always
+//    observes the error of the lowest-index failing shard, exactly what a
+//    serial left-to-right loop would have thrown first.
+//
+// Together these make accept/reject verdicts, rejector sets, label bits
+// and every additive telemetry counter bit-identical to the serial engine
+// at any thread count.  `set_thread_count(1)` recovers the serial engine
+// outright: work runs inline on the caller's thread, the pool is never
+// touched.
+//
+// Nested calls (a shard body invoking for_each_shard again) run inline on
+// the worker, so the engine never deadlocks on its own pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace mstv::parallel {
+
+/// One contiguous chunk of the index range [0, n).
+struct ShardRange {
+  std::size_t begin = 0;  // first index (inclusive)
+  std::size_t end = 0;    // past-the-end index
+  std::size_t index = 0;  // shard number in [0, count)
+  std::size_t count = 1;  // number of shards in this call
+};
+
+/// Sets the worker count used by for_each_shard / sharded_reduce.
+/// 0 (the default) means std::thread::hardware_concurrency.  The global
+/// pool is re-created lazily on next use; do not call concurrently with
+/// in-flight parallel work.
+void set_thread_count(std::size_t n);
+
+/// The effective worker count (always >= 1).
+[[nodiscard]] std::size_t thread_count();
+
+/// Splits [0, n) into exactly `shards` contiguous ranges whose sizes
+/// differ by at most one (the first n % shards ranges get the extra
+/// element).  Pure function of (n, shards); n == 0 yields no shards.
+[[nodiscard]] std::vector<ShardRange> shard_ranges(std::size_t n,
+                                                   std::size_t shards);
+
+/// The shard count for_each_shard would use for a range of n elements:
+/// min(thread_count(), n).
+[[nodiscard]] std::size_t plan_shards(std::size_t n);
+
+/// Runs `body` once per shard of [0, n).  Blocks until every shard
+/// finished; re-throws the lowest-index shard's exception, if any.
+/// With thread_count() == 1 (or a single shard, or a nested call) the
+/// body runs inline on the calling thread.
+void for_each_shard(std::size_t n,
+                    const std::function<void(const ShardRange&)>& body);
+
+/// Sharded map-reduce: `body(shard)` produces one partial result per
+/// shard, and `merge(acc, partial)` folds the partials into `init`
+/// strictly in shard-index order.
+template <typename T, typename Body, typename Merge>
+T sharded_reduce(std::size_t n, T init, Body&& body, Merge&& merge) {
+  std::vector<T> partial(plan_shards(n));
+  for_each_shard(n, [&](const ShardRange& shard) {
+    partial[shard.index] = body(shard);
+  });
+  for (T& p : partial) merge(init, std::move(p));
+  return init;
+}
+
+}  // namespace mstv::parallel

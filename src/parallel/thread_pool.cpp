@@ -1,0 +1,48 @@
+#include "parallel/thread_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace mstv::parallel {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  MSTV_EXPECTS(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MSTV_EXPECTS(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MSTV_EXPECTS_MSG(!stopping_, "submit on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace mstv::parallel

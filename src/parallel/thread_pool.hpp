@@ -1,0 +1,48 @@
+// Dependency-free fixed-size thread pool: N workers draining one FIFO
+// task queue.  This is the execution substrate for the deterministic
+// sharding helpers in parallel/parallel_for.hpp — the pool itself knows
+// nothing about shards or ordering; determinism is the caller's job.
+//
+// Tasks must not let exceptions escape (for_each_shard catches per-shard
+// exceptions before they reach the queue); an escaping exception would
+// std::terminate inside a worker.  The destructor drains every task
+// already submitted, then joins the workers, so a pool is safe to destroy
+// while work is still queued.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mstv::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `num_threads` workers (must be >= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues one task; wakes one idle worker.
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mstv::parallel

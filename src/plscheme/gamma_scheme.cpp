@@ -4,6 +4,7 @@
 #include <map>
 
 #include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
 #include "tree/rooted_tree.hpp"
 
 namespace mstv {
@@ -239,38 +240,53 @@ std::vector<Label> GammaScheme::mark(const ConfigGraph& cfg) const {
   }
   const auto ancestors = recover_separator_ancestors(imps);
 
-  std::size_t st_bits = 0, orient_bits = 0, state_copy_bits = 0;
-  std::vector<Label> labels;
-  labels.reserve(cfg.size());
-  for (VertexId v = 0; v < cfg.size(); ++v) {
-    // Orientation flags from the recovered ancestors.
-    std::vector<Orient> orient(ancestors[v].size());
-    for (std::size_t k = 0; k < ancestors[v].size(); ++k) {
-      const VertexId s = ancestors[v][k];
-      orient[k] = (s == v) ? Orient::Self
-                  : tree.is_ancestor(v, s) ? Orient::Down
-                                           : Orient::Up;
-    }
-    BitWriter w;
-    write_spanning_tree_sublabel(w, st[v]);
-    const std::size_t after_st = w.size_bits();
-    write_orient_fields(w, orient);
-    const std::size_t after_orient = w.size_bits();
-    // M_state: the copy of the state (the claimed implicit label).
-    w.write_gamma0(cfg.state(v).payload.size_bits());
-    {
-      BitReader r = cfg.state(v).payload.reader();
-      while (!r.exhausted()) w.write_bit(r.read_bit());
-    }
-    st_bits += after_st;
-    orient_bits += after_orient - after_st;
-    state_copy_bits += w.size_bits() - after_orient;
-    labels.emplace_back(w);
-  }
+  // Per-node label assembly shards over the vertex range once the shared
+  // tree + ancestor recovery above is done.
+  struct BitBudget {
+    std::size_t st = 0, orient = 0, state_copy = 0;
+  };
+  std::vector<Label> labels(cfg.size());
+  const BitBudget bits = parallel::sharded_reduce<BitBudget>(
+      cfg.size(), BitBudget{},
+      [&](const parallel::ShardRange& shard) {
+        BitBudget b;
+        for (std::size_t i = shard.begin; i < shard.end; ++i) {
+          const auto v = static_cast<VertexId>(i);
+          // Orientation flags from the recovered ancestors.
+          std::vector<Orient> orient(ancestors[v].size());
+          for (std::size_t k = 0; k < ancestors[v].size(); ++k) {
+            const VertexId s = ancestors[v][k];
+            orient[k] = (s == v) ? Orient::Self
+                        : tree.is_ancestor(v, s) ? Orient::Down
+                                                 : Orient::Up;
+          }
+          BitWriter w;
+          write_spanning_tree_sublabel(w, st[v]);
+          const std::size_t after_st = w.size_bits();
+          write_orient_fields(w, orient);
+          const std::size_t after_orient = w.size_bits();
+          // M_state: the copy of the state (the claimed implicit label).
+          w.write_gamma0(cfg.state(v).payload.size_bits());
+          {
+            BitReader r = cfg.state(v).payload.reader();
+            while (!r.exhausted()) w.write_bit(r.read_bit());
+          }
+          b.st += after_st;
+          b.orient += after_orient - after_st;
+          b.state_copy += w.size_bits() - after_orient;
+          labels[v] = Label(w);
+        }
+        return b;
+      },
+      [](BitBudget& acc, BitBudget&& part) {
+        acc.st += part.st;
+        acc.orient += part.orient;
+        acc.state_copy += part.state_copy;
+      });
   MSTV_COUNTER_ADD("marker.labels", labels.size());
-  MSTV_COUNTER_ADD("label.spanning_tree_bits", st_bits);
-  MSTV_COUNTER_ADD("label.orient_bits", orient_bits);
-  MSTV_COUNTER_ADD("label.state_copy_bits", state_copy_bits);
+  MSTV_COUNTER_ADD("label.spanning_tree_bits", bits.st);
+  MSTV_COUNTER_ADD("label.orient_bits", bits.orient);
+  MSTV_COUNTER_ADD("label.state_copy_bits", bits.state_copy);
   return labels;
 }
 

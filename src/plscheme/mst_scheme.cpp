@@ -2,6 +2,7 @@
 
 #include "mst/predicates.hpp"
 #include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
 #include "plscheme/spanning_tree_scheme.hpp"
 #include "tree/rooted_tree.hpp"
 
@@ -52,27 +53,42 @@ std::vector<Label> MstScheme::mark(const ConfigGraph& cfg) const {
   const auto imps = imp_.encode(tree, sd);
   const auto orients = compute_orient_fields(tree, sd);
 
-  // Per-field bit budget, summed over the network: the O(log n) vs
-  // O(log n log W) split of Thm 3.4 read directly off the label layout.
-  std::size_t st_bits = 0, orient_bits = 0, extrema_bits = 0;
-  std::vector<Label> labels;
-  labels.reserve(cfg.size());
-  for (VertexId v = 0; v < cfg.size(); ++v) {
-    BitWriter w;
-    write_spanning_tree_sublabel(w, st[v]);
-    const std::size_t after_st = w.size_bits();
-    write_orient_fields(w, orients[v]);
-    const std::size_t after_orient = w.size_bits();
-    imp_.write_to(w, imps[v]);
-    st_bits += after_st;
-    orient_bits += after_orient - after_st;
-    extrema_bits += w.size_bits() - after_orient;
-    labels.emplace_back(w);
-  }
+  // Per-node label assembly is independent once the shared decomposition
+  // above is computed, so it shards over the vertex range.  Per-field bit
+  // budgets, summed over the network: the O(log n) vs O(log n log W)
+  // split of Thm 3.4 read directly off the label layout.
+  struct BitBudget {
+    std::size_t st = 0, orient = 0, extrema = 0;
+  };
+  std::vector<Label> labels(cfg.size());
+  const BitBudget bits = parallel::sharded_reduce<BitBudget>(
+      cfg.size(), BitBudget{},
+      [&](const parallel::ShardRange& shard) {
+        BitBudget b;
+        for (std::size_t i = shard.begin; i < shard.end; ++i) {
+          const auto v = static_cast<VertexId>(i);
+          BitWriter w;
+          write_spanning_tree_sublabel(w, st[v]);
+          const std::size_t after_st = w.size_bits();
+          write_orient_fields(w, orients[v]);
+          const std::size_t after_orient = w.size_bits();
+          imp_.write_to(w, imps[v]);
+          b.st += after_st;
+          b.orient += after_orient - after_st;
+          b.extrema += w.size_bits() - after_orient;
+          labels[v] = Label(w);
+        }
+        return b;
+      },
+      [](BitBudget& acc, BitBudget&& part) {
+        acc.st += part.st;
+        acc.orient += part.orient;
+        acc.extrema += part.extrema;
+      });
   MSTV_COUNTER_ADD("marker.labels", labels.size());
-  MSTV_COUNTER_ADD("label.spanning_tree_bits", st_bits);
-  MSTV_COUNTER_ADD("label.orient_bits", orient_bits);
-  MSTV_COUNTER_ADD("label.extrema_bits", extrema_bits);
+  MSTV_COUNTER_ADD("label.spanning_tree_bits", bits.st);
+  MSTV_COUNTER_ADD("label.orient_bits", bits.orient);
+  MSTV_COUNTER_ADD("label.extrema_bits", bits.extrema);
   return labels;
 }
 

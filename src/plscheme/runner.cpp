@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace mstv {
 
@@ -27,39 +28,72 @@ VerificationResult run_verifier(const ProofLabelingScheme& scheme,
                                 const ConfigGraph& cfg,
                                 const std::vector<Label>& labels) {
   MSTV_SPAN("verifier.run");
+  MSTV_EXPECTS(labels.size() == cfg.size());
   VerificationResult r;
   r.num_vertices = cfg.size();
   for (const Label& l : labels) {
     r.max_label_bits = std::max(r.max_label_bits, l.size_bits());
     r.total_label_bits += l.size_bits();
   }
+
+#ifndef MSTV_OBS_DISABLED
+  // Resolved once, outside the sharded loop: the name lookup takes the
+  // registry mutex, but Histogram::observe itself is lock-free, so the
+  // per-node timer never serializes the workers.
+  obs::Histogram& node_time_hist =
+      obs::Registry::global().histogram("verify.node_time_us");
+#endif
+
+  // Each shard verifies a contiguous vertex range and reports its local
+  // message/bit/rejector tallies; the shard-ordered merge reproduces the
+  // serial left-to-right pass exactly (rejecting stays sorted ascending).
+  //
   // Receiver-side message accounting: each node reads one label per
   // incident edge, so the totals match the sender-side sums of
   // SimNetwork::verification_round exactly.
-  std::size_t messages = 0;
-  std::size_t bits = 0;
-  for (VertexId v = 0; v < cfg.size(); ++v) {
-    const LocalView view = make_local_view(cfg, v, labels);
-    messages += view.neighbors.size();
-    for (const NeighborView& nb : view.neighbors) {
-      bits += nb.label->size_bits();
-    }
-    bool ok;
-    {
-      MSTV_SCOPED_TIMER_US("verify.node_time_us");
-      try {
-        ok = scheme.verify(view);
-      } catch (const PreconditionError&) {
-        ok = false;  // malformed/forged label: reject locally
-      }
-    }
-    if (!ok) r.rejecting.push_back(v);
-  }
+  struct ShardOut {
+    std::size_t messages = 0;
+    std::size_t bits = 0;
+    std::vector<VertexId> rejecting;
+  };
+  ShardOut total = parallel::sharded_reduce<ShardOut>(
+      cfg.size(), ShardOut{},
+      [&](const parallel::ShardRange& shard) {
+        ShardOut out;
+        for (std::size_t i = shard.begin; i < shard.end; ++i) {
+          const auto v = static_cast<VertexId>(i);
+          const LocalView view = make_local_view(cfg, v, labels);
+          out.messages += view.neighbors.size();
+          for (const NeighborView& nb : view.neighbors) {
+            out.bits += nb.label->size_bits();
+          }
+          bool ok;
+          {
+#ifndef MSTV_OBS_DISABLED
+            const obs::ScopedTimerUs node_timer(node_time_hist);
+#endif
+            try {
+              ok = scheme.verify(view);
+            } catch (const PreconditionError&) {
+              ok = false;  // malformed/forged label: reject locally
+            }
+          }
+          if (!ok) out.rejecting.push_back(v);
+        }
+        return out;
+      },
+      [](ShardOut& acc, ShardOut&& part) {
+        acc.messages += part.messages;
+        acc.bits += part.bits;
+        acc.rejecting.insert(acc.rejecting.end(), part.rejecting.begin(),
+                             part.rejecting.end());
+      });
+  r.rejecting = std::move(total.rejecting);
   r.accepted = r.rejecting.empty();
   MSTV_COUNTER_ADD("verify.rounds", 1);
   MSTV_COUNTER_ADD("verify.nodes", r.num_vertices);
-  MSTV_COUNTER_ADD("verify.messages", messages);
-  MSTV_COUNTER_ADD("verify.bits_total", bits);
+  MSTV_COUNTER_ADD("verify.messages", total.messages);
+  MSTV_COUNTER_ADD("verify.bits_total", total.bits);
   MSTV_COUNTER_ADD("verify.rejections", r.rejecting.size());
   MSTV_COUNTER_ADD("label.bits_total", r.total_label_bits);
   MSTV_GAUGE_SET("label.max_bits", r.max_label_bits);

@@ -2,6 +2,7 @@
 
 #include "mst/predicates.hpp"
 #include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
 #include "tree/rooted_tree.hpp"
 
 namespace mstv {
@@ -82,15 +83,21 @@ bool check_spanning_tree_sublabel(
 std::vector<Label> SpanningTreeScheme::mark(const ConfigGraph& cfg) const {
   MSTV_SPAN("marker.assign_labels");
   const auto subs = make_spanning_tree_sublabels(cfg);
-  std::size_t st_bits = 0;
-  std::vector<Label> labels;
-  labels.reserve(subs.size());
-  for (const auto& s : subs) {
-    BitWriter w;
-    write_spanning_tree_sublabel(w, s);
-    st_bits += w.size_bits();
-    labels.emplace_back(w);
-  }
+  // Per-node serialization shards over the vertex range.
+  std::vector<Label> labels(subs.size());
+  const std::size_t st_bits = parallel::sharded_reduce<std::size_t>(
+      subs.size(), std::size_t{0},
+      [&](const parallel::ShardRange& shard) {
+        std::size_t bits = 0;
+        for (std::size_t v = shard.begin; v < shard.end; ++v) {
+          BitWriter w;
+          write_spanning_tree_sublabel(w, subs[v]);
+          bits += w.size_bits();
+          labels[v] = Label(w);
+        }
+        return bits;
+      },
+      [](std::size_t& acc, std::size_t part) { acc += part; });
   MSTV_COUNTER_ADD("marker.labels", labels.size());
   MSTV_COUNTER_ADD("label.spanning_tree_bits", st_bits);
   return labels;

@@ -1,6 +1,7 @@
 #include "runtime/network.hpp"
 
 #include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace mstv {
 
@@ -24,11 +25,29 @@ void SimNetwork::install_marker_labels() {
 
 RoundStats SimNetwork::verification_round() const {
   RoundStats stats;
-  // Every node sends its label through every port.
-  for (VertexId v = 0; v < cfg_.size(); ++v) {
-    stats.messages += cfg_.graph().degree(v);
-    stats.bits += cfg_.graph().degree(v) * labels_[v].size_bits();
-  }
+  // Every node sends its label through every port; the sender-side sums
+  // shard over the vertex range like the verifier pass that follows.
+  struct SendOut {
+    std::size_t messages = 0;
+    std::size_t bits = 0;
+  };
+  const SendOut sent = parallel::sharded_reduce<SendOut>(
+      cfg_.size(), SendOut{},
+      [&](const parallel::ShardRange& shard) {
+        SendOut out;
+        for (std::size_t i = shard.begin; i < shard.end; ++i) {
+          const auto v = static_cast<VertexId>(i);
+          out.messages += cfg_.graph().degree(v);
+          out.bits += cfg_.graph().degree(v) * labels_[v].size_bits();
+        }
+        return out;
+      },
+      [](SendOut& acc, SendOut&& part) {
+        acc.messages += part.messages;
+        acc.bits += part.bits;
+      });
+  stats.messages = sent.messages;
+  stats.bits = sent.bits;
   const VerificationResult r = run_verifier(*scheme_, cfg_, labels_);
   stats.rejecting = r.rejecting.size();
   stats.accepted = r.accepted;
@@ -38,40 +57,83 @@ RoundStats SimNetwork::verification_round() const {
 RoundStats SimNetwork::verification_round_with_channel_faults(
     Rng& rng, double flip_prob) const {
   MSTV_SPAN("network.channel_fault_round");
-  RoundStats stats;
-  for (VertexId v = 0; v < cfg_.size(); ++v) {
-    // Received copies, independently corrupted per channel.
-    std::vector<Label> received;
-    const auto ports = cfg_.graph().ports(v);
-    received.reserve(ports.size());
-    for (const PortInfo& p : ports) {
-      Label copy = labels_[p.neighbor];
-      if (copy.size_bits() > 0 && rng.chance(flip_prob)) {
-        copy = copy.with_bit_flipped(rng.index(copy.size_bits()));
-        MSTV_COUNTER_ADD("faults.channel_bitflips", 1);
-      }
-      stats.messages += 1;
-      stats.bits += copy.size_bits();
-      received.push_back(std::move(copy));
-    }
 
-    LocalView view;
-    view.v = v;
-    view.state = &cfg_.state(v);
-    view.label = &labels_[v];
-    view.neighbors.reserve(ports.size());
+  // Phase 1 (serial): draw every per-channel corruption decision in the
+  // same node/port order the serial engine used, so the Rng stream — and
+  // therefore the fault pattern — is identical at any thread count.
+  // kNoFlip marks an intact channel; any other value is the flipped bit.
+  constexpr std::size_t kNoFlip = static_cast<std::size_t>(-1);
+  std::vector<std::vector<std::size_t>> flip_bit(cfg_.size());
+  std::size_t corrupted = 0;
+  for (VertexId v = 0; v < cfg_.size(); ++v) {
+    const auto ports = cfg_.graph().ports(v);
+    flip_bit[v].assign(ports.size(), kNoFlip);
     for (std::size_t i = 0; i < ports.size(); ++i) {
-      view.neighbors.push_back(NeighborView{
-          static_cast<PortNumber>(i + 1), ports[i].weight, &received[i]});
+      const std::size_t bits = labels_[ports[i].neighbor].size_bits();
+      if (bits > 0 && rng.chance(flip_prob)) {
+        flip_bit[v][i] = rng.index(bits);
+        ++corrupted;
+      }
     }
-    bool ok;
-    try {
-      ok = scheme_->verify(view);
-    } catch (const PreconditionError&) {
-      ok = false;
-    }
-    if (!ok) ++stats.rejecting;
   }
+  MSTV_COUNTER_ADD("faults.channel_bitflips", corrupted);
+
+  // Phase 2 (sharded): deliver the (possibly corrupted) copies and run
+  // the verifier at every node.
+  struct ShardOut {
+    std::size_t messages = 0;
+    std::size_t bits = 0;
+    std::size_t rejecting = 0;
+  };
+  const ShardOut total = parallel::sharded_reduce<ShardOut>(
+      cfg_.size(), ShardOut{},
+      [&](const parallel::ShardRange& shard) {
+        ShardOut out;
+        for (std::size_t n = shard.begin; n < shard.end; ++n) {
+          const auto v = static_cast<VertexId>(n);
+          const auto ports = cfg_.graph().ports(v);
+          std::vector<Label> received;
+          received.reserve(ports.size());
+          for (std::size_t i = 0; i < ports.size(); ++i) {
+            Label copy = labels_[ports[i].neighbor];
+            if (flip_bit[v][i] != kNoFlip) {
+              copy = copy.with_bit_flipped(flip_bit[v][i]);
+            }
+            out.messages += 1;
+            out.bits += copy.size_bits();
+            received.push_back(std::move(copy));
+          }
+
+          LocalView view;
+          view.v = v;
+          view.state = &cfg_.state(v);
+          view.label = &labels_[v];
+          view.neighbors.reserve(ports.size());
+          for (std::size_t i = 0; i < ports.size(); ++i) {
+            view.neighbors.push_back(NeighborView{
+                static_cast<PortNumber>(i + 1), ports[i].weight,
+                &received[i]});
+          }
+          bool ok;
+          try {
+            ok = scheme_->verify(view);
+          } catch (const PreconditionError&) {
+            ok = false;
+          }
+          if (!ok) ++out.rejecting;
+        }
+        return out;
+      },
+      [](ShardOut& acc, ShardOut&& part) {
+        acc.messages += part.messages;
+        acc.bits += part.bits;
+        acc.rejecting += part.rejecting;
+      });
+
+  RoundStats stats;
+  stats.messages = total.messages;
+  stats.bits = total.bits;
+  stats.rejecting = total.rejecting;
   stats.accepted = stats.rejecting == 0;
   MSTV_COUNTER_ADD("verify.rounds", 1);
   MSTV_COUNTER_ADD("verify.messages", stats.messages);

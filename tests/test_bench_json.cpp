@@ -1,0 +1,92 @@
+// JsonReporter escaping audit (bench/common.hpp): bench names, titles,
+// headers and cells containing JSON-hostile characters must still yield a
+// structurally valid BENCH_*.json, and non-finite metric values must not
+// leak `inf`/`nan` literals into the document.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "bench/common.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace mstv {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Structural check: braces/brackets balance and every quote is paired,
+/// honouring backslash escapes.  Catches any unescaped `"` or `\` that
+/// would truncate or derail a real parser.
+bool json_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      } else if (c == '\n') {
+        return false;  // raw newline inside a string literal
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(BenchJson, HostileNamesAndCellsStayValid) {
+  bench::Table t({"plain", "quo\"te", "back\\slash", "tab\there"});
+  t.add_row({"1.5", "say \"hi\"", "a\\b", "line\nbreak"});
+  t.add_row({"42", "-3.25", "1e9", "not.a+number-"});
+
+  bench::JsonReporter rep("quo\"te\\bench");
+  rep.add_table("title with \"quotes\" and \\slashes\\", t);
+  const std::string path = ::testing::TempDir() + "mstv_bench_json_test.json";
+  ASSERT_TRUE(rep.write(path));
+
+  const std::string json = slurp(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(json_balanced(json)) << json;
+  // The name arrived escaped, not raw.
+  EXPECT_NE(json.find("\"bench\": \"quo\\\"te\\\\bench\""), std::string::npos)
+      << json;
+  // Numeric-looking cells are bare numbers; text cells are escaped strings.
+  EXPECT_NE(json.find("[1.5, "), std::string::npos) << json;
+  EXPECT_NE(json.find("\"say \\\"hi\\\"\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\\nbreak\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"not.a+number-\""), std::string::npos) << json;
+}
+
+TEST(BenchJson, NonFiniteMetricValuesSerializeAsNull) {
+  obs::reset_all();
+  obs::Registry::global().gauge("test.nonfinite_gauge")
+      .set(std::numeric_limits<double>::infinity());
+  const std::string json = obs::to_json(obs::capture());
+  EXPECT_TRUE(json_balanced(json)) << json;
+  // `inf` must not appear as a bare number — only `null`.  (Histogram
+  // overflow buckets legitimately carry the *string* "inf".)
+  EXPECT_NE(json.find("\"test.nonfinite_gauge\": null"), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("\"test.nonfinite_gauge\": inf"), std::string::npos)
+      << json;
+  obs::reset_all();
+}
+
+}  // namespace
+}  // namespace mstv

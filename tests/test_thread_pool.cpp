@@ -1,0 +1,201 @@
+// The parallel execution engine: pool lifecycle, the deterministic
+// sharding contract (pure-function boundaries, shard-ordered merge,
+// lowest-shard exception), and the global thread configuration that
+// backs the CLI's --threads flag.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/check.hpp"
+
+namespace mstv::parallel {
+namespace {
+
+/// Restores the default (auto) thread count when a test ends, so the
+/// global configuration never leaks across test cases.
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(std::size_t n) { set_thread_count(n); }
+  ~ThreadCountGuard() { set_thread_count(0); }
+};
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor drains the queue, then joins
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerDrainsInOrder) {
+  std::vector<int> order;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&order, i] { order.push_back(i); });
+    }
+  }
+  std::vector<int> expect(16);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);  // one worker: FIFO order is observable
+}
+
+TEST(ThreadPool, ZeroThreadsIsAPreconditionError) {
+  EXPECT_THROW(ThreadPool(0), PreconditionError);
+}
+
+TEST(ShardRanges, ExactCoverageAndStableBoundaries) {
+  for (const std::size_t n : {0u, 1u, 2u, 7u, 64u, 1000u, 1001u}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 8u, 64u}) {
+      const auto ranges = shard_ranges(n, shards);
+      if (n == 0) {
+        EXPECT_TRUE(ranges.empty());
+        continue;
+      }
+      ASSERT_EQ(ranges.size(), std::min<std::size_t>(shards, n));
+      std::size_t next = 0;
+      std::size_t max_len = 0, min_len = n;
+      for (std::size_t i = 0; i < ranges.size(); ++i) {
+        EXPECT_EQ(ranges[i].index, i);
+        EXPECT_EQ(ranges[i].count, ranges.size());
+        EXPECT_EQ(ranges[i].begin, next);  // contiguous, ascending
+        EXPECT_LT(ranges[i].begin, ranges[i].end);
+        next = ranges[i].end;
+        max_len = std::max(max_len, ranges[i].end - ranges[i].begin);
+        min_len = std::min(min_len, ranges[i].end - ranges[i].begin);
+      }
+      EXPECT_EQ(next, n);             // full coverage of [0, n)
+      EXPECT_LE(max_len - min_len, 1u);  // balanced within one element
+      // Pure function of (n, shards): a second call is bit-identical.
+      const auto again = shard_ranges(n, shards);
+      ASSERT_EQ(again.size(), ranges.size());
+      for (std::size_t i = 0; i < ranges.size(); ++i) {
+        EXPECT_EQ(again[i].begin, ranges[i].begin);
+        EXPECT_EQ(again[i].end, ranges[i].end);
+      }
+    }
+  }
+}
+
+TEST(ForEachShard, VisitsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadCountGuard guard(threads);
+    const std::size_t n = 10007;  // prime: uneven shard boundaries
+    std::vector<std::atomic<int>> visits(n);
+    for (auto& v : visits) v.store(0);
+    for_each_shard(n, [&](const ShardRange& shard) {
+      for (std::size_t i = shard.begin; i < shard.end; ++i) {
+        visits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i << " at " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ForEachShard, PropagatesTaskExceptions) {
+  ThreadCountGuard guard(4);
+  EXPECT_THROW(
+      for_each_shard(1000,
+                     [](const ShardRange& shard) {
+                       if (shard.begin <= 500 && 500 < shard.end) {
+                         throw std::runtime_error("boom at 500");
+                       }
+                     }),
+      std::runtime_error);
+}
+
+TEST(ForEachShard, LowestShardExceptionWins) {
+  // Several shards throw; the caller must observe the lowest-index one —
+  // the same error a serial left-to-right loop would have hit first.
+  for (const std::size_t threads : {2u, 8u}) {
+    ThreadCountGuard guard(threads);
+    try {
+      for_each_shard(1000, [](const ShardRange& shard) {
+        throw std::runtime_error("shard " + std::to_string(shard.index));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "shard 0");
+    }
+  }
+}
+
+TEST(ForEachShard, NestedCallsRunInline) {
+  ThreadCountGuard guard(4);
+  std::atomic<int> inner_visits{0};
+  std::atomic<int> outer_bodies{0};
+  for_each_shard(8, [&](const ShardRange& outer) {
+    outer_bodies.fetch_add(1, std::memory_order_relaxed);
+    // A nested sharded call from a worker must not deadlock on the pool.
+    for_each_shard(4, [&](const ShardRange& inner) {
+      inner_visits.fetch_add(static_cast<int>(inner.end - inner.begin),
+                             std::memory_order_relaxed);
+    });
+    (void)outer;
+  });
+  // One outer body per shard (= thread count here), each covering all 4
+  // inner indices.
+  EXPECT_EQ(outer_bodies.load(), 4);
+  EXPECT_EQ(inner_visits.load(), outer_bodies.load() * 4);
+}
+
+TEST(ShardedReduce, MergesInShardOrder) {
+  for (const std::size_t threads : {1u, 3u, 8u}) {
+    ThreadCountGuard guard(threads);
+    // Each shard reports its own index; the merged list must come back
+    // 0, 1, 2, ... regardless of execution interleaving.
+    const auto order = sharded_reduce<std::vector<std::size_t>>(
+        1000, {},
+        [](const ShardRange& shard) {
+          return std::vector<std::size_t>{shard.index};
+        },
+        [](std::vector<std::size_t>& acc, std::vector<std::size_t>&& part) {
+          acc.insert(acc.end(), part.begin(), part.end());
+        });
+    ASSERT_EQ(order.size(), plan_shards(1000));
+    for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ShardedReduce, SumMatchesSerialAtAnyThreadCount) {
+  const std::size_t n = 12345;
+  std::uint64_t expect = 0;
+  for (std::size_t i = 0; i < n; ++i) expect += i * i;
+  for (const std::size_t threads : {1u, 2u, 5u, 16u}) {
+    ThreadCountGuard guard(threads);
+    const auto sum = sharded_reduce<std::uint64_t>(
+        n, 0,
+        [](const ShardRange& shard) {
+          std::uint64_t s = 0;
+          for (std::size_t i = shard.begin; i < shard.end; ++i) s += i * i;
+          return s;
+        },
+        [](std::uint64_t& acc, std::uint64_t part) { acc += part; });
+    EXPECT_EQ(sum, expect) << threads << " threads";
+  }
+}
+
+TEST(ThreadConfig, SetAndQuery) {
+  {
+    ThreadCountGuard guard(6);
+    EXPECT_EQ(thread_count(), 6u);
+    EXPECT_EQ(plan_shards(100), 6u);
+    EXPECT_EQ(plan_shards(3), 3u);  // never more shards than elements
+    EXPECT_EQ(plan_shards(0), 0u);
+  }
+  EXPECT_GE(thread_count(), 1u);  // auto: hardware concurrency, >= 1
+}
+
+}  // namespace
+}  // namespace mstv::parallel

@@ -4,9 +4,10 @@
 # snake_case segments joined by dots, e.g. `verify.messages`,
 # `verify.node_time_us`, `faults.injected.redirect_parent`.
 #
-# Scans every literal name passed to the MSTV_* instrumentation macros
-# (and the obs:: free-function sinks) under src/, tools/ and bench/.
-# Exits 1 listing each offending site.
+# Scans every literal name passed to the MSTV_* instrumentation macros,
+# the obs:: free-function sinks, and direct Registry instrument lookups
+# (.counter("…") / .gauge("…") / .histogram("…")) under src/, tools/,
+# bench/, tests/ and examples/.  Exits 1 listing each offending site.
 #
 # Usage: tools/check_metrics_names.sh [repo-root]
 set -u
@@ -14,15 +15,16 @@ set -u
 root="${1:-$(dirname "$0")/..}"
 cd "$root" || exit 2
 
-pattern='MSTV_(COUNTER_ADD|COUNTER_INC|GAUGE_SET|HIST_OBSERVE|SPAN|SCOPED_TIMER_US)\(\s*"[^"]*"|obs::(counter_add|gauge_set|hist_observe)\(\s*"[^"]*"'
+pattern='MSTV_(COUNTER_ADD|COUNTER_INC|GAUGE_SET|HIST_OBSERVE|SPAN|SCOPED_TIMER_US)\(\s*"[^"]*"|obs::(counter_add|gauge_set|hist_observe)\(\s*"[^"]*"|\.(counter|gauge|histogram)\(\s*"[^"]*"'
 name_re='^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$'
 
 status=0
 found=0
 
 # Each match arrives as file:call("name — validate the quoted name.
-for hit in $(grep -rhoE "$pattern" src tools bench --include='*.cpp' \
-                 --include='*.hpp' | tr -d ' ' | sort -u); do
+for hit in $(grep -rhoE "$pattern" src tools bench tests examples \
+                 --include='*.cpp' --include='*.hpp' | tr -d ' ' \
+             | sort -u); do
   found=1
   name=$(printf '%s' "$hit" | sed 's/.*("//; s/"$//')
   if ! printf '%s' "$name" | grep -qE "$name_re"; then

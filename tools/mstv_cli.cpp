@@ -38,6 +38,7 @@
 #include "mst/algorithms.hpp"
 #include "mst/predicates.hpp"
 #include "obs/export.hpp"
+#include "parallel/parallel_for.hpp"
 #include "plscheme/fragment_scheme.hpp"
 #include "plscheme/mst_scheme.hpp"
 #include "plscheme/runner.hpp"
@@ -63,7 +64,10 @@ int usage() {
       "  hypertree <h> <mu>              (h,mu)-hypertree edge list\n"
       "global flags:\n"
       "  --stats[=FILE]                  after the command, dump the telemetry\n"
-      "                                  snapshot as JSON to stderr (or FILE)\n");
+      "                                  snapshot as JSON to stderr (or FILE)\n"
+      "  --threads=N                     worker threads for the parallel engine\n"
+      "                                  (default: hardware concurrency; 1 runs\n"
+      "                                  fully serial)\n");
   return 2;
 }
 
@@ -294,8 +298,8 @@ int dispatch(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the global --stats[=FILE] flag (valid in any position) before
-  // subcommand dispatch.
+  // Strip the global --stats[=FILE] / --threads=N flags (valid in any
+  // position) before subcommand dispatch.
   bool want_stats = false;
   std::string stats_file;
   std::vector<char*> args;
@@ -307,6 +311,15 @@ int main(int argc, char** argv) {
     } else if (i > 0 && a.rfind("--stats=", 0) == 0) {
       want_stats = true;
       stats_file = a.substr(std::string_view("--stats=").size());
+    } else if (i > 0 && a.rfind("--threads=", 0) == 0) {
+      const std::string n(a.substr(std::string_view("--threads=").size()));
+      char* end = nullptr;
+      const unsigned long threads = std::strtoul(n.c_str(), &end, 10);
+      if (n.empty() || *end != '\0' || threads == 0) {
+        std::fprintf(stderr, "--threads expects a positive integer\n");
+        return 2;
+      }
+      mstv::parallel::set_thread_count(threads);
     } else {
       args.push_back(argv[i]);
     }
