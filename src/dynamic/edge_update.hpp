@@ -1,0 +1,62 @@
+// Edge updates — the dynamic side of "mark once, verify forever".
+//
+// The paper's lifecycle assumes the MST is computed once and then only
+// verified, but a production network drifts: link weights change and links
+// come and go.  Each such event is described by an EdgeUpdate; the
+// incremental marker (dynamic/incremental.hpp) consumes updates, repairs
+// the stored MST and recomputes only the labels the update invalidated.
+//
+// This header depends only on the graph layer so that higher layers
+// (plscheme/runner.hpp declares the update_and_repair entry point) can
+// name the types without pulling in the whole dynamic engine.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace mstv {
+
+enum class UpdateKind : std::uint8_t {
+  WeightChange,  // re-weight an existing edge (either direction)
+  Insert,        // add a new edge between existing vertices
+  Delete,        // remove an existing edge (must not disconnect the graph)
+};
+
+/// One topology/weight event.  Endpoints are vertex ids (the operator-side
+/// view; nodes themselves keep addressing edges through ports).
+struct EdgeUpdate {
+  UpdateKind kind = UpdateKind::WeightChange;
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  Weight weight = 0;  // the new weight; ignored by Delete
+
+  static EdgeUpdate weight_change(VertexId u, VertexId v, Weight w) {
+    return {UpdateKind::WeightChange, u, v, w};
+  }
+  static EdgeUpdate insert(VertexId u, VertexId v, Weight w) {
+    return {UpdateKind::Insert, u, v, w};
+  }
+  static EdgeUpdate erase(VertexId u, VertexId v) {
+    return {UpdateKind::Delete, u, v, 0};
+  }
+};
+
+/// What one repair did — the scoreboard `bench_incremental_updates`
+/// aggregates and the obs counters (`dynamic.*`) mirror.
+struct RepairStats {
+  std::size_t labels_repaired = 0;  // labels recomputed (and to be shipped)
+  std::size_t labels_total = 0;     // network size n, for ratio reporting
+  std::size_t bits_repaired = 0;    // total bits of the repaired labels
+  bool structural_change = false;   // the tree edge set changed
+  bool swapped = false;             // an MST edge swap was performed
+  bool full_remark = false;         // dirty set exceeded the threshold
+
+  [[nodiscard]] double repair_fraction() const {
+    return labels_total == 0 ? 0.0
+                             : static_cast<double>(labels_repaired) /
+                                   static_cast<double>(labels_total);
+  }
+};
+
+}  // namespace mstv

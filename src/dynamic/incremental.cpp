@@ -1,0 +1,491 @@
+#include "dynamic/incremental.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "mst/predicates.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+#include "runtime/network.hpp"
+#include "sensitivity/sensitivity.hpp"
+
+namespace mstv {
+
+/// The validated outcome of an update: the new edge list, the new tree (as
+/// endpoint pairs — edge ids shift under deletion) and what kind of repair
+/// it needs.  Computed entirely against the pre-update world, so a throwing
+/// update leaves the marker untouched.
+struct IncrementalMarker::Plan {
+  std::vector<Edge> edges;
+  std::vector<std::pair<VertexId, VertexId>> tree;
+  bool structural = false;  // the tree edge set changed
+  bool swapped = false;     // via an MST edge swap
+  // A kept tree edge changed weight (the label fast path); its endpoints.
+  bool tree_weight_changed = false;
+  VertexId wu = kInvalidVertex;
+  VertexId wv = kInvalidVertex;
+};
+
+namespace {
+
+/// The deepest endpoint of a tree edge (the vertex whose parent edge it is).
+VertexId child_endpoint(const RootedTree& tree, EdgeId e) {
+  const Edge& ed = tree.graph().edge(e);
+  return (!tree.is_root(ed.u) && tree.parent_edge(ed.u) == e) ? ed.u : ed.v;
+}
+
+/// The maximum-weight edge on the tree path u..v, as its child endpoint.
+/// Ties resolve to the first maximum met walking u, then v, up to the LCA —
+/// any maximum preserves MST-ness, so the rule only needs to be a rule.
+struct PathMax {
+  VertexId child = kInvalidVertex;
+  Weight w = 0;
+};
+
+PathMax path_max_edge(const RootedTree& tree, VertexId u, VertexId v) {
+  PathMax best;
+  auto step = [&](VertexId& x) {
+    if (best.child == kInvalidVertex || tree.parent_weight(x) > best.w) {
+      best = {x, tree.parent_weight(x)};
+    }
+    x = tree.parent(x);
+  };
+  while (tree.depth(u) > tree.depth(v)) step(u);
+  while (tree.depth(v) > tree.depth(u)) step(v);
+  while (u != v) {
+    step(u);
+    step(v);
+  }
+  MSTV_ASSERT(best.child != kInvalidVertex);
+  return best;
+}
+
+void erase_pair(std::vector<std::pair<VertexId, VertexId>>& tree, VertexId a,
+                VertexId b) {
+  const auto it = std::find_if(tree.begin(), tree.end(), [&](const auto& p) {
+    return (p.first == a && p.second == b) || (p.first == b && p.second == a);
+  });
+  MSTV_ASSERT(it != tree.end());
+  tree.erase(it);
+}
+
+}  // namespace
+
+IncrementalMarker::IncrementalMarker(
+    const ProofLabelingScheme& scheme, const Graph& g,
+    const std::vector<EdgeId>& tree_edges, VertexId root,
+    double full_remark_threshold, const std::vector<std::uint64_t>* custom_ids)
+    : scheme_(&scheme),
+      engine_(Engine::SpanningTree),
+      threshold_(full_remark_threshold),
+      root_(root) {
+  if (dynamic_cast<const SpanningTreeScheme*>(&scheme) != nullptr) {
+    engine_ = Engine::SpanningTree;
+  } else if (const auto* gs = dynamic_cast<const GammaScheme*>(&scheme)) {
+    engine_ = Engine::Gamma;
+    imp_ = &gs->implicit_scheme();
+  } else if (const auto* ms = dynamic_cast<const MstScheme*>(&scheme)) {
+    engine_ = Engine::Mst;
+    imp_ = &ms->implicit_scheme();
+  } else {
+    throw PreconditionError(
+        "IncrementalMarker: unsupported scheme '" + scheme.name() +
+        "' (supported: spanning-tree, pi-gamma, pi-mst[-naive])");
+  }
+
+  const std::size_t n = g.num_vertices();
+  MSTV_EXPECTS_MSG(root < n, "root out of range");
+  MSTV_EXPECTS_MSG(threshold_ >= 0.0, "negative full-remark threshold");
+  MSTV_EXPECTS_MSG(is_spanning_tree(g, tree_edges),
+                   "incremental marker requires a spanning tree");
+  MSTV_EXPECTS_MSG(is_mst(g, tree_edges),
+                   "incremental marker requires a *minimum* spanning tree");
+  MSTV_EXPECTS_MSG(engine_ != Engine::Gamma || g.num_edges() + 1 == n,
+                   "pi_Gamma is defined over tree families");
+
+  ids_.resize(n);
+  if (custom_ids != nullptr) {
+    MSTV_EXPECTS_MSG(custom_ids->size() == n, "id vector size mismatch");
+    ids_ = *custom_ids;
+  } else {
+    std::iota(ids_.begin(), ids_.end(), std::uint64_t{0});
+  }
+
+  Plan plan;
+  plan.edges = g.edges();
+  plan.tree.reserve(tree_edges.size());
+  for (const EdgeId e : tree_edges) {
+    plan.tree.emplace_back(g.edge(e).u, g.edge(e).v);
+  }
+  rebuild_world(std::move(plan));
+  recompute_artifacts_full();
+  if (engine_ == Engine::Gamma) {
+    for (VertexId v = 0; v < n; ++v) {
+      cfg_->state(v).payload = imp_->to_bits(imps_[v]);
+    }
+  }
+
+  labels_.resize(n);
+  std::vector<VertexId> all(n);
+  std::iota(all.begin(), all.end(), VertexId{0});
+  RepairStats initial;
+  serialize_dirty(all, initial);
+}
+
+auto IncrementalMarker::make_plan(const EdgeUpdate& up) const -> Plan {
+  const std::size_t n = graph_->num_vertices();
+  MSTV_EXPECTS_MSG(up.u < n && up.v < n, "update endpoint out of range");
+  MSTV_EXPECTS_MSG(up.u != up.v, "self-loop update");
+  MSTV_EXPECTS_MSG(
+      engine_ != Engine::Gamma || up.kind == UpdateKind::WeightChange,
+      "pi_Gamma is defined over tree families; only weight changes apply");
+
+  Plan plan;
+  plan.edges = edges_;
+  plan.tree.reserve(tree_->tree_edges().size());
+  for (const EdgeId e : tree_->tree_edges()) {
+    plan.tree.emplace_back(edges_[e].u, edges_[e].v);
+  }
+
+  switch (up.kind) {
+    case UpdateKind::WeightChange: {
+      const auto eid = graph_->find_edge(up.u, up.v);
+      MSTV_EXPECTS_MSG(eid.has_value(), "weight change on a missing edge");
+      const Weight old_w = edges_[*eid].w;
+      plan.edges[*eid].w = up.weight;
+      if (tree_->contains_edge(*eid)) {
+        // Tree edge.  Decreases keep the tree an MST (every path maximum
+        // can only drop); increases need the lightest covering non-tree
+        // edge as a challenger — strictly lighter, ties keep the tree
+        // (the cycle rule's ">=" accepts any MST).
+        EdgeId challenger = kInvalidEdge;
+        if (up.weight > old_w) {
+          challenger = compute_cover_edges(*tree_)[child_endpoint(*tree_, *eid)];
+          if (challenger != kInvalidEdge &&
+              edges_[challenger].w >= up.weight) {
+            challenger = kInvalidEdge;
+          }
+        }
+        if (challenger != kInvalidEdge) {
+          erase_pair(plan.tree, up.u, up.v);
+          plan.tree.emplace_back(edges_[challenger].u, edges_[challenger].v);
+          plan.structural = plan.swapped = true;
+        } else {
+          plan.tree_weight_changed = true;
+          plan.wu = up.u;
+          plan.wv = up.v;
+        }
+      } else if (up.weight < old_w) {
+        // Non-tree decrease: swaps in iff now strictly lighter than some
+        // path maximum.  Increases never change an MST.
+        const PathMax pm = path_max_edge(*tree_, up.u, up.v);
+        if (up.weight < pm.w) {
+          erase_pair(plan.tree, pm.child, tree_->parent(pm.child));
+          plan.tree.emplace_back(up.u, up.v);
+          plan.structural = plan.swapped = true;
+        }
+      }
+      break;
+    }
+    case UpdateKind::Insert: {
+      MSTV_EXPECTS_MSG(!graph_->find_edge(up.u, up.v).has_value(),
+                       "insert of an already-present edge");
+      plan.edges.push_back(Edge{up.u, up.v, up.weight});
+      const PathMax pm = path_max_edge(*tree_, up.u, up.v);
+      if (up.weight < pm.w) {
+        erase_pair(plan.tree, pm.child, tree_->parent(pm.child));
+        plan.tree.emplace_back(up.u, up.v);
+        plan.structural = plan.swapped = true;
+      }
+      break;
+    }
+    case UpdateKind::Delete: {
+      const auto eid = graph_->find_edge(up.u, up.v);
+      MSTV_EXPECTS_MSG(eid.has_value(), "delete of a missing edge");
+      plan.edges.erase(plan.edges.begin() +
+                       static_cast<std::ptrdiff_t>(*eid));
+      if (tree_->contains_edge(*eid)) {
+        const EdgeId replacement =
+            compute_cover_edges(*tree_)[child_endpoint(*tree_, *eid)];
+        MSTV_EXPECTS_MSG(replacement != kInvalidEdge,
+                         "deleting a bridge would disconnect the graph");
+        erase_pair(plan.tree, up.u, up.v);
+        plan.tree.emplace_back(edges_[replacement].u, edges_[replacement].v);
+        plan.structural = plan.swapped = true;
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+void IncrementalMarker::rebuild_world(Plan&& plan) {
+  const std::size_t n =
+      graph_ ? graph_->num_vertices() : ids_.size();
+  Graph::Builder b(n);
+  for (const Edge& e : plan.edges) b.add_edge(e.u, e.v, e.w);
+  // Deterministic insertion-order ports: an update renumbers ports anyway,
+  // and labels are port-free, so nothing downstream may depend on them.
+  auto new_graph = std::make_unique<Graph>(b.build());
+
+  std::vector<EdgeId> tree_ids;
+  tree_ids.reserve(plan.tree.size());
+  for (const auto& [a, c] : plan.tree) {
+    const auto id = new_graph->find_edge(a, c);
+    MSTV_ASSERT(id.has_value());
+    tree_ids.push_back(*id);
+  }
+  RootedTree new_tree(*new_graph, tree_ids, root_);
+
+  std::vector<State> states(n);
+  for (VertexId v = 0; v < n; ++v) {
+    states[v].id = ids_[v];
+    if (!new_tree.is_root(v)) states[v].parent_port = new_tree.parent_port(v);
+    // pi_Gamma states carry the claimed implicit label; preserve it (the
+    // repair refreshes the dirty ones afterwards).
+    if (engine_ == Engine::Gamma && cfg_) {
+      states[v].payload = cfg_->state(v).payload;
+    }
+  }
+  ConfigGraph new_cfg(*new_graph, std::move(states));
+
+  // Commit in dependency order: the outgoing tree_/cfg_ reference the
+  // outgoing graph, so they must die before graph_ is replaced.
+  tree_.emplace(std::move(new_tree));
+  cfg_.emplace(std::move(new_cfg));
+  graph_ = std::move(new_graph);
+  edges_ = std::move(plan.edges);
+}
+
+std::vector<SpanningTreeSublabel> IncrementalMarker::make_sublabels() const {
+  const std::size_t n = graph_->num_vertices();
+  std::vector<SpanningTreeSublabel> subs(n);
+  for (VertexId v = 0; v < n; ++v) {
+    subs[v].id_copy = ids_[v];
+    subs[v].root_id = ids_[root_];
+    subs[v].dist = tree_->depth(v);
+    if (!tree_->is_root(v)) subs[v].parent_id = ids_[tree_->parent(v)];
+  }
+  return subs;
+}
+
+void IncrementalMarker::recompute_artifacts_full() {
+  st_ = make_sublabels();
+  if (engine_ != Engine::SpanningTree) {
+    sd_ = perfect_separator_decomposition(*tree_);
+    imps_ = imp_->encode(*tree_, sd_);
+    orients_ = compute_orient_fields(*tree_, sd_);
+  }
+}
+
+std::vector<VertexId> IncrementalMarker::repair_weight_only(VertexId wu,
+                                                            VertexId wv) {
+  // The spanning-tree sublabel is weight-free; only the E_omega extrema
+  // entries of the separator decomposition can move.
+  if (engine_ == Engine::SpanningTree) return {};
+
+  const VertexId child = tree_->parent(wu) == wv ? wu : wv;
+  const VertexId par = child == wu ? wv : wu;
+  MSTV_ASSERT(tree_->parent(child) == par);
+  const Weight w_new = tree_->parent_weight(child);
+  const std::size_t n = graph_->num_vertices();
+
+  std::vector<char> is_dirty(n, 0);
+  std::vector<std::uint32_t> visited(n, 0);
+  std::vector<VertexId> stack;
+
+  // The edge (child, par) lies inside the level-(k+1) component of every
+  // shared separator ancestor s = ancestors[child][k] == ancestors[par][k].
+  // Within that component, E_omega field k folds the edge weight exactly
+  // for the vertices on the far side of the edge from s; recompute their
+  // entries by walking the far side from its endpoint — each visited
+  // vertex's path to s provably crosses the edge, and its walk predecessor
+  // is its next hop toward it, so folding along the walk is the path fold.
+  const auto& anc_c = sd_.ancestors[child];
+  const auto& anc_p = sd_.ancestors[par];
+  const std::size_t shared = std::min(anc_c.size(), anc_p.size());
+  for (std::size_t k = 0; k < shared && anc_c[k] == anc_p[k]; ++k) {
+    const VertexId s = anc_c[k];
+    const bool sep_on_child_side = tree_->is_ancestor(child, s);
+    const VertexId far = sep_on_child_side ? par : child;
+    const VertexId near = sep_on_child_side ? child : par;
+
+    const auto in_component = [&](VertexId x) {
+      return sd_.ancestors[x].size() > k && sd_.ancestors[x][k] == s;
+    };
+    MSTV_ASSERT(in_component(far) && in_component(near));
+
+    const auto stamp = static_cast<std::uint32_t>(k + 1);
+    visited[near] = stamp;  // never cross the updated edge back to s's side
+    visited[far] = stamp;
+
+    const auto refold = [&](VertexId x, VertexId pred, Weight edge_w) {
+      const Weight mx = std::max(edge_w, sd_.maxw[pred][k]);
+      const Weight mn = std::min(edge_w, sd_.minw[pred][k]);
+      const Weight sm = edge_w + sd_.sumw[pred][k];
+      const auto& relevant =
+          imp_->kind() == ExtremaKind::Max ? sd_.maxw : sd_.minw;
+      if (relevant[x][k] != (imp_->kind() == ExtremaKind::Max ? mx : mn)) {
+        is_dirty[x] = 1;
+      }
+      sd_.maxw[x][k] = mx;
+      sd_.minw[x][k] = mn;
+      sd_.sumw[x][k] = sm;
+    };
+    refold(far, near, w_new);
+
+    stack.assign(1, far);
+    while (!stack.empty()) {
+      const VertexId x = stack.back();
+      stack.pop_back();
+      const auto visit = [&](VertexId y, Weight edge_w) {
+        if (visited[y] == stamp || !in_component(y)) return;
+        visited[y] = stamp;
+        refold(y, x, edge_w);
+        stack.push_back(y);
+      };
+      if (!tree_->is_root(x)) visit(tree_->parent(x), tree_->parent_weight(x));
+      for (const VertexId c : tree_->children(x)) {
+        visit(c, tree_->parent_weight(c));
+      }
+    }
+  }
+
+  std::vector<VertexId> dirty;
+  for (VertexId v = 0; v < n; ++v) {
+    if (is_dirty[v] == 0) continue;
+    dirty.push_back(v);
+    const auto& src = imp_->kind() == ExtremaKind::Max ? sd_.maxw[v]
+                                                       : sd_.minw[v];
+    imps_[v].extrema.assign(src.begin(), src.end() - 1);
+    if (engine_ == Engine::Gamma) {
+      cfg_->state(v).payload = imp_->to_bits(imps_[v]);
+    }
+  }
+  return dirty;
+}
+
+Label IncrementalMarker::serialize_label(VertexId v) const {
+  BitWriter w;
+  write_spanning_tree_sublabel(w, st_[v]);
+  switch (engine_) {
+    case Engine::SpanningTree:
+      break;
+    case Engine::Mst:
+      write_orient_fields(w, orients_[v]);
+      imp_->write_to(w, imps_[v]);
+      break;
+    case Engine::Gamma: {
+      write_orient_fields(w, orients_[v]);
+      const Label& payload = cfg_->state(v).payload;
+      w.write_gamma0(payload.size_bits());
+      BitReader r = payload.reader();
+      while (!r.exhausted()) w.write_bit(r.read_bit());
+      break;
+    }
+  }
+  return Label(w);
+}
+
+void IncrementalMarker::serialize_dirty(const std::vector<VertexId>& dirty,
+                                        RepairStats& stats) {
+  const std::size_t bits = parallel::sharded_reduce<std::size_t>(
+      dirty.size(), std::size_t{0},
+      [&](const parallel::ShardRange& shard) {
+        std::size_t b = 0;
+        for (std::size_t i = shard.begin; i < shard.end; ++i) {
+          const VertexId v = dirty[i];
+          labels_[v] = serialize_label(v);
+          b += labels_[v].size_bits();
+        }
+        return b;
+      },
+      [](std::size_t& acc, std::size_t part) { acc += part; });
+  stats.labels_repaired = dirty.size();
+  stats.bits_repaired = bits;
+}
+
+RepairStats IncrementalMarker::apply(const EdgeUpdate& update) {
+  MSTV_SPAN("dynamic.apply_update");
+  MSTV_COUNTER_INC("dynamic.updates");
+  const std::size_t n = graph_->num_vertices();
+  RepairStats stats;
+  stats.labels_total = n;
+
+  if (update.kind == UpdateKind::WeightChange) {
+    const auto eid = graph_->find_edge(update.u, update.v);
+    MSTV_EXPECTS_MSG(eid.has_value(), "weight change on a missing edge");
+    if (edges_[*eid].w == update.weight) {  // no-op update
+      last_repaired_.clear();
+      last_stats_ = stats;
+      return stats;
+    }
+  }
+
+  Plan plan = make_plan(update);  // throws before any state is touched
+  stats.structural_change = plan.structural;
+  stats.swapped = plan.swapped;
+
+  std::vector<VertexId> dirty;
+  if (plan.structural) {
+    // The swap re-hangs a subtree and can shift centroid choices anywhere
+    // on the path to the root, so recompute the artifacts and diff: the
+    // dirty set is exact, just not cheaply localized.
+    auto old_st = std::move(st_);
+    auto old_imps = std::move(imps_);
+    auto old_orients = std::move(orients_);
+    rebuild_world(std::move(plan));
+    recompute_artifacts_full();
+    for (VertexId v = 0; v < n; ++v) {
+      bool changed = !(st_[v] == old_st[v]);
+      if (!changed && engine_ != Engine::SpanningTree) {
+        changed = orients_[v] != old_orients[v] || !(imps_[v] == old_imps[v]);
+      }
+      if (changed) dirty.push_back(v);
+    }
+  } else {
+    const bool weight_changed = plan.tree_weight_changed;
+    const VertexId wu = plan.wu;
+    const VertexId wv = plan.wv;
+    rebuild_world(std::move(plan));
+    if (weight_changed) dirty = repair_weight_only(wu, wv);
+    // else: a non-tree insert/delete/re-weight — labels are port-free and
+    // weight-free off the tree, so only the graph and states changed.
+  }
+
+  const auto limit =
+      static_cast<std::size_t>(threshold_ * static_cast<double>(n));
+  if (dirty.size() > limit) {
+    stats.full_remark = true;
+    MSTV_COUNTER_INC("dynamic.full_remarks");
+    std::vector<VertexId> all(n);
+    std::iota(all.begin(), all.end(), VertexId{0});
+    serialize_dirty(all, stats);
+    last_repaired_ = std::move(all);
+  } else {
+    serialize_dirty(dirty, stats);
+    last_repaired_ = std::move(dirty);
+  }
+
+  if (stats.structural_change) MSTV_COUNTER_INC("dynamic.structural_updates");
+  if (stats.swapped) MSTV_COUNTER_INC("dynamic.swaps");
+  MSTV_COUNTER_ADD("dynamic.labels_repaired", stats.labels_repaired);
+  MSTV_COUNTER_ADD("dynamic.bits_repaired", stats.bits_repaired);
+  last_stats_ = stats;
+  return stats;
+}
+
+UpdateResult update_and_repair(IncrementalMarker& marker, SimNetwork& net,
+                               const EdgeUpdate& update) {
+  UpdateResult out;
+  out.repair = marker.apply(update);
+  net.apply_repair(marker.config(), marker.last_repaired(), marker.labels());
+  out.verification = run_verifier(net.scheme(), net.config(), net.labels());
+  return out;
+}
+
+}  // namespace mstv

@@ -1,0 +1,137 @@
+// Incremental label repair under edge updates.
+//
+// The paper's model is "mark once (centralized), verify forever (local)":
+// the marker runs after the MST is (re)computed and ships one label to
+// every node.  Under churn — weight drift, link insert/delete — a naive
+// operator re-marks all n labels per event, even though a single update
+// usually invalidates few of them.  IncrementalMarker keeps the marker's
+// intermediate artifacts (rooted tree, perfect separator decomposition,
+// extrema labels, orientation flags, spanning-tree sublabels) alive
+// between updates and, per update,
+//
+//   1. repairs the stored MST — single-swap rules driven by the
+//      sensitivity machinery (cover_min for tree edges, tree-path maxima
+//      for non-tree edges; src/sensitivity/),
+//   2. computes the dirty label set:
+//        * weight change that keeps the tree: the E_omega entries of
+//          gamma_small change exactly for vertices whose path to a
+//          separator ancestor crosses the re-weighted edge — the touched
+//          decomposition components' far sides, repaired by a local
+//          traversal per level (R2); the spanning-tree sublabel (R4) is
+//          weight-free and stays untouched,
+//        * tree structure change (an MST swap): the artifacts are
+//          recomputed and diffed per vertex, so the dirty set is exactly
+//          the re-hung subtree (R4) plus the touched components (R2),
+//   3. re-serializes only the dirty labels (sharded over the configured
+//      --threads workers), falling back to a full re-mark when the dirty
+//      set exceeds `full_remark_threshold * n`.
+//
+// Equivalence contract (enforced by tests/test_incremental.cpp): after
+// every apply(), labels() is BIT-IDENTICAL to a from-scratch
+// `scheme.mark(config())` — not merely verdict-equivalent.  This works
+// because every artifact the marker derives is a deterministic function
+// of (graph, tree, root, ids), and the repair recomputes exactly the
+// entries whose inputs changed.
+//
+// Supported schemes: SpanningTreeScheme (R4), MstScheme in both codings
+// (R1), and GammaScheme (R3 over the R2 gamma_small states;
+// weight-change updates only — its family is trees, so edge insertion
+// or deletion leaves the family).  See docs/incremental.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dynamic/edge_update.hpp"
+#include "labeling/extrema_labeling.hpp"
+#include "plscheme/scheme.hpp"
+#include "plscheme/spanning_tree_scheme.hpp"
+#include "plscheme/gamma_scheme.hpp"
+#include "tree/centroid.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace mstv {
+
+class IncrementalMarker {
+ public:
+  /// Takes a scheme (must be SpanningTreeScheme, GammaScheme or
+  /// MstScheme), an initial graph, an MST of it and a root.  The marker
+  /// owns its world from then on: it rebuilds the graph deterministically
+  /// from `g`'s edge list (insertion-order ports — updates must be able
+  /// to renumber ports, which a fixed hidden permutation would break) and
+  /// exposes the resulting configuration via config().  Node ids default
+  /// to the vertex index; pass `custom_ids` to override.
+  ///
+  /// Throws PreconditionError unless `tree_edges` is an MST of `g`.
+  IncrementalMarker(const ProofLabelingScheme& scheme, const Graph& g,
+                    const std::vector<EdgeId>& tree_edges, VertexId root,
+                    double full_remark_threshold = 0.25,
+                    const std::vector<std::uint64_t>* custom_ids = nullptr);
+
+  /// Applies one edge update: repairs the MST, the states and the labels.
+  /// Throws PreconditionError (leaving the marker unchanged) if the
+  /// update is inapplicable: unknown edge, duplicate insert, a delete
+  /// that would disconnect the graph, or a structural update under
+  /// GammaScheme (whose family is trees).
+  RepairStats apply(const EdgeUpdate& update);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const ConfigGraph& config() const noexcept { return *cfg_; }
+  [[nodiscard]] const std::vector<Label>& labels() const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] const RootedTree& tree() const noexcept { return *tree_; }
+  [[nodiscard]] VertexId root() const noexcept { return root_; }
+
+  /// Vertices whose labels the last apply() repaired, ascending.  This is
+  /// the shipping list SimNetwork::apply_repair consumes.
+  [[nodiscard]] const std::vector<VertexId>& last_repaired() const noexcept {
+    return last_repaired_;
+  }
+
+  /// Stats of the last apply() (all-zero before the first).
+  [[nodiscard]] const RepairStats& last_stats() const noexcept {
+    return last_stats_;
+  }
+
+ private:
+  enum class Engine { SpanningTree, Gamma, Mst };
+
+  struct Plan;  // the validated outcome of an update, pre-commit
+
+  [[nodiscard]] Plan make_plan(const EdgeUpdate& update) const;
+  void rebuild_world(Plan&& plan);
+  void recompute_artifacts_full();
+  [[nodiscard]] std::vector<VertexId> repair_weight_only(VertexId wu,
+                                                         VertexId wv);
+  [[nodiscard]] Label serialize_label(VertexId v) const;
+  void serialize_dirty(const std::vector<VertexId>& dirty,
+                       RepairStats& stats);
+  [[nodiscard]] std::vector<SpanningTreeSublabel> make_sublabels() const;
+
+  const ProofLabelingScheme* scheme_;
+  Engine engine_;
+  const ExtremaLabelingScheme* imp_ = nullptr;  // Gamma/Mst engines
+  double threshold_;
+  VertexId root_;
+  std::vector<std::uint64_t> ids_;
+
+  std::vector<Edge> edges_;  // authoritative edge list, port order = index
+  std::unique_ptr<Graph> graph_;
+  std::optional<ConfigGraph> cfg_;
+  std::optional<RootedTree> tree_;
+
+  // Cached marker artifacts (sd_/imps_/orients_ only for Gamma/Mst).
+  std::vector<SpanningTreeSublabel> st_;
+  SeparatorDecomposition sd_;
+  std::vector<ExtremaLabel> imps_;
+  std::vector<std::vector<Orient>> orients_;
+  std::vector<Label> labels_;
+
+  std::vector<VertexId> last_repaired_;
+  RepairStats last_stats_;
+};
+
+}  // namespace mstv

@@ -6,9 +6,13 @@
 
 #include <vector>
 
+#include "dynamic/edge_update.hpp"
 #include "plscheme/scheme.hpp"
 
 namespace mstv {
+
+class IncrementalMarker;  // dynamic/incremental.hpp
+class SimNetwork;         // runtime/network.hpp
 
 struct VerificationResult {
   bool accepted = false;                 // all nodes accepted
@@ -38,5 +42,19 @@ VerificationResult mark_and_verify(const ProofLabelingScheme& scheme,
 /// Builds the LocalView of one vertex (exposed for the simulated network).
 LocalView make_local_view(const ConfigGraph& cfg, VertexId v,
                           const std::vector<Label>& labels);
+
+/// One edge update end to end: what the repair did and what the verifiers
+/// said about the repaired labels.
+struct UpdateResult {
+  RepairStats repair;
+  VerificationResult verification;
+};
+
+/// The dynamic-lifecycle entry point: applies `update` through the
+/// incremental marker, ships only the repaired labels into the network
+/// (counted under dynamic.labels_shipped / dynamic.bits_shipped), and
+/// re-runs the verifier at every node.  Defined in dynamic/incremental.cpp.
+UpdateResult update_and_repair(IncrementalMarker& marker, SimNetwork& net,
+                               const EdgeUpdate& update);
 
 }  // namespace mstv

@@ -34,6 +34,9 @@ struct SpanningTreeSublabel {
   std::optional<std::uint64_t> parent_id;
   std::uint64_t root_id = 0;
   std::uint64_t dist = 0;
+
+  friend bool operator==(const SpanningTreeSublabel&,
+                         const SpanningTreeSublabel&) = default;
 };
 
 /// Serialization shared with the composed schemes: the sublabel is written

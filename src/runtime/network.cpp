@@ -23,6 +23,23 @@ void SimNetwork::install_marker_labels() {
   labels_ = scheme_->mark(cfg_);
 }
 
+void SimNetwork::apply_repair(const ConfigGraph& cfg,
+                              const std::vector<VertexId>& changed,
+                              const std::vector<Label>& labels) {
+  MSTV_EXPECTS_MSG(labels.size() == cfg.size(),
+                   "label vector does not match the configuration");
+  cfg_ = cfg;
+  labels_.resize(cfg_.size());
+  std::size_t bits = 0;
+  for (const VertexId v : changed) {
+    MSTV_EXPECTS_MSG(v < labels.size(), "repaired vertex out of range");
+    labels_[v] = labels[v];
+    bits += labels_[v].size_bits();
+  }
+  MSTV_COUNTER_ADD("dynamic.labels_shipped", changed.size());
+  MSTV_COUNTER_ADD("dynamic.bits_shipped", bits);
+}
+
 RoundStats SimNetwork::verification_round() const {
   RoundStats stats;
   // Every node sends its label through every port; the sender-side sums

@@ -39,6 +39,16 @@ class SimNetwork {
   /// Runs the marker and installs its labels.
   void install_marker_labels();
 
+  /// Takes a repaired configuration from the incremental marker and ships
+  /// only the labels listed in `changed` (the rest keep their installed
+  /// copies — that is the point of incremental repair).  `labels` is the
+  /// marker's full label vector; shipped volume is counted under
+  /// dynamic.labels_shipped / dynamic.bits_shipped.  The configuration is
+  /// replaced wholesale because updates rebuild the underlying graph.
+  void apply_repair(const ConfigGraph& cfg,
+                    const std::vector<VertexId>& changed,
+                    const std::vector<Label>& labels);
+
   /// One synchronous verification round.
   [[nodiscard]] RoundStats verification_round() const;
 

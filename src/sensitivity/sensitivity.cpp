@@ -9,10 +9,10 @@
 
 namespace mstv {
 
-std::vector<std::optional<Weight>> compute_cover_min(const RootedTree& tree) {
+std::vector<EdgeId> compute_cover_edges(const RootedTree& tree) {
   const Graph& g = tree.graph();
   const std::size_t n = tree.size();
-  std::vector<std::optional<Weight>> cover(n);
+  std::vector<EdgeId> cover(n, kInvalidEdge);
 
   // Non-tree edges sorted by increasing weight: the first edge to cover a
   // tree edge determines its cover_min.  The climb skips already-covered
@@ -48,11 +48,20 @@ std::vector<std::optional<Weight>> compute_cover_min(const RootedTree& tree) {
     for (VertexId side : {ed.u, ed.v}) {
       VertexId v = find(side);
       while (tree.depth(v) > tree.depth(a)) {
-        cover[v] = ed.w;            // first (lightest) edge covering (v,p(v))
+        cover[v] = e;               // first (lightest) edge covering (v,p(v))
         jump[v] = tree.parent(v);   // skip it from now on
         v = find(v);
       }
     }
+  }
+  return cover;
+}
+
+std::vector<std::optional<Weight>> compute_cover_min(const RootedTree& tree) {
+  const std::vector<EdgeId> edges = compute_cover_edges(tree);
+  std::vector<std::optional<Weight>> cover(edges.size());
+  for (std::size_t v = 0; v < edges.size(); ++v) {
+    if (edges[v] != kInvalidEdge) cover[v] = tree.graph().edge(edges[v]).w;
   }
   return cover;
 }

@@ -44,6 +44,13 @@ struct EdgeSensitivity {
 /// (v, parent(v)); the root's slot is unused.  nullopt = uncovered bridge.
 std::vector<std::optional<Weight>> compute_cover_min(const RootedTree& tree);
 
+/// The witnessing edges behind compute_cover_min: cover_edges[v] is the id
+/// of the lightest (ties: lowest-id) non-tree edge whose tree path uses
+/// (v, parent(v)); kInvalidEdge for uncovered bridges and the root slot.
+/// The incremental marker uses the witness as the replacement edge when a
+/// tree edge is deleted or outweighed.
+std::vector<EdgeId> compute_cover_edges(const RootedTree& tree);
+
 class SensitivityOracle {
  public:
   /// Preprocesses G and its MST `tree_edges`.  Throws if the tree is not

@@ -1,0 +1,361 @@
+// Incremental label repair (src/dynamic/) — the equivalence contract.
+//
+// The tentpole promise is *exact* equivalence: after any sequence of edge
+// updates, the incrementally repaired labels are bit-identical to a
+// from-scratch scheme.mark() on the repaired configuration, at any thread
+// count.  The randomized sequences below drive >= 200 mixed updates per
+// scheme through the marker and check that promise after every step,
+// together with the derived equalities the paper cares about (verdicts,
+// rejector sets, label-size bounds).
+#include "dynamic/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "mst/predicates.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "plscheme/agreement_scheme.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+#include "runtime/network.hpp"
+
+namespace mstv {
+namespace {
+
+/// Restores the configured worker count when a test body returns.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(std::size_t n) { parallel::set_thread_count(n); }
+  ~ThreadCountGuard() { parallel::set_thread_count(0); }
+};
+
+/// Asserts the full contract at one point in the update sequence: labels
+/// bit-identical to a fresh mark(), and therefore identical verdicts,
+/// rejector sets and size bounds.
+void expect_equivalent_to_remark(const ProofLabelingScheme& scheme,
+                                 const IncrementalMarker& marker,
+                                 const char* where,
+                                 bool expect_accept = true) {
+  const std::vector<Label> fresh = scheme.mark(marker.config());
+  ASSERT_EQ(fresh.size(), marker.labels().size()) << where;
+  for (VertexId v = 0; v < fresh.size(); ++v) {
+    ASSERT_EQ(fresh[v], marker.labels()[v]) << where << " at vertex " << v;
+  }
+  const VerificationResult inc =
+      run_verifier(scheme, marker.config(), marker.labels());
+  const VerificationResult ref =
+      run_verifier(scheme, marker.config(), fresh);
+  EXPECT_EQ(inc.accepted, ref.accepted) << where;
+  EXPECT_EQ(inc.rejecting, ref.rejecting) << where;
+  EXPECT_EQ(inc.max_label_bits, ref.max_label_bits) << where;
+  EXPECT_EQ(inc.total_label_bits, ref.total_label_bits) << where;
+  if (expect_accept) {
+    EXPECT_TRUE(inc.accepted) << where;
+  }
+}
+
+/// Draws one applicable random update against the marker's current graph.
+/// Over general families all three kinds are mixed; `weight_only`
+/// restricts to weight changes (pi_Gamma's tree family).
+EdgeUpdate random_update(const IncrementalMarker& marker, Rng& rng,
+                         bool weight_only, Weight max_w) {
+  const Graph& g = marker.graph();
+  const std::size_t n = g.num_vertices();
+  const int kind = weight_only ? 0 : static_cast<int>(rng.uniform(0, 3));
+  if (kind <= 1) {  // weight changes get double odds: the common event
+    const Edge& e = g.edge(static_cast<EdgeId>(rng.index(g.num_edges())));
+    return EdgeUpdate::weight_change(e.u, e.v, 1 + rng.uniform(0, max_w - 1));
+  }
+  if (kind == 2) {  // insert a random absent edge (retry a few draws)
+    for (int tries = 0; tries < 32; ++tries) {
+      const auto u = static_cast<VertexId>(rng.index(n));
+      const auto v = static_cast<VertexId>(rng.index(n));
+      if (u == v || g.find_edge(u, v)) continue;
+      return EdgeUpdate::insert(u, v, 1 + rng.uniform(0, max_w - 1));
+    }
+  }
+  // Delete a random non-bridge edge; prefer non-tree edges so deletes
+  // rarely throw.  Falls back to a weight change when unlucky.
+  for (int tries = 0; tries < 32; ++tries) {
+    const EdgeId e = static_cast<EdgeId>(rng.index(g.num_edges()));
+    if (marker.tree().contains_edge(e) && rng.chance(0.7)) continue;
+    return EdgeUpdate::erase(g.edge(e).u, g.edge(e).v);
+  }
+  const Edge& e = g.edge(0);
+  return EdgeUpdate::weight_change(e.u, e.v, 1 + rng.uniform(0, max_w - 1));
+}
+
+/// The randomized acceptance sequence: >= `updates` applied updates, the
+/// contract checked after every one.
+void run_update_sequence(const ProofLabelingScheme& scheme, const Graph& g,
+                         bool weight_only, std::size_t updates,
+                         std::uint64_t seed, bool expect_accept = true) {
+  constexpr Weight kMaxW = 1000;
+  IncrementalMarker marker(scheme, g, kruskal_mst(g), 0);
+  expect_equivalent_to_remark(scheme, marker, "initial", expect_accept);
+
+  Rng rng(seed);
+  std::size_t applied = 0;
+  while (applied < updates) {
+    const EdgeUpdate up = random_update(marker, rng, weight_only, kMaxW);
+    try {
+      const RepairStats stats = marker.apply(up);
+      EXPECT_LE(stats.labels_repaired, stats.labels_total);
+      ++applied;
+    } catch (const PreconditionError&) {
+      continue;  // e.g. the drawn delete would disconnect; marker unchanged
+    }
+    ASSERT_NO_FATAL_FAILURE(expect_equivalent_to_remark(
+        scheme, marker, "after update", expect_accept));
+    ASSERT_TRUE(is_mst(marker.graph(), marker.tree().tree_edges()));
+  }
+}
+
+TEST(Incremental, SpanningTreeSchemeMixedUpdates) {
+  Rng rng(1001);
+  const Graph g = random_connected_graph(60, 50, WeightOptions{1000}, rng);
+  run_update_sequence(SpanningTreeScheme{}, g, false, 200, 42);
+}
+
+TEST(Incremental, MstSchemeMixedUpdates) {
+  Rng rng(1002);
+  const Graph g = random_connected_graph(60, 50, WeightOptions{1000}, rng);
+  run_update_sequence(MstScheme{}, g, false, 200, 43);
+}
+
+TEST(Incremental, MstSchemeNaiveCodingMixedUpdates) {
+  Rng rng(1003);
+  const Graph g = random_connected_graph(50, 40, WeightOptions{1000}, rng);
+  run_update_sequence(MstScheme{SepCoding::FixedWidth}, g, false, 200, 44);
+}
+
+TEST(Incremental, GammaSchemeWeightUpdates) {
+  Rng rng(1004);
+  const Graph g = random_tree(60, WeightOptions{1000}, rng);
+  run_update_sequence(GammaScheme{}, g, true, 200, 45);
+}
+
+TEST(Incremental, GammaSchemeMinKindWeightUpdates) {
+  // The Min instantiation exercises the minw repair path.  pi_Gamma's
+  // verifier implements the max-fold conditions of Lemma 3.3 and rejects
+  // Min-labelled states even fresh from mark(), so only equivalence (not
+  // acceptance) is asserted here — the incremental and from-scratch
+  // verdicts must still agree exactly.
+  Rng rng(1005);
+  const Graph g = random_tree(40, WeightOptions{1000}, rng);
+  run_update_sequence(GammaScheme{ExtremaKind::Min}, g, true, 200, 46,
+                      /*expect_accept=*/false);
+}
+
+TEST(Incremental, MixedUpdatesAtEightThreads) {
+  // Determinism contract: the dirty set is computed serially and the
+  // re-serialization is per-vertex independent, so eight workers must
+  // produce the same bits the serial engine does (the in-loop remark
+  // comparison enforces it — mark() itself shards too).
+  ThreadCountGuard guard(8);
+  Rng rng(1006);
+  const Graph g = random_connected_graph(60, 50, WeightOptions{1000}, rng);
+  run_update_sequence(MstScheme{}, g, false, 200, 43);
+  const Graph t = random_tree(40, WeightOptions{1000}, rng);
+  run_update_sequence(GammaScheme{}, t, true, 100, 45);
+  run_update_sequence(SpanningTreeScheme{}, g, false, 100, 42);
+}
+
+TEST(Incremental, WeightOnlyRepairIsLocalized) {
+  // A kept-tree weight change repairs only the touched decomposition
+  // components' far sides — far fewer than n labels on a long path.
+  Rng rng(1007);
+  const Graph g = path_graph(256, WeightOptions{1000}, rng);
+  const MstScheme scheme;
+  IncrementalMarker marker(scheme, g, kruskal_mst(g), 0);
+
+  const Edge& mid = g.edge(128);
+  const RepairStats stats =
+      marker.apply(EdgeUpdate::weight_change(mid.u, mid.v, mid.w + 1));
+  EXPECT_FALSE(stats.structural_change);
+  EXPECT_FALSE(stats.full_remark);
+  EXPECT_LT(stats.labels_repaired, stats.labels_total / 4);
+  expect_equivalent_to_remark(scheme, marker, "after localized repair");
+}
+
+TEST(Incremental, NonTreeChurnRepairsNothing) {
+  Rng rng(1008);
+  const Graph g = random_connected_graph(40, 30, WeightOptions{100}, rng);
+  const MstScheme scheme;
+  IncrementalMarker marker(scheme, g, kruskal_mst(g), 0);
+
+  // A heavy inserted edge stays off the tree: the graph and the states
+  // change (ports renumber) but no label does.
+  RepairStats stats = marker.apply(EdgeUpdate::insert(0, 39, 10000));
+  EXPECT_EQ(stats.labels_repaired, 0u);
+  EXPECT_FALSE(stats.structural_change);
+  expect_equivalent_to_remark(scheme, marker, "after non-tree insert");
+
+  stats = marker.apply(EdgeUpdate::weight_change(0, 39, 20000));
+  EXPECT_EQ(stats.labels_repaired, 0u);
+
+  stats = marker.apply(EdgeUpdate::erase(0, 39));
+  EXPECT_EQ(stats.labels_repaired, 0u);
+  expect_equivalent_to_remark(scheme, marker, "after non-tree delete");
+
+  // A no-op weight change is free.
+  const Edge& e0 = marker.graph().edge(0);
+  stats = marker.apply(EdgeUpdate::weight_change(e0.u, e0.v, e0.w));
+  EXPECT_EQ(stats.labels_repaired, 0u);
+  EXPECT_TRUE(marker.last_repaired().empty());
+}
+
+TEST(Incremental, ThresholdZeroForcesFullRemark) {
+  Rng rng(1009);
+  const Graph g = random_connected_graph(30, 20, WeightOptions{100}, rng);
+  const MstScheme scheme;
+  IncrementalMarker marker(scheme, g, kruskal_mst(g), 0,
+                           /*full_remark_threshold=*/0.0);
+
+  // Find a tree edge and nudge its weight: any nonempty dirty set must
+  // now escalate to a full remark.
+  const EdgeId te = marker.tree().tree_edges().front();
+  const Edge e = marker.graph().edge(te);
+  const RepairStats stats =
+      marker.apply(EdgeUpdate::weight_change(e.u, e.v, e.w + 1));
+  if (stats.labels_repaired > 0) {
+    EXPECT_TRUE(stats.full_remark);
+    EXPECT_EQ(stats.labels_repaired, stats.labels_total);
+  }
+  expect_equivalent_to_remark(scheme, marker, "after forced full remark");
+}
+
+TEST(Incremental, RejectedUpdatesLeaveTheMarkerUntouched) {
+  Rng rng(1010);
+  const Graph g = path_graph(10, WeightOptions{100}, rng);  // all bridges
+  const MstScheme scheme;
+  IncrementalMarker marker(scheme, g, kruskal_mst(g), 0);
+  const std::vector<Label> before = marker.labels();
+
+  EXPECT_THROW(marker.apply(EdgeUpdate::erase(0, 1)), PreconditionError);
+  EXPECT_THROW(marker.apply(EdgeUpdate::weight_change(0, 5, 7)),
+               PreconditionError);  // no such edge
+  EXPECT_THROW(marker.apply(EdgeUpdate::insert(0, 1, 5)),
+               PreconditionError);  // already present
+  EXPECT_THROW(marker.apply(EdgeUpdate::weight_change(3, 3, 5)),
+               PreconditionError);  // self-loop
+  EXPECT_THROW(marker.apply(EdgeUpdate::weight_change(0, 100, 5)),
+               PreconditionError);  // endpoint out of range
+
+  EXPECT_EQ(marker.labels(), before);
+  expect_equivalent_to_remark(scheme, marker, "after rejected updates");
+}
+
+TEST(Incremental, GammaRejectsStructuralUpdates) {
+  Rng rng(1011);
+  const Graph g = random_tree(20, WeightOptions{100}, rng);
+  const GammaScheme scheme;
+  IncrementalMarker marker(scheme, g, kruskal_mst(g), 0);
+  EXPECT_THROW(marker.apply(EdgeUpdate::insert(0, 19, 5)), PreconditionError);
+  EXPECT_THROW(marker.apply(EdgeUpdate::erase(g.edge(0).u, g.edge(0).v)),
+               PreconditionError);
+}
+
+TEST(Incremental, ConstructionRejectsBadInput) {
+  Rng rng(1012);
+  const Graph g = random_connected_graph(20, 15, WeightOptions{100}, rng);
+  const auto mst = kruskal_mst(g);
+
+  // Not a scheme the incremental engine knows how to serialize.
+  const AgreementScheme agree;
+  EXPECT_THROW(IncrementalMarker(agree, g, mst, 0), PreconditionError);
+
+  // A spanning tree that is not minimum (swap in a strictly worse edge).
+  std::vector<EdgeId> not_mst = mst;
+  bool found_worse = false;
+  for (EdgeId e = 0; e < g.num_edges() && !found_worse; ++e) {
+    if (std::find(mst.begin(), mst.end(), e) != mst.end()) continue;
+    for (std::size_t i = 0; i < not_mst.size(); ++i) {
+      std::vector<EdgeId> cand = mst;
+      cand[i] = e;
+      if (is_spanning_tree(g, cand) &&
+          total_weight(g, cand) > total_weight(g, mst)) {
+        not_mst = cand;
+        found_worse = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(found_worse);
+  EXPECT_THROW(IncrementalMarker(MstScheme{}, g, not_mst, 0),
+               PreconditionError);
+}
+
+TEST(Incremental, UpdateAndRepairShipsOnlyChangedLabels) {
+  Rng rng(1013);
+  const Graph g = random_connected_graph(50, 40, WeightOptions{1000}, rng);
+  const MstScheme scheme;
+  IncrementalMarker marker(scheme, g, kruskal_mst(g), 0);
+
+  SimNetwork net(marker.config(), scheme);
+  std::vector<VertexId> all(marker.config().size());
+  std::iota(all.begin(), all.end(), VertexId{0});
+  net.apply_repair(marker.config(), all, marker.labels());  // initial install
+  ASSERT_TRUE(net.verification_round().accepted);
+
+  Rng urng(7);
+  std::size_t applied = 0;
+  while (applied < 25) {
+    const EdgeUpdate up = random_update(marker, urng, false, 1000);
+#ifndef MSTV_OBS_DISABLED
+    const std::uint64_t shipped_before =
+        obs::Registry::global().counter("dynamic.labels_shipped").value();
+#endif
+    UpdateResult res;
+    try {
+      res = update_and_repair(marker, net, up);
+    } catch (const PreconditionError&) {
+      continue;
+    }
+    ++applied;
+    EXPECT_TRUE(res.verification.accepted);
+    EXPECT_EQ(res.verification.rejecting.size(), 0u);
+    // The network's installed labels are the marker's, entry for entry —
+    // shipping only the repaired subset reconstructed the full vector.
+    ASSERT_EQ(net.labels().size(), marker.labels().size());
+    for (VertexId v = 0; v < net.labels().size(); ++v) {
+      ASSERT_EQ(net.labels()[v], marker.labels()[v]) << "vertex " << v;
+    }
+    EXPECT_TRUE(net.verification_round().accepted);
+#ifndef MSTV_OBS_DISABLED
+    const std::uint64_t shipped_after =
+        obs::Registry::global().counter("dynamic.labels_shipped").value();
+    EXPECT_EQ(shipped_after - shipped_before, res.repair.labels_repaired);
+#endif
+  }
+}
+
+TEST(Incremental, CustomIdsFlowIntoLabels) {
+  Rng rng(1014);
+  const Graph g = random_connected_graph(20, 12, WeightOptions{100}, rng);
+  std::vector<std::uint64_t> ids(g.num_vertices());
+  for (std::size_t v = 0; v < ids.size(); ++v) ids[v] = 1000 + 7 * v;
+  const MstScheme scheme;
+  IncrementalMarker marker(scheme, g, kruskal_mst(g), 0, 0.25, &ids);
+  expect_equivalent_to_remark(scheme, marker, "custom ids initial");
+
+  Rng urng(9);
+  for (int applied = 0; applied < 20;) {
+    try {
+      marker.apply(random_update(marker, urng, false, 100));
+      ++applied;
+    } catch (const PreconditionError&) {
+      continue;
+    }
+    ASSERT_NO_FATAL_FAILURE(
+        expect_equivalent_to_remark(scheme, marker, "custom ids update"));
+  }
+}
+
+}  // namespace
+}  // namespace mstv

@@ -82,5 +82,82 @@ TEST(Wire, TruncatedBodyDetected) {
   EXPECT_THROW((void)read_labels(broken), PreconditionError);
 }
 
+// The loader's rejection rules, one per framing field (documented in
+// docs/label_format.md): every malformed input must throw
+// PreconditionError — never crash, never silently truncate.
+
+TEST(Wire, RejectsEveryTruncationPoint) {
+  std::vector<Label> labels;
+  BitWriter w;
+  w.write_uint(0xFEEDBEEF, 32);
+  w.write_uint(0x1234, 16);
+  labels.emplace_back(w);
+  BitWriter w2;
+  w2.write_uint(~std::uint64_t{0}, 64);
+  w2.write_uint(0x5A, 8);  // 72 bits -> two body words
+  labels.emplace_back(w2);
+  std::stringstream ss;
+  write_labels(ss, labels);
+  const std::string data = ss.str();
+
+  // Chop the stream at every possible byte boundary; only the full
+  // document may parse.
+  for (std::size_t keep = 0; keep < data.size(); ++keep) {
+    std::stringstream broken(data.substr(0, keep));
+    EXPECT_THROW((void)read_labels(broken), PreconditionError)
+        << "prefix of " << keep << " bytes parsed";
+  }
+  std::stringstream whole(data);
+  EXPECT_EQ(read_labels(whole).size(), labels.size());
+}
+
+TEST(Wire, RejectsOversizedNbitsFraming) {
+  const auto frame_with_nbits = [](std::uint64_t nbits) {
+    std::stringstream ss;
+    ss.write("MSTV", 4);
+    const auto put = [&ss](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) ss.put(static_cast<char>((v >> (8 * i)) & 0xFF));
+    };
+    put(1);      // one label
+    put(nbits);  // its declared size
+    put(0);      // one body word (maybe not enough — the size check fires first)
+    return ss;
+  };
+
+  // Just past the 2^30-bit cap: rejected by the size guard, not by an
+  // attempted allocation of 2^30+ bits.
+  auto over = frame_with_nbits((1u << 30) + 1);
+  EXPECT_THROW((void)read_labels(over), PreconditionError);
+
+  // Absurd nbits (would be ~2 EiB of words): same guard, no allocation.
+  auto absurd = frame_with_nbits(~std::uint64_t{0});
+  EXPECT_THROW((void)read_labels(absurd), PreconditionError);
+
+  // nbits declaring more words than the stream carries: truncation guard.
+  auto short_body = frame_with_nbits(128);  // needs 2 words, has 1
+  EXPECT_THROW((void)read_labels(short_body), PreconditionError);
+}
+
+TEST(Wire, RejectsBadMagicVariants) {
+  for (const char* magic : {"MSTW", "mstv", "VTSM", "MST", ""}) {
+    std::stringstream ss;
+    ss << magic;
+    // A plausible rest-of-header after the wrong magic.
+    for (int i = 0; i < 16; ++i) ss.put('\0');
+    EXPECT_THROW((void)read_labels(ss), PreconditionError)
+        << "magic '" << magic << "' accepted";
+  }
+}
+
+TEST(Wire, RejectsCountBeyondLabelCap) {
+  // count = 2^28 + 1 (just past kMaxLabels) with no bodies: the count
+  // guard fires before any label is read.
+  std::stringstream ss;
+  ss.write("MSTV", 4);
+  const std::uint64_t count = (1u << 28) + 1;
+  for (int i = 0; i < 8; ++i) ss.put(static_cast<char>((count >> (8 * i)) & 0xFF));
+  EXPECT_THROW((void)read_labels(ss), PreconditionError);
+}
+
 }  // namespace
 }  // namespace mstv
