@@ -388,7 +388,7 @@ Label IncrementalMarker::serialize_label(VertexId v) const {
       break;
     }
   }
-  return Label(w);
+  return Label(std::move(w));
 }
 
 void IncrementalMarker::serialize_dirty(const std::vector<VertexId>& dirty,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 namespace mstv {
 
@@ -56,7 +57,7 @@ Weight ExtremaLabelingScheme::decode(const ExtremaLabel& lu,
 Label ExtremaLabelingScheme::to_bits(const ExtremaLabel& l) const {
   BitWriter w;
   write_to(w, l);
-  return Label(w);
+  return Label(std::move(w));
 }
 
 ExtremaLabel ExtremaLabelingScheme::from_bits(const Label& bits) const {

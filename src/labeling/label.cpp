@@ -1,5 +1,7 @@
 #include "labeling/label.hpp"
 
+#include <utility>
+
 namespace mstv {
 
 void Label::normalize() {
@@ -39,7 +41,7 @@ Label Label::operator+(const Label& rhs) const {
   };
   copy(*this);
   copy(rhs);
-  return Label(w);
+  return Label(std::move(w));
 }
 
 std::string Label::to_string() const {

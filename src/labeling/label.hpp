@@ -12,6 +12,7 @@
 #include <compare>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/bitstream.hpp"
@@ -24,6 +25,13 @@ class Label {
 
   /// Takes the bits accumulated in a writer.
   explicit Label(const BitWriter& w) : words_(w.words()), nbits_(w.size_bits()) {
+    normalize();
+  }
+
+  /// Steals the buffer of a spent writer — the common marker pattern
+  /// `BitWriter w; ...; return Label(std::move(w));` costs no copy.
+  explicit Label(BitWriter&& w)
+      : words_(std::move(w).take_words()), nbits_(w.size_bits()) {
     normalize();
   }
 

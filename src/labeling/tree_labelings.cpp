@@ -1,6 +1,7 @@
 #include "labeling/tree_labelings.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace mstv {
 namespace {
@@ -50,7 +51,7 @@ Label DistanceLabelingScheme::to_bits(const DistanceLabel& l) const {
   const int dbits = bit_width_u64(mx);
   w.write_gamma0(static_cast<std::uint64_t>(dbits));
   for (const auto d : l.dist) w.write_uint(d, dbits);
-  return Label(w);
+  return Label(std::move(w));
 }
 
 DistanceLabel DistanceLabelingScheme::from_bits(const Label& bits) const {
@@ -107,7 +108,7 @@ Label RoutingLabelingScheme::to_bits(const RoutingLabel& l) const {
   for (const auto r : l.rho) w.write_gamma(r);
   for (const auto p : l.toward) w.write_gamma(p);
   for (const auto p : l.branch_port) w.write_gamma(p);
-  return Label(w);
+  return Label(std::move(w));
 }
 
 RoutingLabel RoutingLabelingScheme::from_bits(const Label& bits) const {

@@ -1,6 +1,7 @@
 #include "lowerbound/attack.hpp"
 
 #include <map>
+#include <utility>
 
 #include "mst/predicates.hpp"
 #include "plscheme/runner.hpp"
@@ -52,7 +53,7 @@ std::vector<Label> QuantizedMstScheme::mark(const ConfigGraph& cfg) const {
     BitWriter w;
     write_spanning_tree_sublabel(w, st[v]);
     quantized_codec().write_to(w, imps[v]);
-    labels.emplace_back(w);
+    labels.emplace_back(std::move(w));
   }
   return labels;
 }

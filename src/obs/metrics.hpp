@@ -7,7 +7,8 @@
 // reports through the same named instruments and a snapshot can be
 // serialized (obs/export.hpp) and diffed across runs.
 //
-// Naming convention (enforced by tools/check_metrics_names.sh):
+// Naming convention (enforced by the OBS-METRIC-NAME lint rule,
+// tools/lint/, runnable via tools/check_metrics_names.sh):
 // `component.noun[_unit]` — lowercase snake_case segments joined by dots,
 // e.g. `verify.messages`, `label.max_bits`, `verify.node_time_us`.
 //

@@ -44,14 +44,17 @@ ThreadPool& pool_for(std::size_t want) {
 }
 
 double shard_ns(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::nano>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
+  // mstv-lint: allow(DET-CLOCK) — telemetry-only: elapsed time feeds the
+  // parallel.shard_ns histogram, which is exempt from the determinism
+  // contract (docs/parallelism.md); no result depends on it.
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(now - t0).count();
 }
 
 void run_inline(const std::vector<ShardRange>& shards,
                 const std::function<void(const ShardRange&)>& body) {
   for (const ShardRange& shard : shards) {
+    // mstv-lint: allow(DET-CLOCK) — telemetry-only shard timing (see shard_ns).
     const auto t0 = std::chrono::steady_clock::now();
     body(shard);  // serial order: a throw here is the lowest-index one
     MSTV_HIST_OBSERVE("parallel.shard_ns", shard_ns(t0));
@@ -114,6 +117,7 @@ void for_each_shard(std::size_t n,
   std::size_t done = 0;
   for (const ShardRange& shard : shards) {
     pool->submit([&, shard] {
+      // mstv-lint: allow(DET-CLOCK) — telemetry-only shard timing (see shard_ns).
       const auto t0 = std::chrono::steady_clock::now();
       t_in_shard_body = true;
       try {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <tuple>
+#include <utility>
 
 #include "mst/predicates.hpp"
 #include "mst/union_find.hpp"
@@ -234,7 +235,7 @@ std::vector<Label> FragmentScheme::mark(const ConfigGraph& cfg) const {
   for (const FragLabel& l : labels) {
     BitWriter w;
     write_frag_label(w, l);
-    out.emplace_back(w);
+    out.emplace_back(std::move(w));
   }
   return out;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
@@ -274,7 +275,7 @@ std::vector<Label> GammaScheme::mark(const ConfigGraph& cfg) const {
           b.st += after_st;
           b.orient += after_orient - after_st;
           b.state_copy += w.size_bits() - after_orient;
-          labels[v] = Label(w);
+          labels[v] = Label(std::move(w));
         }
         return b;
       },
@@ -309,7 +310,7 @@ ParsedGamma parse_gamma_label(const Label& label,
   MSTV_EXPECTS_MSG(copy_bits <= r.remaining(), "corrupt label: copy length");
   BitWriter w;
   for (std::uint64_t i = 0; i < copy_bits; ++i) w.write_bit(r.read_bit());
-  p.state_copy = Label(w);
+  p.state_copy = Label(std::move(w));
   MSTV_EXPECTS_MSG(r.exhausted(), "corrupt label: trailing bits");
   p.node.imp = imp.from_bits(p.state_copy);
   return p;

@@ -1,5 +1,7 @@
 #include "plscheme/mst_scheme.hpp"
 
+#include <utility>
+
 #include "mst/predicates.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
@@ -76,7 +78,7 @@ std::vector<Label> MstScheme::mark(const ConfigGraph& cfg) const {
           b.st += after_st;
           b.orient += after_orient - after_st;
           b.extrema += w.size_bits() - after_orient;
-          labels[v] = Label(w);
+          labels[v] = Label(std::move(w));
         }
         return b;
       },

@@ -1,5 +1,7 @@
 #include "plscheme/spanning_tree_scheme.hpp"
 
+#include <utility>
+
 #include "mst/predicates.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
@@ -93,7 +95,7 @@ std::vector<Label> SpanningTreeScheme::mark(const ConfigGraph& cfg) const {
           BitWriter w;
           write_spanning_tree_sublabel(w, subs[v]);
           bits += w.size_bits();
-          labels[v] = Label(w);
+          labels[v] = Label(std::move(w));
         }
         return bits;
       },

@@ -1,6 +1,7 @@
 #include "plscheme/tree_proof_schemes.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "plscheme/gamma_scheme.hpp"
 #include "plscheme/spanning_tree_scheme.hpp"
@@ -114,7 +115,7 @@ Parsed<Policy> parse_label(const Label& label,
   MSTV_EXPECTS_MSG(copy_bits <= r.remaining(), "corrupt label: copy length");
   BitWriter w;
   for (std::uint64_t i = 0; i < copy_bits; ++i) w.write_bit(r.read_bit());
-  p.state_copy = Label(w);
+  p.state_copy = Label(std::move(w));
   MSTV_EXPECTS_MSG(r.exhausted(), "corrupt label: trailing bits");
   p.node.imp = imp.from_bits(p.state_copy);
   return p;

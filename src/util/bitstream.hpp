@@ -64,6 +64,13 @@ class BitWriter {
     return words_;
   }
 
+  /// Consumes the writer, yielding its backing words without a copy.
+  /// Markers materialise every label through a writer, so Label's
+  /// rvalue constructor steals the buffer instead of duplicating it.
+  [[nodiscard]] std::vector<std::uint64_t> take_words() && noexcept {
+    return std::move(words_);
+  }
+
  private:
   std::vector<std::uint64_t> words_;
   std::size_t nbits_ = 0;

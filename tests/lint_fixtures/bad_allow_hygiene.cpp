@@ -1,0 +1,21 @@
+// mstv-lint-fixture: src/labeling/fixture_allow.cpp
+// Known-bad: suppressions that don't carry their evidence.  A bare
+// allow() is a violation, and so is one naming a rule that doesn't exist
+// (it would silently suppress nothing forever).
+#include <cstdlib>
+
+namespace mstv {
+
+int a() {
+  return rand();  /* mstv-lint: allow(DET-RAND) */   // expect: DET-RAND, LINT-BARE-ALLOW
+}
+
+int b() {  /* mstv-lint: allow(DET-RANDOM) — wrong id */   // expect: LINT-UNKNOWN-RULE
+  return 7;
+}
+
+int c() {
+  return rand();  // mstv-lint: allow(DET-RAND) — fixture: justified, so only the meta rules stay quiet here
+}
+
+}  // namespace mstv

@@ -1,0 +1,29 @@
+// mstv-lint-fixture: src/plscheme/fixture_clock.cpp
+// Known-bad: wall-clock reads in a result-producing layer.
+#include <chrono>
+#include <ctime>
+
+namespace mstv {
+
+double stamp() {
+  const auto t = std::chrono::steady_clock::now();   // expect: DET-CLOCK
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long unix_now() {
+  return ::time(nullptr);                            // expect: DET-CLOCK
+}
+
+double sys_now() {
+  const auto t = std::chrono::system_clock::now();   // expect: DET-CLOCK
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+// Mentioning the clock *type* (a parameter, an alias) is fine — only the
+// now() read is ambient state.
+using Instant = std::chrono::steady_clock::time_point;
+double span_of(Instant a, Instant b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace mstv

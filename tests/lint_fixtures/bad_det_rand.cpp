@@ -1,0 +1,28 @@
+// mstv-lint-fixture: src/labeling/fixture_rand.cpp
+// Known-bad: ambient randomness in a result-producing layer.  Every
+// `expect:` line below must be flagged by exactly the named rule.
+#include <cstdlib>
+#include <random>
+
+namespace mstv {
+
+int draw_weight() {
+  std::random_device rd;              // expect: DET-RAND
+  return static_cast<int>(rd());
+}
+
+void reseed() {
+  srand(42);                          // expect: DET-RAND
+}
+
+int noisy_pick(int n) {
+  return rand() % n;                  // expect: DET-RAND
+}
+
+// Member access spelled like the C call is NOT a violation.
+struct FakeDie {
+  int rand() const { return 4; }
+};
+int fine(const FakeDie& d) { return d.rand(); }
+
+}  // namespace mstv

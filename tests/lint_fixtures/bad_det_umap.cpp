@@ -1,0 +1,34 @@
+// mstv-lint-fixture: src/plscheme/fixture_umap.cpp
+// Known-bad: hash-order iteration in a result-producing layer.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mstv {
+
+std::vector<std::uint32_t> fold_rejectors(
+    const std::unordered_set<std::uint32_t>& rejectors) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t v : rejectors) {   // expect: DET-UMAP
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::uint64_t walk_weights() {
+  std::unordered_map<std::uint32_t, std::uint64_t> weight;
+  weight[1] = 10;
+  std::uint64_t sum = 0;
+  for (auto it = weight.begin(); it != weight.end(); ++it) {  // expect: DET-UMAP
+    sum += it->second;
+  }
+  return sum;
+}
+
+// Point lookups are order-free and fine.
+bool member(const std::unordered_set<std::uint32_t>& live, std::uint32_t v) {
+  return live.find(v) != live.end();
+}
+
+}  // namespace mstv

@@ -1,0 +1,14 @@
+// mstv-lint-fixture: src/labeling/fixture_hot_file.cpp
+// mstv-lint: hot-path-file — whole-file hot region for the fixture suite.
+// Known-bad: with the marker above, any lock anywhere in the file is a
+// violation, call sites or not.
+#include <mutex>
+
+namespace mstv {
+
+int shared_count(std::mutex& mu, int& counter) {   // expect: HOT-MUTEX
+  std::lock_guard<std::mutex> lock(mu);            // expect: HOT-MUTEX
+  return ++counter;
+}
+
+}  // namespace mstv

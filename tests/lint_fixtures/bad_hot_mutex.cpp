@@ -1,0 +1,44 @@
+// mstv-lint-fixture: src/runtime/fixture_hot.cpp
+// Known-bad: lock acquisition inside shard lambdas (the verifier's hot
+// path).  One lock serializes every worker in the pool.
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace mstv {
+
+void tally(std::vector<int>& hits) {
+  std::mutex mu;
+  parallel::for_each_shard(hits.size(), [&](const parallel::ShardRange& s) {
+    for (std::size_t i = s.begin; i < s.end; ++i) {
+      std::lock_guard<std::mutex> lock(mu);   // expect: HOT-MUTEX
+      ++hits[i];
+    }
+  });
+}
+
+int reduce_locked(std::vector<int>& xs) {
+  std::mutex mu;
+  return parallel::sharded_reduce(
+      xs.size(), 0,
+      [&](const parallel::ShardRange& s) {
+        std::unique_lock<std::mutex> lock(mu);   // expect: HOT-MUTEX
+        int acc = 0;
+        for (std::size_t i = s.begin; i < s.end; ++i) acc += xs[i];
+        return acc;
+      },
+      [](int& acc, int part) { acc += part; });
+}
+
+// A lock *outside* the shard lambda (serial setup) is legitimate.
+void fine(std::vector<int>& xs) {
+  std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  parallel::for_each_shard(xs.size(), [&](const parallel::ShardRange& s) {
+    for (std::size_t i = s.begin; i < s.end; ++i) xs[i] = 0;
+  });
+}
+
+}  // namespace mstv

@@ -1,0 +1,24 @@
+// mstv-lint-fixture: src/runtime/fixture_obs.cpp
+// Known-bad: instrument names off the `component.noun[_unit]` convention.
+#include <cstdint>
+
+// Stand-ins for the obs entry points; the rule matches call shape, not
+// definitions.
+#define MSTV_COUNTER_INC(name) (void)sizeof(name)
+#define MSTV_HIST_OBSERVE(name, v) (void)sizeof(name)
+#define MSTV_SPAN(name) (void)sizeof(name)
+
+struct FakeRegistry {
+  int counter(const char*) { return 0; }
+  int gauge(const char*) { return 0; }
+};
+
+void record(FakeRegistry& reg) {
+  MSTV_COUNTER_INC("VerifyMessages");        // expect: OBS-METRIC-NAME
+  MSTV_HIST_OBSERVE("nodetime", 1.0);        // expect: OBS-METRIC-NAME
+  MSTV_SPAN("marker.Assign_Labels");         // expect: OBS-METRIC-NAME
+  reg.counter("faults.injected_total");      // ok: two snake segments
+  reg.gauge("threads");                      // expect: OBS-METRIC-NAME
+  MSTV_COUNTER_INC("verify.messages");       // ok
+  MSTV_HIST_OBSERVE("verify.node_time_us", 2.0);  // ok
+}

@@ -1,0 +1,34 @@
+// mstv-lint-fixture: src/plscheme/fixture_clean.cpp
+// Known-good: deterministic, lock-free, convention-following code; the
+// engine must report nothing at all.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mstv {
+
+// Tokens that *look* adjacent to banned constructs but aren't: a string
+// mentioning rand(), an identifier containing "time", a sorted map walk.
+inline const char* kDoc = "never call rand() in result-producing code";
+
+std::uint64_t total_node_time_us(const std::map<int, std::uint64_t>& by_node) {
+  std::uint64_t time_total = 0;
+  for (const auto& [node, t] : by_node) {
+    (void)node;
+    time_total += t;
+  }
+  return time_total;
+}
+
+std::vector<int> stable_order(std::vector<int> xs) {
+  // Deterministic: explicit comparison, no hash order anywhere.
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    for (std::size_t j = i; j > 0 && xs[j - 1] > xs[j]; --j) {
+      std::swap(xs[j - 1], xs[j]);
+    }
+  }
+  return xs;
+}
+
+}  // namespace mstv

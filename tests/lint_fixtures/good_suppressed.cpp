@@ -1,0 +1,29 @@
+// mstv-lint-fixture: src/plscheme/fixture_suppressed.cpp
+// Known-good: every violation below carries a justified allow()
+// certificate, so the whole file must lint clean.
+#include <chrono>
+#include <cstdlib>
+#include <unordered_set>
+#include <vector>
+
+namespace mstv {
+
+int jitter() {
+  // mstv-lint: allow(DET-RAND) — fixture: demonstrates a justified
+  // suppression covering the line after a whole-line comment block.
+  return rand();
+}
+
+double coarse_now() {
+  const auto t = std::chrono::steady_clock::now();  // mstv-lint: allow(DET-CLOCK) — fixture: same-line certificate
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+std::size_t count_all(const std::unordered_set<int>& seen) {
+  std::size_t n = 0;
+  // mstv-lint: allow(DET-UMAP) — fixture: fold is order-insensitive (pure count)
+  for (int v : seen) n += static_cast<std::size_t>(v >= 0 ? 1 : 1);
+  return n;
+}
+
+}  // namespace mstv

@@ -1,0 +1,353 @@
+// Tests for the mstv-lint static analysis engine (tools/lint/).
+//
+// Two layers:
+//  * the fixture corpus under tests/lint_fixtures/ — each known-bad file
+//    carries `expect: RULE-ID[, RULE-ID...]` markers on the exact lines
+//    the engine must flag (and nothing else may be flagged); known-good
+//    files must come back clean; and
+//  * inline snippets pinning the engine mechanics — suppression
+//    coverage, justification requirements, lexer robustness — at the
+//    precision the fixtures can't express.
+//
+// The corpus harness and the tree-clean test make the acceptance
+// criterion executable: every fixture flagged at the expected file:line,
+// zero violations on the real tree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/engine.hpp"
+
+namespace fs = std::filesystem;
+using mstv::lint::Diagnostic;
+using mstv::lint::LintContext;
+using mstv::lint::LintOptions;
+using mstv::lint::LintResult;
+using mstv::lint::RuleRegistry;
+
+namespace {
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    out.push_back(text.substr(start, end - start));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string trim(std::string s) {
+  const auto not_space = [](unsigned char c) { return std::isspace(c) == 0; };
+  s.erase(s.begin(), std::find_if(s.begin(), s.end(), not_space));
+  s.erase(std::find_if(s.rbegin(), s.rend(), not_space).base(), s.end());
+  return s;
+}
+
+// (line, rule) pairs, sorted — the comparable unit of both expectation
+// markers and engine output.
+using Findings = std::vector<std::pair<int, std::string>>;
+
+Findings expected_findings(const std::vector<std::string>& lines) {
+  Findings out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& row = lines[i];
+    const std::size_t at = row.find("expect:");
+    if (at == std::string::npos) continue;
+    std::string spec = row.substr(at + 7);
+    const std::size_t close = spec.find("-->");
+    if (close != std::string::npos) spec = spec.substr(0, close);
+    std::stringstream ss(spec);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      rule = trim(rule);
+      // Only well-formed rule ids count: prose that merely mentions the
+      // word "expect:" (a fixture's header comment) is not a marker.
+      const bool id_shaped =
+          !rule.empty() &&
+          std::all_of(rule.begin(), rule.end(), [](unsigned char c) {
+            return std::isupper(c) != 0 || std::isdigit(c) != 0 || c == '-';
+          });
+      if (id_shaped) {
+        out.emplace_back(static_cast<int>(i) + 1, rule);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Findings actual_findings(const std::vector<Diagnostic>& diags) {
+  Findings out;
+  for (const Diagnostic& d : diags) out.emplace_back(d.line, d.rule);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string pretty(const Findings& f) {
+  std::ostringstream out;
+  for (const auto& [line, rule] : f) out << "  line " << line << ": " << rule
+                                         << "\n";
+  return out.str().empty() ? "  (none)\n" : out.str();
+}
+
+// Runs the engine over one fixture, honoring its pretend-path marker.
+std::vector<Diagnostic> lint_fixture(const fs::path& path,
+                                     const std::string& content) {
+  const RuleRegistry registry = RuleRegistry::builtin();
+  LintContext ctx;
+  ctx.root = MSTV_LINT_REPO_ROOT;
+  ctx.known_rules = registry.ids();
+
+  std::string relpath = path.filename().string();
+  const std::string first =
+      content.substr(0, content.find('\n'));
+  const std::size_t marker = first.find("mstv-lint-fixture:");
+  if (marker != std::string::npos) {
+    relpath = trim(first.substr(marker + 18));
+    const std::size_t close = relpath.find("-->");
+    if (close != std::string::npos) relpath = trim(relpath.substr(0, close));
+  }
+
+  std::vector<Diagnostic> diags;
+  mstv::lint::lint_content(registry, ctx, relpath, content, {}, diags);
+  return diags;
+}
+
+std::vector<Diagnostic> lint_snippet(const std::string& relpath,
+                                     const std::string& content) {
+  const RuleRegistry registry = RuleRegistry::builtin();
+  LintContext ctx;
+  ctx.root = MSTV_LINT_REPO_ROOT;
+  ctx.known_rules = registry.ids();
+  std::vector<Diagnostic> diags;
+  mstv::lint::lint_content(registry, ctx, relpath, content, {}, diags);
+  return diags;
+}
+
+}  // namespace
+
+// --- the fixture corpus -------------------------------------------------
+
+TEST(LintFixtures, EveryFixtureMatchesItsExpectations) {
+  const fs::path dir = MSTV_LINT_FIXTURE_DIR;
+  ASSERT_TRUE(fs::exists(dir)) << dir;
+
+  std::vector<fs::path> fixtures;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) fixtures.push_back(entry.path());
+  }
+  std::sort(fixtures.begin(), fixtures.end());
+  ASSERT_GE(fixtures.size(), 8u) << "fixture corpus went missing?";
+
+  for (const fs::path& path : fixtures) {
+    const std::string content = slurp(path);
+    const Findings expected = expected_findings(split_lines(content));
+    const Findings actual = actual_findings(lint_fixture(path, content));
+    EXPECT_EQ(expected, actual)
+        << path.filename().string() << " mismatch\nexpected:\n"
+        << pretty(expected) << "actual:\n"
+        << pretty(actual);
+  }
+}
+
+TEST(LintFixtures, KnownBadFixturesDoFire) {
+  // Guard the guard: if the expectation parser broke and returned empty
+  // sets, the corpus test above would vacuously pass on bad files.
+  const fs::path dir = MSTV_LINT_FIXTURE_DIR;
+  std::size_t bad_with_findings = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("bad_", 0) != 0) continue;
+    const std::string content = slurp(entry.path());
+    EXPECT_FALSE(expected_findings(split_lines(content)).empty())
+        << entry.path() << " is a bad_ fixture without expect: markers";
+    if (!lint_fixture(entry.path(), content).empty()) ++bad_with_findings;
+  }
+  EXPECT_GE(bad_with_findings, 6u);
+}
+
+// --- the real tree ------------------------------------------------------
+
+TEST(LintTree, RealTreeIsClean) {
+  LintOptions options;
+  options.root = MSTV_LINT_REPO_ROOT;
+  const LintResult result =
+      mstv::lint::run_lint(RuleRegistry::builtin(), options);
+  std::ostringstream all;
+  for (const Diagnostic& d : result.diagnostics) {
+    all << d.file << ':' << d.line << " [" << d.rule << "] " << d.message
+        << '\n';
+  }
+  EXPECT_TRUE(result.diagnostics.empty()) << all.str();
+  // 120+ sources and the doc set; a collapse here means discovery broke.
+  EXPECT_GT(result.files_scanned, 100u);
+}
+
+// --- suppression mechanics ----------------------------------------------
+
+TEST(LintSuppression, SameLineCertificateSuppresses) {
+  const auto diags = lint_snippet(
+      "src/graph/x.cpp",
+      "int f() { return rand(); }  // mstv-lint: allow(DET-RAND) — seed irrelevant here\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintSuppression, WholeLineCommentCoversNextLine) {
+  const auto diags = lint_snippet(
+      "src/graph/x.cpp",
+      "// mstv-lint: allow(DET-RAND) — test double\n"
+      "int f() { return rand(); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintSuppression, CommentBlockCoversLineBelowBlock) {
+  const auto diags = lint_snippet(
+      "src/graph/x.cpp",
+      "// mstv-lint: allow(DET-RAND) — first line of a block whose\n"
+      "// explanation continues on a second comment line\n"
+      "int f() { return rand(); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintSuppression, CertificateDoesNotLeakPastItsLine) {
+  const auto diags = lint_snippet(
+      "src/graph/x.cpp",
+      "// mstv-lint: allow(DET-RAND) — only covers the next line\n"
+      "int f() { return 0; }\n"
+      "int g() { return rand(); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "DET-RAND");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintSuppression, JustificationIsRequired) {
+  const auto diags = lint_snippet(
+      "src/graph/x.cpp",
+      "int f() { return rand(); }  // mstv-lint: allow(DET-RAND)\n");
+  const Findings got = actual_findings(diags);
+  const Findings want = {{1, "DET-RAND"}, {1, "LINT-BARE-ALLOW"}};
+  EXPECT_EQ(got, want) << pretty(got);
+}
+
+TEST(LintSuppression, UnknownRuleIdIsFlagged) {
+  const auto diags = lint_snippet(
+      "src/graph/x.cpp",
+      "int f();  // mstv-lint: allow(DET-RND) — typo'd id\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "LINT-UNKNOWN-RULE");
+}
+
+TEST(LintSuppression, SeparatorVariantsAllCarryJustification) {
+  for (const char* src : {
+           "int f() { return rand(); }  // mstv-lint: allow(DET-RAND) -- ok\n",
+           "int f() { return rand(); }  // mstv-lint: allow(DET-RAND): ok\n",
+           "int f() { return rand(); }  // mstv-lint: allow(DET-RAND) ok\n"}) {
+    EXPECT_TRUE(lint_snippet("src/graph/x.cpp", src).empty()) << src;
+  }
+}
+
+// --- rule precision -----------------------------------------------------
+
+TEST(LintRules, DetExemptPathsStayQuiet) {
+  const std::string src = "double t() { return clock(); }\n";
+  EXPECT_TRUE(lint_snippet("src/obs/x.cpp", src).empty());
+  EXPECT_TRUE(lint_snippet("bench/x.cpp", src).empty());
+  EXPECT_EQ(lint_snippet("src/mst/x.cpp", src).size(), 1u);
+}
+
+TEST(LintRules, UnorderedLayerScopingHolds) {
+  const std::string src =
+      "#include <unordered_set>\n"
+      "std::size_t n(const std::unordered_set<int>& s) {\n"
+      "  std::size_t k = 0;\n"
+      "  for (int v : s) k += static_cast<std::size_t>(v != 0);\n"
+      "  return k;\n"
+      "}\n";
+  // Result-producing layer: flagged; support layer (graph): not in scope.
+  EXPECT_EQ(lint_snippet("src/dynamic/x.cpp", src).size(), 1u);
+  EXPECT_TRUE(lint_snippet("src/graph/x.cpp", src).empty());
+}
+
+TEST(LintRules, HotRegionIsTheLambdaNotTheCaller) {
+  const std::string src =
+      "#include <mutex>\n"
+      "#include \"parallel/parallel_for.hpp\"\n"
+      "void f(std::mutex& mu) {\n"
+      "  std::lock_guard<std::mutex> setup(mu);\n"  // caller scope: fine
+      "  mstv::parallel::for_each_shard(8, [&](const auto& s) {\n"
+      "    std::lock_guard<std::mutex> bad(mu);\n"  // shard body: hot
+      "    (void)s;\n"
+      "  });\n"
+      "}\n";
+  const auto diags = lint_snippet("src/runtime/x.cpp", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "HOT-MUTEX");
+  EXPECT_EQ(diags[0].line, 6);
+}
+
+TEST(LintRules, ForEachShardDeclarationIsNotACallSite) {
+  const std::string src =
+      "#include <functional>\n"
+      "namespace mstv::parallel {\n"
+      "struct ShardRange;\n"
+      "void for_each_shard(std::size_t n,\n"
+      "                    const std::function<void(const ShardRange&)>& b);\n"
+      "}\n";
+  EXPECT_TRUE(lint_snippet("src/parallel/x.hpp", src).empty());
+}
+
+TEST(LintRules, MetricNameConventionIsTokenAccurate) {
+  // In a comment or an unrelated string: quiet.  As a literal argument
+  // to an instrumentation macro: checked.
+  EXPECT_TRUE(lint_snippet("src/mst/x.cpp",
+                           "// MSTV_COUNTER_INC(\"BadName\")\n"
+                           "const char* s = \"BadName\";\n")
+                  .empty());
+  const auto diags = lint_snippet(
+      "src/mst/x.cpp", "void f() { MSTV_COUNTER_INC(\"BadName\"); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "OBS-METRIC-NAME");
+}
+
+TEST(LintRules, RawStringsAndCommentsDoNotFoolTheLexer) {
+  const std::string src =
+      "const char* doc = R\"(call rand() and time() freely in prose)\";\n"
+      "/* rand() in a block comment */\n"
+      "int f() { return 1; }\n";
+  EXPECT_TRUE(lint_snippet("src/mst/x.cpp", src).empty());
+}
+
+// --- output encoding ----------------------------------------------------
+
+TEST(LintOutput, JsonListsViolationsWithPositions) {
+  LintContext ctx;
+  ctx.root = MSTV_LINT_REPO_ROOT;
+  const RuleRegistry registry = RuleRegistry::builtin();
+  ctx.known_rules = registry.ids();
+  LintResult result;
+  result.files_scanned = 1;
+  mstv::lint::lint_content(registry, ctx, "src/mst/x.cpp",
+                           "int f() { return rand(); }\n", {},
+                           result.diagnostics);
+  const std::string json = mstv::lint::to_json(result);
+  EXPECT_NE(json.find("\"rule\": \"DET-RAND\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"file\": \"src/mst/x.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+}

@@ -2,73 +2,26 @@
 # Lints repo-path references in the documentation: every `src/...`,
 # `docs/...`, `tools/...`, `tests/...`, `bench/...` or `examples/...`
 # path mentioned in README.md, DESIGN.md, EXPERIMENTS.md or docs/*.md
-# must exist in the tree, so the documentation pass cannot rot silently
-# when files move.  Glob references (`src/plscheme/mst_scheme.*`,
-# `src/lowerbound/*`) pass iff they match at least one entry.
+# must exist in the tree (globs must match at least one entry), so the
+# documentation pass cannot rot silently when files move.
 #
-# Before the real scan the script runs a self-test: a synthetic document
-# with a deliberately broken reference must FAIL the check (exit 2 with
-# "self-test failed" otherwise), so a regression in the extraction regex
-# cannot turn the lint into a silent yes-machine.
+# Historical entry point, kept for compatibility: the grep body (and its
+# inline self-test) is retired in favor of the engine rule DOCS-PATH-REFS
+# in tools/lint/, which reports real line numbers and is itself covered
+# by tests/test_lint_rules.cpp and the tests/lint_fixtures/ corpus.  This
+# wrapper just locates the mstv-lint binary and delegates.
 #
-# Usage: tools/check_docs_refs.sh [repo-root]
+# Usage: tools/check_docs_refs.sh [repo-root] [mstv-lint-binary]
 set -u
 
 root="${1:-$(dirname "$0")/..}"
-cd "$root" || exit 2
+lint="${2:-${MSTV_LINT_BIN:-$root/build/tools/lint/mstv-lint}}"
 
-path_re='(build/)?(src|docs|tools|tests|bench|examples)/[A-Za-z0-9_./*-]+'
-
-# check_file <doc> — prints each dangling reference, returns 1 if any.
-check_file() {
-  doc="$1"
-  bad=0
-  for ref in $(grep -ohE "$path_re" "$doc" | sort -u); do
-    # References into the build tree (binaries like build/tools/mstv)
-    # are usage examples, not source paths — out of scope.
-    case "$ref" in build/*) continue ;; esac
-    # Trim punctuation that the regex can drag in from prose:
-    # a trailing "." (sentence end) or "/" (directory spelling).
-    case "$ref" in *.) ref="${ref%.}" ;; esac
-    case "$ref" in */) ref="${ref%/}" ;; esac
-    [ -n "$ref" ] || continue
-    found=0
-    # Unquoted expansion on purpose: glob references resolve here; a
-    # non-matching glob stays literal and fails the -e test below.
-    for f in $ref; do
-      [ -e "$f" ] && found=1
-    done
-    # Bench/example binaries are referenced by target name; accept when
-    # the same-named source file exists (bench/bench_foo -> .cpp).
-    [ -e "$ref.cpp" ] && found=1
-    if [ "$found" -eq 0 ]; then
-      echo "dangling reference in $doc: $ref" >&2
-      bad=1
-    fi
-  done
-  return "$bad"
-}
-
-# --- self-test: a broken reference must be caught -----------------------
-selftest=$(mktemp) || exit 2
-trap 'rm -f "$selftest"' EXIT
-cat > "$selftest" <<'EOF'
-A healthy reference: `tools/check_docs_refs.sh`.
-A broken one: see `src/definitely/not_here.hpp` for details.
-EOF
-if check_file "$selftest" 2>/dev/null; then
-  echo "self-test failed: broken reference was not detected" >&2
+if [ ! -x "$lint" ]; then
+  echo "mstv-lint not found at '$lint'." >&2
+  echo "Build it first (cmake --build build --target mstv_lint)" >&2
+  echo "or pass the binary as the second argument / \$MSTV_LINT_BIN." >&2
   exit 2
 fi
 
-# --- the real scan ------------------------------------------------------
-status=0
-for doc in README.md DESIGN.md EXPERIMENTS.md docs/*.md; do
-  [ -f "$doc" ] || continue
-  check_file "$doc" || status=1
-done
-
-if [ "$status" -eq 0 ]; then
-  echo "doc path references ok"
-fi
-exit "$status"
+exec "$lint" --root="$root" --rules=DOCS-PATH-REFS

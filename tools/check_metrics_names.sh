@@ -2,43 +2,25 @@
 # Lints telemetry instrument names against the naming convention of
 # docs/observability.md: `component.noun[_unit]` — two or more lowercase
 # snake_case segments joined by dots, e.g. `verify.messages`,
-# `verify.node_time_us`, `faults.injected.redirect_parent`.
+# `verify.node_time_us`.
 #
-# Scans every literal name passed to the MSTV_* instrumentation macros,
-# the obs:: free-function sinks, and direct Registry instrument lookups
-# (.counter("…") / .gauge("…") / .histogram("…")) under src/, tools/,
-# bench/, tests/ and examples/.  Exits 1 listing each offending site.
+# Historical entry point, kept for compatibility: the grep body this
+# script used to carry is retired in favor of the token-accurate engine
+# rule OBS-METRIC-NAME in tools/lint/ (no false hits inside comments or
+# unrelated strings, per-site justified suppressions).  This wrapper just
+# locates the mstv-lint binary and delegates.
 #
-# Usage: tools/check_metrics_names.sh [repo-root]
+# Usage: tools/check_metrics_names.sh [repo-root] [mstv-lint-binary]
 set -u
 
 root="${1:-$(dirname "$0")/..}"
-cd "$root" || exit 2
+lint="${2:-${MSTV_LINT_BIN:-$root/build/tools/lint/mstv-lint}}"
 
-pattern='MSTV_(COUNTER_ADD|COUNTER_INC|GAUGE_SET|HIST_OBSERVE|SPAN|SCOPED_TIMER_US)\(\s*"[^"]*"|obs::(counter_add|gauge_set|hist_observe)\(\s*"[^"]*"|\.(counter|gauge|histogram)\(\s*"[^"]*"'
-name_re='^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$'
-
-status=0
-found=0
-
-# Each match arrives as file:call("name — validate the quoted name.
-for hit in $(grep -rhoE "$pattern" src tools bench tests examples \
-                 --include='*.cpp' --include='*.hpp' | tr -d ' ' \
-             | sort -u); do
-  found=1
-  name=$(printf '%s' "$hit" | sed 's/.*("//; s/"$//')
-  if ! printf '%s' "$name" | grep -qE "$name_re"; then
-    echo "bad metric/span name: \"$name\" (from $hit)" >&2
-    status=1
-  fi
-done
-
-if [ "$found" -eq 0 ]; then
-  echo "no instrumentation sites found — pattern out of date?" >&2
+if [ ! -x "$lint" ]; then
+  echo "mstv-lint not found at '$lint'." >&2
+  echo "Build it first (cmake --build build --target mstv_lint)" >&2
+  echo "or pass the binary as the second argument / \$MSTV_LINT_BIN." >&2
   exit 2
 fi
 
-if [ "$status" -eq 0 ]; then
-  echo "metric names ok"
-fi
-exit "$status"
+exec "$lint" --root="$root" --rules=OBS-METRIC-NAME

@@ -1,0 +1,167 @@
+#include "lint/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+namespace mstv::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+FileClass classify(std::string_view relpath) {
+  if (relpath.size() > 3 && relpath.substr(relpath.size() - 3) == ".md") {
+    return FileClass::Markdown;
+  }
+  return FileClass::Cxx;
+}
+
+bool cxx_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// The default scan set, sorted for deterministic output.
+std::vector<std::string> default_scan(const std::string& root) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const char* top : {"src", "tools", "bench", "tests", "examples"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir, ec)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir, ec);
+         it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file(ec) || !cxx_source(it->path())) continue;
+      std::string rel =
+          fs::relative(it->path(), fs::path(root), ec).generic_string();
+      // The fixture corpus is known-bad code with `expect:` markers —
+      // scanned only by tests/test_lint_rules.cpp, never by the tree run.
+      if (rel.rfind("tests/lint_fixtures/", 0) == 0) continue;
+      out.push_back(std::move(rel));
+    }
+  }
+  for (const char* doc : {"README.md", "DESIGN.md", "EXPERIMENTS.md"}) {
+    if (fs::exists(fs::path(root) / doc, ec)) out.emplace_back(doc);
+  }
+  const fs::path docs = fs::path(root) / "docs";
+  if (fs::exists(docs, ec)) {
+    for (const auto& entry : fs::directory_iterator(docs, ec)) {
+      if (entry.path().extension() == ".md") {
+        out.push_back(
+            fs::relative(entry.path(), fs::path(root), ec).generic_string());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool rule_selected(const Rule& rule,
+                   const std::vector<std::string>& only_rules) {
+  if (only_rules.empty()) return true;
+  return std::find(only_rules.begin(), only_rules.end(), rule.id()) !=
+         only_rules.end();
+}
+
+}  // namespace
+
+void lint_content(const RuleRegistry& registry, const LintContext& ctx,
+                  const std::string& relpath, const std::string& content,
+                  const std::vector<std::string>& only_rules,
+                  std::vector<Diagnostic>& out) {
+  const SourceFile file(relpath, content, classify(relpath));
+  for (const auto& rule : registry.rules()) {
+    if (!rule_selected(*rule, only_rules)) continue;
+    if (rule->file_class() != file.file_class()) continue;
+    if (!rule->applies_to(relpath)) continue;
+    rule->check(ctx, file, out);
+  }
+}
+
+LintResult run_lint(const RuleRegistry& registry, const LintOptions& options) {
+  LintContext ctx;
+  ctx.root = options.root;
+  ctx.known_rules = registry.ids();
+
+  std::vector<std::string> files =
+      options.files.empty() ? default_scan(options.root) : options.files;
+
+  LintResult result;
+  for (const std::string& rel : files) {
+    const std::string content = slurp(fs::path(options.root) / rel);
+    lint_content(registry, ctx, rel, content, options.only_rules,
+                 result.diagnostics);
+    ++result.files_scanned;
+  }
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.col, a.rule) <
+                     std::tie(b.file, b.line, b.col, b.rule);
+            });
+  return result;
+}
+
+std::string to_text(const LintResult& result) {
+  std::ostringstream out;
+  for (const Diagnostic& d : result.diagnostics) {
+    out << d.file << ':' << d.line << ':' << d.col << ": [" << d.rule << "] "
+        << d.message << '\n';
+  }
+  out << (result.diagnostics.empty() ? "mstv-lint: clean ("
+                                     : "mstv-lint: FAILED (")
+      << result.diagnostics.size() << " violation"
+      << (result.diagnostics.size() == 1 ? "" : "s") << ", "
+      << result.files_scanned << " files scanned)\n";
+  return out.str();
+}
+
+std::string to_json(const LintResult& result) {
+  std::ostringstream out;
+  out << "{\n  \"files_scanned\": " << result.files_scanned
+      << ",\n  \"violations\": [";
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"rule\": \"" << json_escape(d.rule)
+        << "\", \"file\": \"" << json_escape(d.file)
+        << "\", \"line\": " << d.line << ", \"col\": " << d.col
+        << ", \"message\": \"" << json_escape(d.message) << "\"}";
+  }
+  out << (result.diagnostics.empty() ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+}  // namespace mstv::lint

@@ -1,0 +1,40 @@
+// The mstv-lint driver: file discovery, rule dispatch, output encoding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+namespace mstv::lint {
+
+struct LintOptions {
+  std::string root = ".";                // repo root
+  std::vector<std::string> only_rules;   // empty = every registered rule
+  std::vector<std::string> files;        // explicit repo-relative paths;
+                                         // empty = the default tree scan
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;   // sorted (file, line, col, rule)
+  std::size_t files_scanned = 0;
+};
+
+/// Lints one in-memory file (the unit the tests drive: fixtures pretend
+/// to live at any repo-relative path via `relpath`).
+void lint_content(const RuleRegistry& registry, const LintContext& ctx,
+                  const std::string& relpath, const std::string& content,
+                  const std::vector<std::string>& only_rules,
+                  std::vector<Diagnostic>& out);
+
+/// Full run over the tree (or `options.files`).  The default scan covers
+/// `*.cpp`/`*.hpp` under src/, tools/, bench/, tests/ and examples/
+/// (minus tests/lint_fixtures/, which is deliberately bad code) plus
+/// README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md for the DOCS rules.
+[[nodiscard]] LintResult run_lint(const RuleRegistry& registry,
+                                  const LintOptions& options);
+
+[[nodiscard]] std::string to_text(const LintResult& result);
+[[nodiscard]] std::string to_json(const LintResult& result);
+
+}  // namespace mstv::lint

@@ -1,0 +1,215 @@
+#include "lint/token.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace mstv::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Cursor over the raw text with line/column bookkeeping.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+      line_has_code_ = false;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int col() const { return col_; }
+  [[nodiscard]] bool line_has_code() const { return line_has_code_; }
+  void mark_code() { line_has_code_ = true; }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool line_has_code_ = false;
+};
+
+// Multi-char punctuators the rules care about. Everything else is emitted
+// one character at a time — rules only ever match `::`, `(`, `)`, `{`,
+// `}`, `[`, `]`, `:`, `.`, `->`, `<`, `>`, `;`, `,`, `=`.
+bool two_char_punct(char a, char b) {
+  return (a == ':' && b == ':') || (a == '-' && b == '>');
+}
+
+}  // namespace
+
+TokenStream lex(const std::string& text) {
+  TokenStream out;
+  Cursor cur(text);
+
+  auto push = [&](TokKind kind, std::string tok_text, int line, int col) {
+    out.tokens.push_back(Token{kind, std::move(tok_text), line, col});
+  };
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      cur.advance();
+      continue;
+    }
+
+    const int line = cur.line();
+    const int col = cur.col();
+
+    // Line comment.
+    if (c == '/' && cur.peek(1) == '/') {
+      const bool own_line = !cur.line_has_code();
+      cur.advance();
+      cur.advance();
+      std::string body;
+      while (!cur.done() && cur.peek() != '\n') body.push_back(cur.advance());
+      out.comments.push_back(Comment{std::move(body), line, line, col,
+                                     own_line});
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && cur.peek(1) == '*') {
+      const bool own_line = !cur.line_has_code();
+      cur.advance();
+      cur.advance();
+      std::string body;
+      while (!cur.done() && !(cur.peek() == '*' && cur.peek(1) == '/')) {
+        body.push_back(cur.advance());
+      }
+      const int end_line = cur.line();
+      if (!cur.done()) {
+        cur.advance();
+        cur.advance();
+      }
+      out.comments.push_back(Comment{std::move(body), line, end_line, col,
+                                     own_line});
+      continue;
+    }
+
+    cur.mark_code();
+
+    // Raw string literal: R"tag( ... )tag".  Must come before the plain
+    // identifier path so `R` does not swallow the opening quote.
+    if (c == 'R' && cur.peek(1) == '"') {
+      cur.advance();  // R
+      cur.advance();  // "
+      std::string tag;
+      while (!cur.done() && cur.peek() != '(') tag.push_back(cur.advance());
+      if (!cur.done()) cur.advance();  // (
+      const std::string close = ")" + tag + "\"";
+      std::string body;
+      while (!cur.done()) {
+        if (cur.peek() == ')') {
+          bool match = true;
+          for (std::size_t i = 0; i < close.size(); ++i) {
+            if (cur.peek(i) != close[i]) {
+              match = false;
+              break;
+            }
+          }
+          if (match) {
+            for (std::size_t i = 0; i < close.size(); ++i) cur.advance();
+            break;
+          }
+        }
+        body.push_back(cur.advance());
+      }
+      push(TokKind::String, std::move(body), line, col);
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::string name;
+      while (!cur.done() && ident_cont(cur.peek())) name.push_back(cur.advance());
+      // String-literal prefixes (u8"...", L"...", u"...", U"...") lex the
+      // trailing quote as a plain string below; the prefix identifier is
+      // harmless to the rules.
+      push(TokKind::Identifier, std::move(name), line, col);
+      continue;
+    }
+
+    // Number (also eats pp-numbers like 1'000'000 and 0x1.8p3).
+    if (digit(c) || (c == '.' && digit(cur.peek(1)))) {
+      std::string num;
+      while (!cur.done() &&
+             (ident_cont(cur.peek()) || cur.peek() == '.' ||
+              cur.peek() == '\'' ||
+              ((cur.peek() == '+' || cur.peek() == '-') && !num.empty() &&
+               (num.back() == 'e' || num.back() == 'E' || num.back() == 'p' ||
+                num.back() == 'P')))) {
+        num.push_back(cur.advance());
+      }
+      push(TokKind::Number, std::move(num), line, col);
+      continue;
+    }
+
+    // String literal.
+    if (c == '"') {
+      cur.advance();
+      std::string body;
+      while (!cur.done() && cur.peek() != '"') {
+        if (cur.peek() == '\\' && cur.peek(1) != '\0') {
+          body.push_back(cur.advance());  // keep escapes verbatim
+        }
+        if (cur.peek() == '\n') break;  // unterminated: stop at line end
+        body.push_back(cur.advance());
+      }
+      if (!cur.done() && cur.peek() == '"') cur.advance();
+      push(TokKind::String, std::move(body), line, col);
+      continue;
+    }
+
+    // Character literal.
+    if (c == '\'') {
+      cur.advance();
+      std::string body;
+      while (!cur.done() && cur.peek() != '\'') {
+        if (cur.peek() == '\\' && cur.peek(1) != '\0') body.push_back(cur.advance());
+        if (cur.peek() == '\n') break;
+        body.push_back(cur.advance());
+      }
+      if (!cur.done() && cur.peek() == '\'') cur.advance();
+      push(TokKind::CharLit, std::move(body), line, col);
+      continue;
+    }
+
+    // Punctuation.
+    if (two_char_punct(c, cur.peek(1))) {
+      std::string p;
+      p.push_back(cur.advance());
+      p.push_back(cur.advance());
+      push(TokKind::Punct, std::move(p), line, col);
+      continue;
+    }
+    push(TokKind::Punct, std::string(1, cur.advance()), line, col);
+  }
+
+  return out;
+}
+
+}  // namespace mstv::lint

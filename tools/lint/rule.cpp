@@ -1,0 +1,34 @@
+#include "lint/rule.hpp"
+
+#include <utility>
+
+namespace mstv::lint {
+
+void Rule::report(const SourceFile& file, int line, int col,
+                  std::string message, std::vector<Diagnostic>& out) const {
+  if (file.suppressed(id(), line)) return;
+  out.push_back(Diagnostic{std::string(id()), file.relpath(), line, col,
+                           std::move(message)});
+}
+
+void RuleRegistry::add(std::unique_ptr<Rule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+std::vector<std::string> RuleRegistry::ids() const {
+  std::vector<std::string> out;
+  out.reserve(rules_.size());
+  for (const auto& r : rules_) out.emplace_back(r->id());
+  return out;
+}
+
+RuleRegistry RuleRegistry::builtin() {
+  RuleRegistry reg;
+  for (auto* family : {&make_det_rules, &make_hot_rules, &make_obs_rules,
+                       &make_docs_rules, &make_meta_rules}) {
+    for (auto& rule : (*family)()) reg.add(std::move(rule));
+  }
+  return reg;
+}
+
+}  // namespace mstv::lint

@@ -1,0 +1,91 @@
+// Rule interface and registry for mstv-lint.
+//
+// Philosophy (mirrors the proof-labeling model the repo reproduces): the
+// system's global invariants — bit-identical results at any --threads,
+// lock-free hot paths, stable metric names, live doc references — are
+// enforced by *locally checkable evidence* in each source file.  A rule
+// is a local verifier; a suppression comment is a certificate that a
+// human audited the site, and it is only valid when it carries a
+// justification.
+//
+// Suppression syntax (parsed from comments by SourceFile; the directive
+// prefix is the tool name followed by a colon, then):
+//
+//   allow(RULE-ID) — why this site is exempt
+//
+// The separator may be an em dash, `--`, or `:`; the justification text
+// is REQUIRED — a bare `allow()` is itself a violation (LINT-BARE-ALLOW),
+// and an allow() naming a rule the registry does not know is flagged too
+// (LINT-UNKNOWN-RULE).  A suppression covers the line it sits on and, when
+// the comment stands alone on its line, the next line of code.  The HOT
+// family also honors a file-wide `hot-path-file` marker.  Full syntax and
+// copy-pasteable examples: docs/static_analysis.md.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/source_file.hpp"
+
+namespace mstv::lint {
+
+struct Diagnostic {
+  std::string rule;
+  std::string file;  // repo-relative path
+  int line = 0;
+  int col = 0;
+  std::string message;
+};
+
+/// Everything a rule may consult besides the file under scan.
+struct LintContext {
+  std::string root;  // absolute repo root (for existence checks, DOCS)
+  std::vector<std::string> known_rules;  // ids, for LINT-UNKNOWN-RULE
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  [[nodiscard]] virtual std::string_view id() const = 0;
+  [[nodiscard]] virtual std::string_view summary() const = 0;
+  /// Which class of file the rule consumes (C++ sources vs markdown).
+  [[nodiscard]] virtual FileClass file_class() const { return FileClass::Cxx; }
+  /// Path filter over repo-relative paths (forward slashes).
+  [[nodiscard]] virtual bool applies_to(std::string_view relpath) const = 0;
+
+  virtual void check(const LintContext& ctx, const SourceFile& file,
+                     std::vector<Diagnostic>& out) const = 0;
+
+ protected:
+  /// Emits `d` unless an allow(RULE-ID) certificate covers the line.
+  void report(const SourceFile& file, int line, int col, std::string message,
+              std::vector<Diagnostic>& out) const;
+};
+
+class RuleRegistry {
+ public:
+  void add(std::unique_ptr<Rule> rule);
+  [[nodiscard]] const std::vector<std::unique_ptr<Rule>>& rules() const {
+    return rules_;
+  }
+  [[nodiscard]] std::vector<std::string> ids() const;
+
+  /// Every built-in rule family (DET, HOT, OBS, DOCS, LINT meta rules),
+  /// in stable catalog order.
+  [[nodiscard]] static RuleRegistry builtin();
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+// Rule families, one factory set per translation unit.
+std::vector<std::unique_ptr<Rule>> make_det_rules();
+std::vector<std::unique_ptr<Rule>> make_hot_rules();
+std::vector<std::unique_ptr<Rule>> make_obs_rules();
+std::vector<std::unique_ptr<Rule>> make_docs_rules();
+std::vector<std::unique_ptr<Rule>> make_meta_rules();
+
+}  // namespace mstv::lint

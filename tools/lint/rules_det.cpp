@@ -1,0 +1,279 @@
+// DET rule family: the statically checkable slice of the determinism
+// contract (docs/parallelism.md).  A verifier run must be bit-identical
+// at any --threads value and reproducible from its seed, so the
+// result-producing code may not consult ambient entropy (rand, hardware
+// RNGs), wall clocks, or hash-order-dependent iteration.
+//
+//   DET-RAND   — seedless / ambient randomness (`rand`, `srand`,
+//                `std::random_device`, `drand48`, …) anywhere except
+//                src/obs/ and bench/.  Deterministic code draws from
+//                util/rng.hpp (`mstv::Rng`), seeded explicitly.
+//   DET-CLOCK  — wall/steady clock reads (`time(`, `clock(`,
+//                `*_clock::now()`) outside src/obs/ and bench/.
+//                Telemetry timing belongs in obs (Span/ScopedTimerUs);
+//                a clock read in a result-producing layer is a latent
+//                nondeterminism bug.
+//   DET-UMAP   — iteration over `std::unordered_map`/`unordered_set` in
+//                the result-producing layers (src/plscheme/, src/dynamic/,
+//                src/parallel/).  Hash iteration order is
+//                implementation-defined; folding it into labels,
+//                verdicts or serialized output silently breaks the
+//                cross-thread determinism contract PR 2 established.
+#include <array>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "lint/rule.hpp"
+
+namespace mstv::lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Paths where ambient entropy / clocks are legitimate: telemetry keeps
+// wall time by design, benches measure it.
+bool det_exempt_path(std::string_view relpath) {
+  return starts_with(relpath, "src/obs/") || starts_with(relpath, "bench/");
+}
+
+// Keywords after which an unqualified call expression can directly
+// follow.  Any *other* identifier directly before the name means a
+// declaration (`int rand() const`), not a call.
+bool expression_keyword(std::string_view s) {
+  return s == "return" || s == "co_return" || s == "co_yield" ||
+         s == "co_await" || s == "throw" || s == "else" || s == "do" ||
+         s == "case";
+}
+
+// True when tokens[i] names a free function call (not a member access
+// like `view.time(...)` or a declaration of an unrelated function that
+// shares the C library name).
+bool free_call(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (prev.kind == TokKind::Identifier) return expression_keyword(prev.text);
+  if (prev.kind != TokKind::Punct) return true;
+  if (prev.text == "." || prev.text == "->") return false;
+  if (prev.text == "::") {
+    // Qualified: `std::time` and globally qualified `::time` count (the
+    // token before a global `::` is punctuation or an expression
+    // keyword); `foo::time` does not.
+    if (i < 2) return true;
+    const Token& qual = toks[i - 2];
+    if (qual.kind != TokKind::Identifier) return true;
+    return qual.text == "std" || expression_keyword(qual.text);
+  }
+  return true;
+}
+
+bool next_is(const std::vector<Token>& toks, std::size_t i,
+             std::string_view punct) {
+  return i + 1 < toks.size() && toks[i + 1].kind == TokKind::Punct &&
+         toks[i + 1].text == punct;
+}
+
+class DetRandRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "DET-RAND"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "ambient randomness outside src/obs/ and bench/ "
+           "(use the seeded mstv::Rng)";
+  }
+  [[nodiscard]] bool applies_to(std::string_view relpath) const override {
+    return !det_exempt_path(relpath);
+  }
+
+  void check(const LintContext&, const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    static const std::set<std::string, std::less<>> kCalls = {
+        "rand", "srand", "rand_r", "srandom", "random", "drand48", "lrand48",
+        "mrand48", "srand48"};
+    const auto& toks = file.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::Identifier) continue;
+      if (t.text == "random_device") {
+        report(file, t.line, t.col,
+               "std::random_device is ambient entropy; results must be "
+               "reproducible from an explicit seed (util/rng.hpp)",
+               out);
+        continue;
+      }
+      if (kCalls.count(t.text) != 0 && next_is(toks, i, "(") &&
+          free_call(toks, i)) {
+        report(file, t.line, t.col,
+               "'" + t.text +
+                   "()' draws from ambient global state; use the seeded "
+                   "mstv::Rng instead",
+               out);
+      }
+    }
+  }
+};
+
+class DetClockRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "DET-CLOCK"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "clock reads outside src/obs/ and bench/ "
+           "(route timing through obs spans/timers)";
+  }
+  [[nodiscard]] bool applies_to(std::string_view relpath) const override {
+    return !det_exempt_path(relpath);
+  }
+
+  void check(const LintContext&, const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    static const std::set<std::string, std::less<>> kClockTypes = {
+        "steady_clock", "system_clock", "high_resolution_clock",
+        "utc_clock", "file_clock"};
+    static const std::set<std::string, std::less<>> kCCalls = {
+        "time", "clock", "gettimeofday", "clock_gettime", "localtime",
+        "gmtime", "ftime"};
+    const auto& toks = file.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::Identifier) continue;
+      // `steady_clock::now` — flag the now() read, not the type mention
+      // (time_point parameters are fine, reading the clock is not).
+      if (kClockTypes.count(t.text) != 0 && next_is(toks, i, "::") &&
+          i + 2 < toks.size() && toks[i + 2].kind == TokKind::Identifier &&
+          toks[i + 2].text == "now") {
+        report(file, t.line, t.col,
+               t.text + "::now() reads wall time in a result-producing "
+                        "layer; use obs spans/timers or pass times in",
+               out);
+        continue;
+      }
+      if (kCCalls.count(t.text) != 0 && next_is(toks, i, "(") &&
+          free_call(toks, i)) {
+        report(file, t.line, t.col,
+               "'" + t.text + "()' reads the system clock; timing belongs "
+                              "to the obs layer",
+               out);
+      }
+    }
+  }
+};
+
+class DetUnorderedIterRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "DET-UMAP"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "iteration over unordered containers in result-producing "
+           "layers (hash order is not deterministic)";
+  }
+  [[nodiscard]] bool applies_to(std::string_view relpath) const override {
+    return starts_with(relpath, "src/plscheme/") ||
+           starts_with(relpath, "src/dynamic/") ||
+           starts_with(relpath, "src/parallel/");
+  }
+
+  void check(const LintContext&, const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    static const std::set<std::string, std::less<>> kUnordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    const auto& toks = file.tokens();
+
+    // Pass 1: names declared with an unordered type.  After the type
+    // identifier, skip one balanced `<...>` argument list; the next
+    // identifier is the declared name (`std::unordered_map<K, V> seen;`).
+    std::set<std::string, std::less<>> unordered_vars;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::Identifier ||
+          kUnordered.count(toks[i].text) == 0) {
+        continue;
+      }
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].kind == TokKind::Punct &&
+          toks[j].text == "<") {
+        int depth = 0;
+        for (; j < toks.size(); ++j) {
+          if (toks[j].kind != TokKind::Punct) continue;
+          if (toks[j].text == "<") ++depth;
+          if (toks[j].text == ">") {
+            if (--depth == 0) {
+              ++j;
+              break;
+            }
+          }
+        }
+      }
+      // Skip refs/cv in `const std::unordered_set<T>& live`.
+      while (j < toks.size() && toks[j].kind == TokKind::Punct &&
+             (toks[j].text == "&" || toks[j].text == "*")) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokKind::Identifier &&
+          toks[j].text != "const") {
+        unordered_vars.insert(toks[j].text);
+      }
+    }
+    if (unordered_vars.empty()) return;
+
+    // Pass 2a: range-for whose range expression mentions an unordered
+    // variable — `for (auto& kv : seen)`.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::Identifier || toks[i].text != "for") {
+        continue;
+      }
+      if (!next_is(toks, i, "(")) continue;
+      int depth = 0;
+      bool past_colon = false;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].kind == TokKind::Punct) {
+          if (toks[j].text == "(") ++depth;
+          if (toks[j].text == ")" && --depth == 0) break;
+          if (toks[j].text == ":" && depth == 1) past_colon = true;
+          continue;
+        }
+        if (past_colon && toks[j].kind == TokKind::Identifier &&
+            unordered_vars.count(toks[j].text) != 0) {
+          report(file, toks[i].line, toks[i].col,
+                 "range-for over unordered container '" + toks[j].text +
+                     "': hash iteration order leaks into results; use a "
+                     "sorted container or sort before folding",
+                 out);
+          break;
+        }
+      }
+    }
+
+    // Pass 2b: explicit iterator walks — `seen.begin()` / `seen.cbegin()`.
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::Identifier ||
+          unordered_vars.count(toks[i].text) == 0) {
+        continue;
+      }
+      if (toks[i + 1].kind != TokKind::Punct ||
+          (toks[i + 1].text != "." && toks[i + 1].text != "->")) {
+        continue;
+      }
+      const Token& member = toks[i + 2];
+      if (member.kind == TokKind::Identifier &&
+          (member.text == "begin" || member.text == "cbegin")) {
+        report(file, toks[i].line, toks[i].col,
+               "iterator walk over unordered container '" + toks[i].text +
+                   "': hash iteration order leaks into results",
+               out);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_det_rules() {
+  std::vector<std::unique_ptr<Rule>> out;
+  out.push_back(std::make_unique<DetRandRule>());
+  out.push_back(std::make_unique<DetClockRule>());
+  out.push_back(std::make_unique<DetUnorderedIterRule>());
+  return out;
+}
+
+}  // namespace mstv::lint

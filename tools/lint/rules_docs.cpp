@@ -1,0 +1,172 @@
+// DOCS rule family: documentation must not rot against the tree.
+//
+//   DOCS-PATH-REFS — every `src/...`, `docs/...`, `tools/...`,
+//                    `tests/...`, `bench/...` or `examples/...` path
+//                    mentioned in the scanned markdown must exist in the
+//                    repository.  Glob references
+//                    (`src/plscheme/mst_scheme.*`, `src/lowerbound/*`)
+//                    pass iff they match at least one entry; a reference
+//                    to a bench/example *target* passes when the
+//                    same-named `.cpp` exists.  References into `build/`
+//                    are usage examples, not source paths — out of scope.
+//
+// This is the engine port of the original tools/check_docs_refs.sh grep,
+// with real line numbers in diagnostics.
+#include <cctype>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "lint/rule.hpp"
+
+namespace mstv::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ref_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '.' || c == '/' || c == '*' || c == '-';
+}
+
+// Shell-style per-component match: `*` matches any run of non-separator
+// characters; no other metacharacters are supported (none appear in the
+// docs).
+bool component_matches(std::string_view pattern, std::string_view name) {
+  std::size_t p = 0;
+  std::size_t n = 0;
+  std::size_t star = std::string_view::npos;
+  std::size_t star_n = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() && (pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_n = n;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      n = ++star_n;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool glob_exists(const fs::path& dir, std::string_view pattern) {
+  const std::size_t slash = pattern.find('/');
+  const std::string_view head = pattern.substr(0, slash);
+  std::error_code ec;
+  if (head.find('*') == std::string_view::npos) {
+    const fs::path next = dir / std::string(head);
+    if (slash == std::string_view::npos) return fs::exists(next, ec);
+    return glob_exists(next, pattern.substr(slash + 1));
+  }
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!component_matches(head, name)) continue;
+    if (slash == std::string_view::npos) return true;
+    if (glob_exists(entry.path(), pattern.substr(slash + 1))) return true;
+  }
+  return false;
+}
+
+bool reference_resolves(const std::string& root, std::string_view ref) {
+  if (ref.find('*') != std::string_view::npos) {
+    return glob_exists(fs::path(root), ref);
+  }
+  std::error_code ec;
+  if (fs::exists(fs::path(root) / std::string(ref), ec)) return true;
+  // Bench/example binaries are referenced by target name; accept when the
+  // same-named source exists (bench/bench_foo -> bench/bench_foo.cpp).
+  return fs::exists(fs::path(root) / (std::string(ref) + ".cpp"), ec);
+}
+
+class DocsPathRefsRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "DOCS-PATH-REFS";
+  }
+  [[nodiscard]] std::string_view summary() const override {
+    return "repo paths referenced from markdown must exist "
+           "(globs must match at least one entry)";
+  }
+  [[nodiscard]] FileClass file_class() const override {
+    return FileClass::Markdown;
+  }
+  [[nodiscard]] bool applies_to(std::string_view relpath) const override {
+    return relpath.size() > 3 &&
+           relpath.substr(relpath.size() - 3) == ".md";
+  }
+
+  void check(const LintContext& ctx, const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    static constexpr std::string_view kTopDirs[] = {
+        "src/", "docs/", "tools/", "tests/", "bench/", "examples/"};
+
+    const std::string& text = file.text();
+    int line = 1;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      std::size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      scan_line(ctx, file, std::string_view(text.data() + start, end - start),
+                line, kTopDirs, out);
+      if (end == text.size()) break;
+      start = end + 1;
+      ++line;
+    }
+  }
+
+ private:
+  void scan_line(const LintContext& ctx, const SourceFile& file,
+                 std::string_view row, int line,
+                 const std::string_view (&top_dirs)[6],
+                 std::vector<Diagnostic>& out) const {
+    // Lint-internal plumbing: a fixture's pretend-path marker is not a
+    // documentation reference.
+    if (row.find("mstv-lint-fixture:") != std::string_view::npos) return;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      // A reference starts at a word boundary; `/` counts as a ref char,
+      // so paths under build/ (usage examples) never match a top dir.
+      if (i > 0 && ref_char(row[i - 1])) continue;
+      std::string_view match;
+      for (std::string_view dir : top_dirs) {
+        if (row.substr(i).rfind(dir, 0) == 0) {
+          match = dir;
+          break;
+        }
+      }
+      if (match.empty()) continue;
+      std::size_t len = 0;
+      while (i + len < row.size() && ref_char(row[i + len])) ++len;
+      std::string_view ref = row.substr(i, len);
+      const int col = static_cast<int>(i) + 1;
+      i += len - 1;  // resume after the reference (loop ++ steps past)
+      // Trim punctuation the scan drags in from prose: a sentence-ending
+      // "." or a directory spelled with a trailing "/".
+      while (!ref.empty() && (ref.back() == '.' || ref.back() == '/')) {
+        ref.remove_suffix(1);
+      }
+      if (ref.size() <= match.size()) continue;  // bare "src/" mention
+      if (reference_resolves(ctx.root, ref)) continue;
+      report(file, line, col,
+             "dangling reference: `" + std::string(ref) +
+                 "` does not exist in the tree",
+             out);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_docs_rules() {
+  std::vector<std::unique_ptr<Rule>> out;
+  out.push_back(std::make_unique<DocsPathRefsRule>());
+  return out;
+}
+
+}  // namespace mstv::lint

@@ -1,0 +1,118 @@
+// HOT rule family: the lock-free hot-path contract (docs/parallelism.md,
+// docs/observability.md).  PR 2 made the sharded verifier's inner loops
+// mutex-free — per-node telemetry goes through lock-free atomics, shard
+// results live in per-shard slots — because one lock inside a shard body
+// serializes every worker and erases the engine's scaling.
+//
+//   HOT-MUTEX — mutex/lock acquisition (std::mutex, lock_guard,
+//               unique_lock, scoped_lock, shared_lock, condition_variable,
+//               or a .lock() call) inside a lambda passed to
+//               `for_each_shard` / `sharded_reduce`, or anywhere in a
+//               file carrying the `// mstv-lint: hot-path-file` marker.
+#include <memory>
+#include <set>
+#include <string>
+
+#include "lint/rule.hpp"
+
+namespace mstv::lint {
+
+namespace {
+
+const std::set<std::string, std::less<>>& lock_idents() {
+  static const std::set<std::string, std::less<>> kIdents = {
+      "mutex", "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+      "shared_mutex", "recursive_mutex", "timed_mutex", "condition_variable",
+      "condition_variable_any"};
+  return kIdents;
+}
+
+class HotMutexRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "HOT-MUTEX"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "lock acquisition inside a shard lambda or hot-path-file "
+           "(hot paths must stay lock-free)";
+  }
+  [[nodiscard]] bool applies_to(std::string_view) const override {
+    return true;
+  }
+
+  void check(const LintContext&, const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    const auto& toks = file.tokens();
+    std::set<int> reported_lines;
+
+    if (file.hot_path_file()) {
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        flag_if_lock(file, toks, i, "hot-path file", reported_lines, out);
+      }
+      return;
+    }
+
+    // Hot regions: lambda bodies inside the argument list of a
+    // for_each_shard / sharded_reduce call.  The declaration/definition
+    // of those functions has no braces inside its parameter parens, so
+    // only real call sites with inline lambdas match.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::Identifier) continue;
+      if (toks[i].text != "for_each_shard" && toks[i].text != "sharded_reduce") {
+        continue;
+      }
+      if (toks[i + 1].kind != TokKind::Punct || toks[i + 1].text != "(") {
+        continue;
+      }
+      const std::string region = "lambda passed to " + toks[i].text;
+      int paren = 0;
+      int brace = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].kind == TokKind::Punct) {
+          if (toks[j].text == "(") ++paren;
+          if (toks[j].text == ")" && --paren == 0) break;
+          if (toks[j].text == "{") ++brace;
+          if (toks[j].text == "}") --brace;
+          continue;
+        }
+        if (brace > 0) flag_if_lock(file, toks, j, region, reported_lines, out);
+      }
+    }
+  }
+
+ private:
+  void flag_if_lock(const SourceFile& file, const std::vector<Token>& toks,
+                    std::size_t i, const std::string& region,
+                    std::set<int>& reported_lines,
+                    std::vector<Diagnostic>& out) const {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Identifier) return;
+    if (reported_lines.count(t.line) != 0) return;  // one finding per line
+    // Preprocessor lines (`#include <mutex>`) mention lock names without
+    // acquiring anything.
+    const std::string_view row = file.line_text(t.line);
+    const std::size_t first = row.find_first_not_of(" \t");
+    if (first != std::string_view::npos && row[first] == '#') return;
+    const bool lock_type = lock_idents().count(t.text) != 0;
+    const bool lock_call =
+        t.text == "lock" && i > 0 && toks[i - 1].kind == TokKind::Punct &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+        i + 1 < toks.size() && toks[i + 1].kind == TokKind::Punct &&
+        toks[i + 1].text == "(";
+    if (!lock_type && !lock_call) return;
+    reported_lines.insert(t.line);
+    report(file, t.line, t.col,
+           "'" + t.text + "' acquires a lock in a " + region +
+               "; hot paths are lock-free by contract — pre-resolve "
+               "instruments, use per-shard slots or atomics",
+           out);
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_hot_rules() {
+  std::vector<std::unique_ptr<Rule>> out;
+  out.push_back(std::make_unique<HotMutexRule>());
+  return out;
+}
+
+}  // namespace mstv::lint

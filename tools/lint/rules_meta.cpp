@@ -1,0 +1,90 @@
+// LINT meta rules: the suppression mechanism polices itself.  An allow()
+// certificate is only evidence if a human wrote down *why* — an
+// unjustified or dangling suppression is exactly the silent contract
+// erosion the engine exists to prevent.
+//
+//   LINT-BARE-ALLOW   — an allow(RULE) directive without a justification
+//                       (or with empty parens / missing close paren).
+//   LINT-UNKNOWN-RULE — allow() naming a rule id the registry does not
+//                       know (typo'd suppressions would otherwise both
+//                       fail to suppress and rot silently).
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "lint/rule.hpp"
+
+namespace mstv::lint {
+
+namespace {
+
+class BareAllowRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "LINT-BARE-ALLOW";
+  }
+  [[nodiscard]] std::string_view summary() const override {
+    return "allow() suppressions must carry a justification";
+  }
+  [[nodiscard]] bool applies_to(std::string_view) const override {
+    return true;
+  }
+
+  void check(const LintContext&, const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    for (const Allow& a : file.allows()) {
+      if (a.rule.empty()) {
+        report(file, a.line, a.col,
+               "malformed allow(): expected `mstv-lint: allow(RULE-ID) — "
+               "justification`",
+               out);
+      } else if (a.justification.empty()) {
+        report(file, a.line, a.col,
+               "allow(" + a.rule +
+                   ") without a justification; a suppression is a "
+                   "certificate — say why the site is exempt",
+               out);
+      }
+    }
+  }
+};
+
+class UnknownRuleAllowRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "LINT-UNKNOWN-RULE";
+  }
+  [[nodiscard]] std::string_view summary() const override {
+    return "allow() must name a rule id the engine knows";
+  }
+  [[nodiscard]] bool applies_to(std::string_view) const override {
+    return true;
+  }
+
+  void check(const LintContext& ctx, const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    for (const Allow& a : file.allows()) {
+      if (a.rule.empty()) continue;  // LINT-BARE-ALLOW's case
+      const bool known =
+          std::find(ctx.known_rules.begin(), ctx.known_rules.end(), a.rule) !=
+          ctx.known_rules.end();
+      if (!known) {
+        report(file, a.line, a.col,
+               "allow(" + a.rule + ") names no known rule (typo?); run "
+                                   "mstv-lint --list-rules for the catalog",
+               out);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_meta_rules() {
+  std::vector<std::unique_ptr<Rule>> out;
+  out.push_back(std::make_unique<BareAllowRule>());
+  out.push_back(std::make_unique<UnknownRuleAllowRule>());
+  return out;
+}
+
+}  // namespace mstv::lint

@@ -1,0 +1,110 @@
+// OBS rule family: telemetry contracts from docs/observability.md.
+//
+//   OBS-METRIC-NAME — every literal instrument name handed to the MSTV_*
+//                     macros, the obs:: free-function sinks, or a direct
+//                     Registry lookup (.counter("…") / .gauge("…") /
+//                     .histogram("…")) must follow the convention
+//                     `component.noun[_unit]`: two or more lowercase
+//                     snake_case segments joined by dots.  Dashboards and
+//                     the exported JSON key on these names; a typo'd name
+//                     silently forks a metric series.
+//
+// This is the engine port of the original tools/check_metrics_names.sh
+// grep — token-accurate (no false hits inside comments or unrelated
+// strings), and suppressible per site with a justified allow().
+#include <cctype>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "lint/rule.hpp"
+
+namespace mstv::lint {
+
+namespace {
+
+// `component.noun[_unit]`: ^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$
+bool valid_metric_name(std::string_view name) {
+  std::size_t segments = 0;
+  std::size_t i = 0;
+  while (i < name.size()) {
+    if (std::islower(static_cast<unsigned char>(name[i])) == 0) return false;
+    ++i;
+    while (i < name.size() &&
+           (std::islower(static_cast<unsigned char>(name[i])) != 0 ||
+            std::isdigit(static_cast<unsigned char>(name[i])) != 0 ||
+            name[i] == '_')) {
+      ++i;
+    }
+    ++segments;
+    if (i == name.size()) break;
+    if (name[i] != '.') return false;
+    ++i;
+    if (i == name.size()) return false;  // trailing dot
+  }
+  return segments >= 2;
+}
+
+class ObsMetricNameRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "OBS-METRIC-NAME";
+  }
+  [[nodiscard]] std::string_view summary() const override {
+    return "instrument names must be `component.noun[_unit]` "
+           "(lowercase snake_case segments joined by dots)";
+  }
+  [[nodiscard]] bool applies_to(std::string_view) const override {
+    return true;
+  }
+
+  void check(const LintContext&, const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    static const std::set<std::string, std::less<>> kMacros = {
+        "MSTV_COUNTER_ADD", "MSTV_COUNTER_INC", "MSTV_GAUGE_SET",
+        "MSTV_HIST_OBSERVE", "MSTV_SPAN", "MSTV_SCOPED_TIMER_US"};
+    static const std::set<std::string, std::less<>> kSinks = {
+        "counter_add", "gauge_set", "hist_observe"};
+    static const std::set<std::string, std::less<>> kLookups = {
+        "counter", "gauge", "histogram"};
+
+    const auto& toks = file.tokens();
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::Identifier) continue;
+
+      bool site = false;
+      if (kMacros.count(t.text) != 0 || kSinks.count(t.text) != 0) {
+        site = true;
+      } else if (kLookups.count(t.text) != 0 && i > 0 &&
+                 toks[i - 1].kind == TokKind::Punct &&
+                 (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+        site = true;  // registry.counter("…")
+      }
+      if (!site) continue;
+
+      // A site only binds a literal first argument: `(` "name"
+      if (toks[i + 1].kind != TokKind::Punct || toks[i + 1].text != "(") {
+        continue;
+      }
+      const Token& arg = toks[i + 2];
+      if (arg.kind != TokKind::String) continue;  // runtime-built name — ok
+      if (valid_metric_name(arg.text)) continue;
+      report(file, arg.line, arg.col,
+             "metric/span name \"" + arg.text + "\" (at " + t.text +
+                 ") violates the `component.noun[_unit]` convention of "
+                 "docs/observability.md",
+             out);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_obs_rules() {
+  std::vector<std::unique_ptr<Rule>> out;
+  out.push_back(std::make_unique<ObsMetricNameRule>());
+  return out;
+}
+
+}  // namespace mstv::lint

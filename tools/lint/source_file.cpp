@@ -1,0 +1,138 @@
+#include "lint/source_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mstv::lint {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Strips the leading justification separator: an em dash (UTF-8
+// \xe2\x80\x94), one or more '-', or a ':'.  Returns the remainder.
+std::string_view strip_separator(std::string_view s) {
+  s = trim(s);
+  if (s.size() >= 3 && s.substr(0, 3) == "\xe2\x80\x94") {
+    return trim(s.substr(3));
+  }
+  if (!s.empty() && s.front() == ':') return trim(s.substr(1));
+  if (!s.empty() && s.front() == '-') {
+    while (!s.empty() && s.front() == '-') s.remove_prefix(1);
+    return trim(s);
+  }
+  return s;  // no separator — any text still counts as justification
+}
+
+}  // namespace
+
+SourceFile::SourceFile(std::string relpath, std::string text,
+                       FileClass file_class)
+    : relpath_(std::move(relpath)), text_(std::move(text)), class_(file_class) {
+  line_offsets_.push_back(0);
+  for (std::size_t i = 0; i < text_.size(); ++i) {
+    if (text_[i] == '\n') line_offsets_.push_back(i + 1);
+  }
+  if (class_ == FileClass::Cxx) stream_ = lex(text_);
+  parse_directives();
+}
+
+void SourceFile::parse_directives() {
+  constexpr std::string_view kPrefix = "mstv-lint:";
+
+  auto handle = [&](std::string_view body, int line, int end_line, int col,
+                    bool own_line) {
+    const std::size_t at = body.find(kPrefix);
+    if (at == std::string_view::npos) return;
+    std::string_view rest = trim(body.substr(at + kPrefix.size()));
+
+    if (rest.rfind("hot-path-file", 0) == 0) {
+      hot_path_file_ = true;
+      return;
+    }
+    if (rest.rfind("allow", 0) != 0) return;
+    rest = trim(rest.substr(5));
+
+    Allow allow;
+    allow.line = line;
+    allow.end_line = end_line;
+    allow.col = col;
+    allow.own_line = own_line;
+    if (!rest.empty() && rest.front() == '(') {
+      const std::size_t close = rest.find(')');
+      if (close != std::string_view::npos) {
+        allow.rule = std::string(trim(rest.substr(1, close - 1)));
+        allow.justification =
+            std::string(strip_separator(rest.substr(close + 1)));
+      }
+    }
+    allows_.push_back(std::move(allow));
+  };
+
+  if (class_ == FileClass::Cxx) {
+    // Directives live in comments only: a string literal that merely
+    // mentions the syntax (this tool's own parser, say) is not a
+    // certificate.
+    for (const Comment& c : stream_.comments) {
+      handle(c.text, c.line, c.end_line, c.col, c.own_line);
+    }
+    // A directive anywhere in a block of consecutive whole-line comments
+    // covers the code right below the block: extend each own-line allow
+    // through the adjacent own-line comments that follow it.
+    for (Allow& a : allows_) {
+      if (!a.own_line) continue;
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (const Comment& c : stream_.comments) {
+          if (c.own_line && c.line == a.end_line + 1) {
+            a.end_line = c.end_line;
+            grew = true;
+          }
+        }
+      }
+    }
+  } else {
+    // Markdown: scan raw lines (directives ride in `<!-- ... -->`).
+    int line = 1;
+    std::size_t start = 0;
+    while (start <= text_.size()) {
+      std::size_t end = text_.find('\n', start);
+      if (end == std::string::npos) end = text_.size();
+      const std::string_view row(text_.data() + start, end - start);
+      handle(row, line, line, 1, /*own_line=*/trim(row).rfind("<!--", 0) == 0);
+      if (end == text_.size()) break;
+      start = end + 1;
+      ++line;
+    }
+  }
+}
+
+bool SourceFile::suppressed(std::string_view rule, int line) const {
+  return std::any_of(allows_.begin(), allows_.end(), [&](const Allow& a) {
+    if (a.rule != rule || a.justification.empty()) return false;
+    if (line >= a.line && line <= a.end_line) return true;
+    return a.own_line && line == a.end_line + 1;
+  });
+}
+
+std::string_view SourceFile::line_text(int line) const {
+  if (line < 1 || static_cast<std::size_t>(line) > line_offsets_.size()) {
+    return {};
+  }
+  const std::size_t begin = line_offsets_[static_cast<std::size_t>(line) - 1];
+  std::size_t end = text_.find('\n', begin);
+  if (end == std::string::npos) end = text_.size();
+  return std::string_view(text_.data() + begin, end - begin);
+}
+
+}  // namespace mstv::lint

@@ -1,0 +1,65 @@
+// A file under lint: raw text, token/comment streams (for C++ sources),
+// and the parsed `mstv-lint:` directives.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace mstv::lint {
+
+enum class FileClass {
+  Cxx,       // *.cpp / *.hpp — lexed into tokens
+  Markdown,  // *.md — raw text only, scanned line-wise
+};
+
+/// One parsed allow() suppression directive.
+struct Allow {
+  std::string rule;           // may be empty on a malformed allow()
+  std::string justification;  // empty => LINT-BARE-ALLOW
+  int line = 0;               // line the comment starts on
+  int end_line = 0;           // line the comment ends on
+  int col = 0;
+  bool own_line = false;      // comment stands alone => also covers next line
+};
+
+class SourceFile {
+ public:
+  /// `relpath` uses forward slashes relative to the repo root; it drives
+  /// rule path filters, so tests can pretend a fixture lives anywhere.
+  SourceFile(std::string relpath, std::string text, FileClass file_class);
+
+  [[nodiscard]] const std::string& relpath() const { return relpath_; }
+  [[nodiscard]] const std::string& text() const { return text_; }
+  [[nodiscard]] FileClass file_class() const { return class_; }
+  [[nodiscard]] const std::vector<Token>& tokens() const {
+    return stream_.tokens;
+  }
+  [[nodiscard]] const std::vector<Comment>& comments() const {
+    return stream_.comments;
+  }
+  [[nodiscard]] const std::vector<Allow>& allows() const { return allows_; }
+  [[nodiscard]] bool hot_path_file() const { return hot_path_file_; }
+
+  /// True when an allow(rule) certificate covers `line` (same line, or a
+  /// whole-line comment immediately above).
+  [[nodiscard]] bool suppressed(std::string_view rule, int line) const;
+
+  /// The raw text of a 1-based line (no trailing newline), for messages.
+  [[nodiscard]] std::string_view line_text(int line) const;
+
+ private:
+  void parse_directives();
+
+  std::string relpath_;
+  std::string text_;
+  FileClass class_;
+  TokenStream stream_;
+  std::vector<Allow> allows_;
+  bool hot_path_file_ = false;
+  std::vector<std::size_t> line_offsets_;  // byte offset of each line start
+};
+
+}  // namespace mstv::lint

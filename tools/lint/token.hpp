@@ -1,0 +1,51 @@
+// Token model for the mstv-lint C++ lexer.
+//
+// The lexer is deliberately not a compiler front end: rules match on the
+// token stream (identifiers, punctuation, string literals) plus the
+// comment stream (for `mstv-lint:` directives), which is exactly the
+// level of fidelity the project's contracts need — "no `rand(` call
+// outside bench/", "no `lock_guard` inside a shard lambda" — without a
+// libclang dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mstv::lint {
+
+enum class TokKind {
+  Identifier,  // [A-Za-z_][A-Za-z0-9_]*
+  Number,      // integer / float literals (incl. digit separators)
+  String,      // "..." or R"tag(...)tag"; text holds the *contents*
+  CharLit,     // 'x'
+  Punct,       // one operator/punctuator; `::` is a single token
+};
+
+struct Token {
+  TokKind kind = TokKind::Punct;
+  std::string text;  // identifier spelling, string contents, or punct chars
+  int line = 0;      // 1-based
+  int col = 0;       // 1-based, byte column
+};
+
+// Comments are lexed out-of-band: rules never see them as tokens, the
+// suppression parser sees nothing else.
+struct Comment {
+  std::string text;  // contents without the // or /* */ fences
+  int line = 0;      // line the comment starts on
+  int end_line = 0;  // line the comment ends on (== line for //)
+  int col = 0;
+  bool own_line = false;  // nothing but whitespace precedes it on its line
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Lexes C++ source text. Never fails: malformed input degrades to
+/// punctuation tokens, which at worst makes a rule miss — a lint tool
+/// must not die on the code it scans.
+[[nodiscard]] TokenStream lex(const std::string& text);
+
+}  // namespace mstv::lint
