@@ -1,0 +1,209 @@
+#include "obs/audit.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/export.hpp"  // json_escape
+#include "obs/metrics.hpp"
+
+namespace mstv::obs {
+
+namespace {
+
+// log2(x) + 1, floored at 1 — the bit length of x, the unit every
+// envelope is built from.
+double bitlen(std::uint64_t x) {
+  if (x < 2) return 1.0;
+  return std::floor(std::log2(static_cast<double>(x))) + 1.0;
+}
+
+// Schemes with a proved label-size form.  Telescoping = Theorem 3.4's
+// O(log n log W); naive = the O(log² n + log n log W) fallback the paper
+// compares against (and what the fragment scheme pays).
+enum class LabelForm { Telescoping, Naive, Unproved };
+
+LabelForm label_form(std::string_view scheme) {
+  if (scheme == "pi-mst" || scheme == "pi-gamma") return LabelForm::Telescoping;
+  if (scheme == "pi-mst-naive" || scheme == "pi-frag") return LabelForm::Naive;
+  return LabelForm::Unproved;
+}
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+double label_bits_bound(std::string_view scheme, std::uint64_t n,
+                        std::uint64_t max_weight) {
+  const double ln = bitlen(n);
+  const double lw = bitlen(max_weight);
+  double shape = 0.0;
+  switch (label_form(scheme)) {
+    case LabelForm::Telescoping:
+      shape = ln * lw;
+      break;
+    case LabelForm::Naive:
+    case LabelForm::Unproved:
+      shape = ln * ln + ln * lw;
+      break;
+  }
+  return kAuditLabelSlack * shape + kAuditLabelOffsetBits;
+}
+
+AuditReport audit_bounds(const AuditInput& in) {
+  AuditReport report;
+  report.n = in.n;
+  report.m = in.m;
+  report.max_weight = in.max_weight;
+  report.scheme = in.scheme;
+
+  const double label_bound = label_bits_bound(in.scheme, in.n, in.max_weight);
+  const bool label_proved = label_form(in.scheme) != LabelForm::Unproved;
+
+  // 1. Label size against the scheme's proved envelope.
+  {
+    AuditCheck c;
+    c.name = "label.max_bits";
+    c.measured = static_cast<double>(in.max_label_bits);
+    c.bound = label_bound;
+    c.pass = c.measured <= c.bound;
+    c.advisory = !label_proved;
+    c.note = label_proved
+                 ? (label_form(in.scheme) == LabelForm::Telescoping
+                        ? "O(log n * log W), Theorem 3.4"
+                        : "O(log^2 n + log n * log W)")
+                 : "no proved form for this scheme; naive envelope shown";
+    report.checks.push_back(std::move(c));
+  }
+
+  // 2. Decode work: the telescoping decode touches one (component,
+  // weight) pair per Boruvka level, so the component count bounds the
+  // O(log^2 n) verification work.  Advisory when the gauge never fired
+  // (schemes without component structure).
+  {
+    AuditCheck c;
+    c.name = "label.max_components";
+    c.measured = static_cast<double>(in.max_components);
+    c.bound = kAuditComponentSlack * bitlen(in.n);
+    c.pass = c.measured <= c.bound;
+    c.advisory = in.max_components == 0;
+    c.note = c.advisory ? "gauge unset; scheme records no component levels"
+                        : "Boruvka levels <= log2 n drive O(log^2 n) decode";
+    report.checks.push_back(std::move(c));
+  }
+
+  // 3. Per-round traffic: one label per (edge, direction) means at most
+  // 2m messages in any verification round, and each message carries at
+  // most one in-envelope label.
+  std::uint64_t verify_rounds = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t worst_round_msgs = 0;
+  double worst_bits_ratio = 0.0;  // round bits / (msgs * label bound)
+  for (const LedgerEntry& e : in.ledger) {
+    if (e.key.phase != "verify.round") continue;
+    ++verify_rounds;
+    total_bits += e.cell.bits;
+    worst_round_msgs = std::max(worst_round_msgs, e.cell.messages);
+    if (e.cell.messages > 0) {
+      worst_bits_ratio =
+          std::max(worst_bits_ratio,
+                   static_cast<double>(e.cell.bits) /
+                       (static_cast<double>(e.cell.messages) * label_bound));
+    }
+  }
+
+  {
+    AuditCheck c;
+    c.name = "ledger.round_messages";
+    c.measured = static_cast<double>(worst_round_msgs);
+    c.bound = 2.0 * static_cast<double>(in.m);
+    c.pass = verify_rounds > 0 && c.measured <= c.bound;
+    c.note = verify_rounds == 0
+                 ? "no verify.round ledger rows — wiring regressed?"
+                 : "one label per (edge, direction): <= 2m messages/round";
+    report.checks.push_back(std::move(c));
+  }
+
+  {
+    AuditCheck c;
+    c.name = "ledger.round_bits";
+    c.measured = worst_bits_ratio;  // worst round's bits / (msgs * bound)
+    c.bound = kAuditBitsSlack;
+    c.pass = verify_rounds > 0 && c.measured <= c.bound;
+    c.note = "worst round's bits per message, as a fraction of the label "
+             "envelope";
+    report.checks.push_back(std::move(c));
+  }
+
+  // 4. Total communication across the run: rounds * 2m * label envelope,
+  // the paper's O(m log n log W) per-round traffic summed up.
+  {
+    AuditCheck c;
+    c.name = "ledger.total_bits";
+    c.measured = static_cast<double>(total_bits);
+    c.bound = static_cast<double>(verify_rounds) * 2.0 *
+              static_cast<double>(in.m) * label_bound;
+    c.pass = verify_rounds > 0 && c.measured <= c.bound;
+    c.note = "sum over verify.round rows vs rounds * 2m * label envelope";
+    report.checks.push_back(std::move(c));
+  }
+
+  report.pass = true;
+  for (const AuditCheck& c : report.checks) {
+    if (!c.advisory && !c.pass) report.pass = false;
+  }
+  return report;
+}
+
+AuditInput audit_input_from_telemetry(std::uint64_t n, std::uint64_t m,
+                                      std::uint64_t max_weight,
+                                      std::string scheme) {
+  AuditInput in;
+  in.n = n;
+  in.m = m;
+  in.max_weight = max_weight;
+  in.scheme = std::move(scheme);
+  const MetricsSnapshot metrics = Registry::global().snapshot();
+  for (const auto& g : metrics.gauges) {
+    if (g.name == "label.max_bits") {
+      in.max_label_bits = static_cast<std::uint64_t>(g.value);
+    } else if (g.name == "label.max_components") {
+      in.max_components = static_cast<std::uint64_t>(g.value);
+    }
+  }
+  in.ledger = CommLedger::global().snapshot();
+  return in;
+}
+
+std::string audit_to_json(const AuditReport& report) {
+  std::ostringstream os;
+  os << "{\n  \"audit\": \"mstv-bounds\",\n  \"scheme\": \""
+     << json_escape(report.scheme) << "\",\n  \"n\": " << report.n
+     << ",\n  \"m\": " << report.m
+     << ",\n  \"max_weight\": " << report.max_weight
+     << ",\n  \"pass\": " << (report.pass ? "true" : "false")
+     << ",\n  \"checks\": [";
+  for (std::size_t i = 0; i < report.checks.size(); ++i) {
+    const AuditCheck& c = report.checks[i];
+    os << (i ? "," : "") << "\n    {\"name\": \"" << json_escape(c.name)
+       << "\", \"measured\": " << num(c.measured)
+       << ", \"bound\": " << num(c.bound)
+       << ", \"pass\": " << (c.pass ? "true" : "false")
+       << ", \"advisory\": " << (c.advisory ? "true" : "false")
+       << ", \"note\": \"" << json_escape(c.note) << "\"}";
+  }
+  os << (report.checks.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+}  // namespace mstv::obs

@@ -1,0 +1,107 @@
+// The bound auditor: checks measured telemetry against the paper's
+// asymptotic envelopes, with explicit constants.
+//
+// Korman & Kutten prove three quantitative claims about π_mst:
+//
+//   * label size O(log n · log W) bits (Theorem 3.4; the naive and
+//     fragment schemes pay O(log² n + log n · log W)),
+//   * per-node verification work O(log² n) — one comparison per
+//     (component, weight) step of the telescoping decode,
+//   * one-round verification traffic of one label per (edge, direction):
+//     2m messages and O(m · log n · log W) bits per round.
+//
+// audit_bounds() turns each claim into a concrete inequality
+//
+//     measured  <=  slack · shape(n, W) + offset
+//
+// where `shape` is the paper's asymptotic form and the slack/offset
+// constants (kAudit* below) encode the repo's actual encodings with ~2x
+// headroom: the audit is a regression tripwire for the implementation,
+// not a proof checker.  A passing audit means every label, every round's
+// message count, and the run's total communication sit inside the
+// envelopes; a failure names the check, the measured value, and the
+// bound it broke.
+//
+// Inputs come from the telemetry layer: `label.max_bits` /
+// `label.max_components` gauges and the communication ledger
+// (obs/ledger.hpp).  An empty ledger fails the audit — silence usually
+// means the wiring regressed, and "vacuously inside the bound" is
+// exactly the wrong default for a tripwire.
+//
+// Checks marked `advisory` (wall-clock shapes, schemes without a proved
+// form) are reported but never fail the report; everything else folds
+// into `AuditReport::pass`, which `mstv_cli --audit-bounds` maps to its
+// exit code and tests/test_bound_audit.cpp locks down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/ledger.hpp"
+
+namespace mstv::obs {
+
+// Envelope constants.  Tuned against the repo's real encodings (see
+// docs/observability.md for the measured values they cover); bump only
+// with a note on what legitimately grew.
+inline constexpr double kAuditLabelSlack = 4.0;        // × shape(n, W)
+inline constexpr double kAuditLabelOffsetBits = 64.0;  // + fixed header room
+inline constexpr double kAuditComponentSlack = 2.0;    // × (log2 n + 1)
+inline constexpr double kAuditBitsSlack = 1.0;  // round bits vs msgs×label
+
+/// Everything the auditor needs about one run.
+struct AuditInput {
+  std::uint64_t n = 0;           // nodes
+  std::uint64_t m = 0;           // edges
+  std::uint64_t max_weight = 1;  // W
+  std::string scheme;            // ProofLabelingScheme::name()
+  std::uint64_t max_label_bits = 0;   // gauge label.max_bits
+  std::uint64_t max_components = 0;   // gauge label.max_components (0 = unset)
+  std::vector<LedgerEntry> ledger;    // communication ledger snapshot
+};
+
+struct AuditCheck {
+  std::string name;      // component.noun, stable across runs
+  double measured = 0.0;
+  double bound = 0.0;
+  bool pass = true;
+  bool advisory = false;  // reported, never fails the report
+  std::string note;
+};
+
+struct AuditReport {
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::uint64_t max_weight = 1;
+  std::string scheme;
+  std::vector<AuditCheck> checks;
+  bool pass = false;  // conjunction of the non-advisory checks
+};
+
+/// The scheme's proved label-size envelope in bits (slack and offset
+/// already applied).  Schemes with no proved form get the naive envelope;
+/// audit_bounds() marks their label check advisory.
+[[nodiscard]] double label_bits_bound(std::string_view scheme,
+                                      std::uint64_t n,
+                                      std::uint64_t max_weight);
+
+/// Runs every check against the input.
+[[nodiscard]] AuditReport audit_bounds(const AuditInput& in);
+
+/// Assembles an AuditInput from the global telemetry: the label.* gauges
+/// and the global communication ledger.  Graph parameters are the
+/// caller's (the run driver knows n, m, W; telemetry does not).
+[[nodiscard]] AuditInput audit_input_from_telemetry(std::uint64_t n,
+                                                    std::uint64_t m,
+                                                    std::uint64_t max_weight,
+                                                    std::string scheme);
+
+/// Serializes the report as a standalone JSON document:
+///   { "audit": "mstv-bounds", "scheme": ..., "n": ..., "m": ...,
+///     "max_weight": ..., "pass": true|false,
+///     "checks": [ {"name", "measured", "bound", "pass", "advisory",
+///                  "note"}, ... ] }
+[[nodiscard]] std::string audit_to_json(const AuditReport& report);
+
+}  // namespace mstv::obs

@@ -53,12 +53,14 @@ std::string json_escape(std::string_view raw) {
 }
 
 Snapshot capture() {
-  return Snapshot{Registry::global().snapshot(), Tracer::global().snapshot()};
+  return Snapshot{Registry::global().snapshot(), Tracer::global().snapshot(),
+                  CommLedger::global().snapshot()};
 }
 
 void reset_all() {
   Registry::global().reset();
   Tracer::global().reset();
+  CommLedger::global().reset();
 }
 
 std::string to_json(const Snapshot& s) {
@@ -109,7 +111,8 @@ std::string to_json(const Snapshot& s) {
        << "\", \"t_us\": " << num(ev.t_us) << ", \"depth\": " << ev.depth
        << ", \"seq\": " << num(ev.seq) << "}";
   }
-  os << (s.trace.events.empty() ? "" : "\n  ") << "]\n}\n";
+  os << (s.trace.events.empty() ? "" : "\n  ") << "],\n  \"ledger\": "
+     << ledger_to_json(s.ledger) << "\n}\n";
   return os.str();
 }
 
@@ -131,6 +134,12 @@ std::string to_text(const Snapshot& s) {
     os << "span." << sp.name << ".count " << num(sp.count) << '\n';
     os << "span." << sp.name << ".total_us " << num(sp.total_us) << '\n';
     os << "span." << sp.name << ".max_us " << num(sp.max_us) << '\n';
+  }
+  for (const auto& e : s.ledger) {
+    const std::string prefix = "ledger.r" + std::to_string(e.key.round) + '.' +
+                               e.key.phase + '.' + e.key.scheme;
+    os << prefix << ".messages " << num(e.cell.messages) << '\n';
+    os << prefix << ".bits " << num(e.cell.bits) << '\n';
   }
   return os.str();
 }

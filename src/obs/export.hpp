@@ -14,7 +14,11 @@
 //     "spans":      { "marker.assign_labels":
 //                       { "count": 1, "total_us": t, "max_us": m } },
 //     "events":     [ {"name": ..., "phase": "enter"|"exit",
-//                      "t_us": ..., "depth": d, "seq": q}, ... ]
+//                      "t_us": ..., "depth": d, "seq": q}, ... ],
+//     "ledger":     [ {"round": r, "phase": "verify.round",
+//                      "scheme": "pi-mst", "messages": m, "bits": b,
+//                      "labels": k, "label_bits": {"min", "max", "sum"}},
+//                     ... ]
 //   }
 //
 // Text layout (`key value`, histogram/span scalars under derived keys):
@@ -26,6 +30,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -34,13 +39,15 @@ namespace mstv::obs {
 struct Snapshot {
   MetricsSnapshot metrics;
   TraceSnapshot trace;
+  std::vector<LedgerEntry> ledger;  // sorted by (round, phase, scheme)
 };
 
-/// Snapshot of the global registry and tracer.
+/// Snapshot of the global registry, tracer, and communication ledger.
 [[nodiscard]] Snapshot capture();
 
-/// Zeroes the global registry and restarts the global tracer — scoping
-/// telemetry to one run (the CLI and benches call this at startup).
+/// Zeroes the global registry, restarts the global tracer, and clears the
+/// communication ledger — scoping telemetry to one run (the CLI and
+/// benches call this at startup).
 void reset_all();
 
 [[nodiscard]] std::string to_json(const Snapshot& s);

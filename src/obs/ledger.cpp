@@ -1,0 +1,89 @@
+#include "obs/ledger.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/export.hpp"  // json_escape
+
+namespace mstv::obs {
+
+void LedgerCell::fold_label(std::uint64_t label_bits) {
+  ++messages;
+  bits += label_bits;
+  if (labels == 0) {
+    label_bits_min = label_bits;
+    label_bits_max = label_bits;
+  } else {
+    label_bits_min = std::min(label_bits_min, label_bits);
+    label_bits_max = std::max(label_bits_max, label_bits);
+  }
+  ++labels;
+  label_bits_sum += label_bits;
+}
+
+void LedgerCell::merge(const LedgerCell& other) {
+  messages += other.messages;
+  bits += other.bits;
+  if (other.labels > 0) {
+    if (labels == 0) {
+      label_bits_min = other.label_bits_min;
+      label_bits_max = other.label_bits_max;
+    } else {
+      label_bits_min = std::min(label_bits_min, other.label_bits_min);
+      label_bits_max = std::max(label_bits_max, other.label_bits_max);
+    }
+    labels += other.labels;
+    label_bits_sum += other.label_bits_sum;
+  }
+}
+
+void CommLedger::commit(std::string_view phase, std::uint64_t round,
+                        std::string_view scheme, const LedgerCell& cell) {
+  LedgerKey key{round, std::string(phase), std::string(scheme)};
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_[std::move(key)].merge(cell);
+}
+
+std::vector<LedgerEntry> CommLedger::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LedgerEntry> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) {
+    out.push_back(LedgerEntry{key, cell});
+  }
+  return out;  // std::map iterates in key order: (round, phase, scheme)
+}
+
+void CommLedger::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.clear();
+}
+
+CommLedger& CommLedger::global() {
+  static CommLedger ledger;
+  return ledger;
+}
+
+void ledger_commit(std::string_view phase, std::uint64_t round,
+                   std::string_view scheme, const LedgerCell& cell) {
+  CommLedger::global().commit(phase, round, scheme, cell);
+}
+
+std::string ledger_to_json(const std::vector<LedgerEntry>& entries) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const LedgerEntry& e = entries[i];
+    os << (i ? "," : "") << "\n    {\"round\": " << e.key.round
+       << ", \"phase\": \"" << json_escape(e.key.phase) << "\", \"scheme\": \""
+       << json_escape(e.key.scheme) << "\", \"messages\": " << e.cell.messages
+       << ", \"bits\": " << e.cell.bits << ", \"labels\": " << e.cell.labels
+       << ", \"label_bits\": {\"min\": " << e.cell.label_bits_min
+       << ", \"max\": " << e.cell.label_bits_max
+       << ", \"sum\": " << e.cell.label_bits_sum << "}}";
+  }
+  os << (entries.empty() ? "]" : "\n  ]");
+  return os.str();
+}
+
+}  // namespace mstv::obs

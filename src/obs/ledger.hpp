@@ -1,0 +1,127 @@
+// The communication ledger: per-(round, phase, scheme) message accounting.
+//
+// The paper's claims are stated per verification round — Θ(log n log W)
+// bits per label, one label per (edge, direction), detection in one round
+// — but flat counters (verify.messages, verify.bits_total) can only show
+// run totals.  The ledger attributes every message the simulated networks
+// move to a key
+//
+//     (round, phase, scheme)
+//
+// where `round` is the network's own monotone round counter, `phase` is a
+// `component.noun` string naming the traffic class (`verify.round`,
+// `verify.channel_faults`, `async.round`, `dynamic.repair`,
+// `selfstab.repair`, `selfstab.remark`), and `scheme` is the proof
+// labeling scheme whose labels were shipped.  Each cell records the
+// message count, total bits, and the per-round distribution of
+// transmitted label sizes (count/min/max/sum) — the exact quantities the
+// bound auditor (obs/audit.hpp) checks against the paper's envelopes.
+//
+// Determinism contract: cells are COMPUTED inside the deterministic
+// sharded reduce of the round they describe (per-shard partial cells
+// merged in shard-index order) and COMMITTED once per round by the round
+// driver.  Nothing thread-count-dependent ever reaches the ledger, so the
+// snapshot is bit-identical at --threads=1 and --threads=N — enforced by
+// tests/test_ledger.cpp.
+//
+// Commit sites go through MSTV_LEDGER_COMMIT so the whole layer compiles
+// to nothing under -DMSTV_OBS_DISABLED; the phase-name literal at each
+// site is linted by OBS-LEDGER-KEY (tools/lint/rules_obs.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mstv::obs {
+
+/// One cell of the ledger: everything measured about one traffic class in
+/// one round.  Also used as the per-shard partial during the reduce.
+struct LedgerCell {
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  // Distribution of per-message transmitted label sizes.
+  std::uint64_t labels = 0;          // messages folded into the stats below
+  std::uint64_t label_bits_min = 0;  // 0 when labels == 0
+  std::uint64_t label_bits_max = 0;
+  std::uint64_t label_bits_sum = 0;
+
+  /// Folds one transmitted label of `bits` size (one message).
+  void fold_label(std::uint64_t label_bits);
+
+  /// Merges another partial (shard-order in the reduce; commit-time when
+  /// two commits share a key).
+  void merge(const LedgerCell& other);
+
+  friend bool operator==(const LedgerCell&, const LedgerCell&) = default;
+};
+
+struct LedgerKey {
+  std::uint64_t round = 0;
+  std::string phase;   // component.noun, linted
+  std::string scheme;  // ProofLabelingScheme::name()
+
+  friend auto operator<=>(const LedgerKey&, const LedgerKey&) = default;
+};
+
+struct LedgerEntry {
+  LedgerKey key;
+  LedgerCell cell;
+
+  friend bool operator==(const LedgerEntry&, const LedgerEntry&) = default;
+};
+
+/// Thread-safe (round, phase, scheme) -> cell store.  Commits are
+/// expected once per round per phase from the round driver; a repeated
+/// key merges, so re-running rounds keeps the totals honest.
+class CommLedger {
+ public:
+  CommLedger() = default;
+  CommLedger(const CommLedger&) = delete;
+  CommLedger& operator=(const CommLedger&) = delete;
+
+  void commit(std::string_view phase, std::uint64_t round,
+              std::string_view scheme, const LedgerCell& cell);
+
+  /// Every entry, sorted by (round, phase, scheme).
+  [[nodiscard]] std::vector<LedgerEntry> snapshot() const;
+
+  /// Drops every entry.
+  void reset();
+
+  static CommLedger& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<LedgerKey, LedgerCell> cells_;
+};
+
+/// Free-function sink on the global ledger (what MSTV_LEDGER_COMMIT
+/// expands to); the phase literal at call sites is linted.
+void ledger_commit(std::string_view phase, std::uint64_t round,
+                   std::string_view scheme, const LedgerCell& cell);
+
+/// Serializes entries as a JSON array (the `ledger` section of the
+/// telemetry snapshot):
+///   [ {"round": r, "phase": "...", "scheme": "...", "messages": m,
+///      "bits": b, "labels": k, "label_bits": {"min": ..., "max": ...,
+///      "sum": ...}}, ... ]
+[[nodiscard]] std::string ledger_to_json(const std::vector<LedgerEntry>& entries);
+
+}  // namespace mstv::obs
+
+#ifndef MSTV_OBS_DISABLED
+#define MSTV_LEDGER_COMMIT(phase, round, scheme, cell) \
+  ::mstv::obs::ledger_commit((phase), (round), (scheme), (cell))
+#else
+#define MSTV_LEDGER_COMMIT(phase, round, scheme, cell) \
+  do {                                                 \
+    (void)sizeof(phase);                               \
+    (void)sizeof(round);                               \
+    (void)sizeof(scheme);                              \
+    (void)sizeof(cell);                                \
+  } while (false)
+#endif

@@ -1,6 +1,9 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include "obs/trace_session.hpp"
 
 namespace mstv::obs {
 
@@ -10,10 +13,29 @@ namespace {
 // carry their own depth counters.
 thread_local std::uint32_t t_depth = 0;
 
+std::size_t initial_ring_capacity() {
+  // Observability sizing, not a result: the ring capacity changes what a
+  // --stats snapshot retains, never a verdict, a label or a counter.
+  const char* env = std::getenv("MSTV_TRACE_RING_CAPACITY");
+  if (env == nullptr) return kTraceRingCapacity;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return kTraceRingCapacity;
+  return static_cast<std::size_t>(v);
+}
+
+// Category of a span name: the `component` prefix of `component.noun`.
+std::string_view span_category(std::string_view name) {
+  const std::size_t dot = name.find('.');
+  return dot == std::string_view::npos ? name : name.substr(0, dot);
+}
+
 }  // namespace
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
-  ring_.reserve(kTraceRingCapacity);
+Tracer::Tracer()
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(initial_ring_capacity()) {
+  ring_.reserve(std::min<std::size_t>(capacity_, kTraceRingCapacity));
 }
 
 double Tracer::now_us() const {
@@ -28,12 +50,12 @@ void Tracer::push_event(std::string_view name, bool enter, double t,
   SpanEvent ev{std::string(name), enter, t, depth, 0};
   std::lock_guard<std::mutex> lock(mu_);
   ev.seq = seq_++;
-  if (ring_.size() < kTraceRingCapacity) {
+  if (ring_.size() < capacity_) {
     ring_.push_back(std::move(ev));
   } else {
     ring_[ring_next_] = std::move(ev);
   }
-  ring_next_ = (ring_next_ + 1) % kTraceRingCapacity;
+  ring_next_ = (ring_next_ + 1) % capacity_;
 }
 
 std::uint32_t Tracer::begin_span(std::string_view name) {
@@ -47,6 +69,13 @@ void Tracer::end_span(std::string_view name, double start_us) {
   const double end_us = now_us();
   push_event(name, /*enter=*/false, end_us, depth);
   const double dur = end_us - start_us;
+
+  // Completed spans double as trace-session events (one relaxed load
+  // when no session is recording).
+  TraceSession& session = TraceSession::global();
+  if (session.active()) {
+    session.record_complete(span_category(name), name, dur);
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = std::lower_bound(
@@ -65,12 +94,12 @@ TraceSnapshot Tracer::snapshot() const {
   TraceSnapshot s;
   s.spans = stats_;
   s.events.reserve(ring_.size());
-  if (ring_.size() < kTraceRingCapacity) {
+  if (ring_.size() < capacity_) {
     s.events = ring_;
   } else {
     // Oldest retained event sits at the next write position.
     for (std::size_t i = 0; i < ring_.size(); ++i) {
-      s.events.push_back(ring_[(ring_next_ + i) % kTraceRingCapacity]);
+      s.events.push_back(ring_[(ring_next_ + i) % capacity_]);
     }
   }
   return s;
@@ -83,6 +112,19 @@ void Tracer::reset() {
   seq_ = 0;
   stats_.clear();
   epoch_.store(std::chrono::steady_clock::now(), std::memory_order_relaxed);
+}
+
+void Tracer::set_ring_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(std::min<std::size_t>(capacity_, kTraceRingCapacity));
+  ring_next_ = 0;
+}
+
+std::size_t Tracer::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
 }
 
 Tracer& Tracer::global() {

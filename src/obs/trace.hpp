@@ -8,10 +8,29 @@
 //
 // records an enter event on entry and an exit event (plus duration) on
 // scope exit; spans opened inside the scope nest one depth level deeper.
-// The ring buffer keeps the most recent kTraceRingCapacity events so a
+// The ring buffer keeps the most recent ring_capacity() events so a
 // snapshot shows the tail of the execution timeline; aggregates
 // (count/total/max per span name) survive ring overwrite and feed the
 // exported `spans` section.
+//
+// Ring capacity and overwrite semantics: the ring holds the LAST
+// ring_capacity() events — once full, each new event overwrites the
+// oldest one in place (sequence numbers stay globally monotone, so a
+// snapshot makes the loss visible: its first event's `seq` is the number
+// of events overwritten).  The capacity defaults to kTraceRingCapacity
+// (1024) and is configurable at runtime: the MSTV_TRACE_RING_CAPACITY
+// environment variable is applied when the global tracer is first
+// constructed, and set_ring_capacity() (exposed as the CLI's
+// --trace-ring=N flag) resizes it later — resizing drops the buffered
+// events but keeps the per-name aggregates.  For a complete, never-
+// overwritten timeline use a TraceSession (obs/trace_session.hpp), which
+// buffers per thread and exports Chrome Trace JSON; the ring exists for
+// cheap always-on tail snapshots in --stats output.
+//
+// Completed spans are also forwarded to the active TraceSession (if any)
+// with their category derived from the name prefix (`marker.assign_labels`
+// -> cat `marker`), so every MSTV_SPAN site shows up in an exported trace
+// without separate instrumentation.
 //
 // Timestamps are microseconds on a steady clock, relative to the tracer's
 // creation (or last reset), so snapshots are diffable and stable.
@@ -76,6 +95,12 @@ class Tracer {
   /// Drops all events and aggregates and restarts the epoch.
   void reset();
 
+  /// Resizes the event ring (min 1).  Buffered events are dropped;
+  /// aggregates and the epoch survive.  Not safe concurrently with
+  /// in-flight spans — configure before the run starts.
+  void set_ring_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t ring_capacity() const;
+
   static Tracer& global();
 
  private:
@@ -87,7 +112,8 @@ class Tracer {
   // including from pool workers, concurrently with reset() re-stamping
   // the epoch.
   std::atomic<std::chrono::steady_clock::time_point> epoch_;
-  std::vector<SpanEvent> ring_;   // capacity kTraceRingCapacity, circular
+  std::size_t capacity_;          // ring capacity (>= 1), runtime-set
+  std::vector<SpanEvent> ring_;   // capacity capacity_, circular
   std::size_t ring_next_ = 0;     // next write position
   std::uint64_t seq_ = 0;
   std::vector<SpanStat> stats_;   // kept sorted by name; few distinct names

@@ -1,0 +1,245 @@
+#include "obs/trace_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "obs/export.hpp"  // json_escape
+
+namespace mstv::obs {
+
+namespace {
+
+// Per-thread handle into the current session's buffer vector.  The
+// generation stamp invalidates the cached pointer whenever a new session
+// starts, so a pool worker surviving across sessions re-registers instead
+// of writing into a freed buffer.
+// The owner pointer keeps handles from leaking across instances (tests
+// drive local sessions next to the global one); a thread hopping between
+// instances re-registers, which duplicates its buffer but never aliases.
+struct TlsHandle {
+  const void* owner = nullptr;
+  void* buffer = nullptr;
+  std::uint64_t generation = 0;
+};
+thread_local TlsHandle t_handle;
+
+// Generations are unique across ALL sessions (not per instance), so a
+// session re-created at a recycled address can never match a stale
+// handle.
+std::atomic<std::uint64_t> g_session_generation{0};
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+TraceArg TraceArg::uint(std::string key, std::uint64_t v) {
+  TraceArg a;
+  a.key = std::move(key);
+  a.kind = Kind::Uint;
+  a.u = v;
+  return a;
+}
+
+TraceArg TraceArg::real(std::string key, double v) {
+  TraceArg a;
+  a.key = std::move(key);
+  a.kind = Kind::Float;
+  a.f = v;
+  return a;
+}
+
+TraceArg TraceArg::str(std::string key, std::string v) {
+  TraceArg a;
+  a.key = std::move(key);
+  a.kind = Kind::Text;
+  a.text = std::move(v);
+  return a;
+}
+
+void TraceSession::start(std::size_t capacity_per_thread) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.clear();
+  capacity_ = capacity_per_thread == 0 ? 1 : capacity_per_thread;
+  ever_started_ = true;
+  epoch_.store(std::chrono::steady_clock::now(), std::memory_order_relaxed);
+  // Release pairs with the acquire in buffer_for_this_thread: a thread
+  // observing the new generation also observes the cleared buffer vector.
+  generation_.store(g_session_generation.fetch_add(1) + 1,
+                    std::memory_order_release);
+  active_.store(true, std::memory_order_release);
+}
+
+void TraceSession::stop() { active_.store(false, std::memory_order_release); }
+
+double TraceSession::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() -
+             epoch_.load(std::memory_order_relaxed))
+      .count();
+}
+
+TraceSession::Buffer* TraceSession::buffer_for_this_thread() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (t_handle.owner == this && t_handle.buffer != nullptr &&
+      t_handle.generation == gen) {
+    return static_cast<Buffer*>(t_handle.buffer);
+  }
+  // Cold path: first event from this thread in this session.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buf = std::make_unique<Buffer>();
+  buf->tid = static_cast<std::uint32_t>(buffers_.size());
+  buf->events.reserve(std::min<std::size_t>(capacity_, 4096));
+  buffers_.push_back(std::move(buf));
+  t_handle.owner = this;
+  t_handle.buffer = buffers_.back().get();
+  t_handle.generation = gen;
+  return buffers_.back().get();
+}
+
+void TraceSession::push(Buffer& buf, SessionEvent ev) {
+  if (buf.events.size() >= capacity_) {
+    ++buf.dropped;  // keep-oldest: the start of the timeline survives
+    return;
+  }
+  buf.events.push_back(std::move(ev));
+}
+
+void TraceSession::record_complete(std::string_view cat,
+                                   std::string_view name, double dur_us,
+                                   std::vector<TraceArg> args) {
+  if (!active()) return;
+  Buffer* buf = buffer_for_this_thread();
+  SessionEvent ev;
+  ev.name = std::string(name);
+  ev.cat = std::string(cat);
+  ev.phase = 'X';
+  ev.dur_us = dur_us < 0 ? 0.0 : dur_us;
+  ev.ts_us = now_us() - ev.dur_us;
+  ev.args = std::move(args);
+  push(*buf, std::move(ev));
+}
+
+void TraceSession::record_instant(std::string_view cat, std::string_view name,
+                                  std::vector<TraceArg> args) {
+  if (!active()) return;
+  Buffer* buf = buffer_for_this_thread();
+  SessionEvent ev;
+  ev.name = std::string(name);
+  ev.cat = std::string(cat);
+  ev.phase = 'i';
+  ev.ts_us = now_us();
+  ev.args = std::move(args);
+  push(*buf, std::move(ev));
+}
+
+SessionSnapshot TraceSession::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionSnapshot s;
+  s.was_active = ever_started_;
+  s.capacity_per_thread = capacity_;
+  s.threads.reserve(buffers_.size());
+  for (const auto& buf : buffers_) {
+    ThreadTrace t;
+    t.tid = buf->tid;
+    t.events = buf->events;
+    t.dropped = buf->dropped;
+    s.threads.push_back(std::move(t));
+  }
+  return s;
+}
+
+TraceSession& TraceSession::global() {
+  static TraceSession session;
+  return session;
+}
+
+std::string to_chrome_trace(const SessionSnapshot& s) {
+  std::uint64_t dropped = 0;
+  for (const ThreadTrace& t : s.threads) dropped += t.dropped;
+
+  std::ostringstream os;
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {"
+     << "\"tool\": \"mstv\", \"dropped_events\": " << dropped
+     << ", \"capacity_per_thread\": " << s.capacity_per_thread
+     << "},\n  \"traceEvents\": [";
+
+  bool first = true;
+  auto emit = [&](const std::string& body) {
+    os << (first ? "" : ",") << "\n    {" << body << "}";
+    first = false;
+  };
+
+  // Thread-name metadata rows so Perfetto labels tracks by registration
+  // order instead of bare integers.
+  for (const ThreadTrace& t : s.threads) {
+    emit("\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " +
+         std::to_string(t.tid) +
+         ", \"args\": {\"name\": \"" +
+         (t.tid == 0 ? std::string("driver") :
+                       "worker-" + std::to_string(t.tid)) +
+         "\"}");
+  }
+
+  for (const ThreadTrace& t : s.threads) {
+    for (const SessionEvent& ev : t.events) {
+      std::ostringstream row;
+      row << "\"name\": \"" << json_escape(ev.name) << "\", \"cat\": \""
+          << json_escape(ev.cat) << "\", \"ph\": \"" << ev.phase
+          << "\", \"ts\": " << json_num(ev.ts_us);
+      if (ev.phase == 'X') row << ", \"dur\": " << json_num(ev.dur_us);
+      if (ev.phase == 'i') row << ", \"s\": \"t\"";
+      row << ", \"pid\": 1, \"tid\": " << t.tid;
+      if (!ev.args.empty()) {
+        row << ", \"args\": {";
+        for (std::size_t i = 0; i < ev.args.size(); ++i) {
+          const TraceArg& a = ev.args[i];
+          row << (i ? ", " : "") << "\"" << json_escape(a.key) << "\": ";
+          switch (a.kind) {
+            case TraceArg::Kind::Uint: row << a.u; break;
+            case TraceArg::Kind::Float: row << json_num(a.f); break;
+            case TraceArg::Kind::Text:
+              row << "\"" << json_escape(a.text) << "\"";
+              break;
+          }
+        }
+        row << "}";
+      }
+      emit(row.str());
+    }
+  }
+
+  os << (first ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+TraceScope::TraceScope(std::string_view cat, std::string_view name,
+                       std::vector<TraceArg> args) {
+  TraceSession& s = TraceSession::global();
+  if (!s.active()) return;
+  live_ = true;
+  cat_ = std::string(cat);
+  name_ = std::string(name);
+  args_ = std::move(args);
+  start_us_ = s.now_us();
+}
+
+TraceScope::~TraceScope() {
+  if (!live_) return;
+  TraceSession& s = TraceSession::global();
+  s.record_complete(cat_, name_, s.now_us() - start_us_, std::move(args_));
+}
+
+}  // namespace mstv::obs

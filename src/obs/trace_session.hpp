@@ -1,0 +1,203 @@
+// Trace sessions: per-thread event buffers behind a run-scoped recording
+// window, exported as Chrome Trace Event JSON (chrome://tracing, Perfetto).
+//
+// The legacy obs::Tracer keeps a single mutex-guarded ring of the most
+// recent enter/exit events — fine for aggregates and a tail snapshot,
+// useless as a full timeline of a parallel run (the ring serializes every
+// worker and overwrites history).  A TraceSession instead gives each
+// recording thread its own buffer:
+//
+//   * appends never take a lock — only the owning thread writes its
+//     buffer, and the one mutex in the layer guards first-time buffer
+//     registration (once per thread per session);
+//   * every event carries the recording thread's stable index (its
+//     registration order), a category, and optional typed args (shard
+//     index, round number, byte counts, ...), so the exported trace shows
+//     the real thread/shard structure of the run;
+//   * capacity is bounded per thread: when a buffer fills, later events
+//     are dropped and counted (keep-oldest semantics — the start of the
+//     timeline survives; the drop count is exported as metadata).  This
+//     is the opposite of the Tracer ring, which overwrites oldest to keep
+//     the tail; a trace file is most useful from t=0.
+//
+// Lifecycle: start(capacity) opens the recording window (clearing any
+// previous session), stop() closes it.  Recording sites check active()
+// first — one relaxed atomic load when no session is running.  snapshot()
+// and export require QUIESCENCE: every thread that recorded must have
+// synchronized with the caller (the thread pool's task-completion wait
+// provides exactly that for pooled work; the CLI exports after the
+// command returns).  Concurrent start/stop with in-flight recording is
+// undefined — sessions are owned by the run driver, not by workers.
+//
+// obs::Span (and therefore every MSTV_SPAN site) records its completed
+// scope into the active session automatically, with its category derived
+// from the span-name prefix (`marker.assign_labels` -> cat `marker`).
+// MSTV_TRACE_SCOPE / MSTV_TRACE_INSTANT add explicitly-categorized events
+// with args; both compile to nothing under -DMSTV_OBS_DISABLED, and an
+// inactive session makes every record path a cheap early-out, so a run
+// without --trace-out pays one predictable branch per span.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mstv::obs {
+
+inline constexpr std::size_t kTraceSessionDefaultCapacity = 1 << 16;
+
+/// One typed event argument, exported under the Chrome event's "args".
+struct TraceArg {
+  enum class Kind : std::uint8_t { Uint, Float, Text };
+
+  std::string key;
+  Kind kind = Kind::Uint;
+  std::uint64_t u = 0;
+  double f = 0.0;
+  std::string text;
+
+  static TraceArg uint(std::string key, std::uint64_t v);
+  static TraceArg real(std::string key, double v);
+  static TraceArg str(std::string key, std::string v);
+};
+
+/// One recorded event.  phase follows the Chrome Trace Event vocabulary:
+/// 'X' = complete (ts + dur), 'i' = instant.
+struct SessionEvent {
+  std::string name;  // `component.noun`, like span/metric names
+  std::string cat;   // single lowercase snake_case segment
+  char phase = 'X';
+  double ts_us = 0.0;   // start, relative to the session epoch
+  double dur_us = 0.0;  // 'X' only
+  std::vector<TraceArg> args;
+};
+
+/// Everything one thread recorded, in completion order.
+struct ThreadTrace {
+  std::uint32_t tid = 0;  // stable registration index within the session
+  std::vector<SessionEvent> events;
+  std::uint64_t dropped = 0;  // events discarded after the buffer filled
+};
+
+struct SessionSnapshot {
+  bool was_active = false;            // a session ran (or is still open)
+  std::size_t capacity_per_thread = 0;
+  std::vector<ThreadTrace> threads;   // ordered by tid
+};
+
+class TraceSession {
+ public:
+  TraceSession() = default;
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Opens a recording window, discarding any previous session's buffers.
+  /// Must not race with in-flight recording (see file comment).
+  void start(std::size_t capacity_per_thread = kTraceSessionDefaultCapacity);
+
+  /// Closes the window; buffers stay readable until the next start().
+  void stop();
+
+  [[nodiscard]] bool active() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the session epoch (start()).
+  [[nodiscard]] double now_us() const;
+
+  /// Records a completed scope ending now: ts = now - dur_us.
+  /// No-ops when no session is active.
+  void record_complete(std::string_view cat, std::string_view name,
+                       double dur_us, std::vector<TraceArg> args = {});
+
+  /// Records an instant event at now.  No-ops when inactive.
+  void record_instant(std::string_view cat, std::string_view name,
+                      std::vector<TraceArg> args = {});
+
+  /// Copies out every thread buffer.  Requires quiescence: all recording
+  /// threads must have synchronized with the caller.
+  [[nodiscard]] SessionSnapshot snapshot() const;
+
+  static TraceSession& global();
+
+ private:
+  struct Buffer {
+    std::uint32_t tid = 0;
+    std::vector<SessionEvent> events;
+    std::uint64_t dropped = 0;
+  };
+
+  Buffer* buffer_for_this_thread();
+  void push(Buffer& buf, SessionEvent ev);
+
+  std::atomic<bool> active_{false};
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::chrono::steady_clock::time_point> epoch_{
+      std::chrono::steady_clock::time_point{}};
+  std::size_t capacity_ = kTraceSessionDefaultCapacity;
+  bool ever_started_ = false;
+
+  mutable std::mutex mu_;  // guards buffers_ registration and snapshot
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// Serializes a snapshot as a Chrome Trace Event JSON object:
+///   { "displayTimeUnit": "ms",
+///     "otherData": { "tool": "mstv", "dropped_events": N },
+///     "traceEvents": [ {"name", "cat", "ph", "ts", "dur"?, "pid", "tid",
+///                       "args"?}, ... ] }
+/// Always a valid document — with no session (or under MSTV_OBS_DISABLED
+/// builds, where no site records) "traceEvents" is an empty array.
+[[nodiscard]] std::string to_chrome_trace(const SessionSnapshot& s);
+
+/// RAII explicit-category scope on the global session.  Does nothing when
+/// no session is active (args are still evaluated; use the macro to make
+/// the whole site vanish under MSTV_OBS_DISABLED).
+class TraceScope {
+ public:
+  TraceScope(std::string_view cat, std::string_view name,
+             std::vector<TraceArg> args = {});
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope();
+
+ private:
+  std::string cat_;
+  std::string name_;
+  std::vector<TraceArg> args_;
+  double start_us_ = 0.0;
+  bool live_ = false;
+};
+
+}  // namespace mstv::obs
+
+#ifndef MSTV_OBS_CONCAT
+#define MSTV_OBS_CONCAT_INNER(a, b) a##b
+#define MSTV_OBS_CONCAT(a, b) MSTV_OBS_CONCAT_INNER(a, b)
+#endif
+
+#ifndef MSTV_OBS_DISABLED
+#define MSTV_TRACE_SCOPE(cat, name, ...)                     \
+  ::mstv::obs::TraceScope MSTV_OBS_CONCAT(mstv_obs_tscope_,  \
+                                          __LINE__)((cat), (name), \
+                                                    ##__VA_ARGS__)
+#define MSTV_TRACE_INSTANT(cat, name, ...)                        \
+  ::mstv::obs::TraceSession::global().record_instant((cat), (name), \
+                                                     ##__VA_ARGS__)
+#else
+#define MSTV_TRACE_SCOPE(cat, name, ...) \
+  do {                                   \
+    (void)sizeof(cat);                   \
+    (void)sizeof(name);                  \
+  } while (false)
+#define MSTV_TRACE_INSTANT(cat, name, ...) \
+  do {                                     \
+    (void)sizeof(cat);                     \
+    (void)sizeof(name);                    \
+  } while (false)
+#endif

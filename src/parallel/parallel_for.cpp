@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "obs/trace.hpp"
+#include "obs/trace_session.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
 
@@ -120,10 +121,20 @@ void for_each_shard(std::size_t n,
       // mstv-lint: allow(DET-CLOCK) — telemetry-only shard timing (see shard_ns).
       const auto t0 = std::chrono::steady_clock::now();
       t_in_shard_body = true;
-      try {
-        body(shard);
-      } catch (...) {
-        errors[shard.index] = std::current_exception();
+      {
+        // Scope closes before the done-counter handshake below, so every
+        // trace-session write happens-before the caller's wakeup (and any
+        // snapshot it takes).
+        MSTV_TRACE_SCOPE("parallel", "parallel.shard",
+                         {obs::TraceArg::uint("shard", shard.index),
+                          obs::TraceArg::uint("shards", shard.count),
+                          obs::TraceArg::uint("begin", shard.begin),
+                          obs::TraceArg::uint("end", shard.end)});
+        try {
+          body(shard);
+        } catch (...) {
+          errors[shard.index] = std::current_exception();
+        }
       }
       t_in_shard_body = false;
       MSTV_HIST_OBSERVE("parallel.shard_ns", shard_ns(t0));

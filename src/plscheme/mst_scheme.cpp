@@ -1,5 +1,6 @@
 #include "plscheme/mst_scheme.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "mst/predicates.hpp"
@@ -54,6 +55,13 @@ std::vector<Label> MstScheme::mark(const ConfigGraph& cfg) const {
   const SeparatorDecomposition sd = perfect_separator_decomposition(tree);
   const auto imps = imp_.encode(tree, sd);
   const auto orients = compute_orient_fields(tree, sd);
+
+  // Deepest separator level any label carries = the component count the
+  // verifier's telescoping decode walks — the structural quantity behind
+  // the O(log^2 n) verification bound, audited by obs/audit.cpp.
+  std::uint32_t max_level = 0;
+  for (const auto& imp : imps) max_level = std::max(max_level, imp.level());
+  MSTV_GAUGE_SET("label.max_components", max_level);
 
   // Per-node label assembly is independent once the shared decomposition
   // above is computed, so it shards over the vertex range.  Per-field bit

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/ledger.hpp"
 #include "obs/trace.hpp"
 
 namespace mstv {
@@ -17,15 +18,18 @@ AsyncRoundResult async_verification_round(const ConfigGraph& cfg,
   const Graph& g = cfg.graph();
 
   AsyncRoundResult res;
+  obs::LedgerCell cell;
   // Decide-time per node = max delay over its incoming label messages.
   for (VertexId v = 0; v < cfg.size(); ++v) {
     double last_input = 0.0;
+    const auto ports = g.ports(v);
     for (std::uint32_t i = 0; i < g.degree(v); ++i) {
       const double delay =
           opts.min_delay + (opts.max_delay - opts.min_delay) * rng.real();
       MSTV_HIST_OBSERVE("async.delivery_delay", delay);
       last_input = std::max(last_input, delay);
       ++res.messages;
+      cell.fold_label(labels[ports[i].neighbor].size_bits());
     }
     res.completion_time = std::max(res.completion_time, last_input);
 
@@ -48,6 +52,7 @@ AsyncRoundResult async_verification_round(const ConfigGraph& cfg,
   MSTV_COUNTER_ADD("async.rounds", 1);
   MSTV_COUNTER_ADD("async.messages", res.messages);
   MSTV_COUNTER_ADD("async.rejections", res.rejecting.size());
+  MSTV_LEDGER_COMMIT("async.round", opts.round, scheme.name(), cell);
   return res;
 }
 

@@ -15,6 +15,7 @@
 // not by a global round: the "local" in local verification.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 
 #include "plscheme/runner.hpp"
@@ -25,6 +26,9 @@ namespace mstv {
 struct AsyncOptions {
   double min_delay = 1.0;  // per-message delivery delay bounds
   double max_delay = 5.0;
+  /// Round key for this exchange's communication-ledger row (`async.round`
+  /// phase).  The caller owns round numbering — this module is stateless.
+  std::uint64_t round = 0;
 };
 
 struct AsyncRoundResult {

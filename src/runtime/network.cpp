@@ -1,6 +1,8 @@
 #include "runtime/network.hpp"
 
+#include "obs/ledger.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_session.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace mstv {
@@ -30,44 +32,49 @@ void SimNetwork::apply_repair(const ConfigGraph& cfg,
                    "label vector does not match the configuration");
   cfg_ = cfg;
   labels_.resize(cfg_.size());
-  std::size_t bits = 0;
+  obs::LedgerCell shipped;
   for (const VertexId v : changed) {
     MSTV_EXPECTS_MSG(v < labels.size(), "repaired vertex out of range");
     labels_[v] = labels[v];
-    bits += labels_[v].size_bits();
+    shipped.fold_label(labels_[v].size_bits());
   }
   MSTV_COUNTER_ADD("dynamic.labels_shipped", changed.size());
-  MSTV_COUNTER_ADD("dynamic.bits_shipped", bits);
+  MSTV_COUNTER_ADD("dynamic.bits_shipped", shipped.bits);
+  // Repair traffic lands on the ledger at the round it interrupts.
+  MSTV_LEDGER_COMMIT("dynamic.repair", round_, scheme_->name(), shipped);
 }
 
 RoundStats SimNetwork::verification_round() const {
+  MSTV_TRACE_SCOPE("network", "network.verify_round",
+                   {obs::TraceArg::uint("round", round_)});
   RoundStats stats;
   // Every node sends its label through every port; the sender-side sums
-  // shard over the vertex range like the verifier pass that follows.
-  struct SendOut {
-    std::size_t messages = 0;
-    std::size_t bits = 0;
-  };
-  const SendOut sent = parallel::sharded_reduce<SendOut>(
-      cfg_.size(), SendOut{},
+  // shard over the vertex range like the verifier pass that follows.  The
+  // shard partial is a ledger cell, so the per-round label-size
+  // distribution is reduced in the same deterministic shard order as the
+  // message/bit totals — the cell is bit-identical at any thread count.
+  const obs::LedgerCell sent = parallel::sharded_reduce<obs::LedgerCell>(
+      cfg_.size(), obs::LedgerCell{},
       [&](const parallel::ShardRange& shard) {
-        SendOut out;
+        obs::LedgerCell out;
         for (std::size_t i = shard.begin; i < shard.end; ++i) {
           const auto v = static_cast<VertexId>(i);
-          out.messages += cfg_.graph().degree(v);
-          out.bits += cfg_.graph().degree(v) * labels_[v].size_bits();
+          const std::size_t label_bits = labels_[v].size_bits();
+          const std::size_t deg = cfg_.graph().degree(v);
+          for (std::size_t p = 0; p < deg; ++p) {
+            out.fold_label(label_bits);
+          }
         }
         return out;
       },
-      [](SendOut& acc, SendOut&& part) {
-        acc.messages += part.messages;
-        acc.bits += part.bits;
-      });
+      [](obs::LedgerCell& acc, obs::LedgerCell&& part) { acc.merge(part); });
   stats.messages = sent.messages;
   stats.bits = sent.bits;
   const VerificationResult r = run_verifier(*scheme_, cfg_, labels_);
   stats.rejecting = r.rejecting.size();
   stats.accepted = r.accepted;
+  MSTV_LEDGER_COMMIT("verify.round", round_, scheme_->name(), sent);
+  ++round_;
   return stats;
 }
 
@@ -96,10 +103,10 @@ RoundStats SimNetwork::verification_round_with_channel_faults(
   MSTV_COUNTER_ADD("faults.channel_bitflips", corrupted);
 
   // Phase 2 (sharded): deliver the (possibly corrupted) copies and run
-  // the verifier at every node.
+  // the verifier at every node.  The shard partial carries a ledger cell
+  // so the per-round label-size distribution merges in shard order.
   struct ShardOut {
-    std::size_t messages = 0;
-    std::size_t bits = 0;
+    obs::LedgerCell cell;
     std::size_t rejecting = 0;
   };
   const ShardOut total = parallel::sharded_reduce<ShardOut>(
@@ -116,8 +123,7 @@ RoundStats SimNetwork::verification_round_with_channel_faults(
             if (flip_bit[v][i] != kNoFlip) {
               copy = copy.with_bit_flipped(flip_bit[v][i]);
             }
-            out.messages += 1;
-            out.bits += copy.size_bits();
+            out.cell.fold_label(copy.size_bits());
             received.push_back(std::move(copy));
           }
 
@@ -142,20 +148,22 @@ RoundStats SimNetwork::verification_round_with_channel_faults(
         return out;
       },
       [](ShardOut& acc, ShardOut&& part) {
-        acc.messages += part.messages;
-        acc.bits += part.bits;
+        acc.cell.merge(part.cell);
         acc.rejecting += part.rejecting;
       });
 
   RoundStats stats;
-  stats.messages = total.messages;
-  stats.bits = total.bits;
+  stats.messages = total.cell.messages;
+  stats.bits = total.cell.bits;
   stats.rejecting = total.rejecting;
   stats.accepted = stats.rejecting == 0;
   MSTV_COUNTER_ADD("verify.rounds", 1);
   MSTV_COUNTER_ADD("verify.messages", stats.messages);
   MSTV_COUNTER_ADD("verify.bits_total", stats.bits);
   MSTV_COUNTER_ADD("verify.rejections", stats.rejecting);
+  MSTV_LEDGER_COMMIT("verify.channel_faults", round_, scheme_->name(),
+                     total.cell);
+  ++round_;
   return stats;
 }
 

@@ -70,10 +70,19 @@ class SimNetwork {
     return *scheme_;
   }
 
+  /// Rounds this network has executed (verification rounds of either
+  /// flavor).  Keys the communication-ledger rows the network commits.
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+
  private:
   ConfigGraph cfg_;
   const ProofLabelingScheme* scheme_;
   std::vector<Label> labels_;
+  // Monotone round counter.  Mutable: running a round does not change the
+  // network configuration (the API is const), but it is still the next
+  // round.  Ledger commits key off this, so it advances deterministically
+  // regardless of thread count.
+  mutable std::uint64_t round_ = 0;
 };
 
 enum class FaultKind : std::uint8_t {

@@ -1,6 +1,7 @@
 #include "runtime/self_stabilization.hpp"
 
 #include "mst/algorithms.hpp"
+#include "obs/ledger.hpp"
 #include "obs/trace.hpp"
 
 namespace mstv {
@@ -37,13 +38,23 @@ StabilizationStats SelfStabilizingMst::stabilize() {
     for (VertexId v = 0; v < fresh.size(); ++v) {
       net_.config().state(v) = fresh.state(v);
     }
+    // Recompute traffic carries protocol messages, not proof labels, so
+    // the cell has message/bit totals but no label distribution.
+    obs::LedgerCell repair;
+    repair.messages = stats.recompute.messages;
+    repair.bits = stats.recompute.message_bits;
+    MSTV_LEDGER_COMMIT("selfstab.repair", net_.round(), scheme_->name(),
+                       repair);
   }
   {
     MSTV_SPAN("selfstab.remark");
     net_.install_marker_labels();
   }
   stats.repaired = true;
-  for (const Label& l : net_.labels()) stats.remark_bits += l.size_bits();
+  obs::LedgerCell remark;
+  for (const Label& l : net_.labels()) remark.fold_label(l.size_bits());
+  stats.remark_bits = remark.bits;
+  MSTV_LEDGER_COMMIT("selfstab.remark", net_.round(), scheme_->name(), remark);
   MSTV_COUNTER_ADD("selfstab.repairs", 1);
   MSTV_COUNTER_ADD("selfstab.repair_messages", stats.recompute.messages);
   MSTV_COUNTER_ADD("selfstab.repair_bits", stats.recompute.message_bits);

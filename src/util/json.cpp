@@ -1,0 +1,307 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace mstv::json {
+
+namespace {
+
+// Deep enough for every document this repo writes (the trace file nests
+// 4 levels); shallow enough that hostile input cannot blow the stack.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& reason) const {
+    throw ParseError(reason, pos_);
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect_keyword(std::string_view kw) {
+    if (text_.substr(pos_, kw.size()) != kw) {
+      fail("invalid literal");
+    }
+    pos_ += kw.size();
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value::string(parse_string());
+      case 't': expect_keyword("true"); return Value::boolean(true);
+      case 'f': expect_keyword("false"); return Value::boolean(false);
+      case 'n': expect_keyword("null"); return Value::null();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    take();  // '{'
+    std::vector<Member> members;
+    skip_ws();
+    if (peek() == '}') {
+      take();
+      return Value::object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = parse_string();
+      skip_ws();
+      if (take() != ':') fail("expected ':' after object key");
+      Value v = parse_value(depth + 1);
+      members.push_back(
+          Member{std::move(key), std::make_shared<Value>(std::move(v))});
+      skip_ws();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Value::object(std::move(members));
+  }
+
+  Value parse_array(int depth) {
+    take();  // '['
+    std::vector<std::shared_ptr<Value>> items;
+    skip_ws();
+    if (peek() == ']') {
+      take();
+      return Value::array(std::move(items));
+    }
+    while (true) {
+      Value v = parse_value(depth + 1);
+      items.push_back(std::make_shared<Value>(std::move(v)));
+      skip_ws();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Value::array(std::move(items));
+  }
+
+  std::string parse_string() {
+    take();  // opening quote
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_utf8(out, parse_hex4()); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+    return out;
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      v <<= 4U;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    // Lone surrogates are kept as-is code points; the writers in this
+    // repo never emit them, and round-tripping beats rejecting here.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      std::size_t k = 0;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+        ++k;
+      }
+      return k;
+    };
+    if (digits() == 0) fail("invalid number");
+    if (!eof() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("digits required after decimal point");
+    }
+    if (!eof() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!eof() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (digits() == 0) fail("digits required in exponent");
+    }
+    const std::string lit(text_.substr(start, pos_ - start));
+    return Value::number(std::strtod(lit.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void kind_mismatch(const char* want) {
+  throw std::logic_error(std::string("json::Value is not a ") + want);
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::Bool) kind_mismatch("bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::Number) kind_mismatch("number");
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::String) kind_mismatch("string");
+  return str_;
+}
+
+const std::vector<std::shared_ptr<Value>>& Value::as_array() const {
+  if (kind_ != Kind::Array) kind_mismatch("array");
+  return items_;
+}
+
+const std::vector<Member>& Value::as_object() const {
+  if (kind_ != Kind::Object) kind_mismatch("object");
+  return members_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  const Value* hit = nullptr;
+  for (const Member& m : members_) {
+    if (m.key == key) hit = m.value.get();
+  }
+  return hit;
+}
+
+const Value* Value::find_path(std::string_view dotted) const {
+  const Value* cur = this;
+  std::size_t start = 0;
+  while (cur != nullptr && start <= dotted.size()) {
+    std::size_t end = dotted.find('.', start);
+    if (end == std::string_view::npos) end = dotted.size();
+    cur = cur->find(dotted.substr(start, end - start));
+    if (end == dotted.size()) break;
+    start = end + 1;
+  }
+  return cur;
+}
+
+Value Value::null() { return Value{}; }
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double d) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.num_ = d;
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.kind_ = Kind::String;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::array(std::vector<std::shared_ptr<Value>> items) {
+  Value v;
+  v.kind_ = Kind::Array;
+  v.items_ = std::move(items);
+  return v;
+}
+
+Value Value::object(std::vector<Member> members) {
+  Value v;
+  v.kind_ = Kind::Object;
+  v.members_ = std::move(members);
+  return v;
+}
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::optional<Value> try_parse(std::string_view text) {
+  try {
+    return parse(text);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace mstv::json

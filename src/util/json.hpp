@@ -1,0 +1,110 @@
+// Minimal JSON document model and recursive-descent parser.
+//
+// The repo emits several machine-readable JSON artifacts — telemetry
+// snapshots (obs/export), BENCH_<name>.json bench reports, Chrome Trace
+// Event files, bounds-audit verdicts — and two consumers need to *read*
+// them back without an external dependency: tools/bench_compare (diffs a
+// fresh bench report against a committed baseline) and the trace-export
+// golden tests (prove the emitted documents actually parse).  This is a
+// strict parser for exactly the JSON those writers produce: objects,
+// arrays, strings with the standard escapes (\uXXXX included, decoded to
+// UTF-8), numbers, booleans and null.  It rejects trailing garbage,
+// unterminated literals and over-deep nesting (a depth cap guards the
+// recursion), and reports errors with a byte offset.
+//
+// Numbers are held as double — the precision every writer in this repo
+// emits (counters stay integral well below 2^53).  Object keys keep
+// insertion order; duplicate keys keep the last value (matching how
+// JavaScript consumers such as Perfetto read the trace files).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mstv::json {
+
+class Value;
+
+/// Parse failure: `what()` carries the reason and the byte offset.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& reason, std::size_t offset)
+      : std::runtime_error(reason + " at byte " + std::to_string(offset)),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+enum class Kind { Null, Bool, Number, String, Array, Object };
+
+/// One member of an object, in document order.
+struct Member {
+  std::string key;
+  std::shared_ptr<Value> value;
+};
+
+class Value {
+ public:
+  Value() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::Object;
+  }
+
+  /// Typed accessors throw std::logic_error on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<std::shared_ptr<Value>>& as_array() const;
+  [[nodiscard]] const std::vector<Member>& as_object() const;
+
+  /// Object member by key (last occurrence wins); nullptr when absent or
+  /// when this value is not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// `find` chained over a dotted path ("metrics.counters"); nullptr as
+  /// soon as a hop is missing.
+  [[nodiscard]] const Value* find_path(std::string_view dotted) const;
+
+  // Builders (used by the parser; handy for tests).
+  static Value null();
+  static Value boolean(bool b);
+  static Value number(double v);
+  static Value string(std::string s);
+  static Value array(std::vector<std::shared_ptr<Value>> items);
+  static Value object(std::vector<Member> members);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<std::shared_ptr<Value>> items_;
+  std::vector<Member> members_;
+};
+
+/// Parses a complete document; throws ParseError on any malformation,
+/// including non-whitespace after the top-level value.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Non-throwing variant: nullopt on malformed input.
+[[nodiscard]] std::optional<Value> try_parse(std::string_view text);
+
+}  // namespace mstv::json

@@ -1,0 +1,23 @@
+// mstv-lint-fixture: src/runtime/fixture_trace.cpp
+// Known-bad: trace-session categories and ledger phase keys off the
+// conventions of docs/observability.md.
+#include <cstdint>
+
+// Stand-ins for the obs entry points; the rules match call shape, not
+// definitions.
+#define MSTV_TRACE_SCOPE(cat, name, ...) (void)sizeof(cat)
+#define MSTV_TRACE_INSTANT(cat, name, ...) (void)sizeof(cat)
+#define MSTV_LEDGER_COMMIT(phase, round, scheme, cell) (void)sizeof(phase)
+
+void record(std::uint64_t round, int cell) {
+  MSTV_TRACE_SCOPE("Network", "network.round");        // expect: OBS-TRACE-CATEGORY
+  MSTV_TRACE_SCOPE("verify.round", "verify.round");    // expect: OBS-TRACE-CATEGORY
+  MSTV_TRACE_INSTANT("network", "RoundDone");          // expect: OBS-TRACE-CATEGORY
+  MSTV_TRACE_SCOPE("network", "verify.round");         // expect: OBS-TRACE-CATEGORY
+  MSTV_TRACE_SCOPE("network", "network.verify_round");  // ok
+  MSTV_TRACE_INSTANT("selfstab", "selfstab.tick");      // ok
+
+  MSTV_LEDGER_COMMIT("VerifyRound", round, "pi-mst", cell);   // expect: OBS-LEDGER-KEY
+  MSTV_LEDGER_COMMIT("repair", round, "pi-mst", cell);        // expect: OBS-LEDGER-KEY
+  MSTV_LEDGER_COMMIT("verify.round", round, "pi-mst", cell);  // ok
+}

@@ -1,0 +1,176 @@
+// The bound auditor is a regression tripwire: these tests pin down when
+// it passes, when it fails, and which checks may only advise.  All
+// inputs are synthetic — the auditor is a pure function of AuditInput —
+// so the suite runs identically under -DMSTV_OBS_DISABLED.
+#include "obs/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/json.hpp"
+
+namespace mstv::obs {
+namespace {
+
+LedgerEntry verify_round_row(std::uint64_t round, std::uint64_t messages,
+                             std::uint64_t bits_per_message) {
+  LedgerEntry e;
+  e.key = LedgerKey{round, "verify.round", "pi-mst"};
+  e.cell.messages = messages;
+  e.cell.bits = messages * bits_per_message;
+  e.cell.labels = messages;
+  e.cell.label_bits_min = bits_per_message;
+  e.cell.label_bits_max = bits_per_message;
+  e.cell.label_bits_sum = e.cell.bits;
+  return e;
+}
+
+AuditInput healthy_input() {
+  AuditInput in;
+  in.n = 1000;        // bitlen 10
+  in.m = 2000;
+  in.max_weight = 1u << 16;  // bitlen 17
+  in.scheme = "pi-mst";
+  in.max_label_bits = 300;   // bound: 4 * 10 * 17 + 64 = 744
+  in.max_components = 11;    // bound: 2 * 10 = 20
+  in.ledger.push_back(verify_round_row(0, 2 * in.m, 300));
+  return in;
+}
+
+const AuditCheck* check_named(const AuditReport& r, std::string_view name) {
+  for (const AuditCheck& c : r.checks) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+TEST(BoundAudit, LabelBitsBoundFollowsTheSchemeForm) {
+  const std::uint64_t n = 1u << 10;
+  const std::uint64_t w = 1u << 16;
+  // Telescoping (Theorem 3.4): slack * log n * log W + offset.
+  EXPECT_DOUBLE_EQ(label_bits_bound("pi-mst", n, w),
+                   kAuditLabelSlack * 11 * 17 + kAuditLabelOffsetBits);
+  EXPECT_DOUBLE_EQ(label_bits_bound("pi-gamma", n, w),
+                   label_bits_bound("pi-mst", n, w));
+  // Naive form pays the extra log^2 n term; so does the unproved default.
+  EXPECT_DOUBLE_EQ(label_bits_bound("pi-mst-naive", n, w),
+                   kAuditLabelSlack * (11 * 11 + 11 * 17) +
+                       kAuditLabelOffsetBits);
+  EXPECT_GT(label_bits_bound("pi-frag", n, w), label_bits_bound("pi-mst", n, w));
+  EXPECT_DOUBLE_EQ(label_bits_bound("agreement", n, w),
+                   label_bits_bound("pi-mst-naive", n, w));
+  // bitlen floors at 1 even for degenerate graphs.
+  EXPECT_DOUBLE_EQ(label_bits_bound("pi-mst", 1, 1),
+                   kAuditLabelSlack + kAuditLabelOffsetBits);
+}
+
+TEST(BoundAudit, HealthyRunPasses) {
+  const AuditReport r = audit_bounds(healthy_input());
+  EXPECT_TRUE(r.pass);
+  ASSERT_EQ(r.checks.size(), 5u);
+  for (const AuditCheck& c : r.checks) {
+    EXPECT_TRUE(c.pass) << c.name;
+    EXPECT_FALSE(c.advisory) << c.name;
+  }
+  EXPECT_EQ(r.scheme, "pi-mst");
+  EXPECT_EQ(r.n, 1000u);
+}
+
+TEST(BoundAudit, OversizedLabelFails) {
+  AuditInput in = healthy_input();
+  in.max_label_bits = 100000;
+  const AuditReport r = audit_bounds(in);
+  EXPECT_FALSE(r.pass);
+  const AuditCheck* c = check_named(r, "label.max_bits");
+  ASSERT_NE(c, nullptr);
+  EXPECT_FALSE(c->pass);
+  EXPECT_FALSE(c->advisory);
+}
+
+TEST(BoundAudit, TooManyRoundMessagesFails) {
+  AuditInput in = healthy_input();
+  in.ledger.push_back(verify_round_row(1, 2 * in.m + 1, 10));
+  const AuditReport r = audit_bounds(in);
+  EXPECT_FALSE(r.pass);
+  const AuditCheck* c = check_named(r, "ledger.round_messages");
+  ASSERT_NE(c, nullptr);
+  EXPECT_FALSE(c->pass);
+  // The worst round is what gets reported.
+  EXPECT_DOUBLE_EQ(c->measured, static_cast<double>(2 * in.m + 1));
+}
+
+TEST(BoundAudit, BitsOverTheEnvelopeFail) {
+  AuditInput in = healthy_input();
+  // Each message carries far more than the label envelope allows.
+  in.ledger = {verify_round_row(0, 2 * in.m, 5000)};
+  const AuditReport r = audit_bounds(in);
+  EXPECT_FALSE(r.pass);
+  const AuditCheck* c = check_named(r, "ledger.round_bits");
+  ASSERT_NE(c, nullptr);
+  EXPECT_FALSE(c->pass);
+  EXPECT_GT(c->measured, 1.0);  // ratio of bits to msgs * envelope
+}
+
+TEST(BoundAudit, EmptyLedgerFailsLoudly) {
+  AuditInput in = healthy_input();
+  in.ledger.clear();
+  const AuditReport r = audit_bounds(in);
+  EXPECT_FALSE(r.pass);
+  const AuditCheck* c = check_named(r, "ledger.round_messages");
+  ASSERT_NE(c, nullptr);
+  EXPECT_FALSE(c->pass);
+  EXPECT_NE(c->note.find("wiring"), std::string::npos);
+  // Rows from other phases don't count as verification traffic.
+  in.ledger.push_back(
+      LedgerEntry{LedgerKey{0, "selfstab.repair", "pi-mst"}, {}});
+  EXPECT_FALSE(audit_bounds(in).pass);
+}
+
+TEST(BoundAudit, UnprovedSchemeLabelCheckIsAdvisory) {
+  AuditInput in = healthy_input();
+  in.scheme = "spanning-tree";
+  in.max_label_bits = 100000;  // would fail any envelope...
+  for (LedgerEntry& e : in.ledger) e.key.scheme = in.scheme;
+  const AuditReport r = audit_bounds(in);
+  const AuditCheck* c = check_named(r, "label.max_bits");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->advisory);
+  EXPECT_FALSE(c->pass);
+  EXPECT_TRUE(r.pass);  // ...but advisory checks never fail the report
+}
+
+TEST(BoundAudit, UnsetComponentGaugeIsAdvisory) {
+  AuditInput in = healthy_input();
+  in.max_components = 0;
+  const AuditReport r = audit_bounds(in);
+  const AuditCheck* c = check_named(r, "label.max_components");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->advisory);
+  EXPECT_TRUE(r.pass);
+
+  in.max_components = 100;  // way past 2 * bitlen(n) = 20
+  const AuditCheck* hot = check_named(audit_bounds(in), "label.max_components");
+  ASSERT_NE(hot, nullptr);
+  EXPECT_FALSE(hot->advisory);
+  EXPECT_FALSE(hot->pass);
+  EXPECT_FALSE(audit_bounds(in).pass);
+}
+
+TEST(BoundAudit, ReportSerializesToParsableJson) {
+  const AuditReport r = audit_bounds(healthy_input());
+  const json::Value v = json::parse(audit_to_json(r));
+  EXPECT_EQ(v.find("audit")->as_string(), "mstv-bounds");
+  EXPECT_EQ(v.find("scheme")->as_string(), "pi-mst");
+  EXPECT_TRUE(v.find("pass")->as_bool());
+  const auto& checks = v.find("checks")->as_array();
+  ASSERT_EQ(checks.size(), r.checks.size());
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    EXPECT_EQ(checks[i]->find("name")->as_string(), r.checks[i].name);
+    EXPECT_EQ(checks[i]->find("pass")->as_bool(), r.checks[i].pass);
+    ASSERT_NE(checks[i]->find("bound"), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace mstv::obs

@@ -1,0 +1,92 @@
+// mstv::json is the read-side of every JSON artifact the repo emits
+// (telemetry snapshots, bench reports, Chrome traces, audit verdicts);
+// these tests lock down the accepted grammar and the rejection behavior
+// bench_compare and the trace golden tests rely on.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mstv::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.25").as_number(), -3.25);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d")").as_string(), "a\"b\\c/d");
+  EXPECT_EQ(parse(R"("tab\there\nnl")").as_string(), "tab\there\nnl");
+  // \uXXXX decodes to UTF-8: U+00E9 (e-acute) -> 0xC3 0xA9.
+  EXPECT_EQ(parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");
+  EXPECT_THROW(parse(R"("\u00gz")"), ParseError);
+  EXPECT_THROW(parse(R"("\q")"), ParseError);
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const Value v = parse(R"({"a": [1, 2, {"b": true}], "c": {"d": null}})");
+  ASSERT_TRUE(v.is_object());
+  const auto& arr = v.find("a")->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr[0]->as_number(), 1.0);
+  EXPECT_TRUE(arr[2]->find("b")->as_bool());
+  EXPECT_TRUE(v.find_path("c.d")->is_null());
+}
+
+TEST(Json, FindPathStopsAtMissingHop) {
+  const Value v = parse(R"({"metrics": {"counters": {"x": 7}}})");
+  ASSERT_NE(v.find_path("metrics.counters.x"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find_path("metrics.counters.x")->as_number(), 7.0);
+  EXPECT_EQ(v.find_path("metrics.gauges.x"), nullptr);
+  EXPECT_EQ(v.find_path("nope"), nullptr);
+  // find on a non-object is a nullptr, not a throw.
+  EXPECT_EQ(parse("[1]").find("k"), nullptr);
+}
+
+TEST(Json, DuplicateKeysLastWins) {
+  const Value v = parse(R"({"k": 1, "k": 2})");
+  EXPECT_DOUBLE_EQ(v.find("k")->as_number(), 2.0);
+  // ...but both members stay visible in document order.
+  EXPECT_EQ(v.as_object().size(), 2u);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(parse("1."), ParseError);
+  EXPECT_THROW(parse("1e"), ParseError);
+  EXPECT_THROW(parse("nul"), ParseError);
+  EXPECT_THROW(parse("1 garbage"), ParseError);  // trailing junk
+  EXPECT_FALSE(try_parse("{").has_value());
+  EXPECT_TRUE(try_parse("{}").has_value());
+}
+
+TEST(Json, DepthCapGuardsRecursion) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_THROW(parse(deep), ParseError);
+  // A comfortably shallow document of the same shape is fine.
+  EXPECT_NO_THROW(parse("[[[[[[[[[[]]]]]]]]]]"));
+}
+
+TEST(Json, TypedAccessorsThrowOnKindMismatch) {
+  const Value v = parse("42");
+  EXPECT_THROW((void)v.as_string(), std::logic_error);
+  EXPECT_THROW((void)v.as_array(), std::logic_error);
+  EXPECT_THROW((void)parse("\"s\"").as_number(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mstv::json

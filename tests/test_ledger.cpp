@@ -1,0 +1,145 @@
+// Communication-ledger semantics, plus the layer's headline contract:
+// the ledger a verification round commits is bit-identical at any thread
+// count (cells are computed in the deterministic sharded reduce and
+// committed once per round by the driver).
+#include "obs/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "parallel/parallel_for.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "runtime/network.hpp"
+#include "util/json.hpp"
+
+namespace mstv::obs {
+namespace {
+
+TEST(LedgerCell, FoldTracksDistribution) {
+  LedgerCell c;
+  c.fold_label(10);
+  c.fold_label(4);
+  c.fold_label(7);
+  EXPECT_EQ(c.messages, 3u);
+  EXPECT_EQ(c.bits, 21u);
+  EXPECT_EQ(c.labels, 3u);
+  EXPECT_EQ(c.label_bits_min, 4u);
+  EXPECT_EQ(c.label_bits_max, 10u);
+  EXPECT_EQ(c.label_bits_sum, 21u);
+}
+
+TEST(LedgerCell, MergeRespectsEmptyPartials) {
+  LedgerCell a;
+  a.fold_label(8);
+  LedgerCell empty;
+  empty.messages = 2;  // traffic counted without label stats
+  empty.bits = 5;
+
+  LedgerCell m = a;
+  m.merge(empty);
+  EXPECT_EQ(m.messages, 3u);
+  EXPECT_EQ(m.bits, 13u);
+  // The empty partial must not drag min down to 0.
+  EXPECT_EQ(m.labels, 1u);
+  EXPECT_EQ(m.label_bits_min, 8u);
+
+  LedgerCell other;
+  other.fold_label(3);
+  other.fold_label(12);
+  m.merge(other);
+  EXPECT_EQ(m.label_bits_min, 3u);
+  EXPECT_EQ(m.label_bits_max, 12u);
+  EXPECT_EQ(m.labels, 3u);
+  EXPECT_EQ(m.label_bits_sum, 23u);
+}
+
+TEST(CommLedger, RepeatedCommitMergesAndSnapshotSorts) {
+  CommLedger ledger;
+  LedgerCell c;
+  c.fold_label(5);
+  ledger.commit("verify.round", 1, "pi-mst", c);
+  ledger.commit("async.round", 0, "pi-mst", c);
+  ledger.commit("verify.round", 1, "pi-mst", c);  // same key: merges
+  ledger.commit("verify.round", 0, "pi-frag", c);
+
+  const auto snap = ledger.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // Sorted by (round, phase, scheme).
+  EXPECT_EQ(snap[0].key.round, 0u);
+  EXPECT_EQ(snap[0].key.phase, "async.round");
+  EXPECT_EQ(snap[1].key.phase, "verify.round");
+  EXPECT_EQ(snap[1].key.scheme, "pi-frag");
+  EXPECT_EQ(snap[2].key.round, 1u);
+  EXPECT_EQ(snap[2].cell.messages, 2u);
+  EXPECT_EQ(snap[2].cell.label_bits_sum, 10u);
+
+  ledger.reset();
+  EXPECT_TRUE(ledger.snapshot().empty());
+}
+
+TEST(CommLedger, JsonSerializationParses) {
+  CommLedger ledger;
+  LedgerCell c;
+  c.fold_label(60);
+  c.fold_label(314);
+  ledger.commit("verify.round", 0, "pi-mst", c);
+
+  const json::Value v = json::parse(ledger_to_json(ledger.snapshot()));
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.as_array().size(), 1u);
+  const json::Value& row = *v.as_array()[0];
+  EXPECT_DOUBLE_EQ(row.find("round")->as_number(), 0.0);
+  EXPECT_EQ(row.find("phase")->as_string(), "verify.round");
+  EXPECT_EQ(row.find("scheme")->as_string(), "pi-mst");
+  EXPECT_DOUBLE_EQ(row.find("messages")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(row.find_path("label_bits.min")->as_number(), 60.0);
+  EXPECT_DOUBLE_EQ(row.find_path("label_bits.max")->as_number(), 314.0);
+
+  EXPECT_EQ(ledger_to_json({}), "[]");
+}
+
+// The determinism contract: the same run at --threads=1 and --threads=8
+// commits the exact same ledger, distribution stats included.
+TEST(CommLedger, VerificationLedgerIsThreadCountInvariant) {
+  Rng rng(91);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(200, 320, wo, rng);
+  const MstScheme scheme;
+
+  const auto run = [&](std::size_t threads) {
+    parallel::set_thread_count(threads);
+    CommLedger::global().reset();
+    SimNetwork net(make_tree_config(g, kruskal_mst(g), 0), scheme);
+    net.install_marker_labels();
+    (void)net.verification_round();
+    (void)net.verification_round();
+    return CommLedger::global().snapshot();
+  };
+
+  const auto serial = run(1);
+  const auto sharded = run(8);
+  parallel::set_thread_count(0);  // back to the default
+  EXPECT_EQ(serial, sharded);
+
+#ifndef MSTV_OBS_DISABLED
+  // Two rounds committed under distinct round keys, each 2m messages.
+  ASSERT_EQ(serial.size(), 2u);
+  EXPECT_EQ(serial[0].key.round, 0u);
+  EXPECT_EQ(serial[1].key.round, 1u);
+  for (const LedgerEntry& e : serial) {
+    EXPECT_EQ(e.key.phase, "verify.round");
+    EXPECT_EQ(e.key.scheme, scheme.name());
+    EXPECT_EQ(e.cell.messages, 2 * g.num_edges());
+    EXPECT_EQ(e.cell.labels, e.cell.messages);
+    EXPECT_EQ(e.cell.bits, e.cell.label_bits_sum);
+    EXPECT_GE(e.cell.label_bits_max, e.cell.label_bits_min);
+    EXPECT_GT(e.cell.label_bits_min, 0u);
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace mstv::obs

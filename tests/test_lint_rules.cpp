@@ -326,6 +326,42 @@ TEST(LintRules, MetricNameConventionIsTokenAccurate) {
   EXPECT_EQ(diags[0].rule, "OBS-METRIC-NAME");
 }
 
+TEST(LintRules, TraceCategoryChecksCategoryNameAndPrefix) {
+  // Bad category, bad name, and a name outside its category all fire;
+  // a matching pair stays quiet.
+  EXPECT_EQ(lint_snippet("src/mst/x.cpp",
+                         "void f() { MSTV_TRACE_SCOPE(\"Bad\", \"bad.x\"); }\n")
+                .size(),
+            1u);
+  EXPECT_EQ(
+      lint_snippet("src/mst/x.cpp",
+                   "void f() { MSTV_TRACE_INSTANT(\"net\", \"BadName\"); }\n")
+          .size(),
+      1u);
+  const auto mismatch = lint_snippet(
+      "src/mst/x.cpp",
+      "void f() { MSTV_TRACE_SCOPE(\"net\", \"verify.round\"); }\n");
+  ASSERT_EQ(mismatch.size(), 1u);
+  EXPECT_EQ(mismatch[0].rule, "OBS-TRACE-CATEGORY");
+  EXPECT_TRUE(lint_snippet(
+                  "src/mst/x.cpp",
+                  "void f() { MSTV_TRACE_SCOPE(\"net\", \"net.round\"); }\n")
+                  .empty());
+}
+
+TEST(LintRules, LedgerPhaseKeyIsChecked) {
+  const auto diags = lint_snippet(
+      "src/mst/x.cpp",
+      "void f() { MSTV_LEDGER_COMMIT(\"Repair\", 0, \"pi-mst\", c); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "OBS-LEDGER-KEY");
+  EXPECT_TRUE(
+      lint_snippet("src/mst/x.cpp",
+                   "void f() { MSTV_LEDGER_COMMIT(\"dynamic.repair\", 0, "
+                   "\"pi-mst\", c); }\n")
+          .empty());
+}
+
 TEST(LintRules, RawStringsAndCommentsDoNotFoolTheLexer) {
   const std::string src =
       "const char* doc = R\"(call rand() and time() freely in prose)\";\n"

@@ -1,0 +1,190 @@
+// Golden tests for the trace-session layer: the exported Chrome Trace
+// Event document must actually parse (mstv::json), carry the thread
+// metadata Perfetto keys on, and keep per-thread completion order.  The
+// direct TraceSession API is exercised (it compiles in every config,
+// including -DMSTV_OBS_DISABLED where only the macros vanish), plus one
+// parallel pass through the real shard engine.
+#include "obs/trace_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "util/json.hpp"
+
+namespace mstv::obs {
+namespace {
+
+TEST(TraceSession, NeverStartedExportsValidEmptyDocument) {
+  TraceSession s;
+  const SessionSnapshot snap = s.snapshot();
+  EXPECT_FALSE(snap.was_active);
+  EXPECT_TRUE(snap.threads.empty());
+
+  const std::string doc = to_chrome_trace(snap);
+  const json::Value v = json::parse(doc);  // throws if malformed
+  ASSERT_TRUE(v.is_object());
+  ASSERT_NE(v.find("traceEvents"), nullptr);
+  EXPECT_TRUE(v.find("traceEvents")->as_array().empty());
+  EXPECT_DOUBLE_EQ(v.find_path("otherData.dropped_events")->as_number(), 0.0);
+}
+
+TEST(TraceSession, RecordsEventsAndExportsChromeTrace) {
+  TraceSession s;
+  s.start();
+  s.record_complete("network", "network.verify_round", 12.5,
+                    {TraceArg::uint("round", 3), TraceArg::str("scheme", "pi-mst")});
+  s.record_instant("selfstab", "selfstab.tick",
+                   {TraceArg::real("score", 0.5)});
+  s.stop();
+
+  const SessionSnapshot snap = s.snapshot();
+  EXPECT_TRUE(snap.was_active);
+  ASSERT_EQ(snap.threads.size(), 1u);
+  ASSERT_EQ(snap.threads[0].events.size(), 2u);
+  EXPECT_EQ(snap.threads[0].events[0].phase, 'X');
+  EXPECT_EQ(snap.threads[0].events[1].phase, 'i');
+
+  const json::Value v = json::parse(to_chrome_trace(snap));
+  const auto& events = v.find("traceEvents")->as_array();
+  // One thread_name metadata row plus the two recorded events.
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0]->find("ph")->as_string(), "M");
+  EXPECT_EQ(events[0]->find_path("args.name")->as_string(), "driver");
+
+  const json::Value& scope = *events[1];
+  EXPECT_EQ(scope.find("name")->as_string(), "network.verify_round");
+  EXPECT_EQ(scope.find("cat")->as_string(), "network");
+  EXPECT_EQ(scope.find("ph")->as_string(), "X");
+  ASSERT_NE(scope.find("dur"), nullptr);
+  EXPECT_DOUBLE_EQ(scope.find("dur")->as_number(), 12.5);
+  EXPECT_DOUBLE_EQ(scope.find_path("args.round")->as_number(), 3.0);
+  EXPECT_EQ(scope.find_path("args.scheme")->as_string(), "pi-mst");
+
+  const json::Value& instant = *events[2];
+  EXPECT_EQ(instant.find("ph")->as_string(), "i");
+  EXPECT_EQ(instant.find("s")->as_string(), "t");
+  EXPECT_DOUBLE_EQ(instant.find_path("args.score")->as_number(), 0.5);
+}
+
+TEST(TraceSession, CompletionTimestampsAreMonotonePerThread) {
+  TraceSession s;
+  s.start();
+  for (int i = 0; i < 50; ++i) {
+    // Varying claimed durations: the *completion* instants (ts + dur)
+    // are what arrive in order, and what the exporter must keep.
+    s.record_complete("t", "t.step", i % 7, {});
+    s.record_instant("t", "t.mark");
+  }
+  s.stop();
+
+  const SessionSnapshot snap = s.snapshot();
+  for (const ThreadTrace& t : snap.threads) {
+    double last_end = -1.0;
+    for (const SessionEvent& ev : t.events) {
+      const double end = ev.ts_us + ev.dur_us;
+      EXPECT_GE(end, last_end) << "completion order broken on tid " << t.tid;
+      EXPECT_GE(ev.dur_us, 0.0);
+      last_end = end;
+    }
+  }
+}
+
+TEST(TraceSession, KeepsOldestAndCountsDrops) {
+  TraceSession s;
+  s.start(/*capacity_per_thread=*/2);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    s.record_instant("t", "t.mark", {TraceArg::uint("i", i)});
+  }
+  s.stop();
+
+  const SessionSnapshot snap = s.snapshot();
+  ASSERT_EQ(snap.threads.size(), 1u);
+  ASSERT_EQ(snap.threads[0].events.size(), 2u);
+  // Keep-oldest: the first two events survive, the tail is dropped.
+  EXPECT_EQ(snap.threads[0].events[0].args[0].u, 0u);
+  EXPECT_EQ(snap.threads[0].events[1].args[0].u, 1u);
+  EXPECT_EQ(snap.threads[0].dropped, 3u);
+
+  const json::Value v = json::parse(to_chrome_trace(snap));
+  EXPECT_DOUBLE_EQ(v.find_path("otherData.dropped_events")->as_number(), 3.0);
+}
+
+TEST(TraceSession, RestartDiscardsPreviousSession) {
+  TraceSession s;
+  s.start();
+  s.record_instant("t", "t.old");
+  s.stop();
+  s.start();
+  s.record_instant("t", "t.fresh");
+  s.stop();
+
+  const SessionSnapshot snap = s.snapshot();
+  ASSERT_EQ(snap.threads.size(), 1u);
+  ASSERT_EQ(snap.threads[0].events.size(), 1u);
+  EXPECT_EQ(snap.threads[0].events[0].name, "t.fresh");
+}
+
+TEST(TraceSession, InactiveSessionRecordsNothing) {
+  TraceSession s;
+  s.record_instant("t", "t.mark");  // no session open yet
+  s.start();
+  s.stop();
+  s.record_instant("t", "t.mark");  // window already closed
+  const SessionSnapshot snap = s.snapshot();
+  for (const ThreadTrace& t : snap.threads) {
+    EXPECT_TRUE(t.events.empty());
+  }
+}
+
+// The quiescence contract in practice: pooled shards record concurrently,
+// the pool's completion wait synchronizes with the driver, and the export
+// sees every shard event exactly once.  (Run under TSan in CI.)
+TEST(TraceSession, ParallelShardsRecordIntoGlobalSession) {
+  parallel::set_thread_count(4);
+  TraceSession& s = TraceSession::global();
+  s.start();
+  std::atomic<std::uint64_t> shards_run{0};
+  parallel::for_each_shard(4096, [&](const parallel::ShardRange& shard) {
+    s.record_complete("test", "test.shard", 1.0,
+                      {TraceArg::uint("shard", shard.index)});
+    shards_run.fetch_add(1, std::memory_order_relaxed);
+  });
+  s.stop();
+
+  // The shard engine's own instrumentation (cat "parallel") rides along
+  // in instrumented builds; count only this test's events.
+  const SessionSnapshot snap = s.snapshot();
+  std::uint64_t exported = 0;
+  std::set<std::uint64_t> shard_ids;
+  std::set<std::uint32_t> tids;
+  for (const ThreadTrace& t : snap.threads) {
+    EXPECT_EQ(t.dropped, 0u);
+    for (const SessionEvent& ev : t.events) {
+      if (ev.cat != "test") continue;
+      ASSERT_EQ(ev.args.size(), 1u);
+      shard_ids.insert(ev.args[0].u);
+      tids.insert(t.tid);
+      ++exported;
+    }
+  }
+  EXPECT_EQ(exported, shards_run.load());
+  EXPECT_EQ(shard_ids.size(), shards_run.load());  // each shard once
+
+  // The document parses and names every registered thread.
+  const json::Value v = json::parse(to_chrome_trace(snap));
+  std::size_t meta_rows = 0;
+  for (const auto& ev : v.find("traceEvents")->as_array()) {
+    if (ev->find("ph")->as_string() == "M") ++meta_rows;
+  }
+  EXPECT_EQ(meta_rows, snap.threads.size());
+  EXPECT_GE(tids.size(), 1u);
+  parallel::set_thread_count(0);  // back to the default
+}
+
+}  // namespace
+}  // namespace mstv::obs

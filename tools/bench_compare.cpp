@@ -1,0 +1,361 @@
+// bench_compare — diffs a fresh BENCH_<name>.json against a committed
+// baseline and fails on regression.
+//
+//   bench_compare [--tolerance=PCT] [--timing-tolerance=PCT]
+//                 <baseline.json> <fresh.json>
+//
+// The bench reports (bench/common.hpp JsonReporter) carry two kinds of
+// quantities and the comparison treats them differently:
+//
+//   * COUNTS — message/bit/label totals, rejection counts, ledger rows,
+//     table columns like `messages` or `bits`.  The benches are seeded
+//     and the engine is deterministic, so these must match the baseline
+//     exactly (or within --tolerance=PCT if the caller loosens it).  A
+//     drifted count means behavior changed, not the machine.
+//   * TIMINGS — anything wall-clock shaped (`*_us`/`*_ms`/`*_ns`, `time`,
+//     `speedup`, `delay`, `latency` in the name/header).  These vary by
+//     machine; they are reported as advisory diffs and only enforced when
+//     --timing-tolerance=PCT is given (for a pinned-hardware CI lane).
+//
+// Machine-shaped telemetry (`parallel.*`: pool sizing, shard counts,
+// shard timings) is skipped entirely — it tracks the host's core count,
+// not the code.
+//
+// A metric present in the baseline but missing from the fresh report is
+// a failure (silent metric loss is how regressions hide); a metric only
+// in the fresh report is advisory (new telemetry is fine).
+//
+// Exit codes: 0 = within tolerance, 1 = regression, 2 = bad
+// invocation/unreadable/unparseable input.  tests/CMakeLists.txt
+// self-tests both directions against checked-in fixtures.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+using mstv::json::Value;
+
+struct Options {
+  double tolerance_pct = 0.0;         // counts: exact by default
+  double timing_tolerance_pct = -1.0; // < 0: timings advisory-only
+  std::string baseline_path;
+  std::string fresh_path;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare [--tolerance=PCT] "
+               "[--timing-tolerance=PCT] <baseline.json> <fresh.json>\n");
+  return 2;
+}
+
+bool timing_shaped(std::string_view name) {
+  for (const char* marker :
+       {"_us", "_ms", "_ns", "time", "speedup", "delay", "latency", "(ms",
+        "(us", "(ns", " ms", " us"}) {
+    if (name.find(marker) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+bool machine_shaped(std::string_view name) {
+  // Pool sizing and shard structure track the host's core count.
+  return name.rfind("parallel.", 0) == 0;
+}
+
+class Comparator {
+ public:
+  explicit Comparator(const Options& opts) : opts_(opts) {}
+
+  void compare_numbers(const std::string& what, double base, double fresh,
+                       bool timing) {
+    const double tol_pct =
+        timing ? opts_.timing_tolerance_pct : opts_.tolerance_pct;
+    const bool enforced = !timing || opts_.timing_tolerance_pct >= 0.0;
+    const double denom = std::abs(base) > 0 ? std::abs(base) : 1.0;
+    const double diff_pct = std::abs(fresh - base) / denom * 100.0;
+    const bool within = diff_pct <= (enforced ? tol_pct : 0.0) + 1e-12;
+    if (within) {
+      ++checks_;
+      return;
+    }
+    if (!enforced) {
+      ++advisory_;
+      std::printf("  advisory %-46s %g -> %g (%+.1f%%)\n", what.c_str(), base,
+                  fresh, fresh >= base ? diff_pct : -diff_pct);
+      return;
+    }
+    fail(what + ": " + to_string(base) + " -> " + to_string(fresh) +
+         " (" + to_string(diff_pct) + "% > " + to_string(tol_pct) +
+         "% tolerance)");
+  }
+
+  void fail(const std::string& msg) {
+    ++failures_;
+    std::printf("  FAIL %s\n", msg.c_str());
+  }
+
+  void note_extra(const std::string& what) {
+    ++advisory_;
+    std::printf("  advisory new metric %s (not in baseline)\n", what.c_str());
+  }
+
+  [[nodiscard]] std::size_t failures() const { return failures_; }
+  [[nodiscard]] std::size_t checks() const { return checks_; }
+  [[nodiscard]] std::size_t advisory() const { return advisory_; }
+
+ private:
+  static std::string to_string(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+  }
+
+  Options opts_;
+  std::size_t checks_ = 0;
+  std::size_t failures_ = 0;
+  std::size_t advisory_ = 0;
+};
+
+/// Flattens a {"name": number, ...} object into a map.
+std::map<std::string, double> scalar_map(const Value* obj) {
+  std::map<std::string, double> out;
+  if (obj == nullptr || !obj->is_object()) return out;
+  for (const auto& m : obj->as_object()) {
+    if (m.value->is_number()) out[m.key] = m.value->as_number();
+  }
+  return out;
+}
+
+void compare_scalar_section(Comparator& cmp, const char* section,
+                            const Value& base, const Value& fresh) {
+  const std::string path = std::string("metrics.") + section;
+  const auto b = scalar_map(base.find_path(path));
+  const auto f = scalar_map(fresh.find_path(path));
+  for (const auto& [name, bval] : b) {
+    if (machine_shaped(name)) continue;
+    const auto it = f.find(name);
+    if (it == f.end()) {
+      cmp.fail(path + "." + name + " missing from fresh report");
+      continue;
+    }
+    cmp.compare_numbers(path + "." + name, bval, it->second,
+                        timing_shaped(name));
+  }
+  for (const auto& [name, fval] : f) {
+    (void)fval;
+    if (!machine_shaped(name) && b.find(name) == b.end()) {
+      cmp.note_extra(path + "." + name);
+    }
+  }
+}
+
+void compare_histograms(Comparator& cmp, const Value& base,
+                        const Value& fresh) {
+  const Value* bh = base.find_path("metrics.histograms");
+  const Value* fh = fresh.find_path("metrics.histograms");
+  if (bh == nullptr || !bh->is_object()) return;
+  for (const auto& m : bh->as_object()) {
+    if (machine_shaped(m.key)) continue;
+    const Value* fv =
+        (fh != nullptr && fh->is_object()) ? fh->find(m.key) : nullptr;
+    if (fv == nullptr) {
+      cmp.fail("metrics.histograms." + m.key + " missing from fresh report");
+      continue;
+    }
+    // Only the observation count is deterministic; sum/min/max of a
+    // timing histogram are wall-clock shaped.
+    const Value* bc = m.value->find("count");
+    const Value* fc = fv->find("count");
+    if (bc != nullptr && bc->is_number() && fc != nullptr && fc->is_number()) {
+      cmp.compare_numbers("metrics.histograms." + m.key + ".count",
+                          bc->as_number(), fc->as_number(), /*timing=*/false);
+    }
+  }
+}
+
+void compare_ledger(Comparator& cmp, const Value& base, const Value& fresh) {
+  const Value* bl = base.find_path("metrics.ledger");
+  const Value* fl = fresh.find_path("metrics.ledger");
+  if (bl == nullptr || !bl->is_array()) return;
+  auto key_of = [](const Value& row) {
+    std::ostringstream os;
+    const Value* r = row.find("round");
+    const Value* p = row.find("phase");
+    const Value* s = row.find("scheme");
+    os << "r" << (r != nullptr && r->is_number() ? r->as_number() : -1) << "."
+       << (p != nullptr && p->is_string() ? p->as_string() : "?") << "."
+       << (s != nullptr && s->is_string() ? s->as_string() : "?");
+    return os.str();
+  };
+  std::map<std::string, const Value*> fresh_rows;
+  if (fl != nullptr && fl->is_array()) {
+    for (const auto& row : fl->as_array()) {
+      fresh_rows[key_of(*row)] = row.get();
+    }
+  }
+  for (const auto& row : bl->as_array()) {
+    const std::string key = key_of(*row);
+    const auto it = fresh_rows.find(key);
+    if (it == fresh_rows.end()) {
+      cmp.fail("metrics.ledger row " + key + " missing from fresh report");
+      continue;
+    }
+    for (const char* field : {"messages", "bits", "labels"}) {
+      const Value* bv = row->find(field);
+      const Value* fv = it->second->find(field);
+      if (bv != nullptr && bv->is_number() && fv != nullptr &&
+          fv->is_number()) {
+        cmp.compare_numbers("metrics.ledger." + key + "." + field,
+                            bv->as_number(), fv->as_number(),
+                            /*timing=*/false);
+      }
+    }
+  }
+}
+
+void compare_tables(Comparator& cmp, const Value& base, const Value& fresh) {
+  const Value* bt = base.find("tables");
+  const Value* ft = fresh.find("tables");
+  if (bt == nullptr || !bt->is_array()) return;
+  if (ft == nullptr || !ft->is_array() ||
+      ft->as_array().size() != bt->as_array().size()) {
+    cmp.fail("table count differs from baseline");
+    return;
+  }
+  for (std::size_t t = 0; t < bt->as_array().size(); ++t) {
+    const Value& btab = *bt->as_array()[t];
+    const Value& ftab = *ft->as_array()[t];
+    const Value* title = btab.find("title");
+    const std::string tname =
+        (title != nullptr && title->is_string()) ? title->as_string()
+                                                 : "table " + std::to_string(t);
+    const Value* bh = btab.find("headers");
+    const Value* brows = btab.find("rows");
+    const Value* frows = ftab.find("rows");
+    if (brows == nullptr || !brows->is_array() || frows == nullptr ||
+        !frows->is_array()) {
+      continue;
+    }
+    if (brows->as_array().size() != frows->as_array().size()) {
+      cmp.fail("\"" + tname + "\": row count " +
+               std::to_string(brows->as_array().size()) + " -> " +
+               std::to_string(frows->as_array().size()));
+      continue;
+    }
+    std::vector<std::string> headers;
+    if (bh != nullptr && bh->is_array()) {
+      for (const auto& h : bh->as_array()) {
+        headers.push_back(h->is_string() ? h->as_string() : "");
+      }
+    }
+    for (std::size_t r = 0; r < brows->as_array().size(); ++r) {
+      const auto& brow = brows->as_array()[r]->as_array();
+      const auto& frow = frows->as_array()[r]->as_array();
+      for (std::size_t c = 0; c < brow.size() && c < frow.size(); ++c) {
+        const std::string header = c < headers.size() ? headers[c] : "";
+        const std::string where =
+            "\"" + tname + "\" row " + std::to_string(r) + " col \"" +
+            (header.empty() ? std::to_string(c) : header) + "\"";
+        if (brow[c]->is_number() && frow[c]->is_number()) {
+          cmp.compare_numbers(where, brow[c]->as_number(),
+                              frow[c]->as_number(), timing_shaped(header));
+        } else if (brow[c]->is_string() && frow[c]->is_string() &&
+                   brow[c]->as_string() != frow[c]->as_string()) {
+          cmp.fail(where + ": \"" + brow[c]->as_string() + "\" -> \"" +
+                   frow[c]->as_string() + "\"");
+        }
+      }
+    }
+  }
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--tolerance=", 0) == 0) {
+      opts.tolerance_pct =
+          std::atof(std::string(a.substr(std::strlen("--tolerance="))).c_str());
+    } else if (a.rfind("--timing-tolerance=", 0) == 0) {
+      opts.timing_tolerance_pct = std::atof(
+          std::string(a.substr(std::strlen("--timing-tolerance="))).c_str());
+    } else if (a.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      positional.emplace_back(a);
+    }
+  }
+  if (positional.size() != 2) return usage();
+  opts.baseline_path = positional[0];
+  opts.fresh_path = positional[1];
+
+  std::string base_text;
+  std::string fresh_text;
+  if (!read_file(opts.baseline_path, base_text)) {
+    std::fprintf(stderr, "cannot read %s\n", opts.baseline_path.c_str());
+    return 2;
+  }
+  if (!read_file(opts.fresh_path, fresh_text)) {
+    std::fprintf(stderr, "cannot read %s\n", opts.fresh_path.c_str());
+    return 2;
+  }
+
+  Value base;
+  Value fresh;
+  try {
+    base = mstv::json::parse(base_text);
+  } catch (const mstv::json::ParseError& e) {
+    std::fprintf(stderr, "%s: %s\n", opts.baseline_path.c_str(), e.what());
+    return 2;
+  }
+  try {
+    fresh = mstv::json::parse(fresh_text);
+  } catch (const mstv::json::ParseError& e) {
+    std::fprintf(stderr, "%s: %s\n", opts.fresh_path.c_str(), e.what());
+    return 2;
+  }
+
+  const Value* bname = base.find("bench");
+  const Value* fname = fresh.find("bench");
+  std::printf("bench_compare: %s vs %s\n", opts.baseline_path.c_str(),
+              opts.fresh_path.c_str());
+  Comparator cmp(opts);
+  if (bname != nullptr && fname != nullptr && bname->is_string() &&
+      fname->is_string() && bname->as_string() != fname->as_string()) {
+    cmp.fail("bench name \"" + bname->as_string() + "\" -> \"" +
+             fname->as_string() + "\"");
+  }
+
+  compare_tables(cmp, base, fresh);
+  compare_scalar_section(cmp, "counters", base, fresh);
+  compare_scalar_section(cmp, "gauges", base, fresh);
+  compare_histograms(cmp, base, fresh);
+  compare_ledger(cmp, base, fresh);
+
+  std::printf("bench_compare: %s — %zu checks, %zu failures, %zu advisory\n",
+              cmp.failures() == 0 ? "PASS" : "FAIL", cmp.checks(),
+              cmp.failures(), cmp.advisory());
+  return cmp.failures() == 0 ? 0 : 1;
+}

@@ -9,6 +9,21 @@
 //                     the exported JSON key on these names; a typo'd name
 //                     silently forks a metric series.
 //
+//   OBS-TRACE-CATEGORY — trace-session sites (MSTV_TRACE_SCOPE /
+//                     MSTV_TRACE_INSTANT) take a literal category then a
+//                     literal event name.  The category must be one
+//                     lowercase snake_case segment (Perfetto's filter
+//                     chips key on it); the event name follows the same
+//                     `component.noun` convention as metrics, and its
+//                     component prefix must equal the category — the
+//                     invariant the automatic Span→session forwarding
+//                     derives categories by.
+//
+//   OBS-LEDGER-KEY  — communication-ledger commits (MSTV_LEDGER_COMMIT /
+//                     ledger_commit) take a literal phase key that the
+//                     bound auditor and the exported `ledger` section key
+//                     on; it must be `component.noun`.
+//
 // This is the engine port of the original tools/check_metrics_names.sh
 // grep — token-accurate (no false hits inside comments or unrelated
 // strings), and suppressible per site with a justified allow().
@@ -99,11 +114,129 @@ class ObsMetricNameRule final : public Rule {
   }
 };
 
+// One lowercase snake_case segment, no dots: ^[a-z][a-z0-9_]*$
+bool valid_category(std::string_view cat) {
+  if (cat.empty() ||
+      std::islower(static_cast<unsigned char>(cat.front())) == 0) {
+    return false;
+  }
+  for (const char c : cat) {
+    if (std::islower(static_cast<unsigned char>(c)) == 0 &&
+        std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+class ObsTraceCategoryRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "OBS-TRACE-CATEGORY";
+  }
+  [[nodiscard]] std::string_view summary() const override {
+    return "trace-session sites need a single-segment lowercase category "
+           "and a `component.noun` event name whose prefix matches it";
+  }
+  [[nodiscard]] bool applies_to(std::string_view) const override {
+    return true;
+  }
+
+  void check(const LintContext&, const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    static const std::set<std::string, std::less<>> kSites = {
+        "MSTV_TRACE_SCOPE", "MSTV_TRACE_INSTANT"};
+
+    const auto& toks = file.tokens();
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::Identifier || kSites.count(t.text) == 0) {
+        continue;
+      }
+      if (toks[i + 1].kind != TokKind::Punct || toks[i + 1].text != "(") {
+        continue;
+      }
+      const Token& cat = toks[i + 2];
+      if (cat.kind != TokKind::String) continue;  // runtime-built — ok
+      if (!valid_category(cat.text)) {
+        report(file, cat.line, cat.col,
+               "trace category \"" + cat.text + "\" (at " + t.text +
+                   ") must be one lowercase snake_case segment",
+               out);
+        continue;
+      }
+      // Literal event name follows: `(` "cat" , "name"
+      if (i + 4 >= toks.size() || toks[i + 3].kind != TokKind::Punct ||
+          toks[i + 3].text != ",") {
+        continue;
+      }
+      const Token& name = toks[i + 4];
+      if (name.kind != TokKind::String) continue;
+      if (!valid_metric_name(name.text)) {
+        report(file, name.line, name.col,
+               "trace event name \"" + name.text + "\" (at " + t.text +
+                   ") violates the `component.noun` convention",
+               out);
+        continue;
+      }
+      const std::string prefix = name.text.substr(0, name.text.find('.'));
+      if (prefix != cat.text) {
+        report(file, name.line, name.col,
+               "trace event \"" + name.text + "\" does not live in its "
+                   "category \"" + cat.text +
+                   "\" (name prefix must equal the category)",
+               out);
+      }
+    }
+  }
+};
+
+class ObsLedgerKeyRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "OBS-LEDGER-KEY";
+  }
+  [[nodiscard]] std::string_view summary() const override {
+    return "communication-ledger phase keys must be `component.noun` "
+           "(lowercase snake_case segments joined by dots)";
+  }
+  [[nodiscard]] bool applies_to(std::string_view) const override {
+    return true;
+  }
+
+  void check(const LintContext&, const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    static const std::set<std::string, std::less<>> kSites = {
+        "MSTV_LEDGER_COMMIT", "ledger_commit"};
+
+    const auto& toks = file.tokens();
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::Identifier || kSites.count(t.text) == 0) {
+        continue;
+      }
+      if (toks[i + 1].kind != TokKind::Punct || toks[i + 1].text != "(") {
+        continue;
+      }
+      const Token& phase = toks[i + 2];
+      if (phase.kind != TokKind::String) continue;  // runtime-built — ok
+      if (valid_metric_name(phase.text)) continue;
+      report(file, phase.line, phase.col,
+             "ledger phase \"" + phase.text + "\" (at " + t.text +
+                 ") violates the `component.noun` convention of "
+                 "docs/observability.md",
+             out);
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> make_obs_rules() {
   std::vector<std::unique_ptr<Rule>> out;
   out.push_back(std::make_unique<ObsMetricNameRule>());
+  out.push_back(std::make_unique<ObsTraceCategoryRule>());
+  out.push_back(std::make_unique<ObsLedgerKeyRule>());
   return out;
 }
 

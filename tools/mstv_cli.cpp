@@ -19,9 +19,20 @@
 //
 // Graphs are read as "n m" followed by "u v w" lines (graph/io.hpp).
 //
-// The global --stats[=FILE] flag (any position) dumps the telemetry
-// snapshot (src/obs) as JSON to stderr or FILE after the command runs —
-// see docs/observability.md for how to read it.
+// Global flags (any position):
+//   --stats[=FILE]        dump the telemetry snapshot (src/obs) as JSON to
+//                         stderr or FILE after the command runs
+//   --threads=N           worker threads for the parallel engine
+//   --trace-out=FILE      record a trace session around the command and
+//                         write Chrome Trace Event JSON to FILE
+//                         (chrome://tracing / Perfetto loadable)
+//   --trace-ring=N        resize the always-on span ring (tail snapshot)
+//   --audit-bounds[=FILE] after a graph command, audit measured label
+//                         sizes and ledger traffic against the paper's
+//                         bounds; JSON report to stderr or FILE; a failed
+//                         audit makes the exit code non-zero
+// See docs/observability.md for the formats.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,17 +48,37 @@
 #include "lowerbound/hypertree.hpp"
 #include "mst/algorithms.hpp"
 #include "mst/predicates.hpp"
+#include "obs/audit.hpp"
 #include "obs/export.hpp"
+#include "obs/trace_session.hpp"
 #include "parallel/parallel_for.hpp"
 #include "plscheme/fragment_scheme.hpp"
 #include "plscheme/mst_scheme.hpp"
 #include "plscheme/runner.hpp"
+#include "runtime/network.hpp"
 #include "runtime/self_stabilization.hpp"
 #include "sensitivity/sensitivity.hpp"
 
 namespace {
 
 using namespace mstv;
+
+// Graph parameters of the last command that ran a scheme, for the bound
+// auditor: telemetry knows labels and traffic, only the command knows
+// (n, m, W, scheme).  Empty scheme = no auditable command ran.
+struct AuditParams {
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::uint64_t max_weight = 1;
+  std::string scheme;
+} g_audit_params;
+
+void set_audit_params(const Graph& g, const std::string& scheme) {
+  g_audit_params.n = g.num_vertices();
+  g_audit_params.m = g.num_edges();
+  g_audit_params.max_weight = g.max_weight();
+  g_audit_params.scheme = scheme;
+}
 
 int usage() {
   std::fprintf(
@@ -67,7 +98,13 @@ int usage() {
       "                                  snapshot as JSON to stderr (or FILE)\n"
       "  --threads=N                     worker threads for the parallel engine\n"
       "                                  (default: hardware concurrency; 1 runs\n"
-      "                                  fully serial)\n");
+      "                                  fully serial)\n"
+      "  --trace-out=FILE                record a trace session and write Chrome\n"
+      "                                  Trace Event JSON (Perfetto loadable)\n"
+      "  --trace-ring=N                  span ring capacity for --stats snapshots\n"
+      "  --audit-bounds[=FILE]           audit label sizes and ledger traffic\n"
+      "                                  against the paper's bounds (JSON report;\n"
+      "                                  failing audit fails the exit code)\n");
   return 2;
 }
 
@@ -126,17 +163,39 @@ int cmd_verify(int argc, char** argv) {
 
   const Graph g = read_edge_list(std::cin);
   const auto mst = kruskal_mst(g);
-  const ConfigGraph cfg = make_tree_config(g, mst, root);
-  const auto result = mark_and_verify(*scheme, cfg);
+  ConfigGraph cfg = make_tree_config(g, mst, root);
+
+  // Run through the simulated network (not mark_and_verify directly) so
+  // the round is a real message exchange: the communication ledger gets
+  // its per-round row, which --audit-bounds checks against the paper.
+  SimNetwork net(std::move(cfg), *scheme);
+  net.install_marker_labels();
+  const RoundStats round = net.verification_round();
+
+  std::size_t max_bits = 0;
+  std::size_t total_bits = 0;
+  for (const Label& l : net.labels()) {
+    max_bits = std::max(max_bits, l.size_bits());
+    total_bits += l.size_bits();
+  }
+  const double avg_bits =
+      net.labels().empty()
+          ? 0.0
+          : static_cast<double>(total_bits) /
+                static_cast<double>(net.labels().size());
+
+  set_audit_params(g, scheme->name());
   std::printf("scheme        : %s\n", scheme->name().c_str());
   std::printf("graph         : n=%zu m=%zu W=%llu\n", g.num_vertices(),
               g.num_edges(),
               static_cast<unsigned long long>(g.max_weight()));
   std::printf("verdict       : %s\n",
-              result.accepted ? "ACCEPTED" : "REJECTED");
-  std::printf("max label bits: %zu\n", result.max_label_bits);
-  std::printf("avg label bits: %.1f\n", result.avg_label_bits());
-  return result.accepted ? 0 : 1;
+              round.accepted ? "ACCEPTED" : "REJECTED");
+  std::printf("max label bits: %zu\n", max_bits);
+  std::printf("avg label bits: %.1f\n", avg_bits);
+  std::printf("round messages: %zu\n", round.messages);
+  std::printf("round bits    : %zu\n", round.bits);
+  return round.accepted ? 0 : 1;
 }
 
 int cmd_mark(int argc, char** argv) {
@@ -221,6 +280,7 @@ int cmd_selfstab(int argc, char** argv) {
   const double fault_p = std::atof(argv[1]) / 100.0;
   const Graph g = read_edge_list(std::cin);
   const MstScheme scheme;
+  set_audit_params(g, scheme.name());
   SelfStabilizingMst sys(g, scheme);
   Rng frng(99);
   FaultInjector inj(frng);
@@ -298,10 +358,14 @@ int dispatch(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the global --stats[=FILE] / --threads=N flags (valid in any
-  // position) before subcommand dispatch.
+  // Strip the global flags (valid in any position) before subcommand
+  // dispatch.
   bool want_stats = false;
   std::string stats_file;
+  bool want_trace = false;
+  std::string trace_file;
+  bool want_audit = false;
+  std::string audit_file;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc) + 1);
   for (int i = 0; i < argc; ++i) {
@@ -311,6 +375,27 @@ int main(int argc, char** argv) {
     } else if (i > 0 && a.rfind("--stats=", 0) == 0) {
       want_stats = true;
       stats_file = a.substr(std::string_view("--stats=").size());
+    } else if (i > 0 && a.rfind("--trace-out=", 0) == 0) {
+      want_trace = true;
+      trace_file = a.substr(std::string_view("--trace-out=").size());
+      if (trace_file.empty()) {
+        std::fprintf(stderr, "--trace-out expects a file name\n");
+        return 2;
+      }
+    } else if (i > 0 && a.rfind("--trace-ring=", 0) == 0) {
+      const std::string n(a.substr(std::string_view("--trace-ring=").size()));
+      char* end = nullptr;
+      const unsigned long cap = std::strtoul(n.c_str(), &end, 10);
+      if (n.empty() || *end != '\0' || cap == 0) {
+        std::fprintf(stderr, "--trace-ring expects a positive integer\n");
+        return 2;
+      }
+      obs::Tracer::global().set_ring_capacity(cap);
+    } else if (i > 0 && a == "--audit-bounds") {
+      want_audit = true;
+    } else if (i > 0 && a.rfind("--audit-bounds=", 0) == 0) {
+      want_audit = true;
+      audit_file = a.substr(std::string_view("--audit-bounds=").size());
     } else if (i > 0 && a.rfind("--threads=", 0) == 0) {
       const std::string n(a.substr(std::string_view("--threads=").size()));
       char* end = nullptr;
@@ -326,7 +411,51 @@ int main(int argc, char** argv) {
   }
   args.push_back(nullptr);
 
-  const int rc = dispatch(static_cast<int>(args.size()) - 1, args.data());
+  if (want_trace) obs::TraceSession::global().start();
+
+  int rc = dispatch(static_cast<int>(args.size()) - 1, args.data());
+
+  if (want_trace) {
+    // The command has returned (pool workers quiesced on its last wait),
+    // so the snapshot sees every buffer.
+    obs::TraceSession::global().stop();
+    const std::string trace =
+        obs::to_chrome_trace(obs::TraceSession::global().snapshot());
+    std::ofstream out(trace_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", trace_file.c_str());
+      if (rc == 0) rc = 1;
+    } else {
+      out << trace;
+    }
+  }
+
+  if (want_audit) {
+    if (g_audit_params.scheme.empty()) {
+      std::fprintf(stderr,
+                   "--audit-bounds: the command did not run a scheme over a "
+                   "network (use verify or selfstab)\n");
+      if (rc == 0) rc = 2;
+    } else {
+      const obs::AuditReport report =
+          obs::audit_bounds(obs::audit_input_from_telemetry(
+              g_audit_params.n, g_audit_params.m, g_audit_params.max_weight,
+              g_audit_params.scheme));
+      const std::string json = obs::audit_to_json(report);
+      if (audit_file.empty()) {
+        std::fputs(json.c_str(), stderr);
+      } else {
+        std::ofstream out(audit_file);
+        if (!out) {
+          std::fprintf(stderr, "cannot open %s\n", audit_file.c_str());
+          if (rc == 0) rc = 1;
+        } else {
+          out << json;
+        }
+      }
+      if (!report.pass && rc == 0) rc = 1;
+    }
+  }
 
   if (want_stats) {
     const std::string json = obs::to_json(obs::capture());
