@@ -276,7 +276,11 @@ std::vector<SpanningTreeSublabel> IncrementalMarker::make_sublabels() const {
 void IncrementalMarker::recompute_artifacts_full() {
   st_ = make_sublabels();
   if (engine_ != Engine::SpanningTree) {
-    sd_ = perfect_separator_decomposition(*tree_);
+    // All three weight folds stay resident: repair_weight_only re-folds
+    // them in place.  The routing ports are the one arena repair never
+    // touches.
+    sd_ = perfect_separator_decomposition(
+        *tree_, kSepFieldMax | kSepFieldMin | kSepFieldSum | kSepFieldRhoRaw);
     imps_ = imp_->encode(*tree_, sd_);
     orients_ = compute_orient_fields(*tree_, sd_);
   }
@@ -305,8 +309,8 @@ std::vector<VertexId> IncrementalMarker::repair_weight_only(VertexId wu,
   // entries by walking the far side from its endpoint — each visited
   // vertex's path to s provably crosses the edge, and its walk predecessor
   // is its next hop toward it, so folding along the walk is the path fold.
-  const auto& anc_c = sd_.ancestors[child];
-  const auto& anc_p = sd_.ancestors[par];
+  const auto anc_c = sd_.ancestors(child);
+  const auto anc_p = sd_.ancestors(par);
   const std::size_t shared = std::min(anc_c.size(), anc_p.size());
   for (std::size_t k = 0; k < shared && anc_c[k] == anc_p[k]; ++k) {
     const VertexId s = anc_c[k];
@@ -315,7 +319,8 @@ std::vector<VertexId> IncrementalMarker::repair_weight_only(VertexId wu,
     const VertexId near = sep_on_child_side ? child : par;
 
     const auto in_component = [&](VertexId x) {
-      return sd_.ancestors[x].size() > k && sd_.ancestors[x][k] == s;
+      const auto anc = sd_.ancestors(x);
+      return anc.size() > k && anc[k] == s;
     };
     MSTV_ASSERT(in_component(far) && in_component(near));
 
@@ -324,17 +329,17 @@ std::vector<VertexId> IncrementalMarker::repair_weight_only(VertexId wu,
     visited[far] = stamp;
 
     const auto refold = [&](VertexId x, VertexId pred, Weight edge_w) {
-      const Weight mx = std::max(edge_w, sd_.maxw[pred][k]);
-      const Weight mn = std::min(edge_w, sd_.minw[pred][k]);
-      const Weight sm = edge_w + sd_.sumw[pred][k];
-      const auto& relevant =
-          imp_->kind() == ExtremaKind::Max ? sd_.maxw : sd_.minw;
-      if (relevant[x][k] != (imp_->kind() == ExtremaKind::Max ? mx : mn)) {
+      const Weight mx = std::max(edge_w, sd_.maxw(pred)[k]);
+      const Weight mn = std::min(edge_w, sd_.minw(pred)[k]);
+      const Weight sm = edge_w + sd_.sumw(pred)[k];
+      const bool is_max = imp_->kind() == ExtremaKind::Max;
+      const Weight relevant_old = is_max ? sd_.maxw(x)[k] : sd_.minw(x)[k];
+      if (relevant_old != (is_max ? mx : mn)) {
         is_dirty[x] = 1;
       }
-      sd_.maxw[x][k] = mx;
-      sd_.minw[x][k] = mn;
-      sd_.sumw[x][k] = sm;
+      sd_.maxw(x)[k] = mx;
+      sd_.minw(x)[k] = mn;
+      sd_.sumw(x)[k] = sm;
     };
     refold(far, near, w_new);
 
@@ -359,8 +364,8 @@ std::vector<VertexId> IncrementalMarker::repair_weight_only(VertexId wu,
   for (VertexId v = 0; v < n; ++v) {
     if (is_dirty[v] == 0) continue;
     dirty.push_back(v);
-    const auto& src = imp_->kind() == ExtremaKind::Max ? sd_.maxw[v]
-                                                       : sd_.minw[v];
+    const auto src =
+        imp_->kind() == ExtremaKind::Max ? sd_.maxw(v) : sd_.minw(v);
     imps_[v].extrema.assign(src.begin(), src.end() - 1);
     if (engine_ == Engine::Gamma) {
       cfg_->state(v).payload = imp_->to_bits(imps_[v]);

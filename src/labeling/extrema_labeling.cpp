@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "parallel/parallel_for.hpp"
+
 namespace mstv {
 
 Weight extrema_identity(ExtremaKind kind) {
@@ -15,18 +17,24 @@ std::vector<ExtremaLabel> ExtremaLabelingScheme::encode(
     const RootedTree& tree, const SeparatorDecomposition& sd) const {
   const std::size_t n = tree.size();
   std::vector<ExtremaLabel> labels(n);
-  for (VertexId v = 0; v < n; ++v) {
-    ExtremaLabel& l = labels[v];
-    // The telescoping coding needs the size-ranked numbers; the naive
-    // baseline uses the raw vertex-id-based numbers of earlier schemes.
-    l.rho = (coding_ == SepCoding::Telescoping) ? sd.rho[v] : sd.rho_raw[v];
-    const auto& src =
-        (kind_ == ExtremaKind::Max) ? sd.maxw[v] : sd.minw[v];
-    MSTV_ASSERT(src.size() == sd.level[v]);
-    // Drop the trivial last field (the extremum of the empty path v..v).
-    l.extrema.assign(src.begin(), src.end() - 1);
-    MSTV_ASSERT(l.extrema.size() == l.rho.size());
-  }
+  // Per-vertex rows of the decomposition arenas are independent, so the
+  // materialization shards over the vertex range.
+  parallel::for_each_shard(n, [&](const parallel::ShardRange& shard) {
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      const auto v = static_cast<VertexId>(i);
+      ExtremaLabel& l = labels[v];
+      // The telescoping coding needs the size-ranked numbers; the naive
+      // baseline uses the raw vertex-id-based numbers of earlier schemes.
+      const auto rho =
+          (coding_ == SepCoding::Telescoping) ? sd.rho(v) : sd.rho_raw(v);
+      l.rho.assign(rho.begin(), rho.end());
+      const auto src = (kind_ == ExtremaKind::Max) ? sd.maxw(v) : sd.minw(v);
+      MSTV_ASSERT(src.size() == sd.level[v]);
+      // Drop the trivial last field (the extremum of the empty path v..v).
+      l.extrema.assign(src.begin(), src.end() - 1);
+      MSTV_ASSERT(l.extrema.size() == l.rho.size());
+    }
+  });
   return labels;
 }
 
@@ -69,27 +77,44 @@ ExtremaLabel ExtremaLabelingScheme::from_bits(const Label& bits) const {
 
 void ExtremaLabelingScheme::write_to(BitWriter& w,
                                      const ExtremaLabel& l) const {
-  const auto nfields = static_cast<std::uint64_t>(l.rho.size());
+  write_fields(w, l.rho, l.extrema);
+}
+
+void ExtremaLabelingScheme::write_direct(BitWriter& w,
+                                         const SeparatorDecomposition& sd,
+                                         VertexId v) const {
+  const auto rho =
+      (coding_ == SepCoding::Telescoping) ? sd.rho(v) : sd.rho_raw(v);
+  const auto src = (kind_ == ExtremaKind::Max) ? sd.maxw(v) : sd.minw(v);
+  // Drop the trivial last field, exactly as encode() does.
+  write_fields(w, rho, src.first(src.size() - 1));
+}
+
+void ExtremaLabelingScheme::write_fields(
+    BitWriter& w, std::span<const std::uint64_t> rho,
+    std::span<const Weight> extrema) const {
+  MSTV_ASSERT(extrema.size() == rho.size());
+  const auto nfields = static_cast<std::uint64_t>(rho.size());
   w.write_gamma0(nfields);
 
   // E_sep: either self-delimiting gamma codes (telescoping sizes) or a
   // declared fixed width (the naive Theta(log n)-per-field coding).
   if (coding_ == SepCoding::Telescoping) {
-    for (const auto r : l.rho) w.write_gamma(r);
+    for (const auto r : rho) w.write_gamma(r);
   } else {
     std::uint64_t mx = 1;
-    for (const auto r : l.rho) mx = std::max(mx, r);
+    for (const auto r : rho) mx = std::max(mx, r);
     const int rbits = bit_width_u64(mx);
     w.write_gamma0(static_cast<std::uint64_t>(rbits));
-    for (const auto r : l.rho) w.write_uint(r, rbits);
+    for (const auto r : rho) w.write_uint(r, rbits);
   }
 
   // E_omega: one declared width, then fixed-width fields.
   std::uint64_t wmax = 0;
-  for (const auto x : l.extrema) wmax = std::max(wmax, x);
+  for (const auto x : extrema) wmax = std::max(wmax, x);
   const int wbits = bit_width_u64(wmax);
   w.write_gamma0(static_cast<std::uint64_t>(wbits));
-  for (const auto x : l.extrema) w.write_uint(x, wbits);
+  for (const auto x : extrema) w.write_uint(x, wbits);
 }
 
 ExtremaLabel ExtremaLabelingScheme::read_from(BitReader& r) const {

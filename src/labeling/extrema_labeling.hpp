@@ -25,6 +25,7 @@
 // byproduct (remark after Lemma 3.2).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "labeling/label.hpp"
@@ -81,11 +82,21 @@ class ExtremaLabelingScheme {
   void write_to(BitWriter& w, const ExtremaLabel& l) const;
   [[nodiscard]] ExtremaLabel read_from(BitReader& r) const;
 
+  /// Serializes vertex v's label straight from the decomposition arenas —
+  /// the same bytes write_to produces for encode()'s ExtremaLabel, without
+  /// materializing the per-vertex rho/extrema vectors.  The marker hot
+  /// path uses this from inside its label-assembly shards.
+  void write_direct(BitWriter& w, const SeparatorDecomposition& sd,
+                    VertexId v) const;
+
   [[nodiscard]] std::size_t label_bits(const ExtremaLabel& l) const {
     return to_bits(l).size_bits();
   }
 
  private:
+  void write_fields(BitWriter& w, std::span<const std::uint64_t> rho,
+                    std::span<const Weight> extrema) const;
+
   ExtremaKind kind_;
   SepCoding coding_;
 };

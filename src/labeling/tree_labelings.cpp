@@ -21,8 +21,10 @@ std::vector<DistanceLabel> DistanceLabelingScheme::encode(
     const RootedTree& tree, const SeparatorDecomposition& sd) const {
   std::vector<DistanceLabel> out(tree.size());
   for (VertexId v = 0; v < tree.size(); ++v) {
-    out[v].rho = sd.rho[v];
-    out[v].dist.assign(sd.sumw[v].begin(), sd.sumw[v].end() - 1);
+    const auto rho = sd.rho(v);
+    const auto sum = sd.sumw(v);
+    out[v].rho.assign(rho.begin(), rho.end());
+    out[v].dist.assign(sum.begin(), sum.end() - 1);
   }
   return out;
 }
@@ -74,10 +76,12 @@ std::vector<RoutingLabel> RoutingLabelingScheme::encode(
     const RootedTree& tree, const SeparatorDecomposition& sd) const {
   std::vector<RoutingLabel> out(tree.size());
   for (VertexId v = 0; v < tree.size(); ++v) {
-    out[v].rho = sd.rho[v];
-    out[v].toward.assign(sd.toward[v].begin(), sd.toward[v].end() - 1);
-    out[v].branch_port.assign(sd.branch_port[v].begin(),
-                              sd.branch_port[v].end() - 1);
+    const auto rho = sd.rho(v);
+    const auto toward = sd.toward(v);
+    const auto bport = sd.branch_port(v);
+    out[v].rho.assign(rho.begin(), rho.end());
+    out[v].toward.assign(toward.begin(), toward.end() - 1);
+    out[v].branch_port.assign(bport.begin(), bport.end() - 1);
   }
   return out;
 }

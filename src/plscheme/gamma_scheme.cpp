@@ -30,26 +30,42 @@ std::vector<Orient> read_orient_fields(BitReader& r) {
   return orient;
 }
 
+namespace {
+
+Orient orient_of(const RootedTree& tree, VertexId v, VertexId s) {
+  if (s == v) return Orient::Self;
+  // Down: the separator is below v in the rooted tree.
+  return tree.is_ancestor(v, s) ? Orient::Down : Orient::Up;
+}
+
+}  // namespace
+
 std::vector<std::vector<Orient>> compute_orient_fields(
     const RootedTree& tree, const SeparatorDecomposition& sd) {
   const std::size_t n = tree.size();
   std::vector<std::vector<Orient>> out(n);
-  for (VertexId v = 0; v < n; ++v) {
-    const auto& anc = sd.ancestors[v];
-    out[v].resize(anc.size());
-    for (std::size_t k = 0; k < anc.size(); ++k) {
-      const VertexId s = anc[k];
-      if (s == v) {
-        out[v][k] = Orient::Self;
-      } else if (tree.is_ancestor(v, s)) {
-        out[v][k] = Orient::Down;  // separator below v in the rooted tree
-      } else {
-        out[v][k] = Orient::Up;
+  // Rows are independent — shard over the vertex range.
+  parallel::for_each_shard(n, [&](const parallel::ShardRange& shard) {
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      const auto v = static_cast<VertexId>(i);
+      const auto anc = sd.ancestors(v);
+      out[v].resize(anc.size());
+      for (std::size_t k = 0; k < anc.size(); ++k) {
+        out[v][k] = orient_of(tree, v, anc[k]);
       }
+      MSTV_ASSERT(out[v].back() == Orient::Self);
     }
-    MSTV_ASSERT(out[v].back() == Orient::Self);
-  }
+  });
   return out;
+}
+
+void write_orient_fields_direct(BitWriter& w, const RootedTree& tree,
+                                const SeparatorDecomposition& sd, VertexId v) {
+  const auto anc = sd.ancestors(v);
+  w.write_gamma0(anc.size());
+  for (const VertexId s : anc) {
+    w.write_uint(static_cast<std::uint64_t>(orient_of(tree, v, s)), 2);
+  }
 }
 
 bool verify_gamma_conditions(const GammaNode& self,

@@ -62,6 +62,12 @@ std::vector<Orient> read_orient_fields(BitReader& r);
 std::vector<std::vector<Orient>> compute_orient_fields(
     const RootedTree& tree, const SeparatorDecomposition& sd);
 
+/// Serializes vertex v's orientation flags straight from the decomposition
+/// (same bytes as write_orient_fields over compute_orient_fields' row,
+/// without materializing it).  Used inside the marker's label shards.
+void write_orient_fields_direct(BitWriter& w, const RootedTree& tree,
+                                const SeparatorDecomposition& sd, VertexId v);
+
 /// A tree neighbor as seen through labels: its parsed gamma data and the
 /// connecting edge's weight.
 struct GammaNeighborRef {

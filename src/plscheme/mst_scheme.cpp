@@ -41,31 +41,36 @@ std::vector<Label> MstScheme::mark(const ConfigGraph& cfg) const {
   MSTV_EXPECTS_MSG(is_mst(g, tree_edges),
                    "marker precondition: the spanning tree must be minimum");
 
-  // Sublabel 1: spanning tree + orientation.
-  const auto st = make_spanning_tree_sublabels(cfg);
-
   VertexId root = kInvalidVertex;
   for (VertexId v = 0; v < cfg.size(); ++v) {
     if (!cfg.state(v).parent_port) root = v;
   }
   const RootedTree tree(g, tree_edges, root);
 
+  // Sublabel 1: spanning tree + orientation (reusing the rooted tree).
+  const auto st = make_spanning_tree_sublabels(cfg, tree);
+
   // Sublabel 2: gamma_small labels over the perfect separator
-  // decomposition; sublabel 3: the matching orientation flags.
-  const SeparatorDecomposition sd = perfect_separator_decomposition(tree);
-  const auto imps = imp_.encode(tree, sd);
-  const auto orients = compute_orient_fields(tree, sd);
+  // decomposition; sublabel 3: the matching orientation flags.  Only the
+  // arenas this scheme's labels serialize are materialized — the extrema
+  // side the fold kind reads, plus the raw subtree numbers when the
+  // baseline coding is in play.
+  const SepFieldMask fields =
+      (imp_.kind() == ExtremaKind::Max ? kSepFieldMax : kSepFieldMin) |
+      (imp_.coding() == SepCoding::FixedWidth ? kSepFieldRhoRaw
+                                              : SepFieldMask{0});
+  const SeparatorDecomposition sd =
+      perfect_separator_decomposition(tree, fields);
 
   // Deepest separator level any label carries = the component count the
   // verifier's telescoping decode walks — the structural quantity behind
   // the O(log^2 n) verification bound, audited by obs/audit.cpp.
-  std::uint32_t max_level = 0;
-  for (const auto& imp : imps) max_level = std::max(max_level, imp.level());
-  MSTV_GAUGE_SET("label.max_components", max_level);
+  MSTV_GAUGE_SET("label.max_components", sd.max_level());
 
   // Per-node label assembly is independent once the shared decomposition
-  // above is computed, so it shards over the vertex range.  Per-field bit
-  // budgets, summed over the network: the O(log n) vs O(log n log W)
+  // above is computed, so it shards over the vertex range, serializing
+  // sublabels 2 and 3 straight from the decomposition arenas.  Per-field
+  // bit budgets, summed over the network: the O(log n) vs O(log n log W)
   // split of Thm 3.4 read directly off the label layout.
   struct BitBudget {
     std::size_t st = 0, orient = 0, extrema = 0;
@@ -80,9 +85,9 @@ std::vector<Label> MstScheme::mark(const ConfigGraph& cfg) const {
           BitWriter w;
           write_spanning_tree_sublabel(w, st[v]);
           const std::size_t after_st = w.size_bits();
-          write_orient_fields(w, orients[v]);
+          write_orient_fields_direct(w, tree, sd, v);
           const std::size_t after_orient = w.size_bits();
-          imp_.write_to(w, imps[v]);
+          imp_.write_direct(w, sd, v);
           b.st += after_st;
           b.orient += after_orient - after_st;
           b.extrema += w.size_bits() - after_orient;

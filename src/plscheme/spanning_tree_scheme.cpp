@@ -48,13 +48,28 @@ std::vector<SpanningTreeSublabel> make_spanning_tree_sublabels(
   MSTV_EXPECTS_MSG(root != kInvalidVertex, "no root in the configuration");
 
   const RootedTree tree(g, tree_edges, root);
-  std::vector<SpanningTreeSublabel> subs(cfg.size());
+  return make_spanning_tree_sublabels(cfg, tree);
+}
+
+std::vector<SpanningTreeSublabel> make_spanning_tree_sublabels(
+    const ConfigGraph& cfg, const RootedTree& tree) {
+  MSTV_EXPECTS_MSG(cfg.ids_unique(), "id-based family requires unique ids");
   for (VertexId v = 0; v < cfg.size(); ++v) {
-    subs[v].id_copy = *cfg.state(v).id;
-    subs[v].root_id = *cfg.state(root).id;
-    subs[v].dist = tree.depth(v);
-    if (!tree.is_root(v)) subs[v].parent_id = *cfg.state(tree.parent(v)).id;
+    MSTV_EXPECTS_MSG(cfg.state(v).id.has_value(), "missing node identity");
   }
+  const std::uint64_t root_id = *cfg.state(tree.root()).id;
+  // Each vertex's sublabel depends only on itself and its parent, so the
+  // fill shards over the vertex range.
+  std::vector<SpanningTreeSublabel> subs(cfg.size());
+  parallel::for_each_shard(cfg.size(), [&](const parallel::ShardRange& shard) {
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      const auto v = static_cast<VertexId>(i);
+      subs[v].id_copy = *cfg.state(v).id;
+      subs[v].root_id = root_id;
+      subs[v].dist = tree.depth(v);
+      if (!tree.is_root(v)) subs[v].parent_id = *cfg.state(tree.parent(v)).id;
+    }
+  });
   return subs;
 }
 

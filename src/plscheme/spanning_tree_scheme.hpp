@@ -28,6 +28,8 @@
 
 namespace mstv {
 
+class RootedTree;
+
 /// Decoded form of the sublabel.
 struct SpanningTreeSublabel {
   std::uint64_t id_copy = 0;
@@ -48,6 +50,12 @@ SpanningTreeSublabel read_spanning_tree_sublabel(BitReader& r);
 /// a spanning tree (throws if they do not).
 std::vector<SpanningTreeSublabel> make_spanning_tree_sublabels(
     const ConfigGraph& cfg);
+
+/// Same, over an already-rooted tree of the configuration — markers that
+/// build a RootedTree anyway pass it in instead of paying for a second
+/// construction.  `tree` must be rooted at the configuration's root.
+std::vector<SpanningTreeSublabel> make_spanning_tree_sublabels(
+    const ConfigGraph& cfg, const RootedTree& tree);
 
 /// The local checks, exposed for composition.  `neighbor_sub[i]` is the
 /// parsed sublabel of the neighbor behind port i+1.  Returns false iff any

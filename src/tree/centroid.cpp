@@ -2,31 +2,388 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace mstv {
+
+namespace {
+constexpr Weight kWeightMax = std::numeric_limits<Weight>::max();
+}  // namespace
+
+std::uint32_t SeparatorDecomposition::max_level() const {
+  std::uint32_t m = 0;
+  for (const auto l : level) m = std::max(m, l);
+  return m;
+}
+
+/// Nested (vector-of-vectors) staging output, used by the serial random
+/// decomposer; SepBuilder::pack flattens it into the arena layout.
+struct NestedSep {
+  std::vector<std::uint32_t> level;
+  std::vector<VertexId> sep_parent;
+  std::vector<std::vector<VertexId>> ancestors;
+  std::vector<std::vector<std::uint64_t>> rho;
+  std::vector<std::vector<std::uint64_t>> rho_raw;
+  std::vector<std::vector<Weight>> maxw;
+  std::vector<std::vector<Weight>> minw;
+  std::vector<std::vector<Weight>> sumw;
+  std::vector<std::vector<PortNumber>> toward;
+  std::vector<std::vector<PortNumber>> branch_port;
+};
+
+/// Level-synchronous builder for the *perfect* decomposition.
+///
+/// The old implementation recursed depth-first through the separator
+/// tree, which serializes the whole construction.  Components of one
+/// separator level are vertex-disjoint, though, and everything stored for
+/// a component (its centroid, branch ranking, path folds) is a pure
+/// function of that component alone — so each level is a shardable batch:
+///
+///   structure pass  — per level, `for_each_shard` over the component
+///       list: DFS-order the component, pick its centroid, rank its
+///       branches, emit the branch components of the next level into
+///       per-shard lists merged in shard-index order.
+///   fill pass       — arena rows are sized from the now-known levels,
+///       then per level the branch walks (one per component, sharded)
+///       write every (vertex, ancestor) entry by direct index.
+///
+/// All scratch is either per-vertex (disjoint across a level's
+/// components) or per-shard, so shard bodies never contend — and since
+/// every write is indexed by (vertex, level) with a value independent of
+/// scheduling, the output is bit-identical at any --threads=N and to the
+/// old recursive construction (the DFS stack discipline below replicates
+/// the old component walk verbatim, so centroid tie-breaks agree).
+struct SepBuilder {
+  /// A component awaiting decomposition: the branch of `parent_sep`
+  /// rooted at `start`, carrying the seed values its branch walk needs.
+  struct Comp {
+    VertexId start = kInvalidVertex;
+    VertexId parent_sep = kInvalidVertex;
+    std::uint64_t rho = 0;     // subtree number assigned by parent_sep
+    Weight edge_w = 0;         // weight of the (parent_sep, start) edge
+    PortNumber bport = 0;      // parent_sep's port into this branch
+    PortNumber back_port = 0;  // start's port back toward parent_sep
+  };
+
+  struct Branch {
+    VertexId root = kInvalidVertex;
+    std::uint32_t size = 0;
+    Weight edge_w = 0;
+    PortNumber bport = 0;
+    PortNumber back_port = 0;
+  };
+
+  const RootedTree& tree;
+  SeparatorDecomposition out;
+  std::vector<std::vector<Comp>> levels;  // levels[k]: components of level k+1
+  std::vector<char> removed;              // separators of finished levels
+  std::vector<std::uint32_t> size_;       // DFS subtree sizes (per component)
+  std::vector<std::uint32_t> heaviest_;   // heaviest DFS child subtree
+
+  SepBuilder(const RootedTree& t, SepFieldMask mask)
+      : tree(t), removed(t.size(), 0), size_(t.size(), 0),
+        heaviest_(t.size(), 0) {
+    out.mask_ = mask;
+    out.level.assign(t.size(), 0);
+    out.sep_parent.assign(t.size(), kInvalidVertex);
+  }
+
+  SeparatorDecomposition build() {
+    MSTV_SPAN("marker.decompose");
+    structure_pass();
+    fill_pass();
+    return std::move(out);
+  }
+
+  void structure_pass() {
+    std::vector<Comp> current{Comp{tree.root()}};
+    while (!current.empty()) {
+      const std::size_t shards = parallel::plan_shards(current.size());
+      std::vector<std::vector<Comp>> children_of(shards);
+      parallel::for_each_shard(
+          current.size(), [&](const parallel::ShardRange& shard) {
+            // Shard-local scratch; the per-vertex arrays are shared
+            // because a level's components are vertex-disjoint.
+            std::vector<std::pair<VertexId, VertexId>> order;
+            std::vector<std::pair<VertexId, VertexId>> stack;
+            std::vector<Branch> branches;
+            for (std::size_t ci = shard.begin; ci < shard.end; ++ci) {
+              decompose_comp(current[ci],
+                             static_cast<std::uint32_t>(levels.size() + 1),
+                             order, stack, branches, children_of[shard.index]);
+            }
+          });
+      levels.push_back(std::move(current));
+      current.clear();
+      for (std::vector<Comp>& c : children_of) {
+        current.insert(current.end(), c.begin(), c.end());
+      }
+    }
+  }
+
+  /// Finds the centroid of one component, records its level/parent, and
+  /// emits its branches (ranked by decreasing size) as next-level
+  /// components.  rho = rank is what lets E_sep telescope: the rank-r
+  /// branch has at most |comp|/r vertices, so writing gamma(r) costs
+  /// O(1 + log(|comp|/|branch|)) bits, and the per-level costs sum to
+  /// O(log n) along any root-to-vertex path of T_sep.
+  void decompose_comp(const Comp& in, std::uint32_t level,
+                      std::vector<std::pair<VertexId, VertexId>>& order,
+                      std::vector<std::pair<VertexId, VertexId>>& stack,
+                      std::vector<Branch>& branches,
+                      std::vector<Comp>& children) {
+    // DFS order with dfs-parents, staying within tree edges and avoiding
+    // removed vertices.  Same stack discipline as the serial marker
+    // always used, so the centroid tie-break below picks the same vertex.
+    order.clear();
+    stack.clear();
+    stack.emplace_back(in.start, kInvalidVertex);
+    while (!stack.empty()) {
+      const auto [v, par] = stack.back();
+      stack.pop_back();
+      order.emplace_back(v, par);
+      for (const PortInfo& p : tree.graph().ports(v)) {
+        if (!tree.contains_edge(p.edge) || removed[p.neighbor] != 0) continue;
+        if (p.neighbor == par) continue;
+        stack.emplace_back(p.neighbor, v);
+      }
+    }
+
+    // Subtree sizes / heaviest child via one reverse scan, then the
+    // centroid = first vertex strictly improving the max-load bound.
+    const auto total = static_cast<std::uint32_t>(order.size());
+    for (const auto& [v, par] : order) {
+      size_[v] = 1;
+      heaviest_[v] = 0;
+      (void)par;
+    }
+    for (std::size_t i = order.size(); i-- > 0;) {
+      const auto [v, par] = order[i];
+      if (par != kInvalidVertex) {
+        size_[par] += size_[v];
+        heaviest_[par] = std::max(heaviest_[par], size_[v]);
+      }
+    }
+    VertexId c = order[0].first;
+    VertexId c_par = kInvalidVertex;
+    std::uint32_t best_load = total;
+    for (const auto& [v, par] : order) {
+      const std::uint32_t load = std::max(heaviest_[v], total - size_[v]);
+      if (load < best_load) {
+        best_load = load;
+        c = v;
+        c_par = par;
+      }
+    }
+    MSTV_ASSERT_MSG(best_load <= total / 2 || total == 1,
+                    "centroid property violated");
+
+    out.level[c] = level;
+    out.sep_parent[c] = in.parent_sep;
+    removed[c] = 1;
+
+    // c's branches: every live tree-neighbor roots one.  The DFS subtree
+    // sizes convert to branch sizes by re-rooting at c: the branch toward
+    // c's own dfs-parent holds everything outside c's DFS subtree.
+    branches.clear();
+    const auto ports = tree.graph().ports(c);
+    for (std::size_t pi = 0; pi < ports.size(); ++pi) {
+      const PortInfo& p = ports[pi];
+      if (!tree.contains_edge(p.edge) || removed[p.neighbor] != 0) continue;
+      const std::uint32_t bsize =
+          p.neighbor == c_par ? total - size_[c] : size_[p.neighbor];
+      branches.push_back({p.neighbor, bsize, p.weight,
+                          static_cast<PortNumber>(pi + 1), p.reverse_port});
+    }
+    std::sort(branches.begin(), branches.end(),
+              [](const Branch& a, const Branch& b) {
+                return a.size != b.size ? a.size > b.size : a.root < b.root;
+              });
+    for (std::size_t i = 0; i < branches.size(); ++i) {
+      const Branch& b = branches[i];
+      children.push_back(
+          {b.root, c, i + 1, b.edge_w, b.bport, b.back_port});
+    }
+  }
+
+  void fill_pass() {
+    const std::size_t n = tree.size();
+    out.row_.resize(n + 1);
+    out.row_[0] = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      MSTV_ASSERT(out.level[v] >= 1);
+      out.row_[v + 1] = out.row_[v] + out.level[v];
+    }
+    allocate_arenas();
+
+    // Every vertex's last entry describes itself as a separator: the
+    // path folds of the empty path, self-ports of 0, no rho slot.
+    parallel::for_each_shard(n, [&](const parallel::ShardRange& shard) {
+      for (std::size_t v = shard.begin; v < shard.end; ++v) {
+        const std::size_t e = out.row_[v + 1] - 1;
+        out.anc_[e] = static_cast<VertexId>(v);
+        if (!out.maxw_.empty()) out.maxw_[e] = 0;
+        if (!out.minw_.empty()) out.minw_[e] = kWeightMax;
+        if (!out.sumw_.empty()) out.sumw_[e] = 0;
+        if (!out.toward_.empty()) {
+          out.toward_[e] = 0;
+          out.branch_port_[e] = 0;
+        }
+      }
+    });
+
+    // Entry k-1 of every vertex in a level-(k+1) component comes from the
+    // level-k separator that spawned the component — so each branch walk
+    // is independent, and sharding over a level's components splits even
+    // the root level's work across its centroid's branches.
+    for (std::size_t li = 1; li < levels.size(); ++li) {
+      const std::vector<Comp>& comps = levels[li];
+      parallel::for_each_shard(
+          comps.size(), [&](const parallel::ShardRange& shard) {
+            std::vector<WalkItem> stack;
+            for (std::size_t ci = shard.begin; ci < shard.end; ++ci) {
+              fill_branch(comps[ci], li, stack);
+            }
+          });
+    }
+  }
+
+  void allocate_arenas() {
+    const std::size_t n = tree.size();
+    const std::size_t total = out.row_[n];
+    out.anc_.resize(total);
+    out.rho_.resize(total - n);
+    if (out.has_fields(kSepFieldRhoRaw)) out.rho_raw_.resize(total - n);
+    if (out.has_fields(kSepFieldMax)) out.maxw_.resize(total);
+    if (out.has_fields(kSepFieldMin)) out.minw_.resize(total);
+    if (out.has_fields(kSepFieldSum)) out.sumw_.resize(total);
+    if (out.has_fields(kSepFieldRoute)) {
+      out.toward_.resize(total);
+      out.branch_port_.resize(total);
+    }
+  }
+
+  struct WalkItem {
+    VertexId v;
+    VertexId from;
+    Weight mx;
+    Weight mn;
+    Weight sum;
+    PortNumber back_port;  // v's port toward `from` (first hop to the sep)
+  };
+
+  /// Walks branch `comp` (a component of level li+1) outward from its
+  /// root, folding MAX/MIN/SUM along the path from the level-li separator
+  /// and writing each vertex's entry for that separator by direct index.
+  void fill_branch(const Comp& comp, std::size_t li,
+                   std::vector<WalkItem>& stack) {
+    const std::size_t k = li - 1;  // ancestor entry index being filled
+    const auto sep_level = static_cast<std::uint32_t>(li);
+    const bool has_max = !out.maxw_.empty();
+    const bool has_min = !out.minw_.empty();
+    const bool has_sum = !out.sumw_.empty();
+    const bool has_route = !out.toward_.empty();
+    const bool has_raw = !out.rho_raw_.empty();
+    stack.clear();
+    stack.push_back({comp.start, comp.parent_sep, comp.edge_w, comp.edge_w,
+                     comp.edge_w, comp.back_port});
+    while (!stack.empty()) {
+      const WalkItem it = stack.back();
+      stack.pop_back();
+      const std::size_t e = out.row_[it.v] + k;
+      out.anc_[e] = comp.parent_sep;
+      if (has_max) out.maxw_[e] = it.mx;
+      if (has_min) out.minw_[e] = it.mn;
+      if (has_sum) out.sumw_[e] = it.sum;
+      if (has_route) {
+        out.toward_[e] = it.back_port;
+        out.branch_port_[e] = comp.bport;
+      }
+      const std::size_t r = out.row_[it.v] - it.v + k;
+      out.rho_[r] = comp.rho;
+      if (has_raw) out.rho_raw_[r] = static_cast<std::uint64_t>(comp.start) + 1;
+      for (const PortInfo& p : tree.graph().ports(it.v)) {
+        if (!tree.contains_edge(p.edge)) continue;
+        if (p.neighbor == it.from) continue;
+        // The branch is bounded by separators of level <= li (its own
+        // separator plus the boundary of the enclosing component).
+        if (out.level[p.neighbor] <= sep_level) continue;
+        stack.push_back({p.neighbor, it.v, std::max(it.mx, p.weight),
+                         std::min(it.mn, p.weight), it.sum + p.weight,
+                         p.reverse_port});
+      }
+    }
+  }
+
+  /// Flattens a nested staging decomposition (the random path) into the
+  /// arena layout.  Always materializes every field.
+  static SeparatorDecomposition pack(NestedSep&& nested) {
+    const std::size_t n = nested.level.size();
+    SeparatorDecomposition sd;
+    sd.mask_ = kSepFieldsAll;
+    sd.level = std::move(nested.level);
+    sd.sep_parent = std::move(nested.sep_parent);
+    sd.row_.resize(n + 1);
+    sd.row_[0] = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      MSTV_ASSERT(sd.level[v] >= 1);
+      MSTV_ASSERT(nested.ancestors[v].size() == sd.level[v]);
+      MSTV_ASSERT(nested.ancestors[v].back() == v);
+      MSTV_ASSERT(nested.rho[v].size() + 1 == sd.level[v]);
+      sd.row_[v + 1] = sd.row_[v] + sd.level[v];
+    }
+    const std::size_t total = sd.row_[n];
+    sd.anc_.resize(total);
+    sd.rho_.resize(total - n);
+    sd.rho_raw_.resize(total - n);
+    sd.maxw_.resize(total);
+    sd.minw_.resize(total);
+    sd.sumw_.resize(total);
+    sd.toward_.resize(total);
+    sd.branch_port_.resize(total);
+    for (VertexId v = 0; v < n; ++v) {
+      const std::size_t e = sd.row_[v];
+      std::copy(nested.ancestors[v].begin(), nested.ancestors[v].end(),
+                sd.anc_.begin() + e);
+      std::copy(nested.maxw[v].begin(), nested.maxw[v].end(),
+                sd.maxw_.begin() + e);
+      std::copy(nested.minw[v].begin(), nested.minw[v].end(),
+                sd.minw_.begin() + e);
+      std::copy(nested.sumw[v].begin(), nested.sumw[v].end(),
+                sd.sumw_.begin() + e);
+      std::copy(nested.toward[v].begin(), nested.toward[v].end(),
+                sd.toward_.begin() + e);
+      std::copy(nested.branch_port[v].begin(), nested.branch_port[v].end(),
+                sd.branch_port_.begin() + e);
+      const std::size_t r = sd.row_[v] - v;
+      std::copy(nested.rho[v].begin(), nested.rho[v].end(),
+                sd.rho_.begin() + r);
+      std::copy(nested.rho_raw[v].begin(), nested.rho_raw[v].end(),
+                sd.rho_raw_.begin() + r);
+    }
+    return sd;
+  }
+};
+
 namespace {
 
-constexpr Weight kWeightMax = std::numeric_limits<Weight>::max();
-
-/// Working state shared across the recursion.  All per-vertex scratch
-/// arrays are allocated once and reset entry-by-entry, keeping the whole
-/// decomposition at O(n log n).
-struct Decomposer {
+/// Serial recursive decomposer for the *random* family.  Separator picks
+/// and subtree numbers are drawn depth-first, one component at a time, so
+/// the whole decomposition is a deterministic function of the seed alone
+/// — which is why this path stays off the thread pool.
+struct RandomDecomposer {
   const RootedTree& tree;
-  Rng* random_choice = nullptr;  // if set, pick random separators & numbers
-  SeparatorDecomposition out;
-  std::vector<bool> removed;             // separators already cut out
-  std::vector<std::uint32_t> size;       // subtree sizes within a component
-  std::vector<std::uint32_t> heaviest;   // heaviest child subtree
+  Rng& rng;
+  NestedSep out;
+  std::vector<bool> removed;
   std::vector<std::uint32_t> branch_size;  // per branch root of current sep
   std::vector<std::uint64_t> rho_of;       // per branch root of current sep
 
-  explicit Decomposer(const RootedTree& t)
-      : tree(t),
-        removed(t.size(), false),
-        size(t.size(), 0),
-        heaviest(t.size(), 0),
-        branch_size(t.size(), 0),
+  RandomDecomposer(const RootedTree& t, Rng& r)
+      : tree(t), rng(r), removed(t.size(), false), branch_size(t.size(), 0),
         rho_of(t.size(), 0) {
     const std::size_t n = t.size();
     out.level.assign(n, 0);
@@ -41,15 +398,15 @@ struct Decomposer {
     out.branch_port.assign(n, {});
   }
 
-  /// DFS order of the component containing `start` with dfs-parents;
-  /// stays within tree edges and avoids removed vertices.
-  std::vector<std::pair<VertexId, VertexId>> component_order(VertexId start) {
-    std::vector<std::pair<VertexId, VertexId>> order;
+  /// DFS order of the component containing `start`; stays within tree
+  /// edges and avoids removed vertices.
+  std::vector<VertexId> component_order(VertexId start) {
+    std::vector<VertexId> order;
     std::vector<std::pair<VertexId, VertexId>> stack{{start, kInvalidVertex}};
     while (!stack.empty()) {
       const auto [v, par] = stack.back();
       stack.pop_back();
-      order.emplace_back(v, par);
+      order.push_back(v);
       for (const PortInfo& p : tree.graph().ports(v)) {
         if (!tree.contains_edge(p.edge) || removed[p.neighbor]) continue;
         if (p.neighbor == par) continue;
@@ -59,45 +416,9 @@ struct Decomposer {
     return order;
   }
 
-  /// Centroid of the component given its DFS order.
-  VertexId find_centroid(const std::vector<std::pair<VertexId, VertexId>>& order) {
-    const auto total = static_cast<std::uint32_t>(order.size());
-    for (const auto& [v, par] : order) {
-      size[v] = 1;
-      heaviest[v] = 0;
-      (void)par;
-    }
-    for (std::size_t i = order.size(); i-- > 0;) {
-      const auto [v, par] = order[i];
-      if (par != kInvalidVertex) {
-        size[par] += size[v];
-        heaviest[par] = std::max(heaviest[par], size[v]);
-      }
-    }
-    VertexId best = order[0].first;
-    std::uint32_t best_load = total;
-    for (const auto& [v, par] : order) {
-      (void)par;
-      const std::uint32_t load = std::max(heaviest[v], total - size[v]);
-      if (load < best_load) {
-        best_load = load;
-        best = v;
-      }
-    }
-    for (const auto& [v, par] : order) {
-      size[v] = 0;
-      (void)par;
-    }
-    MSTV_ASSERT_MSG(best_load <= total / 2 || total == 1,
-                    "centroid property violated");
-    return best;
-  }
-
   void decompose(VertexId start, std::uint32_t level, VertexId sep_parent) {
     const auto order = component_order(start);
-    const VertexId c = (random_choice != nullptr)
-                           ? order[random_choice->index(order.size())].first
-                           : find_centroid(order);
+    const VertexId c = order[rng.index(order.size())];
 
     out.level[c] = level;
     out.sep_parent[c] = sep_parent;
@@ -112,9 +433,9 @@ struct Decomposer {
       Weight mx;
       Weight mn;
       Weight sum;
-      VertexId branch;        // neighbor of c this path started with
-      PortNumber bport;       // c's port into this branch
-      PortNumber back_port;   // v's port toward `from` (first hop to c)
+      VertexId branch;       // neighbor of c this path started with
+      PortNumber bport;      // c's port into this branch
+      PortNumber back_port;  // v's port toward `from` (first hop to c)
     };
     std::vector<Item> st{
         {c, kInvalidVertex, 0, kWeightMax, 0, kInvalidVertex, 0, 0}};
@@ -137,19 +458,15 @@ struct Decomposer {
         if (p.neighbor == it.from) continue;
         const bool at_c = (it.v == c);
         const VertexId branch = at_c ? p.neighbor : it.branch;
-        const auto bport =
-            at_c ? static_cast<PortNumber>(pi + 1) : it.bport;
+        const auto bport = at_c ? static_cast<PortNumber>(pi + 1) : it.bport;
         st.push_back({p.neighbor, it.v, std::max(it.mx, p.weight),
                       std::min(it.mn, p.weight), it.sum + p.weight, branch,
                       bport, p.reverse_port});
       }
     }
 
-    // Rank branches by size (descending) and assign rho = rank, 1-based.
-    // rho = rank is what lets E_sep telescope: the rank-r branch has at
-    // most |comp|/r vertices, so writing gamma(r) costs O(1 + log r) =
-    // O(1 + log(|comp|/|branch|)) bits, and the per-level costs sum to
-    // O(log n) along any root-to-vertex path of T_sep.
+    // Arbitrary-but-unique subtree numbers, as the general family allows;
+    // ranking by size still orders the recursion deterministically.
     for (const auto& [v, br] : vertex_branch) {
       if (branch_size[br] == 0) branch_roots.push_back(br);
       ++branch_size[br];
@@ -160,20 +477,13 @@ struct Decomposer {
                            ? branch_size[a] > branch_size[b]
                            : a < b;
               });
-    if (random_choice == nullptr) {
-      for (std::size_t i = 0; i < branch_roots.size(); ++i) {
-        rho_of[branch_roots[i]] = i + 1;
-      }
-    } else {
-      // Arbitrary-but-unique numbers, as the general family allows.
-      std::vector<std::uint64_t> nums(branch_roots.size());
-      for (std::size_t i = 0; i < nums.size(); ++i) {
-        nums[i] = 1 + 3 * i + random_choice->uniform(0, 2);
-      }
-      random_choice->shuffle(nums);
-      for (std::size_t i = 0; i < branch_roots.size(); ++i) {
-        rho_of[branch_roots[i]] = nums[i];
-      }
+    std::vector<std::uint64_t> nums(branch_roots.size());
+    for (std::size_t i = 0; i < nums.size(); ++i) {
+      nums[i] = 1 + 3 * i + rng.uniform(0, 2);
+    }
+    rng.shuffle(nums);
+    for (std::size_t i = 0; i < branch_roots.size(); ++i) {
+      rho_of[branch_roots[i]] = nums[i];
     }
     for (const auto& [v, br] : vertex_branch) {
       out.rho[v].push_back(rho_of[br]);
@@ -184,7 +494,6 @@ struct Decomposer {
       rho_of[br] = 0;
     }
 
-    // Recurse into each branch.
     removed[c] = true;
     for (const VertexId br : branch_roots) {
       decompose(br, level + 1, c);
@@ -194,55 +503,39 @@ struct Decomposer {
 
 }  // namespace
 
-std::uint32_t SeparatorDecomposition::max_level() const {
-  std::uint32_t m = 0;
-  for (const auto l : level) m = std::max(m, l);
-  return m;
-}
-
-namespace {
-
-SeparatorDecomposition finish_decomposition(Decomposer& d) {
-  d.decompose(d.tree.root(), 1, kInvalidVertex);
-  // Post-conditions the rest of the system relies on.
-  for (VertexId v = 0; v < d.tree.size(); ++v) {
-    MSTV_ASSERT(d.out.level[v] >= 1);
-    MSTV_ASSERT(d.out.ancestors[v].size() == d.out.level[v]);
-    MSTV_ASSERT(d.out.ancestors[v].back() == v);
-    MSTV_ASSERT(d.out.rho[v].size() + 1 == d.out.level[v]);
-    MSTV_ASSERT(d.out.rho_raw[v].size() + 1 == d.out.level[v]);
-  }
-  return std::move(d.out);
-}
-
-}  // namespace
-
 SeparatorDecomposition perfect_separator_decomposition(const RootedTree& tree) {
-  Decomposer d(tree);
-  return finish_decomposition(d);
+  return perfect_separator_decomposition(tree, kSepFieldsAll);
+}
+
+SeparatorDecomposition perfect_separator_decomposition(const RootedTree& tree,
+                                                       SepFieldMask fields) {
+  SepBuilder builder(tree, fields);
+  return builder.build();
 }
 
 SeparatorDecomposition random_separator_decomposition(const RootedTree& tree,
                                                       Rng& rng) {
-  Decomposer d(tree);
-  d.random_choice = &rng;
-  return finish_decomposition(d);
+  RandomDecomposer d(tree, rng);
+  d.decompose(tree.root(), 1, kInvalidVertex);
+  return SepBuilder::pack(std::move(d.out));
 }
 
 bool is_perfect_decomposition(const RootedTree& tree,
                               const SeparatorDecomposition& sd) {
-  // The component of a separator c is exactly { u : c in ancestors[u] };
+  // The component of a separator c is exactly { u : c in ancestors(u) };
   // its subtrees are the groups of proper members sharing a rho value.
   const std::size_t n = tree.size();
   std::vector<std::uint32_t> comp_size(n, 0);
   for (VertexId u = 0; u < n; ++u) {
-    for (const VertexId a : sd.ancestors[u]) ++comp_size[a];
+    for (const VertexId a : sd.ancestors(u)) ++comp_size[a];
   }
   std::vector<std::vector<std::uint32_t>> sub(n);
   for (VertexId u = 0; u < n; ++u) {
-    for (std::size_t k = 0; k + 1 < sd.ancestors[u].size(); ++k) {
-      const VertexId a = sd.ancestors[u][k];
-      const auto r = static_cast<std::size_t>(sd.rho[u][k]);
+    const auto anc = sd.ancestors(u);
+    const auto rho = sd.rho(u);
+    for (std::size_t k = 0; k + 1 < anc.size(); ++k) {
+      const VertexId a = anc[k];
+      const auto r = static_cast<std::size_t>(rho[k]);
       if (r == 0) return false;
       if (sub[a].size() < r) sub[a].resize(r, 0);
       ++sub[a][r - 1];

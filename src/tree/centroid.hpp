@@ -17,8 +17,24 @@
 //     v_i* — these are exactly the E_omega fields of the implicit schemes
 //     (paths from v to v_i stay inside v_i's component, so restricting to
 //     the component is equivalent to measuring on the whole tree).
+//
+// Storage is a flat per-field arena rather than vector-of-vectors: vertex
+// v's per-level entries live contiguously at rows [row(v), row(v) +
+// l(v)), with one shared offset table for every field (rho/rho_raw have
+// l(v) - 1 entries, so their row is row(v) - v).  This kills the ~9n
+// small heap allocations the old nested layout paid and lets the sharded
+// builder write entries by index from any worker thread.
+//
+// The perfect decomposition is built level-synchronously on the
+// `for_each_shard` machinery (docs/parallelism.md): at each level the
+// live components are sheet-listed, sharded across workers, and each
+// component's centroid / branch ranking / extrema folds are computed
+// independently — components at one level are vertex-disjoint, so all
+// arena writes are race-free, and every stored value is a pure function
+// of the component, so the result is bit-identical at any --threads=N.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "tree/rooted_tree.hpp"
@@ -26,50 +42,133 @@
 
 namespace mstv {
 
-struct SeparatorDecomposition {
+/// Selects which per-level fields a decomposition materializes.  The
+/// structural core (level, sep_parent, ancestors, rho) is always built;
+/// the optional arenas cost O(n log n) words each, which matters once the
+/// marker runs at n = 1e6..1e7.  Markers request only what their labels
+/// serialize; callers that want everything use kSepFieldsAll (the
+/// default of the two-argument builders below).
+using SepFieldMask = std::uint32_t;
+inline constexpr SepFieldMask kSepFieldMax = 1u << 0;     // maxw
+inline constexpr SepFieldMask kSepFieldMin = 1u << 1;     // minw
+inline constexpr SepFieldMask kSepFieldSum = 1u << 2;     // sumw
+inline constexpr SepFieldMask kSepFieldRoute = 1u << 3;   // toward+branch_port
+inline constexpr SepFieldMask kSepFieldRhoRaw = 1u << 4;  // rho_raw
+inline constexpr SepFieldMask kSepFieldsAll = 0x1fu;
+
+class SeparatorDecomposition {
+ public:
   /// l(v): depth of v in T_sep, 1-based.
   std::vector<std::uint32_t> level;
 
   /// Parent of v in T_sep; kInvalidVertex for the level-1 separator.
   std::vector<VertexId> sep_parent;
 
-  /// ancestors[v][i] = the level-(i+1) separator of v; last entry is v.
-  std::vector<std::vector<VertexId>> ancestors;
+  [[nodiscard]] std::size_t size() const noexcept { return level.size(); }
 
-  /// rho[v][k] = subtree number assigned to v's branch by its level-(k+1)
+  /// Which optional field arenas were materialized.
+  [[nodiscard]] SepFieldMask fields() const noexcept { return mask_; }
+  [[nodiscard]] bool has_fields(SepFieldMask m) const noexcept {
+    return (mask_ & m) == m;
+  }
+
+  /// ancestors(v)[i] = the level-(i+1) separator of v; last entry is v.
+  [[nodiscard]] std::span<const VertexId> ancestors(VertexId v) const {
+    return {anc_.data() + row(v), level[v]};
+  }
+
+  /// rho(v)[k] = subtree number assigned to v's branch by its level-(k+1)
   /// separator, for k in [0, l(v)-2].  Size-ranked: 1 = largest subtree.
-  std::vector<std::vector<std::uint64_t>> rho;
+  [[nodiscard]] std::span<const std::uint64_t> rho(VertexId v) const {
+    return {rho_.data() + rho_row(v), level[v] - 1};
+  }
 
-  /// rho_raw[v][k] = an alternative subtree numbering: the branch root's
+  /// rho_raw(v)[k] = an alternative subtree numbering: the branch root's
   /// vertex id + 1.  Unique per sibling subtree but Theta(log n) bits to
   /// write — the numbering style of the pre-paper schemes, used by the
   /// FixedWidth baseline coding.
-  std::vector<std::vector<std::uint64_t>> rho_raw;
+  [[nodiscard]] std::span<const std::uint64_t> rho_raw(VertexId v) const {
+    MSTV_ASSERT(has_fields(kSepFieldRhoRaw));
+    return {rho_raw_.data() + rho_row(v), level[v] - 1};
+  }
 
-  /// maxw[v][i] = MAX(v, ancestors[v][i]); the last entry (i = l-1) is 0.
-  std::vector<std::vector<Weight>> maxw;
+  /// maxw(v)[i] = MAX(v, ancestors(v)[i]); the last entry (i = l-1) is 0.
+  [[nodiscard]] std::span<const Weight> maxw(VertexId v) const {
+    MSTV_ASSERT(has_fields(kSepFieldMax));
+    return {maxw_.data() + row(v), level[v]};
+  }
+  [[nodiscard]] std::span<Weight> maxw(VertexId v) {
+    MSTV_ASSERT(has_fields(kSepFieldMax));
+    return {maxw_.data() + row(v), level[v]};
+  }
 
-  /// minw[v][i] = FLOW(v, ancestors[v][i]); last entry is Weight max.
-  std::vector<std::vector<Weight>> minw;
+  /// minw(v)[i] = FLOW(v, ancestors(v)[i]); last entry is Weight max.
+  [[nodiscard]] std::span<const Weight> minw(VertexId v) const {
+    MSTV_ASSERT(has_fields(kSepFieldMin));
+    return {minw_.data() + row(v), level[v]};
+  }
+  [[nodiscard]] std::span<Weight> minw(VertexId v) {
+    MSTV_ASSERT(has_fields(kSepFieldMin));
+    return {minw_.data() + row(v), level[v]};
+  }
 
-  /// sumw[v][i] = weighted distance from v to ancestors[v][i] along the
+  /// sumw(v)[i] = weighted distance from v to ancestors(v)[i] along the
   /// tree; last entry is 0.  Fuels the implicit distance labeling scheme.
-  std::vector<std::vector<Weight>> sumw;
+  [[nodiscard]] std::span<const Weight> sumw(VertexId v) const {
+    MSTV_ASSERT(has_fields(kSepFieldSum));
+    return {sumw_.data() + row(v), level[v]};
+  }
+  [[nodiscard]] std::span<Weight> sumw(VertexId v) {
+    MSTV_ASSERT(has_fields(kSepFieldSum));
+    return {sumw_.data() + row(v), level[v]};
+  }
 
-  /// toward[v][i] = v's first-hop port toward ancestors[v][i]; 0 in the
+  /// toward(v)[i] = v's first-hop port toward ancestors(v)[i]; 0 in the
   /// last entry (v itself).  Fuels the implicit routing scheme.
-  std::vector<std::vector<PortNumber>> toward;
+  [[nodiscard]] std::span<const PortNumber> toward(VertexId v) const {
+    MSTV_ASSERT(has_fields(kSepFieldRoute));
+    return {toward_.data() + row(v), level[v]};
+  }
 
-  /// branch_port[v][i] = the port of the level-(i+1) separator that leads
+  /// branch_port(v)[i] = the port of the level-(i+1) separator that leads
   /// into the subtree containing v; 0 in the last entry.  Lets the
   /// separator itself route toward any member of one of its subtrees.
-  std::vector<std::vector<PortNumber>> branch_port;
+  [[nodiscard]] std::span<const PortNumber> branch_port(VertexId v) const {
+    MSTV_ASSERT(has_fields(kSepFieldRoute));
+    return {branch_port_.data() + row(v), level[v]};
+  }
 
   [[nodiscard]] std::uint32_t max_level() const;
+
+ private:
+  /// First arena row of v for the l(v)-entry fields.
+  [[nodiscard]] std::size_t row(VertexId v) const { return row_[v]; }
+
+  /// First arena row of v for the (l(v)-1)-entry rho fields: the offset
+  /// table is shared, so the rho row is just row(v) minus the v one-entry
+  /// gaps accumulated before it.
+  [[nodiscard]] std::size_t rho_row(VertexId v) const { return row_[v] - v; }
+
+  SepFieldMask mask_ = kSepFieldsAll;
+  std::vector<std::size_t> row_;  // size n+1; row_[n] = total entries
+  std::vector<VertexId> anc_;
+  std::vector<std::uint64_t> rho_;
+  std::vector<std::uint64_t> rho_raw_;
+  std::vector<Weight> maxw_;
+  std::vector<Weight> minw_;
+  std::vector<Weight> sumw_;
+  std::vector<PortNumber> toward_;
+  std::vector<PortNumber> branch_port_;
+
+  friend struct SepBuilder;  // the level-synchronous builder (centroid.cpp)
 };
 
-/// Decomposes the tree underlying `tree`.  O(n log n).
+/// Decomposes the tree underlying `tree`.  O(n log n) work, parallelized
+/// across the components of each separator level on the global thread
+/// pool; output is bit-identical at any thread count.
 SeparatorDecomposition perfect_separator_decomposition(const RootedTree& tree);
+SeparatorDecomposition perfect_separator_decomposition(const RootedTree& tree,
+                                                       SepFieldMask fields);
 
 /// A member of the *general* family of separator decompositions: separators
 /// are chosen uniformly at random (and subtree numbers are random but
@@ -77,6 +176,7 @@ SeparatorDecomposition perfect_separator_decomposition(const RootedTree& tree);
 /// exercise the full family Gamma of Section 3.1 — Claim 3.1 (decoder
 /// correctness) and the soundness of pi_Gamma must hold for *any* member,
 /// not just gamma_small.  Depth can be Theta(n), so keep n small in tests.
+/// Runs serially: the random draws must form one deterministic sequence.
 SeparatorDecomposition random_separator_decomposition(const RootedTree& tree,
                                                       Rng& rng);
 

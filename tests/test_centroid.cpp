@@ -26,8 +26,9 @@ TEST(Centroid, SingleVertex) {
   const auto sd = perfect_separator_decomposition(t);
   EXPECT_EQ(sd.level[0], 1u);
   EXPECT_EQ(sd.max_level(), 1u);
-  EXPECT_TRUE(sd.rho[0].empty());
-  EXPECT_EQ(sd.maxw[0], (std::vector<Weight>{0}));
+  EXPECT_TRUE(sd.rho(0).empty());
+  ASSERT_EQ(sd.maxw(0).size(), 1u);
+  EXPECT_EQ(sd.maxw(0)[0], 0u);
 }
 
 TEST(Centroid, PathCentroidIsMiddle) {
@@ -77,15 +78,15 @@ TEST_P(CentroidPropertyTest, DecompositionInvariants) {
   for (VertexId v = 0; v < t.size(); ++v) {
     // Ancestor chain is consistent: ancestors[v][k] has level k+1, and the
     // recorded extrema match real tree-path queries (the E_omega fields).
-    for (std::size_t k = 0; k < sd.ancestors[v].size(); ++k) {
-      const VertexId s = sd.ancestors[v][k];
+    for (std::size_t k = 0; k < sd.ancestors(v).size(); ++k) {
+      const VertexId s = sd.ancestors(v)[k];
       EXPECT_EQ(sd.level[s], k + 1);
-      EXPECT_EQ(sd.maxw[v][k], q.path_max(v, s));
-      EXPECT_EQ(sd.minw[v][k], q.path_min(v, s));
+      EXPECT_EQ(sd.maxw(v)[k], q.path_max(v, s));
+      EXPECT_EQ(sd.minw(v)[k], q.path_min(v, s));
     }
     // sep_parent chains the ancestors.
     if (sd.level[v] > 1) {
-      EXPECT_EQ(sd.sep_parent[v], sd.ancestors[v][sd.level[v] - 2]);
+      EXPECT_EQ(sd.sep_parent[v], sd.ancestors(v)[sd.level[v] - 2]);
     } else {
       EXPECT_EQ(sd.sep_parent[v], kInvalidVertex);
     }
@@ -98,13 +99,13 @@ TEST_P(CentroidPropertyTest, DecompositionInvariants) {
     const auto u = static_cast<VertexId>(rng.index(t.size()));
     const auto v = static_cast<VertexId>(rng.index(t.size()));
     const std::size_t cap =
-        std::min(sd.ancestors[u].size(), sd.ancestors[v].size());
+        std::min(sd.ancestors(u).size(), sd.ancestors(v).size());
     for (std::size_t i = 1; i <= cap; ++i) {
       bool prefix_equal = true;
       for (std::size_t j = 0; j + 1 < i; ++j) {
-        if (sd.rho[u][j] != sd.rho[v][j]) prefix_equal = false;
+        if (sd.rho(u)[j] != sd.rho(v)[j]) prefix_equal = false;
       }
-      EXPECT_EQ(sd.ancestors[u][i - 1] == sd.ancestors[v][i - 1],
+      EXPECT_EQ(sd.ancestors(u)[i - 1] == sd.ancestors(v)[i - 1],
                 prefix_equal)
           << "u=" << u << " v=" << v << " i=" << i;
     }
@@ -128,9 +129,9 @@ TEST(Centroid, RhoRanksAreSizeOrderedAndContiguous) {
   // ranks must be 1..p and sizes non-increasing in rank.
   std::vector<std::vector<std::uint32_t>> by_rank(t.size());
   for (VertexId u = 0; u < t.size(); ++u) {
-    for (std::size_t k = 0; k + 1 < sd.ancestors[u].size(); ++k) {
-      const VertexId a = sd.ancestors[u][k];
-      const auto r = static_cast<std::size_t>(sd.rho[u][k]);
+    for (std::size_t k = 0; k + 1 < sd.ancestors(u).size(); ++k) {
+      const VertexId a = sd.ancestors(u)[k];
+      const auto r = static_cast<std::size_t>(sd.rho(u)[k]);
       ASSERT_GE(r, 1u);
       if (by_rank[a].size() < r) by_rank[a].resize(r, 0);
       ++by_rank[a][r - 1];
@@ -146,6 +147,27 @@ TEST(Centroid, RhoRanksAreSizeOrderedAndContiguous) {
   }
 }
 
+TEST(Centroid, FieldMaskSubsetMatchesFullDecomposition) {
+  Graph g;
+  const RootedTree t = make_tree(g, 200, 11, random_tree);
+  const auto full = perfect_separator_decomposition(t);
+  const auto lean = perfect_separator_decomposition(t, kSepFieldMax);
+  EXPECT_TRUE(full.has_fields(kSepFieldsAll));
+  EXPECT_TRUE(lean.has_fields(kSepFieldMax));
+  EXPECT_FALSE(lean.has_fields(kSepFieldMin));
+  EXPECT_FALSE(lean.has_fields(kSepFieldRoute));
+  ASSERT_EQ(lean.level, full.level);
+  ASSERT_EQ(lean.sep_parent, full.sep_parent);
+  for (VertexId v = 0; v < t.size(); ++v) {
+    const auto a1 = lean.ancestors(v), a2 = full.ancestors(v);
+    ASSERT_TRUE(std::equal(a1.begin(), a1.end(), a2.begin(), a2.end()));
+    const auto r1 = lean.rho(v), r2 = full.rho(v);
+    ASSERT_TRUE(std::equal(r1.begin(), r1.end(), r2.begin(), r2.end()));
+    const auto m1 = lean.maxw(v), m2 = full.maxw(v);
+    ASSERT_TRUE(std::equal(m1.begin(), m1.end(), m2.begin(), m2.end()));
+  }
+}
+
 TEST(RandomDecomposition, IsValidMemberOfGamma) {
   Graph g;
   const RootedTree t = make_tree(g, 60, 4, random_tree);
@@ -154,20 +176,20 @@ TEST(RandomDecomposition, IsValidMemberOfGamma) {
   const TreePathQueries q(t);
   // Same structural invariants as the perfect one, except perfection.
   for (VertexId v = 0; v < t.size(); ++v) {
-    EXPECT_EQ(sd.ancestors[v].size(), sd.level[v]);
-    EXPECT_EQ(sd.ancestors[v].back(), v);
-    for (std::size_t k = 0; k < sd.ancestors[v].size(); ++k) {
-      EXPECT_EQ(sd.maxw[v][k], q.path_max(v, sd.ancestors[v][k]));
+    EXPECT_EQ(sd.ancestors(v).size(), sd.level[v]);
+    EXPECT_EQ(sd.ancestors(v).back(), v);
+    for (std::size_t k = 0; k < sd.ancestors(v).size(); ++k) {
+      EXPECT_EQ(sd.maxw(v)[k], q.path_max(v, sd.ancestors(v)[k]));
     }
   }
   // Sibling rho values at each separator are unique.
   std::vector<std::vector<std::uint64_t>> nums(t.size());
   for (VertexId u = 0; u < t.size(); ++u) {
-    for (std::size_t k = 0; k + 1 < sd.ancestors[u].size(); ++k) {
+    for (std::size_t k = 0; k + 1 < sd.ancestors(u).size(); ++k) {
       // Only direct members record this separator; uniqueness is per
       // (separator, subtree), so collect one value per subtree root.
       if (sd.level[u] == k + 2) {
-        nums[sd.ancestors[u][k]].push_back(sd.rho[u][k]);
+        nums[sd.ancestors(u)[k]].push_back(sd.rho(u)[k]);
       }
     }
   }

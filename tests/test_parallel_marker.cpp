@@ -1,0 +1,206 @@
+// Sharded marker pipeline determinism: mark() is byte-identical at any
+// --threads=N, for every scheme, because the parallel separator builder
+// replicates the serial recursion's traversal order exactly and every
+// downstream phase writes schedule-independent values by direct index.
+// This file is the contract's dedicated gate (the CI scaling job runs it
+// under TSan via the Marker|ParallelMark test regex): decomposition
+// arenas, per-scheme labels, and incremental repair on top of a
+// parallel-marked baseline all compared against thread_count=1 bytes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynamic/incremental.hpp"
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "parallel/parallel_for.hpp"
+#include "plscheme/gamma_scheme.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+#include "plscheme/spanning_tree_scheme.hpp"
+#include "tree/centroid.hpp"
+
+namespace mstv {
+namespace {
+
+/// Restores the configured worker count when a test body returns.
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(std::size_t n) { parallel::set_thread_count(n); }
+  ~ThreadCountGuard() { parallel::set_thread_count(0); }
+};
+
+/// Byte-compares two label vectors, attributing a mismatch to its vertex.
+void expect_same_labels(const std::vector<Label>& got,
+                        const std::vector<Label>& want,
+                        const std::string& what,
+                        std::size_t threads) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (VertexId v = 0; v < got.size(); ++v) {
+    ASSERT_EQ(got[v], want[v]) << what << ": label " << v << " differs at "
+                               << threads << " threads";
+  }
+}
+
+struct MarkerCase {
+  const char* name;
+  Graph (*make)(std::size_t, const WeightOptions&, Rng&);
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class ParallelMarker : public ::testing::TestWithParam<MarkerCase> {
+ protected:
+  Graph make_graph() const {
+    const auto& c = GetParam();
+    Rng rng(c.seed);
+    WeightOptions wo;
+    wo.max_weight = 1u << 14;
+    return c.make(c.n, wo, rng);
+  }
+};
+
+// Degenerate shard plans (more workers than vertices, 1-vertex shards)
+// are covered by the small sizes; the 1500-vertex tree gives every level
+// of the decomposition more components than workers.
+std::vector<MarkerCase> marker_cases() {
+  return {{"tree_small", random_tree, 9, 11},
+          {"tree_medium", random_tree, 260, 12},
+          {"tree_large", random_tree, 1500, 13},
+          {"path", path_graph, 257, 14},
+          {"star", star_graph, 129, 15},
+          {"caterpillar", caterpillar, 240, 16},
+          {"binary", balanced_binary_tree, 255, 17}};
+}
+
+TEST_P(ParallelMarker, DecompositionArenasMatchSerial) {
+  const Graph g = make_graph();
+  const RootedTree tree(g, 0);
+  const SeparatorDecomposition serial = [&] {
+    ThreadCountGuard guard(1);
+    return perfect_separator_decomposition(tree);
+  }();
+  for (const std::size_t threads : {2u, 8u}) {
+    ThreadCountGuard guard(threads);
+    const auto sd = perfect_separator_decomposition(tree);
+    ASSERT_EQ(sd.level, serial.level) << threads << " threads";
+    ASSERT_EQ(sd.sep_parent, serial.sep_parent) << threads << " threads";
+    for (VertexId v = 0; v < tree.size(); ++v) {
+      const auto a = sd.ancestors(v), sa = serial.ancestors(v);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), sa.begin(), sa.end()))
+          << "ancestors of " << v << " differ at " << threads << " threads";
+      const auto r = sd.rho(v), sr = serial.rho(v);
+      ASSERT_TRUE(std::equal(r.begin(), r.end(), sr.begin(), sr.end()))
+          << "rho of " << v << " differs at " << threads << " threads";
+      const auto m = sd.maxw(v), sm = serial.maxw(v);
+      ASSERT_TRUE(std::equal(m.begin(), m.end(), sm.begin(), sm.end()))
+          << "maxw of " << v << " differs at " << threads << " threads";
+      const auto t = sd.toward(v), st = serial.toward(v);
+      ASSERT_TRUE(std::equal(t.begin(), t.end(), st.begin(), st.end()))
+          << "toward of " << v << " differs at " << threads << " threads";
+    }
+  }
+}
+
+TEST_P(ParallelMarker, MstLabelsBytesMatchSerial) {
+  const Graph g = make_graph();
+  const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+  for (const auto coding : {SepCoding::Telescoping, SepCoding::FixedWidth}) {
+    const MstScheme scheme(coding);
+    std::vector<Label> serial;
+    {
+      ThreadCountGuard guard(1);
+      serial = scheme.mark(cfg);
+    }
+    for (const std::size_t threads : {2u, 8u}) {
+      ThreadCountGuard guard(threads);
+      expect_same_labels(scheme.mark(cfg), serial, scheme.name(), threads);
+    }
+  }
+}
+
+TEST_P(ParallelMarker, SpanningTreeLabelsBytesMatchSerial) {
+  const Graph g = make_graph();
+  const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+  const SpanningTreeScheme scheme;
+  std::vector<Label> serial;
+  {
+    ThreadCountGuard guard(1);
+    serial = scheme.mark(cfg);
+  }
+  for (const std::size_t threads : {2u, 8u}) {
+    ThreadCountGuard guard(threads);
+    expect_same_labels(scheme.mark(cfg), serial, scheme.name(), threads);
+  }
+}
+
+TEST_P(ParallelMarker, GammaLabelsBytesMatchSerial) {
+  const Graph g = make_graph();
+  const GammaScheme scheme;
+  // Gamma's family is trees whose payloads already carry gamma_small
+  // labels; build them once (serially) so mark() is the only phase under
+  // test.
+  const RootedTree tree(g, 0);
+  const auto& imp = scheme.implicit_scheme();
+  const auto imps = imp.encode(tree, perfect_separator_decomposition(tree));
+  std::vector<State> states(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    states[v].id = v;
+    if (!tree.is_root(v)) states[v].parent_port = tree.parent_port(v);
+    states[v].payload = imp.to_bits(imps[v]);
+  }
+  const ConfigGraph cfg(g, std::move(states));
+  std::vector<Label> serial;
+  {
+    ThreadCountGuard guard(1);
+    serial = scheme.mark(cfg);
+  }
+  for (const std::size_t threads : {2u, 8u}) {
+    ThreadCountGuard guard(threads);
+    expect_same_labels(scheme.mark(cfg), serial, scheme.name(), threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ParallelMarker, ::testing::ValuesIn(marker_cases()),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+// Incremental repair on top of a parallel-marked baseline: the repaired
+// labels after every update must equal a from-scratch serial mark() on
+// the updated configuration — the repair path reads and rewrites the
+// shared decomposition arenas, so this exercises the arena layout end to
+// end at 8 workers.
+TEST(ParallelMarkerRepair, IncrementalRepairMatchesSerialRemark) {
+  Rng rng(4711);
+  WeightOptions wo;
+  wo.max_weight = 1u << 12;
+  const Graph g = random_connected_graph(160, 320, wo, rng);
+  const auto mst = kruskal_mst(g);
+  for (const auto coding : {SepCoding::Telescoping, SepCoding::FixedWidth}) {
+    const MstScheme scheme(coding);
+    ThreadCountGuard guard(8);
+    IncrementalMarker marker(scheme, g, mst, 0);
+    for (int step = 0; step < 40; ++step) {
+      const Graph& cur = marker.graph();
+      const Edge& e =
+          cur.edge(static_cast<EdgeId>(rng.index(cur.num_edges())));
+      marker.apply(EdgeUpdate::weight_change(
+          e.u, e.v, 1 + rng.uniform(0, wo.max_weight - 1)));
+      std::vector<Label> fresh;
+      {
+        ThreadCountGuard serial(1);
+        fresh = scheme.mark(marker.config());
+      }
+      ASSERT_EQ(fresh.size(), marker.labels().size());
+      for (VertexId v = 0; v < fresh.size(); ++v) {
+        ASSERT_EQ(marker.labels()[v], fresh[v])
+            << scheme.name() << " step " << step << " vertex " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mstv
