@@ -1,0 +1,146 @@
+// S1 — compact label snapshot store vs the wire format (src/store/).
+//
+// Labels are write-once/read-millions, so the storage question is the
+// read side: how many bytes does a stored label cost, and how fast does
+// a cold process get from "file on disk" to "verifying"?  For each n
+// this bench marks a random connected graph with pi-mst, then:
+//
+//   * serializes the labels through the wire format (labeling/wire.hpp,
+//     u64-framed) and through a snapshot (store/snapshot.hpp,
+//     bit-packed arena + Elias-gamma length directory), comparing
+//     bytes/label — the snapshot must be STRICTLY smaller on every row
+//     (the run exits nonzero otherwise, so the smoke ctest entry is a
+//     regression gate for the succinct encoding);
+//   * cold-opens the snapshot (mmap; header + checksum validation, no
+//     per-label parsing) and times open and full block-decode
+//     separately;
+//   * cross-checks that verifying from the snapshot reproduces the
+//     in-memory verifier's verdict and rejector set exactly (the
+//     `match` column: 1 per row, enforced).
+//
+// Emits BENCH_label_store.json.  Env knobs: MSTV_BENCH_MAX_N caps the
+// largest graph (the `ctest -L bench` smoke entry sets 20000; the
+// acceptance-criteria row is n = 1e5).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "graph/generators.hpp"
+#include "labeling/wire.hpp"
+#include "mst/algorithms.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+#include "store/snapshot.hpp"
+
+using namespace mstv;
+using namespace mstv::bench;
+
+namespace {
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+std::size_t wire_bytes(const std::vector<Label>& labels) {
+  std::ostringstream os;
+  write_labels(os, labels);
+  return os.str().size();
+}
+
+}  // namespace
+
+int main() {
+  banner("S1", "label snapshot store (src/store/)",
+         "bytes/label and cold-load time: snapshot vs wire format");
+
+  const std::size_t max_n = env_or("MSTV_BENCH_MAX_N", 100000);
+  const std::vector<std::size_t> sweep = {1000, 10000, 100000};
+  const char* snap_path = "label_store_bench.snap";
+
+  Table t({"n", "wire_bytes", "snap_bytes", "wire_bpl", "snap_bpl", "ratio",
+           "load_us", "decode_ms", "verify_ms", "match"});
+  const MstScheme scheme;
+  bool fail = false;
+
+  for (const std::size_t n : sweep) {
+    if (n > max_n) continue;
+    Rng rng(42);
+    WeightOptions wo;
+    wo.max_weight = 1u << 20;
+    const Graph g = random_connected_graph(n, 2 * n, wo, rng);
+    const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
+    const auto labels = scheme.mark(cfg);
+
+    const std::size_t wbytes = wire_bytes(labels);
+    store::SnapshotMeta meta;
+    meta.scheme = scheme.name();
+    meta.graph_vertices = g.num_vertices();
+    meta.graph_edges = g.num_edges();
+    const std::uint64_t sbytes =
+        store::write_snapshot_file(snap_path, labels, meta);
+
+    // Cold load: open (validation only) timed apart from block decode.
+    std::vector<Label> decoded;
+    double load_us = 0.0;
+    double decode_ms = 0.0;
+    double verify_ms = 0.0;
+    bool match = false;
+    {
+      std::optional<store::LabelStore> snap;
+      load_us = 1000.0 *
+                time_ms([&] { snap.emplace(store::LabelStore::open(snap_path)); });
+      decode_ms = time_ms([&] { decoded = snap->decode_all(); });
+      VerificationResult from_store;
+      verify_ms =
+          time_ms([&] { from_store = run_verifier(scheme, cfg, *snap); });
+      const VerificationResult in_memory = run_verifier(scheme, cfg, labels);
+      match = decoded.size() == labels.size() &&
+              std::equal(decoded.begin(), decoded.end(), labels.begin()) &&
+              from_store.accepted == in_memory.accepted &&
+              from_store.rejecting == in_memory.rejecting;
+    }
+
+    const double wire_bpl =
+        static_cast<double>(wbytes) / static_cast<double>(n);
+    const double snap_bpl =
+        static_cast<double>(sbytes) / static_cast<double>(n);
+    if (!(snap_bpl < wire_bpl)) {
+      std::printf("FAIL: snapshot bytes/label %.2f not below wire %.2f at "
+                  "n=%zu\n",
+                  snap_bpl, wire_bpl, n);
+      fail = true;
+    }
+    if (!match) {
+      std::printf("FAIL: snapshot-decoded labels or verdicts diverge from "
+                  "in-memory at n=%zu\n",
+                  n);
+      fail = true;
+    }
+    t.add_row({fmt(n), fmt(wbytes), fmt(static_cast<std::size_t>(sbytes)),
+               fmt(wire_bpl, 2), fmt(snap_bpl, 2),
+               fmt(snap_bpl / wire_bpl, 3), fmt(load_us, 1),
+               fmt(decode_ms, 2), fmt(verify_ms, 2),
+               fmt(static_cast<std::size_t>(match ? 1 : 0))});
+  }
+  std::remove(snap_path);
+
+  t.print();
+  JsonReporter report("label_store");
+  report.add_table("snapshot vs wire", t);
+  if (!report.write()) {
+    std::printf("FAIL: cannot write BENCH_label_store.json\n");
+    fail = true;
+  }
+  if (fail) {
+    std::printf("LABEL STORE GATE FAILED\n");
+    return 1;
+  }
+  std::printf("snapshot bytes/label strictly below the wire encoding on "
+              "every row; store verdicts match in-memory\n");
+  return 0;
+}

@@ -4,6 +4,7 @@
 
 #include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
+#include "store/snapshot.hpp"
 
 namespace mstv {
 
@@ -99,6 +100,16 @@ VerificationResult run_verifier(const ProofLabelingScheme& scheme,
   MSTV_GAUGE_SET("label.max_bits", r.max_label_bits);
   MSTV_GAUGE_SET("label.avg_bits", r.avg_label_bits());
   return r;
+}
+
+VerificationResult run_verifier(const ProofLabelingScheme& scheme,
+                                const ConfigGraph& cfg,
+                                const store::LabelStore& snapshot) {
+  MSTV_EXPECTS_MSG(snapshot.size() == cfg.size(),
+                   "snapshot label count does not match the configuration");
+  // Block decode (store.decode span), then the standard sharded verify:
+  // label bit-identity makes everything downstream bit-identical too.
+  return run_verifier(scheme, cfg, snapshot.decode_all());
 }
 
 VerificationResult mark_and_verify(const ProofLabelingScheme& scheme,

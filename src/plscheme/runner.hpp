@@ -9,6 +9,10 @@
 #include "dynamic/edge_update.hpp"
 #include "plscheme/scheme.hpp"
 
+namespace mstv::store {
+class LabelStore;  // store/snapshot.hpp
+}
+
 namespace mstv {
 
 class IncrementalMarker;  // dynamic/incremental.hpp
@@ -33,6 +37,15 @@ struct VerificationResult {
 VerificationResult run_verifier(const ProofLabelingScheme& scheme,
                                 const ConfigGraph& cfg,
                                 const std::vector<Label>& labels);
+
+/// Runs the verifier against a mounted label snapshot (store/snapshot.hpp):
+/// labels are materialised block-wise through `LabelView::decode_block`
+/// (sharded over the thread pool) instead of per-label cursors, then
+/// verified by the same engine — verdicts, rejector sets and counters are
+/// bit-identical to the in-memory overload at any thread count.
+VerificationResult run_verifier(const ProofLabelingScheme& scheme,
+                                const ConfigGraph& cfg,
+                                const store::LabelStore& snapshot);
 
 /// Convenience: mark, then verify the marker's own labels (completeness
 /// direction of the definition).

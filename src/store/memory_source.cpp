@@ -1,0 +1,91 @@
+#include "store/memory_source.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MSTV_STORE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace mstv::store {
+
+void MemorySource::swap(MemorySource& other) noexcept {
+  std::swap(data_, other.data_);
+  std::swap(size_, other.size_);
+  std::swap(backing_, other.backing_);
+  buffer_.swap(other.buffer_);
+}
+
+void MemorySource::release() noexcept {
+#ifdef MSTV_STORE_HAS_MMAP
+  if (backing_ == Backing::Mmap && data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  backing_ = Backing::None;
+  buffer_.clear();
+}
+
+MemorySource MemorySource::from_bytes(std::vector<std::uint8_t> bytes) {
+  MemorySource src;
+  src.buffer_ = std::move(bytes);
+  src.data_ = src.buffer_.data();
+  src.size_ = src.buffer_.size();
+  src.backing_ = Backing::Buffer;
+  return src;
+}
+
+MemorySource MemorySource::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MSTV_EXPECTS_MSG(static_cast<bool>(in), "cannot open snapshot file");
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  MSTV_EXPECTS_MSG(end >= 0, "cannot stat snapshot file");
+  in.seekg(0, std::ios::beg);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(end));
+  if (!bytes.empty()) {
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    MSTV_EXPECTS_MSG(static_cast<bool>(in), "cannot read snapshot file");
+  }
+  return from_bytes(std::move(bytes));
+}
+
+MemorySource MemorySource::map_file(const std::string& path) {
+#ifdef MSTV_STORE_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  MSTV_EXPECTS_MSG(fd >= 0, "cannot open snapshot file");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    MSTV_EXPECTS_MSG(false, "cannot stat snapshot file");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    // mmap(2) rejects zero-length mappings; an empty file is an empty
+    // (and, downstream, invalid) snapshot either way.
+    ::close(fd);
+    return from_bytes({});
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (mapping == MAP_FAILED) return read_file(path);
+  MemorySource src;
+  src.data_ = static_cast<const std::uint8_t*>(mapping);
+  src.size_ = size;
+  src.backing_ = Backing::Mmap;
+  return src;
+#else
+  return read_file(path);
+#endif
+}
+
+}  // namespace mstv::store

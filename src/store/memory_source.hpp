@@ -1,0 +1,77 @@
+// MemorySource: owns the bytes a label snapshot is served from.
+//
+// The snapshot reader (store/snapshot.hpp) never copies label data — it
+// points BitReaders straight into the file image — so *something* must
+// own that image and keep it alive for as long as any LabelStore or
+// LabelView refers to it.  MemorySource is that owner, with three
+// backings:
+//
+//   * Mmap   — the file mapped read-only via mmap(2); the kernel pages
+//              label blocks in on demand, so cold load touches only the
+//              header/directory pages.  POSIX only.
+//   * Buffer — the file (or caller-supplied bytes) copied into an
+//              anonymous heap buffer.  The portable fallback, and the
+//              path tests use to hand the reader corrupted images.
+//
+// `map_file` silently degrades to the Buffer backing where mmap is
+// unavailable (non-POSIX) or fails (e.g. the path is on a filesystem
+// that refuses mappings); `backing()` reports what actually happened.
+// Ownership and lifetime rules are spelled out in docs/store.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mstv::store {
+
+class MemorySource {
+ public:
+  enum class Backing {
+    None,    // default-constructed, no bytes
+    Mmap,    // mmap(2)-backed, unmapped on destruction
+    Buffer,  // heap-backed
+  };
+
+  MemorySource() = default;
+
+  /// Maps `path` read-only.  Falls back to `read_file` when mmap is
+  /// unsupported or fails for this file; throws PreconditionError when
+  /// the file cannot be opened or read at all.
+  [[nodiscard]] static MemorySource map_file(const std::string& path);
+
+  /// Reads `path` fully into a heap buffer (the no-mmap path).
+  /// Throws PreconditionError when the file cannot be opened or read.
+  [[nodiscard]] static MemorySource read_file(const std::string& path);
+
+  /// Wraps caller-supplied bytes (tests, in-process round trips).
+  [[nodiscard]] static MemorySource from_bytes(std::vector<std::uint8_t> bytes);
+
+  MemorySource(MemorySource&& other) noexcept { swap(other); }
+  MemorySource& operator=(MemorySource&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  MemorySource(const MemorySource&) = delete;
+  MemorySource& operator=(const MemorySource&) = delete;
+  ~MemorySource() { release(); }
+
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] Backing backing() const noexcept { return backing_; }
+
+ private:
+  void swap(MemorySource& other) noexcept;
+  void release() noexcept;
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  Backing backing_ = Backing::None;
+  std::vector<std::uint8_t> buffer_;  // Buffer backing only
+};
+
+}  // namespace mstv::store

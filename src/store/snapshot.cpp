@@ -1,0 +1,390 @@
+#include "store/snapshot.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/check.hpp"
+
+namespace mstv::store {
+
+// The reader serves u64 words directly out of the file image
+// (docs/label_format.md fixes them as little-endian), so the in-place
+// path requires a little-endian host.  Ports to big-endian machines
+// must byte-swap on load.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot reader serves little-endian words in place");
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a64(std::uint64_t h, const std::uint8_t* p,
+                      std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr std::uint64_t align8(std::uint64_t v) { return (v + 7) & ~7ULL; }
+
+constexpr std::uint64_t words_for_bits(std::uint64_t bits) {
+  return (bits + 63) / 64;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Appends `nbits` bits (LSB-first in `src`, bits past nbits zero — the
+/// Label normalization invariant) to `dst` at bit position `pos`.
+/// Word-granular: no per-bit loop on the write path.
+void append_bits(std::vector<std::uint64_t>& dst, std::uint64_t& pos,
+                 const std::uint64_t* src, std::uint64_t nbits) {
+  if (nbits == 0) return;
+  const std::uint64_t need = words_for_bits(pos + nbits);
+  if (dst.size() < need) dst.resize(need, 0);
+  const std::uint64_t base = pos >> 6;
+  const unsigned off = static_cast<unsigned>(pos & 63);
+  const std::uint64_t src_words = words_for_bits(nbits);
+  for (std::uint64_t i = 0; i < src_words; ++i) {
+    const std::uint64_t w = src[i];
+    dst[base + i] |= (off == 0) ? w : (w << off);
+    if (off != 0 && base + i + 1 < dst.size()) {
+      dst[base + i + 1] |= w >> (64 - off);
+    }
+  }
+  pos += nbits;
+}
+
+/// Copies bit range [start, start + len) of `words` (LSB-first) into a
+/// fresh normalized word vector.  `avail_words` bounds reads; the caller
+/// has already checked start + len against the arena size.
+std::vector<std::uint64_t> extract_bits(const std::uint64_t* words,
+                                        std::uint64_t avail_words,
+                                        std::uint64_t start,
+                                        std::uint64_t len) {
+  std::vector<std::uint64_t> out(words_for_bits(len));
+  const std::uint64_t base = start >> 6;
+  const unsigned off = static_cast<unsigned>(start & 63);
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    const std::uint64_t idx = base + j;
+    std::uint64_t w = words[idx] >> off;
+    if (off != 0 && idx + 1 < avail_words) w |= words[idx + 1] << (64 - off);
+    out[j] = w;
+  }
+  const unsigned rem = static_cast<unsigned>(len & 63);
+  if (rem != 0) out.back() &= (std::uint64_t{1} << rem) - 1;
+  return out;
+}
+
+}  // namespace
+
+void write_snapshot(std::ostream& os, const std::vector<Label>& labels,
+                    const SnapshotMeta& meta) {
+  const std::uint64_t n = labels.size();
+  MSTV_EXPECTS_MSG(n <= kSnapshotMaxLabels, "too many labels for a snapshot");
+
+  // Arena + length stream + per-block anchors, one pass in vertex order.
+  std::vector<std::uint64_t> arena;
+  std::uint64_t arena_bits = 0;
+  BitWriter len_writer;
+  std::vector<std::uint64_t> anchors;  // arena bit, length-stream bit
+  std::uint64_t max_label_bits = 0;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const Label& l = labels[v];
+    MSTV_EXPECTS_MSG(l.size_bits() <= kSnapshotMaxLabelBits,
+                     "label too large for a snapshot");
+    if (v % kSnapshotBlockSize == 0) {
+      anchors.push_back(arena_bits);
+      anchors.push_back(len_writer.size_bits());
+    }
+    len_writer.write_gamma0(l.size_bits());
+    append_bits(arena, arena_bits, l.words().data(), l.size_bits());
+    max_label_bits = std::max<std::uint64_t>(max_label_bits, l.size_bits());
+  }
+  const std::uint64_t num_blocks = anchors.size() / 2;
+  const std::uint64_t len_bits = len_writer.size_bits();
+  const std::uint64_t len_words = words_for_bits(len_bits);
+  arena.resize(words_for_bits(arena_bits), 0);
+
+  const std::uint64_t dir_bytes = 16 + 16 * num_blocks + 8 * len_words;
+  const std::uint64_t arena_bytes = 8 * arena.size();
+  const std::uint64_t scheme_len = meta.scheme.size();
+  const std::uint64_t meta_bytes = align8(4 + scheme_len) + 32;
+  const std::uint64_t dir_offset = kSnapshotHeaderBytes;
+  const std::uint64_t arena_offset = dir_offset + dir_bytes;
+  const std::uint64_t meta_offset = arena_offset + arena_bytes;
+
+  std::vector<std::uint8_t> file;
+  file.reserve(static_cast<std::size_t>(meta_offset + meta_bytes));
+  // Header.
+  file.insert(file.end(), kSnapshotMagic, kSnapshotMagic + 8);
+  put_u32(file, kSnapshotVersion);
+  put_u32(file, kSnapshotHeaderBytes);
+  put_u64(file, n);
+  put_u64(file, arena_bits);
+  put_u64(file, dir_offset);
+  put_u64(file, dir_bytes);
+  put_u64(file, arena_offset);
+  put_u64(file, arena_bytes);
+  put_u64(file, meta_offset);
+  put_u64(file, meta_bytes);
+  put_u32(file, kSnapshotBlockSize);
+  put_u32(file, 0);  // reserved
+  put_u64(file, 0);  // checksum, patched below
+  // Directory.
+  put_u32(file, static_cast<std::uint32_t>(num_blocks));
+  put_u32(file, 0);  // reserved
+  put_u64(file, len_bits);
+  for (const std::uint64_t a : anchors) put_u64(file, a);
+  for (std::uint64_t i = 0; i < len_words; ++i) {
+    put_u64(file, len_writer.words()[i]);
+  }
+  // Arena.
+  for (const std::uint64_t w : arena) put_u64(file, w);
+  // Metadata.
+  put_u32(file, static_cast<std::uint32_t>(scheme_len));
+  file.insert(file.end(), meta.scheme.begin(), meta.scheme.end());
+  file.resize(static_cast<std::size_t>(meta_offset + align8(4 + scheme_len)),
+              0);
+  put_u64(file, meta.root);
+  put_u64(file, meta.graph_vertices);
+  put_u64(file, meta.graph_edges);
+  put_u64(file, max_label_bits);
+  MSTV_ASSERT(file.size() == meta_offset + meta_bytes);
+
+  // Checksum covers everything except its own field.
+  std::uint64_t h = fnv1a64(kFnvOffset, file.data(), kSnapshotChecksumOffset);
+  h = fnv1a64(h, file.data() + kSnapshotHeaderBytes,
+              file.size() - kSnapshotHeaderBytes);
+  for (int i = 0; i < 8; ++i) {
+    file[kSnapshotChecksumOffset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((h >> (8 * i)) & 0xFF);
+  }
+
+  os.write(reinterpret_cast<const char*>(file.data()),
+           static_cast<std::streamsize>(file.size()));
+}
+
+std::uint64_t write_snapshot_file(const std::string& path,
+                                  const std::vector<Label>& labels,
+                                  const SnapshotMeta& meta) {
+  std::ofstream out(path, std::ios::binary);
+  MSTV_EXPECTS_MSG(static_cast<bool>(out),
+                   "cannot open snapshot file for writing");
+  write_snapshot(out, labels, meta);
+  out.flush();
+  MSTV_EXPECTS_MSG(static_cast<bool>(out), "snapshot write failed");
+  return static_cast<std::uint64_t>(out.tellp());
+}
+
+std::pair<std::size_t, std::size_t> LabelView::decode_block(
+    std::size_t b, std::vector<Label>& out) const {
+  MSTV_EXPECTS_MSG(b < blocks_, "snapshot block index out of range");
+  MSTV_EXPECTS(out.size() == n_);
+  const std::size_t first = b * block_;
+  const std::size_t last = std::min<std::size_t>(n_, first + block_);
+  std::uint64_t cursor = anchors_[2 * b];
+  const std::uint64_t len_anchor = anchors_[2 * b + 1];
+  BitReader lens(dir_words_, len_anchor, len_bits_ - len_anchor);
+  const std::uint64_t arena_words = words_for_bits(arena_bits_);
+  for (std::size_t v = first; v < last; ++v) {
+    const std::uint64_t len = lens.read_gamma0();
+    MSTV_EXPECTS_MSG(len <= kSnapshotMaxLabelBits &&
+                         len <= arena_bits_ - cursor,
+                     "snapshot arena overrun");
+    out[v] = Label(extract_bits(arena_words_, arena_words, cursor, len),
+                   static_cast<std::size_t>(len));
+    cursor += len;
+  }
+  MSTV_COUNTER_INC("store.decode_block_hits");
+  return {first, last};
+}
+
+Label LabelView::decode_one(std::size_t v) const {
+  MSTV_EXPECTS_MSG(v < n_, "snapshot label index out of range");
+  const std::size_t b = v / block_;
+  std::uint64_t cursor = anchors_[2 * b];
+  const std::uint64_t len_anchor = anchors_[2 * b + 1];
+  BitReader lens(dir_words_, len_anchor, len_bits_ - len_anchor);
+  const std::uint64_t arena_words = words_for_bits(arena_bits_);
+  for (std::size_t u = b * block_; u <= v; ++u) {
+    const std::uint64_t len = lens.read_gamma0();
+    MSTV_EXPECTS_MSG(len <= kSnapshotMaxLabelBits &&
+                         len <= arena_bits_ - cursor,
+                     "snapshot arena overrun");
+    if (u == v) {
+      return Label(extract_bits(arena_words_, arena_words, cursor, len),
+                   static_cast<std::size_t>(len));
+    }
+    cursor += len;
+  }
+  MSTV_ASSERT(false);  // unreachable
+  return Label{};
+}
+
+std::vector<Label> LabelView::decode_all() const {
+  MSTV_SPAN("store.decode");
+  std::vector<Label> out(n_);
+  // Blocks decode into disjoint contiguous ranges of `out`, so the result
+  // is bit-identical at any thread count (block boundaries depend only on
+  // (n, block_size), never on the schedule).
+  parallel::for_each_shard(blocks_, [&](const parallel::ShardRange& shard) {
+    for (std::size_t b = shard.begin; b < shard.end; ++b) {
+      decode_block(b, out);
+    }
+  });
+  return out;
+}
+
+LabelStore::LabelStore(MemorySource src) : source_(std::move(src)) {
+  const std::uint8_t* p = source_.data();
+  const std::uint64_t size = source_.size();
+
+  MSTV_EXPECTS_MSG(size >= kSnapshotHeaderBytes, "truncated snapshot header");
+  MSTV_EXPECTS_MSG(std::memcmp(p, kSnapshotMagic, 8) == 0,
+                   "not a label snapshot (bad magic)");
+  MSTV_EXPECTS_MSG(get_u32(p + 8) == kSnapshotVersion,
+                   "unsupported snapshot version");
+  MSTV_EXPECTS_MSG(get_u32(p + 12) == kSnapshotHeaderBytes,
+                   "bad snapshot header size");
+
+  const std::uint64_t n = get_u64(p + 16);
+  const std::uint64_t arena_bits = get_u64(p + 24);
+  MSTV_EXPECTS_MSG(n <= kSnapshotMaxLabels, "absurd label count");
+  MSTV_EXPECTS_MSG(arena_bits <= n * kSnapshotMaxLabelBits,
+                   "absurd arena size");
+
+  const std::uint64_t dir_offset = get_u64(p + 32);
+  const std::uint64_t dir_bytes = get_u64(p + 40);
+  const std::uint64_t arena_offset = get_u64(p + 48);
+  const std::uint64_t arena_bytes = get_u64(p + 56);
+  const std::uint64_t meta_offset = get_u64(p + 64);
+  const std::uint64_t meta_bytes = get_u64(p + 72);
+  const std::uint32_t block_size = get_u32(p + 80);
+  const auto section_ok = [size](std::uint64_t off, std::uint64_t bytes) {
+    return off >= kSnapshotHeaderBytes && off % 8 == 0 && off <= size &&
+           bytes <= size - off;
+  };
+  MSTV_EXPECTS_MSG(section_ok(dir_offset, dir_bytes) &&
+                       section_ok(arena_offset, arena_bytes) &&
+                       section_ok(meta_offset, meta_bytes),
+                   "snapshot section out of bounds");
+
+  // Integrity before structure: a flipped bit anywhere (outside the
+  // checksum field itself) is reported as corruption, not as whatever
+  // structural error it happens to masquerade as.
+  std::uint64_t h = fnv1a64(kFnvOffset, p, kSnapshotChecksumOffset);
+  h = fnv1a64(h, p + kSnapshotHeaderBytes,
+              static_cast<std::size_t>(size - kSnapshotHeaderBytes));
+  MSTV_EXPECTS_MSG(get_u64(p + kSnapshotChecksumOffset) == h,
+                   "snapshot checksum mismatch");
+
+  MSTV_EXPECTS_MSG(arena_bytes == 8 * words_for_bits(arena_bits),
+                   "snapshot arena size mismatch");
+  MSTV_EXPECTS_MSG(block_size >= 1, "bad snapshot block size");
+
+  // Directory structure.
+  MSTV_EXPECTS_MSG(dir_bytes >= 16, "truncated snapshot directory");
+  const std::uint8_t* d = p + dir_offset;
+  const std::uint64_t num_blocks = get_u32(d);
+  const std::uint64_t len_bits = get_u64(d + 8);
+  const std::uint64_t expected_blocks =
+      n == 0 ? 0 : (n + block_size - 1) / block_size;
+  MSTV_EXPECTS_MSG(num_blocks == expected_blocks,
+                   "snapshot directory block count mismatch");
+  MSTV_EXPECTS_MSG(len_bits <= 64 * (n + 1), "absurd length stream size");
+  MSTV_EXPECTS_MSG(dir_bytes ==
+                       16 + 16 * num_blocks + 8 * words_for_bits(len_bits),
+                   "snapshot directory size mismatch");
+
+  // The file image is 8-byte aligned (mmap is page-aligned, the heap
+  // buffer is allocator-aligned) and every section offset is a multiple
+  // of 8, so the directory and arena can be served as u64 words in place.
+  const auto* anchors = reinterpret_cast<const std::uint64_t*>(d + 16);
+  const auto* len_words =
+      reinterpret_cast<const std::uint64_t*>(d + 16 + 16 * num_blocks);
+  std::uint64_t prev_arena = 0;
+  std::uint64_t prev_len = 0;
+  for (std::uint64_t b = 0; b < num_blocks; ++b) {
+    const std::uint64_t a = anchors[2 * b];
+    const std::uint64_t l = anchors[2 * b + 1];
+    const bool in_bounds = a <= arena_bits && l <= len_bits;
+    const bool ordered = a >= prev_arena && l >= prev_len;
+    MSTV_EXPECTS_MSG(in_bounds && ordered && (b > 0 || (a == 0 && l == 0)),
+                     "snapshot directory anchor out of bounds");
+    prev_arena = a;
+    prev_len = l;
+  }
+
+  // Metadata structure.
+  MSTV_EXPECTS_MSG(meta_bytes >= 40, "truncated snapshot metadata");
+  const std::uint8_t* m = p + meta_offset;
+  const std::uint64_t scheme_len = get_u32(m);
+  MSTV_EXPECTS_MSG(align8(4 + scheme_len) + 32 == meta_bytes,
+                   "snapshot metadata size mismatch");
+  meta_.scheme.assign(reinterpret_cast<const char*>(m + 4),
+                      static_cast<std::size_t>(scheme_len));
+  const std::uint8_t* tail = m + align8(4 + scheme_len);
+  meta_.root = get_u64(tail);
+  meta_.graph_vertices = get_u64(tail + 8);
+  meta_.graph_edges = get_u64(tail + 16);
+  meta_.max_label_bits = get_u64(tail + 24);
+
+  view_.dir_words_ = len_words;
+  view_.len_bits_ = len_bits;
+  view_.anchors_ = anchors;
+  view_.arena_words_ = reinterpret_cast<const std::uint64_t*>(p + arena_offset);
+  view_.arena_bits_ = arena_bits;
+  view_.n_ = static_cast<std::size_t>(n);
+  view_.block_ = block_size;
+  view_.blocks_ = static_cast<std::size_t>(num_blocks);
+
+  MSTV_GAUGE_SET("store.bytes_per_label",
+                 n == 0 ? 0.0
+                        : static_cast<double>(size) / static_cast<double>(n));
+}
+
+LabelStore LabelStore::open(const std::string& path, bool prefer_mmap) {
+  MSTV_SPAN("store.load");
+#ifndef MSTV_OBS_DISABLED
+  const double t0 = obs::Tracer::global().now_us();
+#endif
+  LabelStore s(prefer_mmap ? MemorySource::map_file(path)
+                           : MemorySource::read_file(path));
+#ifndef MSTV_OBS_DISABLED
+  MSTV_GAUGE_SET("store.load_us", obs::Tracer::global().now_us() - t0);
+#endif
+  return s;
+}
+
+}  // namespace mstv::store

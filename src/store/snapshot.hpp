@@ -1,0 +1,169 @@
+// Immutable on-disk label snapshots: write once after mark(), serve
+// forever by mmap.
+//
+// The paper's lifecycle is "mark once (centralized), verify forever
+// (local)", which makes a label set the same shape as a search-engine
+// posting index: write-once, read-millions.  This module is the storage
+// layer for that read side.  A snapshot file is
+//
+//   header (96 bytes: magic, version, section table, checksum)
+//   offset directory (per-block arena/length-stream anchors +
+//                     Elias-gamma-coded per-label bit lengths)
+//   label arena (every label's bits concatenated, LSB-first, unpadded)
+//   metadata (scheme name, root, graph shape, max label bits)
+//
+// and is fully specified, byte by byte, in docs/label_format.md
+// ("Snapshot container format") — a third party can implement a reader
+// from that document alone.  Operational rules (mmap lifetime, failure
+// modes, version policy) live in docs/store.md.
+//
+// Design points:
+//
+//  * Zero parse cost at load.  `LabelStore::open` validates the header,
+//    checksum and directory bounds — O(file) byte scanning but no
+//    per-label decoding — and then serves the arena in place from the
+//    MemorySource.  Per-label work happens only when a block is decoded.
+//  * Succinct framing.  The wire format (labeling/wire.hpp) spends
+//    64 + 64·ceil(bits/64) framing bits per label; the snapshot spends
+//    the label's exact bit count in the arena plus an Elias-gamma code
+//    of that count (2·floor(log2(bits+1))+1 bits) in the directory —
+//    bytes/label strictly below the wire encoding (gated by
+//    bench_label_store).
+//  * Block decode.  Labels are grouped in blocks of `block_size`
+//    (default 64); `LabelView::decode_block` materialises one block with
+//    a single directory cursor instead of a per-label seek, and
+//    `decode_all` shards whole blocks across the thread pool —
+//    bit-identical output at any thread count because block boundaries
+//    depend only on (n, block_size).
+//
+// Telemetry (docs/observability.md): counter store.decode_block_hits,
+// gauges store.bytes_per_label / store.load_us, spans store.load /
+// store.decode.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "labeling/label.hpp"
+#include "store/memory_source.hpp"
+
+namespace mstv::store {
+
+// ---- format constants (normative; docs/label_format.md) ----
+
+/// First eight bytes of every snapshot file.
+inline constexpr char kSnapshotMagic[8] = {'M', 'S', 'T', 'V',
+                                           'S', 'N', 'A', 'P'};
+/// The only version this reader understands; bump policy in docs/store.md.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Fixed header size; sections start at the next 8-byte boundary (96).
+inline constexpr std::uint32_t kSnapshotHeaderBytes = 96;
+/// Byte offset of the u64 FNV-1a checksum inside the header.
+inline constexpr std::size_t kSnapshotChecksumOffset = 88;
+/// Labels per directory block written by `write_snapshot`.
+inline constexpr std::uint32_t kSnapshotBlockSize = 64;
+/// Caps mirroring labeling/wire.cpp, so a corrupt header cannot drive
+/// allocation: at most 2^28 labels of at most 2^30 bits each.
+inline constexpr std::uint64_t kSnapshotMaxLabels = 1u << 28;
+inline constexpr std::uint64_t kSnapshotMaxLabelBits = 1u << 30;
+
+/// Per-scheme metadata carried in the snapshot's meta section: enough to
+/// reject a snapshot mounted against the wrong scheme or graph before
+/// any label is decoded.
+struct SnapshotMeta {
+  std::string scheme;                // ProofLabelingScheme::name()
+  std::uint64_t root = 0;            // root vertex the config was built with
+  std::uint64_t graph_vertices = 0;  // n of the marked graph
+  std::uint64_t graph_edges = 0;     // m of the marked graph
+  std::uint64_t max_label_bits = 0;  // filled by the writer from the labels
+};
+
+/// Serializes `labels` + `meta` as a version-1 snapshot.  Byte-for-byte
+/// deterministic in its inputs (no timestamps, no thread-count
+/// dependence): equal labels and meta always produce equal files.
+void write_snapshot(std::ostream& os, const std::vector<Label>& labels,
+                    const SnapshotMeta& meta);
+
+/// write_snapshot into `path`; returns the file size in bytes.  Throws
+/// PreconditionError if the file cannot be opened or written.
+std::uint64_t write_snapshot_file(const std::string& path,
+                                  const std::vector<Label>& labels,
+                                  const SnapshotMeta& meta);
+
+/// Non-owning view over a validated snapshot's directory and arena — the
+/// batch-decode surface.  Lifetime: a LabelView is only valid while the
+/// LabelStore (and its MemorySource) that produced it is alive.
+class LabelView {
+ public:
+  /// Number of labels in the snapshot.
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t block_size() const noexcept { return block_; }
+  [[nodiscard]] std::size_t num_blocks() const noexcept { return blocks_; }
+
+  /// Decodes block `b` into `out[first..last)` where [first, last) is the
+  /// returned label range; `out` must already have size() elements.
+  /// One directory cursor per block, no per-label seeks.  Throws
+  /// PreconditionError if the block's codes overrun their section.
+  std::pair<std::size_t, std::size_t> decode_block(
+      std::size_t b, std::vector<Label>& out) const;
+
+  /// Random access to one label: seeks within its block.
+  [[nodiscard]] Label decode_one(std::size_t v) const;
+
+  /// Decodes every block, sharded over the thread pool; bit-identical
+  /// output at any thread count.
+  [[nodiscard]] std::vector<Label> decode_all() const;
+
+ private:
+  friend class LabelStore;
+
+  const std::uint64_t* dir_words_ = nullptr;    // length-stream words
+  std::uint64_t len_bits_ = 0;                  // length-stream bit count
+  const std::uint64_t* anchors_ = nullptr;      // 2 u64 per block
+  const std::uint64_t* arena_words_ = nullptr;  // label arena
+  std::uint64_t arena_bits_ = 0;
+  std::size_t n_ = 0;
+  std::uint32_t block_ = 1;
+  std::size_t blocks_ = 0;
+};
+
+/// An opened, validated snapshot.  Construction performs every integrity
+/// check (magic, version, section bounds, checksum, directory anchors)
+/// and throws PreconditionError on any violation; afterwards the arena
+/// is served in place from the MemorySource with no further copying.
+class LabelStore {
+ public:
+  /// Validates `src` as a snapshot image and takes ownership of it.
+  explicit LabelStore(MemorySource src);
+
+  /// Opens `path` via mmap (default) or a heap read, then validates.
+  /// Records store.load_us / store.bytes_per_label telemetry.
+  [[nodiscard]] static LabelStore open(const std::string& path,
+                                       bool prefer_mmap = true);
+
+  /// Number of labels.
+  [[nodiscard]] std::size_t size() const noexcept { return view_.size(); }
+  [[nodiscard]] const SnapshotMeta& meta() const noexcept { return meta_; }
+  [[nodiscard]] const LabelView& labels() const noexcept { return view_; }
+  [[nodiscard]] std::size_t file_bytes() const noexcept {
+    return source_.size();
+  }
+  [[nodiscard]] MemorySource::Backing backing() const noexcept {
+    return source_.backing();
+  }
+
+  /// Convenience forwarders to the view.
+  [[nodiscard]] std::vector<Label> decode_all() const {
+    return view_.decode_all();
+  }
+
+ private:
+  MemorySource source_;
+  LabelView view_;
+  SnapshotMeta meta_;
+};
+
+}  // namespace mstv::store

@@ -50,10 +50,11 @@ void BitWriter::write_delta(std::uint64_t v) {
 
 bool BitReader::read_bit() {
   MSTV_EXPECTS_MSG(pos_ < nbits_, "bitstream exhausted");
-  const std::size_t word = pos_ >> 6;
-  const std::size_t off = pos_ & 63;
+  const std::size_t bit = start_ + pos_;
+  const std::size_t word = bit >> 6;
+  const std::size_t off = bit & 63;
   ++pos_;
-  return (((*words_)[word] >> off) & 1) != 0;
+  return ((words_[word] >> off) & 1) != 0;
 }
 
 std::uint64_t BitReader::read_uint(int width) {

@@ -77,10 +77,24 @@ class BitWriter {
 };
 
 /// Sequential reader over the bits produced by a BitWriter.
+///
+/// Two constructions: over a vector (the in-memory Label path) or over a
+/// raw word array plus a start bit (the snapshot path, src/store/ — the
+/// arena and length streams of a mapped snapshot are read in place, so
+/// the reader must be able to begin mid-word at an arbitrary bit
+/// offset).  `position()`/`remaining()` always count relative to the
+/// construction point, whichever constructor was used.
 class BitReader {
  public:
   BitReader(const std::vector<std::uint64_t>& words, std::size_t nbits)
-      : words_(&words), nbits_(nbits) {}
+      : words_(words.data()), start_(0), nbits_(nbits), pos_(0) {}
+
+  /// Reads `nbits` bits starting at absolute bit `start_bit` of the
+  /// LSB-first word array `words` (which must span at least
+  /// ceil((start_bit + nbits) / 64) words).
+  BitReader(const std::uint64_t* words, std::size_t start_bit,
+            std::size_t nbits)
+      : words_(words), start_(start_bit), nbits_(nbits), pos_(0) {}
 
   [[nodiscard]] std::uint64_t read_uint(int width);
   [[nodiscard]] std::uint64_t read_unary();
@@ -95,9 +109,10 @@ class BitReader {
   [[nodiscard]] bool exhausted() const noexcept { return pos_ == nbits_; }
 
  private:
-  const std::vector<std::uint64_t>* words_;
-  std::size_t nbits_;
-  std::size_t pos_ = 0;
+  const std::uint64_t* words_;
+  std::size_t start_;  // absolute bit offset of position() == 0
+  std::size_t nbits_;  // readable bits from start_
+  std::size_t pos_;    // bits consumed since construction
 };
 
 /// Size in bits of the Elias gamma code of v (v >= 1).

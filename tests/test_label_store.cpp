@@ -1,0 +1,463 @@
+// src/store/ — snapshot container round trips, corruption rejection,
+// backing equivalence, and store-served verifier parity.
+//
+// The container format under test is normative in docs/label_format.md
+// ("Snapshot container format"); the FNV-1a constants reimplemented here
+// are an independent check that the written bytes match that document,
+// not just that the writer agrees with its own reader.
+#include "store/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "plscheme/gamma_scheme.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "plscheme/runner.hpp"
+#include "plscheme/spanning_tree_scheme.hpp"
+#include "store/memory_source.hpp"
+#include "tree/path_queries.hpp"
+
+namespace mstv {
+namespace {
+
+// Independent FNV-1a 64 per docs/label_format.md (not the library's).
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a64(std::uint64_t h, const std::uint8_t* p,
+                      std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> snapshot_image(const std::vector<Label>& labels,
+                                         const store::SnapshotMeta& meta) {
+  std::ostringstream os;
+  store::write_snapshot(os, labels, meta);
+  const std::string s = os.str();
+  return {s.begin(), s.end()};
+}
+
+/// Re-stamps the header checksum after a deliberate patch, so a test can
+/// reach the structural validation behind the integrity check.
+void restamp_checksum(std::vector<std::uint8_t>& img) {
+  std::uint64_t h = fnv1a64(kFnvOffset, img.data(),
+                            store::kSnapshotChecksumOffset);
+  h = fnv1a64(h, img.data() + store::kSnapshotHeaderBytes,
+              img.size() - store::kSnapshotHeaderBytes);
+  for (int i = 0; i < 8; ++i) {
+    img[store::kSnapshotChecksumOffset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((h >> (8 * i)) & 0xFF);
+  }
+}
+
+void put_u64_at(std::vector<std::uint8_t>& img, std::size_t off,
+                std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    img[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+store::LabelStore open_image(std::vector<std::uint8_t> img) {
+  return store::LabelStore(store::MemorySource::from_bytes(std::move(img)));
+}
+
+ConfigGraph mst_config(std::uint64_t seed, std::size_t n, Graph& storage) {
+  Rng rng(seed);
+  WeightOptions wo;
+  wo.max_weight = 1u << 20;
+  storage = random_connected_graph(n, 2 * n, wo, rng);
+  return make_tree_config(storage, kruskal_mst(storage), 0);
+}
+
+/// Same construction as test_gamma_scheme.cpp: payloads are the implicit
+/// labels of a perfect member of Gamma.
+ConfigGraph gamma_config(const Graph& tree_graph, VertexId root,
+                         const ExtremaLabelingScheme& imp) {
+  const RootedTree tree(tree_graph, root);
+  const SeparatorDecomposition sd = perfect_separator_decomposition(tree);
+  const auto imps = imp.encode(tree, sd);
+  std::vector<State> states(tree_graph.num_vertices());
+  for (VertexId v = 0; v < tree_graph.num_vertices(); ++v) {
+    states[v].id = v;
+    if (!tree.is_root(v)) states[v].parent_port = tree.parent_port(v);
+    states[v].payload = imp.to_bits(imps[v]);
+  }
+  return ConfigGraph(tree_graph, std::move(states));
+}
+
+std::vector<Label> marked_labels(Graph& storage) {
+  const ConfigGraph cfg = mst_config(901, 150, storage);
+  const MstScheme scheme;
+  return scheme.mark(cfg);
+}
+
+TEST(LabelStore, RoundTripPreservesEveryLabelAndMeta) {
+  Graph g;
+  ConfigGraph cfg = mst_config(901, 150, g);
+  const MstScheme scheme;
+  const auto labels = scheme.mark(cfg);
+
+  store::SnapshotMeta meta;
+  meta.scheme = scheme.name();
+  meta.root = 0;
+  meta.graph_vertices = g.num_vertices();
+  meta.graph_edges = g.num_edges();
+  const store::LabelStore snap = open_image(snapshot_image(labels, meta));
+
+  ASSERT_EQ(snap.size(), labels.size());
+  const auto back = snap.decode_all();
+  ASSERT_EQ(back.size(), labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(back[i], labels[i]) << "label " << i;
+  }
+  // decode_one agrees with the batch path at block starts, interiors and
+  // the ragged tail.
+  for (const std::size_t v : {std::size_t{0}, std::size_t{63}, std::size_t{64},
+                              std::size_t{100}, labels.size() - 1}) {
+    EXPECT_EQ(snap.labels().decode_one(v), labels[v]) << "vertex " << v;
+  }
+  EXPECT_EQ(snap.meta().scheme, scheme.name());
+  EXPECT_EQ(snap.meta().graph_vertices, g.num_vertices());
+  EXPECT_EQ(snap.meta().graph_edges, g.num_edges());
+  std::size_t max_bits = 0;
+  for (const auto& l : labels) max_bits = std::max(max_bits, l.size_bits());
+  EXPECT_EQ(snap.meta().max_label_bits, max_bits);
+}
+
+TEST(LabelStore, RoundTripEmptyAndOddSizes) {
+  // Zero labels: header + empty directory + empty arena + meta.
+  {
+    const store::LabelStore snap =
+        open_image(snapshot_image({}, store::SnapshotMeta{}));
+    EXPECT_EQ(snap.size(), 0u);
+    EXPECT_TRUE(snap.decode_all().empty());
+  }
+  // Degenerate bit widths: 0, 1, 64 and 65 bits (word-boundary spills).
+  std::vector<Label> labels;
+  labels.emplace_back();
+  BitWriter w1;
+  w1.write_bit(true);
+  labels.emplace_back(w1);
+  BitWriter w64;
+  w64.write_uint(~std::uint64_t{0}, 64);
+  labels.emplace_back(w64);
+  BitWriter w65;
+  w65.write_uint(~std::uint64_t{0}, 64);
+  w65.write_bit(true);
+  labels.emplace_back(w65);
+  const store::LabelStore snap =
+      open_image(snapshot_image(labels, store::SnapshotMeta{}));
+  const auto back = snap.decode_all();
+  ASSERT_EQ(back.size(), labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(back[i], labels[i]) << "label " << i;
+  }
+}
+
+TEST(LabelStore, ChecksumFieldMatchesSpecConstants) {
+  // The checksum the writer stamps must equal FNV-1a64 with the offset
+  // basis / prime fixed in docs/label_format.md, folded over [0, 88) then
+  // [96, EOF) — recomputed here from scratch.
+  Graph g;
+  const auto labels = marked_labels(g);
+  auto img = snapshot_image(labels, store::SnapshotMeta{.scheme = "pi-mst"});
+  std::uint64_t expect = fnv1a64(kFnvOffset, img.data(),
+                                 store::kSnapshotChecksumOffset);
+  expect = fnv1a64(expect, img.data() + store::kSnapshotHeaderBytes,
+                   img.size() - store::kSnapshotHeaderBytes);
+  std::uint64_t stored = 0;
+  for (int i = 7; i >= 0; --i) {
+    stored = (stored << 8) | img[store::kSnapshotChecksumOffset +
+                                 static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(stored, expect);
+}
+
+TEST(LabelStore, RejectsEveryTruncationPoint) {
+  std::vector<Label> labels;
+  BitWriter w;
+  w.write_uint(0xFEEDBEEF, 32);
+  labels.emplace_back(w);
+  BitWriter w2;
+  w2.write_uint(~std::uint64_t{0}, 64);
+  w2.write_uint(0x5A, 8);
+  labels.emplace_back(w2);
+  const auto img =
+      snapshot_image(labels, store::SnapshotMeta{.scheme = "pi-mst"});
+
+  // Every proper prefix must throw — header truncations (< 96 bytes) via
+  // the header guard, body truncations via section bounds or checksum.
+  for (std::size_t keep = 0; keep < img.size(); ++keep) {
+    std::vector<std::uint8_t> cut(img.begin(),
+                                  img.begin() + static_cast<long>(keep));
+    EXPECT_THROW((void)open_image(std::move(cut)), PreconditionError)
+        << "prefix of " << keep << " bytes accepted";
+  }
+  EXPECT_EQ(open_image(img).size(), labels.size());
+}
+
+TEST(LabelStore, RejectsBadMagicVersionAndHeaderSize) {
+  std::vector<Label> labels;
+  BitWriter w;
+  w.write_uint(0xAB, 8);
+  labels.emplace_back(w);
+  const auto img = snapshot_image(labels, store::SnapshotMeta{});
+
+  {
+    auto bad = img;
+    bad[0] = 'X';  // magic
+    EXPECT_THROW((void)open_image(std::move(bad)), PreconditionError);
+  }
+  {
+    auto bad = img;
+    bad[8] = 2;  // version (checked before the checksum)
+    EXPECT_THROW((void)open_image(std::move(bad)), PreconditionError);
+  }
+  {
+    auto bad = img;
+    bad[12] = 104;  // header_bytes
+    EXPECT_THROW((void)open_image(std::move(bad)), PreconditionError);
+  }
+}
+
+TEST(LabelStore, RejectsChecksumMismatchAnywhere) {
+  std::vector<Label> labels;
+  BitWriter w;
+  w.write_uint(0x1234, 16);
+  labels.emplace_back(w);
+  const auto img = snapshot_image(labels, store::SnapshotMeta{});
+
+  // One flipped bit in each section — header field, directory, arena,
+  // metadata — must surface as corruption.
+  for (const std::size_t off :
+       {std::size_t{16}, std::size_t{100}, img.size() - 40, img.size() - 1}) {
+    auto bad = img;
+    bad[off] ^= 0x40;
+    EXPECT_THROW((void)open_image(std::move(bad)), PreconditionError)
+        << "flip at byte " << off << " accepted";
+  }
+}
+
+TEST(LabelStore, RejectsAbsurdCountsBehindValidChecksum) {
+  std::vector<Label> labels;
+  BitWriter w;
+  w.write_uint(0x77, 8);
+  labels.emplace_back(w);
+  const auto img = snapshot_image(labels, store::SnapshotMeta{});
+
+  {
+    // label_count past the 2^28 cap: the count guard fires, no allocation.
+    auto bad = img;
+    put_u64_at(bad, 16, (std::uint64_t{1} << 28) + 1);
+    restamp_checksum(bad);
+    EXPECT_THROW((void)open_image(std::move(bad)), PreconditionError);
+  }
+  {
+    // arena_bits beyond n * max label bits.
+    auto bad = img;
+    put_u64_at(bad, 24, ~std::uint64_t{0});
+    restamp_checksum(bad);
+    EXPECT_THROW((void)open_image(std::move(bad)), PreconditionError);
+  }
+}
+
+TEST(LabelStore, RejectsSectionAndAnchorOutOfBounds) {
+  Graph g;
+  const auto labels = marked_labels(g);
+  const auto img = snapshot_image(labels, store::SnapshotMeta{});
+
+  {
+    // Directory offset pointing past EOF (8-aligned, so only the bounds
+    // clause can reject it).
+    auto bad = img;
+    put_u64_at(bad, 32, (img.size() + 15) & ~std::uint64_t{7});
+    restamp_checksum(bad);
+    EXPECT_THROW((void)open_image(std::move(bad)), PreconditionError);
+  }
+  {
+    // Misaligned arena offset.
+    auto bad = img;
+    put_u64_at(bad, 48, 100);
+    restamp_checksum(bad);
+    EXPECT_THROW((void)open_image(std::move(bad)), PreconditionError);
+  }
+  {
+    // Second block's arena anchor beyond arena_bits: caught by the anchor
+    // sweep before any decode dereferences it.
+    ASSERT_GT(labels.size(), store::kSnapshotBlockSize);  // >= 2 blocks
+    auto bad = img;
+    const std::size_t anchor2 = store::kSnapshotHeaderBytes + 16 + 16;
+    put_u64_at(bad, anchor2, ~std::uint64_t{0});
+    restamp_checksum(bad);
+    EXPECT_THROW((void)open_image(std::move(bad)), PreconditionError);
+  }
+  {
+    // Directory block count disagreeing with ceil(n / block_size).
+    auto bad = img;
+    bad[store::kSnapshotHeaderBytes] ^= 0x01;
+    restamp_checksum(bad);
+    EXPECT_THROW((void)open_image(std::move(bad)), PreconditionError);
+  }
+}
+
+TEST(LabelStore, MmapAndHeapBackingsServeIdenticalLabels) {
+  Graph g;
+  const auto labels = marked_labels(g);
+  const std::string path = "/tmp/mstv_test_label_store_backing.snap";
+  store::SnapshotMeta meta;
+  meta.scheme = "pi-mst";
+  const std::uint64_t bytes = store::write_snapshot_file(path, labels, meta);
+
+  const store::LabelStore mapped = store::LabelStore::open(path, true);
+  const store::LabelStore heaped = store::LabelStore::open(path, false);
+  std::remove(path.c_str());
+
+  // map_file may legitimately fall back to Buffer; read_file never mmaps.
+  EXPECT_EQ(heaped.backing(), store::MemorySource::Backing::Buffer);
+  EXPECT_EQ(mapped.file_bytes(), bytes);
+  EXPECT_EQ(heaped.file_bytes(), bytes);
+  const auto a = mapped.decode_all();
+  const auto b = heaped.decode_all();
+  ASSERT_EQ(a.size(), labels.size());
+  ASSERT_EQ(b.size(), labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(a[i], labels[i]);
+    EXPECT_EQ(b[i], labels[i]);
+  }
+}
+
+TEST(LabelStore, WriterAndDecoderAreThreadCountInvariant) {
+  const std::size_t restore = parallel::thread_count();
+  Graph g1, g8;
+  const MstScheme scheme;
+
+  parallel::set_thread_count(8);
+  ConfigGraph cfg8 = mst_config(902, 300, g8);
+  const auto img8 =
+      snapshot_image(scheme.mark(cfg8), store::SnapshotMeta{.scheme = "pi-mst"});
+  const auto dec8 = open_image(img8).decode_all();
+
+  parallel::set_thread_count(1);
+  ConfigGraph cfg1 = mst_config(902, 300, g1);
+  const auto img1 =
+      snapshot_image(scheme.mark(cfg1), store::SnapshotMeta{.scheme = "pi-mst"});
+  const auto dec1 = open_image(img1).decode_all();
+
+  parallel::set_thread_count(restore);
+  // mark() at 8 threads and 1 thread must serialize to the same bytes...
+  EXPECT_EQ(img1, img8);
+  // ...and block decode must be schedule-independent.
+  EXPECT_EQ(dec1, dec8);
+}
+
+TEST(LabelStore, VerifierParityAcrossSchemes) {
+  // For each scheme: verdict AND rejector set from the snapshot path must
+  // be identical to the in-memory path — on genuine labels and on a
+  // tampered set.
+  Rng rng(77);
+  WeightOptions wo;
+  wo.max_weight = 1u << 12;
+
+  const auto check_parity = [](const ProofLabelingScheme& scheme,
+                               const ConfigGraph& cfg,
+                               const std::vector<Label>& labels) {
+    const store::LabelStore snap = open_image(
+        snapshot_image(labels, store::SnapshotMeta{.scheme = "x"}));
+    const VerificationResult mem = run_verifier(scheme, cfg, labels);
+    const VerificationResult st = run_verifier(scheme, cfg, snap);
+    EXPECT_EQ(st.accepted, mem.accepted);
+    EXPECT_EQ(st.rejecting, mem.rejecting);
+    return mem.accepted;
+  };
+  const auto tampered = [](std::vector<Label> labels, Rng& r) {
+    const std::size_t victim = r.index(labels.size());
+    if (labels[victim].size_bits() > 0) {
+      labels[victim] =
+          labels[victim].with_bit_flipped(r.index(labels[victim].size_bits()));
+    }
+    return labels;
+  };
+
+  {
+    const MstScheme scheme;
+    Graph g;
+    ConfigGraph cfg = mst_config(903, 60, g);
+    const auto labels = scheme.mark(cfg);
+    EXPECT_TRUE(check_parity(scheme, cfg, labels));
+    check_parity(scheme, cfg, tampered(labels, rng));
+  }
+  {
+    const SpanningTreeScheme scheme;
+    Graph g;
+    ConfigGraph cfg = mst_config(904, 60, g);
+    const auto labels = scheme.mark(cfg);
+    EXPECT_TRUE(check_parity(scheme, cfg, labels));
+    check_parity(scheme, cfg, tampered(labels, rng));
+  }
+  {
+    const GammaScheme scheme;
+    const Graph g = random_tree(60, wo, rng);
+    ConfigGraph cfg = gamma_config(g, 0, scheme.implicit_scheme());
+    const auto labels = scheme.mark(cfg);
+    EXPECT_TRUE(check_parity(scheme, cfg, labels));
+    check_parity(scheme, cfg, tampered(labels, rng));
+  }
+}
+
+TEST(LabelStore, RunVerifierRejectsCountMismatch) {
+  const MstScheme scheme;
+  Graph g_small, g_big;
+  ConfigGraph small = mst_config(905, 20, g_small);
+  ConfigGraph big = mst_config(905, 21, g_big);
+  const auto labels = scheme.mark(small);
+  const store::LabelStore snap = open_image(
+      snapshot_image(labels, store::SnapshotMeta{.scheme = "pi-mst"}));
+  EXPECT_THROW((void)run_verifier(scheme, big, snap), PreconditionError);
+}
+
+TEST(LabelStore, DecodeRangeChecks) {
+  std::vector<Label> labels;
+  BitWriter w;
+  w.write_uint(0x3, 2);
+  labels.emplace_back(w);
+  const store::LabelStore snap =
+      open_image(snapshot_image(labels, store::SnapshotMeta{}));
+  EXPECT_THROW((void)snap.labels().decode_one(1), PreconditionError);
+  std::vector<Label> out(1);
+  EXPECT_THROW((void)snap.labels().decode_block(1, out), PreconditionError);
+  std::vector<Label> wrong_size;
+  EXPECT_THROW((void)snap.labels().decode_block(0, wrong_size),
+               PreconditionError);
+}
+
+#ifndef MSTV_OBS_DISABLED
+TEST(LabelStore, DecodeBlockHitsCounter) {
+  Graph g;
+  const auto labels = marked_labels(g);
+  const store::LabelStore snap =
+      open_image(snapshot_image(labels, store::SnapshotMeta{}));
+  auto& counter =
+      obs::Registry::global().counter("store.decode_block_hits");
+  const std::uint64_t before = counter.value();
+  (void)snap.decode_all();
+  EXPECT_EQ(counter.value() - before, snap.labels().num_blocks());
+}
+#endif
+
+}  // namespace
+}  // namespace mstv

@@ -10,10 +10,13 @@
 //                                        print label statistics
 //   sensitivity < graph                  per-edge sensitivities of the MST
 //   selfstab <ticks> <fault%> < graph    run the self-stabilizing monitor
-//   mark <labels.bin> [--scheme S] < graph
-//                                        compute MST, write labels to file
-//   check <labels.bin> [--scheme S] < graph
+//   mark [labels.bin] [--scheme S] [--snapshot-out=FILE] < graph
+//                                        compute MST, write labels to the
+//                                        wire file and/or an mmap-served
+//                                        snapshot (docs/store.md)
+//   check (<labels.bin> | --snapshot=FILE) [--scheme S] < graph
 //                                        verify graph against stored labels
+//                                        (wire file or label snapshot)
 //   dot < graph                          Graphviz with the MST highlighted
 //   hypertree <h> <mu>                   emit an (h,mu)-hypertree edge list
 //
@@ -53,8 +56,13 @@
 #include "obs/trace_session.hpp"
 #include "parallel/parallel_for.hpp"
 #include "plscheme/fragment_scheme.hpp"
+#include "plscheme/gamma_scheme.hpp"
 #include "plscheme/mst_scheme.hpp"
 #include "plscheme/runner.hpp"
+#include "plscheme/spanning_tree_scheme.hpp"
+#include "store/snapshot.hpp"
+#include "tree/centroid.hpp"
+#include "tree/rooted_tree.hpp"
 #include "runtime/network.hpp"
 #include "runtime/self_stabilization.hpp"
 #include "sensitivity/sensitivity.hpp"
@@ -86,9 +94,12 @@ int usage() {
       "usage: mstv [--stats[=FILE]] <command> [args]\n"
       "  gen <n> <extra> <maxw> [seed]   random connected graph to stdout\n"
       "  mst                             MST of stdin graph\n"
-      "  verify [--scheme mst|mst-naive|frag] [--root R]\n"
-      "  mark <file> [--scheme S]        compute MST, store labels\n"
-      "  check <file> [--scheme S]       verify against stored labels\n"
+      "  verify [--scheme mst|mst-naive|frag|gamma|st] [--root R]\n"
+      "  mark [file] [--scheme S] [--snapshot-out=FILE]\n"
+      "                                  compute MST, store labels (wire\n"
+      "                                  file and/or mmap-served snapshot)\n"
+      "  check (<file> | --snapshot=FILE) [--scheme S]\n"
+      "                                  verify against stored labels\n"
       "  sensitivity                     per-edge tolerances of the MST\n"
       "  selfstab <ticks> <fault%%>       self-stabilizing monitor\n"
       "  dot                             Graphviz, MST bold\n"
@@ -143,7 +154,54 @@ std::unique_ptr<ProofLabelingScheme> make_scheme(const std::string& name) {
     return std::make_unique<MstScheme>(SepCoding::FixedWidth);
   }
   if (name == "frag") return std::make_unique<FragmentScheme>();
+  if (name == "gamma") return std::make_unique<GammaScheme>();
+  if (name == "st" || name == "spanning-tree") {
+    return std::make_unique<SpanningTreeScheme>();
+  }
   return nullptr;
+}
+
+// The configuration a scheme runs over, plus whatever must outlive it.
+// pi-Gamma is a problem about *tree* configurations (the states must be
+// the labels of some member of the family Gamma), so for `gamma` the
+// config lives on the MST-as-a-graph, which the world owns; every other
+// scheme's config points at the input graph itself.  Construction is
+// fully deterministic (Kruskal edge order, no port shuffle), so mark and
+// check rebuild bit-identical configurations from the same input.
+struct SchemeWorld {
+  std::unique_ptr<Graph> tree_graph;  // gamma only
+  std::unique_ptr<ConfigGraph> cfg;
+  const Graph* cfg_graph = nullptr;  // the graph `cfg` is built over
+};
+
+SchemeWorld make_scheme_world(const ProofLabelingScheme& scheme,
+                              const std::string& scheme_name, const Graph& g,
+                              VertexId root) {
+  SchemeWorld w;
+  const auto mst = kruskal_mst(g);
+  if (scheme_name == "gamma") {
+    Graph::Builder b(g.num_vertices());
+    for (const EdgeId e : mst) {
+      b.add_edge(g.edge(e).u, g.edge(e).v, g.edge(e).w);
+    }
+    w.tree_graph = std::make_unique<Graph>(b.build());
+    const auto& gs = static_cast<const GammaScheme&>(scheme);
+    const RootedTree tree(*w.tree_graph, root);
+    const SeparatorDecomposition sd = perfect_separator_decomposition(tree);
+    const auto imps = gs.implicit_scheme().encode(tree, sd);
+    std::vector<State> states(w.tree_graph->num_vertices());
+    for (VertexId v = 0; v < w.tree_graph->num_vertices(); ++v) {
+      states[v].id = v;
+      if (!tree.is_root(v)) states[v].parent_port = tree.parent_port(v);
+      states[v].payload = gs.implicit_scheme().to_bits(imps[v]);
+    }
+    w.cfg = std::make_unique<ConfigGraph>(*w.tree_graph, std::move(states));
+    w.cfg_graph = w.tree_graph.get();
+  } else {
+    w.cfg = std::make_unique<ConfigGraph>(make_tree_config(g, mst, root));
+    w.cfg_graph = &g;
+  }
+  return w;
 }
 
 int cmd_verify(int argc, char** argv) {
@@ -162,13 +220,12 @@ int cmd_verify(int argc, char** argv) {
   if (!scheme) return usage();
 
   const Graph g = read_edge_list(std::cin);
-  const auto mst = kruskal_mst(g);
-  ConfigGraph cfg = make_tree_config(g, mst, root);
+  const SchemeWorld world = make_scheme_world(*scheme, scheme_name, g, root);
 
   // Run through the simulated network (not mark_and_verify directly) so
   // the round is a real message exchange: the communication ledger gets
   // its per-round row, which --audit-bounds checks against the paper.
-  SimNetwork net(std::move(cfg), *scheme);
+  SimNetwork net(std::move(*world.cfg), *scheme);
   net.install_marker_labels();
   const RoundStats round = net.verification_round();
 
@@ -199,50 +256,105 @@ int cmd_verify(int argc, char** argv) {
 }
 
 int cmd_mark(int argc, char** argv) {
-  if (argc < 1) return usage();
   std::string scheme_name = "mst";
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--scheme") == 0) scheme_name = argv[i + 1];
+  std::string wire_file;
+  std::string snapshot_file;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--scheme" && i + 1 < argc) {
+      scheme_name = argv[++i];
+    } else if (a.rfind("--snapshot-out=", 0) == 0) {
+      snapshot_file = a.substr(std::string_view("--snapshot-out=").size());
+      if (snapshot_file.empty()) return usage();
+    } else if (!a.empty() && a[0] != '-' && wire_file.empty()) {
+      wire_file = a;
+    } else {
+      return usage();
+    }
   }
+  if (wire_file.empty() && snapshot_file.empty()) return usage();
   const auto scheme = make_scheme(scheme_name);
   if (!scheme) return usage();
   const Graph g = read_edge_list(std::cin);
-  const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
-  const auto labels = scheme->mark(cfg);
-  std::ofstream out(argv[0], std::ios::binary);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s\n", argv[0]);
-    return 1;
-  }
-  write_labels(out, labels);
+  const SchemeWorld world = make_scheme_world(*scheme, scheme_name, g, 0);
+  const auto labels = scheme->mark(*world.cfg);
   std::size_t total = 0;
   for (const Label& l : labels) total += l.size_bits();
-  std::printf("wrote %zu labels (%zu bits total) to %s\n", labels.size(),
-              total, argv[0]);
+  if (!wire_file.empty()) {
+    std::ofstream out(wire_file, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", wire_file.c_str());
+      return 1;
+    }
+    write_labels(out, labels);
+    std::printf("wrote %zu labels (%zu bits total) to %s\n", labels.size(),
+                total, wire_file.c_str());
+  }
+  if (!snapshot_file.empty()) {
+    store::SnapshotMeta meta;
+    meta.scheme = scheme->name();
+    meta.root = 0;
+    meta.graph_vertices = world.cfg_graph->num_vertices();
+    meta.graph_edges = world.cfg_graph->num_edges();
+    const std::uint64_t bytes =
+        store::write_snapshot_file(snapshot_file, labels, meta);
+    std::printf("wrote snapshot of %zu labels (%zu bits total, %llu bytes) "
+                "to %s\n",
+                labels.size(), total, static_cast<unsigned long long>(bytes),
+                snapshot_file.c_str());
+  }
   return 0;
 }
 
 int cmd_check(int argc, char** argv) {
-  if (argc < 1) return usage();
   std::string scheme_name = "mst";
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--scheme") == 0) scheme_name = argv[i + 1];
+  std::string wire_file;
+  std::string snapshot_file;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--scheme" && i + 1 < argc) {
+      scheme_name = argv[++i];
+    } else if (a.rfind("--snapshot=", 0) == 0) {
+      snapshot_file = a.substr(std::string_view("--snapshot=").size());
+      if (snapshot_file.empty()) return usage();
+    } else if (!a.empty() && a[0] != '-' && wire_file.empty()) {
+      wire_file = a;
+    } else {
+      return usage();
+    }
   }
+  if (wire_file.empty() == snapshot_file.empty()) return usage();
   const auto scheme = make_scheme(scheme_name);
   if (!scheme) return usage();
   const Graph g = read_edge_list(std::cin);
-  std::ifstream in(argv[0], std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", argv[0]);
-    return 1;
+  const SchemeWorld world = make_scheme_world(*scheme, scheme_name, g, 0);
+  VerificationResult result;
+  if (!snapshot_file.empty()) {
+    const store::LabelStore snap = store::LabelStore::open(snapshot_file);
+    if (snap.meta().scheme != scheme->name()) {
+      std::fprintf(stderr, "snapshot scheme mismatch (file has %s, "
+                   "requested %s)\n",
+                   snap.meta().scheme.c_str(), scheme->name().c_str());
+      return 1;
+    }
+    if (snap.size() != world.cfg->size()) {
+      std::fprintf(stderr, "label count mismatch\n");
+      return 1;
+    }
+    result = run_verifier(*scheme, *world.cfg, snap);
+  } else {
+    std::ifstream in(wire_file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", wire_file.c_str());
+      return 1;
+    }
+    const auto labels = read_labels(in);
+    if (labels.size() != world.cfg->size()) {
+      std::fprintf(stderr, "label count mismatch\n");
+      return 1;
+    }
+    result = run_verifier(*scheme, *world.cfg, labels);
   }
-  const auto labels = read_labels(in);
-  if (labels.size() != g.num_vertices()) {
-    std::fprintf(stderr, "label count mismatch\n");
-    return 1;
-  }
-  const ConfigGraph cfg = make_tree_config(g, kruskal_mst(g), 0);
-  const auto result = run_verifier(*scheme, cfg, labels);
   std::printf("verdict: %s", result.accepted ? "ACCEPTED" : "REJECTED");
   if (!result.accepted) {
     std::printf(" (rejecting:");
