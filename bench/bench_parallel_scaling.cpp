@@ -7,13 +7,19 @@
 // the verdict against the single-thread reference.  Emits
 // BENCH_parallel_scaling.json.
 //
-// Env knobs: MSTV_BENCH_MAX_N caps the largest graph (default 1e6; set
-// 10000000 to opt into the 1e7 point, or e.g. 100000 for a quick laptop
-// run); MSTV_BENCH_REPS overrides the per-point best-of repetition count
+// Each row also reports the process peak RSS (getrusage ru_maxrss) after
+// that measurement, so memory growth across the size ladder is visible in
+// the JSON next to the timings.
+//
+// Env knobs: MSTV_BENCH_MAX_N caps the largest graph (default 1e7; set
+// e.g. 100000 for a quick laptop run); MSTV_BENCH_REPS overrides the
+// per-point best-of repetition count
 // (default 3); MSTV_BENCH_MIN_MARK_SPEEDUP turns the report into a gate —
 // the run fails unless the n=1e5 mark speedup at 8 threads reaches the
 // given value.  The gate self-skips (loudly, exit 0) on machines with
 // fewer than 8 hardware threads, where the target is unmeasurable.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdlib>
 #include <functional>
@@ -50,13 +56,22 @@ double best_of(std::size_t reps, const std::function<void()>& f) {
   return best;
 }
 
+/// Peak resident set of this process so far, in MB (ru_maxrss is KB on
+/// Linux).  Monotone within a run, so per-row values show which point
+/// drove the high-water mark.
+double peak_rss_mb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
 }  // namespace
 
 int main() {
   banner("P1", "parallel verifier scaling (thread-pool sharded engine)",
          "speedup of marker + verifier vs --threads, n up to 1e7");
 
-  const std::size_t max_n = env_or("MSTV_BENCH_MAX_N", 1000000);
+  const std::size_t max_n = env_or("MSTV_BENCH_MAX_N", 10000000);
   const std::size_t reps = env_or("MSTV_BENCH_REPS", 3);
   const char* min_speedup_env = std::getenv("MSTV_BENCH_MIN_MARK_SPEEDUP");
   const MstScheme scheme;
@@ -70,7 +85,7 @@ int main() {
   double gate_speedup = -1.0;  // n=1e5, 8 threads; -1 = not measured
 
   Table t({"n", "m", "threads", "reps", "mark ms", "verify ms",
-           "mark speedup", "verify speedup"});
+           "mark speedup", "verify speedup", "peak rss mb"});
   for (const std::size_t n :
        {std::size_t{10000}, std::size_t{100000}, std::size_t{1000000},
         std::size_t{10000000}}) {
@@ -118,7 +133,8 @@ int main() {
       }
       t.add_row({fmt(n), fmt(g.num_edges()), fmt(threads), fmt(reps),
                  fmt(mark_ms, 1), fmt(verify_ms, 1), fmt(mark_speedup, 2),
-                 fmt(verify_ms > 0 ? verify_base / verify_ms : 0.0, 2)});
+                 fmt(verify_ms > 0 ? verify_base / verify_ms : 0.0, 2),
+                 fmt(peak_rss_mb(), 1)});
     }
   }
   parallel::set_thread_count(0);

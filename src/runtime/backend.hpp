@@ -1,0 +1,86 @@
+// NetworkBackend: the round-execution interface behind every transport.
+//
+// A verification round is the same protocol everywhere — every node ships
+// its label through every port, runs the verifier on what arrived, and
+// the driver accounts the traffic — but the transport that moves the
+// labels is an implementation choice: SimNetwork delivers in-process
+// (runtime/network.hpp), MpNetwork moves real bytes between forked worker
+// processes (runtime/mp/).  This interface is the seam between them.
+//
+// Determinism contract (the reason the interface can exist at all): for a
+// fixed configuration, label set, seed and flip probability, every
+// backend must produce bit-identical verdicts, rejector sets and ledger
+// cells — at any thread count and any worker count.  The parity tests in
+// tests/test_mp_network.cpp hold the implementations to it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "plscheme/runner.hpp"
+#include "util/rng.hpp"
+
+namespace mstv {
+
+/// What one verification round measured.  Everything except
+/// `wire_payload_bytes` is transport-independent and parity-checked
+/// across backends; the wire field reports physical bytes that crossed a
+/// process boundary (always 0 for the in-process simulator).
+struct RoundStats {
+  std::size_t messages = 0;   // one per delivered (edge, direction) copy
+  std::size_t bits = 0;       // sum of delivered label bits
+  std::size_t rejecting = 0;  // nodes that output 0 this round
+  bool accepted = false;
+  /// The rejecting nodes, ascending (shard-ordered merge keeps the serial
+  /// left-to-right order on every backend).
+  std::vector<VertexId> rejectors;
+  /// True when the transport lost a worker mid-round (mp backend: killed
+  /// process detected via EOF/timeout).  The verdict is then a graceful
+  /// degradation — rejected, with the dead shard's nodes as rejectors —
+  /// not a parity-comparable result.
+  bool degraded = false;
+  /// Label payload bytes that physically crossed a process boundary this
+  /// round (mp backend; 0 for SimNetwork).  Excluded from parity: it
+  /// depends on the worker count, not on the protocol.
+  std::size_t wire_payload_bytes = 0;
+
+  friend bool operator==(const RoundStats&, const RoundStats&) = default;
+};
+
+class NetworkBackend {
+ public:
+  virtual ~NetworkBackend() = default;
+
+  /// Short transport name ("sim", "mp") for reports and CLI output.
+  [[nodiscard]] virtual std::string_view backend_name() const noexcept = 0;
+
+  /// Runs the marker on the configuration and installs its labels
+  /// (distributing them to whatever owns the nodes).
+  virtual void install_marker_labels() = 0;
+
+  /// One synchronous verification round.  Const: a round inspects the
+  /// configuration, it does not change it (SelfStabilizingMst::tick()
+  /// relies on this), but backends still advance their round counter and
+  /// transport state internally.
+  [[nodiscard]] virtual RoundStats verification_round() const = 0;
+
+  /// One verification round over faulty channels: each transmitted label
+  /// copy is independently corrupted (one random bit flip) with
+  /// probability `flip_prob`.  The corruption pattern is drawn serially
+  /// from `rng` in global (node, port) order on every backend, so the
+  /// same seed yields the same faults regardless of transport, thread
+  /// count or worker count.
+  [[nodiscard]] virtual RoundStats verification_round_with_channel_faults(
+      Rng& rng, double flip_prob) const = 0;
+
+  /// Rounds executed so far (either flavor); keys the ledger rows.
+  [[nodiscard]] virtual std::uint64_t round() const noexcept = 0;
+
+  [[nodiscard]] virtual const ConfigGraph& config() const noexcept = 0;
+  [[nodiscard]] virtual const std::vector<Label>& labels() const noexcept = 0;
+  [[nodiscard]] virtual const ProofLabelingScheme& scheme()
+      const noexcept = 0;
+};
+
+}  // namespace mstv

@@ -1,0 +1,410 @@
+#include "runtime/mp/mp_network.hpp"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <ctime>
+#include <utility>
+
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_session.hpp"
+#include "parallel/parallel_for.hpp"
+#include "runtime/mp/wire.hpp"
+#include "runtime/mp/worker.hpp"
+
+namespace mstv {
+
+namespace {
+
+// A worker that produces no result within this window is declared dead
+// even without EOF (e.g. SIGSTOPped).  Generous: rounds on the gated
+// sizes finish in milliseconds.
+constexpr int kResultTimeoutMs = 30000;
+
+// One receiver-side delivery record for the coordinator's flip plan.
+struct FlipEntry {
+  std::uint32_t v = 0;     // receiving vertex
+  std::uint32_t port = 0;  // its port index (0-based)
+  std::uint64_t bit = 0;   // which label bit the channel flips
+};
+
+}  // namespace
+
+struct MpNetwork::Impl {
+  ConfigGraph cfg;
+  const ProofLabelingScheme* scheme = nullptr;
+  std::vector<Label> labels;
+  std::uint64_t round = 0;
+
+  std::size_t workers = 0;
+  std::vector<parallel::ShardRange> shards;
+  std::vector<std::uint32_t> shard_of;
+  std::vector<pid_t> pids;
+  std::vector<int> ctl;  // coordinator end per worker; -1 once dead
+  std::vector<bool> dead;
+  std::uint64_t partition_mask = 0;
+
+  Impl(ConfigGraph c, const ProofLabelingScheme& s, std::size_t want)
+      : cfg(std::move(c)), scheme(&s) {
+    const std::size_t n = cfg.size();
+    workers = want == 0 ? 1 : want;
+    if (workers > n) workers = n;
+    if (workers > 64) workers = 64;  // the partition mask is a u64
+    shards = parallel::shard_ranges(n, workers);
+    MSTV_ASSERT(shards.size() == workers);
+    shard_of.resize(n);
+    for (std::size_t s_i = 0; s_i < workers; ++s_i) {
+      for (std::size_t i = shards[s_i].begin; i < shards[s_i].end; ++i) {
+        shard_of[i] = static_cast<std::uint32_t>(s_i);
+      }
+    }
+    spawn_workers();
+  }
+
+  ~Impl() { shutdown(); }
+
+  void spawn_workers() {
+    // All sockets exist before the first fork, so every child inherits
+    // the full set and keeps only its own ends.
+    std::vector<std::array<int, 2>> ctl_pair(workers);
+    // mesh[i][j] for i < j: [0] is i's end, [1] is j's end.
+    std::vector<std::vector<std::array<int, 2>>> mesh(
+        workers, std::vector<std::array<int, 2>>(workers, {-1, -1}));
+    for (std::size_t w = 0; w < workers; ++w) {
+      MSTV_EXPECTS_MSG(
+          ::socketpair(AF_UNIX, SOCK_STREAM, 0, ctl_pair[w].data()) == 0,
+          "mp: cannot create control socketpair");
+    }
+    for (std::size_t i = 0; i < workers; ++i) {
+      for (std::size_t j = i + 1; j < workers; ++j) {
+        MSTV_EXPECTS_MSG(
+            ::socketpair(AF_UNIX, SOCK_STREAM, 0, mesh[i][j].data()) == 0,
+            "mp: cannot create mesh socketpair");
+      }
+    }
+
+    pids.assign(workers, -1);
+    ctl.assign(workers, -1);
+    dead.assign(workers, false);
+    std::fflush(nullptr);  // don't let children replay buffered output
+    for (std::size_t w = 0; w < workers; ++w) {
+      const pid_t pid = ::fork();
+      MSTV_EXPECTS_MSG(pid >= 0, "mp: fork failed");
+      if (pid != 0) {
+        pids[w] = pid;
+        continue;
+      }
+      // Child: keep ctl_pair[w][1] and the w-side of each mesh pair,
+      // close everything else, run the worker loop, and never return.
+      mp::WorkerContext ctx;
+      ctx.worker = w;
+      ctx.begin = shards[w].begin;
+      ctx.end = shards[w].end;
+      ctx.cfg = &cfg;
+      ctx.scheme = scheme;
+      ctx.ctl_fd = ctl_pair[w][1];
+      ctx.shard_of = shard_of;
+      for (std::size_t o = 0; o < workers; ++o) {
+        if (o == w) continue;
+        ::close(ctl_pair[o][0]);
+        ::close(ctl_pair[o][1]);
+      }
+      ::close(ctl_pair[w][0]);
+      for (std::size_t i = 0; i < workers; ++i) {
+        for (std::size_t j = i + 1; j < workers; ++j) {
+          if (i == w) {
+            ctx.peers.push_back(mp::WorkerPeer{j, mesh[i][j][0]});
+            ::close(mesh[i][j][1]);
+          } else if (j == w) {
+            ctx.peers.push_back(mp::WorkerPeer{i, mesh[i][j][1]});
+            ::close(mesh[i][j][0]);
+          } else {
+            ::close(mesh[i][j][0]);
+            ::close(mesh[i][j][1]);
+          }
+        }
+      }
+      mp::worker_main(ctx);
+      // _exit, not exit: a forked child must not run the parent's atexit
+      // chain (thread pool, tracer, sanitizer finalizers).
+      ::_exit(0);
+    }
+
+    // Coordinator: the workers own the mesh; holding our copies open
+    // would mask worker death from their peers (no EOF).
+    for (std::size_t w = 0; w < workers; ++w) {
+      ctl[w] = ctl_pair[w][0];
+      ::close(ctl_pair[w][1]);
+    }
+    for (std::size_t i = 0; i < workers; ++i) {
+      for (std::size_t j = i + 1; j < workers; ++j) {
+        ::close(mesh[i][j][0]);
+        ::close(mesh[i][j][1]);
+      }
+    }
+    MSTV_GAUGE_SET("mp.workers", workers);
+  }
+
+  void mark_dead(std::size_t w) {
+    if (dead[w]) return;
+    dead[w] = true;
+    if (ctl[w] >= 0) {
+      ::close(ctl[w]);
+      ctl[w] = -1;
+    }
+    if (pids[w] > 0) {
+      // The worker may still be alive (timeout rather than EOF); make the
+      // declared state real before reaping.
+      ::kill(pids[w], SIGKILL);
+      ::waitpid(pids[w], nullptr, 0);
+      pids[w] = -1;
+    }
+  }
+
+  void ship_labels() {
+    std::uint64_t shipped_bytes = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (dead[w]) continue;
+      mp::WireWriter fr;
+      fr.u8(mp::kCmdInstall);
+      fr.u64(shards[w].end - shards[w].begin);
+      for (std::size_t i = shards[w].begin; i < shards[w].end; ++i) {
+        fr.label(labels[i]);
+      }
+      shipped_bytes += fr.buf.size();
+      if (!mp::send_frame(ctl[w], fr.buf)) mark_dead(w);
+    }
+    MSTV_COUNTER_ADD("mp.install_bytes", shipped_bytes);
+    // The verifier never runs in this process, so the label-envelope
+    // gauges the bound auditor reads are set here.
+    std::size_t max_bits = 0;
+    std::size_t total_bits = 0;
+    for (const Label& l : labels) {
+      max_bits = std::max(max_bits, l.size_bits());
+      total_bits += l.size_bits();
+    }
+    MSTV_COUNTER_ADD("label.bits_total", total_bits);
+    MSTV_GAUGE_SET("label.max_bits", max_bits);
+    MSTV_GAUGE_SET("label.avg_bits",
+                   labels.empty() ? 0.0
+                                  : static_cast<double>(total_bits) /
+                                        static_cast<double>(labels.size()));
+  }
+
+  RoundStats run_round(const char* phase,
+                       const std::vector<std::vector<FlipEntry>>& flips) {
+    MSTV_TRACE_SCOPE("mp", "mp.round",
+                     {obs::TraceArg::uint("round", round)});
+    // Command every live worker first, then collect: the workers overlap
+    // their exchanges while we are still writing the later commands.
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (dead[w]) continue;
+      mp::WireWriter fr;
+      fr.u8(mp::kCmdRound);
+      fr.u8(flips.empty() ? 0 : mp::kRoundFlagChannelFaults);
+      fr.u64(partition_mask);
+      static const std::vector<FlipEntry> kNoFlips;
+      const std::vector<FlipEntry>& shard_flips =
+          flips.empty() ? kNoFlips : flips[w];
+      fr.u32(static_cast<std::uint32_t>(shard_flips.size()));
+      for (const FlipEntry& f : shard_flips) {
+        fr.u32(f.v);
+        fr.u32(f.port);
+        fr.u64(f.bit);
+      }
+      if (!mp::send_frame(ctl[w], fr.buf)) mark_dead(w);
+    }
+
+    RoundStats stats;
+    obs::LedgerCell cell;
+    std::uint64_t wire_payload_bytes = 0;
+    std::uint64_t payloads_sent = 0;
+    std::uint64_t missing = 0;
+    std::vector<std::uint8_t> fr;
+    // Merge strictly in shard order: rejectors come out globally
+    // ascending because each worker reports its own range ascending.
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (!dead[w] && !mp::recv_frame(ctl[w], fr, kResultTimeoutMs)) {
+        mark_dead(w);
+      }
+      if (dead[w]) {
+        // Process fault: the whole shard is unreachable, so all of its
+        // nodes count as rejecting — the degraded verdict.
+        stats.degraded = true;
+        for (std::size_t i = shards[w].begin; i < shards[w].end; ++i) {
+          stats.rejectors.push_back(static_cast<VertexId>(i));
+        }
+        continue;
+      }
+      mp::WireReader rd(fr.data(), fr.size());
+      (void)rd.u8();  // status
+      obs::LedgerCell part;
+      part.messages = rd.u64();
+      part.bits = rd.u64();
+      part.labels = rd.u64();
+      part.label_bits_min = rd.u64();
+      part.label_bits_max = rd.u64();
+      part.label_bits_sum = rd.u64();
+      cell.merge(part);
+      wire_payload_bytes += rd.u64();
+      payloads_sent += rd.u64();
+      missing += rd.u64();
+      const std::uint32_t nrej = rd.u32();
+      for (std::uint32_t i = 0; i < nrej; ++i) {
+        stats.rejectors.push_back(rd.u32());
+      }
+    }
+
+    stats.messages = cell.messages;
+    stats.bits = cell.bits;
+    stats.rejecting = stats.rejectors.size();
+    stats.accepted = stats.rejectors.empty();
+    stats.wire_payload_bytes = wire_payload_bytes;
+
+    MSTV_COUNTER_ADD("verify.rounds", 1);
+    MSTV_COUNTER_ADD("verify.messages", stats.messages);
+    MSTV_COUNTER_ADD("verify.bits_total", stats.bits);
+    MSTV_COUNTER_ADD("verify.rejections", stats.rejecting);
+    MSTV_COUNTER_ADD("mp.rounds", 1);
+    MSTV_COUNTER_ADD("mp.wire_bytes_total",
+                     wire_payload_bytes + 16 * payloads_sent);
+    MSTV_COUNTER_ADD("mp.payloads_total", payloads_sent);
+    MSTV_COUNTER_ADD("mp.missing_deliveries", missing);
+    if (stats.degraded) MSTV_COUNTER_INC("mp.degraded_rounds");
+    // Same key as the simulator's commit for this round flavor, and the
+    // same cell value (receiver-side fold ≡ sender-side fold when every
+    // copy is delivered) — that is what lets --audit-bounds and the
+    // ledger parity tests treat the transports interchangeably.
+    MSTV_LEDGER_COMMIT(phase, round, scheme->name(), cell);
+    obs::LedgerCell wire;
+    wire.messages = payloads_sent;
+    wire.bits = 8 * wire_payload_bytes;
+    MSTV_LEDGER_COMMIT("mp.wire", round, scheme->name(), wire);
+    ++round;
+    return stats;
+  }
+
+  void shutdown() {
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (dead[w] || ctl[w] < 0) continue;
+      mp::WireWriter fr;
+      fr.u8(mp::kCmdShutdown);
+      (void)mp::send_frame(ctl[w], fr.buf);
+    }
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (pids[w] <= 0) continue;
+      // Grace period, then force: a worker ignoring shutdown is a bug,
+      // not a reason to hang the coordinator's destructor.
+      bool reaped = false;
+      for (int spin = 0; spin < 2000; ++spin) {
+        const pid_t r = ::waitpid(pids[w], nullptr, WNOHANG);
+        if (r == pids[w] || (r < 0 && errno == ECHILD)) {
+          reaped = true;
+          break;
+        }
+        timespec ts{0, 1000000};  // 1ms
+        ::nanosleep(&ts, nullptr);
+      }
+      if (!reaped) {
+        ::kill(pids[w], SIGKILL);
+        ::waitpid(pids[w], nullptr, 0);
+      }
+      pids[w] = -1;
+    }
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (ctl[w] >= 0) {
+        ::close(ctl[w]);
+        ctl[w] = -1;
+      }
+    }
+  }
+};
+
+MpNetwork::MpNetwork(ConfigGraph cfg, const ProofLabelingScheme& scheme,
+                     std::size_t workers)
+    : impl_(std::make_unique<Impl>(std::move(cfg), scheme, workers)) {}
+
+MpNetwork::~MpNetwork() = default;
+
+void MpNetwork::install_marker_labels() {
+  impl_->labels = impl_->scheme->mark(impl_->cfg);
+  impl_->ship_labels();
+}
+
+void MpNetwork::install_labels(std::vector<Label> labels) {
+  MSTV_EXPECTS_MSG(labels.size() == impl_->cfg.size(),
+                   "label vector does not match the configuration");
+  impl_->labels = std::move(labels);
+  impl_->ship_labels();
+}
+
+RoundStats MpNetwork::verification_round() const {
+  return impl_->run_round("verify.round", {});
+}
+
+RoundStats MpNetwork::verification_round_with_channel_faults(
+    Rng& rng, double flip_prob) const {
+  // Draw every corruption decision serially in global (node, port) order
+  // — the exact loop SimNetwork runs — so one seed produces one fault
+  // pattern on every backend, thread count and worker count.
+  Impl& impl = *impl_;
+  std::vector<std::vector<FlipEntry>> flips(impl.workers);
+  std::size_t corrupted = 0;
+  for (VertexId v = 0; v < impl.cfg.size(); ++v) {
+    const auto ports = impl.cfg.graph().ports(v);
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      const std::size_t bits = impl.labels[ports[i].neighbor].size_bits();
+      if (bits > 0 && rng.chance(flip_prob)) {
+        flips[impl.shard_of[v]].push_back(
+            FlipEntry{v, static_cast<std::uint32_t>(i),
+                      static_cast<std::uint64_t>(rng.index(bits))});
+        ++corrupted;
+      }
+    }
+  }
+  MSTV_COUNTER_ADD("faults.channel_bitflips", corrupted);
+  return impl.run_round("verify.channel_faults", flips);
+}
+
+std::uint64_t MpNetwork::round() const noexcept { return impl_->round; }
+
+const ConfigGraph& MpNetwork::config() const noexcept { return impl_->cfg; }
+
+const std::vector<Label>& MpNetwork::labels() const noexcept {
+  return impl_->labels;
+}
+
+const ProofLabelingScheme& MpNetwork::scheme() const noexcept {
+  return *impl_->scheme;
+}
+
+std::size_t MpNetwork::workers() const noexcept { return impl_->workers; }
+
+bool MpNetwork::worker_alive(std::size_t w) const noexcept {
+  return w < impl_->workers && !impl_->dead[w];
+}
+
+void MpNetwork::kill_worker(std::size_t w) {
+  MSTV_EXPECTS_MSG(w < impl_->workers, "worker index out of range");
+  impl_->mark_dead(w);
+  MSTV_COUNTER_INC("mp.workers_killed");
+}
+
+void MpNetwork::set_partitioned(std::size_t w, bool partitioned) {
+  MSTV_EXPECTS_MSG(w < impl_->workers, "worker index out of range");
+  const std::uint64_t bit = std::uint64_t{1} << w;
+  if (partitioned) {
+    impl_->partition_mask |= bit;
+  } else {
+    impl_->partition_mask &= ~bit;
+  }
+}
+
+}  // namespace mstv

@@ -1,0 +1,91 @@
+// MpNetwork: the multi-process NetworkBackend.
+//
+// The coordinator forks one worker process per contiguous node shard
+// (deterministic parallel::shard_ranges split, the same one the thread
+// pool uses) and drives them over socketpairs: a control socket per
+// worker for commands and results, and a full mesh of worker-to-worker
+// sockets for the per-round label exchange.  Rounds move real bytes —
+// each worker packs ONE bulk payload per peer (alltoallv style: a
+// size/count header exchange, then the data exchange) instead of per-edge
+// sends, so the syscall count per round is O(workers^2), not O(m).
+//
+// Determinism: verdicts, rejector sets and ledger cells are bit-identical
+// to SimNetwork for any worker count (see runtime/backend.hpp for the
+// contract and tests/test_mp_network.cpp for the enforcement).  The
+// channel-fault Rng stream is drawn serially by the coordinator in global
+// (node, port) order — workers receive the flip plan, they never draw.
+//
+// Process faults (docs/faults.md §4): kill_worker() SIGKILLs a worker;
+// the next round degrades gracefully — peers detect the death via EOF and
+// time out the affected deliveries, the dead shard's nodes reject, and
+// RoundStats::degraded is set.  set_partitioned() keeps a worker alive
+// but cut off from the mesh: every node missing a delivery rejects, and
+// clearing the partition restores normal rounds.
+#pragma once
+
+#include <memory>
+
+#include "runtime/backend.hpp"
+
+namespace mstv {
+
+class MpNetwork : public NetworkBackend {
+ public:
+  /// Forks the workers immediately (before any labels exist, so children
+  /// stay cheap).  `workers` is clamped to [1, min(n, 64)].  The Graph
+  /// behind `cfg` must outlive the network, as with SimNetwork.
+  MpNetwork(ConfigGraph cfg, const ProofLabelingScheme& scheme,
+            std::size_t workers);
+  ~MpNetwork() override;
+
+  MpNetwork(const MpNetwork&) = delete;
+  MpNetwork& operator=(const MpNetwork&) = delete;
+
+  [[nodiscard]] std::string_view backend_name() const noexcept override {
+    return "mp";
+  }
+
+  /// Runs the marker in the coordinator, then ships each worker its shard
+  /// of labels over the control sockets.
+  void install_marker_labels() override;
+
+  /// Installs an explicit label vector instead of the marker's (test
+  /// hook: corrupted/forged labels must reach the workers through the
+  /// same install path, because coordinator-side label mutations do NOT
+  /// propagate into already-forked children).
+  void install_labels(std::vector<Label> labels);
+
+  [[nodiscard]] RoundStats verification_round() const override;
+  [[nodiscard]] RoundStats verification_round_with_channel_faults(
+      Rng& rng, double flip_prob) const override;
+
+  [[nodiscard]] std::uint64_t round() const noexcept override;
+  [[nodiscard]] const ConfigGraph& config() const noexcept override;
+  [[nodiscard]] const std::vector<Label>& labels() const noexcept override;
+  [[nodiscard]] const ProofLabelingScheme& scheme() const noexcept override;
+
+  /// Actual worker count after clamping.
+  [[nodiscard]] std::size_t workers() const noexcept;
+
+  /// True if worker `w`'s process is still believed alive.
+  [[nodiscard]] bool worker_alive(std::size_t w) const noexcept;
+
+  /// SIGKILLs worker `w` and reaps it (blocking — the process is
+  /// guaranteed dead on return, so the next round deterministically sees
+  /// the fault).  Subsequent rounds are degraded: the shard's nodes
+  /// reject and RoundStats::degraded is set.
+  void kill_worker(std::size_t w);
+
+  /// Cuts worker `w` off the mesh (both directions) without killing it;
+  /// the control socket stays up, so clearing the partition restores full
+  /// rounds.  While partitioned, every node missing a delivery rejects.
+  void set_partitioned(std::size_t w, bool partitioned);
+
+ private:
+  struct Impl;
+  // Not const-propagating on purpose: rounds are const at the interface
+  // (they do not change the configuration) but advance transport state.
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mstv

@@ -1,0 +1,128 @@
+#include "runtime/mp/wire.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace mstv::mp {
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::label(const Label& l) {
+  const std::size_t nbits = l.size_bits();
+  u32(static_cast<std::uint32_t>(nbits));
+  const std::size_t nwords = (nbits + 63) / 64;
+  const auto& words = l.words();
+  for (std::size_t i = 0; i < nwords; ++i) {
+    u64(i < words.size() ? words[i] : 0);
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  MSTV_EXPECTS_MSG(remaining() >= 1, "truncated mp wire frame");
+  return *p_++;
+}
+
+std::uint32_t WireReader::u32() {
+  MSTV_EXPECTS_MSG(remaining() >= 4, "truncated mp wire frame");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(*p_++) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  MSTV_EXPECTS_MSG(remaining() >= 8, "truncated mp wire frame");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(*p_++) << (8 * i);
+  }
+  return v;
+}
+
+Label WireReader::label() {
+  const std::uint32_t nbits = u32();
+  const std::size_t nwords = (static_cast<std::size_t>(nbits) + 63) / 64;
+  std::vector<std::uint64_t> words(nwords);
+  for (std::size_t i = 0; i < nwords; ++i) words[i] = u64();
+  return Label(std::move(words), nbits);
+}
+
+std::size_t label_wire_bytes(const Label& l) noexcept {
+  return 4 + 8 * ((l.size_bits() + 63) / 64);
+}
+
+bool send_full(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      MSTV_EXPECTS_MSG(false, "mp socket send failed");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool recv_full(int fd, void* data, std::size_t len, int timeout_ms) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (len > 0) {
+    if (timeout_ms >= 0) {
+      pollfd pfd{fd, POLLIN, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      MSTV_EXPECTS_MSG(rc >= 0, "mp socket poll failed");
+      if (rc == 0) return false;  // timeout: treat the peer as gone
+    }
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return false;
+      MSTV_EXPECTS_MSG(false, "mp socket recv failed");
+    }
+    if (n == 0) return false;  // EOF: peer exited
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  std::uint8_t hdr[8];
+  const std::uint64_t len = payload.size();
+  std::memcpy(hdr, &len, sizeof(hdr));
+  if (!send_full(fd, hdr, sizeof(hdr))) return false;
+  return payload.empty() || send_full(fd, payload.data(), payload.size());
+}
+
+bool recv_frame(int fd, std::vector<std::uint8_t>& payload, int timeout_ms) {
+  std::uint8_t hdr[8];
+  if (!recv_full(fd, hdr, sizeof(hdr), timeout_ms)) return false;
+  std::uint64_t len = 0;
+  std::memcpy(&len, hdr, sizeof(hdr));
+  payload.resize(len);
+  return len == 0 ||
+         recv_full(fd, payload.data(), payload.size(), timeout_ms);
+}
+
+}  // namespace mstv::mp

@@ -1,0 +1,77 @@
+// Wire format and socket I/O helpers for the multi-process backend.
+//
+// Everything the mp transport moves — control frames on the
+// coordinator-worker sockets, the per-round alltoallv payloads on the
+// worker mesh — is encoded with the fixed-width little-endian primitives
+// here.  Peers are forked from the same binary on the same machine, so
+// host byte order is the wire byte order; there is no versioning problem
+// to solve, only framing.
+//
+// Label framing (docs/distributed.md): u32 bit count, then
+// ceil(bits / 64) u64 words — the exact backing store of Label, so a
+// shipped label decodes bit-identical to the original.
+//
+// The fd helpers speak "peer died" as a return value, never a signal or
+// an exception: send_full/recv_full return false on EPIPE / EOF /
+// timeout, which is how the backend detects killed workers (the
+// process-fault surface of docs/faults.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "labeling/label.hpp"
+
+namespace mstv::mp {
+
+/// Appends fixed-width primitives to a byte buffer.
+struct WireWriter {
+  std::vector<std::uint8_t> buf;
+
+  void u8(std::uint8_t v) { buf.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void label(const Label& l);
+};
+
+/// Reads the primitives back; MSTV_EXPECTS on truncated input, so a
+/// malformed frame surfaces as PreconditionError, never as a wild read.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Label label();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+/// Bytes `WireWriter::label` will emit for `l`.
+[[nodiscard]] std::size_t label_wire_bytes(const Label& l) noexcept;
+
+/// Writes the whole buffer to a (blocking) socket.  Returns false if the
+/// peer is gone (EPIPE/ECONNRESET); throws PreconditionError on any other
+/// error.  Never raises SIGPIPE.
+bool send_full(int fd, const void* data, std::size_t len);
+
+/// Reads exactly `len` bytes from a (blocking) socket.  Returns false on
+/// EOF, peer reset, or when `timeout_ms` >= 0 elapses before the data
+/// arrives; throws on any other error.
+bool recv_full(int fd, void* data, std::size_t len, int timeout_ms = -1);
+
+/// Length-prefixed frame: u64 byte count, then the payload.
+bool send_frame(int fd, const std::vector<std::uint8_t>& payload);
+bool recv_frame(int fd, std::vector<std::uint8_t>& payload,
+                int timeout_ms = -1);
+
+}  // namespace mstv::mp

@@ -1,0 +1,426 @@
+#include "runtime/mp/worker.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "obs/ledger.hpp"
+#include "runtime/mp/wire.hpp"
+#include "util/check.hpp"
+
+namespace mstv::mp {
+
+namespace {
+
+// Backstop for a peer that neither answers nor dies: after this long a
+// blocked exchange treats the peer as gone rather than hanging the round
+// (the coordinator's own result timeout would fire anyway; this keeps the
+// failure local and the verdict degraded instead of wedged).
+constexpr int kExchangeTimeoutMs = 60000;
+
+constexpr std::uint64_t kNoFlip = ~std::uint64_t{0};
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  MSTV_EXPECTS_MSG(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                   "mp worker: cannot make mesh socket nonblocking");
+}
+
+// One peer's in-flight transfer during a poll-driven exchange phase.
+struct PeerIo {
+  int fd = -1;
+  std::uint8_t* dead = nullptr;  // byte, not vector<bool> proxy
+  const std::uint8_t* out = nullptr;
+  std::size_t out_len = 0;
+  std::size_t out_pos = 0;
+  std::uint8_t* in = nullptr;
+  std::size_t in_len = 0;
+  std::size_t in_pos = 0;
+
+  [[nodiscard]] bool done() const {
+    return *dead || (out_pos >= out_len && in_pos >= in_len);
+  }
+};
+
+// Drives every transfer concurrently with poll() until each peer is done
+// or dead.  Progress is made opportunistically in both directions, so no
+// send ordering between peers can deadlock: whoever has buffer space gets
+// written, whoever has data gets read.
+void exchange(std::vector<PeerIo>& ios) {
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> idx;
+  for (;;) {
+    pfds.clear();
+    idx.clear();
+    for (std::size_t i = 0; i < ios.size(); ++i) {
+      PeerIo& io = ios[i];
+      if (io.done()) continue;
+      short events = 0;
+      if (io.out_pos < io.out_len) events |= POLLOUT;
+      if (io.in_pos < io.in_len) events |= POLLIN;
+      pfds.push_back(pollfd{io.fd, events, 0});
+      idx.push_back(i);
+    }
+    if (pfds.empty()) return;
+
+    int rc;
+    do {
+      rc = ::poll(pfds.data(), pfds.size(), kExchangeTimeoutMs);
+    } while (rc < 0 && errno == EINTR);
+    MSTV_EXPECTS_MSG(rc >= 0, "mp worker: mesh poll failed");
+    if (rc == 0) {
+      // Nothing moved for the whole backstop window: give up on every
+      // unfinished peer.
+      for (const std::size_t i : idx) *ios[i].dead = true;
+      return;
+    }
+
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      PeerIo& io = ios[idx[k]];
+      const short got = pfds[k].revents;
+      if (got == 0 || *io.dead) continue;
+      if ((got & (POLLIN | POLLHUP | POLLERR)) != 0 && io.in_pos < io.in_len) {
+        const ssize_t n =
+            ::recv(io.fd, io.in + io.in_pos, io.in_len - io.in_pos, 0);
+        if (n == 0) {
+          *io.dead = true;  // peer process exited
+          continue;
+        }
+        if (n < 0) {
+          if (errno == ECONNRESET) {
+            *io.dead = true;
+            continue;
+          }
+          MSTV_EXPECTS_MSG(errno == EAGAIN || errno == EWOULDBLOCK ||
+                               errno == EINTR,
+                           "mp worker: mesh recv failed");
+        } else {
+          io.in_pos += static_cast<std::size_t>(n);
+        }
+      } else if ((got & (POLLHUP | POLLERR)) != 0) {
+        *io.dead = true;
+        continue;
+      }
+      if ((got & POLLOUT) != 0 && io.out_pos < io.out_len && !*io.dead) {
+        const ssize_t n = ::send(io.fd, io.out + io.out_pos,
+                                 io.out_len - io.out_pos, MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EPIPE || errno == ECONNRESET) {
+            *io.dead = true;
+            continue;
+          }
+          MSTV_EXPECTS_MSG(errno == EAGAIN || errno == EWOULDBLOCK ||
+                               errno == EINTR,
+                           "mp worker: mesh send failed");
+        } else {
+          io.out_pos += static_cast<std::size_t>(n);
+        }
+      }
+    }
+  }
+}
+
+// The long-lived worker state between rounds.
+struct Worker {
+  const WorkerContext& ctx;
+  std::vector<Label> labels;  // own shard, index v - begin
+  std::vector<std::uint8_t> peer_dead;
+  // Per peer: the (vertex, port-index) slots whose label copies we ship
+  // there, sorted by the RECEIVER's iteration order (neighbor vertex,
+  // then our reverse port) so the receiver consumes the bulk payload
+  // strictly sequentially.
+  std::vector<std::vector<std::pair<VertexId, std::uint32_t>>> send_plan;
+  // Per peer: how many label copies we expect back per round.
+  std::vector<std::size_t> recv_count;
+
+  explicit Worker(const WorkerContext& c)
+      : ctx(c),
+        labels(c.end - c.begin),
+        peer_dead(c.peers.size(), 0),
+        send_plan(c.peers.size()),
+        recv_count(c.peers.size(), 0) {
+    const Graph& g = ctx.cfg->graph();
+    std::vector<std::size_t> peer_index(ctx.shard_of.empty()
+                                            ? 0
+                                            : *std::max_element(
+                                                  ctx.shard_of.begin(),
+                                                  ctx.shard_of.end()) +
+                                                  1,
+                                        ~std::size_t{0});
+    for (std::size_t p = 0; p < ctx.peers.size(); ++p) {
+      peer_index[ctx.peers[p].shard] = p;
+    }
+    for (std::size_t i = ctx.begin; i < ctx.end; ++i) {
+      const auto v = static_cast<VertexId>(i);
+      const auto ports = g.ports(v);
+      for (std::size_t k = 0; k < ports.size(); ++k) {
+        const std::uint32_t owner = ctx.shard_of[ports[k].neighbor];
+        if (owner == ctx.worker) continue;
+        const std::size_t p = peer_index[owner];
+        send_plan[p].emplace_back(v, static_cast<std::uint32_t>(k));
+        ++recv_count[p];  // symmetric: one copy out, one copy back per edge
+      }
+    }
+    for (std::size_t p = 0; p < ctx.peers.size(); ++p) {
+      const Graph* gp = &g;  // capture the graph, not the whole worker
+      std::sort(send_plan[p].begin(), send_plan[p].end(),
+                [gp](const auto& a, const auto& b) {
+                  const PortInfo& pa = gp->ports(a.first)[a.second];
+                  const PortInfo& pb = gp->ports(b.first)[b.second];
+                  if (pa.neighbor != pb.neighbor) {
+                    return pa.neighbor < pb.neighbor;
+                  }
+                  return pa.reverse_port < pb.reverse_port;
+                });
+    }
+  }
+
+  void install(WireReader& rd) {
+    const std::uint64_t count = rd.u64();
+    MSTV_EXPECTS_MSG(count == labels.size(),
+                     "mp worker: install count does not match the shard");
+    for (std::uint64_t i = 0; i < count; ++i) labels[i] = rd.label();
+  }
+
+  void run_round(WireReader& rd, std::vector<std::uint8_t>& result);
+};
+
+void Worker::run_round(WireReader& rd, std::vector<std::uint8_t>& result) {
+  const std::uint8_t flags = rd.u8();
+  const std::uint64_t partition_mask = rd.u64();
+  const std::uint32_t flip_count = rd.u32();
+  // Receiver-side flip plan, sorted by (vertex, port) — the same order the
+  // verify loop visits slots, so one cursor suffices.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> flips;
+  flips.reserve(flip_count);
+  for (std::uint32_t i = 0; i < flip_count; ++i) {
+    const std::uint32_t v = rd.u32();
+    const std::uint32_t port = rd.u32();
+    const std::uint64_t bit = rd.u64();
+    flips.emplace_back((std::uint64_t{v} << 32) | port, bit);
+  }
+  std::sort(flips.begin(), flips.end());
+  (void)flags;
+
+  const Graph& g = ctx.cfg->graph();
+  const bool self_partitioned = (partition_mask >> ctx.worker) & 1;
+
+  // Which peers we exchange with this round.
+  std::vector<bool> active(ctx.peers.size(), false);
+  for (std::size_t p = 0; p < ctx.peers.size(); ++p) {
+    const bool peer_partitioned = (partition_mask >> ctx.peers[p].shard) & 1;
+    active[p] = !peer_dead[p] && !self_partitioned && !peer_partitioned;
+  }
+
+  // Phase 0 (local): pack one bulk payload per active peer — every label
+  // copy this shard owes across every inter-shard edge, in receiver
+  // order.  Labels are duplicated per (edge, direction) exactly as in the
+  // model's per-edge message; batching changes the framing, not the count.
+  std::vector<std::vector<std::uint8_t>> out_payload(ctx.peers.size());
+  std::uint64_t sent_payload_bytes = 0;
+  std::uint64_t payloads_sent = 0;
+  for (std::size_t p = 0; p < ctx.peers.size(); ++p) {
+    if (!active[p]) continue;
+    WireWriter w;
+    std::size_t bytes = 0;
+    for (const auto& [v, port] : send_plan[p]) {
+      bytes += label_wire_bytes(labels[v - ctx.begin]);
+    }
+    w.buf.reserve(bytes);
+    for (const auto& [v, port] : send_plan[p]) {
+      w.label(labels[v - ctx.begin]);
+    }
+    out_payload[p] = std::move(w.buf);
+    sent_payload_bytes += out_payload[p].size();
+    ++payloads_sent;
+  }
+
+  // Phase 1: size/count headers, all peers concurrently.
+  struct Header {
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t label_count = 0;
+  };
+  std::vector<Header> out_hdr(ctx.peers.size());
+  std::vector<Header> in_hdr(ctx.peers.size());
+  {
+    std::vector<PeerIo> ios;
+    for (std::size_t p = 0; p < ctx.peers.size(); ++p) {
+      if (!active[p]) continue;
+      out_hdr[p].payload_bytes = out_payload[p].size();
+      out_hdr[p].label_count = send_plan[p].size();
+      PeerIo io;
+      io.fd = ctx.peers[p].fd;
+      io.dead = &peer_dead[p];
+      io.out = reinterpret_cast<const std::uint8_t*>(&out_hdr[p]);
+      io.out_len = sizeof(Header);
+      io.in = reinterpret_cast<std::uint8_t*>(&in_hdr[p]);
+      io.in_len = sizeof(Header);
+      ios.push_back(io);
+    }
+    exchange(ios);
+  }
+
+  // Phase 2: one bulk alltoallv payload per surviving peer.
+  std::vector<std::vector<std::uint8_t>> in_payload(ctx.peers.size());
+  {
+    std::vector<PeerIo> ios;
+    for (std::size_t p = 0; p < ctx.peers.size(); ++p) {
+      if (!active[p] || peer_dead[p]) continue;
+      MSTV_EXPECTS_MSG(in_hdr[p].label_count == recv_count[p],
+                       "mp worker: peer announced a mismatched label count");
+      in_payload[p].resize(in_hdr[p].payload_bytes);
+      PeerIo io;
+      io.fd = ctx.peers[p].fd;
+      io.dead = &peer_dead[p];
+      io.out = out_payload[p].data();
+      io.out_len = out_payload[p].size();
+      io.in = in_payload[p].data();
+      io.in_len = in_payload[p].size();
+      ios.push_back(io);
+    }
+    exchange(ios);
+  }
+
+  // Delivered = the peer stayed alive through both phases; a payload cut
+  // short by a mid-round death is discarded wholesale (partial data is
+  // indistinguishable from none to a synchronous round).
+  std::vector<WireReader> readers;
+  readers.reserve(ctx.peers.size());
+  std::vector<WireReader*> reader_of(ctx.peers.size(), nullptr);
+  for (std::size_t p = 0; p < ctx.peers.size(); ++p) {
+    if (active[p] && !peer_dead[p]) {
+      readers.emplace_back(in_payload[p].data(), in_payload[p].size());
+      reader_of[p] = &readers.back();
+    }
+  }
+  std::vector<std::size_t> peer_index_of_shard(ctx.shard_of.empty()
+                                                   ? 0
+                                                   : *std::max_element(
+                                                         ctx.shard_of.begin(),
+                                                         ctx.shard_of.end()) +
+                                                         1,
+                                               ~std::size_t{0});
+  for (std::size_t p = 0; p < ctx.peers.size(); ++p) {
+    peer_index_of_shard[ctx.peers[p].shard] = p;
+  }
+
+  // Verify the shard serially (no pool in a forked child); rejectors come
+  // out ascending like the sharded engine's shard-ordered merge.
+  obs::LedgerCell cell;
+  std::uint64_t missing = 0;
+  std::vector<VertexId> rejectors;
+  std::size_t flip_cursor = 0;
+  std::vector<Label> received;
+  for (std::size_t i = ctx.begin; i < ctx.end; ++i) {
+    const auto v = static_cast<VertexId>(i);
+    const auto ports = g.ports(v);
+    received.clear();
+    received.reserve(ports.size());
+    bool all_heard = true;
+    for (std::size_t k = 0; k < ports.size(); ++k) {
+      const VertexId nb = ports[k].neighbor;
+      const std::uint32_t owner = ctx.shard_of[nb];
+      Label copy;
+      bool heard = false;
+      if (owner == ctx.worker) {
+        copy = labels[nb - ctx.begin];
+        heard = true;
+      } else if (WireReader* peer_rd =
+                     reader_of[peer_index_of_shard[owner]]) {
+        copy = peer_rd->label();
+        heard = true;
+      }
+      if (heard) {
+        const std::uint64_t slot = (std::uint64_t{v} << 32) | k;
+        while (flip_cursor < flips.size() && flips[flip_cursor].first < slot) {
+          ++flip_cursor;
+        }
+        if (flip_cursor < flips.size() &&
+            flips[flip_cursor].first == slot && copy.size_bits() > 0) {
+          copy = copy.with_bit_flipped(
+              static_cast<std::size_t>(flips[flip_cursor].second));
+        }
+        cell.fold_label(copy.size_bits());
+      } else {
+        all_heard = false;
+        ++missing;
+      }
+      received.push_back(std::move(copy));
+    }
+
+    bool ok = false;
+    if (all_heard) {
+      LocalView view;
+      view.v = v;
+      view.state = &ctx.cfg->state(v);
+      view.label = &labels[i - ctx.begin];
+      view.neighbors.reserve(ports.size());
+      for (std::size_t k = 0; k < ports.size(); ++k) {
+        view.neighbors.push_back(NeighborView{
+            static_cast<PortNumber>(k + 1), ports[k].weight, &received[k]});
+      }
+      try {
+        ok = ctx.scheme->verify(view);
+      } catch (const PreconditionError&) {
+        ok = false;  // malformed/forged label: reject locally
+      }
+    }
+    // A node that failed to hear from some neighbor rejects outright —
+    // the synchronous model's timeout.  Partition and worker death both
+    // land here.
+    if (!ok) rejectors.push_back(v);
+  }
+
+  WireWriter res;
+  res.u8(0);
+  res.u64(cell.messages);
+  res.u64(cell.bits);
+  res.u64(cell.labels);
+  res.u64(cell.label_bits_min);
+  res.u64(cell.label_bits_max);
+  res.u64(cell.label_bits_sum);
+  res.u64(sent_payload_bytes);
+  res.u64(payloads_sent);
+  res.u64(missing);
+  res.u32(static_cast<std::uint32_t>(rejectors.size()));
+  for (const VertexId v : rejectors) res.u32(v);
+  result = std::move(res.buf);
+}
+
+}  // namespace
+
+void worker_main(WorkerContext& ctx) {
+  try {
+    for (const WorkerPeer& peer : ctx.peers) set_nonblocking(peer.fd);
+    Worker worker(ctx);
+    std::vector<std::uint8_t> frame;
+    std::vector<std::uint8_t> result;
+    for (;;) {
+      if (!recv_frame(ctx.ctl_fd, frame)) return;  // coordinator gone
+      MSTV_EXPECTS_MSG(!frame.empty(), "mp worker: empty control frame");
+      WireReader rd(frame.data(), frame.size());
+      const std::uint8_t cmd = rd.u8();
+      if (cmd == kCmdShutdown) return;
+      if (cmd == kCmdInstall) {
+        worker.install(rd);
+      } else if (cmd == kCmdRound) {
+        worker.run_round(rd, result);
+        if (!send_frame(ctx.ctl_fd, result)) return;
+      } else {
+        MSTV_EXPECTS_MSG(false, "mp worker: unknown control command");
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mp worker %zu: %s\n", ctx.worker, e.what());
+    // Returning lets the caller _exit(1); the coordinator sees EOF and
+    // degrades the round.
+  }
+}
+
+}  // namespace mstv::mp

@@ -1,0 +1,63 @@
+// The mp backend's worker process: owns one contiguous node shard.
+//
+// Forked by MpNetwork before any labels exist, a worker loops on its
+// control socket executing coordinator commands.  Per verification round
+// it runs the DASH-style two-phase batched exchange with every peer
+// worker — first a fixed-size size/count header per peer, then ONE bulk
+// alltoallv payload of packed neighbor labels per peer, never per-edge
+// sends — and then verifies its own vertex range serially, reporting the
+// shard's ledger cell, rejector list and wire accounting back to the
+// coordinator.
+//
+// Worker code runs in a freshly forked child of a possibly-threaded
+// parent, so it stays deliberately austere: no thread pool, no obs
+// macros, no globals — just the configuration it inherited read-only, the
+// labels the coordinator ships, and the sockets.  Any exception is
+// reported on stderr and turns into _exit(1), which the coordinator
+// observes as EOF (a process fault, docs/faults.md §4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "plscheme/config_graph.hpp"
+#include "plscheme/scheme.hpp"
+
+namespace mstv::mp {
+
+// Control-plane command codes (coordinator -> worker); every frame's
+// first byte.
+inline constexpr std::uint8_t kCmdInstall = 1;
+inline constexpr std::uint8_t kCmdRound = 2;
+inline constexpr std::uint8_t kCmdShutdown = 3;
+
+// kCmdRound flag bits.
+inline constexpr std::uint8_t kRoundFlagChannelFaults = 1;
+
+/// One mesh connection to a peer worker.
+struct WorkerPeer {
+  std::size_t shard = 0;  // the peer's shard index
+  int fd = -1;            // our end of the socketpair to it
+};
+
+/// Everything a worker needs, fixed at fork time.  The configuration and
+/// scheme pointers refer to coordinator objects the child inherited via
+/// fork — the topology and states are frozen from that moment on; only
+/// labels flow over the control socket afterwards.
+struct WorkerContext {
+  std::size_t worker = 0;  // own shard index
+  std::size_t begin = 0;   // own vertex range [begin, end)
+  std::size_t end = 0;
+  const ConfigGraph* cfg = nullptr;
+  const ProofLabelingScheme* scheme = nullptr;
+  int ctl_fd = -1;
+  std::vector<WorkerPeer> peers;  // every other shard, ascending
+  /// shard_of[v] = owning shard index, for routing labels.
+  std::vector<std::uint32_t> shard_of;
+};
+
+/// The worker loop.  Returns only on kCmdShutdown or control-socket EOF;
+/// the caller is expected to _exit immediately after.
+void worker_main(WorkerContext& ctx);
+
+}  // namespace mstv::mp

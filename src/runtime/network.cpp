@@ -30,11 +30,16 @@ void SimNetwork::apply_repair(const ConfigGraph& cfg,
                               const std::vector<Label>& labels) {
   MSTV_EXPECTS_MSG(labels.size() == cfg.size(),
                    "label vector does not match the configuration");
+  // Validate the whole update before mutating anything: a malformed
+  // `changed` list (e.g. from a future RPC path) must be an error, not a
+  // partial install that leaves cfg_ replaced and some labels shipped.
+  for (const VertexId v : changed) {
+    MSTV_EXPECTS_MSG(v < labels.size(), "repaired vertex out of range");
+  }
   cfg_ = cfg;
   labels_.resize(cfg_.size());
   obs::LedgerCell shipped;
   for (const VertexId v : changed) {
-    MSTV_EXPECTS_MSG(v < labels.size(), "repaired vertex out of range");
     labels_[v] = labels[v];
     shipped.fold_label(labels_[v].size_bits());
   }
@@ -70,9 +75,10 @@ RoundStats SimNetwork::verification_round() const {
       [](obs::LedgerCell& acc, obs::LedgerCell&& part) { acc.merge(part); });
   stats.messages = sent.messages;
   stats.bits = sent.bits;
-  const VerificationResult r = run_verifier(*scheme_, cfg_, labels_);
-  stats.rejecting = r.rejecting.size();
+  VerificationResult r = run_verifier(*scheme_, cfg_, labels_);
   stats.accepted = r.accepted;
+  stats.rejectors = std::move(r.rejecting);
+  stats.rejecting = stats.rejectors.size();
   MSTV_LEDGER_COMMIT("verify.round", round_, scheme_->name(), sent);
   ++round_;
   return stats;
@@ -107,9 +113,9 @@ RoundStats SimNetwork::verification_round_with_channel_faults(
   // so the per-round label-size distribution merges in shard order.
   struct ShardOut {
     obs::LedgerCell cell;
-    std::size_t rejecting = 0;
+    std::vector<VertexId> rejecting;
   };
-  const ShardOut total = parallel::sharded_reduce<ShardOut>(
+  ShardOut total = parallel::sharded_reduce<ShardOut>(
       cfg_.size(), ShardOut{},
       [&](const parallel::ShardRange& shard) {
         ShardOut out;
@@ -143,19 +149,21 @@ RoundStats SimNetwork::verification_round_with_channel_faults(
           } catch (const PreconditionError&) {
             ok = false;
           }
-          if (!ok) ++out.rejecting;
+          if (!ok) out.rejecting.push_back(v);
         }
         return out;
       },
       [](ShardOut& acc, ShardOut&& part) {
         acc.cell.merge(part.cell);
-        acc.rejecting += part.rejecting;
+        acc.rejecting.insert(acc.rejecting.end(), part.rejecting.begin(),
+                             part.rejecting.end());
       });
 
   RoundStats stats;
   stats.messages = total.cell.messages;
   stats.bits = total.cell.bits;
-  stats.rejecting = total.rejecting;
+  stats.rejectors = std::move(total.rejecting);
+  stats.rejecting = stats.rejectors.size();
   stats.accepted = stats.rejecting == 0;
   MSTV_COUNTER_ADD("verify.rounds", 1);
   MSTV_COUNTER_ADD("verify.messages", stats.messages);

@@ -18,26 +18,27 @@
 #include <cstdint>
 
 #include "plscheme/runner.hpp"
+#include "runtime/backend.hpp"
 #include "util/rng.hpp"
 
 namespace mstv {
 
-struct RoundStats {
-  std::size_t messages = 0;      // one per (edge, direction)
-  std::size_t bits = 0;          // sum of transmitted label bits
-  std::size_t rejecting = 0;     // nodes that output 0 this round
-  bool accepted = false;
-};
-
-class SimNetwork {
+/// The in-process backend: labels are "delivered" by reading the shared
+/// label vector, so a round is a sharded pass over the vertex range.
+/// Reference implementation of the NetworkBackend determinism contract.
+class SimNetwork : public NetworkBackend {
  public:
   SimNetwork(ConfigGraph cfg, const ProofLabelingScheme& scheme)
       : cfg_(std::move(cfg)),
         scheme_(&scheme),
         labels_(cfg_.size()) {}
 
+  [[nodiscard]] std::string_view backend_name() const noexcept override {
+    return "sim";
+  }
+
   /// Runs the marker and installs its labels.
-  void install_marker_labels();
+  void install_marker_labels() override;
 
   /// Takes a repaired configuration from the incremental marker and ships
   /// only the labels listed in `changed` (the rest keep their installed
@@ -50,7 +51,7 @@ class SimNetwork {
                     const std::vector<Label>& labels);
 
   /// One synchronous verification round.
-  [[nodiscard]] RoundStats verification_round() const;
+  [[nodiscard]] RoundStats verification_round() const override;
 
   /// One verification round over faulty channels: each transmitted label
   /// copy is independently corrupted (one random bit flip) with
@@ -58,21 +59,25 @@ class SimNetwork {
   /// the memory faults of FaultInjector; receivers must reject garbage
   /// rather than crash or accept.
   [[nodiscard]] RoundStats verification_round_with_channel_faults(
-      Rng& rng, double flip_prob) const;
+      Rng& rng, double flip_prob) const override;
 
   [[nodiscard]] ConfigGraph& config() noexcept { return cfg_; }
-  [[nodiscard]] const ConfigGraph& config() const noexcept { return cfg_; }
+  [[nodiscard]] const ConfigGraph& config() const noexcept override {
+    return cfg_;
+  }
   [[nodiscard]] std::vector<Label>& labels() noexcept { return labels_; }
-  [[nodiscard]] const std::vector<Label>& labels() const noexcept {
+  [[nodiscard]] const std::vector<Label>& labels() const noexcept override {
     return labels_;
   }
-  [[nodiscard]] const ProofLabelingScheme& scheme() const noexcept {
+  [[nodiscard]] const ProofLabelingScheme& scheme() const noexcept override {
     return *scheme_;
   }
 
   /// Rounds this network has executed (verification rounds of either
   /// flavor).  Keys the communication-ledger rows the network commits.
-  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] std::uint64_t round() const noexcept override {
+    return round_;
+  }
 
  private:
   ConfigGraph cfg_;

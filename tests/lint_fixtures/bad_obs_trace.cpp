@@ -20,4 +20,6 @@ void record(std::uint64_t round, int cell) {
   MSTV_LEDGER_COMMIT("VerifyRound", round, "pi-mst", cell);   // expect: OBS-LEDGER-KEY
   MSTV_LEDGER_COMMIT("repair", round, "pi-mst", cell);        // expect: OBS-LEDGER-KEY
   MSTV_LEDGER_COMMIT("verify.round", round, "pi-mst", cell);  // ok
+  MSTV_LEDGER_COMMIT("rogue.phase", round, "pi-mst", cell);   // expect: OBS-LEDGER-PHASE-REGISTRY
+  MSTV_LEDGER_COMMIT("mp.wire", round, "pi-mst", cell);       // ok
 }

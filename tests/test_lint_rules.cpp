@@ -362,6 +362,20 @@ TEST(LintRules, LedgerPhaseKeyIsChecked) {
           .empty());
 }
 
+TEST(LintRules, LedgerPhaseMustBeRegistered) {
+  // A well-formed but unregistered phase is a series nothing reads — the
+  // registry rule (not the shape rule) fires, exactly once.
+  const auto diags = lint_snippet(
+      "src/mst/x.cpp",
+      "void f() { MSTV_LEDGER_COMMIT(\"rogue.phase\", 0, \"pi-mst\", c); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "OBS-LEDGER-PHASE-REGISTRY");
+  EXPECT_TRUE(lint_snippet("src/mst/x.cpp",
+                           "void f() { MSTV_LEDGER_COMMIT(\"mp.wire\", 0, "
+                           "\"pi-mst\", c); }\n")
+                  .empty());
+}
+
 TEST(LintRules, RawStringsAndCommentsDoNotFoolTheLexer) {
   const std::string src =
       "const char* doc = R\"(call rand() and time() freely in prose)\";\n"

@@ -1,0 +1,210 @@
+// NetworkBackend determinism contract (runtime/backend.hpp): SimNetwork
+// and MpNetwork must produce bit-identical verdicts, rejector sets and
+// ledger cells for any worker count and thread count.  Plus the mp-only
+// fault surface: killed workers degrade gracefully, partitioned workers
+// make the affected nodes reject, and both recover where the contract
+// says they should.
+#include "runtime/mp/mp_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "mst/algorithms.hpp"
+#include "obs/ledger.hpp"
+#include "parallel/parallel_for.hpp"
+#include "plscheme/mst_scheme.hpp"
+#include "runtime/network.hpp"
+
+namespace mstv {
+namespace {
+
+Graph make_graph(std::size_t n, std::size_t extra, std::uint64_t seed) {
+  Rng rng(seed);
+  WeightOptions wo;
+  wo.max_weight = 1u << 12;
+  return random_connected_graph(n, extra, wo, rng);
+}
+
+ConfigGraph make_cfg(const Graph& g) {
+  return make_tree_config(g, kruskal_mst(g), 0);
+}
+
+/// Everything parity-comparable: RoundStats minus the wire accounting
+/// (which legitimately depends on the worker count).
+void expect_same_protocol_result(const RoundStats& a, const RoundStats& b) {
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bits, b.bits);
+  EXPECT_EQ(a.rejecting, b.rejecting);
+  EXPECT_EQ(a.rejectors, b.rejectors);
+  EXPECT_EQ(a.degraded, b.degraded);
+}
+
+/// The single ledger cell committed under `phase` (merged if several
+/// rounds committed); the caller resets the global ledger per run.
+obs::LedgerCell ledger_cell_for(const std::string& phase) {
+  obs::LedgerCell out;
+  for (const obs::LedgerEntry& e : obs::CommLedger::global().snapshot()) {
+    if (e.key.phase == phase) out.merge(e.cell);
+  }
+  return out;
+}
+
+TEST(MpNetwork, CleanRoundParityAcrossWorkerCounts) {
+  const Graph g = make_graph(120, 200, 31);
+  const MstScheme scheme;
+
+  obs::CommLedger::global().reset();
+  SimNetwork sim(make_cfg(g), scheme);
+  sim.install_marker_labels();
+  const RoundStats expect = sim.verification_round();
+  ASSERT_TRUE(expect.accepted);
+  const obs::LedgerCell expect_cell = ledger_cell_for("verify.round");
+
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    obs::CommLedger::global().reset();
+    MpNetwork mp(make_cfg(g), scheme, workers);
+    ASSERT_EQ(mp.workers(), workers);
+    mp.install_marker_labels();
+    const RoundStats got = mp.verification_round();
+    expect_same_protocol_result(expect, got);
+#ifndef MSTV_OBS_DISABLED
+    // The per-round label-size distribution — not just the totals — must
+    // match the in-process ledger row exactly.
+    EXPECT_EQ(ledger_cell_for("verify.round"), expect_cell)
+        << "workers=" << workers;
+#endif
+    // Real bytes cross process boundaries iff there is more than one
+    // process to cross between.
+    if (workers == 1) {
+      EXPECT_EQ(got.wire_payload_bytes, 0u);
+    } else {
+      EXPECT_GT(got.wire_payload_bytes, 0u);
+    }
+  }
+  EXPECT_EQ(expect.wire_payload_bytes, 0u);  // sim never ships bytes
+}
+
+TEST(MpNetwork, CorruptedLabelRejectorParity) {
+  const Graph g = make_graph(90, 140, 32);
+  const MstScheme scheme;
+  const ConfigGraph cfg = make_cfg(g);
+  std::vector<Label> labels = scheme.mark(cfg);
+  // Corrupt a spread of labels; the rejector SET (who noticed, in order)
+  // is the parity-sensitive part, not just the verdict.
+  for (const VertexId v : {3u, 40u, 41u, 88u}) {
+    labels[v] = labels[v].with_bit_flipped(v % labels[v].size_bits());
+  }
+
+  SimNetwork sim(cfg, scheme);
+  sim.labels() = labels;
+  const RoundStats expect = sim.verification_round();
+  ASSERT_FALSE(expect.accepted);
+  ASSERT_FALSE(expect.rejectors.empty());
+  EXPECT_TRUE(std::is_sorted(expect.rejectors.begin(),
+                             expect.rejectors.end()));
+
+  for (const std::size_t workers : {2u, 5u}) {
+    MpNetwork mp(cfg, scheme, workers);
+    mp.install_labels(labels);
+    const RoundStats got = mp.verification_round();
+    expect_same_protocol_result(expect, got);
+  }
+}
+
+// Satellite: the channel-fault round is deterministic under the backend
+// interface — one (seed, flip_prob) produces one RoundStats on every
+// backend implementation and at every thread count.
+TEST(MpNetwork, ChannelFaultRoundDeterministicAcrossBackendsAndThreads) {
+  const Graph g = make_graph(80, 120, 33);
+  const MstScheme scheme;
+  constexpr std::uint64_t kSeed = 999;
+  constexpr double kFlipProb = 0.02;
+
+  std::vector<RoundStats> results;
+  for (const std::size_t threads : {1u, 4u}) {
+    parallel::set_thread_count(threads);
+    SimNetwork sim(make_cfg(g), scheme);
+    sim.install_marker_labels();
+    Rng rng(kSeed);
+    results.push_back(sim.verification_round_with_channel_faults(rng,
+                                                                 kFlipProb));
+  }
+  parallel::set_thread_count(0);
+  for (const std::size_t workers : {1u, 3u, 8u}) {
+    MpNetwork mp(make_cfg(g), scheme, workers);
+    mp.install_marker_labels();
+    Rng rng(kSeed);
+    results.push_back(mp.verification_round_with_channel_faults(rng,
+                                                                kFlipProb));
+  }
+  // At 2m = 480 transmissions and p = 0.02 the odds that no channel
+  // corrupts anything are negligible; a flipped copy is overwhelmingly
+  // detected by pi-mst, so the interesting fields are all non-trivial.
+  EXPECT_FALSE(results.front().accepted);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    expect_same_protocol_result(results.front(), results[i]);
+  }
+}
+
+TEST(MpNetwork, KilledWorkerDegradesTheRoundGracefully) {
+  const Graph g = make_graph(100, 160, 34);
+  const MstScheme scheme;
+  MpNetwork mp(make_cfg(g), scheme, 4);
+  mp.install_marker_labels();
+  ASSERT_TRUE(mp.verification_round().accepted);
+
+  mp.kill_worker(1);
+  EXPECT_FALSE(mp.worker_alive(1));
+  const RoundStats got = mp.verification_round();
+  EXPECT_TRUE(got.degraded);
+  EXPECT_FALSE(got.accepted);
+  // The dead shard is wholly unreachable: every one of its nodes is
+  // reported rejecting (shard 1 of 4 over [0, 100) is [25, 50)).
+  for (VertexId v = 25; v < 50; ++v) {
+    EXPECT_TRUE(std::binary_search(got.rejectors.begin(),
+                                   got.rejectors.end(), v))
+        << "vertex " << v;
+  }
+  EXPECT_TRUE(std::is_sorted(got.rejectors.begin(), got.rejectors.end()));
+
+  // The fault is persistent but never wedges the coordinator: further
+  // rounds still complete, still degraded.
+  const RoundStats again = mp.verification_round();
+  EXPECT_TRUE(again.degraded);
+  EXPECT_FALSE(again.accepted);
+}
+
+TEST(MpNetwork, PartitionedWorkerRejectsAndRecovers) {
+  const Graph g = make_graph(100, 160, 35);
+  const MstScheme scheme;
+  MpNetwork mp(make_cfg(g), scheme, 4);
+  mp.install_marker_labels();
+  const RoundStats clean = mp.verification_round();
+  ASSERT_TRUE(clean.accepted);
+
+  mp.set_partitioned(2, true);
+  const RoundStats cut = mp.verification_round();
+  EXPECT_FALSE(cut.accepted);
+  EXPECT_FALSE(cut.degraded);  // nobody died — this is a link fault
+  // Every node that owed or was owed a delivery across the partition
+  // rejects; on a connected graph that includes at least one node of the
+  // partitioned shard (any of its nodes with a cross-shard neighbor).
+  bool shard2_rejects = false;
+  for (const VertexId v : cut.rejectors) {
+    if (v >= 50 && v < 75) shard2_rejects = true;
+  }
+  EXPECT_TRUE(shard2_rejects);
+
+  // Healing the partition restores clean rounds bit-exactly: the worker
+  // process survived the fault.
+  mp.set_partitioned(2, false);
+  const RoundStats healed = mp.verification_round();
+  EXPECT_TRUE(mp.worker_alive(2));
+  expect_same_protocol_result(clean, healed);
+}
+
+}  // namespace
+}  // namespace mstv

@@ -150,5 +150,25 @@ TEST(SimNetwork, ChannelFaultsNeverCrashAndCleanChannelsAccept) {
   EXPECT_EQ(stats.messages, 2 * g.num_edges());
 }
 
+TEST(SimNetwork, ApplyRepairRejectsOutOfRangeVerticesWithoutMutating) {
+  Rng rng(74);
+  WeightOptions wo;
+  const Graph g = random_connected_graph(20, 30, wo, rng);
+  const MstScheme scheme;
+  SimNetwork net = make_net(g, scheme);
+  const std::vector<Label> before = net.labels();
+
+  const ConfigGraph repaired = make_tree_config(g, kruskal_mst(g), 0);
+  std::vector<Label> repaired_labels = scheme.mark(repaired);
+  // A changed-list entry past the label vector is a malformed update and
+  // must fail atomically: nothing installed, nothing replaced.
+  const std::vector<VertexId> changed{
+      2, static_cast<VertexId>(g.num_vertices())};
+  EXPECT_THROW(net.apply_repair(repaired, changed, repaired_labels),
+               PreconditionError);
+  EXPECT_EQ(net.labels(), before);
+  EXPECT_TRUE(net.verification_round().accepted);
+}
+
 }  // namespace
 }  // namespace mstv

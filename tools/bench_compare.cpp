@@ -59,9 +59,11 @@ int usage() {
 }
 
 bool timing_shaped(std::string_view name) {
+  // "rss" is memory, not time, but shares the shape: machine- and
+  // allocator-dependent, so advisory unless a tolerance is enforced.
   for (const char* marker :
        {"_us", "_ms", "_ns", "time", "speedup", "delay", "latency", "(ms",
-        "(us", "(ns", " ms", " us"}) {
+        "(us", "(ns", " ms", " us", "rss"}) {
     if (name.find(marker) != std::string_view::npos) return true;
   }
   return false;

@@ -24,6 +24,13 @@
 //                     bound auditor and the exported `ledger` section key
 //                     on; it must be `component.noun`.
 //
+//   OBS-LEDGER-PHASE-REGISTRY — a well-formed literal phase key must also
+//                     be one of the phases docs/observability.md
+//                     registers.  The bound auditor sums `verify.*` rows
+//                     and dashboards group by phase; an unregistered
+//                     phase silently falls outside both.  New phases are
+//                     added here and to the docs table in the same PR.
+//
 // This is the engine port of the original tools/check_metrics_names.sh
 // grep — token-accurate (no false hits inside comments or unrelated
 // strings), and suppressible per site with a justified allow().
@@ -230,6 +237,55 @@ class ObsLedgerKeyRule final : public Rule {
   }
 };
 
+// The registered ledger phases of docs/observability.md.  A commit under
+// any other (well-formed) literal phase is a new series nothing reads —
+// register it in the docs table and here in the same change.
+class ObsLedgerPhaseRegistryRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "OBS-LEDGER-PHASE-REGISTRY";
+  }
+  [[nodiscard]] std::string_view summary() const override {
+    return "ledger phase keys must be registered in the phase table of "
+           "docs/observability.md";
+  }
+  [[nodiscard]] bool applies_to(std::string_view) const override {
+    return true;
+  }
+
+  void check(const LintContext&, const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    static const std::set<std::string, std::less<>> kSites = {
+        "MSTV_LEDGER_COMMIT", "ledger_commit"};
+    static const std::set<std::string, std::less<>> kKnownPhases = {
+        "verify.round",   "verify.channel_faults", "async.round",
+        "dynamic.repair", "selfstab.repair",       "selfstab.remark",
+        "mp.wire"};
+
+    const auto& toks = file.tokens();
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::Identifier || kSites.count(t.text) == 0) {
+        continue;
+      }
+      if (toks[i + 1].kind != TokKind::Punct || toks[i + 1].text != "(") {
+        continue;
+      }
+      const Token& phase = toks[i + 2];
+      if (phase.kind != TokKind::String) continue;  // runtime-built — ok
+      // Ill-formed names are OBS-LEDGER-KEY's diagnostic; one defect, one
+      // rule.
+      if (!valid_metric_name(phase.text)) continue;
+      if (kKnownPhases.count(phase.text) != 0) continue;
+      report(file, phase.line, phase.col,
+             "ledger phase \"" + phase.text + "\" (at " + t.text +
+                 ") is not registered in the phase table of "
+                 "docs/observability.md",
+             out);
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> make_obs_rules() {
@@ -237,6 +293,7 @@ std::vector<std::unique_ptr<Rule>> make_obs_rules() {
   out.push_back(std::make_unique<ObsMetricNameRule>());
   out.push_back(std::make_unique<ObsTraceCategoryRule>());
   out.push_back(std::make_unique<ObsLedgerKeyRule>());
+  out.push_back(std::make_unique<ObsLedgerPhaseRegistryRule>());
   return out;
 }
 

@@ -63,6 +63,7 @@
 #include "store/snapshot.hpp"
 #include "tree/centroid.hpp"
 #include "tree/rooted_tree.hpp"
+#include "runtime/mp/mp_network.hpp"
 #include "runtime/network.hpp"
 #include "runtime/self_stabilization.hpp"
 #include "sensitivity/sensitivity.hpp"
@@ -95,6 +96,10 @@ int usage() {
       "  gen <n> <extra> <maxw> [seed]   random connected graph to stdout\n"
       "  mst                             MST of stdin graph\n"
       "  verify [--scheme mst|mst-naive|frag|gamma|st] [--root R]\n"
+      "         [--backend sim|mp] [--workers N]\n"
+      "                                  mp forks N worker processes and\n"
+      "                                  exchanges labels over sockets\n"
+      "                                  (docs/distributed.md)\n"
       "  mark [file] [--scheme S] [--snapshot-out=FILE]\n"
       "                                  compute MST, store labels (wire\n"
       "                                  file and/or mmap-served snapshot)\n"
@@ -206,42 +211,82 @@ SchemeWorld make_scheme_world(const ProofLabelingScheme& scheme,
 
 int cmd_verify(int argc, char** argv) {
   std::string scheme_name = "mst";
+  std::string backend = "sim";
+  std::size_t workers = 4;
   VertexId root = 0;
-  for (int i = 0; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--scheme") == 0) {
-      scheme_name = argv[i + 1];
-    } else if (std::strcmp(argv[i], "--root") == 0) {
-      root = static_cast<VertexId>(std::strtoul(argv[i + 1], nullptr, 10));
+  // Flags accept both `--flag value` and `--flag=value`.
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    std::string_view key = a;
+    std::string_view val;
+    bool has_val = false;
+    if (const auto eq = a.find('='); eq != std::string_view::npos) {
+      key = a.substr(0, eq);
+      val = a.substr(eq + 1);
+      has_val = true;
+    } else if (i + 1 < argc) {
+      val = argv[i + 1];
+    }
+    const bool inline_val = has_val;
+    if (!has_val && i + 1 >= argc) return usage();
+    if (key == "--scheme") {
+      scheme_name = val;
+    } else if (key == "--root") {
+      root = static_cast<VertexId>(
+          std::strtoul(std::string(val).c_str(), nullptr, 10));
+    } else if (key == "--backend") {
+      backend = val;
+    } else if (key == "--workers") {
+      workers = std::strtoul(std::string(val).c_str(), nullptr, 10);
+      if (workers == 0) return usage();
     } else {
       return usage();
     }
+    if (!inline_val) ++i;
   }
+  if (backend != "sim" && backend != "mp") return usage();
   const auto scheme = make_scheme(scheme_name);
   if (!scheme) return usage();
 
   const Graph g = read_edge_list(std::cin);
   const SchemeWorld world = make_scheme_world(*scheme, scheme_name, g, root);
 
-  // Run through the simulated network (not mark_and_verify directly) so
-  // the round is a real message exchange: the communication ledger gets
-  // its per-round row, which --audit-bounds checks against the paper.
-  SimNetwork net(std::move(*world.cfg), *scheme);
-  net.install_marker_labels();
-  const RoundStats round = net.verification_round();
+  // Run through a network backend (not mark_and_verify directly) so the
+  // round is a real message exchange: the communication ledger gets its
+  // per-round row, which --audit-bounds checks against the paper.  The mp
+  // backend additionally moves the labels between forked worker
+  // processes (docs/distributed.md).
+  std::unique_ptr<NetworkBackend> net;
+  if (backend == "mp") {
+    net = std::make_unique<MpNetwork>(std::move(*world.cfg), *scheme,
+                                      workers);
+  } else {
+    net = std::make_unique<SimNetwork>(std::move(*world.cfg), *scheme);
+  }
+  net->install_marker_labels();
+  const RoundStats round = net->verification_round();
 
   std::size_t max_bits = 0;
   std::size_t total_bits = 0;
-  for (const Label& l : net.labels()) {
+  for (const Label& l : net->labels()) {
     max_bits = std::max(max_bits, l.size_bits());
     total_bits += l.size_bits();
   }
   const double avg_bits =
-      net.labels().empty()
+      net->labels().empty()
           ? 0.0
           : static_cast<double>(total_bits) /
-                static_cast<double>(net.labels().size());
+                static_cast<double>(net->labels().size());
 
   set_audit_params(g, scheme->name());
+  // Parity tests diff sim vs mp output modulo this line: keep every other
+  // line backend-independent.
+  if (backend == "mp") {
+    std::printf("backend       : mp (workers=%zu)\n",
+                static_cast<const MpNetwork&>(*net).workers());
+  } else {
+    std::printf("backend       : sim\n");
+  }
   std::printf("scheme        : %s\n", scheme->name().c_str());
   std::printf("graph         : n=%zu m=%zu W=%llu\n", g.num_vertices(),
               g.num_edges(),
