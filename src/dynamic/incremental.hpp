@@ -44,7 +44,7 @@
 #include <optional>
 #include <vector>
 
-#include "dynamic/edge_update.hpp"
+#include "graph/edge_update.hpp"
 #include "labeling/extrema_labeling.hpp"
 #include "plscheme/scheme.hpp"
 #include "plscheme/spanning_tree_scheme.hpp"

@@ -6,9 +6,11 @@
 // incremental marker (dynamic/incremental.hpp) consumes updates, repairs
 // the stored MST and recomputes only the labels the update invalidated.
 //
-// This header depends only on the graph layer so that higher layers
-// (plscheme/runner.hpp declares the update_and_repair entry point) can
-// name the types without pulling in the whole dynamic engine.
+// This header lives in the graph layer (it depends on nothing above it)
+// so that higher layers (plscheme/runner.hpp declares the
+// update_and_repair entry point) can name the types without pulling in
+// the whole dynamic engine — dynamic may depend on plscheme, so the
+// reverse include would cycle the layer DAG.
 #pragma once
 
 #include <cstdint>

@@ -6,7 +6,7 @@
 
 #include <vector>
 
-#include "dynamic/edge_update.hpp"
+#include "graph/edge_update.hpp"
 #include "plscheme/scheme.hpp"
 
 namespace mstv::store {

@@ -417,6 +417,10 @@ void worker_main(WorkerContext& ctx) {
       }
     }
   } catch (const std::exception& e) {
+    // mstv-lint: allow(MP-FORK-SAFE) — terminal error path: stderr is
+    // unbuffered, the parent never writes it concurrently, and the very
+    // next step is _exit(1); the one-line epitaph is worth more than
+    // strict stdio silence here.
     std::fprintf(stderr, "mp worker %zu: %s\n", ctx.worker, e.what());
     // Returning lets the caller _exit(1); the coordinator sees EOF and
     // degrades the round.

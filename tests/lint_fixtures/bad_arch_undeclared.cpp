@@ -1,0 +1,9 @@
+// mstv-lint-fixture: src/scratch/fixture_probe.cpp    <- expect: ARCH-LAYER
+// Known-bad: the file lives in a src/ directory that tools/lint/layers.txt
+// does not declare.  Every src module must have a declared place in the
+// layer DAG; an undeclared module is reported once, at its first file.
+namespace mstv {
+
+int probe() { return 1; }
+
+}  // namespace mstv

@@ -1,0 +1,19 @@
+// mstv-lint-fixture: src/labeling/fixture_det_reach.cpp
+// Known-bad: the entry point itself is clean, but a helper it calls
+// draws ambient entropy — the per-file rule flags the primitive, and
+// DET-REACH flags the call edge in the entry point that reaches it.
+#include <cstdlib>
+
+namespace mstv {
+
+int entropy_helper() {
+  return rand();  // expect: DET-RAND
+}
+
+void mark(int n) {
+  const int seed = entropy_helper();  // expect: DET-REACH
+  (void)seed;
+  (void)n;
+}
+
+}  // namespace mstv

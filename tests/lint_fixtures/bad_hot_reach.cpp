@@ -1,0 +1,29 @@
+// mstv-lint-fixture: src/runtime/fixture_hot_reach.cpp
+// Known-bad: the shard lambda contains no lock and no syscall itself,
+// but both helpers it calls do — HOT-REACH flags each call edge inside
+// the lambda (the per-file HOT-MUTEX rule cannot see past the call).
+#include <mutex>
+#include <poll.h>
+
+#include "parallel/parallel_for.hpp"
+
+namespace mstv {
+
+void guarded_bump(std::mutex& mu, int& x) {
+  const std::lock_guard<std::mutex> g(mu);
+  ++x;
+}
+
+int wait_ready(int fd) {
+  return ::poll(nullptr, 0, fd);
+}
+
+void run_shards(std::mutex& mu, int& x, int fd) {
+  mstv::parallel::for_each_shard(8, [&](const auto& s) {
+    guarded_bump(mu, x);  // expect: HOT-REACH
+    wait_ready(fd);       // expect: HOT-REACH
+    (void)s;
+  });
+}
+
+}  // namespace mstv

@@ -1,0 +1,31 @@
+// mstv-lint-fixture: src/runtime/mp/fixture_worker.cpp
+// Known-bad: code in src/runtime/mp/ runs in a forked child between
+// fork() and _exit().  Spawning threads, calling exit() (atexit
+// handlers + parent-inherited stdio buffers flushed twice), or touching
+// stdio streams there is fork-unsafe.  The raw-fd wire protocol and
+// _exit() are the sanctioned counterparts.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+namespace mstv::mp {
+
+void fixture_child_loop(int fd) {
+  std::thread watchdog([] {});     // expect: MP-FORK-SAFE
+  watchdog.join();
+  std::printf("worker up\n");      // expect: MP-FORK-SAFE
+  std::cout << "fd " << fd << '\n';  // expect: MP-FORK-SAFE
+  exit(1);                         // expect: MP-FORK-SAFE
+}
+
+void fixture_child_exit(int code) {
+  // mstv-lint: allow(MP-FORK-SAFE) — fixture: terminal error epitaph on
+  // unbuffered stderr immediately before _exit; nothing else will flush.
+  std::fprintf(stderr, "worker dying\n");
+  _exit(code);
+}
+
+}  // namespace mstv::mp

@@ -1,0 +1,11 @@
+// mstv-lint-fixture: src/graph/fixture_stale.cpp
+// Known-bad: a justified, well-formed certificate whose violation has
+// since been fixed.  It suppresses nothing, so it is dead weight that
+// would silently bless a future regression — LINT-STALE-ALLOW flags it.
+namespace mstv {
+
+int stable_weight() {
+  return 7;  // mstv-lint: allow(DET-RAND) -- the rand() jitter was removed   expect: LINT-STALE-ALLOW
+}
+
+}  // namespace mstv

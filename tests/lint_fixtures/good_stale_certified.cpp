@@ -1,0 +1,15 @@
+// mstv-lint-fixture: src/graph/fixture_stale_kept.cpp
+// Known-good: a currently-unused certificate kept on purpose, with the
+// keep itself certified by allow(LINT-STALE-ALLOW).  The outer
+// certificate is what the stale audit charges against — covering it
+// makes the file clean, and the covering certificate counts as used.
+namespace mstv {
+
+int seasonal_weight(bool heavy) {
+  // mstv-lint: allow(LINT-STALE-ALLOW) — fixture: the certificate below
+  // guards a seasonal branch that is compiled out right now.
+  // mstv-lint: allow(DET-RAND) -- jitter returns when the branch does
+  return heavy ? 9 : 7;
+}
+
+}  // namespace mstv

@@ -1,0 +1,12 @@
+// mstv-lint-fixture: src/labeling/fixture_labels.hpp
+// Support file for the program fixture corpus: a labeling-layer header
+// that itself legally reaches down to util.
+#pragma once
+
+#include "util/fixture_bits.hpp"
+
+namespace mstv {
+
+inline int fixture_labels_arity() { return fixture_bits_arity() + 1; }
+
+}  // namespace mstv

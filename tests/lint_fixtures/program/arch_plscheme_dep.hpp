@@ -1,0 +1,10 @@
+// mstv-lint-fixture: src/plscheme/fixture_api.hpp
+// Support file for the program fixture corpus: a plscheme-layer header
+// the obs-layer file illegally includes.
+#pragma once
+
+namespace mstv {
+
+inline int fixture_api_arity() { return 3; }
+
+}  // namespace mstv

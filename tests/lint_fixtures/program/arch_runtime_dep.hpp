@@ -1,0 +1,10 @@
+// mstv-lint-fixture: src/runtime/fixture_sched.hpp
+// Support file for the program fixture corpus: a runtime-layer header
+// the obs-layer file illegally includes.
+#pragma once
+
+namespace mstv {
+
+inline int fixture_sched_arity() { return 2; }
+
+}  // namespace mstv

@@ -1,0 +1,10 @@
+// mstv-lint-fixture: src/util/fixture_bits.hpp
+// Support file for the program fixture corpus: a util-layer header —
+// every module may depend on util, so including this is always legal.
+#pragma once
+
+namespace mstv {
+
+inline int fixture_bits_arity() { return 1; }
+
+}  // namespace mstv

@@ -1,0 +1,14 @@
+// mstv-lint-fixture: src/tree/fixture_cyc_a.hpp
+// Known-bad (multi-file program fixture): this header and its partner
+// include each other.  Both files sit in the same module, so no layer
+// edge is violated — the cycle obligation alone fires, reported at the
+// back edge's include line in the cycle's first file.
+#pragma once
+
+#include "tree/fixture_cyc_b.hpp"       // expect: ARCH-LAYER
+
+namespace mstv {
+
+inline int fixture_cyc_a() { return 1; }
+
+}  // namespace mstv

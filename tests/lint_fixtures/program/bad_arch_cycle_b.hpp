@@ -1,0 +1,13 @@
+// mstv-lint-fixture: src/tree/fixture_cyc_b.hpp
+// Known-bad (multi-file program fixture): partner of fixture_cyc_a.hpp;
+// the pair forms an include cycle.  The finding is anchored in the
+// cycle's lexicographically first file, so this one carries no marker.
+#pragma once
+
+#include "tree/fixture_cyc_a.hpp"
+
+namespace mstv {
+
+inline int fixture_cyc_b() { return 2; }
+
+}  // namespace mstv

@@ -1,0 +1,14 @@
+// mstv-lint-fixture: src/obs/fixture_probe.cpp
+// Known-bad (multi-file program fixture): obs is a leaf-ish layer — it
+// may depend on util and nothing else, so the verifier layers can be
+// instrumented without the instrumentation depending back on them.
+// Both includes below resolve to modules outside obs's dependency cone.
+#include "runtime/fixture_sched.hpp"    // expect: ARCH-LAYER
+#include "plscheme/fixture_api.hpp"     // expect: ARCH-LAYER
+#include "util/fixture_bits.hpp"
+
+namespace mstv {
+
+int probe() { return fixture_sched_arity() + fixture_api_arity(); }
+
+}  // namespace mstv

@@ -1,0 +1,12 @@
+// mstv-lint-fixture: src/store/fixture_snapshot.cpp
+// Known-good (multi-file program fixture): store may depend on labeling
+// (and transitively on whatever labeling may use), obs, parallel, and
+// util — every include below is inside the declared dependency cone.
+#include "labeling/fixture_labels.hpp"
+#include "util/fixture_bits.hpp"
+
+namespace mstv {
+
+int snapshot_arity() { return fixture_labels_arity() + fixture_bits_arity(); }
+
+}  // namespace mstv

@@ -21,6 +21,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "lint/engine.hpp"
@@ -30,6 +31,7 @@ using mstv::lint::Diagnostic;
 using mstv::lint::LintContext;
 using mstv::lint::LintOptions;
 using mstv::lint::LintResult;
+using mstv::lint::MemoryFile;
 using mstv::lint::RuleRegistry;
 
 namespace {
@@ -108,6 +110,21 @@ std::string pretty(const Findings& f) {
   return out.str().empty() ? "  (none)\n" : out.str();
 }
 
+// A fixture's pretend path is the first whitespace-delimited token after
+// the `mstv-lint-fixture:` marker — anything past it (a closing `-->`, an
+// `expect:` annotation for a line-1 finding) is commentary, not path.
+std::string pretend_relpath(const fs::path& path, const std::string& content) {
+  std::string relpath = path.filename().string();
+  const std::string first = content.substr(0, content.find('\n'));
+  const std::size_t marker = first.find("mstv-lint-fixture:");
+  if (marker != std::string::npos) {
+    const std::string tail = trim(first.substr(marker + 18));
+    const std::size_t cut = tail.find_first_of(" \t");
+    relpath = cut == std::string::npos ? tail : tail.substr(0, cut);
+  }
+  return relpath;
+}
+
 // Runs the engine over one fixture, honoring its pretend-path marker.
 std::vector<Diagnostic> lint_fixture(const fs::path& path,
                                      const std::string& content) {
@@ -115,19 +132,9 @@ std::vector<Diagnostic> lint_fixture(const fs::path& path,
   LintContext ctx;
   ctx.root = MSTV_LINT_REPO_ROOT;
   ctx.known_rules = registry.ids();
-
-  std::string relpath = path.filename().string();
-  const std::string first =
-      content.substr(0, content.find('\n'));
-  const std::size_t marker = first.find("mstv-lint-fixture:");
-  if (marker != std::string::npos) {
-    relpath = trim(first.substr(marker + 18));
-    const std::size_t close = relpath.find("-->");
-    if (close != std::string::npos) relpath = trim(relpath.substr(0, close));
-  }
-
   std::vector<Diagnostic> diags;
-  mstv::lint::lint_content(registry, ctx, relpath, content, {}, diags);
+  mstv::lint::lint_content(registry, ctx, pretend_relpath(path, content),
+                           content, {}, diags);
   return diags;
 }
 
@@ -227,14 +234,26 @@ TEST(LintSuppression, CommentBlockCoversLineBelowBlock) {
 }
 
 TEST(LintSuppression, CertificateDoesNotLeakPastItsLine) {
+  // The violation on line 3 is out of the certificate's reach — and the
+  // certificate, having suppressed nothing, is itself flagged stale.
   const auto diags = lint_snippet(
       "src/graph/x.cpp",
       "// mstv-lint: allow(DET-RAND) — only covers the next line\n"
       "int f() { return 0; }\n"
       "int g() { return rand(); }\n");
-  ASSERT_EQ(diags.size(), 1u);
-  EXPECT_EQ(diags[0].rule, "DET-RAND");
-  EXPECT_EQ(diags[0].line, 3);
+  const Findings got = actual_findings(diags);
+  const Findings want = {{1, "LINT-STALE-ALLOW"}, {3, "DET-RAND"}};
+  EXPECT_EQ(got, want) << pretty(got);
+}
+
+TEST(LintSuppression, MultiRuleAllowCoversEveryNamedRule) {
+  // allow(A, B) is one certificate naming two rules; both findings on
+  // the covered line are suppressed and the certificate counts as used.
+  const auto diags = lint_snippet(
+      "src/mst/x.cpp",
+      "double f() { return clock() + rand(); }"
+      "  // mstv-lint: allow(DET-RAND, DET-CLOCK) — fused fixture seed\n");
+  EXPECT_TRUE(diags.empty()) << pretty(actual_findings(diags));
 }
 
 TEST(LintSuppression, JustificationIsRequired) {
@@ -385,6 +404,243 @@ TEST(LintRules, RawStringsAndCommentsDoNotFoolTheLexer) {
 }
 
 // --- output encoding ----------------------------------------------------
+
+// --- whole-program analysis ---------------------------------------------
+
+// The ARCH-LAYER obligations that need *resolved* include edges (illegal
+// layer edges, include cycles) only exist in a multi-file program, so the
+// program fixtures live in their own subdirectory and are linted as one
+// scanned set; expectations are keyed by (pretend path, line, rule).
+TEST(LintProgram, MultiFileArchFixturesMatchExpectations) {
+  const fs::path dir = fs::path(MSTV_LINT_FIXTURE_DIR) / "program";
+  ASSERT_TRUE(fs::exists(dir)) << dir;
+
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  ASSERT_GE(paths.size(), 6u) << "program fixture corpus went missing?";
+
+  using FileFindings = std::vector<std::tuple<std::string, int, std::string>>;
+  std::vector<MemoryFile> inputs;
+  FileFindings expected;
+  for (const fs::path& p : paths) {
+    std::string content = slurp(p);
+    const std::string rel = pretend_relpath(p, content);
+    for (const auto& [line, rule] : expected_findings(split_lines(content))) {
+      expected.emplace_back(rel, line, rule);
+    }
+    inputs.push_back(MemoryFile{rel, std::move(content)});
+  }
+  std::sort(expected.begin(), expected.end());
+
+  LintOptions options;
+  options.root = MSTV_LINT_REPO_ROOT;
+  const LintResult result =
+      mstv::lint::lint_files(RuleRegistry::builtin(), options, inputs);
+  FileFindings actual;
+  for (const Diagnostic& d : result.diagnostics) {
+    actual.emplace_back(d.file, d.line, d.rule);
+  }
+  std::sort(actual.begin(), actual.end());
+
+  const auto render = [](const FileFindings& f) {
+    std::ostringstream out;
+    for (const auto& [file, line, rule] : f) {
+      out << "  " << file << ':' << line << ": " << rule << '\n';
+    }
+    return out.str().empty() ? std::string("  (none)\n") : out.str();
+  };
+  EXPECT_EQ(expected, actual) << "expected:\n"
+                              << render(expected) << "actual:\n"
+                              << render(actual);
+}
+
+TEST(LintReach, MemberCallsAreNotTraversed) {
+  // Name-based resolution cannot see through dynamic dispatch, so the
+  // call graph only follows free calls: the member call in mark() is not
+  // an edge, and only the primitive site itself is flagged.
+  const auto diags = lint_snippet("src/labeling/x.cpp",
+                                  "struct Jitter {\n"
+                                  "  int next() { return rand(); }\n"
+                                  "};\n"
+                                  "int mark(int n) {\n"
+                                  "  Jitter j;\n"
+                                  "  return j.next() + n;\n"
+                                  "}\n");
+  const Findings got = actual_findings(diags);
+  const Findings want = {{2, "DET-RAND"}};
+  EXPECT_EQ(got, want) << pretty(got);
+}
+
+TEST(LintReach, FreeCallChainIsTraversedAndNamedInTheMessage) {
+  const auto diags = lint_snippet(
+      "src/labeling/x.cpp",
+      "int helper() { return rand(); }\n"
+      "int mark(int n) { return helper() + n; }\n");
+  const Findings got = actual_findings(diags);
+  const Findings want = {{1, "DET-RAND"}, {2, "DET-REACH"}};
+  ASSERT_EQ(got, want) << pretty(got);
+  for (const Diagnostic& d : diags) {
+    if (d.rule != "DET-REACH") continue;
+    EXPECT_NE(d.message.find("helper"), std::string::npos) << d.message;
+  }
+}
+
+TEST(LintReach, PrimitiveSiteCertificateCoversEveryPathThroughIt) {
+  // One allow() at the primitive silences both the per-file rule and the
+  // reachability finding at every call site upstream of it — and having
+  // suppressed findings, it is not stale.
+  const auto diags = lint_snippet(
+      "src/labeling/x.cpp",
+      "int seeded() { return rand(); }"
+      "  // mstv-lint: allow(DET-RAND) — audited fixture seed source\n"
+      "int mark(int n) { return seeded() + n; }\n");
+  EXPECT_TRUE(diags.empty()) << pretty(actual_findings(diags));
+}
+
+TEST(LintStale, OnlyRulesRunSkipsTheStaleAudit) {
+  // Under --rules filtering most certificates are trivially unused; the
+  // stale audit is meaningful only for full-registry runs.
+  const std::string src =
+      "int f() { return 7; }"
+      "  // mstv-lint: allow(DET-CLOCK) — kept while the timer migrates\n";
+  const RuleRegistry registry = RuleRegistry::builtin();
+  LintContext ctx;
+  ctx.root = MSTV_LINT_REPO_ROOT;
+  ctx.known_rules = registry.ids();
+
+  std::vector<Diagnostic> filtered;
+  mstv::lint::lint_content(registry, ctx, "src/graph/x.cpp", src,
+                           {"DET-RAND"}, filtered);
+  EXPECT_TRUE(filtered.empty()) << pretty(actual_findings(filtered));
+
+  std::vector<Diagnostic> full;
+  mstv::lint::lint_content(registry, ctx, "src/graph/x.cpp", src, {}, full);
+  const Findings got = actual_findings(full);
+  const Findings want = {{1, "LINT-STALE-ALLOW"}};
+  EXPECT_EQ(got, want) << pretty(got);
+}
+
+TEST(LintStale, MarkdownFencedDirectivesAreMentionNotUse) {
+  // A directive displayed inside a fenced code block is the manual
+  // quoting the syntax; only directives in live markdown lines (HTML
+  // comments) are certificates — and audited as such.
+  const std::string fenced =
+      "# doc\n"
+      "```cpp\n"
+      "// mstv-lint: allow(DET-CLOCK) — example syntax in the manual\n"
+      "```\n";
+  EXPECT_TRUE(lint_snippet("docs/x.md", fenced).empty());
+
+  const std::string live =
+      "# doc\n"
+      "<!-- mstv-lint: allow(DET-CLOCK) — live but suppresses nothing -->\n";
+  const Findings got = actual_findings(lint_snippet("docs/x.md", live));
+  const Findings want = {{2, "LINT-STALE-ALLOW"}};
+  EXPECT_EQ(got, want) << pretty(got);
+}
+
+// --- lexer hardening ----------------------------------------------------
+
+TEST(LintLexer, RawStringDelimitersAndEncodingPrefixes) {
+  const std::string src =
+      "const char* a = R\"x(rand() \") and time() are prose)x\";\n"
+      "const char* b = u8R\"(srand(1) in utf-8 prose)\";\n"
+      "const wchar_t* c = LR\"(clock() in wide prose)\";\n"
+      "int f() { return 1; }\n";
+  EXPECT_TRUE(lint_snippet("src/mst/x.cpp", src).empty());
+}
+
+TEST(LintLexer, LineContinuationExtendsLineComment) {
+  // [lex.phases] p2: the backslash-newline splice runs before comment
+  // stripping, so line 2 is still comment text — only line 3 is code.
+  const auto diags =
+      lint_snippet("src/mst/x.cpp",
+                   "// this comment continues onto the next line \\\n"
+                   "rand(); time(); still inside the comment\n"
+                   "int f() { return rand(); }\n");
+  const Findings got = actual_findings(diags);
+  const Findings want = {{3, "DET-RAND"}};
+  EXPECT_EQ(got, want) << pretty(got);
+}
+
+TEST(LintLexer, LineContinuationInsideStringLiteral) {
+  const std::string src =
+      "const char* s = \"call rand() \\\n"
+      " and time() in prose\";\n"
+      "int f() { return 1; }\n";
+  EXPECT_TRUE(lint_snippet("src/mst/x.cpp", src).empty());
+}
+
+TEST(LintLexer, DigitSeparatorsAreNotCharLiterals) {
+  // A lexer that misread 1'000'000 as char literals could swallow the
+  // code after it; the rand() on line 2 must still be seen — and at the
+  // right position.
+  const auto diags = lint_snippet("src/graph/x.cpp",
+                                  "long f() { return 1'000'000; }\n"
+                                  "int g() { return rand(); }\n");
+  const Findings got = actual_findings(diags);
+  const Findings want = {{2, "DET-RAND"}};
+  EXPECT_EQ(got, want) << pretty(got);
+}
+
+// --- header self-containment coverage -----------------------------------
+
+TEST(LintHeaders, GeneratedTuListCoversStoreAndMpHeaders) {
+  // The HDR family compiles one generated TU per public header; this
+  // pins the generator's coverage of the newer subsystems — a header
+  // added under src/store/ or src/runtime/mp/ without a matching
+  // hdr_*.cpp would silently escape the self-containment check.
+  const fs::path tu_dir = MSTV_LINT_HEADER_CHECK_DIR;
+  ASSERT_TRUE(fs::exists(tu_dir)) << tu_dir;
+  const fs::path src_root = fs::path(MSTV_LINT_REPO_ROOT) / "src";
+  for (const char* top : {"store", "runtime/mp"}) {
+    const fs::path subtree = src_root / top;
+    ASSERT_TRUE(fs::exists(subtree)) << subtree;
+    std::size_t seen = 0;
+    for (const auto& entry : fs::recursive_directory_iterator(subtree)) {
+      if (!entry.is_regular_file() ||
+          entry.path().extension() != ".hpp") {
+        continue;
+      }
+      std::string tu =
+          fs::relative(entry.path(), src_root).generic_string();
+      std::replace(tu.begin(), tu.end(), '/', '_');
+      tu.replace(tu.size() - 4, 4, ".cpp");
+      EXPECT_TRUE(fs::exists(tu_dir / ("hdr_" + tu)))
+          << entry.path() << " has no generated TU hdr_" << tu;
+      ++seen;
+    }
+    EXPECT_GE(seen, 1u) << "no public headers under src/" << top;
+  }
+}
+
+// --- output encoding ----------------------------------------------------
+
+TEST(LintOutput, SuppressionInventoryInJson) {
+  LintOptions options;
+  options.root = MSTV_LINT_REPO_ROOT;
+  options.report_suppressions = true;
+  const LintResult result = mstv::lint::lint_files(
+      RuleRegistry::builtin(), options,
+      {MemoryFile{"src/graph/a.cpp",
+                  "int f() { return rand(); }"
+                  "  // mstv-lint: allow(DET-RAND) — fixture\n"},
+       MemoryFile{"src/graph/b.cpp",
+                  "int g() { return 7; }"
+                  "  // mstv-lint: allow(DET-RAND) — stale on purpose\n"}});
+  ASSERT_EQ(result.suppressions.size(), 2u);
+  EXPECT_EQ(result.suppressions[0].file, "src/graph/a.cpp");
+  EXPECT_TRUE(result.suppressions[0].used);
+  EXPECT_FALSE(result.suppressions[1].used);
+  const std::string json = mstv::lint::to_json(result);
+  EXPECT_NE(json.find("\"suppressions\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"used\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"used\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"engine_ms\""), std::string::npos);
+}
 
 TEST(LintOutput, JsonListsViolationsWithPositions) {
   LintContext ctx;

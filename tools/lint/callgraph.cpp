@@ -1,0 +1,59 @@
+#include "lint/callgraph.hpp"
+
+#include <deque>
+#include <set>
+
+namespace mstv::lint {
+
+CallGraph::CallGraph(const std::vector<FileSymbols>& files) {
+  for (const FileSymbols& fs : files) {
+    for (const FunctionDef& def : fs.defs) defs_.push_back(&def);
+  }
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    by_name_[defs_[i]->name].push_back(i);
+  }
+}
+
+const std::vector<std::size_t>& CallGraph::defs_named(
+    std::string_view name) const {
+  static const std::vector<std::size_t> kEmpty;
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kEmpty : it->second;
+}
+
+std::vector<CallGraph::Reached> CallGraph::reachable(
+    std::string_view root_callee, std::size_t max_depth) const {
+  std::vector<Reached> out;
+  std::set<std::size_t> visited;
+  struct Item {
+    std::size_t def_index;
+    std::vector<std::string> chain;
+  };
+  std::deque<Item> queue;
+  for (const std::size_t d : defs_named(root_callee)) {
+    if (visited.insert(d).second) {
+      queue.push_back(Item{d, {std::string(root_callee)}});
+    }
+  }
+  while (!queue.empty()) {
+    Item item = std::move(queue.front());
+    queue.pop_front();
+    const FunctionDef* def = defs_[item.def_index];
+    out.push_back(Reached{def, item.chain});
+    if (item.chain.size() >= max_depth) continue;
+    for (const CallSite& call : def->calls) {
+      if (call.member) continue;  // dynamic dispatch: not resolvable
+      for (const std::size_t d : defs_named(call.callee)) {
+        if (!visited.insert(d).second) continue;
+        Item next;
+        next.def_index = d;
+        next.chain = item.chain;
+        next.chain.push_back(call.callee);
+        queue.push_back(std::move(next));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mstv::lint

@@ -1,0 +1,56 @@
+// Name-based call graph over the symbol index, with the reachability
+// walk the REACH rule family runs.
+//
+// Resolution contract (see docs/static_analysis.md): an edge follows a
+// call site to EVERY definition sharing the callee's unqualified name,
+// anywhere in the scanned set — over-approximate by construction.
+// Member calls (`x.f()` / `p->f()`) are dynamic dispatch the token
+// stream cannot resolve; the walk does not follow them (unqualified
+// calls from inside a member function still look free, so intra-class
+// reachability is kept).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/symbols.hpp"
+
+namespace mstv::lint {
+
+class CallGraph {
+ public:
+  CallGraph() = default;
+  explicit CallGraph(const std::vector<FileSymbols>& files);
+
+  [[nodiscard]] const std::vector<const FunctionDef*>& defs() const {
+    return defs_;
+  }
+  /// Indices into defs() of every definition named `name`.
+  [[nodiscard]] const std::vector<std::size_t>& defs_named(
+      std::string_view name) const;
+
+  /// One definition reached from a root call, with the chain of callee
+  /// names that got there (root's callee first).
+  struct Reached {
+    const FunctionDef* def = nullptr;
+    std::vector<std::string> chain;
+  };
+
+  /// Breadth-first reachability from a callee name through non-member
+  /// call edges.  Each definition is visited once, with its shortest
+  /// chain; traversal is depth-limited (`max_depth` call edges) as a
+  /// cheap cycle/blowup guard.  Deterministic: defs are stored and
+  /// expanded in file/position order.
+  [[nodiscard]] std::vector<Reached> reachable(std::string_view root_callee,
+                                               std::size_t max_depth) const;
+
+ private:
+  std::vector<const FunctionDef*> defs_;
+  std::map<std::string, std::vector<std::size_t>, std::less<>> by_name_;
+};
+
+}  // namespace mstv::lint

@@ -1,11 +1,15 @@
 #include "lint/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <tuple>
+
+#include "lint/program.hpp"
 
 namespace mstv::lint {
 
@@ -97,42 +101,131 @@ bool rule_selected(const Rule& rule,
          only_rules.end();
 }
 
-}  // namespace
+/// The shared three-stage pipeline over already-constructed files.
+void lint_pipeline(const RuleRegistry& registry, LintContext& ctx,
+                   const std::vector<std::unique_ptr<SourceFile>>& files,
+                   const std::vector<std::string>& only_rules,
+                   std::vector<Diagnostic>& out) {
+  // Stage 1: per-file rules.
+  for (const auto& file : files) {
+    for (const auto& rule : registry.rules()) {
+      if (rule->whole_program()) continue;
+      if (!rule_selected(*rule, only_rules)) continue;
+      if (rule->file_class() != file->file_class()) continue;
+      if (!rule->applies_to(file->relpath())) continue;
+      rule->check(ctx, *file, out);
+    }
+  }
 
-void lint_content(const RuleRegistry& registry, const LintContext& ctx,
-                  const std::string& relpath, const std::string& content,
-                  const std::vector<std::string>& only_rules,
-                  std::vector<Diagnostic>& out) {
-  const SourceFile file(relpath, content, classify(relpath));
-  for (const auto& rule : registry.rules()) {
-    if (!rule_selected(*rule, only_rules)) continue;
-    if (rule->file_class() != file.file_class()) continue;
-    if (!rule->applies_to(relpath)) continue;
-    rule->check(ctx, file, out);
+  // Stage 2: whole-program rules over the complete scanned set.
+  const bool any_program =
+      std::any_of(registry.rules().begin(), registry.rules().end(),
+                  [&](const std::unique_ptr<Rule>& r) {
+                    return r->whole_program() && rule_selected(*r, only_rules);
+                  });
+  if (any_program) {
+    std::vector<const SourceFile*> ptrs;
+    ptrs.reserve(files.size());
+    for (const auto& f : files) ptrs.push_back(f.get());
+    const Program program = build_program(ptrs);
+    for (const auto& rule : registry.rules()) {
+      if (!rule->whole_program()) continue;
+      if (!rule_selected(*rule, only_rules)) continue;
+      rule->check_program(ctx, program, out);
+    }
+  }
+
+  // Stage 3: stale-certificate audit — only on full-registry runs;
+  // under --rules filtering most certificates are trivially unused.
+  if (only_rules.empty()) {
+    std::vector<const SourceFile*> ptrs;
+    ptrs.reserve(files.size());
+    for (const auto& f : files) ptrs.push_back(f.get());
+    audit_stale_allows(ctx, ptrs, out);
   }
 }
 
-LintResult run_lint(const RuleRegistry& registry, const LintOptions& options) {
+}  // namespace
+
+LintResult lint_files(const RuleRegistry& registry, const LintOptions& options,
+                      const std::vector<MemoryFile>& inputs) {
+  // mstv-lint: allow(DET-CLOCK) — the engine reports its own wall time
+  // (CI budgets the scan); timing the tool is not part of any verifier
+  // result, and obs is a library layer this standalone binary stays off.
+  const auto t0 = std::chrono::steady_clock::now();
+
+  AllowUsage usage;
   LintContext ctx;
   ctx.root = options.root;
   ctx.known_rules = registry.ids();
+  ctx.used_allows = &usage;
 
-  std::vector<std::string> files =
-      options.files.empty() ? default_scan(options.root) : options.files;
+  std::vector<std::unique_ptr<SourceFile>> files;
+  files.reserve(inputs.size());
+  for (const MemoryFile& in : inputs) {
+    files.push_back(std::make_unique<SourceFile>(in.relpath, in.content,
+                                                 classify(in.relpath)));
+  }
 
   LintResult result;
-  for (const std::string& rel : files) {
-    const std::string content = slurp(fs::path(options.root) / rel);
-    lint_content(registry, ctx, rel, content, options.only_rules,
-                 result.diagnostics);
-    ++result.files_scanned;
-  }
+  result.files_scanned = files.size();
+  result.report_suppressions = options.report_suppressions;
+  lint_pipeline(registry, ctx, files, options.only_rules, result.diagnostics);
+
   std::sort(result.diagnostics.begin(), result.diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               return std::tie(a.file, a.line, a.col, a.rule) <
                      std::tie(b.file, b.line, b.col, b.rule);
             });
+
+  if (options.report_suppressions) {
+    for (const auto& file : files) {
+      const auto& allows = file->allows();
+      for (std::size_t i = 0; i < allows.size(); ++i) {
+        SuppressionRecord rec;
+        rec.file = file->relpath();
+        rec.line = allows[i].line;
+        rec.rules = allows[i].spelling;
+        rec.justification = allows[i].justification;
+        rec.used = usage.count({file.get(), i}) != 0;
+        result.suppressions.push_back(std::move(rec));
+      }
+    }
+    std::sort(result.suppressions.begin(), result.suppressions.end(),
+              [](const SuppressionRecord& a, const SuppressionRecord& b) {
+                return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+              });
+  }
+
+  // mstv-lint: allow(DET-CLOCK) — closes the engine_ms measurement
+  // opened above; same certificate, same reasoning.
+  const auto t1 = std::chrono::steady_clock::now();
+  result.engine_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
   return result;
+}
+
+void lint_content(const RuleRegistry& registry, const LintContext& ctx,
+                  const std::string& relpath, const std::string& content,
+                  const std::vector<std::string>& only_rules,
+                  std::vector<Diagnostic>& out) {
+  LintOptions options;
+  options.root = ctx.root;
+  options.only_rules = only_rules;
+  LintResult result =
+      lint_files(registry, options, {MemoryFile{relpath, content}});
+  for (Diagnostic& d : result.diagnostics) out.push_back(std::move(d));
+}
+
+LintResult run_lint(const RuleRegistry& registry, const LintOptions& options) {
+  const std::vector<std::string> names =
+      options.files.empty() ? default_scan(options.root) : options.files;
+  std::vector<MemoryFile> inputs;
+  inputs.reserve(names.size());
+  for (const std::string& rel : names) {
+    inputs.push_back(MemoryFile{rel, slurp(fs::path(options.root) / rel)});
+  }
+  return lint_files(registry, options, inputs);
 }
 
 std::string to_text(const LintResult& result) {
@@ -145,13 +238,23 @@ std::string to_text(const LintResult& result) {
                                      : "mstv-lint: FAILED (")
       << result.diagnostics.size() << " violation"
       << (result.diagnostics.size() == 1 ? "" : "s") << ", "
-      << result.files_scanned << " files scanned)\n";
+      << result.files_scanned << " files scanned, engine "
+      << static_cast<long>(result.engine_ms) << " ms)\n";
+  if (result.report_suppressions) {
+    for (const SuppressionRecord& s : result.suppressions) {
+      out << s.file << ':' << s.line << ": allow(" << s.rules << ") ["
+          << (s.used ? "used" : "stale") << "] " << s.justification << '\n';
+    }
+    out << result.suppressions.size() << " suppression"
+        << (result.suppressions.size() == 1 ? "" : "s") << " on record\n";
+  }
   return out.str();
 }
 
 std::string to_json(const LintResult& result) {
   std::ostringstream out;
   out << "{\n  \"files_scanned\": " << result.files_scanned
+      << ",\n  \"engine_ms\": " << static_cast<long>(result.engine_ms * 1000) / 1000.0
       << ",\n  \"violations\": [";
   for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
     const Diagnostic& d = result.diagnostics[i];
@@ -160,7 +263,21 @@ std::string to_json(const LintResult& result) {
         << "\", \"line\": " << d.line << ", \"col\": " << d.col
         << ", \"message\": \"" << json_escape(d.message) << "\"}";
   }
-  out << (result.diagnostics.empty() ? "]" : "\n  ]") << "\n}\n";
+  out << (result.diagnostics.empty() ? "]" : "\n  ]");
+  if (result.report_suppressions) {
+    out << ",\n  \"suppressions\": [";
+    for (std::size_t i = 0; i < result.suppressions.size(); ++i) {
+      const SuppressionRecord& s = result.suppressions[i];
+      out << (i == 0 ? "" : ",") << "\n    {\"file\": \""
+          << json_escape(s.file) << "\", \"line\": " << s.line
+          << ", \"rules\": \"" << json_escape(s.rules)
+          << "\", \"used\": " << (s.used ? "true" : "false")
+          << ", \"justification\": \"" << json_escape(s.justification)
+          << "\"}";
+    }
+    out << (result.suppressions.empty() ? "]" : "\n  ]");
+  }
+  out << "\n}\n";
   return out.str();
 }
 

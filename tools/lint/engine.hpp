@@ -1,4 +1,10 @@
 // The mstv-lint driver: file discovery, rule dispatch, output encoding.
+//
+// A run has three stages: per-file rules over each scanned file, then
+// whole-program rules (ARCH/REACH families) over the include graph and
+// call graph built from the complete scanned set, then — on
+// full-registry runs only — the stale-allow audit, which needs the
+// finished record of which certificates suppressed anything.
 #pragma once
 
 #include <string>
@@ -13,15 +19,44 @@ struct LintOptions {
   std::vector<std::string> only_rules;   // empty = every registered rule
   std::vector<std::string> files;        // explicit repo-relative paths;
                                          // empty = the default tree scan
+  bool report_suppressions = false;      // emit the certificate inventory
+};
+
+/// One allow() certificate and whether it suppressed anything this run
+/// (the --report-suppressions inventory CI archives).
+struct SuppressionRecord {
+  std::string file;
+  int line = 0;
+  std::string rules;          // spelling inside the parens, verbatim
+  std::string justification;
+  bool used = false;
 };
 
 struct LintResult {
   std::vector<Diagnostic> diagnostics;   // sorted (file, line, col, rule)
   std::size_t files_scanned = 0;
+  double engine_ms = 0.0;                // wall time of the full run
+  std::vector<SuppressionRecord> suppressions;  // only when requested
+  bool report_suppressions = false;
 };
 
-/// Lints one in-memory file (the unit the tests drive: fixtures pretend
-/// to live at any repo-relative path via `relpath`).
+/// A file handed to the engine without touching disk — the unit the
+/// fixture tests drive (`relpath` lets a fixture pretend to live at any
+/// repo-relative path, which is what the rules' path filters see).
+struct MemoryFile {
+  std::string relpath;
+  std::string content;
+};
+
+/// The full three-stage pipeline over an in-memory file set.
+/// `options.files` is ignored; `options.root` still anchors rules that
+/// consult the real tree (DOCS path checks, layers.txt).
+[[nodiscard]] LintResult lint_files(const RuleRegistry& registry,
+                                    const LintOptions& options,
+                                    const std::vector<MemoryFile>& files);
+
+/// Lints one in-memory file through the same pipeline (program rules see
+/// a one-file program).  Diagnostics are appended to `out`.
 void lint_content(const RuleRegistry& registry, const LintContext& ctx,
                   const std::string& relpath, const std::string& content,
                   const std::vector<std::string>& only_rules,

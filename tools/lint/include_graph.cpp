@@ -1,0 +1,180 @@
+#include "lint/include_graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mstv::lint {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string dirname_of(std::string_view relpath) {
+  const std::size_t slash = relpath.rfind('/');
+  if (slash == std::string_view::npos) return {};
+  return std::string(relpath.substr(0, slash));
+}
+
+// Joins and lexically normalizes `dir / tail` ("a/b" + "../c" -> "a/c").
+std::string join_normalized(std::string_view dir, std::string_view tail) {
+  std::vector<std::string_view> parts;
+  auto push_all = [&](std::string_view p) {
+    std::size_t start = 0;
+    while (start <= p.size()) {
+      std::size_t end = p.find('/', start);
+      if (end == std::string_view::npos) end = p.size();
+      const std::string_view seg = p.substr(start, end - start);
+      if (seg == "..") {
+        if (!parts.empty()) parts.pop_back();
+      } else if (!seg.empty() && seg != ".") {
+        parts.push_back(seg);
+      }
+      if (end == p.size()) break;
+      start = end + 1;
+    }
+  };
+  push_all(dir);
+  push_all(tail);
+  std::string out;
+  for (const std::string_view seg : parts) {
+    if (!out.empty()) out.push_back('/');
+    out.append(seg);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<IncludeEdge> parse_includes(const SourceFile& file) {
+  std::vector<IncludeEdge> out;
+  const std::string& text = file.text();
+  int line = 1;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string_view row =
+        trim(std::string_view(text.data() + start, end - start));
+    if (!row.empty() && row.front() == '#') {
+      row = trim(row.substr(1));
+      if (row.rfind("include", 0) == 0) {
+        row = trim(row.substr(7));
+        if (!row.empty() && (row.front() == '"' || row.front() == '<')) {
+          const char close = row.front() == '"' ? '"' : '>';
+          const std::size_t at = row.find(close, 1);
+          if (at != std::string_view::npos) {
+            IncludeEdge edge;
+            edge.from = file.relpath();
+            edge.spelling = std::string(row.substr(1, at - 1));
+            edge.line = line;
+            edge.quoted = row.front() == '"';
+            out.push_back(std::move(edge));
+          }
+        }
+      }
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+    ++line;
+  }
+  return out;
+}
+
+IncludeGraph IncludeGraph::build(const std::vector<const SourceFile*>& files) {
+  IncludeGraph graph;
+  std::set<std::string, std::less<>> known;
+  for (const SourceFile* f : files) known.insert(f->relpath());
+
+  for (const SourceFile* f : files) {
+    for (IncludeEdge edge : parse_includes(*f)) {
+      if (edge.quoted) {
+        // The build's include roots, in the compiler's quoted-include
+        // order: the including file's directory first, then -I roots.
+        for (const std::string& cand :
+             {join_normalized(dirname_of(edge.from), edge.spelling),
+              join_normalized("src", edge.spelling),
+              join_normalized("tools", edge.spelling)}) {
+          if (known.count(cand) != 0) {
+            edge.target = cand;
+            break;
+          }
+        }
+      }
+      graph.edges_.push_back(std::move(edge));
+    }
+  }
+  // by_file_ holds pointers into edges_; fill only once edges_ is final.
+  for (const IncludeEdge& e : graph.edges_) {
+    graph.by_file_[e.from].push_back(&e);
+  }
+  return graph;
+}
+
+const std::vector<const IncludeEdge*>& IncludeGraph::edges_from(
+    std::string_view relpath) const {
+  static const std::vector<const IncludeEdge*> kEmpty;
+  const auto it = by_file_.find(relpath);
+  return it == by_file_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::vector<std::string>> IncludeGraph::cycles() const {
+  // Iterative DFS over resolved edges; every back edge closes one cycle.
+  // Files are visited in sorted order and each cycle is canonicalized
+  // (rotated to its smallest member) and deduplicated, so the output is
+  // stable across runs.
+  std::vector<std::string> files;
+  for (const auto& [file, edges] : by_file_) files.push_back(file);
+
+  std::set<std::vector<std::string>> seen;
+  std::vector<std::vector<std::string>> out;
+  std::map<std::string, int, std::less<>> state;  // 0 new, 1 open, 2 done
+
+  std::vector<std::string> path;
+  // Recursive lambda flattened into an explicit stack of (file, edge idx).
+  for (const std::string& root : files) {
+    if (state[root] != 0) continue;
+    std::vector<std::pair<std::string, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    state[root] = 1;
+    path.push_back(root);
+    while (!stack.empty()) {
+      auto& [file, next] = stack.back();
+      const auto& edges = edges_from(file);
+      if (next >= edges.size()) {
+        state[file] = 2;
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const IncludeEdge* e = edges[next++];
+      if (e->target.empty()) continue;
+      const int s = state[e->target];
+      if (s == 1) {
+        // Back edge: the cycle is the path suffix from target onward.
+        const auto at = std::find(path.begin(), path.end(), e->target);
+        std::vector<std::string> cycle(at, path.end());
+        const auto low = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), low, cycle.end());
+        cycle.push_back(cycle.front());
+        if (seen.insert(cycle).second) out.push_back(cycle);
+      } else if (s == 0) {
+        state[e->target] = 1;
+        path.push_back(e->target);
+        stack.emplace_back(e->target, 0);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mstv::lint

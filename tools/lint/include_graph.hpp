@@ -1,0 +1,56 @@
+// Include graph over the scanned translation units and headers — the
+// first whole-program layer of mstv-lint (rule family ARCH).
+//
+// Edges come from `#include "..."` directives (first-party style); angle
+// includes are recorded but never resolved — system headers are outside
+// the architecture contract.  Resolution is purely lexical against the
+// scanned file set: a quoted path is tried relative to src/, tools/ and
+// the including file's own directory, exactly mirroring the include
+// directories the build hands the compiler.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/source_file.hpp"
+
+namespace mstv::lint {
+
+struct IncludeEdge {
+  std::string from;      // repo-relative path of the including file
+  std::string spelling;  // the path as written between the quotes
+  std::string target;    // resolved repo-relative path; empty if unresolved
+  int line = 0;          // line of the #include directive
+  bool quoted = false;   // "..." (first-party) vs <...> (system)
+};
+
+class IncludeGraph {
+ public:
+  /// Builds the graph for a set of lexed C++ files.  `files` must outlive
+  /// the graph only for this call — the graph copies what it keeps.
+  static IncludeGraph build(const std::vector<const SourceFile*>& files);
+
+  [[nodiscard]] const std::vector<IncludeEdge>& edges() const {
+    return edges_;
+  }
+  /// Edges leaving one file (empty vector if none).
+  [[nodiscard]] const std::vector<const IncludeEdge*>& edges_from(
+      std::string_view relpath) const;
+
+  /// Include cycles among resolved edges, each reported once as the list
+  /// of files around the loop (first entry repeated at the end), rotated
+  /// so the lexicographically smallest path leads.  Deterministic.
+  [[nodiscard]] std::vector<std::vector<std::string>> cycles() const;
+
+ private:
+  std::vector<IncludeEdge> edges_;
+  std::map<std::string, std::vector<const IncludeEdge*>, std::less<>>
+      by_file_;
+};
+
+/// Parses the `#include` directives of one file (exposed for unit tests).
+[[nodiscard]] std::vector<IncludeEdge> parse_includes(const SourceFile& file);
+
+}  // namespace mstv::lint

@@ -79,14 +79,27 @@ TokenStream lex(const std::string& text) {
     const int line = cur.line();
     const int col = cur.col();
 
-    // Line comment.
+    // Line comment.  A backslash-newline splice continues the comment
+    // onto the next physical line ([lex.phases] p2 runs before comment
+    // stripping) — without this, code on the spliced line would be
+    // treated as live and directives on it would leak into the stream.
     if (c == '/' && cur.peek(1) == '/') {
       const bool own_line = !cur.line_has_code();
       cur.advance();
       cur.advance();
       std::string body;
-      while (!cur.done() && cur.peek() != '\n') body.push_back(cur.advance());
-      out.comments.push_back(Comment{std::move(body), line, line, col,
+      while (!cur.done() && cur.peek() != '\n') {
+        if (cur.peek() == '\\' &&
+            (cur.peek(1) == '\n' ||
+             (cur.peek(1) == '\r' && cur.peek(2) == '\n'))) {
+          while (cur.peek() != '\n') cur.advance();
+          cur.advance();  // the spliced newline
+          body.push_back(' ');
+          continue;
+        }
+        body.push_back(cur.advance());
+      }
+      out.comments.push_back(Comment{std::move(body), line, cur.line(), col,
                                      own_line});
       continue;
     }
@@ -112,10 +125,23 @@ TokenStream lex(const std::string& text) {
 
     cur.mark_code();
 
-    // Raw string literal: R"tag( ... )tag".  Must come before the plain
-    // identifier path so `R` does not swallow the opening quote.
+    // Raw string literal: R"tag( ... )tag", with or without an encoding
+    // prefix (u8R, uR, UR, LR).  Recognized before the plain identifier
+    // path so the prefix does not lex as an identifier and leave the
+    // body — which may contain `//` or unbalanced quotes — to be
+    // misread as code.
+    std::size_t raw_prefix = 0;
     if (c == 'R' && cur.peek(1) == '"') {
-      cur.advance();  // R
+      raw_prefix = 1;
+    } else if ((c == 'u' || c == 'U' || c == 'L') && cur.peek(1) == 'R' &&
+               cur.peek(2) == '"') {
+      raw_prefix = 2;
+    } else if (c == 'u' && cur.peek(1) == '8' && cur.peek(2) == 'R' &&
+               cur.peek(3) == '"') {
+      raw_prefix = 3;
+    }
+    if (raw_prefix != 0) {
+      for (std::size_t i = 0; i < raw_prefix; ++i) cur.advance();
       cur.advance();  // "
       std::string tag;
       while (!cur.done() && cur.peek() != '(') tag.push_back(cur.advance());
@@ -168,13 +194,22 @@ TokenStream lex(const std::string& text) {
       continue;
     }
 
-    // String literal.
+    // String literal.  Backslash-newline splices continue the literal
+    // onto the next physical line; other escapes are kept verbatim.
     if (c == '"') {
       cur.advance();
       std::string body;
       while (!cur.done() && cur.peek() != '"') {
+        if (cur.peek() == '\\' &&
+            (cur.peek(1) == '\n' ||
+             (cur.peek(1) == '\r' && cur.peek(2) == '\n'))) {
+          cur.advance();  // backslash
+          while (!cur.done() && cur.peek() != '\n') cur.advance();  // \r
+          if (!cur.done()) cur.advance();  // spliced newline
+          continue;
+        }
         if (cur.peek() == '\\' && cur.peek(1) != '\0') {
-          body.push_back(cur.advance());  // keep escapes verbatim
+          body.push_back(cur.advance());
         }
         if (cur.peek() == '\n') break;  // unterminated: stop at line end
         body.push_back(cur.advance());

@@ -1,7 +1,8 @@
 // mstv-lint — the project's native static analysis engine.
 //
 // Usage:
-//   mstv-lint [--root=DIR] [--rules=ID[,ID...]] [--json] [files...]
+//   mstv-lint [--root=DIR] [--rules=ID[,ID...]] [--json]
+//             [--report-suppressions] [files...]
 //   mstv-lint --list-rules
 //
 // With no files, scans the default tree (src/, tools/, bench/, tests/,
@@ -31,7 +32,7 @@ void split_csv(const std::string& csv, std::vector<std::string>& out) {
 int usage() {
   std::cerr
       << "usage: mstv-lint [--root=DIR] [--rules=ID[,ID...]] [--json] "
-         "[files...]\n"
+         "[--report-suppressions] [files...]\n"
          "       mstv-lint --list-rules\n"
          "Scans the tree (or the given repo-relative files) with the "
          "project's\nstatic-analysis rules; see docs/static_analysis.md.\n";
@@ -54,6 +55,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--report-suppressions") {
+      options.report_suppressions = true;
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg.rfind("--root=", 0) == 0) {

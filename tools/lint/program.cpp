@@ -1,0 +1,18 @@
+#include "lint/program.hpp"
+
+namespace mstv::lint {
+
+Program build_program(const std::vector<const SourceFile*>& files) {
+  Program prog;
+  prog.files = files;
+  prog.includes = IncludeGraph::build(files);
+  for (const SourceFile* f : files) {
+    if (f->file_class() != FileClass::Markdown) {
+      prog.symbols.push_back(index_symbols(*f));
+    }
+  }
+  prog.calls = CallGraph(prog.symbols);
+  return prog;
+}
+
+}  // namespace mstv::lint

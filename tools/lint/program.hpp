@@ -1,0 +1,35 @@
+// Whole-program view handed to program rules: every scanned file plus
+// the include graph and name-based call graph built over them.  Built
+// once per engine run, after all per-file passes; program rules read it
+// through Rule::check_program().
+#pragma once
+
+#include <vector>
+
+#include "lint/callgraph.hpp"
+#include "lint/include_graph.hpp"
+#include "lint/source_file.hpp"
+#include "lint/symbols.hpp"
+
+namespace mstv::lint {
+
+struct Program {
+  /// All scanned files in deterministic (sorted relpath) order, C++ and
+  /// markdown alike.  Rules filter by SourceFile::file_class themselves.
+  std::vector<const SourceFile*> files;
+  IncludeGraph includes;
+  std::vector<FileSymbols> symbols;  // one entry per C++ file, same order
+  CallGraph calls;
+
+  [[nodiscard]] const SourceFile* find(std::string_view relpath) const {
+    for (const SourceFile* f : files) {
+      if (f->relpath() == relpath) return f;
+    }
+    return nullptr;
+  }
+};
+
+/// Builds the include graph, symbol index, and call graph over `files`.
+[[nodiscard]] Program build_program(const std::vector<const SourceFile*>& files);
+
+}  // namespace mstv::lint

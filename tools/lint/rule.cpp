@@ -4,9 +4,18 @@
 
 namespace mstv::lint {
 
-void Rule::report(const SourceFile& file, int line, int col,
-                  std::string message, std::vector<Diagnostic>& out) const {
-  if (file.suppressed(id(), line)) return;
+bool certificate_covers(const LintContext& ctx, const SourceFile& file,
+                        std::string_view rule, int line) {
+  const std::size_t at = file.suppressing_allow(rule, line);
+  if (at == SourceFile::npos) return false;
+  if (ctx.used_allows != nullptr) ctx.used_allows->emplace(&file, at);
+  return true;
+}
+
+void Rule::report(const LintContext& ctx, const SourceFile& file, int line,
+                  int col, std::string message,
+                  std::vector<Diagnostic>& out) const {
+  if (certificate_covers(ctx, file, id(), line)) return;
   out.push_back(Diagnostic{std::string(id()), file.relpath(), line, col,
                            std::move(message)});
 }
@@ -24,8 +33,9 @@ std::vector<std::string> RuleRegistry::ids() const {
 
 RuleRegistry RuleRegistry::builtin() {
   RuleRegistry reg;
-  for (auto* family : {&make_det_rules, &make_hot_rules, &make_obs_rules,
-                       &make_docs_rules, &make_meta_rules}) {
+  for (auto* family :
+       {&make_det_rules, &make_hot_rules, &make_obs_rules, &make_docs_rules,
+        &make_arch_rules, &make_reach_rules, &make_meta_rules}) {
     for (auto& rule : (*family)()) reg.add(std::move(rule));
   }
   return reg;

@@ -6,30 +6,40 @@
 // enforced by *locally checkable evidence* in each source file.  A rule
 // is a local verifier; a suppression comment is a certificate that a
 // human audited the site, and it is only valid when it carries a
-// justification.
+// justification.  Whole-program rules (ARCH, REACH, MP families) extend
+// the same model: the global contract (a layer DAG, a reachability
+// property) is decomposed into per-edge / per-call-site obligations that
+// are reported — and certifiable — at one concrete file:line.
 //
 // Suppression syntax (parsed from comments by SourceFile; the directive
 // prefix is the tool name followed by a colon, then):
 //
 //   allow(RULE-ID) — why this site is exempt
+//   allow(RULE-A, RULE-B) — one certificate may cover several rules
 //
 // The separator may be an em dash, `--`, or `:`; the justification text
 // is REQUIRED — a bare `allow()` is itself a violation (LINT-BARE-ALLOW),
 // and an allow() naming a rule the registry does not know is flagged too
 // (LINT-UNKNOWN-RULE).  A suppression covers the line it sits on and, when
-// the comment stands alone on its line, the next line of code.  The HOT
-// family also honors a file-wide `hot-path-file` marker.  Full syntax and
-// copy-pasteable examples: docs/static_analysis.md.
+// the comment stands alone on its line, the next line of code.  A
+// certificate that suppresses nothing in a full-registry run is stale
+// (LINT-STALE-ALLOW).  The HOT family also honors a file-wide
+// `hot-path-file` marker.  Full syntax and copy-pasteable examples:
+// docs/static_analysis.md.
 #pragma once
 
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "lint/source_file.hpp"
 
 namespace mstv::lint {
+
+struct Program;
 
 struct Diagnostic {
   std::string rule;
@@ -39,11 +49,26 @@ struct Diagnostic {
   std::string message;
 };
 
+/// Allow() certificates that suppressed at least one finding this run,
+/// keyed by (file, index into SourceFile::allows()).
+using AllowUsage = std::set<std::pair<const SourceFile*, std::size_t>>;
+
 /// Everything a rule may consult besides the file under scan.
 struct LintContext {
   std::string root;  // absolute repo root (for existence checks, DOCS)
   std::vector<std::string> known_rules;  // ids, for LINT-UNKNOWN-RULE
+  /// Engine-owned usage record feeding the stale-allow audit; may be
+  /// null (single-rule test harness runs), in which case usage is not
+  /// tracked and the audit never runs.
+  AllowUsage* used_allows = nullptr;
 };
+
+/// True when an allow(`rule`) certificate covers `line` in `file`.
+/// Records the certificate as used in `ctx` — every suppression check,
+/// including the REACH rules' primitive-site checks, must go through
+/// here or the stale-allow audit will miscount.
+bool certificate_covers(const LintContext& ctx, const SourceFile& file,
+                        std::string_view rule, int line);
 
 class Rule {
  public:
@@ -54,14 +79,22 @@ class Rule {
   /// Which class of file the rule consumes (C++ sources vs markdown).
   [[nodiscard]] virtual FileClass file_class() const { return FileClass::Cxx; }
   /// Path filter over repo-relative paths (forward slashes).
-  [[nodiscard]] virtual bool applies_to(std::string_view relpath) const = 0;
+  [[nodiscard]] virtual bool applies_to(std::string_view) const { return true; }
 
-  virtual void check(const LintContext& ctx, const SourceFile& file,
-                     std::vector<Diagnostic>& out) const = 0;
+  /// Program rules run once per engine invocation over the whole scanned
+  /// set (check_program) instead of once per file (check).
+  [[nodiscard]] virtual bool whole_program() const { return false; }
+
+  virtual void check(const LintContext&, const SourceFile&,
+                     std::vector<Diagnostic>&) const {}
+  virtual void check_program(const LintContext&, const Program&,
+                             std::vector<Diagnostic>&) const {}
 
  protected:
-  /// Emits `d` unless an allow(RULE-ID) certificate covers the line.
-  void report(const SourceFile& file, int line, int col, std::string message,
+  /// Emits a diagnostic for this rule unless an allow(RULE-ID)
+  /// certificate covers the line (recorded via certificate_covers).
+  void report(const LintContext& ctx, const SourceFile& file, int line,
+              int col, std::string message,
               std::vector<Diagnostic>& out) const;
 };
 
@@ -73,8 +106,8 @@ class RuleRegistry {
   }
   [[nodiscard]] std::vector<std::string> ids() const;
 
-  /// Every built-in rule family (DET, HOT, OBS, DOCS, LINT meta rules),
-  /// in stable catalog order.
+  /// Every built-in rule family (DET, HOT, OBS, DOCS, ARCH, REACH/MP,
+  /// LINT meta rules), in stable catalog order.
   [[nodiscard]] static RuleRegistry builtin();
 
  private:
@@ -86,6 +119,18 @@ std::vector<std::unique_ptr<Rule>> make_det_rules();
 std::vector<std::unique_ptr<Rule>> make_hot_rules();
 std::vector<std::unique_ptr<Rule>> make_obs_rules();
 std::vector<std::unique_ptr<Rule>> make_docs_rules();
+std::vector<std::unique_ptr<Rule>> make_arch_rules();
+std::vector<std::unique_ptr<Rule>> make_reach_rules();
 std::vector<std::unique_ptr<Rule>> make_meta_rules();
+
+/// LINT-STALE-ALLOW: flags every allow() certificate that suppressed no
+/// finding this run.  Only meaningful after a full-registry pass over
+/// the whole scanned set — the engine skips it under --rules filtering,
+/// where most certificates are trivially unused.  Two passes: ordinary
+/// certificates are audited first, so allow(LINT-STALE-ALLOW)
+/// certificates can themselves earn their keep before being audited.
+void audit_stale_allows(const LintContext& ctx,
+                        const std::vector<const SourceFile*>& files,
+                        std::vector<Diagnostic>& out);
 
 }  // namespace mstv::lint

@@ -1,0 +1,219 @@
+// ARCH rule family: the module layering contract, enforced over the
+// whole-program include graph.
+//
+//   ARCH-LAYER — three obligations, all derived from the normative DAG
+//                in tools/lint/layers.txt (mirrored with rationale in
+//                docs/architecture.md):
+//                  * an `#include` from one src/ module into another is
+//                    legal only when the target sits in the including
+//                    module's allowed dependency cone (the
+//                    reflexive-transitive closure of its declared
+//                    direct deps);
+//                  * every directory under src/ must be declared in the
+//                    DAG — an undeclared module has no place in the
+//                    architecture, which is how layering erodes;
+//                  * the header include graph must be acyclic (a cycle
+//                    is unbuildable layering no DAG can bless).
+//
+// Findings attach to a concrete include line (or the module's first
+// file), so the usual allow() certificate machinery applies.
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "lint/program.hpp"
+#include "lint/rule.hpp"
+
+namespace mstv::lint {
+
+namespace {
+
+constexpr std::string_view kLayersPath = "tools/lint/layers.txt";
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+struct LayerSpec {
+  // module -> direct declared deps, in declaration order.
+  std::vector<std::pair<std::string, std::vector<std::string>>> modules;
+  bool loaded = false;
+
+  [[nodiscard]] bool declared(std::string_view module) const {
+    return std::any_of(modules.begin(), modules.end(),
+                       [&](const auto& m) { return m.first == module; });
+  }
+};
+
+LayerSpec load_layers(const std::string& root) {
+  LayerSpec spec;
+  std::ifstream in(root + "/" + std::string(kLayersPath));
+  if (!in) return spec;
+  spec.loaded = true;
+  std::string row;
+  while (std::getline(in, row)) {
+    const std::size_t hash = row.find('#');
+    if (hash != std::string::npos) row.resize(hash);
+    const std::size_t colon = row.find(':');
+    if (colon == std::string::npos) continue;
+    std::string module = row.substr(0, colon);
+    module.erase(0, module.find_first_not_of(" \t"));
+    module.erase(module.find_last_not_of(" \t") + 1);
+    if (module.empty()) continue;
+    std::vector<std::string> deps;
+    std::istringstream rest(row.substr(colon + 1));
+    std::string dep;
+    while (rest >> dep) deps.push_back(dep);
+    spec.modules.emplace_back(std::move(module), std::move(deps));
+  }
+  return spec;
+}
+
+// Reflexive-transitive closure of the declared DAG, by fixpoint (which
+// terminates even if the declaration accidentally contains a cycle).
+std::map<std::string, std::set<std::string>> closure_of(
+    const LayerSpec& spec) {
+  std::map<std::string, std::set<std::string>> cone;
+  for (const auto& [module, deps] : spec.modules) {
+    cone[module].insert(module);
+    cone[module].insert(deps.begin(), deps.end());
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (auto& [module, reach] : cone) {
+      const std::set<std::string> snapshot = reach;
+      for (const std::string& dep : snapshot) {
+        const auto it = cone.find(dep);
+        if (it == cone.end()) continue;
+        for (const std::string& transitive : it->second) {
+          grew = reach.insert(transitive).second || grew;
+        }
+      }
+    }
+  }
+  return cone;
+}
+
+// Longest declared module prefix matching a src-relative directory
+// (`runtime/mp` beats `runtime` for src/runtime/mp/worker.cpp), or ""
+// when the file's module is not declared at all.
+std::string module_of(const LayerSpec& spec, std::string_view relpath) {
+  if (!starts_with(relpath, "src/")) return {};
+  const std::string_view tail = relpath.substr(4);
+  const std::size_t slash = tail.rfind('/');
+  if (slash == std::string_view::npos) return {};  // file directly in src/
+  const std::string_view dir = tail.substr(0, slash);
+  std::string best;
+  for (const auto& [module, deps] : spec.modules) {
+    if (module.size() <= best.size()) continue;
+    if (dir == module ||
+        (dir.size() > module.size() && starts_with(dir, module) &&
+         dir[module.size()] == '/')) {
+      best = module;
+    }
+  }
+  return best;
+}
+
+class ArchLayerRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "ARCH-LAYER"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "src/ includes must follow the layer DAG in tools/lint/layers.txt "
+           "(declared modules, legal edges, no cycles)";
+  }
+  [[nodiscard]] bool whole_program() const override { return true; }
+
+  void check_program(const LintContext& ctx, const Program& program,
+                     std::vector<Diagnostic>& out) const override {
+    const LayerSpec spec = load_layers(ctx.root);
+    if (!spec.loaded) {
+      out.push_back(Diagnostic{
+          std::string(id()), std::string(kLayersPath), 1, 1,
+          "cannot read the layer DAG; the ARCH-LAYER contract is "
+          "unenforceable without it"});
+      return;
+    }
+    const auto cone = closure_of(spec);
+
+    // Obligation 1: every src/ module is declared.  Report once per
+    // module, anchored to its first scanned file.
+    std::set<std::string> reported_undeclared;
+    for (const SourceFile* file : program.files) {
+      if (file->file_class() != FileClass::Cxx) continue;
+      if (!starts_with(file->relpath(), "src/")) continue;
+      if (!module_of(spec, file->relpath()).empty()) continue;
+      const std::string_view tail =
+          std::string_view(file->relpath()).substr(4);
+      const std::size_t slash = tail.find('/');
+      if (slash == std::string_view::npos) continue;
+      const std::string top(tail.substr(0, slash));
+      if (!reported_undeclared.insert(top).second) continue;
+      report(ctx, *file, 1, 1,
+             "module '" + top + "' (src/" + top + "/) is not declared in " +
+                 std::string(kLayersPath) +
+                 "; every src module must have a place in the layer DAG",
+             out);
+    }
+
+    // Obligation 2: every resolved src -> src include edge is inside
+    // the including module's dependency cone.
+    for (const IncludeEdge& edge : program.includes.edges()) {
+      if (edge.target.empty()) continue;
+      if (!starts_with(edge.from, "src/") ||
+          !starts_with(edge.target, "src/")) {
+        continue;
+      }
+      const std::string from_mod = module_of(spec, edge.from);
+      const std::string to_mod = module_of(spec, edge.target);
+      if (from_mod.empty() || to_mod.empty()) continue;  // obligation 1
+      const auto it = cone.find(from_mod);
+      if (it != cone.end() && it->second.count(to_mod) != 0) continue;
+      const SourceFile* file = program.find(edge.from);
+      if (file == nullptr) continue;
+      report(ctx, *file, edge.line, 1,
+             "include of '" + edge.target + "' puts module '" + from_mod +
+                 "' outside its allowed dependency cone (module '" + to_mod +
+                 "' is not reachable from '" + from_mod + "' in " +
+                 std::string(kLayersPath) + ")",
+             out);
+    }
+
+    // Obligation 3: the include graph is acyclic.
+    for (const std::vector<std::string>& cycle : program.includes.cycles()) {
+      const SourceFile* file = program.find(cycle.front());
+      if (file == nullptr) continue;
+      int line = 1;
+      for (const IncludeEdge* e :
+           program.includes.edges_from(cycle.front())) {
+        if (cycle.size() > 1 && e->target == cycle[1]) {
+          line = e->line;
+          break;
+        }
+      }
+      std::string path;
+      for (const std::string& hop : cycle) {
+        if (!path.empty()) path += " -> ";
+        path += hop;
+      }
+      report(ctx, *file, line, 1,
+             "include cycle: " + path + "; the include graph must be acyclic",
+             out);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_arch_rules() {
+  std::vector<std::unique_ptr<Rule>> out;
+  out.push_back(std::make_unique<ArchLayerRule>());
+  return out;
+}
+
+}  // namespace mstv::lint

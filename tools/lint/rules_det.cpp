@@ -87,7 +87,7 @@ class DetRandRule final : public Rule {
     return !det_exempt_path(relpath);
   }
 
-  void check(const LintContext&, const SourceFile& file,
+  void check(const LintContext& ctx, const SourceFile& file,
              std::vector<Diagnostic>& out) const override {
     static const std::set<std::string, std::less<>> kCalls = {
         "rand", "srand", "rand_r", "srandom", "random", "drand48", "lrand48",
@@ -97,7 +97,7 @@ class DetRandRule final : public Rule {
       const Token& t = toks[i];
       if (t.kind != TokKind::Identifier) continue;
       if (t.text == "random_device") {
-        report(file, t.line, t.col,
+        report(ctx, file, t.line, t.col,
                "std::random_device is ambient entropy; results must be "
                "reproducible from an explicit seed (util/rng.hpp)",
                out);
@@ -105,7 +105,7 @@ class DetRandRule final : public Rule {
       }
       if (kCalls.count(t.text) != 0 && next_is(toks, i, "(") &&
           free_call(toks, i)) {
-        report(file, t.line, t.col,
+        report(ctx, file, t.line, t.col,
                "'" + t.text +
                    "()' draws from ambient global state; use the seeded "
                    "mstv::Rng instead",
@@ -126,7 +126,7 @@ class DetClockRule final : public Rule {
     return !det_exempt_path(relpath);
   }
 
-  void check(const LintContext&, const SourceFile& file,
+  void check(const LintContext& ctx, const SourceFile& file,
              std::vector<Diagnostic>& out) const override {
     static const std::set<std::string, std::less<>> kClockTypes = {
         "steady_clock", "system_clock", "high_resolution_clock",
@@ -143,7 +143,7 @@ class DetClockRule final : public Rule {
       if (kClockTypes.count(t.text) != 0 && next_is(toks, i, "::") &&
           i + 2 < toks.size() && toks[i + 2].kind == TokKind::Identifier &&
           toks[i + 2].text == "now") {
-        report(file, t.line, t.col,
+        report(ctx, file, t.line, t.col,
                t.text + "::now() reads wall time in a result-producing "
                         "layer; use obs spans/timers or pass times in",
                out);
@@ -151,7 +151,7 @@ class DetClockRule final : public Rule {
       }
       if (kCCalls.count(t.text) != 0 && next_is(toks, i, "(") &&
           free_call(toks, i)) {
-        report(file, t.line, t.col,
+        report(ctx, file, t.line, t.col,
                "'" + t.text + "()' reads the system clock; timing belongs "
                               "to the obs layer",
                out);
@@ -173,7 +173,7 @@ class DetUnorderedIterRule final : public Rule {
            starts_with(relpath, "src/parallel/");
   }
 
-  void check(const LintContext&, const SourceFile& file,
+  void check(const LintContext& ctx, const SourceFile& file,
              std::vector<Diagnostic>& out) const override {
     static const std::set<std::string, std::less<>> kUnordered = {
         "unordered_map", "unordered_set", "unordered_multimap",
@@ -234,7 +234,7 @@ class DetUnorderedIterRule final : public Rule {
         }
         if (past_colon && toks[j].kind == TokKind::Identifier &&
             unordered_vars.count(toks[j].text) != 0) {
-          report(file, toks[i].line, toks[i].col,
+          report(ctx, file, toks[i].line, toks[i].col,
                  "range-for over unordered container '" + toks[j].text +
                      "': hash iteration order leaks into results; use a "
                      "sorted container or sort before folding",
@@ -257,7 +257,7 @@ class DetUnorderedIterRule final : public Rule {
       const Token& member = toks[i + 2];
       if (member.kind == TokKind::Identifier &&
           (member.text == "begin" || member.text == "cbegin")) {
-        report(file, toks[i].line, toks[i].col,
+        report(ctx, file, toks[i].line, toks[i].col,
                "iterator walk over unordered container '" + toks[i].text +
                    "': hash iteration order leaks into results",
                out);

@@ -153,7 +153,7 @@ class DocsPathRefsRule final : public Rule {
       }
       if (ref.size() <= match.size()) continue;  // bare "src/" mention
       if (reference_resolves(ctx.root, ref)) continue;
-      report(file, line, col,
+      report(ctx, file, line, col,
              "dangling reference: `" + std::string(ref) +
                  "` does not exist in the tree",
              out);

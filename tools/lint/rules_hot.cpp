@@ -38,14 +38,14 @@ class HotMutexRule final : public Rule {
     return true;
   }
 
-  void check(const LintContext&, const SourceFile& file,
+  void check(const LintContext& ctx, const SourceFile& file,
              std::vector<Diagnostic>& out) const override {
     const auto& toks = file.tokens();
     std::set<int> reported_lines;
 
     if (file.hot_path_file()) {
       for (std::size_t i = 0; i < toks.size(); ++i) {
-        flag_if_lock(file, toks, i, "hot-path file", reported_lines, out);
+        flag_if_lock(ctx, file, toks, i, "hot-path file", reported_lines, out);
       }
       return;
     }
@@ -73,13 +73,14 @@ class HotMutexRule final : public Rule {
           if (toks[j].text == "}") --brace;
           continue;
         }
-        if (brace > 0) flag_if_lock(file, toks, j, region, reported_lines, out);
+        if (brace > 0) flag_if_lock(ctx, file, toks, j, region, reported_lines, out);
       }
     }
   }
 
  private:
-  void flag_if_lock(const SourceFile& file, const std::vector<Token>& toks,
+  void flag_if_lock(const LintContext& ctx, const SourceFile& file,
+                    const std::vector<Token>& toks,
                     std::size_t i, const std::string& region,
                     std::set<int>& reported_lines,
                     std::vector<Diagnostic>& out) const {
@@ -99,7 +100,7 @@ class HotMutexRule final : public Rule {
         toks[i + 1].text == "(";
     if (!lock_type && !lock_call) return;
     reported_lines.insert(t.line);
-    report(file, t.line, t.col,
+    report(ctx, file, t.line, t.col,
            "'" + t.text + "' acquires a lock in a " + region +
                "; hot paths are lock-free by contract — pre-resolve "
                "instruments, use per-shard slots or atomics",

@@ -1,13 +1,20 @@
 // LINT meta rules: the suppression mechanism polices itself.  An allow()
 // certificate is only evidence if a human wrote down *why* — an
-// unjustified or dangling suppression is exactly the silent contract
-// erosion the engine exists to prevent.
+// unjustified, dangling, or dead suppression is exactly the silent
+// contract erosion the engine exists to prevent.
 //
 //   LINT-BARE-ALLOW   — an allow(RULE) directive without a justification
 //                       (or with empty parens / missing close paren).
 //   LINT-UNKNOWN-RULE — allow() naming a rule id the registry does not
 //                       know (typo'd suppressions would otherwise both
 //                       fail to suppress and rot silently).
+//   LINT-STALE-ALLOW  — an allow() that suppressed nothing in a
+//                       full-registry run over the whole tree.  The code
+//                       it certified is gone or fixed; a certificate
+//                       with no claim is debt.  Driven by the engine
+//                       through audit_stale_allows() after all other
+//                       passes (it needs the complete usage record), not
+//                       by per-file check().
 #include <algorithm>
 #include <memory>
 #include <string>
@@ -18,6 +25,12 @@ namespace mstv::lint {
 
 namespace {
 
+constexpr std::string_view kStaleId = "LINT-STALE-ALLOW";
+
+std::string spelled(const Allow& a) {
+  return a.spelling.empty() ? std::string("?") : a.spelling;
+}
+
 class BareAllowRule final : public Rule {
  public:
   [[nodiscard]] std::string_view id() const override {
@@ -26,21 +39,18 @@ class BareAllowRule final : public Rule {
   [[nodiscard]] std::string_view summary() const override {
     return "allow() suppressions must carry a justification";
   }
-  [[nodiscard]] bool applies_to(std::string_view) const override {
-    return true;
-  }
 
-  void check(const LintContext&, const SourceFile& file,
+  void check(const LintContext& ctx, const SourceFile& file,
              std::vector<Diagnostic>& out) const override {
     for (const Allow& a : file.allows()) {
-      if (a.rule.empty()) {
-        report(file, a.line, a.col,
+      if (a.rules.empty()) {
+        report(ctx, file, a.line, a.col,
                "malformed allow(): expected `mstv-lint: allow(RULE-ID) — "
                "justification`",
                out);
       } else if (a.justification.empty()) {
-        report(file, a.line, a.col,
-               "allow(" + a.rule +
+        report(ctx, file, a.line, a.col,
+               "allow(" + spelled(a) +
                    ") without a justification; a suppression is a "
                    "certificate — say why the site is exempt",
                out);
@@ -57,33 +67,102 @@ class UnknownRuleAllowRule final : public Rule {
   [[nodiscard]] std::string_view summary() const override {
     return "allow() must name a rule id the engine knows";
   }
-  [[nodiscard]] bool applies_to(std::string_view) const override {
-    return true;
-  }
 
   void check(const LintContext& ctx, const SourceFile& file,
              std::vector<Diagnostic>& out) const override {
     for (const Allow& a : file.allows()) {
-      if (a.rule.empty()) continue;  // LINT-BARE-ALLOW's case
-      const bool known =
-          std::find(ctx.known_rules.begin(), ctx.known_rules.end(), a.rule) !=
-          ctx.known_rules.end();
-      if (!known) {
-        report(file, a.line, a.col,
-               "allow(" + a.rule + ") names no known rule (typo?); run "
+      for (const std::string& rule : a.rules) {
+        const bool known =
+            std::find(ctx.known_rules.begin(), ctx.known_rules.end(), rule) !=
+            ctx.known_rules.end();
+        if (!known) {
+          report(ctx, file, a.line, a.col,
+                 "allow(" + rule + ") names no known rule (typo?); run "
                                    "mstv-lint --list-rules for the catalog",
-               out);
+                 out);
+        }
       }
     }
   }
 };
 
+// Catalog/id carrier for the stale audit: the real work happens in
+// audit_stale_allows(), which the engine invokes after every other pass
+// so the allow-usage record is complete.  check() is deliberately empty.
+class StaleAllowRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return kStaleId; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "allow() certificates must suppress at least one finding "
+           "(audited after a full-registry run)";
+  }
+};
+
+bool names_stale_id(const Allow& a) {
+  return std::find(a.rules.begin(), a.rules.end(), kStaleId) != a.rules.end();
+}
+
+bool any_rule_unknown(const LintContext& ctx, const Allow& a) {
+  return std::any_of(a.rules.begin(), a.rules.end(), [&](const std::string& r) {
+    return std::find(ctx.known_rules.begin(), ctx.known_rules.end(), r) ==
+           ctx.known_rules.end();
+  });
+}
+
 }  // namespace
+
+void audit_stale_allows(const LintContext& ctx,
+                        const std::vector<const SourceFile*>& files,
+                        std::vector<Diagnostic>& out) {
+  if (ctx.used_allows == nullptr) return;
+
+  auto audit_one = [&](const SourceFile& file, std::size_t i) {
+    const Allow& a = file.allows()[i];
+    // Malformed and typo'd certificates are LINT-BARE-ALLOW's and
+    // LINT-UNKNOWN-RULE's findings; double-reporting them as stale
+    // would just be noise.
+    if (a.rules.empty() || a.justification.empty()) return;
+    if (any_rule_unknown(ctx, a)) return;
+    if (ctx.used_allows->count({&file, i}) != 0) return;
+    // A *different* allow(LINT-STALE-ALLOW) certificate may cover this
+    // one ("intentionally kept though currently unused").  The allow
+    // under audit never certifies itself.
+    for (std::size_t j = 0; j < file.allows().size(); ++j) {
+      if (j == i) continue;
+      const Allow& c = file.allows()[j];
+      if (c.justification.empty() || !names_stale_id(c)) continue;
+      if ((a.line >= c.line && a.line <= c.end_line) ||
+          (c.own_line && a.line == c.end_line + 1)) {
+        ctx.used_allows->emplace(&file, j);
+        return;
+      }
+    }
+    out.push_back(Diagnostic{
+        std::string(kStaleId), file.relpath(), a.line, a.col,
+        "allow(" + spelled(a) +
+            ") suppressed nothing in this run; the site it certified is "
+            "gone — delete the certificate (or certify the keep with "
+            "allow(LINT-STALE-ALLOW))"});
+  };
+
+  // Two passes: ordinary certificates first, so allow(LINT-STALE-ALLOW)
+  // certificates earn their keep before being audited themselves.
+  for (const bool self_pass : {false, true}) {
+    for (const SourceFile* file : files) {
+      for (std::size_t i = 0; i < file->allows().size(); ++i) {
+        if (names_stale_id(file->allows()[i]) == self_pass) {
+          audit_one(*file, i);
+        }
+      }
+    }
+  }
+}
 
 std::vector<std::unique_ptr<Rule>> make_meta_rules() {
   std::vector<std::unique_ptr<Rule>> out;
   out.push_back(std::make_unique<BareAllowRule>());
   out.push_back(std::make_unique<UnknownRuleAllowRule>());
+  out.push_back(std::make_unique<StaleAllowRule>());
   return out;
 }
 

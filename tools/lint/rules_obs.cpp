@@ -80,7 +80,7 @@ class ObsMetricNameRule final : public Rule {
     return true;
   }
 
-  void check(const LintContext&, const SourceFile& file,
+  void check(const LintContext& ctx, const SourceFile& file,
              std::vector<Diagnostic>& out) const override {
     static const std::set<std::string, std::less<>> kMacros = {
         "MSTV_COUNTER_ADD", "MSTV_COUNTER_INC", "MSTV_GAUGE_SET",
@@ -112,7 +112,7 @@ class ObsMetricNameRule final : public Rule {
       const Token& arg = toks[i + 2];
       if (arg.kind != TokKind::String) continue;  // runtime-built name — ok
       if (valid_metric_name(arg.text)) continue;
-      report(file, arg.line, arg.col,
+      report(ctx, file, arg.line, arg.col,
              "metric/span name \"" + arg.text + "\" (at " + t.text +
                  ") violates the `component.noun[_unit]` convention of "
                  "docs/observability.md",
@@ -149,7 +149,7 @@ class ObsTraceCategoryRule final : public Rule {
     return true;
   }
 
-  void check(const LintContext&, const SourceFile& file,
+  void check(const LintContext& ctx, const SourceFile& file,
              std::vector<Diagnostic>& out) const override {
     static const std::set<std::string, std::less<>> kSites = {
         "MSTV_TRACE_SCOPE", "MSTV_TRACE_INSTANT"};
@@ -166,7 +166,7 @@ class ObsTraceCategoryRule final : public Rule {
       const Token& cat = toks[i + 2];
       if (cat.kind != TokKind::String) continue;  // runtime-built — ok
       if (!valid_category(cat.text)) {
-        report(file, cat.line, cat.col,
+        report(ctx, file, cat.line, cat.col,
                "trace category \"" + cat.text + "\" (at " + t.text +
                    ") must be one lowercase snake_case segment",
                out);
@@ -180,7 +180,7 @@ class ObsTraceCategoryRule final : public Rule {
       const Token& name = toks[i + 4];
       if (name.kind != TokKind::String) continue;
       if (!valid_metric_name(name.text)) {
-        report(file, name.line, name.col,
+        report(ctx, file, name.line, name.col,
                "trace event name \"" + name.text + "\" (at " + t.text +
                    ") violates the `component.noun` convention",
                out);
@@ -188,7 +188,7 @@ class ObsTraceCategoryRule final : public Rule {
       }
       const std::string prefix = name.text.substr(0, name.text.find('.'));
       if (prefix != cat.text) {
-        report(file, name.line, name.col,
+        report(ctx, file, name.line, name.col,
                "trace event \"" + name.text + "\" does not live in its "
                    "category \"" + cat.text +
                    "\" (name prefix must equal the category)",
@@ -211,7 +211,7 @@ class ObsLedgerKeyRule final : public Rule {
     return true;
   }
 
-  void check(const LintContext&, const SourceFile& file,
+  void check(const LintContext& ctx, const SourceFile& file,
              std::vector<Diagnostic>& out) const override {
     static const std::set<std::string, std::less<>> kSites = {
         "MSTV_LEDGER_COMMIT", "ledger_commit"};
@@ -228,7 +228,7 @@ class ObsLedgerKeyRule final : public Rule {
       const Token& phase = toks[i + 2];
       if (phase.kind != TokKind::String) continue;  // runtime-built — ok
       if (valid_metric_name(phase.text)) continue;
-      report(file, phase.line, phase.col,
+      report(ctx, file, phase.line, phase.col,
              "ledger phase \"" + phase.text + "\" (at " + t.text +
                  ") violates the `component.noun` convention of "
                  "docs/observability.md",
@@ -253,7 +253,7 @@ class ObsLedgerPhaseRegistryRule final : public Rule {
     return true;
   }
 
-  void check(const LintContext&, const SourceFile& file,
+  void check(const LintContext& ctx, const SourceFile& file,
              std::vector<Diagnostic>& out) const override {
     static const std::set<std::string, std::less<>> kSites = {
         "MSTV_LEDGER_COMMIT", "ledger_commit"};
@@ -277,7 +277,7 @@ class ObsLedgerPhaseRegistryRule final : public Rule {
       // rule.
       if (!valid_metric_name(phase.text)) continue;
       if (kKnownPhases.count(phase.text) != 0) continue;
-      report(file, phase.line, phase.col,
+      report(ctx, file, phase.line, phase.col,
              "ledger phase \"" + phase.text + "\" (at " + t.text +
                  ") is not registered in the phase table of "
                  "docs/observability.md",

@@ -1,0 +1,409 @@
+// REACH rule family: the determinism and hot-path contracts extended
+// through the call graph, plus the fork-safety contract for the
+// multi-process worker.  The per-file DET/HOT rules catch a primitive
+// used *at* a guarded site; these rules catch the same primitives made
+// reachable *from* one through helper calls.
+//
+//   DET-REACH    — a call inside a result-producing entry point (mark,
+//                  run_verifier, update_and_repair) transitively reaches
+//                  ambient entropy or a clock read.  Reported at the
+//                  call site in the entry point, with the offending
+//                  chain and primitive in the message.
+//   HOT-REACH    — a call inside a for_each_shard / sharded_reduce
+//                  lambda transitively reaches a lock acquisition or a
+//                  blocking syscall (poll/read/write/file-stream I/O).
+//                  Reported at the call site inside the lambda.
+//   MP-FORK-SAFE — src/runtime/mp/ runs between fork() and exec-less
+//                  _exit(); code there may not spawn threads, call
+//                  exit() (atexit handlers + double-flushed stdio
+//                  inherited from the parent), or use stdio streams.
+//
+// Resolution is name-based and over-approximate (see callgraph.hpp):
+// a REACH finding means "some definition with this call chain's names
+// contains the primitive".  Certificates are honored at either end —
+// an allow(DET-REACH/HOT-REACH) at the call site, or an allow() for
+// the per-file rule (DET-RAND, DET-CLOCK, HOT-MUTEX, HOT-REACH) at the
+// primitive site, certifies every path through it.
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "lint/program.hpp"
+#include "lint/rule.hpp"
+
+namespace mstv::lint {
+
+namespace {
+
+constexpr std::size_t kMaxDepth = 16;
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool det_exempt_path(std::string_view relpath) {
+  return starts_with(relpath, "src/obs/") || starts_with(relpath, "bench/");
+}
+
+bool preprocessor_line(const SourceFile& file, int line) {
+  const std::string_view row = file.line_text(line);
+  const std::size_t first = row.find_first_not_of(" \t");
+  return first != std::string_view::npos && row[first] == '#';
+}
+
+// Keywords after which an unqualified call expression can directly
+// follow (mirrors rules_det.cpp).
+bool expression_keyword(std::string_view s) {
+  return s == "return" || s == "co_return" || s == "co_yield" ||
+         s == "co_await" || s == "throw" || s == "else" || s == "do" ||
+         s == "case";
+}
+
+// Free-call test mirroring rules_det.cpp: not a member access, and any
+// `::` qualifier is std:: or global (`return ::poll(...)`).
+bool free_callee(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (prev.kind == TokKind::Identifier) return expression_keyword(prev.text);
+  if (prev.kind != TokKind::Punct) return true;
+  if (prev.text == "." || prev.text == "->") return false;
+  if (prev.text == "::") {
+    if (i < 2) return true;
+    const Token& qual = toks[i - 2];
+    if (qual.kind != TokKind::Identifier) return true;
+    return qual.text == "std" || expression_keyword(qual.text);
+  }
+  return true;
+}
+
+bool next_is(const std::vector<Token>& toks, std::size_t i,
+             std::string_view punct) {
+  return i + 1 < toks.size() && toks[i + 1].kind == TokKind::Punct &&
+         toks[i + 1].text == punct;
+}
+
+/// One contract-violating primitive found in a definition body.
+struct Primitive {
+  std::string what;  // human-readable, e.g. "rand()"
+  std::string rule;  // the per-file rule whose certificate covers it
+  int line = 0;
+};
+
+const std::set<std::string, std::less<>>& det_rand_calls() {
+  static const std::set<std::string, std::less<>> kCalls = {
+      "rand", "srand", "rand_r", "srandom", "random", "drand48", "lrand48",
+      "mrand48", "srand48"};
+  return kCalls;
+}
+
+const std::set<std::string, std::less<>>& det_clock_types() {
+  static const std::set<std::string, std::less<>> kTypes = {
+      "steady_clock", "system_clock", "high_resolution_clock", "utc_clock",
+      "file_clock"};
+  return kTypes;
+}
+
+const std::set<std::string, std::less<>>& det_clock_calls() {
+  static const std::set<std::string, std::less<>> kCalls = {
+      "time", "clock", "gettimeofday", "clock_gettime", "localtime", "gmtime",
+      "ftime"};
+  return kCalls;
+}
+
+std::vector<Primitive> det_primitives(const FunctionDef& def) {
+  std::vector<Primitive> out;
+  const auto& toks = def.file->tokens();
+  for (std::size_t i = def.body_begin; i < def.body_end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Identifier) continue;
+    if (t.text == "random_device") {
+      out.push_back(Primitive{"std::random_device", "DET-RAND", t.line});
+    } else if (det_rand_calls().count(t.text) != 0 && next_is(toks, i, "(") &&
+               free_callee(toks, i)) {
+      out.push_back(Primitive{t.text + "()", "DET-RAND", t.line});
+    } else if (det_clock_types().count(t.text) != 0 &&
+               next_is(toks, i, "::") && i + 2 < toks.size() &&
+               toks[i + 2].text == "now") {
+      out.push_back(Primitive{t.text + "::now()", "DET-CLOCK", t.line});
+    } else if (det_clock_calls().count(t.text) != 0 && next_is(toks, i, "(") &&
+               free_callee(toks, i)) {
+      out.push_back(Primitive{t.text + "()", "DET-CLOCK", t.line});
+    }
+  }
+  return out;
+}
+
+const std::set<std::string, std::less<>>& lock_idents() {
+  static const std::set<std::string, std::less<>> kIdents = {
+      "mutex", "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+      "shared_mutex", "recursive_mutex", "timed_mutex", "condition_variable",
+      "condition_variable_any"};
+  return kIdents;
+}
+
+const std::set<std::string, std::less<>>& blocking_calls() {
+  static const std::set<std::string, std::less<>> kCalls = {
+      "poll",    "ppoll",  "select", "epoll_wait", "read",    "write",
+      "pread",   "pwrite", "recv",   "send",       "recvmsg", "sendmsg",
+      "fsync",   "fdatasync", "fopen", "fread",    "fwrite",  "fgets",
+      "sleep",   "usleep", "nanosleep", "sleep_for", "sleep_until"};
+  return kCalls;
+}
+
+const std::set<std::string, std::less<>>& file_stream_types() {
+  static const std::set<std::string, std::less<>> kTypes = {
+      "ifstream", "ofstream", "fstream"};
+  return kTypes;
+}
+
+std::vector<Primitive> hot_primitives(const FunctionDef& def) {
+  std::vector<Primitive> out;
+  const auto& toks = def.file->tokens();
+  for (std::size_t i = def.body_begin; i < def.body_end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Identifier) continue;
+    if (preprocessor_line(*def.file, t.line)) continue;
+    if (lock_idents().count(t.text) != 0) {
+      out.push_back(Primitive{t.text, "HOT-MUTEX", t.line});
+    } else if (t.text == "lock" && i > 0 &&
+               toks[i - 1].kind == TokKind::Punct &&
+               (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+               next_is(toks, i, "(")) {
+      out.push_back(Primitive{".lock()", "HOT-MUTEX", t.line});
+    } else if (file_stream_types().count(t.text) != 0) {
+      out.push_back(Primitive{"std::" + t.text + " I/O", "HOT-REACH", t.line});
+    } else if (blocking_calls().count(t.text) != 0 && next_is(toks, i, "(") &&
+               free_callee(toks, i)) {
+      out.push_back(Primitive{t.text + "()", "HOT-REACH", t.line});
+    }
+  }
+  return out;
+}
+
+std::string chain_text(const std::vector<std::string>& chain) {
+  std::string out;
+  for (const std::string& hop : chain) {
+    if (!out.empty()) out += " -> ";
+    out += hop;
+  }
+  return out;
+}
+
+/// Memoized reachability per callee name (many call sites share callees).
+class ReachCache {
+ public:
+  explicit ReachCache(const CallGraph& graph) : graph_(graph) {}
+  const std::vector<CallGraph::Reached>& from(const std::string& callee) {
+    const auto it = memo_.find(callee);
+    if (it != memo_.end()) return it->second;
+    return memo_.emplace(callee, graph_.reachable(callee, kMaxDepth))
+        .first->second;
+  }
+
+ private:
+  const CallGraph& graph_;
+  std::map<std::string, std::vector<CallGraph::Reached>> memo_;
+};
+
+class DetReachRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "DET-REACH"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "entry points (mark, run_verifier, update_and_repair) must not "
+           "transitively reach ambient entropy or clock reads";
+  }
+  [[nodiscard]] bool whole_program() const override { return true; }
+
+  void check_program(const LintContext& ctx, const Program& program,
+                     std::vector<Diagnostic>& out) const override {
+    static const std::set<std::string, std::less<>> kEntries = {
+        "mark", "run_verifier", "update_and_repair"};
+    ReachCache cache(program.calls);
+    for (const FunctionDef* def : program.calls.defs()) {
+      if (kEntries.count(def->name) == 0) continue;
+      if (!starts_with(def->file->relpath(), "src/")) continue;
+      for (const CallSite& call : def->calls) {
+        if (call.member) continue;
+        if (certificate_covers(ctx, *def->file, id(), call.line)) continue;
+        bool reported = false;
+        for (const CallGraph::Reached& r : cache.from(call.callee)) {
+          if (reported) break;
+          const std::string& where = r.def->file->relpath();
+          if (!starts_with(where, "src/") || det_exempt_path(where)) continue;
+          for (const Primitive& p : det_primitives(*r.def)) {
+            // A certificate at the primitive site (for the per-file rule
+            // or for this one) certifies every path through it.
+            if (certificate_covers(ctx, *r.def->file, p.rule, p.line) ||
+                certificate_covers(ctx, *r.def->file, id(), p.line)) {
+              continue;
+            }
+            report(ctx, *def->file, call.line, call.col,
+                   "'" + def->name + "' reaches " + p.what + " at " + where +
+                       ":" + std::to_string(p.line) + " via " +
+                       chain_text(r.chain) +
+                       "; entry points must be reproducible from their seed",
+                   out);
+            reported = true;  // one finding per call site
+            break;
+          }
+        }
+      }
+    }
+  }
+};
+
+class HotReachRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "HOT-REACH"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "shard lambdas must not transitively reach locks or blocking "
+           "syscalls through helper calls";
+  }
+  [[nodiscard]] bool whole_program() const override { return true; }
+
+  void check_program(const LintContext& ctx, const Program& program,
+                     std::vector<Diagnostic>& out) const override {
+    ReachCache cache(program.calls);
+    for (const SourceFile* file : program.files) {
+      if (file->file_class() != FileClass::Cxx) continue;
+      if (!starts_with(file->relpath(), "src/")) continue;
+      scan_file(ctx, *file, cache, out);
+    }
+  }
+
+ private:
+  void scan_file(const LintContext& ctx, const SourceFile& file,
+                 ReachCache& cache, std::vector<Diagnostic>& out) const {
+    const auto& toks = file.tokens();
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::Identifier) continue;
+      if (toks[i].text != "for_each_shard" &&
+          toks[i].text != "sharded_reduce") {
+        continue;
+      }
+      if (!next_is(toks, i, "(")) continue;
+      const std::string region = "lambda passed to " + toks[i].text;
+      int paren = 0;
+      int brace = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].kind == TokKind::Punct) {
+          if (toks[j].text == "(") ++paren;
+          if (toks[j].text == ")" && --paren == 0) break;
+          if (toks[j].text == "{") ++brace;
+          if (toks[j].text == "}") --brace;
+          continue;
+        }
+        if (brace <= 0 || !call_like(toks, j)) continue;
+        if (j > 0 && toks[j - 1].kind == TokKind::Punct &&
+            (toks[j - 1].text == "." || toks[j - 1].text == "->")) {
+          continue;  // member call: dynamic dispatch, not resolvable
+        }
+        check_call(ctx, file, toks[j], region, cache, out);
+      }
+    }
+  }
+
+  void check_call(const LintContext& ctx, const SourceFile& file,
+                  const Token& call, const std::string& region,
+                  ReachCache& cache, std::vector<Diagnostic>& out) const {
+    if (certificate_covers(ctx, file, id(), call.line)) return;
+    for (const CallGraph::Reached& r : cache.from(call.text)) {
+      const std::string& where = r.def->file->relpath();
+      if (!starts_with(where, "src/")) continue;
+      for (const Primitive& p : hot_primitives(*r.def)) {
+        if (certificate_covers(ctx, *r.def->file, p.rule, p.line) ||
+            (p.rule != id() &&
+             certificate_covers(ctx, *r.def->file, id(), p.line))) {
+          continue;
+        }
+        report(ctx, file, call.line, call.col,
+               "call to '" + call.text + "' in a " + region + " reaches " +
+                   p.what + " at " + where + ":" + std::to_string(p.line) +
+                   " via " + chain_text(r.chain) +
+                   "; hot paths are lock-free and non-blocking by contract",
+               out);
+        return;  // one finding per call site
+      }
+    }
+  }
+};
+
+class MpForkSafeRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "MP-FORK-SAFE";
+  }
+  [[nodiscard]] std::string_view summary() const override {
+    return "src/runtime/mp/ runs in a forked child: no thread spawns, no "
+           "exit() (use _exit), no stdio streams";
+  }
+  [[nodiscard]] bool applies_to(std::string_view relpath) const override {
+    return starts_with(relpath, "src/runtime/mp/");
+  }
+
+  void check(const LintContext& ctx, const SourceFile& file,
+             std::vector<Diagnostic>& out) const override {
+    static const std::set<std::string, std::less<>> kStdioCalls = {
+        "printf", "fprintf", "vfprintf", "puts", "fputs", "putchar",
+        "getchar", "scanf", "fscanf"};
+    static const std::set<std::string, std::less<>> kStdioStreams = {
+        "cout", "cerr", "clog", "cin"};
+    const auto& toks = file.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::Identifier) continue;
+      if (preprocessor_line(file, t.line)) continue;
+      if ((t.text == "thread" || t.text == "jthread") && i >= 2 &&
+          toks[i - 1].kind == TokKind::Punct && toks[i - 1].text == "::" &&
+          toks[i - 2].text == "std") {
+        report(ctx, file, t.line, t.col,
+               "std::" + t.text + " in the forked worker: the child owns "
+                                  "exactly one thread; threads do not "
+                                  "survive fork and must not be spawned "
+                                  "after it",
+               out);
+      } else if (t.text == "pthread_create" && next_is(toks, i, "(")) {
+        report(ctx, file, t.line, t.col,
+               "pthread_create() in the forked worker: the child must stay "
+               "single-threaded",
+               out);
+      } else if (t.text == "exit" && next_is(toks, i, "(") &&
+                 free_callee(toks, i)) {
+        report(ctx, file, t.line, t.col,
+               "exit() in the forked worker runs atexit handlers and "
+               "flushes stdio buffers inherited from the parent "
+               "(double-output); use _exit()",
+               out);
+      } else if (kStdioCalls.count(t.text) != 0 && next_is(toks, i, "(") &&
+                 free_callee(toks, i)) {
+        report(ctx, file, t.line, t.col,
+               "'" + t.text + "()' uses stdio in the forked worker; buffers "
+                              "are shared with the parent at fork — write "
+                              "through the wire protocol or raw fds",
+               out);
+      } else if (kStdioStreams.count(t.text) != 0 && i >= 2 &&
+                 toks[i - 1].kind == TokKind::Punct &&
+                 toks[i - 1].text == "::" && toks[i - 2].text == "std") {
+        report(ctx, file, t.line, t.col,
+               "std::" + t.text + " in the forked worker; stream buffers "
+                                  "are shared with the parent at fork — "
+                                  "write through the wire protocol or raw "
+                                  "fds",
+               out);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_reach_rules() {
+  std::vector<std::unique_ptr<Rule>> out;
+  out.push_back(std::make_unique<DetReachRule>());
+  out.push_back(std::make_unique<HotReachRule>());
+  out.push_back(std::make_unique<MpForkSafeRule>());
+  return out;
+}
+
+}  // namespace mstv::lint

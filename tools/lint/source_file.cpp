@@ -70,7 +70,16 @@ void SourceFile::parse_directives() {
     if (!rest.empty() && rest.front() == '(') {
       const std::size_t close = rest.find(')');
       if (close != std::string_view::npos) {
-        allow.rule = std::string(trim(rest.substr(1, close - 1)));
+        allow.spelling = std::string(trim(rest.substr(1, close - 1)));
+        std::string_view inner(allow.spelling);
+        while (!inner.empty()) {
+          std::size_t comma = inner.find(',');
+          if (comma == std::string_view::npos) comma = inner.size();
+          const std::string_view one = trim(inner.substr(0, comma));
+          if (!one.empty()) allow.rules.emplace_back(one);
+          inner = comma < inner.size() ? inner.substr(comma + 1)
+                                       : std::string_view{};
+        }
         allow.justification =
             std::string(strip_separator(rest.substr(close + 1)));
       }
@@ -103,13 +112,22 @@ void SourceFile::parse_directives() {
     }
   } else {
     // Markdown: scan raw lines (directives ride in `<!-- ... -->`).
+    // Fenced code blocks are skipped: a directive displayed inside
+    // ```…``` is the manual *mentioning* the syntax, not a live
+    // certificate — parsing it would flag every doc example as stale.
     int line = 1;
     std::size_t start = 0;
+    bool in_fence = false;
     while (start <= text_.size()) {
       std::size_t end = text_.find('\n', start);
       if (end == std::string::npos) end = text_.size();
       const std::string_view row(text_.data() + start, end - start);
-      handle(row, line, line, 1, /*own_line=*/trim(row).rfind("<!--", 0) == 0);
+      const std::string_view lead = trim(row);
+      if (lead.rfind("```", 0) == 0 || lead.rfind("~~~", 0) == 0) {
+        in_fence = !in_fence;
+      } else if (!in_fence) {
+        handle(row, line, line, 1, /*own_line=*/lead.rfind("<!--", 0) == 0);
+      }
       if (end == text_.size()) break;
       start = end + 1;
       ++line;
@@ -117,12 +135,20 @@ void SourceFile::parse_directives() {
   }
 }
 
-bool SourceFile::suppressed(std::string_view rule, int line) const {
-  return std::any_of(allows_.begin(), allows_.end(), [&](const Allow& a) {
-    if (a.rule != rule || a.justification.empty()) return false;
-    if (line >= a.line && line <= a.end_line) return true;
-    return a.own_line && line == a.end_line + 1;
-  });
+std::size_t SourceFile::suppressing_allow(std::string_view rule,
+                                          int line) const {
+  for (std::size_t i = 0; i < allows_.size(); ++i) {
+    const Allow& a = allows_[i];
+    if (a.justification.empty()) continue;
+    if (std::find(a.rules.begin(), a.rules.end(), rule) == a.rules.end()) {
+      continue;
+    }
+    if ((line >= a.line && line <= a.end_line) ||
+        (a.own_line && line == a.end_line + 1)) {
+      return i;
+    }
+  }
+  return npos;
 }
 
 std::string_view SourceFile::line_text(int line) const {

@@ -15,9 +15,11 @@ enum class FileClass {
   Markdown,  // *.md — raw text only, scanned line-wise
 };
 
-/// One parsed allow() suppression directive.
+/// One parsed allow() suppression directive.  `allow(A, B)` names
+/// several rules on one certificate; `rules` holds them all.
 struct Allow {
-  std::string rule;           // may be empty on a malformed allow()
+  std::vector<std::string> rules;  // empty on a malformed allow()
+  std::string spelling;       // raw text inside the parens, for messages
   std::string justification;  // empty => LINT-BARE-ALLOW
   int line = 0;               // line the comment starts on
   int end_line = 0;           // line the comment ends on
@@ -43,9 +45,17 @@ class SourceFile {
   [[nodiscard]] const std::vector<Allow>& allows() const { return allows_; }
   [[nodiscard]] bool hot_path_file() const { return hot_path_file_; }
 
-  /// True when an allow(rule) certificate covers `line` (same line, or a
-  /// whole-line comment immediately above).
-  [[nodiscard]] bool suppressed(std::string_view rule, int line) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Index into allows() of the certificate covering `rule` at `line`
+  /// (same line, or a whole-line comment immediately above), or npos.
+  [[nodiscard]] std::size_t suppressing_allow(std::string_view rule,
+                                              int line) const;
+
+  /// True when an allow(rule) certificate covers `line`.
+  [[nodiscard]] bool suppressed(std::string_view rule, int line) const {
+    return suppressing_allow(rule, line) != npos;
+  }
 
   /// The raw text of a 1-based line (no trailing newline), for messages.
   [[nodiscard]] std::string_view line_text(int line) const;

@@ -1,0 +1,120 @@
+#include "lint/symbols.hpp"
+
+#include <set>
+
+namespace mstv::lint {
+
+namespace {
+
+// Keywords that take a parenthesised clause but never name a function.
+const std::set<std::string, std::less<>>& control_keywords() {
+  static const std::set<std::string, std::less<>> kWords = {
+      "if",       "for",          "while",    "switch",    "catch",
+      "return",   "sizeof",       "alignof",  "alignas",   "decltype",
+      "noexcept", "static_assert","typeid",   "throw",     "new",
+      "delete",   "co_await",     "co_yield", "co_return", "constexpr",
+      "requires"};
+  return kWords;
+}
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::Punct && t.text == text;
+}
+
+// Skips a balanced (...) starting at `open` (which must index a `(`).
+// Returns the index one past the matching `)`, or toks.size() if it
+// never closes.
+std::size_t skip_parens(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (is_punct(toks[j], "(")) ++depth;
+    if (is_punct(toks[j], ")") && --depth == 0) return j + 1;
+  }
+  return toks.size();
+}
+
+// After the parameter `)`, decides whether a definition body follows.
+// Accepts the declaration tails the tree actually uses: cv/ref
+// qualifiers, noexcept(...), override/final, trailing return types, and
+// paren-style member-initializer lists.  Returns the token index of the
+// body `{`, or npos when this is a call / declaration / something else.
+std::size_t find_body_brace(const std::vector<Token>& toks,
+                            std::size_t after_params) {
+  for (std::size_t j = after_params; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (is_punct(t, "{")) return j;
+    if (is_punct(t, ";") || is_punct(t, "=")) return std::string::npos;
+    if (t.kind == TokKind::Identifier || t.kind == TokKind::Number ||
+        t.kind == TokKind::String) {
+      continue;  // noexcept, const, override, trailing type names, ...
+    }
+    if (is_punct(t, "(")) {  // noexcept(...), member-init `ctx(c)`
+      j = skip_parens(toks, j) - 1;
+      continue;
+    }
+    if (is_punct(t, "::") || is_punct(t, "->") || is_punct(t, ":") ||
+        is_punct(t, ",") || is_punct(t, "&") || is_punct(t, "*") ||
+        is_punct(t, "<") || is_punct(t, ">") || is_punct(t, "[") ||
+        is_punct(t, "]")) {
+      continue;
+    }
+    return std::string::npos;  // an operator: this was an expression
+  }
+  return std::string::npos;
+}
+
+std::size_t matching_brace(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (is_punct(toks[j], "{")) ++depth;
+    if (is_punct(toks[j], "}") && --depth == 0) return j;
+  }
+  return toks.size() - 1;
+}
+
+}  // namespace
+
+bool call_like(const std::vector<Token>& toks, std::size_t i) {
+  const Token& t = toks[i];
+  if (t.kind != TokKind::Identifier) return false;
+  if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) return false;
+  return control_keywords().count(t.text) == 0;
+}
+
+FileSymbols index_symbols(const SourceFile& file) {
+  FileSymbols out;
+  out.file = &file;
+  const auto& toks = file.tokens();
+
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!call_like(toks, i)) continue;
+    // `operator()` definitions and friends: skip — the reach rules only
+    // traverse named calls, which never spell `operator`.
+    if (toks[i].text == "operator") continue;
+    const std::size_t after = skip_parens(toks, i + 1);
+    if (after >= toks.size()) continue;
+    const std::size_t body = find_body_brace(toks, after);
+    if (body == std::string::npos) continue;
+
+    FunctionDef def;
+    def.name = toks[i].text;
+    def.file = &file;
+    def.line = toks[i].line;
+    def.body_begin = body;
+    def.body_end = matching_brace(toks, body);
+    for (std::size_t j = body + 1; j < def.body_end; ++j) {
+      if (!call_like(toks, j)) continue;
+      CallSite call;
+      call.callee = toks[j].text;
+      call.line = toks[j].line;
+      call.col = toks[j].col;
+      call.member = j > 0 && (is_punct(toks[j - 1], ".") ||
+                              is_punct(toks[j - 1], "->"));
+      def.calls.push_back(std::move(call));
+    }
+    out.defs.push_back(std::move(def));
+  }
+  return out;
+}
+
+}  // namespace mstv::lint

@@ -1,0 +1,53 @@
+// Symbol index: function definitions and call sites recovered from the
+// token stream — the second whole-program layer of mstv-lint.
+//
+// This is deliberately not a parser.  A *definition* is an identifier
+// followed by a balanced parameter list and then (possibly after a
+// cv/ref/noexcept/trailing-return/member-init tail) a `{` body; a *call
+// site* is an identifier followed by `(` inside some definition's body.
+// Resolution is by name only: overloads collapse, templates collapse,
+// and member calls through distinct objects collapse onto every
+// definition sharing the name.  The result over-approximates the real
+// call graph (docs/static_analysis.md spells out the contract); rules
+// built on it must expect false edges, never missing names.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/source_file.hpp"
+
+namespace mstv::lint {
+
+struct CallSite {
+  std::string callee;  // identifier as written (unqualified)
+  int line = 0;
+  int col = 0;
+  bool member = false;  // preceded by `.` or `->` (dynamic dispatch)
+};
+
+struct FunctionDef {
+  std::string name;              // unqualified (last identifier before `(`)
+  const SourceFile* file = nullptr;
+  int line = 0;                  // line of the name token
+  std::size_t body_begin = 0;    // token index of the opening `{`
+  std::size_t body_end = 0;      // token index of the matching `}`
+  std::vector<CallSite> calls;   // call sites inside [body_begin, body_end]
+};
+
+struct FileSymbols {
+  const SourceFile* file = nullptr;
+  std::vector<FunctionDef> defs;
+};
+
+/// Extracts every function definition (and its call sites) from one
+/// lexed C++ file.
+[[nodiscard]] FileSymbols index_symbols(const SourceFile& file);
+
+/// True when tokens[i] + `(` looks like a call rather than a keyword
+/// construct (`if (...)`, `while (...)`, casts, `sizeof`, ...).
+[[nodiscard]] bool call_like(const std::vector<Token>& toks, std::size_t i);
+
+}  // namespace mstv::lint
